@@ -1,0 +1,128 @@
+//! Microbenchmarks for the formal model's hot paths: message application
+//! (the sync layer's per-action cost) and final-table derivation.
+//!
+//! Ablation probed: the paper's row-*replacement* design means every fill
+//! allocates a new row value; these benches quantify that overhead against
+//! table size, confirming it stays far below human-action latencies.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use crowdfill_model::{
+    derive_final_table, ClientId, Column, ColumnId, DataType, Operation, QuorumMajority, Schema,
+    Value,
+};
+use crowdfill_sync::Replica;
+use std::sync::Arc;
+
+fn schema() -> Arc<Schema> {
+    Arc::new(
+        Schema::new(
+            "SoccerPlayer",
+            vec![
+                Column::new("name", DataType::Text),
+                Column::new("nationality", DataType::Text),
+                Column::new("position", DataType::Text),
+                Column::new("caps", DataType::Int),
+                Column::new("goals", DataType::Int),
+            ],
+            &["name", "nationality"],
+        )
+        .unwrap(),
+    )
+}
+
+/// Builds a replica holding `n` complete rows (each voted once).
+fn populated_replica(n: usize) -> Replica {
+    let mut r = Replica::new(ClientId(1), schema());
+    for i in 0..n {
+        let mut row = r.apply_local(&Operation::Insert).unwrap().creates_row().unwrap();
+        for (col, v) in [
+            (0u16, Value::text(format!("Player {i}"))),
+            (1, Value::text(format!("Country {}", i % 30))),
+            (2, Value::text("FW")),
+            (3, Value::int(80 + (i % 20) as i64)),
+            (4, Value::int(i as i64 % 50)),
+        ] {
+            row = r
+                .apply_local(&Operation::Fill {
+                    row,
+                    column: ColumnId(col),
+                    value: v,
+                })
+                .unwrap()
+                .creates_row()
+                .unwrap();
+        }
+        r.apply_local(&Operation::Upvote { row }).unwrap();
+        r.apply_local(&Operation::Upvote { row }).unwrap();
+    }
+    r
+}
+
+fn bench_fill_chain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sync/fill_op");
+    for &n in &[10usize, 100, 1000] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let base = populated_replica(n);
+            b.iter_batched(
+                || {
+                    let mut r = base.clone();
+                    let row = r.apply_local(&Operation::Insert).unwrap().creates_row().unwrap();
+                    (r, row)
+                },
+                |(mut r, row)| {
+                    let m = r
+                        .apply_local(&Operation::fill(row, ColumnId(0), "Fresh Player"))
+                        .unwrap();
+                    black_box(m);
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_vote_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sync/vote_op");
+    for &n in &[10usize, 100, 1000] {
+        group.bench_with_input(BenchmarkId::new("upvote", n), &n, |b, &n| {
+            let base = populated_replica(n);
+            let target = base.table().row_ids().next().unwrap();
+            b.iter_batched(
+                || base.clone(),
+                |mut r| {
+                    r.apply_local(&Operation::Upvote { row: target }).unwrap();
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+        group.bench_with_input(BenchmarkId::new("downvote", n), &n, |b, &n| {
+            let base = populated_replica(n);
+            let target = base.table().row_ids().next().unwrap();
+            b.iter_batched(
+                || base.clone(),
+                |mut r| {
+                    r.apply_local(&Operation::Downvote { row: target }).unwrap();
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_final_table(c: &mut Criterion) {
+    let mut group = c.benchmark_group("model/derive_final_table");
+    for &n in &[10usize, 100, 1000] {
+        let r = populated_replica(n);
+        let s = schema();
+        let scoring = QuorumMajority::of_three();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(derive_final_table(r.table(), &s, &scoring)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fill_chain, bench_vote_ops, bench_final_table);
+criterion_main!(benches);

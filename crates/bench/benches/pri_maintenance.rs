@@ -1,0 +1,119 @@
+//! PRI maintenance cost per worker action (paper §4.2): how expensive is
+//! the Central Client's reaction — probable-set diff, matching repair, and
+//! possible row insertion — as the candidate table and template grow?
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use crowdfill_constraints::PriMaintainer;
+use crowdfill_model::{
+    ClientId, Column, ColumnId, DataType, Operation, QuorumMajority, Schema, Template, Value,
+};
+use crowdfill_sync::Replica;
+use std::sync::Arc;
+
+fn schema() -> Arc<Schema> {
+    Arc::new(
+        Schema::new(
+            "T",
+            vec![
+                Column::new("name", DataType::Text),
+                Column::new("nat", DataType::Text),
+                Column::new("pos", DataType::Text),
+            ],
+            &["name", "nat"],
+        )
+        .unwrap(),
+    )
+}
+
+/// A CC plus a worker replica with `filled` rows already completed.
+fn setup(template_rows: usize, filled: usize) -> (PriMaintainer, Replica) {
+    let s = schema();
+    let scoring: crowdfill_model::ScoringRef = Arc::new(QuorumMajority::of_three());
+    let mut cc = PriMaintainer::new(Arc::clone(&s), scoring, &Template::cardinality(template_rows));
+    let mut worker = Replica::new(ClientId(1), s);
+    for m in cc.take_outbox() {
+        worker.process(&m);
+    }
+    let rows: Vec<_> = worker.table().row_ids().collect();
+    for (i, &row) in rows.iter().take(filled).enumerate() {
+        let mut row = row;
+        for (col, v) in [
+            (0u16, Value::text(format!("P{i}"))),
+            (1, Value::text(format!("N{}", i % 10))),
+            (2, Value::text("FW")),
+        ] {
+            let msg = worker
+                .apply_local(&Operation::Fill {
+                    row,
+                    column: ColumnId(col),
+                    value: v,
+                })
+                .unwrap();
+            row = msg.creates_row().unwrap();
+            cc.on_message(&msg);
+            for m in cc.take_outbox() {
+                worker.process(&m);
+            }
+        }
+    }
+    (cc, worker)
+}
+
+fn bench_on_message(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pri/on_message");
+    for &n in &[8usize, 32, 128] {
+        group.bench_with_input(BenchmarkId::new("fill", n), &n, |b, &n| {
+            let (cc, worker) = setup(n, n / 2);
+            // One more fill into a fresh row.
+            let target = worker
+                .table()
+                .iter()
+                .find(|(_, e)| e.value.is_empty())
+                .map(|(id, _)| id)
+                .expect("empty row exists");
+            b.iter_batched(
+                || {
+                    let mut w = worker.clone();
+                    let msg = w
+                        .apply_local(&Operation::fill(target, ColumnId(0), "Fresh"))
+                        .unwrap();
+                    (cc.clone(), msg)
+                },
+                |(mut cc, msg)| {
+                    cc.on_message(&msg);
+                    black_box(cc.take_outbox());
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+        group.bench_with_input(BenchmarkId::new("downvote_reject", n), &n, |b, &n| {
+            // The expensive path: a downvote that kicks a row out of P and
+            // forces matching repair (and possibly a CC insertion).
+            let (cc, worker) = setup(n, n / 2);
+            let victim = worker
+                .table()
+                .iter()
+                .find(|(_, e)| e.value.is_partial())
+                .map(|(id, _)| id)
+                .expect("partial row exists");
+            b.iter_batched(
+                || {
+                    let mut w = worker.clone();
+                    let m1 = w.apply_local(&Operation::Downvote { row: victim }).unwrap();
+                    let m2 = w.apply_local(&Operation::Downvote { row: victim }).unwrap();
+                    (cc.clone(), m1, m2)
+                },
+                |(mut cc, m1, m2)| {
+                    cc.on_message(&m1);
+                    cc.on_message(&m2);
+                    black_box(cc.take_outbox());
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_on_message);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! **E4 — Estimation accuracy by allocation scheme** (paper §6, prose).
+//!
+//! "With uniform, column-weighted, and dual-weighted allocation schemes, we
+//! observed mean absolute percentage errors of about 3%, 16%, and 25%,
+//! respectively, across many experiments using different schemas and
+//! workloads." Shape claim verified here: MAPE grows with scheme
+//! sophistication — uniform < column-weighted < dual-weighted.
+//!
+//! Each scheme is evaluated over many seeded runs across the three synthetic
+//! domains (soccer players, cities, movies). The estimator runs online with
+//! the scheme under test; actuals come from settling the same trace.
+
+use crowdfill_bench::print_table;
+use crowdfill_model::Template;
+use crowdfill_pay::{mape, Scheme};
+use crowdfill_sim::{
+    cities_universe, movies_universe, paper_worker_profiles, run, soccer_universe, SimConfig,
+};
+
+fn main() {
+    let runs_per_domain: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4);
+    println!("E4: estimate MAPE by allocation scheme, {runs_per_domain} seeds × 3 domains × 8 rows\n");
+
+    let mut rows = Vec::new();
+    for scheme in Scheme::ALL {
+        let mut pairs = Vec::new();
+        let mut converged = 0usize;
+        let mut total = 0usize;
+        for seed in 0..runs_per_domain {
+            let universes = [
+                soccer_universe(seed, 120),
+                cities_universe(seed, 120),
+                movies_universe(seed, 120),
+            ];
+            for universe in universes {
+                total += 1;
+                let cfg = SimConfig::new(
+                    universe,
+                    Template::cardinality(8),
+                    paper_worker_profiles(),
+                )
+                .with_seed(seed * 31 + 7)
+                .with_scheme(scheme);
+                let report = run(cfg);
+                if !report.fulfilled {
+                    continue;
+                }
+                converged += 1;
+                for (w, actual) in &report.payout.per_worker {
+                    let raw = report.estimates_raw.get(w).copied().unwrap_or(0.0);
+                    if *actual > 0.05 {
+                        pairs.push((*actual, raw));
+                    }
+                }
+            }
+        }
+        let m = mape(&pairs).unwrap_or(f64::NAN);
+        rows.push(vec![
+            scheme.name().to_string(),
+            format!("{converged}/{total}"),
+            pairs.len().to_string(),
+            format!("{m:.1}%"),
+        ]);
+    }
+    print_table(&["scheme", "converged", "worker-samples", "MAPE"], &rows);
+    println!("\npaper: uniform ≈3%, column-weighted ≈16%, dual-weighted ≈25%");
+    println!("shape claim: error grows with scheme sophistication (uniform lowest).");
+}

@@ -1,0 +1,87 @@
+//! **A2 — Scaling sweep (beyond the paper):** §8 calls for "larger-scale
+//! evaluations... including larger table sizes [and] more concurrent
+//! workers". This sweep measures simulated makespan, per-worker action
+//! load, candidate-table overhead, and accuracy as both axes grow.
+//!
+//! Questions probed:
+//! * does makespan shrink sublinearly with crowd size (coordination
+//!   overhead: vote quorums, conflicting fills)?
+//! * does the candidate-table overhead (rejected/conflict rows) grow with
+//!   concurrency, as the paper's §1 discussion of table-filling
+//!   scalability anticipates?
+
+use crowdfill_bench::print_table;
+use crowdfill_sim::{run, soccer_universe, uniform_setup};
+
+fn main() {
+    let seeds: Vec<u64> = (1..=3).collect();
+
+    println!("A2a: worker scaling (20-row target, nominal workers, mean of 3 seeds)\n");
+    let mut rows = Vec::new();
+    for &n_workers in &[2usize, 4, 8, 16] {
+        let mut elapsed = 0.0;
+        let mut overhead = 0.0;
+        let mut acc = 0.0;
+        let mut actions = 0.0;
+        let mut done = 0;
+        for &seed in &seeds {
+            let cfg = uniform_setup(soccer_universe(seed, 400), 20, n_workers, seed);
+            let report = run(cfg);
+            if !report.fulfilled {
+                continue;
+            }
+            done += 1;
+            elapsed += report.elapsed.seconds();
+            overhead += (report.candidate_rows - report.final_table.len()) as f64;
+            acc += report.accuracy;
+            actions += report.actions_per_worker.values().sum::<usize>() as f64;
+        }
+        if done == 0 {
+            rows.push(vec![n_workers.to_string(), "—".into(), "—".into(), "—".into(), "—".into()]);
+            continue;
+        }
+        let d = done as f64;
+        rows.push(vec![
+            n_workers.to_string(),
+            format!("{:.0}s", elapsed / d),
+            format!("{:.1}", overhead / d),
+            format!("{:.0}", actions / d),
+            format!("{:.0}%", acc / d * 100.0),
+        ]);
+    }
+    print_table(&["workers", "makespan", "extra rows", "actions", "accuracy"], &rows);
+
+    println!("\nA2b: table-size scaling (5 nominal workers, mean of 3 seeds)\n");
+    let mut rows = Vec::new();
+    for &target in &[10usize, 20, 40, 80] {
+        let mut elapsed = 0.0;
+        let mut overhead = 0.0;
+        let mut acc = 0.0;
+        let mut done = 0;
+        for &seed in &seeds {
+            let cfg = uniform_setup(soccer_universe(seed, target * 8), target, 5, seed);
+            let report = run(cfg);
+            if !report.fulfilled {
+                continue;
+            }
+            done += 1;
+            elapsed += report.elapsed.seconds();
+            overhead += (report.candidate_rows - report.final_table.len()) as f64;
+            acc += report.accuracy;
+        }
+        if done == 0 {
+            rows.push(vec![target.to_string(), "—".into(), "—".into(), "—".into(), "—".into()]);
+            continue;
+        }
+        let d = done as f64;
+        rows.push(vec![
+            target.to_string(),
+            format!("{done}/3"),
+            format!("{:.0}s", elapsed / d),
+            format!("{:.1}", overhead / d),
+            format!("{:.0}%", acc / d * 100.0),
+        ]);
+    }
+    print_table(&["rows", "converged", "makespan", "extra rows", "accuracy"], &rows);
+    println!("\n(secs are simulated worker time, not wall clock)");
+}

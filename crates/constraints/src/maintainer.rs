@@ -1,0 +1,362 @@
+//! The Central Client and Probable Rows Invariant maintenance (paper §4.2).
+//!
+//! The Central Client (CC) is the only client allowed to insert rows. It
+//! keeps the candidate table in a state where filling in empty values can
+//! still produce a final table satisfying the values constraint, by
+//! maintaining the **Probable Rows Invariant**: every template row `t ∈ T`
+//! corresponds to a unique probable row `r` with `r ⊇ t` — equivalently, a
+//! maximum matching of the template-to-probable-rows bipartite graph has
+//! exactly `|T|` edges.
+//!
+//! After every table change CC diffs the probable set (row values are
+//! immutable per id, so only *membership* changes), repairs the matching
+//! with augmenting paths, and when a template row goes unmatched:
+//!
+//! 1. inserts a fresh row carrying the template's prescribed values, if that
+//!    row would itself be probable;
+//! 2. otherwise *shuffles* the matching (paper: finds another template row
+//!    `t'` on an alternating path and frees that one instead) and inserts for
+//!    `t'`;
+//! 3. if no insertable template row can be freed, **drops** `t` from the
+//!    template — the paper's degraded-continuation behavior; dropped rows
+//!    are reported so callers may abort instead.
+//!
+//! ### Predicates extension
+//! The paper's system implements values constraints only. We also support
+//! predicate entries with *optimistic* edges: a partial row is connected to
+//! `t` when every prescribed value matches exactly and every predicate is
+//! either satisfied or its column is still empty; a complete row must
+//! satisfy all entries strictly. This preserves the fulfillment theorem:
+//! when every matched row is a condition-3 winner (complete, positive,
+//! group-best), the derived final table satisfies the constraint.
+
+use crate::probable::probable_rows;
+use crowdfill_matching::IncrementalMatcher;
+use crowdfill_model::{
+    ClientId, Entry, Message, Operation, RowId, RowValue, Schema, ScoringRef, Template,
+    TemplateRow,
+};
+use crowdfill_sync::Replica;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// A template row's index in the *original* user template. Stable across
+/// drops, so reports stay meaningful.
+pub type TemplateIdx = usize;
+
+/// The Central Client: a replica plus PRI bookkeeping.
+#[derive(Clone)]
+pub struct PriMaintainer {
+    replica: Replica,
+    scoring: ScoringRef,
+    /// Live template rows (original index, row). Dropped rows are removed.
+    template: Vec<(TemplateIdx, TemplateRow)>,
+    /// Template rows CC had to give up on (paper §4.2's degenerate case).
+    dropped: Vec<(TemplateIdx, TemplateRow)>,
+    matcher: IncrementalMatcher<TemplateIdx, RowId>,
+    /// Current probable set (mirrors the matcher's right vertices).
+    probable: BTreeSet<RowId>,
+    /// Messages CC has generated and not yet handed to the caller.
+    outbox: Vec<Message>,
+}
+
+impl PriMaintainer {
+    /// Creates the CC for a task: populates the candidate table with the
+    /// template rows (upvoting fully-prescribed complete ones, as if workers
+    /// had completed them) and establishes the PRI.
+    ///
+    /// Call [`take_outbox`](Self::take_outbox) afterwards to collect the
+    /// initialization messages for broadcast.
+    pub fn new(schema: Arc<Schema>, scoring: ScoringRef, template: &Template) -> PriMaintainer {
+        let mut m = PriMaintainer {
+            replica: Replica::new(ClientId::CENTRAL, schema),
+            scoring,
+            template: template.rows().iter().cloned().enumerate().collect(),
+            dropped: Vec::new(),
+            matcher: IncrementalMatcher::new(),
+            probable: BTreeSet::new(),
+            outbox: Vec::new(),
+        };
+        for (idx, row) in m.template.clone() {
+            m.matcher.add_left(idx);
+            m.insert_template_row(&row);
+        }
+        m.refresh_and_maintain();
+        m
+    }
+
+    /// CC's replica (read access).
+    pub fn replica(&self) -> &Replica {
+        &self.replica
+    }
+
+    /// The live template (original indexes preserved).
+    pub fn live_template(&self) -> &[(TemplateIdx, TemplateRow)] {
+        &self.template
+    }
+
+    /// Template rows that had to be dropped to keep the PRI maintainable.
+    pub fn dropped_template_rows(&self) -> &[(TemplateIdx, TemplateRow)] {
+        &self.dropped
+    }
+
+    /// The current probable-row set.
+    pub fn probable_set(&self) -> &BTreeSet<RowId> {
+        &self.probable
+    }
+
+    /// The probable row currently matched to original template row `idx`.
+    pub fn matched_row(&self, idx: TemplateIdx) -> Option<RowId> {
+        self.matcher.matched_right(&idx).copied()
+    }
+
+    /// Drains CC's pending messages (inserts/fills/upvotes it generated).
+    /// The caller must apply them to the master table and broadcast them.
+    pub fn take_outbox(&mut self) -> Vec<Message> {
+        std::mem::take(&mut self.outbox)
+    }
+
+    /// Processes a message that arrived at CC (any worker message the server
+    /// broadcasts), then re-establishes the PRI. New CC messages appear in
+    /// the outbox.
+    pub fn on_message(&mut self, msg: &Message) {
+        self.replica.process(msg);
+        self.refresh_and_maintain();
+    }
+
+    /// Fulfillment check: does the final table derived from the current
+    /// candidate table satisfy the (live) values/predicates constraint?
+    ///
+    /// Note this is *not* "is CC's current matching made of winners": the
+    /// maintenance matching maximizes coverage of the template by probable
+    /// rows (which include zero-score contenders), so it may pin a template
+    /// row to a still-open row even though a finished winner could serve it.
+    /// Satisfaction is therefore checked directly against the derived final
+    /// table, with its own unique-witness matching.
+    pub fn is_fulfilled(&self) -> bool {
+        let final_table = crowdfill_model::derive_final_table(
+            self.replica.table(),
+            self.replica.schema(),
+            &*self.scoring,
+        );
+        let live = Template::from_rows(self.template.iter().map(|(_, r)| r.clone()).collect());
+        live.satisfied_by(&final_table)
+    }
+
+    /// Whether the PRI currently holds (matching covers the live template).
+    pub fn invariant_holds(&self) -> bool {
+        self.matcher.matching_size() == self.template.len()
+    }
+
+    // ---- internals -------------------------------------------------------
+
+    /// The PRI edge condition: prescribed values strict, predicates
+    /// optimistic on partial rows (see module docs).
+    fn edge(&self, trow: &TemplateRow, value: &RowValue) -> bool {
+        let complete = value.is_complete(self.replica.schema());
+        trow.entries().iter().all(|(col, entry)| match entry {
+            Entry::Any => true,
+            Entry::Value(v) => value.get(*col) == Some(v),
+            Entry::Pred(p) => match value.get(*col) {
+                Some(cell) => p.eval(cell),
+                None => !complete,
+            },
+        })
+    }
+
+    /// CC performs `op` on its replica and queues the message.
+    fn cc_op(&mut self, op: &Operation) -> Option<RowId> {
+        match self.replica.apply_local(op) {
+            Ok(msg) => {
+                let created = msg.creates_row();
+                self.outbox.push(msg);
+                created
+            }
+            Err(e) => unreachable!("CC generated an invalid operation {op}: {e}"),
+        }
+    }
+
+    /// Inserts a row carrying `trow`'s prescribed values; upvotes it if the
+    /// prescription is complete (paper §4.2 initialization rule). Returns the
+    /// final row id.
+    fn insert_template_row(&mut self, trow: &TemplateRow) -> RowId {
+        let mut row = self.cc_op(&Operation::Insert).expect("insert creates");
+        for (col, v) in trow.prescribed_values() {
+            let v = v.clone();
+            row = self
+                .cc_op(&Operation::Fill {
+                    row,
+                    column: col,
+                    value: v,
+                })
+                .expect("fill creates");
+        }
+        if self
+            .replica
+            .table()
+            .get(row)
+            .expect("row just created")
+            .value
+            .is_complete(self.replica.schema())
+        {
+            self.cc_op(&Operation::Upvote { row });
+        }
+        row
+    }
+
+    /// Would a freshly-inserted row with `trow`'s prescribed values be
+    /// probable right now? (Paper §4.2's "inserting row q with value t̄ does
+    /// not always make q probable".)
+    fn insertable(&self, trow: &TemplateRow) -> bool {
+        let schema = self.replica.schema();
+        let value = trow.prescribed_row_value();
+        let complete = value.is_complete(schema);
+        // A fresh row completed by CC would also be auto-upvoted; its counts
+        // come from the vote histories.
+        let upvotes = if complete {
+            self.replica.upvote_history().get(&value) + 1
+        } else {
+            0
+        };
+        let downvotes = self.replica.downvote_history().sum_subsets_of(&value);
+        let score = self.scoring.score(upvotes, downvotes);
+        if score < 0 {
+            // Failure case 1: the template value has been downvoted into
+            // unacceptability.
+            return false;
+        }
+        match value.key_projection(schema) {
+            None => score == 0,
+            Some(key) => {
+                // Scores of existing same-key rows. If the new row would be
+                // complete, CC's auto-upvote also bumps every *equal-valued*
+                // row, so account for that when projecting their scores.
+                let mut best_other = 0i64;
+                for (_, e) in self.replica.table().iter() {
+                    if e.value.key_projection(schema).as_ref() == Some(&key) {
+                        let up = if complete && e.value == value {
+                            e.upvotes + 1
+                        } else {
+                            e.upvotes
+                        };
+                        best_other = best_other.max(self.scoring.score(up, e.downvotes));
+                    }
+                }
+                if score == 0 {
+                    best_other <= 0
+                } else {
+                    // The new row has the highest id, so an equal-score
+                    // incumbent wins the tie: require strictly greater.
+                    score > best_other
+                }
+            }
+        }
+    }
+
+    /// Recomputes the probable set, diffs it into the matcher, repairs, and
+    /// restores the PRI by insertion / shuffle / template-drop.
+    fn refresh_and_maintain(&mut self) {
+        self.sync_probable_set();
+        self.matcher.repair();
+
+        // Restore the matching to cover the whole live template.
+        while self.matcher.matching_size() < self.template.len() {
+            let mut free = self.matcher.free_lefts();
+            free.sort_unstable(); // determinism
+            let t = free[0];
+            let trow = self.template_row(t).clone();
+
+            if self.insertable(&trow) {
+                let row = self.insert_template_row(&trow);
+                self.sync_probable_set();
+                debug_assert!(self.probable.contains(&row), "inserted row not probable");
+                self.matcher.repair();
+                continue;
+            }
+
+            // Shuffle: free some other (insertable) template row instead.
+            let mut donors = self.matcher.exchangeable_lefts(&t);
+            donors.sort_unstable();
+            let donor = donors
+                .iter()
+                .copied()
+                .find(|d| self.insertable(self.template_row(*d)));
+            match donor {
+                Some(d) => {
+                    let ok = self.matcher.exchange(&t, &d);
+                    debug_assert!(ok, "exchangeable donor must be reachable");
+                    let drow = self.template_row(d).clone();
+                    let row = self.insert_template_row(&drow);
+                    self.sync_probable_set();
+                    debug_assert!(self.probable.contains(&row));
+                    self.matcher.repair();
+                }
+                None => {
+                    // Degenerate case: drop t from the template and continue
+                    // with the reduced constraint (paper §4.2).
+                    let pos = self
+                        .template
+                        .iter()
+                        .position(|(idx, _)| *idx == t)
+                        .expect("free left is a live template row");
+                    let dropped = self.template.remove(pos);
+                    self.matcher.remove_left(&t);
+                    self.dropped.push(dropped);
+                    self.matcher.repair();
+                }
+            }
+        }
+        debug_assert!(self.matcher.check_consistency());
+    }
+
+    fn template_row(&self, idx: TemplateIdx) -> &TemplateRow {
+        &self
+            .template
+            .iter()
+            .find(|(i, _)| *i == idx)
+            .expect("live template row")
+            .1
+    }
+
+    /// Diffs the probable set into the matcher. Row values are immutable, so
+    /// existing edges never change; only vertices enter and leave.
+    fn sync_probable_set(&mut self) {
+        let fresh = probable_rows(self.replica.table(), self.replica.schema(), &*self.scoring);
+        // Removed rows.
+        let gone: Vec<RowId> = self.probable.difference(&fresh).copied().collect();
+        for id in gone {
+            self.matcher.remove_right(&id);
+        }
+        // Added rows: connect to every live template row whose edge condition
+        // holds.
+        let added: Vec<RowId> = fresh.difference(&self.probable).copied().collect();
+        for id in added {
+            self.matcher.add_right(id);
+            let value = self
+                .replica
+                .table()
+                .get(id)
+                .expect("probable row exists")
+                .value
+                .clone();
+            for (idx, trow) in &self.template {
+                if self.edge(trow, &value) {
+                    self.matcher.add_edge(*idx, id);
+                }
+            }
+        }
+        self.probable = fresh;
+    }
+}
+
+impl std::fmt::Debug for PriMaintainer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PriMaintainer")
+            .field("live_template", &self.template.len())
+            .field("dropped", &self.dropped.len())
+            .field("probable", &self.probable.len())
+            .field("matching", &self.matcher.matching_size())
+            .field("outbox", &self.outbox.len())
+            .finish()
+    }
+}

@@ -1,0 +1,291 @@
+//! Probable-row classification (paper §4.1).
+//!
+//! A row is *probable* if, given the current candidate table, it may still
+//! contribute to the final table:
+//!
+//! 1. it lacks values for some primary-key column and has a zero score; or
+//! 2. it has all key columns filled and a zero score, and no other row with
+//!    the same key has a positive score; or
+//! 3. it is a complete row with a positive score and no same-key row has a
+//!    greater score — among equal-score winners only one row (the lowest
+//!    [`RowId`], our deterministic tie-break) is probable.
+
+use crowdfill_model::{CandidateTable, RowId, RowValue, Schema, Scoring};
+use std::collections::{BTreeSet, HashMap};
+
+/// Why (or why not) a row is probable; useful for diagnostics and tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbableStatus {
+    /// Condition 1: incomplete key, zero score.
+    OpenKey,
+    /// Condition 2: full key, zero score, no positive competitor.
+    Contender,
+    /// Condition 3: complete, positive score, group winner.
+    Winner,
+    /// Negative score.
+    Rejected,
+    /// Zero score but a same-key row has a positive score.
+    Shadowed,
+    /// Positive score but a same-key row has a greater score, or loses the
+    /// deterministic tie-break, or is not complete.
+    Outscored,
+}
+
+impl ProbableStatus {
+    /// Whether this status makes the row probable.
+    pub fn is_probable(self) -> bool {
+        matches!(
+            self,
+            ProbableStatus::OpenKey | ProbableStatus::Contender | ProbableStatus::Winner
+        )
+    }
+}
+
+/// Per-key-group aggregates needed to classify rows.
+#[derive(Debug, Default, Clone)]
+struct KeyGroup {
+    /// Highest score among *complete* rows in the group.
+    best_complete_score: Option<i64>,
+    /// The complete row achieving `best_complete_score` (lowest id on ties).
+    best_complete_row: Option<RowId>,
+    /// Whether any row in the group (complete or not) has a positive score.
+    any_positive: bool,
+}
+
+/// Classifies every row of a candidate table.
+///
+/// A full recomputation is O(rows); the PRI maintainer calls it after each
+/// message and diffs the resulting set against its matcher (row values are
+/// immutable per id — Lemma 1 — so only set *membership* changes).
+pub fn classify_rows(
+    table: &CandidateTable,
+    schema: &Schema,
+    scoring: &dyn Scoring,
+) -> HashMap<RowId, ProbableStatus> {
+    let mut groups: HashMap<RowValue, KeyGroup> = HashMap::new();
+
+    // Pass 1: group aggregates over rows with a full key.
+    for (id, entry) in table.iter() {
+        let Some(key) = entry.value.key_projection(schema) else {
+            continue;
+        };
+        let score = scoring.score(entry.upvotes, entry.downvotes);
+        let group = groups.entry(key).or_default();
+        if score > 0 {
+            group.any_positive = true;
+        }
+        if entry.value.is_complete(schema) && score > 0 {
+            // Ascending-id iteration + strict `>` implements lowest-id ties.
+            if group.best_complete_score.is_none_or(|b| score > b) {
+                group.best_complete_score = Some(score);
+                group.best_complete_row = Some(id);
+            }
+        }
+    }
+
+    // Pass 2: classify.
+    let mut out = HashMap::with_capacity(table.len());
+    for (id, entry) in table.iter() {
+        let score = scoring.score(entry.upvotes, entry.downvotes);
+        let status = if score < 0 {
+            ProbableStatus::Rejected
+        } else {
+            match entry.value.key_projection(schema) {
+                None => {
+                    if score == 0 {
+                        ProbableStatus::OpenKey
+                    } else {
+                        // Positive score without a full key is impossible for
+                        // monotone scoring (incomplete rows can't be upvoted),
+                        // but classify defensively.
+                        ProbableStatus::Outscored
+                    }
+                }
+                Some(key) => {
+                    let group = &groups[&key];
+                    if score == 0 {
+                        if group.any_positive {
+                            ProbableStatus::Shadowed
+                        } else {
+                            ProbableStatus::Contender
+                        }
+                    } else if group.best_complete_row == Some(id) {
+                        ProbableStatus::Winner
+                    } else {
+                        ProbableStatus::Outscored
+                    }
+                }
+            }
+        };
+        out.insert(id, status);
+    }
+    out
+}
+
+/// The set of probable row ids, in deterministic (ascending) order.
+pub fn probable_rows(
+    table: &CandidateTable,
+    schema: &Schema,
+    scoring: &dyn Scoring,
+) -> BTreeSet<RowId> {
+    classify_rows(table, schema, scoring)
+        .into_iter()
+        .filter(|(_, s)| s.is_probable())
+        .map(|(id, _)| id)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowdfill_model::{ClientId, Column, ColumnId, DataType, QuorumMajority, RowEntry, Value};
+
+    fn schema() -> Schema {
+        Schema::new(
+            "T",
+            vec![
+                Column::new("name", DataType::Text),
+                Column::new("nat", DataType::Text),
+                Column::new("pos", DataType::Text),
+            ],
+            &["name", "nat"],
+        )
+        .unwrap()
+    }
+
+    fn rv(pairs: &[(u16, &str)]) -> RowValue {
+        RowValue::from_pairs(
+            pairs
+                .iter()
+                .map(|(c, v)| (ColumnId(*c), Value::text(*v))),
+        )
+    }
+
+    fn id(seq: u64) -> RowId {
+        RowId::new(ClientId(1), seq)
+    }
+
+    fn entry(v: RowValue, up: u32, down: u32) -> RowEntry {
+        RowEntry {
+            value: v,
+            upvotes: up,
+            downvotes: down,
+        }
+    }
+
+    fn classify(rows: Vec<(RowId, RowEntry)>) -> HashMap<RowId, ProbableStatus> {
+        let s = schema();
+        let mut t = CandidateTable::new();
+        for (i, e) in rows {
+            t.insert(i, e);
+        }
+        classify_rows(&t, &s, &QuorumMajority::of_three())
+    }
+
+    #[test]
+    fn empty_row_is_open_key() {
+        let c = classify(vec![(id(0), entry(RowValue::empty(), 0, 0))]);
+        assert_eq!(c[&id(0)], ProbableStatus::OpenKey);
+        assert!(c[&id(0)].is_probable());
+    }
+
+    #[test]
+    fn downvoted_incomplete_key_is_rejected() {
+        // Condition 1 requires a zero score.
+        let c = classify(vec![(id(0), entry(rv(&[(0, "A")]), 0, 2))]);
+        assert_eq!(c[&id(0)], ProbableStatus::Rejected);
+    }
+
+    #[test]
+    fn full_key_zero_score_is_contender() {
+        let c = classify(vec![(id(0), entry(rv(&[(0, "A"), (1, "X")]), 0, 0))]);
+        assert_eq!(c[&id(0)], ProbableStatus::Contender);
+    }
+
+    #[test]
+    fn contender_shadowed_by_positive_sibling() {
+        let partial = rv(&[(0, "A"), (1, "X")]);
+        let complete = rv(&[(0, "A"), (1, "X"), (2, "FW")]);
+        let c = classify(vec![
+            (id(0), entry(partial, 0, 0)),
+            (id(1), entry(complete, 2, 0)),
+        ]);
+        assert_eq!(c[&id(0)], ProbableStatus::Shadowed);
+        assert_eq!(c[&id(1)], ProbableStatus::Winner);
+    }
+
+    #[test]
+    fn winner_is_highest_score() {
+        let a = rv(&[(0, "A"), (1, "X"), (2, "FW")]);
+        let b = rv(&[(0, "A"), (1, "X"), (2, "MF")]);
+        let c = classify(vec![
+            (id(0), entry(a, 2, 1)), // score 1
+            (id(1), entry(b, 3, 0)), // score 3
+        ]);
+        assert_eq!(c[&id(0)], ProbableStatus::Outscored);
+        assert_eq!(c[&id(1)], ProbableStatus::Winner);
+    }
+
+    #[test]
+    fn tie_breaks_to_lowest_id() {
+        let a = rv(&[(0, "A"), (1, "X"), (2, "FW")]);
+        let b = rv(&[(0, "A"), (1, "X"), (2, "MF")]);
+        let c = classify(vec![
+            (id(7), entry(a, 2, 0)),
+            (id(3), entry(b, 2, 0)),
+        ]);
+        assert_eq!(c[&id(3)], ProbableStatus::Winner);
+        assert_eq!(c[&id(7)], ProbableStatus::Outscored);
+    }
+
+    #[test]
+    fn different_keys_do_not_interfere() {
+        let a = rv(&[(0, "A"), (1, "X"), (2, "FW")]);
+        let b = rv(&[(0, "B"), (1, "X"), (2, "MF")]);
+        let c = classify(vec![
+            (id(0), entry(a, 5, 0)),
+            (id(1), entry(b, 2, 0)),
+        ]);
+        assert_eq!(c[&id(0)], ProbableStatus::Winner);
+        assert_eq!(c[&id(1)], ProbableStatus::Winner);
+    }
+
+    #[test]
+    fn complete_zero_score_with_positive_sibling_not_probable() {
+        let a = rv(&[(0, "A"), (1, "X"), (2, "FW")]);
+        let b = rv(&[(0, "A"), (1, "X"), (2, "MF")]);
+        let c = classify(vec![
+            (id(0), entry(a, 1, 0)), // zero (below quorum)
+            (id(1), entry(b, 2, 0)), // positive
+        ]);
+        assert_eq!(c[&id(0)], ProbableStatus::Shadowed);
+        assert!(!c[&id(0)].is_probable());
+    }
+
+    #[test]
+    fn probable_rows_set_is_ordered() {
+        let mut t = CandidateTable::new();
+        t.insert(id(5), entry(RowValue::empty(), 0, 0));
+        t.insert(id(2), entry(RowValue::empty(), 0, 0));
+        let s = schema();
+        let p = probable_rows(&t, &s, &QuorumMajority::of_three());
+        let v: Vec<RowId> = p.into_iter().collect();
+        assert_eq!(v, vec![id(2), id(5)]);
+    }
+
+    /// The §4.3 walkthrough's starting point: all four rows probable.
+    #[test]
+    fn paper_4_3_initial_classification() {
+        let rows = vec![
+            (id(1), entry(rv(&[(0, "Neymar"), (1, "Brazil"), (2, "FW")]), 0, 0)),
+            (id(2), entry(rv(&[(0, "Ronaldinho"), (1, "Brazil"), (2, "FW")]), 0, 1)),
+            (id(3), entry(rv(&[(0, "Messi"), (1, "Spain"), (2, "FW")]), 0, 0)),
+            (id(4), entry(rv(&[(2, "FW")]), 0, 0)),
+        ];
+        let c = classify(rows);
+        // Row 2 has one downvote but score f(0,1)=0 — still probable.
+        for i in 1..=4 {
+            assert!(c[&id(i)].is_probable(), "row {i} should be probable");
+        }
+    }
+}

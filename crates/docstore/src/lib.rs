@@ -1,0 +1,23 @@
+//! # crowdfill-docstore
+//!
+//! A from-scratch document database substrate — the workspace's substitute
+//! for the MongoDB instance the CrowdFill paper's front-end server uses
+//! (§3.2) to hold task specifications, metadata, and collected results.
+//!
+//! * [`json`] — a self-contained JSON value model, parser, and canonical
+//!   serializer (also the wire format of `crowdfill-net` frames);
+//! * [`collection`] — id-keyed document collections with declarative
+//!   filters and unique/non-unique secondary indexes;
+//! * [`wal`] — a checksummed append-only log with torn-tail recovery and
+//!   compaction;
+//! * [`store`] — the multi-collection store tying them together.
+
+pub mod collection;
+pub mod json;
+pub mod store;
+pub mod wal;
+
+pub use collection::{Collection, Filter, StoreError};
+pub use json::{Json, JsonError};
+pub use store::DocStore;
+pub use wal::{crc32, Wal};

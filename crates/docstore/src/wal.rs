@@ -1,0 +1,288 @@
+//! A checksummed append-only write-ahead log.
+//!
+//! Every mutation to a [`crate::store::DocStore`] is appended as a framed
+//! record before being applied in memory; on open, the log is replayed to
+//! recover state. Frames are `[len: u32 BE][crc32: u32 BE][payload]`; replay
+//! stops cleanly at the first truncated or corrupt frame (a torn tail from a
+//! crash), discarding it and everything after.
+
+use std::fs::{File, OpenOptions};
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+
+/// CRC-32 (IEEE 802.3, reflected) with a lazily-built lookup table.
+pub fn crc32(data: &[u8]) -> u32 {
+    fn table() -> [u32; 256] {
+        let mut t = [0u32; 256];
+        let mut i = 0;
+        while i < 256 {
+            let mut c = i as u32;
+            let mut k = 0;
+            while k < 8 {
+                c = if c & 1 != 0 { 0xEDB88320 ^ (c >> 1) } else { c >> 1 };
+                k += 1;
+            }
+            t[i] = c;
+            i += 1;
+        }
+        t
+    }
+    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
+    let table = TABLE.get_or_init(table);
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc = table[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    crc ^ 0xFFFF_FFFF
+}
+
+/// An append-only log of byte records.
+#[derive(Debug)]
+pub struct Wal {
+    path: PathBuf,
+    writer: BufWriter<File>,
+}
+
+impl Wal {
+    /// Opens (creating if absent) the log at `path` and replays existing
+    /// records through `replay`. Truncated/corrupt tails are dropped from
+    /// the file so subsequent appends are clean.
+    pub fn open(
+        path: impl AsRef<Path>,
+        mut replay: impl FnMut(&[u8]),
+    ) -> std::io::Result<Wal> {
+        let path = path.as_ref().to_path_buf();
+        let mut valid_len: u64 = 0;
+        if path.exists() {
+            let mut reader = BufReader::new(File::open(&path)?);
+            loop {
+                let mut header = [0u8; 8];
+                match read_exact_or_eof(&mut reader, &mut header) {
+                    ReadResult::Eof => break,
+                    ReadResult::Partial => break, // torn header
+                    ReadResult::Full => {}
+                }
+                let len = u32::from_be_bytes(header[0..4].try_into().unwrap()) as usize;
+                let crc = u32::from_be_bytes(header[4..8].try_into().unwrap());
+                // Cap record size to defend against a corrupt length field.
+                if len > 1 << 30 {
+                    break;
+                }
+                let mut payload = vec![0u8; len];
+                match read_exact_or_eof(&mut reader, &mut payload) {
+                    ReadResult::Full => {}
+                    _ => break, // torn payload
+                }
+                if crc32(&payload) != crc {
+                    break; // corrupt record: stop replay here
+                }
+                replay(&payload);
+                valid_len += 8 + len as u64;
+            }
+        }
+        // Truncate any torn tail, then append from the end.
+        // Not `truncate(true)`: the valid prefix must survive; only the
+        // torn tail is dropped via `set_len` below.
+        let file = OpenOptions::new()
+            .create(true)
+            .truncate(false)
+            .read(true)
+            .write(true)
+            .open(&path)?;
+        file.set_len(valid_len)?;
+        let mut writer = BufWriter::new(file);
+        writer.seek_to_end()?;
+        Ok(Wal { path, writer })
+    }
+
+    /// Appends one record and flushes it to the OS.
+    pub fn append(&mut self, payload: &[u8]) -> std::io::Result<()> {
+        let len = (payload.len() as u32).to_be_bytes();
+        let crc = crc32(payload).to_be_bytes();
+        self.writer.write_all(&len)?;
+        self.writer.write_all(&crc)?;
+        self.writer.write_all(payload)?;
+        self.writer.flush()
+    }
+
+    /// Atomically replaces the log's contents with `records` (compaction):
+    /// writes a sibling temp file and renames it over the log.
+    pub fn compact<'a>(
+        &mut self,
+        records: impl Iterator<Item = &'a [u8]>,
+    ) -> std::io::Result<()> {
+        let tmp = self.path.with_extension("wal.tmp");
+        {
+            let mut w = BufWriter::new(File::create(&tmp)?);
+            for payload in records {
+                w.write_all(&(payload.len() as u32).to_be_bytes())?;
+                w.write_all(&crc32(payload).to_be_bytes())?;
+                w.write_all(payload)?;
+            }
+            w.flush()?;
+            w.get_ref().sync_all()?;
+        }
+        std::fs::rename(&tmp, &self.path)?;
+        let file = OpenOptions::new().read(true).write(true).open(&self.path)?;
+        let mut writer = BufWriter::new(file);
+        writer.seek_to_end()?;
+        self.writer = writer;
+        Ok(())
+    }
+
+    /// The log's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+trait SeekToEnd {
+    fn seek_to_end(&mut self) -> std::io::Result<()>;
+}
+
+impl SeekToEnd for BufWriter<File> {
+    fn seek_to_end(&mut self) -> std::io::Result<()> {
+        use std::io::Seek;
+        self.seek(std::io::SeekFrom::End(0)).map(|_| ())
+    }
+}
+
+enum ReadResult {
+    Full,
+    Partial,
+    Eof,
+}
+
+fn read_exact_or_eof(reader: &mut impl Read, buf: &mut [u8]) -> ReadResult {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match reader.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return if filled == 0 {
+                    ReadResult::Eof
+                } else {
+                    ReadResult::Partial
+                }
+            }
+            Ok(n) => filled += n,
+            Err(_) => return ReadResult::Partial,
+        }
+    }
+    ReadResult::Full
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_path(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!(
+            "crowdfill-wal-test-{}-{name}.wal",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn append_and_replay() {
+        let path = tmp_path("roundtrip");
+        {
+            let mut wal = Wal::open(&path, |_| panic!("fresh log has no records")).unwrap();
+            wal.append(b"alpha").unwrap();
+            wal.append(b"beta").unwrap();
+            wal.append(b"").unwrap(); // empty records are fine
+        }
+        let mut seen = Vec::new();
+        let _wal = Wal::open(&path, |rec| seen.push(rec.to_vec())).unwrap();
+        assert_eq!(seen, vec![b"alpha".to_vec(), b"beta".to_vec(), Vec::new()]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_discarded_and_overwritten() {
+        let path = tmp_path("torn");
+        {
+            let mut wal = Wal::open(&path, |_| {}).unwrap();
+            wal.append(b"good").unwrap();
+        }
+        // Simulate a crash mid-append: garbage half-frame at the end.
+        {
+            use std::io::Write;
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(&[0, 0, 0, 99, 1, 2]).unwrap(); // truncated header+payload
+        }
+        let mut seen = Vec::new();
+        {
+            let mut wal = Wal::open(&path, |rec| seen.push(rec.to_vec())).unwrap();
+            assert_eq!(seen, vec![b"good".to_vec()]);
+            wal.append(b"after-recovery").unwrap();
+        }
+        let mut seen2 = Vec::new();
+        let _ = Wal::open(&path, |rec| seen2.push(rec.to_vec())).unwrap();
+        assert_eq!(seen2, vec![b"good".to_vec(), b"after-recovery".to_vec()]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corrupt_record_stops_replay() {
+        let path = tmp_path("corrupt");
+        {
+            let mut wal = Wal::open(&path, |_| {}).unwrap();
+            wal.append(b"first").unwrap();
+            wal.append(b"second").unwrap();
+        }
+        // Flip a byte inside the second record's payload.
+        {
+            let mut bytes = std::fs::read(&path).unwrap();
+            let last = bytes.len() - 1;
+            bytes[last] ^= 0xFF;
+            std::fs::write(&path, bytes).unwrap();
+        }
+        let mut seen = Vec::new();
+        let _ = Wal::open(&path, |rec| seen.push(rec.to_vec())).unwrap();
+        assert_eq!(seen, vec![b"first".to_vec()]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn compaction_rewrites_log() {
+        let path = tmp_path("compact");
+        {
+            let mut wal = Wal::open(&path, |_| {}).unwrap();
+            for i in 0..10u8 {
+                wal.append(&[i]).unwrap();
+            }
+            let keep: Vec<Vec<u8>> = vec![vec![42], vec![43]];
+            wal.compact(keep.iter().map(Vec::as_slice)).unwrap();
+            wal.append(&[44]).unwrap();
+        }
+        let mut seen = Vec::new();
+        let _ = Wal::open(&path, |rec| seen.push(rec.to_vec())).unwrap();
+        assert_eq!(seen, vec![vec![42], vec![43], vec![44]]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn oversized_length_field_rejected() {
+        let path = tmp_path("oversize");
+        {
+            use std::io::Write;
+            let mut f = File::create(&path).unwrap();
+            f.write_all(&u32::MAX.to_be_bytes()).unwrap();
+            f.write_all(&[0u8; 4]).unwrap();
+        }
+        let mut seen = 0;
+        let _ = Wal::open(&path, |_| seen += 1).unwrap();
+        assert_eq!(seen, 0);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -1,0 +1,105 @@
+//! Property tests: the incremental matcher always reaches the same maximum
+//! matching *size* as the independent Hopcroft–Karp solver, across random
+//! graphs and random mutation sequences.
+
+use crowdfill_matching::{hopcroft_karp, max_matching_size, IncrementalMatcher};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+#[derive(Debug, Clone)]
+enum Mutation {
+    AddEdge(u8, u8),
+    RemoveEdge(u8, u8),
+    RemoveLeft(u8),
+    RemoveRight(u8),
+}
+
+fn mutation_strategy() -> impl Strategy<Value = Mutation> {
+    prop_oneof![
+        5 => (0u8..10, 0u8..10).prop_map(|(l, r)| Mutation::AddEdge(l, r)),
+        2 => (0u8..10, 0u8..10).prop_map(|(l, r)| Mutation::RemoveEdge(l, r)),
+        1 => (0u8..10).prop_map(Mutation::RemoveLeft),
+        1 => (0u8..10).prop_map(Mutation::RemoveRight),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// After any mutation sequence + repair, the incremental matching size
+    /// equals the oracle's maximum on the surviving graph.
+    #[test]
+    fn incremental_matches_oracle(muts in proptest::collection::vec(mutation_strategy(), 1..60)) {
+        let mut m: IncrementalMatcher<u8, u8> = IncrementalMatcher::new();
+        let mut edges: HashSet<(u8, u8)> = HashSet::new();
+        for mu in &muts {
+            match *mu {
+                Mutation::AddEdge(l, r) => {
+                    m.add_edge(l, r);
+                    edges.insert((l, r));
+                }
+                Mutation::RemoveEdge(l, r) => {
+                    m.remove_edge(&l, &r);
+                    edges.remove(&(l, r));
+                }
+                Mutation::RemoveLeft(l) => {
+                    m.remove_left(&l);
+                    edges.retain(|&(el, _)| el != l);
+                }
+                Mutation::RemoveRight(r) => {
+                    m.remove_right(&r);
+                    edges.retain(|&(_, er)| er != r);
+                }
+            }
+            m.repair();
+            prop_assert!(m.check_consistency());
+
+            // Oracle over the same edge set (dense-index the survivors).
+            let mut adj = vec![Vec::new(); 10];
+            for &(l, r) in &edges {
+                adj[l as usize].push(r as usize);
+            }
+            let oracle = max_matching_size(&adj, 10);
+            prop_assert_eq!(m.matching_size(), oracle);
+        }
+    }
+
+    /// Hopcroft–Karp returns an injective matching using only real edges.
+    #[test]
+    fn hopcroft_karp_is_valid(
+        edges in proptest::collection::hash_set((0usize..12, 0usize..12), 0..50)
+    ) {
+        let mut adj = vec![Vec::new(); 12];
+        for &(l, r) in &edges {
+            adj[l].push(r);
+        }
+        let m = hopcroft_karp(&adj, 12);
+        let mut used = HashSet::new();
+        for (l, r) in m.iter().enumerate() {
+            if let Some(r) = r {
+                prop_assert!(adj[l].contains(r));
+                prop_assert!(used.insert(*r));
+            }
+        }
+    }
+
+    /// Maximality: no single free-left/free-right edge remains unmatched.
+    #[test]
+    fn hopcroft_karp_is_maximal(
+        edges in proptest::collection::hash_set((0usize..10, 0usize..10), 0..40)
+    ) {
+        let mut adj = vec![Vec::new(); 10];
+        for &(l, r) in &edges {
+            adj[l].push(r);
+        }
+        let m = hopcroft_karp(&adj, 10);
+        let used_rights: HashSet<usize> = m.iter().flatten().copied().collect();
+        for (l, r) in &edges {
+            // An augmenting path of length 1 would contradict maximality.
+            prop_assert!(
+                m[*l].is_some() || used_rights.contains(r),
+                "edge ({l},{r}) joins two free vertices"
+            );
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Error types for the CrowdFill model.
+
+use crate::schema::ColumnId;
+use crate::value::DataType;
+use std::fmt;
+
+/// Errors raised while building schemas or validating values against them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// A schema must have at least one column.
+    EmptySchema,
+    /// Column count exceeds the `u16` id space.
+    TooManyColumns,
+    /// Two columns (or key references) share a name.
+    DuplicateColumn(String),
+    /// A key column name that is not in the schema.
+    UnknownColumn(String),
+    /// A `ColumnId` outside the schema.
+    ColumnOutOfRange(ColumnId),
+    /// A value whose type does not match the column's declared type.
+    TypeMismatch { expected: DataType, found: DataType },
+    /// A value outside a column's declared domain.
+    DomainViolation { column: String, value: String },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::EmptySchema => write!(f, "schema must have at least one column"),
+            ModelError::TooManyColumns => write!(f, "schema exceeds 65535 columns"),
+            ModelError::DuplicateColumn(name) => write!(f, "duplicate column {name:?}"),
+            ModelError::UnknownColumn(name) => write!(f, "unknown column {name:?}"),
+            ModelError::ColumnOutOfRange(c) => write!(f, "{c} is out of range for this schema"),
+            ModelError::TypeMismatch { expected, found } => {
+                write!(f, "type mismatch: expected {expected}, found {found}")
+            }
+            ModelError::DomainViolation { column, value } => {
+                write!(f, "value {value:?} not in domain of column {column:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+/// Errors raised when validating or applying primitive operations
+/// (paper §2.2) against a candidate table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OpError {
+    /// The target row id does not exist in this copy of the table.
+    ///
+    /// Under concurrency this is an expected, benign outcome (the row was
+    /// replaced by another worker first); callers typically drop the action.
+    UnknownRow,
+    /// `fill` targeted a column that already has a value in that row.
+    ColumnAlreadyFilled(ColumnId),
+    /// `upvote` requires a complete row.
+    RowNotComplete,
+    /// `downvote` requires a partial row (at least one value).
+    RowEmpty,
+    /// The filled value failed schema validation.
+    Invalid(ModelError),
+    /// An undo with no matching recorded vote on this replica.
+    NothingToUndo,
+}
+
+impl fmt::Display for OpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OpError::UnknownRow => write!(f, "row does not exist in this table copy"),
+            OpError::ColumnAlreadyFilled(c) => write!(f, "{c} is already filled in this row"),
+            OpError::RowNotComplete => write!(f, "upvote requires a complete row"),
+            OpError::RowEmpty => write!(f, "downvote requires a partial (non-empty) row"),
+            OpError::Invalid(e) => write!(f, "invalid value: {e}"),
+            OpError::NothingToUndo => write!(f, "no matching vote to undo"),
+        }
+    }
+}
+
+impl std::error::Error for OpError {}
+
+impl From<ModelError> for OpError {
+    fn from(e: ModelError) -> OpError {
+        OpError::Invalid(e)
+    }
+}

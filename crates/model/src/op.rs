@@ -1,0 +1,257 @@
+//! Primitive operations and messages (paper §2.2 and §2.4).
+//!
+//! Workers (and the Central Client) modify their local copy of the candidate
+//! table through four primitive [`Operation`]s. Each locally-applied
+//! operation generates a [`Message`] that is sent to the server, applied to
+//! the master table, and forwarded to every other client. The crucial design
+//! point (paper §2.4.1) is that `fill` does **not** mutate a row in place: it
+//! *replaces* the row with a freshly-identified copy, which is what makes
+//! concurrent fills merge without destructive conflicts.
+
+use crate::row::{RowId, RowValue};
+use crate::schema::ColumnId;
+use crate::value::Value;
+use std::fmt;
+
+/// A primitive operation performed against a local copy of the table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Operation {
+    /// Insert a new empty row. Issued only by the system (Central Client);
+    /// worker clients never generate inserts (paper §3.4).
+    Insert,
+    /// Fill empty column `column` of row `row` with `value`.
+    Fill {
+        row: RowId,
+        column: ColumnId,
+        value: Value,
+    },
+    /// Upvote a complete row.
+    Upvote { row: RowId },
+    /// Downvote a partial row.
+    Downvote { row: RowId },
+    /// Retract one of this worker's earlier upvotes on a complete row
+    /// (paper §8 "undo", implemented here). The session layer ensures the
+    /// worker actually cast the vote being undone.
+    UndoUpvote { row: RowId },
+    /// Retract one of this worker's earlier downvotes on a partial row.
+    UndoDownvote { row: RowId },
+}
+
+impl Operation {
+    /// Convenience constructor for fills.
+    pub fn fill(row: RowId, column: ColumnId, value: impl Into<Value>) -> Operation {
+        Operation::Fill {
+            row,
+            column,
+            value: value.into(),
+        }
+    }
+}
+
+impl fmt::Display for Operation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operation::Insert => write!(f, "insert()"),
+            Operation::Fill { row, column, value } => {
+                write!(f, "fill({row}, {column}, {value})")
+            }
+            Operation::Upvote { row } => write!(f, "upvote({row})"),
+            Operation::Downvote { row } => write!(f, "downvote({row})"),
+            Operation::UndoUpvote { row } => write!(f, "undo_upvote({row})"),
+            Operation::UndoDownvote { row } => write!(f, "undo_downvote({row})"),
+        }
+    }
+}
+
+/// A message propagated between clients and the server (paper §2.4).
+///
+/// Note the asymmetry with [`Operation`]: a `fill` becomes a `Replace`
+/// carrying the *entire new row value*, and votes carry the voted *value
+/// vector* rather than a row id. This is exactly what lets replicas process
+/// messages in different (per-link-FIFO) orders and still converge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Message {
+    /// `insert(r)`: insert a new empty row `r`.
+    Insert { row: RowId },
+    /// `replace(r, q, q̄)`: delete row `r` (if present) and insert row `q`
+    /// with value `q̄`.
+    Replace {
+        old: RowId,
+        new: RowId,
+        value: RowValue,
+    },
+    /// `upvote(v̄)`: increment the upvote count of every row whose value
+    /// equals `v̄`, and record it in the upvote history.
+    Upvote { value: RowValue },
+    /// `downvote(v̄)`: increment the downvote count of every row whose value
+    /// subsumes `v̄`, and record it in the downvote history.
+    Downvote { value: RowValue },
+    /// `undo_upvote(v̄)`: decrement the upvote count of every row whose
+    /// value equals `v̄`, and decrement the upvote history.
+    ///
+    /// Convergence requires the *own-votes-only* discipline: a client may
+    /// only retract votes it cast itself. Then each client's votes and
+    /// undos on a value travel the same FIFO link in order, so every
+    /// replica prefix satisfies `#undos ≤ #votes` per value and the
+    /// decrement never bottoms out. (Cross-client undos can make different
+    /// replicas hit the zero floor at different messages and diverge —
+    /// both the worker client and the server enforce the discipline, and
+    /// replicas additionally guard the decrement defensively.)
+    UndoUpvote { value: RowValue },
+    /// `undo_downvote(v̄)`: decrement the downvote count of every row whose
+    /// value subsumes `v̄`, and decrement the downvote history.
+    UndoDownvote { value: RowValue },
+}
+
+impl Message {
+    /// For a `Replace`, the column the generating `fill` added, recovered by
+    /// comparing the new value against `old_value` (the replaced row's value).
+    pub fn filled_column(&self, old_value: &RowValue) -> Option<ColumnId> {
+        match self {
+            Message::Replace { value, .. } => old_value.added_column(value),
+            _ => None,
+        }
+    }
+
+    /// The row id this message creates, if any.
+    pub fn creates_row(&self) -> Option<RowId> {
+        match self {
+            Message::Insert { row } => Some(*row),
+            Message::Replace { new, .. } => Some(*new),
+            _ => None,
+        }
+    }
+
+    /// The row id this message deletes, if any.
+    pub fn deletes_row(&self) -> Option<RowId> {
+        match self {
+            Message::Replace { old, .. } => Some(*old),
+            _ => None,
+        }
+    }
+
+    /// Short tag for traces and metrics.
+    pub fn kind(&self) -> MessageKind {
+        match self {
+            Message::Insert { .. } => MessageKind::Insert,
+            Message::Replace { .. } => MessageKind::Replace,
+            Message::Upvote { .. } => MessageKind::Upvote,
+            Message::Downvote { .. } => MessageKind::Downvote,
+            Message::UndoUpvote { .. } => MessageKind::UndoUpvote,
+            Message::UndoDownvote { .. } => MessageKind::UndoDownvote,
+        }
+    }
+}
+
+impl fmt::Display for Message {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Message::Insert { row } => write!(f, "insert({row})"),
+            Message::Replace { old, new, value } => {
+                write!(f, "replace({old}, {new}, {{{} cells}})", value.len())
+            }
+            Message::Upvote { value } => write!(f, "upvote({{{} cells}})", value.len()),
+            Message::Downvote { value } => write!(f, "downvote({{{} cells}})", value.len()),
+            Message::UndoUpvote { value } => write!(f, "undo_upvote({{{} cells}})", value.len()),
+            Message::UndoDownvote { value } => {
+                write!(f, "undo_downvote({{{} cells}})", value.len())
+            }
+        }
+    }
+}
+
+/// The four message types, as a lightweight tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MessageKind {
+    Insert,
+    Replace,
+    Upvote,
+    Downvote,
+    UndoUpvote,
+    UndoDownvote,
+}
+
+impl fmt::Display for MessageKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            MessageKind::Insert => "insert",
+            MessageKind::Replace => "replace",
+            MessageKind::Upvote => "upvote",
+            MessageKind::Downvote => "downvote",
+            MessageKind::UndoUpvote => "undo_upvote",
+            MessageKind::UndoDownvote => "undo_downvote",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row::ClientId;
+
+    fn id(seq: u64) -> RowId {
+        RowId::new(ClientId(1), seq)
+    }
+
+    #[test]
+    fn filled_column_recovery() {
+        let old = RowValue::from_pairs([(ColumnId(0), Value::text("Messi"))]);
+        let new = old.with(ColumnId(3), Value::int(83));
+        let m = Message::Replace {
+            old: id(0),
+            new: id(1),
+            value: new,
+        };
+        assert_eq!(m.filled_column(&old), Some(ColumnId(3)));
+        // Wrong predecessor value: not recoverable.
+        let unrelated = RowValue::from_pairs([(ColumnId(1), Value::text("Brazil"))]);
+        assert_eq!(m.filled_column(&unrelated), None);
+        // Non-replace messages never report a filled column.
+        let up = Message::Upvote {
+            value: RowValue::empty(),
+        };
+        assert_eq!(up.filled_column(&old), None);
+    }
+
+    #[test]
+    fn creates_and_deletes() {
+        let ins = Message::Insert { row: id(0) };
+        assert_eq!(ins.creates_row(), Some(id(0)));
+        assert_eq!(ins.deletes_row(), None);
+
+        let rep = Message::Replace {
+            old: id(0),
+            new: id(1),
+            value: RowValue::empty(),
+        };
+        assert_eq!(rep.creates_row(), Some(id(1)));
+        assert_eq!(rep.deletes_row(), Some(id(0)));
+
+        let dv = Message::Downvote {
+            value: RowValue::empty(),
+        };
+        assert_eq!(dv.creates_row(), None);
+        assert_eq!(dv.deletes_row(), None);
+    }
+
+    #[test]
+    fn kinds() {
+        assert_eq!(Message::Insert { row: id(0) }.kind(), MessageKind::Insert);
+        assert_eq!(
+            Message::Upvote {
+                value: RowValue::empty()
+            }
+            .kind(),
+            MessageKind::Upvote
+        );
+        assert_eq!(MessageKind::Replace.to_string(), "replace");
+    }
+
+    #[test]
+    fn operation_display() {
+        let op = Operation::fill(id(2), ColumnId(1), "Brazil");
+        assert_eq!(op.to_string(), "fill(r1.2, col#1, Brazil)");
+        assert_eq!(Operation::Insert.to_string(), "insert()");
+    }
+}

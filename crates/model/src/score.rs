@@ -1,0 +1,271 @@
+//! Scoring functions (paper §2.1).
+//!
+//! To aggregate votes, the CrowdFill user provides a scoring function
+//! `f(u, d)` over a row's upvote count `u` and downvote count `d`:
+//!
+//! * positive score — the row is acceptable;
+//! * negative score — the row is not acceptable;
+//! * zero score — more votes are needed.
+//!
+//! The model requires `f(0, 0) = 0`, monotonic increase in `u`, and monotonic
+//! decrease in `d`. [`validate`] probes these requirements over a grid, which
+//! is how user-supplied closures are vetted at task-creation time.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// A vote-aggregation scoring function.
+pub trait Scoring: Send + Sync {
+    /// Computes the score of a row with `u` upvotes and `d` downvotes.
+    fn score(&self, u: u32, d: u32) -> i64;
+
+    /// A short human-readable name, used in task specs and reports.
+    fn name(&self) -> &str {
+        "custom"
+    }
+
+    /// The smallest upvote count `u` with `f(u, 0) > 0`, i.e. the number of
+    /// endorsements an uncontested row needs to enter the final table. Used by
+    /// the compensation estimator (paper §5.3: `u_min`). Returns `None` if no
+    /// `u ≤ 1000` achieves a positive score.
+    fn min_upvotes(&self) -> Option<u32> {
+        (1..=1000).find(|&u| self.score(u, 0) > 0)
+    }
+}
+
+/// The paper's default scoring function: `f(u, d) = u − d`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Difference;
+
+impl Scoring for Difference {
+    fn score(&self, u: u32, d: u32) -> i64 {
+        i64::from(u) - i64::from(d)
+    }
+    fn name(&self) -> &str {
+        "difference"
+    }
+}
+
+/// The running example's scoring function: a "majority of `quorum` or more"
+/// voting scheme with short-cutting (paper §2.1 uses `quorum = 2`, yielding
+/// majority-of-three-or-more):
+///
+/// ```text
+/// f(u, d) = u − d   if u + d ≥ quorum
+///           0       otherwise
+/// ```
+///
+/// Note: for `quorum ≥ 3` this family violates the model's monotonicity
+/// requirement at the activation boundary — e.g. with `quorum = 3`,
+/// `f(0, 2) = 0` but `f(1, 2) = −1`, so adding an *upvote* lowered the
+/// score. [`validate`] detects this; the paper's instance (`quorum = 2`)
+/// is monotone.
+#[derive(Debug, Clone, Copy)]
+pub struct QuorumMajority {
+    quorum: u32,
+}
+
+impl QuorumMajority {
+    /// A majority scheme that activates once `quorum` votes are cast.
+    pub fn new(quorum: u32) -> QuorumMajority {
+        QuorumMajority { quorum }
+    }
+
+    /// The paper's running-example instance (`quorum = 2`).
+    pub fn of_three() -> QuorumMajority {
+        QuorumMajority { quorum: 2 }
+    }
+}
+
+impl Scoring for QuorumMajority {
+    fn score(&self, u: u32, d: u32) -> i64 {
+        if u + d >= self.quorum {
+            i64::from(u) - i64::from(d)
+        } else {
+            0
+        }
+    }
+    fn name(&self) -> &str {
+        "quorum-majority"
+    }
+}
+
+/// Adapts an arbitrary closure into a [`Scoring`]. Use [`validate`] before
+/// trusting user-supplied functions.
+pub struct FnScoring<F> {
+    f: F,
+    name: String,
+}
+
+impl<F: Fn(u32, u32) -> i64 + Send + Sync> FnScoring<F> {
+    pub fn new(name: impl Into<String>, f: F) -> FnScoring<F> {
+        FnScoring {
+            f,
+            name: name.into(),
+        }
+    }
+}
+
+impl<F: Fn(u32, u32) -> i64 + Send + Sync> Scoring for FnScoring<F> {
+    fn score(&self, u: u32, d: u32) -> i64 {
+        (self.f)(u, d)
+    }
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// Shared handle to a scoring function; cloned into every replica.
+pub type ScoringRef = Arc<dyn Scoring>;
+
+/// Ways a scoring function can violate the model's requirements.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScoringViolation {
+    /// `f(0, 0) ≠ 0`.
+    NonZeroOrigin(i64),
+    /// Found `u1 ≤ u2` with `f(u1, d) > f(u2, d)`.
+    NotMonotoneInUpvotes { u: u32, d: u32 },
+    /// Found `d1 ≤ d2` with `f(u, d1) < f(u, d2)`.
+    NotMonotoneInDownvotes { u: u32, d: u32 },
+}
+
+impl fmt::Display for ScoringViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScoringViolation::NonZeroOrigin(v) => write!(f, "f(0,0) = {v}, expected 0"),
+            ScoringViolation::NotMonotoneInUpvotes { u, d } => {
+                write!(f, "f({u},{d}) > f({},{d}): not increasing in upvotes", u + 1)
+            }
+            ScoringViolation::NotMonotoneInDownvotes { u, d } => {
+                write!(f, "f({u},{d}) < f({u},{}): not decreasing in downvotes", d + 1)
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScoringViolation {}
+
+/// Probes `f` over `0..=limit` votes in each dimension, checking the model's
+/// three requirements. Adjacent-pair checks suffice for monotonicity on the
+/// probed grid.
+pub fn validate(f: &dyn Scoring, limit: u32) -> Result<(), ScoringViolation> {
+    let origin = f.score(0, 0);
+    if origin != 0 {
+        return Err(ScoringViolation::NonZeroOrigin(origin));
+    }
+    for d in 0..=limit {
+        for u in 0..limit {
+            if f.score(u, d) > f.score(u + 1, d) {
+                return Err(ScoringViolation::NotMonotoneInUpvotes { u, d });
+            }
+        }
+    }
+    for u in 0..=limit {
+        for d in 0..limit {
+            if f.score(u, d) < f.score(u, d + 1) {
+                return Err(ScoringViolation::NotMonotoneInDownvotes { u, d });
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn difference_matches_paper_default() {
+        let f = Difference;
+        assert_eq!(f.score(0, 0), 0);
+        assert_eq!(f.score(3, 1), 2);
+        assert_eq!(f.score(1, 3), -2);
+        assert_eq!(f.min_upvotes(), Some(1));
+    }
+
+    #[test]
+    fn quorum_majority_matches_running_example() {
+        // Paper: f(u,d) = u−d if u+d ≥ 2, else 0.
+        let f = QuorumMajority::of_three();
+        assert_eq!(f.score(0, 0), 0);
+        assert_eq!(f.score(1, 0), 0); // below quorum: needs more votes
+        assert_eq!(f.score(2, 0), 2);
+        assert_eq!(f.score(2, 1), 1);
+        assert_eq!(f.score(1, 1), 0);
+        assert_eq!(f.score(0, 2), -2);
+        assert_eq!(f.score(3, 0), 3);
+        assert_eq!(f.min_upvotes(), Some(2));
+    }
+
+    #[test]
+    fn paper_candidate_table_scores() {
+        // Spot-check the §2.2 example: Beckham 1↑ 0↓ ⇒ 0 (needs more votes),
+        // Ronaldinho-MF 3↑ 0↓ ⇒ 3, Ronaldinho-FW 2↑ 1↓ ⇒ 1, Neymar 0↑ 1↓ ⇒ 0.
+        let f = QuorumMajority::of_three();
+        assert_eq!(f.score(1, 0), 0);
+        assert_eq!(f.score(3, 0), 3);
+        assert_eq!(f.score(2, 1), 1);
+        assert_eq!(f.score(0, 1), 0);
+    }
+
+    #[test]
+    fn validate_accepts_builtins() {
+        assert!(validate(&Difference, 16).is_ok());
+        assert!(validate(&QuorumMajority::of_three(), 16).is_ok());
+    }
+
+    #[test]
+    fn quorum_above_two_breaks_monotonicity() {
+        // f(0,2)=0 but f(1,2)=-1: an extra upvote lowers the score. The
+        // validator must catch this family of subtle scoring bugs.
+        assert!(matches!(
+            validate(&QuorumMajority::new(3), 16),
+            Err(ScoringViolation::NotMonotoneInUpvotes { .. })
+        ));
+        assert!(validate(&QuorumMajority::new(5), 16).is_err());
+    }
+
+    #[test]
+    fn validate_rejects_nonzero_origin() {
+        let f = FnScoring::new("bad", |_, _| 1);
+        assert_eq!(validate(&f, 4), Err(ScoringViolation::NonZeroOrigin(1)));
+    }
+
+    #[test]
+    fn validate_rejects_decreasing_in_upvotes() {
+        let f = FnScoring::new("bad", |u, d| i64::from(d) - i64::from(u));
+        assert!(matches!(
+            validate(&f, 4),
+            Err(ScoringViolation::NotMonotoneInUpvotes { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_increasing_in_downvotes() {
+        let f = FnScoring::new("bad", |u, d| i64::from(u) + i64::from(d) * i64::from(u));
+        assert!(matches!(
+            validate(&f, 4),
+            Err(ScoringViolation::NotMonotoneInDownvotes { .. })
+        ));
+    }
+
+    #[test]
+    fn fn_scoring_wraps_closures() {
+        let f = FnScoring::new("strict", |u: u32, d: u32| {
+            if d > 0 {
+                -i64::from(d)
+            } else {
+                i64::from(u)
+            }
+        });
+        assert!(validate(&f, 8).is_ok());
+        assert_eq!(f.name(), "strict");
+        assert_eq!(f.min_upvotes(), Some(1));
+    }
+
+    #[test]
+    fn min_upvotes_none_when_never_positive() {
+        let f = FnScoring::new("flat", |_, _| 0);
+        assert_eq!(f.min_upvotes(), None);
+    }
+}

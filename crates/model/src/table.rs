@@ -1,0 +1,259 @@
+//! The candidate table (paper §2.2).
+//!
+//! A candidate table is a set of rows, each annotated with upvote and
+//! downvote counts. This type is purely the *state*: mutation happens through
+//! the synchronization layer (`crowdfill-sync`), which applies the paper's
+//! primitive operations and messages. The methods here are the queries every
+//! layer needs — lookup, completeness, vote bumps, and derivation input.
+
+use crate::row::{RowId, RowValue};
+use crate::schema::Schema;
+use std::collections::BTreeMap;
+
+/// One row of a candidate table: its value plus vote counts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RowEntry {
+    pub value: RowValue,
+    pub upvotes: u32,
+    pub downvotes: u32,
+}
+
+impl RowEntry {
+    /// A fresh row with the given value and zero votes.
+    pub fn new(value: RowValue) -> RowEntry {
+        RowEntry {
+            value,
+            upvotes: 0,
+            downvotes: 0,
+        }
+    }
+}
+
+/// A candidate table: rows keyed by their globally-unique identifiers.
+///
+/// Iteration order is ascending [`RowId`], which makes every derived artifact
+/// (final tables, probable-row tie-breaking, displays) deterministic across
+/// replicas — a property the convergence tests rely on.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CandidateTable {
+    rows: BTreeMap<RowId, RowEntry>,
+}
+
+impl CandidateTable {
+    /// An empty candidate table.
+    pub fn new() -> CandidateTable {
+        CandidateTable::default()
+    }
+
+    /// Number of rows (empty, partial, and complete alike).
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no rows at all.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Whether a row with this id exists.
+    pub fn contains(&self, id: RowId) -> bool {
+        self.rows.contains_key(&id)
+    }
+
+    /// The row entry for `id`, if present.
+    pub fn get(&self, id: RowId) -> Option<&RowEntry> {
+        self.rows.get(&id)
+    }
+
+    /// Inserts a row entry; replaces any existing row with the same id.
+    /// (In well-formed executions ids are never reused; debug builds assert.)
+    pub fn insert(&mut self, id: RowId, entry: RowEntry) {
+        let prev = self.rows.insert(id, entry);
+        debug_assert!(prev.is_none(), "row id {id} reused");
+    }
+
+    /// Removes a row, returning it if present.
+    pub fn remove(&mut self, id: RowId) -> Option<RowEntry> {
+        self.rows.remove(&id)
+    }
+
+    /// Iterates rows in ascending id order.
+    pub fn iter(&self) -> impl Iterator<Item = (RowId, &RowEntry)> {
+        self.rows.iter().map(|(id, e)| (*id, e))
+    }
+
+    /// All row ids in ascending order.
+    pub fn row_ids(&self) -> impl Iterator<Item = RowId> + '_ {
+        self.rows.keys().copied()
+    }
+
+    /// Increments the upvote count of every row whose value equals `v`
+    /// (the paper's `upvote` semantics). Returns how many rows matched.
+    pub fn upvote_matching(&mut self, v: &RowValue) -> usize {
+        let mut n = 0;
+        for e in self.rows.values_mut() {
+            if e.value == *v {
+                e.upvotes += 1;
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// Increments the downvote count of every row whose value subsumes `v`
+    /// (the paper's `downvote` semantics: `q ⊇ r`). Returns matches.
+    pub fn downvote_subsuming(&mut self, v: &RowValue) -> usize {
+        let mut n = 0;
+        for e in self.rows.values_mut() {
+            if e.value.subsumes(v) {
+                e.downvotes += 1;
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// Decrements the upvote count of every row whose value equals `v`
+    /// (undo semantics; saturating as a defensive measure — policy-compliant
+    /// executions never underflow). Returns how many rows matched.
+    pub fn undo_upvote_matching(&mut self, v: &RowValue) -> usize {
+        let mut n = 0;
+        for e in self.rows.values_mut() {
+            if e.value == *v {
+                debug_assert!(e.upvotes > 0, "undo without a matching upvote");
+                e.upvotes = e.upvotes.saturating_sub(1);
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// Decrements the downvote count of every row whose value subsumes `v`
+    /// (undo semantics; saturating). Returns matches.
+    pub fn undo_downvote_subsuming(&mut self, v: &RowValue) -> usize {
+        let mut n = 0;
+        for e in self.rows.values_mut() {
+            if e.value.subsumes(v) {
+                debug_assert!(e.downvotes > 0, "undo without a matching downvote");
+                e.downvotes = e.downvotes.saturating_sub(1);
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// Count of rows that are complete under `schema`.
+    pub fn complete_count(&self, schema: &Schema) -> usize {
+        self.rows
+            .values()
+            .filter(|e| e.value.is_complete(schema))
+            .count()
+    }
+
+    /// Count of empty rows.
+    pub fn empty_count(&self) -> usize {
+        self.rows.values().filter(|e| e.value.is_empty()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row::ClientId;
+    use crate::schema::{Column, ColumnId};
+    use crate::value::{DataType, Value};
+
+    fn schema() -> Schema {
+        Schema::new(
+            "T",
+            vec![
+                Column::new("a", DataType::Text),
+                Column::new("b", DataType::Int),
+            ],
+            &["a"],
+        )
+        .unwrap()
+    }
+
+    fn id(seq: u64) -> RowId {
+        RowId::new(ClientId(1), seq)
+    }
+
+    fn rv(pairs: &[(u16, Value)]) -> RowValue {
+        RowValue::from_pairs(pairs.iter().map(|(c, v)| (ColumnId(*c), v.clone())))
+    }
+
+    #[test]
+    fn insert_get_remove() {
+        let mut t = CandidateTable::new();
+        assert!(t.is_empty());
+        t.insert(id(0), RowEntry::new(RowValue::empty()));
+        assert_eq!(t.len(), 1);
+        assert!(t.contains(id(0)));
+        assert!(t.get(id(0)).unwrap().value.is_empty());
+        assert!(t.remove(id(0)).is_some());
+        assert!(t.remove(id(0)).is_none());
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn upvote_hits_equal_values_only() {
+        let mut t = CandidateTable::new();
+        let v = rv(&[(0, Value::text("x")), (1, Value::int(1))]);
+        t.insert(id(0), RowEntry::new(v.clone()));
+        t.insert(id(1), RowEntry::new(v.clone())); // duplicate value, different id
+        t.insert(id(2), RowEntry::new(rv(&[(0, Value::text("x"))])));
+        assert_eq!(t.upvote_matching(&v), 2);
+        assert_eq!(t.get(id(0)).unwrap().upvotes, 1);
+        assert_eq!(t.get(id(1)).unwrap().upvotes, 1);
+        assert_eq!(t.get(id(2)).unwrap().upvotes, 0);
+    }
+
+    #[test]
+    fn downvote_hits_supersets() {
+        let mut t = CandidateTable::new();
+        let partial = rv(&[(0, Value::text("x"))]);
+        let full = rv(&[(0, Value::text("x")), (1, Value::int(1))]);
+        let other = rv(&[(0, Value::text("y")), (1, Value::int(1))]);
+        t.insert(id(0), RowEntry::new(partial.clone()));
+        t.insert(id(1), RowEntry::new(full));
+        t.insert(id(2), RowEntry::new(other));
+        // Downvoting the partial value hits both it and its superset.
+        assert_eq!(t.downvote_subsuming(&partial), 2);
+        assert_eq!(t.get(id(0)).unwrap().downvotes, 1);
+        assert_eq!(t.get(id(1)).unwrap().downvotes, 1);
+        assert_eq!(t.get(id(2)).unwrap().downvotes, 0);
+    }
+
+    #[test]
+    fn counts() {
+        let s = schema();
+        let mut t = CandidateTable::new();
+        t.insert(id(0), RowEntry::new(RowValue::empty()));
+        t.insert(id(1), RowEntry::new(rv(&[(0, Value::text("x"))])));
+        t.insert(
+            id(2),
+            RowEntry::new(rv(&[(0, Value::text("y")), (1, Value::int(2))])),
+        );
+        assert_eq!(t.empty_count(), 1);
+        assert_eq!(t.complete_count(&s), 1);
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn iteration_is_id_ordered() {
+        let mut t = CandidateTable::new();
+        t.insert(RowId::new(ClientId(2), 0), RowEntry::new(RowValue::empty()));
+        t.insert(RowId::new(ClientId(1), 7), RowEntry::new(RowValue::empty()));
+        t.insert(RowId::new(ClientId(1), 3), RowEntry::new(RowValue::empty()));
+        let ids: Vec<RowId> = t.row_ids().collect();
+        assert_eq!(
+            ids,
+            vec![
+                RowId::new(ClientId(1), 3),
+                RowId::new(ClientId(1), 7),
+                RowId::new(ClientId(2), 0)
+            ]
+        );
+    }
+}

@@ -1,0 +1,160 @@
+//! The frame-connection abstraction and the in-process implementation.
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use std::fmt;
+use std::time::Duration;
+
+/// Upper bound on a single frame (16 MiB): defends against corrupt length
+/// prefixes on the TCP path and runaway messages everywhere.
+pub const MAX_FRAME_LEN: usize = 16 * 1024 * 1024;
+
+/// Transport errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConnError {
+    /// The peer closed the connection (normal shutdown or crash).
+    Disconnected,
+    /// No frame available right now (non-blocking receive only).
+    Empty,
+    /// Frame exceeded [`MAX_FRAME_LEN`].
+    FrameTooLarge(usize),
+    /// Underlying I/O failure.
+    Io(String),
+}
+
+impl fmt::Display for ConnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConnError::Disconnected => write!(f, "peer disconnected"),
+            ConnError::Empty => write!(f, "no frame available"),
+            ConnError::FrameTooLarge(n) => write!(f, "frame of {n} bytes exceeds limit"),
+            ConnError::Io(e) => write!(f, "I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ConnError {}
+
+/// A bidirectional, reliable, in-order frame stream.
+pub trait FrameConn: Send {
+    /// Sends one frame. Frames arrive at the peer intact and in send order.
+    fn send(&self, frame: &[u8]) -> Result<(), ConnError>;
+
+    /// Receives the next frame, blocking until one arrives or the peer
+    /// disconnects.
+    fn recv(&self) -> Result<Vec<u8>, ConnError>;
+
+    /// Receives without blocking; `Err(Empty)` when nothing is pending.
+    fn try_recv(&self) -> Result<Vec<u8>, ConnError>;
+
+    /// Receives with a timeout; `Err(Empty)` on expiry.
+    fn recv_timeout(&self, timeout: Duration) -> Result<Vec<u8>, ConnError>;
+}
+
+/// An in-process duplex connection backed by two unbounded channels.
+pub struct LocalConn {
+    tx: Sender<Vec<u8>>,
+    rx: Receiver<Vec<u8>>,
+}
+
+impl LocalConn {
+    /// Creates a connected pair; frames sent on one end arrive at the other.
+    pub fn pair() -> (LocalConn, LocalConn) {
+        let (a_tx, b_rx) = unbounded();
+        let (b_tx, a_rx) = unbounded();
+        (
+            LocalConn { tx: a_tx, rx: a_rx },
+            LocalConn { tx: b_tx, rx: b_rx },
+        )
+    }
+}
+
+impl FrameConn for LocalConn {
+    fn send(&self, frame: &[u8]) -> Result<(), ConnError> {
+        if frame.len() > MAX_FRAME_LEN {
+            return Err(ConnError::FrameTooLarge(frame.len()));
+        }
+        self.tx
+            .send(frame.to_vec())
+            .map_err(|_| ConnError::Disconnected)
+    }
+
+    fn recv(&self) -> Result<Vec<u8>, ConnError> {
+        self.rx.recv().map_err(|_| ConnError::Disconnected)
+    }
+
+    fn try_recv(&self) -> Result<Vec<u8>, ConnError> {
+        self.rx.try_recv().map_err(|e| match e {
+            TryRecvError::Empty => ConnError::Empty,
+            TryRecvError::Disconnected => ConnError::Disconnected,
+        })
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> Result<Vec<u8>, ConnError> {
+        self.rx.recv_timeout(timeout).map_err(|e| match e {
+            RecvTimeoutError::Timeout => ConnError::Empty,
+            RecvTimeoutError::Disconnected => ConnError::Disconnected,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pair_roundtrip_in_order() {
+        let (a, b) = LocalConn::pair();
+        a.send(b"one").unwrap();
+        a.send(b"two").unwrap();
+        b.send(b"reply").unwrap();
+        assert_eq!(b.recv().unwrap(), b"one");
+        assert_eq!(b.recv().unwrap(), b"two");
+        assert_eq!(a.recv().unwrap(), b"reply");
+    }
+
+    #[test]
+    fn try_recv_empty_then_value() {
+        let (a, b) = LocalConn::pair();
+        assert_eq!(b.try_recv(), Err(ConnError::Empty));
+        a.send(b"x").unwrap();
+        assert_eq!(b.try_recv().unwrap(), b"x");
+    }
+
+    #[test]
+    fn drop_disconnects() {
+        let (a, b) = LocalConn::pair();
+        drop(a);
+        assert_eq!(b.recv(), Err(ConnError::Disconnected));
+        assert_eq!(b.send(b"x"), Err(ConnError::Disconnected));
+    }
+
+    #[test]
+    fn timeout_expires() {
+        let (_a, b) = LocalConn::pair();
+        assert_eq!(
+            b.recv_timeout(Duration::from_millis(10)),
+            Err(ConnError::Empty)
+        );
+    }
+
+    #[test]
+    fn oversized_frames_rejected() {
+        let (a, _b) = LocalConn::pair();
+        let huge = vec![0u8; MAX_FRAME_LEN + 1];
+        assert_eq!(a.send(&huge), Err(ConnError::FrameTooLarge(huge.len())));
+    }
+
+    #[test]
+    fn cross_thread_delivery() {
+        let (a, b) = LocalConn::pair();
+        let handle = std::thread::spawn(move || {
+            for i in 0..100u32 {
+                a.send(&i.to_be_bytes()).unwrap();
+            }
+        });
+        for i in 0..100u32 {
+            assert_eq!(b.recv().unwrap(), i.to_be_bytes());
+        }
+        handle.join().unwrap();
+    }
+}

@@ -1,0 +1,23 @@
+//! # crowdfill-net
+//!
+//! Reliable, in-order, framed message transports — the workspace's
+//! substitute for the paper's Node.js + Socket.IO persistent connections
+//! (§3.3). The synchronization model (§2.4) assumes exactly two properties
+//! of the network: message delivery between server and clients is
+//! *reliable* and *in-order per connection*. Both transports guarantee
+//! them:
+//!
+//! * [`LocalConn`] — an in-process duplex channel (crossbeam), used by the
+//!   discrete-event simulator and in-process deployments;
+//! * [`TcpConn`]/[`TcpServer`] — length-prefixed frames over TCP
+//!   (`std::net` + threads, no async runtime), used by the live networked
+//!   server.
+//!
+//! Frames are opaque byte vectors; the server layers a JSON protocol
+//! (`crowdfill-docstore::Json`) on top.
+
+pub mod conn;
+pub mod tcp;
+
+pub use conn::{ConnError, FrameConn, LocalConn, MAX_FRAME_LEN};
+pub use tcp::{TcpConn, TcpServer};

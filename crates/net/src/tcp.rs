@@ -1,0 +1,231 @@
+//! Length-prefixed framing over TCP with `std::net` and threads.
+//!
+//! Wire format: `[len: u32 BE][payload]` per frame. TCP provides reliable
+//! in-order bytes; the codec provides message boundaries — together the
+//! delivery model the paper assumes. A background reader thread per
+//! connection turns the byte stream into a frame channel, so `recv` has the
+//! same non-blocking options as [`LocalConn`](crate::LocalConn).
+
+use crate::conn::{ConnError, FrameConn, MAX_FRAME_LEN};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, TryRecvError};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// A framed TCP connection.
+pub struct TcpConn {
+    writer: Mutex<TcpStream>,
+    frames: Receiver<Vec<u8>>,
+    peer: SocketAddr,
+}
+
+impl TcpConn {
+    /// Connects to a listening [`TcpServer`].
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<TcpConn, ConnError> {
+        let stream = TcpStream::connect(addr).map_err(io_err)?;
+        TcpConn::from_stream(stream)
+    }
+
+    /// Wraps an accepted stream; spawns the reader thread.
+    pub fn from_stream(stream: TcpStream) -> Result<TcpConn, ConnError> {
+        stream.set_nodelay(true).map_err(io_err)?;
+        let peer = stream.peer_addr().map_err(io_err)?;
+        let reader = stream.try_clone().map_err(io_err)?;
+        let (tx, frames) = unbounded();
+        std::thread::Builder::new()
+            .name(format!("crowdfill-net-read-{peer}"))
+            .spawn(move || {
+                let mut reader = reader;
+                loop {
+                    match read_frame(&mut reader) {
+                        Ok(frame) => {
+                            if tx.send(frame).is_err() {
+                                // Receiver gone: close our clone so the peer
+                                // sees EOF, then stop reading.
+                                let _ = reader.shutdown(std::net::Shutdown::Both);
+                                return;
+                            }
+                        }
+                        Err(_) => return, // peer closed / corrupt: channel drops
+                    }
+                }
+            })
+            .map_err(io_err)?;
+        Ok(TcpConn {
+            writer: Mutex::new(stream),
+            frames,
+            peer,
+        })
+    }
+
+    /// The peer's address.
+    pub fn peer_addr(&self) -> SocketAddr {
+        self.peer
+    }
+}
+
+impl Drop for TcpConn {
+    fn drop(&mut self) {
+        // Close the socket so the peer observes EOF and our reader thread
+        // unblocks; without this, the reader's cloned stream would keep the
+        // connection half-open forever.
+        if let Ok(stream) = self.writer.lock() {
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+        }
+    }
+}
+
+impl FrameConn for TcpConn {
+    fn send(&self, frame: &[u8]) -> Result<(), ConnError> {
+        if frame.len() > MAX_FRAME_LEN {
+            return Err(ConnError::FrameTooLarge(frame.len()));
+        }
+        let mut writer = self.writer.lock().expect("writer lock");
+        writer
+            .write_all(&(frame.len() as u32).to_be_bytes())
+            .and_then(|_| writer.write_all(frame))
+            .map_err(|_| ConnError::Disconnected)
+    }
+
+    fn recv(&self) -> Result<Vec<u8>, ConnError> {
+        self.frames.recv().map_err(|_| ConnError::Disconnected)
+    }
+
+    fn try_recv(&self) -> Result<Vec<u8>, ConnError> {
+        self.frames.try_recv().map_err(|e| match e {
+            TryRecvError::Empty => ConnError::Empty,
+            TryRecvError::Disconnected => ConnError::Disconnected,
+        })
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> Result<Vec<u8>, ConnError> {
+        self.frames.recv_timeout(timeout).map_err(|e| match e {
+            RecvTimeoutError::Timeout => ConnError::Empty,
+            RecvTimeoutError::Disconnected => ConnError::Disconnected,
+        })
+    }
+}
+
+fn read_frame(reader: &mut TcpStream) -> std::io::Result<Vec<u8>> {
+    let mut header = [0u8; 4];
+    reader.read_exact(&mut header)?;
+    let len = u32::from_be_bytes(header) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "frame too large",
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    reader.read_exact(&mut payload)?;
+    Ok(payload)
+}
+
+fn io_err(e: std::io::Error) -> ConnError {
+    ConnError::Io(e.to_string())
+}
+
+/// A TCP acceptor producing framed connections.
+pub struct TcpServer {
+    listener: TcpListener,
+}
+
+impl TcpServer {
+    /// Binds to `addr` (use port 0 for an ephemeral port).
+    pub fn bind(addr: impl ToSocketAddrs) -> Result<TcpServer, ConnError> {
+        Ok(TcpServer {
+            listener: TcpListener::bind(addr).map_err(io_err)?,
+        })
+    }
+
+    /// The bound local address.
+    pub fn local_addr(&self) -> Result<SocketAddr, ConnError> {
+        self.listener.local_addr().map_err(io_err)
+    }
+
+    /// Accepts the next incoming connection (blocking).
+    pub fn accept(&self) -> Result<TcpConn, ConnError> {
+        let (stream, _) = self.listener.accept().map_err(io_err)?;
+        TcpConn::from_stream(stream)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn echo_server() -> (SocketAddr, std::thread::JoinHandle<()>) {
+        let server = TcpServer::bind("127.0.0.1:0").unwrap();
+        let addr = server.local_addr().unwrap();
+        let handle = std::thread::spawn(move || {
+            let conn = server.accept().unwrap();
+            while let Ok(frame) = conn.recv() {
+                if frame == b"quit" {
+                    return;
+                }
+                conn.send(&frame).unwrap();
+            }
+        });
+        (addr, handle)
+    }
+
+    #[test]
+    fn echo_roundtrip() {
+        let (addr, handle) = echo_server();
+        let conn = TcpConn::connect(addr).unwrap();
+        conn.send(b"hello").unwrap();
+        assert_eq!(conn.recv().unwrap(), b"hello");
+        conn.send(b"").unwrap(); // empty frames survive framing
+        assert_eq!(conn.recv().unwrap(), b"");
+        conn.send(b"quit").unwrap();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn frames_preserve_order_and_boundaries() {
+        let (addr, handle) = echo_server();
+        let conn = TcpConn::connect(addr).unwrap();
+        for i in 0..200u32 {
+            conn.send(format!("msg-{i}").as_bytes()).unwrap();
+        }
+        for i in 0..200u32 {
+            assert_eq!(conn.recv().unwrap(), format!("msg-{i}").as_bytes());
+        }
+        conn.send(b"quit").unwrap();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn large_frame_roundtrip() {
+        let (addr, handle) = echo_server();
+        let conn = TcpConn::connect(addr).unwrap();
+        let big = vec![0xABu8; 1 << 20];
+        conn.send(&big).unwrap();
+        assert_eq!(conn.recv().unwrap(), big);
+        conn.send(b"quit").unwrap();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn disconnect_detected() {
+        let server = TcpServer::bind("127.0.0.1:0").unwrap();
+        let addr = server.local_addr().unwrap();
+        let handle = std::thread::spawn(move || {
+            let _conn = server.accept().unwrap();
+            // Drop immediately.
+        });
+        let conn = TcpConn::connect(addr).unwrap();
+        handle.join().unwrap();
+        assert_eq!(conn.recv(), Err(ConnError::Disconnected));
+    }
+
+    #[test]
+    fn peer_addr_reported() {
+        let (addr, handle) = echo_server();
+        let conn = TcpConn::connect(addr).unwrap();
+        assert_eq!(conn.peer_addr(), addr);
+        conn.send(b"quit").unwrap();
+        handle.join().unwrap();
+    }
+}

@@ -1,0 +1,569 @@
+//! The back-end server (paper §3.3–3.4, §4, §5).
+//!
+//! The [`Backend`] owns the master replica, the Central Client (PRI
+//! maintainer), the per-worker sessions with their vote-policy state, the
+//! action trace, and the online compensation estimator. It is
+//! transport-agnostic: the discrete-event simulator drives it directly,
+//! while `tcp_service` runs it behind framed TCP connections. Time is
+//! supplied by the caller (simulated or wall-clock milliseconds).
+//!
+//! Vote policy (§3.4): each worker may cast at most one vote per row value
+//! (directly or via the automatic completion upvote); a worker may not
+//! upvote two rows with the same primary key; an optional per-row vote cap
+//! limits total votes.
+
+use crate::config::TaskConfig;
+use crowdfill_constraints::PriMaintainer;
+use crowdfill_model::{
+    derive_final_table, ClientId, FinalTable, Message, OpError, RowValue,
+};
+use crowdfill_pay::{
+    allocate, analyze, Contributions, Estimator, Millis, Payout, Trace, TraceEntry, WorkerId,
+};
+use crowdfill_sync::Replica;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Arc;
+
+/// Why the backend rejected a submission.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// Unknown worker (never connected or already disconnected).
+    UnknownWorker,
+    /// Worker clients never insert rows (§3.4).
+    WorkersCannotInsert,
+    /// The worker already voted on this row value (§3.4).
+    AlreadyVoted,
+    /// The worker already upvoted a row with this primary key (§3.4).
+    DuplicateKeyUpvote,
+    /// The per-row vote cap has been reached (§3.4).
+    MaxVotesReached,
+    /// An undo for a vote this worker never cast (or already retracted).
+    NoVoteToUndo,
+    /// The underlying operation was invalid against the master table.
+    Op(OpError),
+    /// Data collection already finished.
+    CollectionClosed,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::UnknownWorker => write!(f, "unknown worker"),
+            SubmitError::WorkersCannotInsert => write!(f, "workers cannot insert rows"),
+            SubmitError::AlreadyVoted => write!(f, "already voted on this row"),
+            SubmitError::DuplicateKeyUpvote => {
+                write!(f, "already upvoted a row with this primary key")
+            }
+            SubmitError::MaxVotesReached => write!(f, "vote cap reached for this row"),
+            SubmitError::NoVoteToUndo => write!(f, "no matching vote of yours to undo"),
+            SubmitError::Op(e) => write!(f, "invalid operation: {e}"),
+            SubmitError::CollectionClosed => write!(f, "data collection is closed"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// The result of a successful submission.
+#[derive(Debug, Clone)]
+pub struct SubmitReport {
+    /// Estimated compensation shown to the worker for this action (§5.3).
+    pub estimate: f64,
+    /// Whether the task's constraints are now fulfilled.
+    pub fulfilled: bool,
+}
+
+/// Which way a worker voted on a value (for the undo policy).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum VoteKind {
+    Up,
+    Down,
+}
+
+/// Per-worker session state.
+struct Session {
+    client: ClientId,
+    /// Row values this worker has voted on (auto-upvotes included) and how.
+    voted_values: HashMap<RowValue, VoteKind>,
+    /// Primary-key projections this worker has upvoted.
+    upvoted_keys: HashSet<RowValue>,
+    /// Messages awaiting delivery to this worker.
+    outbox: VecDeque<Message>,
+    connected: bool,
+}
+
+/// The CrowdFill back-end server for one data-collection task.
+pub struct Backend {
+    config: TaskConfig,
+    master: Replica,
+    cc: PriMaintainer,
+    sessions: HashMap<WorkerId, Session>,
+    /// Every message ever broadcast, in server order (late joiners replay it).
+    history: Vec<Message>,
+    /// Row id → value, for every row that ever existed (fill-column lookup).
+    row_values: HashMap<crowdfill_model::RowId, RowValue>,
+    trace: Trace,
+    estimator: Estimator,
+    next_worker: u32,
+    clock: Millis,
+    closed: bool,
+}
+
+impl Backend {
+    /// Launches a task: seeds the Central Client and applies its
+    /// initialization messages to the master table.
+    pub fn new(config: TaskConfig) -> Backend {
+        let mut cc = PriMaintainer::new(
+            Arc::clone(&config.schema),
+            Arc::clone(&config.scoring),
+            &config.template,
+        );
+        let mut master = Replica::new(ClientId(u32::MAX), Arc::clone(&config.schema));
+        let estimator = Estimator::new(
+            config.scheme,
+            config.budget,
+            Arc::clone(&config.schema),
+            Arc::clone(&config.scoring),
+            &config.template,
+        );
+        let mut trace = Trace::new();
+        let mut history = Vec::new();
+        let mut row_values = HashMap::new();
+        for msg in cc.take_outbox() {
+            match &msg {
+                Message::Insert { row } => {
+                    row_values.insert(*row, RowValue::empty());
+                }
+                Message::Replace { new, value, .. } => {
+                    row_values.insert(*new, value.clone());
+                }
+                _ => {}
+            }
+            master.process(&msg);
+            trace.record_system(Millis(0), msg.clone());
+            history.push(msg);
+        }
+        Backend {
+            master,
+            cc,
+            sessions: HashMap::new(),
+            history,
+            row_values,
+            trace,
+            estimator,
+            next_worker: 1,
+            clock: Millis(0),
+            closed: false,
+            config,
+        }
+    }
+
+    /// The task configuration.
+    pub fn config(&self) -> &TaskConfig {
+        &self.config
+    }
+
+    /// Advances the server clock (monotonic; earlier stamps are ignored).
+    pub fn set_time(&mut self, at: Millis) {
+        if at > self.clock {
+            self.clock = at;
+        }
+    }
+
+    /// The current server clock.
+    pub fn now(&self) -> Millis {
+        self.clock
+    }
+
+    /// Registers a worker; returns its id, its client id (for row-id
+    /// generation), and the message history to replay into its local
+    /// replica (the "initial copy of the master table").
+    pub fn connect(&mut self, at: Millis) -> (WorkerId, ClientId, Vec<Message>) {
+        self.set_time(at);
+        let worker = WorkerId(self.next_worker);
+        // Client 0 is the CC; worker clients start at 1.
+        let client = ClientId(self.next_worker);
+        self.next_worker += 1;
+        self.sessions.insert(
+            worker,
+            Session {
+                client,
+                voted_values: HashMap::new(),
+                upvoted_keys: HashSet::new(),
+                outbox: VecDeque::new(),
+                connected: true,
+            },
+        );
+        (worker, client, self.history.clone())
+    }
+
+    /// Marks a worker disconnected (its session state is retained so the
+    /// vote policy still applies if it reconnects under the same id).
+    pub fn disconnect(&mut self, worker: WorkerId) {
+        if let Some(s) = self.sessions.get_mut(&worker) {
+            s.connected = false;
+            s.outbox.clear();
+        }
+    }
+
+    /// The client id assigned to a connected worker.
+    pub fn worker_client_id(&self, worker: WorkerId) -> Option<ClientId> {
+        self.sessions.get(&worker).map(|s| s.client)
+    }
+
+    /// The currently-connected workers (ascending).
+    pub fn connected_workers(&self) -> Vec<WorkerId> {
+        let mut ws: Vec<WorkerId> = self
+            .sessions
+            .iter()
+            .filter(|(_, s)| s.connected)
+            .map(|(w, _)| *w)
+            .collect();
+        ws.sort_unstable();
+        ws
+    }
+
+    /// Whether `worker` has a standing vote on this row value.
+    pub fn has_voted(&self, worker: WorkerId, value: &RowValue) -> bool {
+        self.sessions
+            .get(&worker)
+            .is_some_and(|s| s.voted_values.contains_key(value))
+    }
+
+    /// Drains the messages pending delivery to `worker`.
+    pub fn poll(&mut self, worker: WorkerId) -> Vec<Message> {
+        self.sessions
+            .get_mut(&worker)
+            .map(|s| s.outbox.drain(..).collect())
+            .unwrap_or_default()
+    }
+
+    /// Submits a worker-generated message (produced by the worker client's
+    /// local application of a fill/upvote/downvote). `auto_upvote` marks the
+    /// automatic completion upvote (§3.4). On success the message has been
+    /// applied to the master table, recorded in the trace, reacted to by the
+    /// Central Client, and broadcast to all other workers.
+    pub fn submit(
+        &mut self,
+        worker: WorkerId,
+        msg: Message,
+        at: Millis,
+        auto_upvote: bool,
+    ) -> Result<SubmitReport, SubmitError> {
+        self.set_time(at);
+        if self.closed {
+            return Err(SubmitError::CollectionClosed);
+        }
+        let session = self
+            .sessions
+            .get(&worker)
+            .filter(|s| s.connected)
+            .ok_or(SubmitError::UnknownWorker)?;
+        let _ = session;
+        // Automatic completion upvotes are system-generated: they are
+        // recorded against the worker's vote state but exempt from the vote
+        // policy checks — failing them would abort the fill they ride on.
+        if !auto_upvote {
+            self.check_policy(worker, &msg)?;
+        }
+        Ok(self.apply_worker_message(worker, msg, auto_upvote))
+    }
+
+    /// The post-policy half of [`submit`](Self::submit): applies, records,
+    /// estimates, broadcasts, and lets the Central Client react.
+    fn apply_worker_message(
+        &mut self,
+        worker: WorkerId,
+        msg: Message,
+        auto_upvote: bool,
+    ) -> SubmitReport {
+        // Apply to the master table.
+        self.note_row(&msg);
+        self.master.process(&msg);
+        self.update_vote_policy_state(worker, &msg);
+
+        // Record in the trace.
+        let entry = TraceEntry {
+            at: self.clock,
+            worker: Some(worker),
+            msg: msg.clone(),
+            auto_upvote,
+        };
+        let idx = self.trace.record(entry.clone());
+
+        // Estimate compensation for the action (fills use the richer path).
+        let estimate = match &msg {
+            Message::Replace { old, value, .. } => {
+                let filled = self
+                    .row_values
+                    .get(old)
+                    .and_then(|ov| ov.added_column(value));
+                match filled {
+                    Some(col) => {
+                        let v = value.get(col).expect("filled value").clone();
+                        self.estimator
+                            .on_fill(idx, &entry, col, &v, self.master.table())
+                    }
+                    None => self.estimator.on_action(idx, &entry, self.master.table()),
+                }
+            }
+            _ => self.estimator.on_action(idx, &entry, self.master.table()),
+        };
+
+        // Broadcast to all other connected workers.
+        self.history.push(msg.clone());
+        for (w, s) in self.sessions.iter_mut() {
+            if *w != worker && s.connected {
+                s.outbox.push_back(msg.clone());
+            }
+        }
+
+        // Let the Central Client react (and broadcast its own messages).
+        self.cc.on_message(&msg);
+        let cc_msgs = self.cc.take_outbox();
+        for cc_msg in cc_msgs {
+            self.note_row(&cc_msg);
+            self.master.process(&cc_msg);
+            self.trace.record_system(self.clock, cc_msg.clone());
+            self.history.push(cc_msg.clone());
+            for s in self.sessions.values_mut() {
+                if s.connected {
+                    s.outbox.push_back(cc_msg.clone());
+                }
+            }
+        }
+
+        debug_assert!(self.master.same_state(self.cc.replica()));
+
+        SubmitReport {
+            estimate,
+            fulfilled: self.cc.is_fulfilled(),
+        }
+    }
+
+    /// Submits a worker-level *modify* bundle (paper §8): the series
+    /// `[downvote old, insert fresh, fill…]` produced by
+    /// [`WorkerClient::modify`](crate::WorkerClient::modify). The embedded
+    /// insert — normally forbidden for workers — is authorized after the
+    /// bundle's shape is validated: exactly one insert, immediately after a
+    /// leading downvote, with every subsequent fill extending the inserted
+    /// row's lineage. The downvote is exempt from the one-vote-per-row rule
+    /// (it is part of the correction, like the fill's automatic upvote) but
+    /// still recorded against the worker.
+    pub fn submit_modify(
+        &mut self,
+        worker: WorkerId,
+        bundle: Vec<(Message, bool)>,
+        at: Millis,
+    ) -> Result<SubmitReport, SubmitError> {
+        // Shape validation before any mutation.
+        let mut stage = 0; // 0: expect downvote, 1: expect insert, 2+: fills
+        let mut lineage: Option<crowdfill_model::RowId> = None;
+        for (msg, auto) in &bundle {
+            match (stage, msg) {
+                (0, Message::Downvote { .. }) => stage = 1,
+                // A modify of an *empty* cell degrades to a plain fill
+                // bundle; hand it to the normal path.
+                (0, Message::Replace { .. }) => {
+                    let mut last = None;
+                    for (m, a) in bundle {
+                        last = Some(self.submit(worker, m, at, a)?);
+                    }
+                    return last.ok_or(SubmitError::Op(OpError::UnknownRow));
+                }
+                (1, Message::Insert { row }) => {
+                    lineage = Some(*row);
+                    stage = 2;
+                }
+                (2, Message::Replace { old, new, .. }) if Some(*old) == lineage => {
+                    lineage = Some(*new);
+                }
+                (2, Message::Upvote { .. }) if *auto => {}
+                _ => return Err(SubmitError::WorkersCannotInsert),
+            }
+        }
+        if stage < 2 {
+            return Err(SubmitError::WorkersCannotInsert);
+        }
+        // Apply: the downvote and insert bypass the per-message policy, the
+        // fills go through the normal path (which accepts them: the rows
+        // exist because we just inserted them).
+        let mut last = None;
+        for (msg, auto) in bundle {
+            let exempt = matches!(msg, Message::Downvote { .. } | Message::Insert { .. });
+            if exempt {
+                self.set_time(at);
+                if self.closed {
+                    return Err(SubmitError::CollectionClosed);
+                }
+                if !self
+                    .sessions
+                    .get(&worker)
+                    .is_some_and(|s| s.connected)
+                {
+                    return Err(SubmitError::UnknownWorker);
+                }
+                self.apply_worker_message(worker, msg, auto);
+            } else {
+                last = Some(self.submit(worker, msg, at, auto)?);
+            }
+        }
+        last.ok_or(SubmitError::Op(OpError::UnknownRow))
+    }
+
+    /// The master replica.
+    pub fn master(&self) -> &Replica {
+        &self.master
+    }
+
+    /// The Central Client's state (PRI diagnostics).
+    pub fn central_client(&self) -> &PriMaintainer {
+        &self.cc
+    }
+
+    /// The action trace so far.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// The online estimator (read access for reporting).
+    pub fn estimator(&self) -> &Estimator {
+        &self.estimator
+    }
+
+    /// Whether the constraints are fulfilled (collection can stop).
+    pub fn is_fulfilled(&self) -> bool {
+        self.cc.is_fulfilled()
+    }
+
+    /// Derives the current final table from the master candidate table.
+    pub fn final_table(&self) -> FinalTable {
+        derive_final_table(
+            self.master.table(),
+            &self.config.schema,
+            &*self.config.scoring,
+        )
+    }
+
+    /// Closes collection and settles compensation: contribution analysis
+    /// over the trace plus budget allocation under the configured scheme.
+    pub fn settle(&mut self) -> (FinalTable, Contributions, Payout) {
+        self.closed = true;
+        let final_table = self.final_table();
+        let contributions = analyze(&self.trace, &final_table);
+        let payout = allocate(
+            self.config.scheme,
+            self.config.budget,
+            &self.trace,
+            &contributions,
+            &self.config.schema,
+            &self.config.split,
+        );
+        (final_table, contributions, payout)
+    }
+
+    // ---- internals ---------------------------------------------------------
+
+    /// Tracks the value of every row id that ever existed.
+    fn note_row(&mut self, msg: &Message) {
+        match msg {
+            Message::Insert { row } => {
+                self.row_values.insert(*row, RowValue::empty());
+            }
+            Message::Replace { new, value, .. } => {
+                self.row_values.insert(*new, value.clone());
+            }
+            _ => {}
+        }
+    }
+
+    /// §3.4 vote policy checks.
+    fn check_policy(&self, worker: WorkerId, msg: &Message) -> Result<(), SubmitError> {
+        let session = &self.sessions[&worker];
+        match msg {
+            Message::Insert { .. } => Err(SubmitError::WorkersCannotInsert),
+            Message::Replace { old, .. } => {
+                // The row must still exist at the server; if it was replaced
+                // concurrently the worker's fill is stale. The model would
+                // tolerate it, but the paper's server validates fills against
+                // reality to avoid resurrecting dead lineages.
+                if !self.master.table().contains(*old) {
+                    return Err(SubmitError::Op(OpError::UnknownRow));
+                }
+                Ok(())
+            }
+            Message::Upvote { value } => {
+                if session.voted_values.contains_key(value) {
+                    return Err(SubmitError::AlreadyVoted);
+                }
+                if let Some(key) = value.key_projection(&self.config.schema) {
+                    if session.upvoted_keys.contains(&key) {
+                        return Err(SubmitError::DuplicateKeyUpvote);
+                    }
+                }
+                self.check_vote_cap(value)
+            }
+            Message::Downvote { value } => {
+                if session.voted_values.contains_key(value) {
+                    return Err(SubmitError::AlreadyVoted);
+                }
+                self.check_vote_cap(value)
+            }
+            // Undo (paper §8, implemented): only a vote this worker actually
+            // cast, of the matching kind, may be retracted.
+            Message::UndoUpvote { value } => {
+                if session.voted_values.get(value) != Some(&VoteKind::Up) {
+                    return Err(SubmitError::NoVoteToUndo);
+                }
+                Ok(())
+            }
+            Message::UndoDownvote { value } => {
+                if session.voted_values.get(value) != Some(&VoteKind::Down) {
+                    return Err(SubmitError::NoVoteToUndo);
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn check_vote_cap(&self, value: &RowValue) -> Result<(), SubmitError> {
+        let Some(cap) = self.config.max_votes_per_row else {
+            return Ok(());
+        };
+        let at_cap = self
+            .master
+            .table()
+            .iter()
+            .any(|(_, e)| e.value == *value && e.upvotes + e.downvotes >= cap);
+        if at_cap {
+            Err(SubmitError::MaxVotesReached)
+        } else {
+            Ok(())
+        }
+    }
+
+    fn update_vote_policy_state(&mut self, worker: WorkerId, msg: &Message) {
+        let session = self.sessions.get_mut(&worker).expect("checked");
+        match msg {
+            Message::Upvote { value } => {
+                session.voted_values.insert(value.clone(), VoteKind::Up);
+                if let Some(key) = value.key_projection(&self.config.schema) {
+                    session.upvoted_keys.insert(key);
+                }
+            }
+            Message::Downvote { value } => {
+                session.voted_values.insert(value.clone(), VoteKind::Down);
+            }
+            Message::UndoUpvote { value } => {
+                session.voted_values.remove(value);
+                if let Some(key) = value.key_projection(&self.config.schema) {
+                    session.upvoted_keys.remove(&key);
+                }
+            }
+            Message::UndoDownvote { value } => {
+                session.voted_values.remove(value);
+            }
+            _ => {}
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! Task configuration: everything a CrowdFill user supplies to launch a
+//! data-collection task (paper §3.1 step 1).
+
+use crowdfill_model::{Schema, ScoringRef, Template};
+use crowdfill_pay::{Scheme, SplitConfig};
+use std::sync::Arc;
+
+/// The full specification of one data-collection task.
+#[derive(Clone)]
+pub struct TaskConfig {
+    /// Table schema (columns, domains, primary key), §2.1.
+    pub schema: Arc<Schema>,
+    /// Vote-aggregation scoring function, §2.1.
+    pub scoring: ScoringRef,
+    /// Constraint template (cardinality/values/predicates), §2.3.
+    pub template: Template,
+    /// Total monetary budget `B`, §5.
+    pub budget: f64,
+    /// Budget allocation scheme, §5.2.2.
+    pub scheme: Scheme,
+    /// Direct/indirect splitting factors, §5.2.3.
+    pub split: SplitConfig,
+    /// Optional per-row vote cap, §3.4.
+    pub max_votes_per_row: Option<u32>,
+}
+
+impl TaskConfig {
+    /// A config with the paper's defaults: dual-weighted allocation, default
+    /// splitting factors, no vote cap.
+    pub fn new(
+        schema: Arc<Schema>,
+        scoring: ScoringRef,
+        template: Template,
+        budget: f64,
+    ) -> TaskConfig {
+        TaskConfig {
+            schema,
+            scoring,
+            template,
+            budget,
+            scheme: Scheme::DualWeighted,
+            split: SplitConfig::new(),
+            max_votes_per_row: None,
+        }
+    }
+
+    /// Overrides the allocation scheme.
+    pub fn with_scheme(mut self, scheme: Scheme) -> TaskConfig {
+        self.scheme = scheme;
+        self
+    }
+
+    /// Sets a per-row vote cap.
+    pub fn with_max_votes(mut self, cap: u32) -> TaskConfig {
+        self.max_votes_per_row = Some(cap);
+        self
+    }
+
+    /// Overrides the splitting configuration.
+    pub fn with_split(mut self, split: SplitConfig) -> TaskConfig {
+        self.split = split;
+        self
+    }
+}
+
+impl std::fmt::Debug for TaskConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TaskConfig")
+            .field("schema", &self.schema.name())
+            .field("scoring", &self.scoring.name())
+            .field("template_rows", &self.template.len())
+            .field("budget", &self.budget)
+            .field("scheme", &self.scheme)
+            .field("max_votes_per_row", &self.max_votes_per_row)
+            .finish()
+    }
+}

@@ -1,0 +1,34 @@
+//! # crowdfill-server
+//!
+//! The CrowdFill system around the formal model (paper §3): the back-end
+//! server with its vote policy, Central Client, trace, and estimator; the
+//! front-end server persisting task specifications and results; a simulated
+//! crowdsourcing marketplace; the programmatic worker client; and the
+//! framed-TCP deployment.
+//!
+//! * [`Backend`] — master table, sessions, §3.4 vote policy, broadcast,
+//!   PRI maintenance, estimation, settlement;
+//! * [`WorkerClient`] — the data-entry client (§3.4): local replica,
+//!   fill/upvote/downvote, auto-upvote on completion, shuffled presentation;
+//! * [`Frontend`] — task CRUD + lifecycle + result retrieval over the
+//!   document store (§3.2);
+//! * [`Marketplace`] — simulated Mechanical Turk (sandbox) integration
+//!   (§3.1);
+//! * [`TcpService`] / [`RemoteWorker`] — the networked deployment (§3.3).
+
+pub mod backend;
+pub mod config;
+pub mod frontend;
+pub mod marketplace;
+pub mod recommend;
+pub mod tcp_service;
+pub mod wire;
+pub mod worker_client;
+
+pub use backend::{Backend, SubmitError, SubmitReport};
+pub use config::TaskConfig;
+pub use frontend::{Frontend, FrontendError, TaskStatus};
+pub use marketplace::{Assignment, AssignmentId, Hit, HitId, MarketError, Marketplace};
+pub use recommend::{Recommendation, RecommendationKind};
+pub use tcp_service::{RemoteAck, RemoteError, RemoteWorker, TcpService};
+pub use worker_client::{Outgoing, WorkerClient};

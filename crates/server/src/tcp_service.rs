@@ -1,0 +1,490 @@
+//! The networked deployment: the back-end server behind framed TCP.
+//!
+//! Protocol (JSON per frame):
+//!
+//! ```text
+//! client → server   {"type":"hello"}
+//!                   {"type":"submit","auto":bool,"msg":{...}}
+//!                   {"type":"modify","msgs":[{"auto":bool,"msg":{...}},...]}
+//!                   {"type":"bye"}
+//! server → client   {"type":"welcome","worker":n,"client":n,
+//!                    "schema":{...},"history":[msg,...]}
+//!                   {"type":"ack","estimate":x,"fulfilled":bool}
+//!                   {"type":"reject","reason":"..."}
+//!                   {"type":"msg","msg":{...}}      (broadcast)
+//! ```
+//!
+//! One reader thread per connection; the shared [`Backend`] is guarded by a
+//! `parking_lot::Mutex`. After every accepted submission the service flushes
+//! all session outboxes to their connections, which preserves the per-link
+//! FIFO order the model requires.
+
+use crate::backend::Backend;
+use crate::wire;
+use crowdfill_docstore::Json;
+use crowdfill_net::{ConnError, FrameConn, TcpConn, TcpServer};
+use crowdfill_pay::{Millis, WorkerId};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A running TCP service around one task's backend.
+pub struct TcpService {
+    addr: SocketAddr,
+    backend: Arc<Mutex<Backend>>,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+type ConnRegistry = Arc<Mutex<HashMap<WorkerId, Arc<TcpConn>>>>;
+
+impl TcpService {
+    /// Binds and starts serving. Use port 0 for an ephemeral port.
+    pub fn start(backend: Backend, addr: &str) -> Result<TcpService, ConnError> {
+        let server = TcpServer::bind(addr)?;
+        let addr = server.local_addr()?;
+        let backend = Arc::new(Mutex::new(backend));
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let registry: ConnRegistry = Arc::new(Mutex::new(HashMap::new()));
+        let started = Instant::now();
+
+        let accept_backend = Arc::clone(&backend);
+        let accept_shutdown = Arc::clone(&shutdown);
+        let accept_thread = std::thread::Builder::new()
+            .name("crowdfill-accept".into())
+            .spawn(move || {
+                while !accept_shutdown.load(Ordering::SeqCst) {
+                    let Ok(conn) = server.accept() else { continue };
+                    if accept_shutdown.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    let conn = Arc::new(conn);
+                    let backend = Arc::clone(&accept_backend);
+                    let registry = Arc::clone(&registry);
+                    let _ = std::thread::Builder::new()
+                        .name("crowdfill-conn".into())
+                        .spawn(move || serve_conn(conn, backend, registry, started));
+                }
+            })
+            .map_err(|e| ConnError::Io(e.to_string()))?;
+
+        Ok(TcpService {
+            addr,
+            backend,
+            shutdown,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address clients connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Shared access to the backend (settlement, inspection).
+    pub fn backend(&self) -> Arc<Mutex<Backend>> {
+        Arc::clone(&self.backend)
+    }
+
+    /// Stops accepting connections and joins the accept thread.
+    pub fn stop(mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the accept() call.
+        let _ = TcpConn::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+fn now_millis(started: Instant) -> Millis {
+    Millis(started.elapsed().as_millis() as u64)
+}
+
+fn serve_conn(
+    conn: Arc<TcpConn>,
+    backend: Arc<Mutex<Backend>>,
+    registry: ConnRegistry,
+    started: Instant,
+) {
+    // Expect hello.
+    let Ok(frame) = conn.recv() else { return };
+    let Ok(hello) = Json::parse(&String::from_utf8_lossy(&frame)) else {
+        return;
+    };
+    if hello.get("type").and_then(Json::as_str) != Some("hello") {
+        return;
+    }
+
+    let (worker, client, history, schema_json) = {
+        let mut b = backend.lock();
+        let (w, c, h) = b.connect(now_millis(started));
+        let schema_json = wire::schema_to_json(&b.config().schema);
+        (w, c, h, schema_json)
+    };
+    registry.lock().insert(worker, Arc::clone(&conn));
+
+    let welcome = Json::obj([
+        ("type", Json::str("welcome")),
+        ("worker", Json::num(worker.0 as f64)),
+        ("client", Json::num(client.0 as f64)),
+        ("schema", schema_json),
+        (
+            "history",
+            Json::Arr(history.iter().map(wire::message_to_json).collect()),
+        ),
+    ]);
+    if conn.send(welcome.encode().as_bytes()).is_err() {
+        return;
+    }
+
+    while let Ok(frame) = conn.recv() {
+        let Ok(req) = Json::parse(&String::from_utf8_lossy(&frame)) else {
+            continue;
+        };
+        match req.get("type").and_then(Json::as_str) {
+            Some("submit") => {
+                let auto = req
+                    .get("auto")
+                    .and_then(Json::as_bool)
+                    .unwrap_or(false);
+                let msg = req.get("msg").and_then(|m| wire::message_from_json(m).ok());
+                let reply = match msg {
+                    None => Json::obj([
+                        ("type", Json::str("reject")),
+                        ("reason", Json::str("malformed message")),
+                    ]),
+                    Some(msg) => {
+                        let mut b = backend.lock();
+                        match b.submit(worker, msg, now_millis(started), auto) {
+                            Ok(report) => Json::obj([
+                                ("type", Json::str("ack")),
+                                ("estimate", Json::num(report.estimate)),
+                                ("fulfilled", Json::Bool(report.fulfilled)),
+                            ]),
+                            Err(e) => Json::obj([
+                                ("type", Json::str("reject")),
+                                ("reason", Json::str(e.to_string())),
+                            ]),
+                        }
+                    }
+                };
+                let _ = conn.send(reply.encode().as_bytes());
+                flush_outboxes(&backend, &registry);
+            }
+            Some("modify") => {
+                let bundle: Option<Vec<(crowdfill_model::Message, bool)>> = req
+                    .get("msgs")
+                    .and_then(Json::as_arr)
+                    .map(|arr| {
+                        arr.iter()
+                            .map(|e| {
+                                let auto =
+                                    e.get("auto").and_then(Json::as_bool).unwrap_or(false);
+                                e.get("msg")
+                                    .and_then(|m| wire::message_from_json(m).ok())
+                                    .map(|m| (m, auto))
+                            })
+                            .collect::<Option<Vec<_>>>()
+                    })
+                    .unwrap_or(None);
+                let reply = match bundle {
+                    None => Json::obj([
+                        ("type", Json::str("reject")),
+                        ("reason", Json::str("malformed modify bundle")),
+                    ]),
+                    Some(bundle) => {
+                        let mut b = backend.lock();
+                        match b.submit_modify(worker, bundle, now_millis(started)) {
+                            Ok(report) => Json::obj([
+                                ("type", Json::str("ack")),
+                                ("estimate", Json::num(report.estimate)),
+                                ("fulfilled", Json::Bool(report.fulfilled)),
+                            ]),
+                            Err(e) => Json::obj([
+                                ("type", Json::str("reject")),
+                                ("reason", Json::str(e.to_string())),
+                            ]),
+                        }
+                    }
+                };
+                let _ = conn.send(reply.encode().as_bytes());
+                flush_outboxes(&backend, &registry);
+            }
+            Some("bye") | None => break,
+            _ => {}
+        }
+    }
+
+    registry.lock().remove(&worker);
+    backend.lock().disconnect(worker);
+}
+
+/// Delivers every session's pending broadcasts over its connection.
+fn flush_outboxes(backend: &Arc<Mutex<Backend>>, registry: &ConnRegistry) {
+    let conns: Vec<(WorkerId, Arc<TcpConn>)> = registry
+        .lock()
+        .iter()
+        .map(|(w, c)| (*w, Arc::clone(c)))
+        .collect();
+    for (worker, conn) in conns {
+        let pending = backend.lock().poll(worker);
+        for msg in pending {
+            let frame = Json::obj([("type", Json::str("msg")), ("msg", wire::message_to_json(&msg))]);
+            let _ = conn.send(frame.encode().as_bytes());
+        }
+    }
+}
+
+/// A client-side handle: a [`WorkerClient`](crate::WorkerClient) replica kept
+/// in sync over the TCP protocol.
+pub struct RemoteWorker {
+    conn: TcpConn,
+    client: crate::worker_client::WorkerClient,
+}
+
+/// Client-side protocol errors.
+#[derive(Debug)]
+pub enum RemoteError {
+    Conn(ConnError),
+    Protocol(String),
+    Rejected(String),
+    Op(crowdfill_model::OpError),
+}
+
+impl std::fmt::Display for RemoteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RemoteError::Conn(e) => write!(f, "connection: {e}"),
+            RemoteError::Protocol(e) => write!(f, "protocol: {e}"),
+            RemoteError::Rejected(r) => write!(f, "rejected: {r}"),
+            RemoteError::Op(e) => write!(f, "operation: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RemoteError {}
+
+/// The outcome of a submitted action.
+#[derive(Debug, Clone, Copy)]
+pub struct RemoteAck {
+    pub estimate: f64,
+    pub fulfilled: bool,
+}
+
+impl RemoteWorker {
+    /// Connects, handshakes, and replays the history into a local replica.
+    pub fn connect(addr: SocketAddr) -> Result<RemoteWorker, RemoteError> {
+        let conn = TcpConn::connect(addr).map_err(RemoteError::Conn)?;
+        conn.send(Json::obj([("type", Json::str("hello"))]).encode().as_bytes())
+            .map_err(RemoteError::Conn)?;
+        let frame = conn.recv().map_err(RemoteError::Conn)?;
+        let welcome = Json::parse(&String::from_utf8_lossy(&frame))
+            .map_err(|e| RemoteError::Protocol(e.to_string()))?;
+        if welcome.get("type").and_then(Json::as_str) != Some("welcome") {
+            return Err(RemoteError::Protocol("expected welcome".into()));
+        }
+        let worker = WorkerId(
+            welcome
+                .get("worker")
+                .and_then(Json::as_i64)
+                .ok_or_else(|| RemoteError::Protocol("missing worker id".into()))?
+                as u32,
+        );
+        let client_id = crowdfill_model::ClientId(
+            welcome
+                .get("client")
+                .and_then(Json::as_i64)
+                .ok_or_else(|| RemoteError::Protocol("missing client id".into()))?
+                as u32,
+        );
+        let schema = wire::schema_from_json(
+            welcome
+                .get("schema")
+                .ok_or_else(|| RemoteError::Protocol("missing schema".into()))?,
+        )
+        .map_err(|e| RemoteError::Protocol(e.to_string()))?;
+        let history = welcome
+            .get("history")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| RemoteError::Protocol("missing history".into()))?
+            .iter()
+            .map(wire::message_from_json)
+            .collect::<Result<Vec<_>, _>>()
+            .map_err(|e| RemoteError::Protocol(e.to_string()))?;
+        let client = crate::worker_client::WorkerClient::new(
+            worker,
+            client_id,
+            Arc::new(schema),
+            &history,
+        );
+        Ok(RemoteWorker { conn, client })
+    }
+
+    /// The local view (kept in sync by [`Self::absorb_pending`] and acks).
+    pub fn view(&self) -> &crate::worker_client::WorkerClient {
+        &self.client
+    }
+
+    /// Absorbs any broadcast messages that have arrived.
+    pub fn absorb_pending(&mut self) -> usize {
+        let mut n = 0;
+        while let Ok(frame) = self.conn.try_recv() {
+            if self.absorb_frame(&frame) {
+                n += 1;
+            }
+        }
+        n
+    }
+
+    fn absorb_frame(&mut self, frame: &[u8]) -> bool {
+        let Ok(json) = Json::parse(&String::from_utf8_lossy(frame)) else {
+            return false;
+        };
+        if json.get("type").and_then(Json::as_str) == Some("msg") {
+            if let Some(m) = json.get("msg").and_then(|m| wire::message_from_json(m).ok()) {
+                self.client.absorb(&m);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Fills a cell: applies locally, submits (plus the auto-upvote when the
+    /// fill completed the row), and returns the last ack.
+    pub fn fill(
+        &mut self,
+        row: crowdfill_model::RowId,
+        column: crowdfill_model::ColumnId,
+        value: crowdfill_model::Value,
+    ) -> Result<RemoteAck, RemoteError> {
+        let outgoing = self
+            .client
+            .fill(row, column, value)
+            .map_err(RemoteError::Op)?;
+        let mut last = None;
+        for out in outgoing {
+            last = Some(self.submit(&out.msg, out.auto_upvote)?);
+        }
+        Ok(last.expect("fill yields at least one message"))
+    }
+
+    /// Upvotes a row.
+    pub fn upvote(&mut self, row: crowdfill_model::RowId) -> Result<RemoteAck, RemoteError> {
+        let out = self.client.upvote(row).map_err(RemoteError::Op)?;
+        self.submit(&out.msg, false)
+    }
+
+    /// Downvotes a row.
+    pub fn downvote(&mut self, row: crowdfill_model::RowId) -> Result<RemoteAck, RemoteError> {
+        let out = self.client.downvote(row).map_err(RemoteError::Op)?;
+        self.submit(&out.msg, false)
+    }
+
+    /// Retracts an earlier upvote (own votes only).
+    pub fn undo_upvote(&mut self, row: crowdfill_model::RowId) -> Result<RemoteAck, RemoteError> {
+        let out = self.client.undo_upvote(row).map_err(RemoteError::Op)?;
+        self.submit(&out.msg, false)
+    }
+
+    /// Retracts an earlier downvote (own votes only).
+    pub fn undo_downvote(
+        &mut self,
+        row: crowdfill_model::RowId,
+    ) -> Result<RemoteAck, RemoteError> {
+        let out = self.client.undo_downvote(row).map_err(RemoteError::Op)?;
+        self.submit(&out.msg, false)
+    }
+
+    /// Overwrites a non-empty cell via the composite modify action; the
+    /// bundle travels as one frame so the server can authorize its insert.
+    pub fn modify(
+        &mut self,
+        row: crowdfill_model::RowId,
+        column: crowdfill_model::ColumnId,
+        value: crowdfill_model::Value,
+    ) -> Result<RemoteAck, RemoteError> {
+        let bundle = self
+            .client
+            .modify(row, column, value)
+            .map_err(RemoteError::Op)?;
+        let msgs = Json::Arr(
+            bundle
+                .iter()
+                .map(|o| {
+                    Json::obj([
+                        ("auto", Json::Bool(o.auto_upvote)),
+                        ("msg", wire::message_to_json(&o.msg)),
+                    ])
+                })
+                .collect(),
+        );
+        let frame = Json::obj([("type", Json::str("modify")), ("msgs", msgs)]);
+        self.conn
+            .send(frame.encode().as_bytes())
+            .map_err(RemoteError::Conn)?;
+        self.await_ack()
+    }
+
+    fn submit(
+        &mut self,
+        msg: &crowdfill_model::Message,
+        auto: bool,
+    ) -> Result<RemoteAck, RemoteError> {
+        let frame = Json::obj([
+            ("type", Json::str("submit")),
+            ("auto", Json::Bool(auto)),
+            ("msg", wire::message_to_json(msg)),
+        ]);
+        self.conn
+            .send(frame.encode().as_bytes())
+            .map_err(RemoteError::Conn)?;
+        self.await_ack()
+    }
+
+    /// Waits for the server's ack/reject, absorbing interleaved broadcasts.
+    fn await_ack(&mut self) -> Result<RemoteAck, RemoteError> {
+        loop {
+            let frame = self.conn.recv().map_err(RemoteError::Conn)?;
+            let json = Json::parse(&String::from_utf8_lossy(&frame))
+                .map_err(|e| RemoteError::Protocol(e.to_string()))?;
+            match json.get("type").and_then(Json::as_str) {
+                Some("msg") => {
+                    self.absorb_frame(&frame);
+                }
+                Some("ack") => {
+                    return Ok(RemoteAck {
+                        estimate: json.get("estimate").and_then(Json::as_f64).unwrap_or(0.0),
+                        fulfilled: json
+                            .get("fulfilled")
+                            .and_then(Json::as_bool)
+                            .unwrap_or(false),
+                    });
+                }
+                Some("reject") => {
+                    return Err(RemoteError::Rejected(
+                        json.get("reason")
+                            .and_then(Json::as_str)
+                            .unwrap_or("unknown")
+                            .to_string(),
+                    ));
+                }
+                other => {
+                    return Err(RemoteError::Protocol(format!(
+                        "unexpected frame {other:?}"
+                    )))
+                }
+            }
+        }
+    }
+
+    /// Says goodbye (the server releases the session).
+    pub fn bye(self) {
+        let _ = self
+            .conn
+            .send(Json::obj([("type", Json::str("bye"))]).encode().as_bytes());
+    }
+}

@@ -1,0 +1,534 @@
+//! End-to-end backend tests: a full in-process collection run with multiple
+//! worker clients, exercising the vote policy, PRI maintenance, estimation,
+//! and settlement.
+
+use crowdfill_model::{
+    Column, ColumnId, DataType, QuorumMajority, RowId, Schema, Template, Value,
+};
+use crowdfill_pay::{Millis, Scheme, WorkerId};
+use crowdfill_server::{Backend, SubmitError, TaskConfig, WorkerClient};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+fn schema() -> Arc<Schema> {
+    Arc::new(
+        Schema::new(
+            "SoccerPlayer",
+            vec![
+                Column::new("name", DataType::Text),
+                Column::new("nationality", DataType::Text),
+                Column::new("position", DataType::Text),
+            ],
+            &["name", "nationality"],
+        )
+        .unwrap(),
+    )
+}
+
+fn config(rows: usize, budget: f64) -> TaskConfig {
+    TaskConfig::new(
+        schema(),
+        Arc::new(QuorumMajority::of_three()),
+        Template::cardinality(rows),
+        budget,
+    )
+}
+
+/// A small test harness driving workers against a backend with immediate
+/// message delivery.
+struct Rig {
+    backend: Backend,
+    clients: HashMap<WorkerId, WorkerClient>,
+    now: u64,
+}
+
+impl Rig {
+    fn new(cfg: TaskConfig, n_workers: usize) -> Rig {
+        let schema = Arc::clone(&cfg.schema);
+        let mut backend = Backend::new(cfg);
+        let mut clients = HashMap::new();
+        for _ in 0..n_workers {
+            let (w, c, history) = backend.connect(Millis(0));
+            clients.insert(w, WorkerClient::new(w, c, Arc::clone(&schema), &history));
+        }
+        Rig {
+            backend,
+            clients,
+            now: 0,
+        }
+    }
+
+    fn w(&self, i: u32) -> WorkerId {
+        WorkerId(i)
+    }
+
+    fn sync_all(&mut self) {
+        let ids: Vec<WorkerId> = self.clients.keys().copied().collect();
+        for w in ids {
+            for msg in self.backend.poll(w) {
+                self.clients.get_mut(&w).unwrap().absorb(&msg);
+            }
+        }
+    }
+
+    fn fill(&mut self, w: u32, row: RowId, col: u16, v: &str) -> Result<RowId, SubmitError> {
+        self.now += 1000;
+        let worker = self.w(w);
+        let outgoing = self
+            .clients
+            .get_mut(&worker)
+            .unwrap()
+            .fill(row, ColumnId(col), Value::text(v))
+            .map_err(SubmitError::Op)?;
+        let new_row = outgoing[0].msg.creates_row().unwrap();
+        for out in outgoing {
+            self.backend
+                .submit(worker, out.msg, Millis(self.now), out.auto_upvote)?;
+        }
+        self.sync_all();
+        Ok(new_row)
+    }
+
+    fn upvote(&mut self, w: u32, row: RowId) -> Result<(), SubmitError> {
+        self.now += 500;
+        let worker = self.w(w);
+        let out = self
+            .clients
+            .get_mut(&worker)
+            .unwrap()
+            .upvote(row)
+            .map_err(SubmitError::Op)?;
+        self.backend
+            .submit(worker, out.msg, Millis(self.now), false)?;
+        self.sync_all();
+        Ok(())
+    }
+
+    fn downvote(&mut self, w: u32, row: RowId) -> Result<(), SubmitError> {
+        self.now += 500;
+        let worker = self.w(w);
+        let out = self
+            .clients
+            .get_mut(&worker)
+            .unwrap()
+            .downvote(row)
+            .map_err(SubmitError::Op)?;
+        self.backend
+            .submit(worker, out.msg, Millis(self.now), false)?;
+        self.sync_all();
+        Ok(())
+    }
+
+    fn assert_replicas_converged(&self) {
+        for client in self.clients.values() {
+            assert!(
+                client.replica().same_state(self.backend.master()),
+                "worker replica diverged from master"
+            );
+        }
+    }
+}
+
+#[test]
+fn full_collection_run_reaches_fulfillment() {
+    let mut rig = Rig::new(config(2, 10.0), 3);
+    assert!(!rig.backend.is_fulfilled());
+
+    // Worker 1 completes the first seeded row; workers 2 and 3 approve.
+    let rows: Vec<RowId> = rig.clients[&WorkerId(1)].replica().table().row_ids().collect();
+    assert_eq!(rows.len(), 2);
+
+    let r = rig.fill(1, rows[0], 0, "Messi").unwrap();
+    let r = rig.fill(1, r, 1, "Argentina").unwrap();
+    let done1 = rig.fill(1, r, 2, "FW").unwrap(); // auto-upvote fires
+    rig.upvote(2, done1).unwrap();
+    assert!(!rig.backend.is_fulfilled());
+
+    let r = rig.fill(2, rows[1], 0, "Neymar").unwrap();
+    let r = rig.fill(2, r, 1, "Brazil").unwrap();
+    let done2 = rig.fill(2, r, 2, "FW").unwrap();
+    rig.upvote(3, done2).unwrap();
+
+    assert!(rig.backend.is_fulfilled());
+    let ft = rig.backend.final_table();
+    assert_eq!(ft.len(), 2);
+    rig.assert_replicas_converged();
+
+    // Settlement: full budget spent across the two rows' cells and votes.
+    let (final_table, contributions, payout) = rig.backend.settle();
+    assert_eq!(final_table.len(), 2);
+    assert_eq!(contributions.cells.len(), 6);
+    assert_eq!(contributions.upvotes.len(), 2); // manual ones only
+    let total: f64 = payout.per_worker.values().sum();
+    assert!(total > 0.0 && total <= 10.0 + 1e-9);
+    // Workers 1 and 2 (fillers) must out-earn worker 3 (one vote).
+    assert!(payout.worker_total(WorkerId(1)) > payout.worker_total(WorkerId(3)));
+    assert!(payout.worker_total(WorkerId(2)) > payout.worker_total(WorkerId(3)));
+}
+
+#[test]
+fn vote_policy_one_vote_per_row() {
+    let mut rig = Rig::new(config(1, 10.0), 2);
+    let rows: Vec<RowId> = rig.clients[&WorkerId(1)].replica().table().row_ids().collect();
+    let r = rig.fill(1, rows[0], 0, "Messi").unwrap();
+    let r = rig.fill(1, r, 1, "Argentina").unwrap();
+    let done = rig.fill(1, r, 2, "FW").unwrap();
+
+    // Worker 1 auto-upvoted on completion: a manual upvote now violates the
+    // one-vote-per-row rule.
+    assert_eq!(rig.upvote(1, done), Err(SubmitError::AlreadyVoted));
+    // Worker 2 may vote once, not twice.
+    rig.upvote(2, done).unwrap();
+    assert_eq!(rig.downvote(2, done), Err(SubmitError::AlreadyVoted));
+}
+
+#[test]
+fn vote_policy_one_upvote_per_key() {
+    let mut rig = Rig::new(config(2, 10.0), 2);
+    let rows: Vec<RowId> = rig.clients[&WorkerId(1)].replica().table().row_ids().collect();
+    // Worker 1 builds two complete rows with the same primary key
+    // (different position). Its second auto-upvote rides on the fill and is
+    // exempt from the duplicate-key rule.
+    let r = rig.fill(1, rows[0], 0, "Messi").unwrap();
+    let r = rig.fill(1, r, 1, "Argentina").unwrap();
+    let done_a = rig.fill(1, r, 2, "FW").unwrap();
+
+    let r = rig.fill(1, rows[1], 0, "Messi").unwrap();
+    let r = rig.fill(1, r, 1, "Argentina").unwrap();
+    let done_b = rig.fill(1, r, 2, "MF").unwrap();
+
+    // Worker 2 upvotes A; then upvoting B (same key) is rejected.
+    rig.upvote(2, done_a).unwrap();
+    assert_eq!(rig.upvote(2, done_b), Err(SubmitError::DuplicateKeyUpvote));
+    // Downvoting B is still allowed (the key rule is upvote-only).
+    rig.downvote(2, done_b).unwrap();
+}
+
+#[test]
+fn vote_cap_enforced() {
+    let mut rig = Rig::new(config(1, 10.0).with_max_votes(2), 4);
+    let rows: Vec<RowId> = rig.clients[&WorkerId(1)].replica().table().row_ids().collect();
+    let r = rig.fill(1, rows[0], 0, "Messi").unwrap();
+    let r = rig.fill(1, r, 1, "Argentina").unwrap();
+    let done = rig.fill(1, r, 2, "FW").unwrap(); // auto: 1 vote
+    rig.upvote(2, done).unwrap(); // 2 votes: at cap
+    assert_eq!(rig.upvote(3, done), Err(SubmitError::MaxVotesReached));
+}
+
+#[test]
+fn workers_cannot_insert() {
+    let mut rig = Rig::new(config(1, 10.0), 1);
+    let msg = crowdfill_model::Message::Insert {
+        row: RowId::new(crowdfill_model::ClientId(1), 999),
+    };
+    assert!(matches!(
+        rig.backend.submit(WorkerId(1), msg, Millis(1), false),
+        Err(SubmitError::WorkersCannotInsert)
+    ));
+}
+
+#[test]
+fn unknown_worker_rejected() {
+    let mut rig = Rig::new(config(1, 10.0), 1);
+    let msg = crowdfill_model::Message::Upvote {
+        value: crowdfill_model::RowValue::empty(),
+    };
+    assert!(matches!(
+        rig.backend.submit(WorkerId(99), msg, Millis(1), false),
+        Err(SubmitError::UnknownWorker)
+    ));
+}
+
+#[test]
+fn stale_fill_rejected_but_harmless() {
+    let mut rig = Rig::new(config(1, 10.0), 2);
+    let rows: Vec<RowId> = rig.clients[&WorkerId(1)].replica().table().row_ids().collect();
+    // Worker 1 fills the row; worker 2's client still shows the old row but
+    // the backend has already replaced it. A fill against the stale id is
+    // rejected server-side — worker 2's local state remains consistent after
+    // absorbing the broadcast.
+    rig.fill(1, rows[0], 0, "Messi").unwrap();
+    // Bypass rig.fill to avoid sync: submit a stale message directly.
+    let worker2 = WorkerId(2);
+    // Worker 2 hasn't polled yet in this test flow (rig.fill synced, so
+    // make a new stale target: fill the *same* original row id).
+    let stale = rig
+        .clients
+        .get_mut(&worker2)
+        .unwrap()
+        .fill(rows[0], ColumnId(1), Value::text("Brazil")); // row gone locally too
+    assert!(stale.is_err(), "local replica already replaced the row");
+}
+
+#[test]
+fn late_joiner_replays_history_and_converges() {
+    let mut rig = Rig::new(config(1, 10.0), 1);
+    let rows: Vec<RowId> = rig.clients[&WorkerId(1)].replica().table().row_ids().collect();
+    let r = rig.fill(1, rows[0], 0, "Messi").unwrap();
+    let _ = rig.fill(1, r, 1, "Argentina").unwrap();
+
+    let (w, c, history) = rig.backend.connect(Millis(rig.now));
+    let late = WorkerClient::new(w, c, schema(), &history);
+    assert!(late.replica().same_state(rig.backend.master()));
+    rig.clients.insert(w, late);
+
+    // Late joiner can act immediately.
+    let visible: Vec<RowId> = rig.clients[&w].replica().table().row_ids().collect();
+    let target = visible
+        .into_iter()
+        .find(|r| {
+            rig.clients[&w]
+                .replica()
+                .table()
+                .get(*r)
+                .unwrap()
+                .value
+                .get(ColumnId(2))
+                .is_none()
+                && rig.clients[&w]
+                    .replica()
+                    .table()
+                    .get(*r)
+                    .unwrap()
+                    .value
+                    .get(ColumnId(0))
+                    .is_some()
+        })
+        .unwrap();
+    rig.fill(w.0, target, 2, "FW").unwrap();
+    rig.assert_replicas_converged();
+}
+
+#[test]
+fn estimates_are_positive_and_tracked() {
+    let cfg = config(2, 12.0).with_scheme(Scheme::Uniform);
+    let schema_arc = Arc::clone(&cfg.schema);
+    let mut backend = Backend::new(cfg);
+    let (w, c, history) = backend.connect(Millis(0));
+    let mut client = WorkerClient::new(w, c, schema_arc, &history);
+    let rows: Vec<RowId> = client.replica().table().row_ids().collect();
+    let out = client.fill(rows[0], ColumnId(0), Value::text("Messi")).unwrap();
+    let report = backend
+        .submit(w, out[0].msg.clone(), Millis(1000), false)
+        .unwrap();
+    // Uniform: |C|=6, |U|=2, |D|=0 ⇒ estimate = 12/8 = 1.5.
+    assert!((report.estimate - 1.5).abs() < 1e-9);
+    assert_eq!(backend.estimator().timeline().len(), 1);
+}
+
+#[test]
+fn settlement_closes_collection() {
+    let mut rig = Rig::new(config(1, 10.0), 1);
+    let (_, _, payout) = rig.backend.settle();
+    assert_eq!(payout.per_worker.len(), 0);
+    let rows: Vec<RowId> = rig.clients[&WorkerId(1)].replica().table().row_ids().collect();
+    assert_eq!(
+        rig.fill(1, rows[0], 0, "Messi"),
+        Err(SubmitError::CollectionClosed)
+    );
+}
+
+#[test]
+fn undo_vote_lifecycle() {
+    let mut rig = Rig::new(config(1, 10.0), 3);
+    let rows: Vec<RowId> = rig.clients[&WorkerId(1)].replica().table().row_ids().collect();
+    let r = rig.fill(1, rows[0], 0, "Messi").unwrap();
+    let r = rig.fill(1, r, 1, "Argentina").unwrap();
+    let done = rig.fill(1, r, 2, "FW").unwrap(); // auto-upvote: 1↑
+
+    rig.upvote(2, done).unwrap(); // 2↑: quorum reached
+    assert!(rig.backend.is_fulfilled());
+
+    // Worker 2 retracts: score drops below quorum again.
+    let worker = WorkerId(2);
+    let out = rig
+        .clients
+        .get_mut(&worker)
+        .unwrap()
+        .undo_upvote(done)
+        .unwrap();
+    rig.backend
+        .submit(worker, out.msg, Millis(rig.now + 500), false)
+        .unwrap();
+    rig.sync_all();
+    assert!(!rig.backend.is_fulfilled());
+    assert_eq!(
+        rig.backend.master().table().get(done).unwrap().upvotes,
+        1
+    );
+    rig.assert_replicas_converged();
+
+    // Having undone it, worker 2 may vote on the row again — downvote now.
+    rig.downvote(2, done).unwrap();
+    assert_eq!(
+        rig.backend.master().table().get(done).unwrap().downvotes,
+        1
+    );
+
+    // Worker 3 never voted: the client itself rejects the undo (own-votes
+    // -only discipline), even though the shared history shows votes.
+    let worker3 = WorkerId(3);
+    let out = rig.clients.get_mut(&worker3).unwrap().undo_upvote(done);
+    assert!(matches!(
+        out,
+        Err(crowdfill_model::OpError::NothingToUndo)
+    ));
+    // And a forged raw undo message is still caught by the server policy.
+    let forged = crowdfill_model::Message::UndoUpvote {
+        value: rig
+            .backend
+            .master()
+            .table()
+            .get(done)
+            .unwrap()
+            .value
+            .clone(),
+    };
+    let err = rig
+        .backend
+        .submit(worker3, forged, Millis(rig.now + 1000), false);
+    assert!(matches!(err, Err(SubmitError::NoVoteToUndo)));
+}
+
+#[test]
+fn undone_votes_earn_nothing() {
+    let mut rig = Rig::new(config(1, 12.0), 3);
+    let rows: Vec<RowId> = rig.clients[&WorkerId(1)].replica().table().row_ids().collect();
+    let r = rig.fill(1, rows[0], 0, "Messi").unwrap();
+    let r = rig.fill(1, r, 1, "Argentina").unwrap();
+    let done = rig.fill(1, r, 2, "FW").unwrap();
+
+    // Worker 2 upvotes then retracts; worker 3's vote stands.
+    rig.upvote(2, done).unwrap();
+    let worker = WorkerId(2);
+    let out = rig
+        .clients
+        .get_mut(&worker)
+        .unwrap()
+        .undo_upvote(done)
+        .unwrap();
+    rig.backend
+        .submit(worker, out.msg, Millis(rig.now + 500), false)
+        .unwrap();
+    rig.sync_all();
+    rig.upvote(3, done).unwrap();
+
+    let (_, contributions, payout) = rig.backend.settle();
+    assert_eq!(contributions.upvotes.len(), 1, "only the standing vote pays");
+    assert_eq!(payout.worker_total(WorkerId(2)), 0.0);
+    assert!(payout.worker_total(WorkerId(3)) > 0.0);
+}
+
+#[test]
+fn modify_overwrites_a_cell_through_the_primitive_series() {
+    let mut rig = Rig::new(config(1, 10.0), 2);
+    let rows: Vec<RowId> = rig.clients[&WorkerId(1)].replica().table().row_ids().collect();
+    let r = rig.fill(1, rows[0], 0, "Messi").unwrap();
+    let r = rig.fill(1, r, 1, "Argentina").unwrap();
+    let done = rig.fill(1, r, 2, "MF").unwrap(); // wrong position
+
+    // Worker 2 corrects the position via modify.
+    let worker = WorkerId(2);
+    let bundle = rig
+        .clients
+        .get_mut(&worker)
+        .unwrap()
+        .modify(done, ColumnId(2), Value::text("FW"))
+        .unwrap();
+    let msgs: Vec<(crowdfill_model::Message, bool)> =
+        bundle.into_iter().map(|o| (o.msg, o.auto_upvote)).collect();
+    let report = rig
+        .backend
+        .submit_modify(worker, msgs, Millis(rig.now + 1000))
+        .unwrap();
+    let _ = report;
+    rig.sync_all();
+    rig.assert_replicas_converged();
+
+    // The old row is downvoted; a corrected complete row now exists.
+    assert_eq!(rig.backend.master().table().get(done).unwrap().downvotes, 1);
+    let corrected = rig
+        .backend
+        .master()
+        .table()
+        .iter()
+        .find(|(_, e)| e.value.get(ColumnId(2)) == Some(&Value::text("FW")))
+        .map(|(id, _)| id)
+        .expect("corrected row exists");
+    assert_ne!(corrected, done);
+    assert!(rig
+        .backend
+        .master()
+        .table()
+        .get(corrected)
+        .unwrap()
+        .value
+        .is_complete(&schema()));
+    // The corrected row was auto-upvoted by worker 2 on completion.
+    assert_eq!(
+        rig.backend.master().table().get(corrected).unwrap().upvotes,
+        1
+    );
+}
+
+#[test]
+fn raw_worker_inserts_still_rejected_outside_modify() {
+    let mut rig = Rig::new(config(1, 10.0), 1);
+    // A "bundle" that is just an insert must not slip through.
+    let msg = crowdfill_model::Message::Insert {
+        row: RowId::new(crowdfill_model::ClientId(1), 50),
+    };
+    let err = rig
+        .backend
+        .submit_modify(WorkerId(1), vec![(msg, false)], Millis(1));
+    assert!(matches!(err, Err(SubmitError::WorkersCannotInsert)));
+}
+
+/// Trace archival (§3.3 bookkeeping): the stored trace reloads bit-exact and
+/// re-settles to the identical payout under every scheme.
+#[test]
+fn archived_trace_resettles_identically() {
+    use crowdfill_server::Frontend;
+
+    let mut rig = Rig::new(config(2, 10.0), 3);
+    let rows: Vec<RowId> = rig.clients[&WorkerId(1)].replica().table().row_ids().collect();
+    let r = rig.fill(1, rows[0], 0, "Messi").unwrap();
+    let r = rig.fill(1, r, 1, "Argentina").unwrap();
+    let done1 = rig.fill(1, r, 2, "FW").unwrap();
+    rig.upvote(2, done1).unwrap();
+    let r = rig.fill(2, rows[1], 0, "Neymar").unwrap();
+    let r = rig.fill(2, r, 1, "Brazil").unwrap();
+    let done2 = rig.fill(2, r, 2, "FW").unwrap();
+    rig.upvote(3, done2).unwrap();
+
+    let mut fe = Frontend::in_memory();
+    let task_id = fe.create_task(rig.backend.config()).unwrap();
+    fe.store_trace(&task_id, rig.backend.trace()).unwrap();
+
+    let (final_table, contributions, payout) = rig.backend.settle();
+    let loaded = fe.load_trace(&task_id).unwrap();
+    assert_eq!(loaded.len(), rig.backend.trace().len());
+
+    let reloaded_contribs = crowdfill_pay::analyze(&loaded, &final_table);
+    assert_eq!(reloaded_contribs.cells.len(), contributions.cells.len());
+    for scheme in Scheme::ALL {
+        let a = crowdfill_pay::allocate(
+            scheme,
+            10.0,
+            rig.backend.trace(),
+            &contributions,
+            &schema(),
+            &crowdfill_pay::SplitConfig::new(),
+        );
+        let b = crowdfill_pay::allocate(
+            scheme,
+            10.0,
+            &loaded,
+            &reloaded_contribs,
+            &schema(),
+            &crowdfill_pay::SplitConfig::new(),
+        );
+        assert_eq!(a.per_worker, b.per_worker, "scheme {scheme} diverged");
+    }
+    let _ = payout;
+}

@@ -1,0 +1,191 @@
+//! Live networked deployment test: a real back-end behind framed TCP, with
+//! multiple remote workers collecting a small table end to end.
+
+use crowdfill_model::{Column, ColumnId, DataType, QuorumMajority, Schema, Template, Value};
+use crowdfill_server::{RemoteWorker, TaskConfig, TcpService};
+use std::sync::Arc;
+
+fn config(rows: usize) -> TaskConfig {
+    let schema = Arc::new(
+        Schema::new(
+            "SoccerPlayer",
+            vec![
+                Column::new("name", DataType::Text),
+                Column::new("nationality", DataType::Text),
+                Column::new("position", DataType::Text),
+            ],
+            &["name", "nationality"],
+        )
+        .unwrap(),
+    );
+    TaskConfig::new(
+        schema,
+        Arc::new(QuorumMajority::of_three()),
+        Template::cardinality(rows),
+        10.0,
+    )
+}
+
+#[test]
+fn remote_collection_end_to_end() {
+    let backend = crowdfill_server::Backend::new(config(1));
+    let service = TcpService::start(backend, "127.0.0.1:0").unwrap();
+    let addr = service.addr();
+
+    let mut alice = RemoteWorker::connect(addr).unwrap();
+    let mut bob = RemoteWorker::connect(addr).unwrap();
+
+    // Alice sees the seeded empty row and completes it.
+    let rows = alice.view().presented_rows();
+    assert_eq!(rows.len(), 1);
+    let ack = alice
+        .fill(rows[0], ColumnId(0), Value::text("Messi"))
+        .unwrap();
+    assert!(ack.estimate > 0.0);
+    let r = alice
+        .view()
+        .replica()
+        .table()
+        .row_ids()
+        .next()
+        .unwrap();
+    let _ = alice.fill(r, ColumnId(1), Value::text("Argentina")).unwrap();
+    let r = alice.view().replica().table().row_ids().next().unwrap();
+    let ack = alice.fill(r, ColumnId(2), Value::text("FW")).unwrap();
+    assert!(!ack.fulfilled); // one auto-upvote is below quorum
+
+    // Bob catches up via broadcasts and upvotes the completed row.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    loop {
+        bob.absorb_pending();
+        let complete = bob
+            .view()
+            .replica()
+            .table()
+            .iter()
+            .any(|(_, e)| e.value.len() == 3);
+        if complete {
+            break;
+        }
+        assert!(std::time::Instant::now() < deadline, "broadcast timed out");
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    let done = bob
+        .view()
+        .replica()
+        .table()
+        .iter()
+        .find(|(_, e)| e.value.len() == 3)
+        .map(|(id, _)| id)
+        .unwrap();
+    let ack = bob.upvote(done).unwrap();
+    assert!(ack.fulfilled, "quorum reached: constraint fulfilled");
+
+    // Double-voting is rejected over the wire too.
+    let err = bob.upvote(done);
+    assert!(err.is_err());
+
+    // Settle on the server side.
+    let backend = service.backend();
+    let (ft, _contribs, payout) = backend.lock().settle();
+    assert_eq!(ft.len(), 1);
+    assert!(payout.worker_total(crowdfill_pay::WorkerId(1)) > 0.0);
+    assert!(payout.worker_total(crowdfill_pay::WorkerId(2)) > 0.0);
+
+    alice.bye();
+    bob.bye();
+    service.stop();
+}
+
+#[test]
+fn malformed_frames_are_rejected_gracefully() {
+    use crowdfill_net::{FrameConn, TcpConn};
+    let backend = crowdfill_server::Backend::new(config(1));
+    let service = TcpService::start(backend, "127.0.0.1:0").unwrap();
+    let addr = service.addr();
+
+    // Garbage instead of hello: server drops the connection, stays alive.
+    {
+        let conn = TcpConn::connect(addr).unwrap();
+        conn.send(b"not json at all").unwrap();
+    }
+
+    // A proper client still works afterwards.
+    let mut worker = RemoteWorker::connect(addr).unwrap();
+    let rows = worker.view().presented_rows();
+    assert_eq!(rows.len(), 1);
+    // Malformed submit payload gets a reject, not a hang: send raw.
+    worker
+        .fill(rows[0], ColumnId(0), Value::text("Messi"))
+        .unwrap();
+    worker.bye();
+    service.stop();
+}
+
+#[test]
+fn undo_and_modify_over_the_wire() {
+    let backend = crowdfill_server::Backend::new(config(1));
+    let service = TcpService::start(backend, "127.0.0.1:0").unwrap();
+    let addr = service.addr();
+
+    let mut alice = RemoteWorker::connect(addr).unwrap();
+    let mut bob = RemoteWorker::connect(addr).unwrap();
+
+    // Alice completes the row with a wrong position.
+    let rows = alice.view().presented_rows();
+    let mut row = rows[0];
+    for (col, v) in [(0u16, "Messi"), (1, "Argentina"), (2, "MF")] {
+        alice.fill(row, ColumnId(col), Value::text(v)).unwrap();
+        row = alice
+            .view()
+            .replica()
+            .table()
+            .iter()
+            .find(|(_, e)| e.value.get(ColumnId(col)) == Some(&Value::text(v)))
+            .map(|(id, _)| id)
+            .unwrap();
+    }
+
+    // Bob sees it, upvotes, reconsiders, undoes, then corrects via modify.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    let done = loop {
+        bob.absorb_pending();
+        if let Some((id, _)) = bob
+            .view()
+            .replica()
+            .table()
+            .iter()
+            .find(|(_, e)| e.value.len() == 3)
+        {
+            break id;
+        }
+        assert!(std::time::Instant::now() < deadline);
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    };
+    bob.upvote(done).unwrap();
+    bob.undo_upvote(done).unwrap();
+    // Undoing twice is rejected end to end.
+    assert!(bob.undo_upvote(done).is_err());
+
+    let ack = bob.modify(done, ColumnId(2), Value::text("FW")).unwrap();
+    let _ = ack;
+    // The corrected row exists server-side with position FW and the old row
+    // carries bob's downvote.
+    let backend = service.backend();
+    {
+        let b = backend.lock();
+        let corrected = b
+            .master()
+            .table()
+            .iter()
+            .find(|(_, e)| e.value.get(ColumnId(2)) == Some(&Value::text("FW")))
+            .expect("corrected row");
+        assert_eq!(corrected.1.value.len(), 3);
+        let old = b.master().table().get(done).expect("old row remains");
+        assert_eq!(old.downvotes, 1);
+    }
+
+    alice.bye();
+    bob.bye();
+    service.stop();
+}

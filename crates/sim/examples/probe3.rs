@@ -1,0 +1,62 @@
+// Instrumented mini-DES comparing free vs guided decision outcomes.
+use crowdfill_pay::Millis;
+use crowdfill_server::{Backend, TaskConfig, WorkerClient};
+use crowdfill_sim::*;
+use std::sync::Arc;
+
+fn main() {
+    for guided in [false, true] {
+        let cfg = paper_setup(2014, 20);
+        let schema = cfg.universe.schema.clone();
+        let mut task = TaskConfig::new(
+            Arc::clone(&schema), Arc::clone(&cfg.scoring), cfg.template.clone(), cfg.budget,
+        );
+        task.max_votes_per_row = cfg.max_votes_per_row;
+        let mut backend = Backend::new(task);
+        let mut workers: Vec<SimWorker> = Vec::new();
+        for p in &cfg.profiles {
+            let mut p = p.clone();
+            p.follow_recommendations = guided;
+            let (w, c, h) = backend.connect(Millis(0));
+            let client = WorkerClient::new(w, c, Arc::clone(&schema), &h);
+            workers.push(SimWorker::new(p, client, &cfg.universe, cfg.seed));
+        }
+        // simple round-robin time loop like the DES
+        let mut t = vec![0u64; workers.len()];
+        for (i, w) in workers.iter().enumerate() { t[i] = (w.profile.join_delay*1000.0) as u64; }
+        let (mut nones, mut rejects, mut fizzles, mut oks) = (0, 0, 0, 0);
+        let mut now;
+        loop {
+            let i = (0..workers.len()).min_by_key(|&i| t[i]).unwrap();
+            now = t[i];
+            if now > 4*3600*1000 || backend.is_fulfilled() { break; }
+            let w = &mut workers[i];
+            for m in backend.poll(w.worker_id()) { w.client.absorb(&m); }
+            let decision = if guided {
+                let recs = backend.recommend(w.worker_id(), 8);
+                w.decide_with_recommendations(&cfg.universe, &*cfg.scoring, &recs)
+            } else {
+                w.decide(&cfg.universe, &*cfg.scoring)
+            };
+            match decision {
+                None => { nones += 1; t[i] += (w.profile.idle_backoff*1000.0) as u64; }
+                Some((a, lat)) => {
+                    t[i] += (lat*1000.0) as u64;
+                    for m in backend.poll(w.worker_id()) { w.client.absorb(&m); }
+                    match w.execute(&a) {
+                        None => fizzles += 1,
+                        Some(outs) => {
+                            for o in outs {
+                                match backend.submit(w.worker_id(), o.msg, Millis(t[i]), o.auto_upvote) {
+                                    Ok(_) => oks += 1,
+                                    Err(_) => rejects += 1,
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        println!("guided={guided} elapsed={}s nones={nones} fizzles={fizzles} rejects={rejects} oks={oks}", now/1000);
+    }
+}

@@ -1,0 +1,300 @@
+//! Synthetic ground-truth universes for the crowd simulator.
+//!
+//! The paper's evaluation collects soccer players with 80–99 caps, noting
+//! that "more than 200 players" fall in the range — comfortably more than
+//! the 20-row target, so new keys stay easy to find. We generate
+//! deterministic synthetic universes with the same shape (compound text key,
+//! categorical/int/date attributes) plus two extra domains used by the
+//! multi-schema MAPE experiment (E4).
+
+use crowdfill_model::{Column, ColumnId, DataType, RowValue, Schema, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// A complete, key-unique reference table the simulated workers "know".
+#[derive(Debug, Clone)]
+pub struct GroundTruth {
+    pub schema: Arc<Schema>,
+    pub rows: Vec<RowValue>,
+    /// Suggested per-column base data-entry latencies, in seconds (harder
+    /// columns take longer; drives the worker latency model and therefore
+    /// the column-weighted compensation experiments).
+    pub base_latency: Vec<f64>,
+}
+
+impl GroundTruth {
+    /// Number of entities.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The entity whose values subsume `partial`, if exactly determined.
+    pub fn matching(&self, partial: &RowValue) -> Vec<usize> {
+        self.rows
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.subsumes(partial))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Whether a complete row exactly equals some entity.
+    pub fn contains(&self, row: &RowValue) -> bool {
+        self.rows.iter().any(|r| r == row)
+    }
+}
+
+fn pick<'a, T>(rng: &mut StdRng, xs: &'a [T]) -> &'a T {
+    &xs[rng.gen_range(0..xs.len())]
+}
+
+const GIVEN: &[&str] = &[
+    "Lio", "Dan", "Mar", "Ron", "Ney", "And", "Ser", "Xav", "Ike", "Zin", "Raf", "Gon", "Edi",
+    "Fer", "Pau", "Luc", "Thi", "Car", "Jor", "Mat",
+];
+const GIVEN_TAIL: &[&str] = &["nel", "iel", "cos", "aldo", "mar", "res", "gio", "vi", "r", "edine"];
+const SUR: &[&str] = &[
+    "Mes", "Bat", "Sil", "Ron", "Cas", "Zid", "Gar", "Fern", "Lop", "Mor", "San", "Per", "Rod",
+    "Gom", "Mart", "Alv", "Tor", "Val", "Rib", "Kro",
+];
+const SUR_TAIL: &[&str] = &["si", "ista", "va", "aldinho", "illas", "ane", "cia", "andez", "ez", "ales", "os"];
+
+const NATIONS: &[&str] = &[
+    "Argentina", "Brazil", "Spain", "England", "France", "Germany", "Italy", "Portugal",
+    "Netherlands", "Uruguay", "Mexico", "Japan", "Korea", "Nigeria", "Ghana", "Sweden",
+    "Denmark", "Croatia", "Poland", "USA", "Chile", "Colombia", "Belgium", "Egypt",
+];
+const POSITIONS: &[&str] = &["GK", "DF", "MF", "FW"];
+
+/// The paper's experimental schema (§6): SoccerPlayer(name, nationality,
+/// position, caps, goals, dob), key (name, nationality).
+pub fn soccer_schema() -> Schema {
+    Schema::new(
+        "SoccerPlayer",
+        vec![
+            Column::new("name", DataType::Text),
+            Column::new("nationality", DataType::Text),
+            Column::with_domain(
+                "position",
+                DataType::Text,
+                POSITIONS.iter().map(|p| Value::text(*p)).collect(),
+            )
+            .expect("valid domain"),
+            Column::new("caps", DataType::Int),
+            Column::new("goals", DataType::Int),
+            Column::new("dob", DataType::Date),
+        ],
+        &["name", "nationality"],
+    )
+    .expect("valid schema")
+}
+
+/// A deterministic universe of `n` soccer players with caps in [80, 99]
+/// (the paper's collection target range) and unique (name, nationality).
+pub fn soccer_universe(seed: u64, n: usize) -> GroundTruth {
+    let schema = Arc::new(soccer_schema());
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x50CC_E12B);
+    let mut rows = Vec::with_capacity(n);
+    let mut used_names: HashSet<String> = HashSet::new();
+    while rows.len() < n {
+        let name = format!(
+            "{}{} {}{}",
+            pick(&mut rng, GIVEN),
+            pick(&mut rng, GIVEN_TAIL),
+            pick(&mut rng, SUR),
+            pick(&mut rng, SUR_TAIL)
+        );
+        // Keep names globally unique so key collisions in experiments are
+        // worker mistakes, not dataset artifacts.
+        if !used_names.insert(name.clone()) {
+            continue;
+        }
+        let nationality = pick(&mut rng, NATIONS).to_string();
+        let position = *pick(&mut rng, POSITIONS);
+        let caps = rng.gen_range(80..=99i64);
+        let goals = match position {
+            "GK" => rng.gen_range(0..=1),
+            "DF" => rng.gen_range(0..=12),
+            "MF" => rng.gen_range(3..=35),
+            _ => rng.gen_range(12..=60),
+        };
+        let year = rng.gen_range(1955..=1995);
+        let month = rng.gen_range(1..=12u8);
+        let day = rng.gen_range(1..=28u8);
+        rows.push(RowValue::from_pairs([
+            (ColumnId(0), Value::text(name)),
+            (ColumnId(1), Value::text(nationality)),
+            (ColumnId(2), Value::text(position)),
+            (ColumnId(3), Value::int(caps)),
+            (ColumnId(4), Value::int(goals)),
+            (ColumnId(5), Value::date(year, month, day)),
+        ]));
+    }
+    GroundTruth {
+        schema,
+        rows,
+        // Names are slow to type; nationality/position are quick picks;
+        // numeric recall is mid; dates are slowest.
+        base_latency: vec![8.0, 4.0, 3.0, 6.0, 6.0, 9.0],
+    }
+}
+
+/// A second domain (E4): world cities.
+pub fn cities_universe(seed: u64, n: usize) -> GroundTruth {
+    let schema = Arc::new(
+        Schema::new(
+            "City",
+            vec![
+                Column::new("city", DataType::Text),
+                Column::new("country", DataType::Text),
+                Column::new("population_k", DataType::Int),
+                Column::new("coastal", DataType::Bool),
+            ],
+            &["city", "country"],
+        )
+        .expect("valid schema"),
+    );
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x00C1_7E55);
+    let prefixes = [
+        "San", "New", "Port", "Fort", "Lake", "East", "West", "North", "South", "Old",
+    ];
+    let stems = [
+        "brook", "ville", "burg", "ton", "field", "haven", "mouth", "ford", "bridge", "gate",
+        "stad", "holm",
+    ];
+    let mut rows = Vec::with_capacity(n);
+    let mut used = HashSet::new();
+    while rows.len() < n {
+        let city = format!("{} {}{}", pick(&mut rng, &prefixes), pick(&mut rng, &stems), rng.gen_range(1..99));
+        if !used.insert(city.clone()) {
+            continue;
+        }
+        rows.push(RowValue::from_pairs([
+            (ColumnId(0), Value::text(city)),
+            (ColumnId(1), Value::text(pick(&mut rng, NATIONS).to_string())),
+            (ColumnId(2), Value::int(rng.gen_range(50..=9000))),
+            (ColumnId(3), Value::bool(rng.gen_bool(0.4))),
+        ]));
+    }
+    GroundTruth {
+        schema,
+        rows,
+        base_latency: vec![7.0, 4.0, 6.0, 3.0],
+    }
+}
+
+/// A third domain (E4): films.
+pub fn movies_universe(seed: u64, n: usize) -> GroundTruth {
+    let schema = Arc::new(
+        Schema::new(
+            "Movie",
+            vec![
+                Column::new("title", DataType::Text),
+                Column::new("year", DataType::Int),
+                Column::new("director", DataType::Text),
+                Column::new("runtime_min", DataType::Int),
+            ],
+            &["title", "year"],
+        )
+        .expect("valid schema"),
+    );
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x000F_1135);
+    let adjectives = [
+        "Silent", "Crimson", "Lost", "Final", "Golden", "Hidden", "Broken", "Distant", "Iron",
+        "Pale",
+    ];
+    let nouns = [
+        "Horizon", "Empire", "Garden", "Voyage", "Harbor", "Winter", "Mirror", "Signal",
+        "Covenant", "Meridian",
+    ];
+    let mut rows = Vec::with_capacity(n);
+    let mut used = HashSet::new();
+    while rows.len() < n {
+        let title = format!("The {} {}", pick(&mut rng, &adjectives), pick(&mut rng, &nouns));
+        let year = rng.gen_range(1960..=2013i64);
+        if !used.insert((title.clone(), year)) {
+            continue;
+        }
+        let director = format!(
+            "{}{} {}{}",
+            pick(&mut rng, GIVEN),
+            pick(&mut rng, GIVEN_TAIL),
+            pick(&mut rng, SUR),
+            pick(&mut rng, SUR_TAIL)
+        );
+        rows.push(RowValue::from_pairs([
+            (ColumnId(0), Value::text(title)),
+            (ColumnId(1), Value::int(year)),
+            (ColumnId(2), Value::text(director)),
+            (ColumnId(3), Value::int(rng.gen_range(78..=195))),
+        ]));
+    }
+    GroundTruth {
+        schema,
+        rows,
+        base_latency: vec![6.0, 4.0, 8.0, 5.0],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn soccer_universe_is_complete_and_key_unique() {
+        let gt = soccer_universe(7, 250);
+        assert_eq!(gt.len(), 250);
+        let mut keys = HashSet::new();
+        for row in &gt.rows {
+            assert!(row.is_complete(&gt.schema), "entities must be complete");
+            let key = row.key_projection(&gt.schema).unwrap();
+            assert!(keys.insert(key), "duplicate key in universe");
+            // Caps in the paper's range.
+            let caps = match row.get(ColumnId(3)).unwrap() {
+                Value::Int(v) => *v,
+                _ => panic!("caps must be int"),
+            };
+            assert!((80..=99).contains(&caps));
+        }
+    }
+
+    #[test]
+    fn universes_are_deterministic_per_seed() {
+        assert_eq!(soccer_universe(42, 50).rows, soccer_universe(42, 50).rows);
+        assert_ne!(soccer_universe(1, 50).rows, soccer_universe(2, 50).rows);
+    }
+
+    #[test]
+    fn matching_filters_by_subsumption() {
+        let gt = soccer_universe(7, 100);
+        let full = &gt.rows[0];
+        let partial = RowValue::from_pairs([(ColumnId(0), full.get(ColumnId(0)).unwrap().clone())]);
+        let matches = gt.matching(&partial);
+        assert!(matches.contains(&0));
+        assert!(gt.contains(full));
+        let empty_matches = gt.matching(&RowValue::empty());
+        assert_eq!(empty_matches.len(), 100);
+    }
+
+    #[test]
+    fn alternative_domains_have_valid_schemas() {
+        let cities = cities_universe(3, 80);
+        assert_eq!(cities.len(), 80);
+        assert_eq!(cities.base_latency.len(), cities.schema.width());
+        for row in &cities.rows {
+            assert!(row.is_complete(&cities.schema));
+        }
+        let movies = movies_universe(3, 80);
+        assert_eq!(movies.len(), 80);
+        assert_eq!(movies.base_latency.len(), movies.schema.width());
+        for row in &movies.rows {
+            assert!(row.is_complete(&movies.schema));
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! # crowdfill-sim
+//!
+//! The crowd simulator: the workspace's substitute for the paper's human
+//! volunteer workers (§6). A discrete-event engine drives behavioral worker
+//! models — each wrapping the *real* worker-client code — against the real
+//! back-end server, so every experiment exercises the same synchronization,
+//! constraint-maintenance, and compensation paths a live deployment does.
+//!
+//! * [`dataset`] — deterministic synthetic ground-truth universes (soccer
+//!   players per the paper's setup, plus two extra domains);
+//! * [`worker`] — behavioral profiles: speed, knowledge coverage, error
+//!   rate, vote propensity, session timing;
+//! * [`des`] — the event engine and [`RunReport`];
+//! * [`experiment`] — canned setups mirroring the paper's §6 runs.
+
+pub mod dataset;
+pub mod des;
+pub mod experiment;
+pub mod worker;
+
+pub use dataset::{cities_universe, movies_universe, soccer_schema, soccer_universe, GroundTruth};
+pub use des::{run, RunReport, SimConfig};
+pub use experiment::{paper_setup, paper_worker_profiles, uniform_setup};
+pub use worker::{PlannedAction, SimWorker, WorkerProfile};

@@ -1,0 +1,276 @@
+//! Property-based verification of the paper's convergence theorem (§2.4.2):
+//! for any set of operations generated at any clients, and any delivery
+//! schedule respecting per-link FIFO order, once the system quiesces the
+//! server and all clients hold identical candidate tables and vote
+//! histories.
+
+use crowdfill_model::{ClientId, Column, ColumnId, DataType, Operation, Schema, Value};
+use crowdfill_sync::Hub;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn schema() -> Arc<Schema> {
+    Arc::new(
+        Schema::new(
+            "T",
+            vec![
+                Column::new("a", DataType::Text),
+                Column::new("b", DataType::Text),
+                Column::new("c", DataType::Int),
+            ],
+            &["a"],
+        )
+        .unwrap(),
+    )
+}
+
+/// An abstract worker action; targets are indices resolved against whatever
+/// rows the acting client currently sees, so every generated script is
+/// meaningful regardless of prior interleavings.
+#[derive(Debug, Clone)]
+enum Action {
+    Insert,
+    /// Fill the `row_pick`-th row visible to the client, in the
+    /// `col_pick`-th of its empty columns, with one of a few values.
+    Fill {
+        row_pick: usize,
+        col_pick: usize,
+        value_pick: usize,
+    },
+    Upvote {
+        row_pick: usize,
+    },
+    Downvote {
+        row_pick: usize,
+    },
+    /// Undo an earlier vote (the extension's messages must preserve the
+    /// convergence theorem too). Only issued when the local history shows a
+    /// vote to retract, mirroring the session policy.
+    UndoUpvote {
+        row_pick: usize,
+    },
+    UndoDownvote {
+        row_pick: usize,
+    },
+    /// Deliver up to `n` pending messages, choosing links by `picks`.
+    Deliver {
+        picks: Vec<usize>,
+    },
+}
+
+fn action_strategy() -> impl Strategy<Value = Action> {
+    prop_oneof![
+        1 => Just(Action::Insert),
+        4 => (0usize..8, 0usize..3, 0usize..3).prop_map(|(row_pick, col_pick, value_pick)| {
+            Action::Fill { row_pick, col_pick, value_pick }
+        }),
+        2 => (0usize..8).prop_map(|row_pick| Action::Upvote { row_pick }),
+        2 => (0usize..8).prop_map(|row_pick| Action::Downvote { row_pick }),
+        1 => (0usize..8).prop_map(|row_pick| Action::UndoUpvote { row_pick }),
+        1 => (0usize..8).prop_map(|row_pick| Action::UndoDownvote { row_pick }),
+        3 => proptest::collection::vec(0usize..16, 1..6).prop_map(|picks| Action::Deliver { picks }),
+    ]
+}
+
+fn value_for(col: ColumnId, pick: usize) -> Value {
+    match col {
+        ColumnId(2) => Value::int(pick as i64),
+        _ => Value::text(format!("v{pick}")),
+    }
+}
+
+/// Runs a script of `(client, action)` pairs against a hub, then drains with
+/// a deterministic schedule derived from `seed`.
+///
+/// Undo actions honor the own-votes-only discipline (like the worker client
+/// does): each simulated client tracks the values it voted on and only
+/// retracts those. Cross-client undos are out of contract — they can
+/// legitimately diverge (see `Message::UndoUpvote` docs).
+fn run_script(n_clients: u32, script: &[(usize, Action)], seed: u64) -> Hub {
+    use std::collections::HashMap;
+    let ids: Vec<ClientId> = (1..=n_clients).map(ClientId).collect();
+    let mut hub = Hub::new(schema(), &ids);
+    // per-client: value -> net (upvotes, downvotes) standing
+    let mut own: Vec<HashMap<crowdfill_model::RowValue, (u32, u32)>> =
+        vec![HashMap::new(); ids.len()];
+    for (client, action) in script {
+        let i = client % hub.client_count();
+        match action {
+            Action::Insert => {
+                let _ = hub.client_op(i, &Operation::Insert);
+            }
+            Action::Fill {
+                row_pick,
+                col_pick,
+                value_pick,
+            } => {
+                let view = hub.client(i).table();
+                let rows: Vec<_> = view.row_ids().collect();
+                if rows.is_empty() {
+                    continue;
+                }
+                let row = rows[row_pick % rows.len()];
+                let empties: Vec<ColumnId> = view
+                    .get(row)
+                    .unwrap()
+                    .value
+                    .empty_columns(hub.client(i).schema())
+                    .collect();
+                if empties.is_empty() {
+                    continue;
+                }
+                let col = empties[col_pick % empties.len()];
+                let v = value_for(col, *value_pick);
+                let _ = hub.client_op(i, &Operation::Fill { row, column: col, value: v });
+            }
+            Action::Upvote { row_pick } => {
+                let rows: Vec<_> = hub.client(i).table().row_ids().collect();
+                if rows.is_empty() {
+                    continue;
+                }
+                let row = rows[row_pick % rows.len()];
+                if let Ok(crowdfill_model::Message::Upvote { value }) =
+                    hub.client_op(i, &Operation::Upvote { row })
+                {
+                    own[i].entry(value).or_insert((0, 0)).0 += 1;
+                }
+            }
+            Action::Downvote { row_pick } => {
+                let rows: Vec<_> = hub.client(i).table().row_ids().collect();
+                if rows.is_empty() {
+                    continue;
+                }
+                let row = rows[row_pick % rows.len()];
+                if let Ok(crowdfill_model::Message::Downvote { value }) =
+                    hub.client_op(i, &Operation::Downvote { row })
+                {
+                    own[i].entry(value).or_insert((0, 0)).1 += 1;
+                }
+            }
+            Action::UndoUpvote { row_pick } => {
+                let rows: Vec<_> = hub.client(i).table().row_ids().collect();
+                if rows.is_empty() {
+                    continue;
+                }
+                let row = rows[row_pick % rows.len()];
+                let value = hub.client(i).table().get(row).unwrap().value.clone();
+                if own[i].get(&value).is_some_and(|(u, _)| *u > 0)
+                    && hub.client_op(i, &Operation::UndoUpvote { row }).is_ok()
+                {
+                    own[i].get_mut(&value).unwrap().0 -= 1;
+                }
+            }
+            Action::UndoDownvote { row_pick } => {
+                let rows: Vec<_> = hub.client(i).table().row_ids().collect();
+                if rows.is_empty() {
+                    continue;
+                }
+                let row = rows[row_pick % rows.len()];
+                let value = hub.client(i).table().get(row).unwrap().value.clone();
+                if own[i].get(&value).is_some_and(|(_, d)| *d > 0)
+                    && hub.client_op(i, &Operation::UndoDownvote { row }).is_ok()
+                {
+                    own[i].get_mut(&value).unwrap().1 -= 1;
+                }
+            }
+            Action::Deliver { picks } => {
+                for &p in picks {
+                    let links = hub.pending_links();
+                    if links.is_empty() {
+                        break;
+                    }
+                    hub.step(links[p % links.len()]);
+                }
+            }
+        }
+    }
+    // Final quiescence under a seed-derived pseudo-random schedule.
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+    hub.drain_with(move |n| {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) as usize % n.max(1)
+    });
+    hub
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// The convergence theorem, end to end: any script, any schedule.
+    #[test]
+    fn convergence_theorem(
+        n_clients in 2u32..5,
+        script in proptest::collection::vec((0usize..4, action_strategy()), 1..60),
+        seed in any::<u64>(),
+    ) {
+        let hub = run_script(n_clients, &script, seed);
+        prop_assert!(hub.quiesced());
+        prop_assert!(hub.converged(), "replicas diverged after quiescence");
+    }
+
+    /// Convergence implies schedule-independence of the *final table* too:
+    /// two different delivery schedules of the same script agree.
+    #[test]
+    fn final_state_is_schedule_independent(
+        script in proptest::collection::vec((0usize..3, action_strategy()), 1..40),
+        seed_a in any::<u64>(),
+        seed_b in any::<u64>(),
+    ) {
+        // Schedules only differ in the final drain; mid-script Deliver
+        // actions are part of the script and shared. The end state of the
+        // *server* must nonetheless be identical because the upstream
+        // arrival order at the server is fixed by the script.
+        let hub_a = run_script(3, &script, seed_a);
+        let hub_b = run_script(3, &script, seed_b);
+        prop_assert!(hub_a.server().same_state(hub_b.server()));
+    }
+
+    /// Lemma 1: a row id observed with a value never changes value.
+    /// (Checked implicitly by `debug_assert` on id reuse; here we verify the
+    /// observable consequence — every replica that has a given id agrees on
+    /// its value.)
+    #[test]
+    fn row_ids_have_consistent_values(
+        script in proptest::collection::vec((0usize..3, action_strategy()), 1..40),
+        seed in any::<u64>(),
+    ) {
+        let hub = run_script(3, &script, seed);
+        for i in 0..hub.client_count() {
+            for (id, entry) in hub.client(i).table().iter() {
+                if let Some(server_entry) = hub.server().table().get(id) {
+                    prop_assert_eq!(&entry.value, &server_entry.value);
+                }
+            }
+        }
+    }
+}
+
+/// Deterministic regression: the paper's §2.4.1 worked example, driven
+/// through the hub with the worst-case schedule.
+#[test]
+fn paper_concurrency_example_via_hub() {
+    let ids = [ClientId(1), ClientId(2)];
+    let mut hub = Hub::new(schema(), &ids);
+    let row = hub
+        .client_op(0, &Operation::Insert)
+        .unwrap()
+        .creates_row()
+        .unwrap();
+    hub.drain();
+
+    hub.client_op(0, &Operation::fill(row, ColumnId(0), "Lionel Messi"))
+        .unwrap();
+    hub.client_op(1, &Operation::fill(row, ColumnId(1), "Brazil"))
+        .unwrap();
+    hub.drain_with(|n| n - 1);
+
+    assert!(hub.converged());
+    // Two forked rows; had the fills merged in place we'd see one incorrect
+    // "Lionel Messi | Brazil" row that neither client intended.
+    assert_eq!(hub.server().table().len(), 2);
+    for (_, e) in hub.server().table().iter() {
+        assert_eq!(e.value.len(), 1);
+    }
+}

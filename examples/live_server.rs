@@ -1,0 +1,144 @@
+//! The full deployment story over real TCP (paper §3.1's five steps):
+//! a front-end server stores the task spec, a simulated marketplace
+//! recruits workers, the back-end serves them over framed TCP, and the
+//! user retrieves results and pays bonuses.
+//!
+//! Run with: `cargo run --release --example live_server`
+
+use crowdfill::prelude::*;
+use std::sync::Arc;
+
+fn main() {
+    // Step 1: the user creates a table specification through the front end.
+    let schema = Arc::new(
+        Schema::new(
+            "SoccerPlayer",
+            vec![
+                Column::new("name", DataType::Text),
+                Column::new("nationality", DataType::Text),
+                Column::new("position", DataType::Text),
+            ],
+            &["name", "nationality"],
+        )
+        .unwrap(),
+    );
+    let config = TaskConfig::new(
+        Arc::clone(&schema),
+        Arc::new(QuorumMajority::of_three()),
+        Template::cardinality(2),
+        8.0,
+    );
+    let mut frontend = Frontend::in_memory();
+    let task_id = frontend.create_task(&config).unwrap();
+    frontend.launch_task(&task_id).unwrap();
+    println!("front-end: created and launched {task_id}");
+
+    // Step 2: the front end publishes tasks in the marketplace.
+    let mut market = Marketplace::new();
+    let hit = market.create_hit("Help fill a soccer-player table", &task_id, 0.05, 3);
+    println!("marketplace: published HIT {hit:?}");
+
+    // The back-end server goes live on an ephemeral port.
+    let backend = Backend::new(frontend.get_task(&task_id).unwrap());
+    let service = TcpService::start(backend, "127.0.0.1:0").unwrap();
+    let addr = service.addr();
+    println!("back-end: listening on {addr}");
+
+    // Step 3: workers accept assignments and are redirected to the back end.
+    let (a1, _) = market.accept(hit, "AMZN-ALICE").unwrap();
+    let (a2, _) = market.accept(hit, "AMZN-BOB").unwrap();
+
+    let players = [("Lionel Messi", "Argentina", "FW"), ("Neymar", "Brazil", "FW")];
+
+    // Step 4: workers perform actions until the constraints are fulfilled.
+    let alice_handle = std::thread::spawn(move || {
+        let mut alice = RemoteWorker::connect(addr).unwrap();
+        let mut estimated = 0.0;
+        for (name, nat, pos) in players {
+            alice.absorb_pending();
+            let Some(row) = alice.view().presented_rows().into_iter().find(|r| {
+                alice
+                    .view()
+                    .replica()
+                    .table()
+                    .get(*r)
+                    .is_some_and(|e| e.value.is_empty())
+            }) else {
+                break;
+            };
+            let mut row = row;
+            for (col, v) in [(0u16, name), (1, nat), (2, pos)] {
+                let ack = alice.fill(row, ColumnId(col), Value::text(v)).unwrap();
+                estimated += ack.estimate;
+                row = alice
+                    .view()
+                    .replica()
+                    .table()
+                    .iter()
+                    .find(|(_, e)| e.value.get(ColumnId(col)) == Some(&Value::text(v)))
+                    .map(|(id, _)| id)
+                    .unwrap();
+            }
+        }
+        alice.bye();
+        estimated
+    });
+    let alice_estimated = alice_handle.join().unwrap();
+    println!("alice: finished filling (estimated ${alice_estimated:.2})");
+
+    // Bob verifies and endorses both rows.
+    let mut bob = RemoteWorker::connect(addr).unwrap();
+    let mut fulfilled = false;
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    while !fulfilled && std::time::Instant::now() < deadline {
+        bob.absorb_pending();
+        let complete: Vec<_> = bob
+            .view()
+            .presented_rows()
+            .into_iter()
+            .filter(|r| {
+                bob.view()
+                    .replica()
+                    .table()
+                    .get(*r)
+                    .is_some_and(|e| e.value.is_complete(&schema))
+            })
+            .collect();
+        for row in complete {
+            if let Ok(ack) = bob.upvote(row) {
+                println!("bob: upvoted a row (estimated ${:.2})", ack.estimate);
+                fulfilled = ack.fulfilled;
+            }
+        }
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+    bob.bye();
+    println!("constraints fulfilled: {fulfilled}");
+
+    // Step 5: the user retrieves data and pays through the marketplace.
+    let backend = service.backend();
+    let (final_table, _contributions, payout) = backend.lock().settle();
+    frontend
+        .complete_task(&task_id, &final_table, &payout)
+        .unwrap();
+    market.submit(a1).unwrap();
+    market.submit(a2).unwrap();
+    market
+        .pay_bonus(a1, payout.worker_total(WorkerId(1)))
+        .unwrap();
+    market
+        .pay_bonus(a2, payout.worker_total(WorkerId(2)))
+        .unwrap();
+
+    println!("\ncollected rows (via front-end API):");
+    for row in frontend.get_results(&task_id).unwrap() {
+        println!("  {}", row.display(&schema));
+    }
+    println!("\npayout (stored + paid as marketplace bonuses):");
+    for (w, amount) in frontend.get_payout(&task_id).unwrap() {
+        println!("  worker#{w}: ${amount:.2}");
+    }
+    println!("marketplace total disbursed: ${:.2}", market.total_paid());
+
+    service.stop();
+}

@@ -1,0 +1,116 @@
+//! Quickstart: two workers collaboratively fill a one-row table.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use crowdfill::prelude::*;
+use std::sync::Arc;
+
+fn render(table: &CandidateTable, schema: &Schema) -> String {
+    let mut out = String::new();
+    for (id, entry) in table.iter() {
+        out.push_str(&format!(
+            "  {id}: {} (↑{} ↓{})\n",
+            entry.value.display(schema),
+            entry.upvotes,
+            entry.downvotes
+        ));
+    }
+    out
+}
+
+fn main() {
+    // 1. The user describes the table to collect (paper §2.1).
+    let schema = Arc::new(
+        Schema::new(
+            "SoccerPlayer",
+            vec![
+                Column::new("name", DataType::Text),
+                Column::new("nationality", DataType::Text),
+                Column::new("position", DataType::Text),
+            ],
+            &["name", "nationality"],
+        )
+        .expect("valid schema"),
+    );
+
+    // 2. Launch: collect one complete row, majority-of-three voting, $5.
+    let config = TaskConfig::new(
+        Arc::clone(&schema),
+        Arc::new(QuorumMajority::of_three()),
+        Template::cardinality(1),
+        5.0,
+    );
+    let mut backend = Backend::new(config);
+    println!("Task launched. Candidate table (seeded by the Central Client):");
+    println!("{}", render(backend.master().table(), &schema));
+
+    // 3. Two workers connect; each gets a replica built from the history.
+    let (w1, c1, history) = backend.connect(Millis(0));
+    let mut alice = WorkerClient::new(w1, c1, Arc::clone(&schema), &history);
+    let (w2, c2, history) = backend.connect(Millis(0));
+    let mut bob = WorkerClient::new(w2, c2, Arc::clone(&schema), &history);
+
+    // Alice fills the row cell by cell. Completing it auto-upvotes (§3.4).
+    let mut row = alice.presented_rows()[0];
+    for (i, (col, v)) in [(0u16, "Lionel Messi"), (1, "Argentina"), (2, "FW")]
+        .into_iter()
+        .enumerate()
+    {
+        let out = alice
+            .fill(row, ColumnId(col), Value::text(v))
+            .expect("cell is empty");
+        row = out[0].msg.creates_row().unwrap();
+        for o in out {
+            let report = backend
+                .submit(w1, o.msg, Millis(1000 * (i as u64 + 1)), o.auto_upvote)
+                .expect("valid action");
+            if !o.auto_upvote {
+                println!(
+                    "Alice fills {v:?} — estimated compensation ${:.2}",
+                    report.estimate
+                );
+            }
+        }
+    }
+
+    // Bob catches up on the broadcasts and endorses the row.
+    for msg in backend.poll(w2) {
+        bob.absorb(&msg);
+    }
+    let done = bob
+        .presented_rows()
+        .into_iter()
+        .find(|r| {
+            bob.replica()
+                .table()
+                .get(*r)
+                .is_some_and(|e| e.value.is_complete(&schema))
+        })
+        .expect("completed row visible");
+    let out = bob.upvote(done).expect("votable");
+    let report = backend.submit(w2, out.msg, Millis(5000), false).unwrap();
+    println!(
+        "Bob upvotes — estimated ${:.2}; constraints fulfilled: {}",
+        report.estimate, report.fulfilled
+    );
+
+    println!("\nCandidate table at completion:");
+    println!("{}", render(backend.master().table(), &schema));
+
+    // 4. Settle: derive the final table and pay contributors (paper §5).
+    let (final_table, contributions, payout) = backend.settle();
+    println!("Final table ({} rows):", final_table.len());
+    for r in final_table.rows() {
+        println!("  {} [score {}]", r.value.display(&schema), r.score);
+    }
+    println!(
+        "\nContribution units: {} cells, {} upvotes, {} downvotes",
+        contributions.cells.len(),
+        contributions.upvotes.len(),
+        contributions.downvotes.len()
+    );
+    for (w, amount) in &payout.per_worker {
+        println!("  {w}: ${amount:.2}");
+    }
+    println!("  unspent: ${:.2}", payout.unspent);
+}

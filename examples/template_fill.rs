@@ -1,0 +1,82 @@
+//! Values and predicates constraints: start from a partially-filled
+//! template and let the crowd complete it (paper §2.3, §4).
+//!
+//! The template prescribes two full keys to complete "horizontally", asks
+//! for any Brazilian and any forward, and adds a predicates row (our
+//! implementation of the paper's proposed extension): a player with ≥ 30
+//! goals.
+//!
+//! Run with: `cargo run --release --example template_fill`
+
+use crowdfill::prelude::*;
+use crowdfill::sim::{SimConfig, WorkerProfile};
+
+fn main() {
+    let universe = soccer_universe(7, 240);
+    let schema = universe.schema.clone();
+    let name = schema.column_id("name").unwrap();
+    let nat = schema.column_id("nationality").unwrap();
+    let pos = schema.column_id("position").unwrap();
+    let goals = schema.column_id("goals").unwrap();
+
+    // Seed two known keys from the reference data (as a user reusing
+    // previously-collected keys would), plus constraint-only rows.
+    let e0 = &universe.rows[0];
+    let e1 = &universe.rows[1];
+    let template = Template::from_rows(vec![
+        TemplateRow::from_values([
+            (name, e0.get(name).unwrap().clone()),
+            (nat, e0.get(nat).unwrap().clone()),
+        ]),
+        TemplateRow::from_values([
+            (name, e1.get(name).unwrap().clone()),
+            (nat, e1.get(nat).unwrap().clone()),
+        ]),
+        TemplateRow::from_values([(nat, Value::text("Brazil"))]),
+        TemplateRow::from_values([(pos, Value::text("FW"))]),
+        TemplateRow::from_entries([(goals, Entry::Pred(Predicate::Ge(Value::int(30))))]),
+    ]);
+
+    println!("Template ({} rows):", template.len());
+    for (i, t) in template.rows().iter().enumerate() {
+        let entries: Vec<String> = t
+            .entries()
+            .iter()
+            .map(|(c, e)| {
+                let col = schema.column(*c).unwrap().name();
+                match e {
+                    Entry::Value(v) => format!("{col}={v}"),
+                    Entry::Pred(p) => format!("{col} {p}"),
+                    Entry::Any => format!("{col}: any"),
+                }
+            })
+            .collect();
+        println!("  t{}: {}", i, if entries.is_empty() { "(empty)".into() } else { entries.join(", ") });
+    }
+
+    let profiles = vec![WorkerProfile::nominal(); 4];
+    let cfg = SimConfig::new(universe, template.clone(), profiles).with_seed(99);
+    let report = run_simulation(cfg);
+
+    println!("\nfulfilled: {} in {:.0}s (simulated)", report.fulfilled, report.elapsed.seconds());
+    println!("final table:");
+    for r in report.final_table.rows() {
+        println!("  {}", r.value.display(&schema));
+    }
+    println!(
+        "\ntemplate satisfied by final table: {}",
+        template.satisfied_by(&report.final_table)
+    );
+
+    // Show which final rows witness which template rows.
+    for (i, t) in template.rows().iter().enumerate() {
+        let witnesses: Vec<String> = report
+            .final_table
+            .rows()
+            .iter()
+            .filter(|r| t.satisfied_by(&r.value))
+            .map(|r| r.value.get(name).map(|v| v.to_string()).unwrap_or_default())
+            .collect();
+        println!("  t{i} satisfiable by: {}", witnesses.join(" | "));
+    }
+}

@@ -1,0 +1,245 @@
+//! Cross-crate integration: the complete CrowdFill pipeline — front end,
+//! marketplace, back end, simulated crowd, settlement, persistence — wired
+//! together the way the paper's §3.1 five-step flow describes.
+
+use crowdfill::prelude::*;
+use std::sync::Arc;
+
+#[test]
+fn five_step_lifecycle_end_to_end() {
+    // Step 1: table specification through the front end (durable store).
+    let mut path = std::env::temp_dir();
+    path.push(format!("crowdfill-e2e-{}.wal", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+
+    let universe = soccer_universe(77, 120);
+    let schema = universe.schema.clone();
+    let config = TaskConfig::new(
+        Arc::clone(&schema),
+        Arc::new(QuorumMajority::of_three()),
+        Template::cardinality(5),
+        10.0,
+    );
+    let mut frontend = Frontend::open(&path).unwrap();
+    let task_id = frontend.create_task(&config).unwrap();
+    frontend.launch_task(&task_id).unwrap();
+
+    // Step 2: marketplace tasks.
+    let mut market = Marketplace::new();
+    let hit = market.create_hit("fill a table", &task_id, 0.05, 5);
+
+    // Step 3+4: workers accept and perform actions — driven by the crowd
+    // simulator against the same backend code the TCP service uses.
+    let mut assignments = Vec::new();
+    for i in 0..3 {
+        let (a, redirect) = market.accept(hit, format!("EXT-{i}")).unwrap();
+        assert_eq!(redirect, task_id);
+        assignments.push(a);
+    }
+    let stored_config = frontend.get_task(&task_id).unwrap();
+    let mut cfg = SimConfig::new(
+        universe,
+        stored_config.template.clone(),
+        vec![WorkerProfile::nominal(); 3],
+    );
+    cfg.budget = stored_config.budget;
+    let report = run_simulation(cfg.with_seed(4));
+    assert!(report.fulfilled);
+    assert_eq!(report.final_table.len(), 5);
+
+    // Step 5: retrieve data, store results, pay bonuses.
+    frontend
+        .complete_task(&task_id, &report.final_table, &report.payout)
+        .unwrap();
+    for (i, a) in assignments.iter().enumerate() {
+        market.submit(*a).unwrap();
+        let w = WorkerId(i as u32 + 1);
+        market
+            .pay_bonus(*a, report.payout.worker_total(w))
+            .unwrap();
+    }
+    let paid: f64 = market.total_paid();
+    assert!(paid > 0.0);
+
+    // The durable front end survives a restart with results intact.
+    drop(frontend);
+    let reopened = Frontend::open(&path).unwrap();
+    let rows = reopened.get_results(&task_id).unwrap();
+    assert_eq!(rows.len(), 5);
+    for row in &rows {
+        assert!(row.is_complete(&schema));
+    }
+    std::fs::remove_file(&path).unwrap();
+}
+
+/// The §2.2 worked example, built through the real stack (not raw table
+/// manipulation): candidate table → final table with key enforcement.
+#[test]
+fn paper_running_example_through_the_stack() {
+    let schema = Arc::new(
+        Schema::new(
+            "SoccerPlayer",
+            vec![
+                Column::new("name", DataType::Text),
+                Column::new("nationality", DataType::Text),
+                Column::new("position", DataType::Text),
+                Column::new("caps", DataType::Int),
+                Column::new("goals", DataType::Int),
+            ],
+            &["name", "nationality"],
+        )
+        .unwrap(),
+    );
+    let config = TaskConfig::new(
+        Arc::clone(&schema),
+        Arc::new(QuorumMajority::of_three()),
+        Template::cardinality(4),
+        10.0,
+    );
+    let mut backend = Backend::new(config);
+    let mut clients = Vec::new();
+    for _ in 0..5 {
+        let (w, c, h) = backend.connect(Millis(0));
+        clients.push(WorkerClient::new(w, c, Arc::clone(&schema), &h));
+    }
+
+    let mut t = 0u64;
+    let mut fill_row = |backend: &mut Backend,
+                        clients: &mut Vec<WorkerClient>,
+                        who: usize,
+                        row: RowId,
+                        cells: &[(u16, Value)]| {
+        let mut row = row;
+        for (col, v) in cells {
+            t += 1000;
+            let out = clients[who].fill(row, ColumnId(*col), v.clone()).unwrap();
+            row = out[0].msg.creates_row().unwrap();
+            for o in out {
+                backend
+                    .submit(clients[who].worker(), o.msg, Millis(t), o.auto_upvote)
+                    .unwrap();
+            }
+            for c in clients.iter_mut() {
+                for m in backend.poll(c.worker()) {
+                    c.absorb(&m);
+                }
+            }
+        }
+        row
+    };
+
+    let seeds: Vec<RowId> = clients[0].presented_rows();
+    let messi = fill_row(
+        &mut backend,
+        &mut clients,
+        0,
+        seeds[0],
+        &[
+            (0, Value::text("Lionel Messi")),
+            (1, Value::text("Argentina")),
+            (2, Value::text("FW")),
+            (3, Value::int(83)),
+            (4, Value::int(37)),
+        ],
+    );
+    // Two Ronaldinho variants with the same key, different positions.
+    let ron_mf = fill_row(
+        &mut backend,
+        &mut clients,
+        1,
+        seeds[1],
+        &[
+            (0, Value::text("Ronaldinho")),
+            (1, Value::text("Brazil")),
+            (2, Value::text("MF")),
+            (3, Value::int(97)),
+            (4, Value::int(33)),
+        ],
+    );
+    let ron_fw = fill_row(
+        &mut backend,
+        &mut clients,
+        2,
+        seeds[2],
+        &[
+            (0, Value::text("Ronaldinho")),
+            (1, Value::text("Brazil")),
+            (2, Value::text("FW")),
+            (3, Value::int(97)),
+            (4, Value::int(33)),
+        ],
+    );
+
+    // Votes: Messi +1 (auto) +1; MF-variant to score 3; FW-variant stays 2↑1↓.
+    let mut vote = |backend: &mut Backend, clients: &mut Vec<WorkerClient>, who: usize, row: RowId, up: bool| {
+        t += 500;
+        let out = if up {
+            clients[who].upvote(row).unwrap()
+        } else {
+            clients[who].downvote(row).unwrap()
+        };
+        backend
+            .submit(clients[who].worker(), out.msg, Millis(t), false)
+            .unwrap();
+        for c in clients.iter_mut() {
+            for m in backend.poll(c.worker()) {
+                c.absorb(&m);
+            }
+        }
+    };
+    // Vote plan honoring the §3.4 policy (one vote per row; one upvote per
+    // key per worker — note each completer auto-upvoted its own row):
+    vote(&mut backend, &mut clients, 3, messi, true); // Messi: 2↑
+    vote(&mut backend, &mut clients, 0, ron_mf, true); // MF: 2↑
+    vote(&mut backend, &mut clients, 3, ron_mf, true); // MF: 3↑
+    vote(&mut backend, &mut clients, 4, ron_fw, true); // FW: 2↑
+    vote(&mut backend, &mut clients, 0, ron_fw, false); // FW: 2↑ 1↓
+
+    let ft = backend.final_table();
+    // Key enforcement: one Ronaldinho, the higher-scored MF variant.
+    assert_eq!(ft.len(), 2);
+    let ron = ft
+        .rows()
+        .iter()
+        .find(|r| r.value.get(ColumnId(0)) == Some(&Value::text("Ronaldinho")))
+        .unwrap();
+    assert_eq!(ron.value.get(ColumnId(2)), Some(&Value::text("MF")));
+    assert_eq!(ron.id, ron_mf);
+    assert!(ft
+        .rows()
+        .iter()
+        .any(|r| r.value.get(ColumnId(0)) == Some(&Value::text("Lionel Messi"))));
+
+    // Replica convergence across all four workers.
+    for c in &clients {
+        assert!(c.replica().same_state(backend.master()));
+    }
+}
+
+/// Predicates constraints (the paper's §8 "immediate future work") work end
+/// to end through the simulator.
+#[test]
+fn predicates_constraint_collection() {
+    let universe = soccer_universe(11, 200);
+    let schema = universe.schema.clone();
+    let goals = schema.column_id("goals").unwrap();
+    let pos = schema.column_id("position").unwrap();
+    let template = Template::from_rows(vec![
+        TemplateRow::from_entries([
+            (pos, Entry::Pred(Predicate::Eq(Value::text("FW")))),
+            (goals, Entry::Pred(Predicate::Ge(Value::int(30)))),
+        ]),
+        TemplateRow::empty(),
+        TemplateRow::empty(),
+    ]);
+    let cfg = SimConfig::new(universe, template.clone(), vec![WorkerProfile::nominal(); 3])
+        .with_seed(6);
+    let report = run_simulation(cfg);
+    assert!(report.fulfilled);
+    assert!(template.satisfied_by(&report.final_table));
+    // At least one final row is a ≥30-goal forward.
+    assert!(report.final_table.values().any(|v| {
+        v.get(pos) == Some(&Value::text("FW"))
+            && matches!(v.get(goals), Some(Value::Int(g)) if *g >= 30)
+    }));
+}
