@@ -13,6 +13,7 @@ use crowdfill_bench::print_table;
 use crowdfill_sim::{paper_setup, run};
 
 fn main() {
+    crowdfill_obs::init_from_env();
     let seeds: Vec<u64> = std::env::args()
         .nth(1)
         .and_then(|s| s.parse().ok())

@@ -18,6 +18,7 @@ use crowdfill_sim::{
 };
 
 fn main() {
+    crowdfill_obs::init_from_env();
     let runs_per_domain: u64 = std::env::args()
         .nth(1)
         .and_then(|s| s.parse().ok())

@@ -22,6 +22,7 @@ use crowdfill_bench::print_table;
 use crowdfill_sim::{paper_setup, run};
 
 fn main() {
+    crowdfill_obs::init_from_env();
     let seeds: Vec<u64> = (2014..2022).collect();
     let rows = 20;
     println!("Recommendation ablation: {rows}-row collection, 5 workers, seeds 2014–2021\n");

@@ -14,6 +14,7 @@ use crowdfill_bench::print_table;
 use crowdfill_sim::{run, soccer_universe, uniform_setup};
 
 fn main() {
+    crowdfill_obs::init_from_env();
     let seeds: Vec<u64> = (1..=3).collect();
 
     println!("A2a: worker scaling (20-row target, nominal workers, mean of 3 seeds)\n");

@@ -12,6 +12,7 @@ use crowdfill_pay::mape;
 use crowdfill_sim::{paper_setup, run};
 
 fn main() {
+    crowdfill_obs::init_from_env();
     let seed = std::env::args()
         .nth(1)
         .and_then(|s| s.parse().ok())

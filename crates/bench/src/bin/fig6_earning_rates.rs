@@ -23,6 +23,7 @@ fn normalize(curve: &[(f64, f64)]) -> Vec<(f64, f64)> {
 }
 
 fn main() {
+    crowdfill_obs::init_from_env();
     let seed = std::env::args()
         .nth(1)
         .and_then(|s| s.parse().ok())

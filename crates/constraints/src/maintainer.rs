@@ -256,6 +256,10 @@ impl PriMaintainer {
     /// Recomputes the probable set, diffs it into the matcher, repairs, and
     /// restores the PRI by insertion / shuffle / template-drop.
     fn refresh_and_maintain(&mut self) {
+        crowdfill_obs::metrics::counter("crowdfill_constraints_pri_refreshes").inc();
+        let _refresh_timer = crowdfill_obs::SpanTimer::start(
+            &crowdfill_obs::metrics::histogram("crowdfill_constraints_pri_refresh_ns"),
+        );
         self.sync_probable_set();
         self.matcher.repair();
 
@@ -302,6 +306,12 @@ impl PriMaintainer {
                     let dropped = self.template.remove(pos);
                     self.matcher.remove_left(&t);
                     self.dropped.push(dropped);
+                    crowdfill_obs::metrics::counter("crowdfill_constraints_template_drops").inc();
+                    crowdfill_obs::obs_warn!(
+                        "constraints",
+                        "PRI degenerate case: dropped template row";
+                        template_idx => t,
+                    );
                     self.matcher.repair();
                 }
             }

@@ -6,9 +6,35 @@
 //! stops cleanly at the first truncated or corrupt frame (a torn tail from a
 //! crash), discarding it and everything after.
 
+use crowdfill_obs::metrics::{Counter, Histogram};
+use crowdfill_obs::SpanTimer;
 use std::fs::{File, OpenOptions};
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// WAL metrics, resolved once per open log.
+#[derive(Debug)]
+struct WalMetrics {
+    appends: Arc<Counter>,
+    append_bytes: Arc<Counter>,
+    flush_ns: Arc<Histogram>,
+    compactions: Arc<Counter>,
+    replayed_records: Arc<Counter>,
+}
+
+impl WalMetrics {
+    fn resolve() -> WalMetrics {
+        use crowdfill_obs::metrics::{counter, histogram};
+        WalMetrics {
+            appends: counter("crowdfill_docstore_wal_appends"),
+            append_bytes: counter("crowdfill_docstore_wal_append_bytes"),
+            flush_ns: histogram("crowdfill_docstore_wal_flush_ns"),
+            compactions: counter("crowdfill_docstore_wal_compactions"),
+            replayed_records: counter("crowdfill_docstore_wal_replayed_records"),
+        }
+    }
+}
 
 /// CRC-32 (IEEE 802.3, reflected) with a lazily-built lookup table.
 pub fn crc32(data: &[u8]) -> u32 {
@@ -41,6 +67,7 @@ pub fn crc32(data: &[u8]) -> u32 {
 pub struct Wal {
     path: PathBuf,
     writer: BufWriter<File>,
+    metrics: WalMetrics,
 }
 
 impl Wal {
@@ -52,6 +79,8 @@ impl Wal {
         mut replay: impl FnMut(&[u8]),
     ) -> std::io::Result<Wal> {
         let path = path.as_ref().to_path_buf();
+        let metrics = WalMetrics::resolve();
+        let mut replayed = 0u64;
         let mut valid_len: u64 = 0;
         if path.exists() {
             let mut reader = BufReader::new(File::open(&path)?);
@@ -77,6 +106,7 @@ impl Wal {
                     break; // corrupt record: stop replay here
                 }
                 replay(&payload);
+                replayed += 1;
                 valid_len += 8 + len as u64;
             }
         }
@@ -92,7 +122,18 @@ impl Wal {
         file.set_len(valid_len)?;
         let mut writer = BufWriter::new(file);
         writer.seek_to_end()?;
-        Ok(Wal { path, writer })
+        metrics.replayed_records.add(replayed);
+        crowdfill_obs::obs_debug!(
+            "docstore",
+            "wal open: {}", path.display();
+            replayed => replayed,
+            valid_bytes => valid_len,
+        );
+        Ok(Wal {
+            path,
+            writer,
+            metrics,
+        })
     }
 
     /// Appends one record and flushes it to the OS.
@@ -102,7 +143,12 @@ impl Wal {
         self.writer.write_all(&len)?;
         self.writer.write_all(&crc)?;
         self.writer.write_all(payload)?;
-        self.writer.flush()
+        let flush_timer = SpanTimer::start(&self.metrics.flush_ns);
+        self.writer.flush()?;
+        drop(flush_timer);
+        self.metrics.appends.inc();
+        self.metrics.append_bytes.add(8 + payload.len() as u64);
+        Ok(())
     }
 
     /// Atomically replaces the log's contents with `records` (compaction):
@@ -127,6 +173,8 @@ impl Wal {
         let mut writer = BufWriter::new(file);
         writer.seek_to_end()?;
         self.writer = writer;
+        self.metrics.compactions.inc();
+        crowdfill_obs::obs_debug!("docstore", "wal compacted: {}", self.path.display());
         Ok(())
     }
 

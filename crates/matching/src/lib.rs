@@ -19,6 +19,22 @@
 use std::collections::hash_map::Entry;
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::hash::Hash;
+use std::sync::OnceLock;
+
+use crowdfill_obs::metrics::Counter;
+
+/// Counter of augmenting-path searches started.
+fn augment_searches() -> &'static Counter {
+    static C: OnceLock<std::sync::Arc<Counter>> = OnceLock::new();
+    C.get_or_init(|| crowdfill_obs::metrics::counter("crowdfill_matching_augment_searches"))
+}
+
+/// Counter of BFS expansions performed across all augmenting-path
+/// searches — the matcher's unit of work.
+fn augment_steps() -> &'static Counter {
+    static C: OnceLock<std::sync::Arc<Counter>> = OnceLock::new();
+    C.get_or_init(|| crowdfill_obs::metrics::counter("crowdfill_matching_augment_steps"))
+}
 
 /// An incrementally-maintained bipartite matching over caller-supplied
 /// vertex keys.
@@ -195,6 +211,7 @@ where
         if !self.adj.contains_key(l) || self.match_l.contains_key(l) {
             return false;
         }
+        augment_searches().inc();
         // BFS over alternating paths: free-left → (unmatched edge) right →
         // (matched edge) left → ...; stop at the first free right.
         let mut parent_of_right: HashMap<R, L> = HashMap::new();
@@ -203,8 +220,10 @@ where
         visited_left.insert(l.clone());
         queue.push_back(l.clone());
         let mut endpoint: Option<R> = None;
+        let mut steps = 0u64;
 
         'bfs: while let Some(cur) = queue.pop_front() {
+            steps += 1;
             for r in self.adj.get(&cur).into_iter().flatten() {
                 if let Entry::Vacant(slot) = parent_of_right.entry(r.clone()) {
                     slot.insert(cur.clone());
@@ -223,6 +242,7 @@ where
             }
         }
 
+        augment_steps().add(steps);
         let Some(mut r) = endpoint else {
             return false;
         };

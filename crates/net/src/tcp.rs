@@ -8,16 +8,40 @@
 
 use crate::conn::{ConnError, FrameConn, MAX_FRAME_LEN};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, TryRecvError};
+use crowdfill_obs::metrics::{counter, Counter};
+use crowdfill_obs::obs_warn;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
+
+/// Transport metrics, resolved once per connection/listener.
+struct NetMetrics {
+    bytes_in: Arc<Counter>,
+    bytes_out: Arc<Counter>,
+    frames_in: Arc<Counter>,
+    frames_out: Arc<Counter>,
+    frame_errors: Arc<Counter>,
+}
+
+impl NetMetrics {
+    fn resolve() -> NetMetrics {
+        NetMetrics {
+            bytes_in: counter("crowdfill_net_bytes_in"),
+            bytes_out: counter("crowdfill_net_bytes_out"),
+            frames_in: counter("crowdfill_net_frames_in"),
+            frames_out: counter("crowdfill_net_frames_out"),
+            frame_errors: counter("crowdfill_net_frame_errors"),
+        }
+    }
+}
 
 /// A framed TCP connection.
 pub struct TcpConn {
     writer: Mutex<TcpStream>,
     frames: Receiver<Vec<u8>>,
     peer: SocketAddr,
+    metrics: NetMetrics,
 }
 
 impl TcpConn {
@@ -33,6 +57,7 @@ impl TcpConn {
         let peer = stream.peer_addr().map_err(io_err)?;
         let reader = stream.try_clone().map_err(io_err)?;
         let (tx, frames) = unbounded();
+        let reader_metrics = NetMetrics::resolve();
         std::thread::Builder::new()
             .name(format!("crowdfill-net-read-{peer}"))
             .spawn(move || {
@@ -40,6 +65,8 @@ impl TcpConn {
                 loop {
                     match read_frame(&mut reader) {
                         Ok(frame) => {
+                            reader_metrics.frames_in.inc();
+                            reader_metrics.bytes_in.add(4 + frame.len() as u64);
                             if tx.send(frame).is_err() {
                                 // Receiver gone: close our clone so the peer
                                 // sees EOF, then stop reading.
@@ -47,7 +74,16 @@ impl TcpConn {
                                 return;
                             }
                         }
-                        Err(_) => return, // peer closed / corrupt: channel drops
+                        // Peer closed / corrupt: the channel drops. A clean
+                        // close surfaces as UnexpectedEof; anything else is a
+                        // framing error worth counting.
+                        Err(e) => {
+                            if e.kind() != std::io::ErrorKind::UnexpectedEof {
+                                reader_metrics.frame_errors.inc();
+                                obs_warn!("net", "frame read error from {peer}: {e}");
+                            }
+                            return;
+                        }
                     }
                 }
             })
@@ -56,6 +92,7 @@ impl TcpConn {
             writer: Mutex::new(stream),
             frames,
             peer,
+            metrics: NetMetrics::resolve(),
         })
     }
 
@@ -79,13 +116,17 @@ impl Drop for TcpConn {
 impl FrameConn for TcpConn {
     fn send(&self, frame: &[u8]) -> Result<(), ConnError> {
         if frame.len() > MAX_FRAME_LEN {
+            self.metrics.frame_errors.inc();
             return Err(ConnError::FrameTooLarge(frame.len()));
         }
         let mut writer = self.writer.lock().expect("writer lock");
         writer
             .write_all(&(frame.len() as u32).to_be_bytes())
             .and_then(|_| writer.write_all(frame))
-            .map_err(|_| ConnError::Disconnected)
+            .map_err(|_| ConnError::Disconnected)?;
+        self.metrics.frames_out.inc();
+        self.metrics.bytes_out.add(4 + frame.len() as u64);
+        Ok(())
     }
 
     fn recv(&self) -> Result<Vec<u8>, ConnError> {
@@ -129,6 +170,7 @@ fn io_err(e: std::io::Error) -> ConnError {
 /// A TCP acceptor producing framed connections.
 pub struct TcpServer {
     listener: TcpListener,
+    accepts: Arc<Counter>,
 }
 
 impl TcpServer {
@@ -136,6 +178,7 @@ impl TcpServer {
     pub fn bind(addr: impl ToSocketAddrs) -> Result<TcpServer, ConnError> {
         Ok(TcpServer {
             listener: TcpListener::bind(addr).map_err(io_err)?,
+            accepts: counter("crowdfill_net_accepts"),
         })
     }
 
@@ -147,6 +190,7 @@ impl TcpServer {
     /// Accepts the next incoming connection (blocking).
     pub fn accept(&self) -> Result<TcpConn, ConnError> {
         let (stream, _) = self.listener.accept().map_err(io_err)?;
+        self.accepts.inc();
         TcpConn::from_stream(stream)
     }
 }

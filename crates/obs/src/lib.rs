@@ -1,0 +1,89 @@
+//! crowdfill-obs: structured logging, metrics, and span timing.
+//!
+//! The workspace's observability layer, built on atomics and
+//! `parking_lot` only (no external logging/metrics frameworks):
+//!
+//! * [`log`] — a leveled, structured key-value event log with pluggable
+//!   [`Sink`](log::Sink)s: a stderr writer (text or JSON lines), a
+//!   bounded lossy ring buffer, and a test-capture sink. A disabled
+//!   level costs one relaxed atomic load at the call site.
+//! * [`metrics`] — a [`MetricsRegistry`](metrics::MetricsRegistry) of
+//!   lock-free [`Counter`](metrics::Counter)s,
+//!   [`Gauge`](metrics::Gauge)s, and log-bucketed
+//!   [`Histogram`](metrics::Histogram)s (p50/p90/p99/max), exported as
+//!   Prometheus-style plain text by
+//!   [`snapshot`](metrics::MetricsRegistry::snapshot). A process-global
+//!   registry backs the free functions [`counter`], [`gauge`], and
+//!   [`histogram`]; scoped registries can be created for isolation.
+//! * [`span`] — [`SpanTimer`](span::SpanTimer), an RAII guard that
+//!   records elapsed nanoseconds into a histogram on drop.
+//!
+//! Metric names follow `crowdfill_<crate>_<name>` (e.g.
+//! `crowdfill_sync_ops_applied`, `crowdfill_net_bytes_out`).
+//!
+//! Call [`init_from_env`] once at binary startup to turn the stderr log
+//! on; libraries only emit through whatever sinks the binary installed.
+
+pub mod log;
+pub mod metrics;
+pub mod span;
+
+pub use crate::log::{CaptureSink, Event, FieldValue, Level, RingSink, Sink, StderrFormat, StderrSink};
+pub use crate::metrics::{counter, gauge, histogram, Counter, Gauge, Histogram, MetricsRegistry};
+pub use crate::span::SpanTimer;
+
+use std::sync::Once;
+
+static INIT: Once = Once::new();
+
+/// Configures the global logger from the environment; safe to call more
+/// than once (later calls are no-ops).
+///
+/// * `OBS_LEVEL` — `trace` | `debug` | `info` | `warn` | `error` | `off`
+///   (default `info`);
+/// * `OBS_FORMAT` — `text` | `json` (default `text`).
+///
+/// Installs a [`StderrSink`] unless the level is `off`.
+pub fn init_from_env() {
+    INIT.call_once(|| {
+        let level = match std::env::var("OBS_LEVEL") {
+            Ok(v) => match Level::parse(&v) {
+                Some(level) => level,
+                None => {
+                    eprintln!("obs: ignoring unknown OBS_LEVEL={v:?} (want trace|debug|info|warn|error|off)");
+                    Level::Info
+                }
+            },
+            Err(_) => Level::Info,
+        };
+        let format = match std::env::var("OBS_FORMAT") {
+            Ok(v) if v.eq_ignore_ascii_case("json") => StderrFormat::Json,
+            Ok(v) if v.eq_ignore_ascii_case("text") => StderrFormat::Text,
+            Ok(v) => {
+                eprintln!("obs: ignoring unknown OBS_FORMAT={v:?} (want text|json)");
+                StderrFormat::Text
+            }
+            Err(_) => StderrFormat::Text,
+        };
+        log::set_level(level);
+        if level != Level::Off {
+            log::add_sink(std::sync::Arc::new(StderrSink::new(format)));
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn init_is_idempotent() {
+        let _guard = crate::log::TEST_GLOBAL_LOCK.lock();
+        init_from_env();
+        init_from_env();
+        // Tests must not leave the stderr sink chatting; detach it and
+        // re-disable the gate.
+        log::clear_sinks();
+        log::set_level(Level::Off);
+    }
+}

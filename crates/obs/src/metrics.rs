@@ -1,0 +1,415 @@
+//! Lock-free counters, gauges, and log-bucketed histograms, collected
+//! in a [`MetricsRegistry`] with a Prometheus-style text exporter.
+//!
+//! Hot paths should resolve their instrument once (an `Arc<Counter>` is
+//! one relaxed `fetch_add` per increment) rather than re-looking names
+//! up; the free functions [`counter`]/[`gauge`]/[`histogram`] do a
+//! registry lookup and are for setup code and cold paths.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use parking_lot::Mutex;
+
+/// Monotonically increasing event count.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    #[inline]
+    pub fn inc(&self) {
+        self.value.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A value that can move both ways (queue depths, open connections).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of histogram buckets: bucket 0 holds zeros, bucket `i` holds
+/// values whose bit length is `i` (i.e. `[2^(i-1), 2^i)`), up to the
+/// full `u64` range.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// Log-bucketed histogram of `u64` samples (typically nanoseconds).
+///
+/// Recording is one relaxed `fetch_add` into a power-of-two bucket plus
+/// count/sum/max upkeep — no locks. Quantiles are estimated by linear
+/// interpolation inside the selected bucket, so an estimate is always
+/// within the bucket (at worst a factor-of-2 band) of the true value.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Bucket index for a sample: its bit length.
+#[inline]
+pub fn bucket_index(value: u64) -> usize {
+    (64 - value.leading_zeros()) as usize
+}
+
+/// Inclusive value bounds covered by bucket `i`.
+pub fn bucket_bounds(index: usize) -> (u64, u64) {
+    match index {
+        0 => (0, 0),
+        64 => (1 << 63, u64::MAX),
+        i => (1 << (i - 1), (1 << i) - 1),
+    }
+}
+
+impl Histogram {
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn record_duration(&self, d: std::time::Duration) {
+        self.record(d.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// A consistent-enough copy for reporting (individual loads are
+    /// relaxed; concurrent recording can skew totals by in-flight
+    /// samples, which reporting tolerates).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Estimated quantile (`q` in `[0, 1]`); `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        self.snapshot().quantile(q)
+    }
+}
+
+/// Plain-data copy of a [`Histogram`], mergeable across sources.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+    pub count: u64,
+    pub sum: u64,
+    pub max: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: [0; HISTOGRAM_BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Combines two snapshots; exact (bucket counts add), hence
+    /// associative and commutative.
+    pub fn merge(&self, other: &HistogramSnapshot) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i] + other.buckets[i]),
+            count: self.count + other.count,
+            sum: self.sum.saturating_add(other.sum),
+            max: self.max.max(other.max),
+        }
+    }
+
+    /// Estimated quantile (`q` in `[0, 1]`); `None` when empty. The
+    /// estimate lies within the bounds of the bucket holding the
+    /// rank-`⌈q·count⌉` sample.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if seen + n >= rank {
+                let (lo, hi) = bucket_bounds(i);
+                // Interpolate by the rank's position within this bucket.
+                let within = (rank - seen - 1) as f64 / n as f64;
+                let est = lo as f64 + within * (hi - lo) as f64;
+                // Never report beyond the observed max.
+                return Some((est as u64).min(self.max.max(lo)));
+            }
+            seen += n;
+        }
+        Some(self.max)
+    }
+
+    pub fn mean(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum as f64 / self.count as f64)
+        }
+    }
+}
+
+enum Instrument {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+/// A named collection of instruments. One process-global registry backs
+/// [`global()`]; scoped registries isolate e.g. one simulation run.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    instruments: Mutex<BTreeMap<String, Instrument>>,
+}
+
+impl MetricsRegistry {
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Gets or registers the named counter.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different instrument kind.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self.instruments.lock();
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Instrument::Counter(Arc::new(Counter::new())))
+        {
+            Instrument::Counter(c) => Arc::clone(c),
+            _ => panic!("metric {name:?} is registered as a non-counter"),
+        }
+    }
+
+    /// Gets or registers the named gauge (same contract as [`counter`](Self::counter)).
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut map = self.instruments.lock();
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Instrument::Gauge(Arc::new(Gauge::new())))
+        {
+            Instrument::Gauge(g) => Arc::clone(g),
+            _ => panic!("metric {name:?} is registered as a non-gauge"),
+        }
+    }
+
+    /// Gets or registers the named histogram (same contract as [`counter`](Self::counter)).
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut map = self.instruments.lock();
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Instrument::Histogram(Arc::new(Histogram::new())))
+        {
+            Instrument::Histogram(h) => Arc::clone(h),
+            _ => panic!("metric {name:?} is registered as a non-histogram"),
+        }
+    }
+
+    /// Prometheus-style plain-text exposition of every instrument,
+    /// sorted by name. Histograms render as summaries: `_count`, `_sum`,
+    /// `{quantile="..."}` estimates, and `_max`.
+    pub fn snapshot(&self) -> String {
+        use std::fmt::Write as _;
+        let map = self.instruments.lock();
+        let mut out = String::new();
+        for (name, instrument) in map.iter() {
+            match instrument {
+                Instrument::Counter(c) => {
+                    let _ = writeln!(out, "# TYPE {name} counter");
+                    let _ = writeln!(out, "{name} {}", c.get());
+                }
+                Instrument::Gauge(g) => {
+                    let _ = writeln!(out, "# TYPE {name} gauge");
+                    let _ = writeln!(out, "{name} {}", g.get());
+                }
+                Instrument::Histogram(h) => {
+                    let snap = h.snapshot();
+                    let _ = writeln!(out, "# TYPE {name} summary");
+                    let _ = writeln!(out, "{name}_count {}", snap.count);
+                    let _ = writeln!(out, "{name}_sum {}", snap.sum);
+                    for (label, q) in [("0.5", 0.5), ("0.9", 0.9), ("0.99", 0.99)] {
+                        if let Some(v) = snap.quantile(q) {
+                            let _ = writeln!(out, "{name}{{quantile=\"{label}\"}} {v}");
+                        }
+                    }
+                    let _ = writeln!(out, "{name}_max {}", snap.max);
+                }
+            }
+        }
+        out
+    }
+
+    /// Names currently registered (for diagnostics/tests).
+    pub fn names(&self) -> Vec<String> {
+        self.instruments.lock().keys().cloned().collect()
+    }
+}
+
+/// The process-global registry.
+pub fn global() -> &'static MetricsRegistry {
+    static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();
+    GLOBAL.get_or_init(MetricsRegistry::new)
+}
+
+/// Gets or registers a counter in the global registry.
+pub fn counter(name: &str) -> Arc<Counter> {
+    global().counter(name)
+}
+
+/// Gets or registers a gauge in the global registry.
+pub fn gauge(name: &str) -> Arc<Gauge> {
+    global().gauge(name)
+}
+
+/// Gets or registers a histogram in the global registry.
+pub fn histogram(name: &str) -> Arc<Histogram> {
+    global().histogram(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_roundtrip() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("crowdfill_test_hits");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        assert_eq!(reg.counter("crowdfill_test_hits").get(), 5);
+        let g = reg.gauge("crowdfill_test_depth");
+        g.set(7);
+        g.add(-3);
+        assert_eq!(g.get(), 4);
+    }
+
+    #[test]
+    fn bucket_bounds_partition_u64() {
+        let mut expected_lo = 0u64;
+        for i in 0..HISTOGRAM_BUCKETS {
+            let (lo, hi) = bucket_bounds(i);
+            assert_eq!(lo, expected_lo, "bucket {i}");
+            assert!(lo <= hi);
+            for v in [lo, hi] {
+                assert_eq!(bucket_index(v), i, "value {v}");
+            }
+            expected_lo = hi.wrapping_add(1);
+        }
+        assert_eq!(expected_lo, 0, "buckets must cover all of u64");
+    }
+
+    #[test]
+    fn histogram_quantiles_bracket_the_data() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let p50 = h.quantile(0.5).unwrap();
+        let p99 = h.quantile(0.99).unwrap();
+        // True p50 = 500 (bucket [256,511]), p99 = 990 (bucket [512,1023]).
+        assert!((256..=511).contains(&p50), "p50={p50}");
+        assert!((512..=1000).contains(&p99), "p99={p99}");
+        assert_eq!(h.snapshot().max, 1000);
+        assert!(p50 <= p99);
+    }
+
+    #[test]
+    fn empty_histogram_has_no_quantiles() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.snapshot().mean(), None);
+    }
+
+    #[test]
+    fn snapshot_text_contains_all_kinds() {
+        let reg = MetricsRegistry::new();
+        reg.counter("crowdfill_test_total").add(3);
+        reg.gauge("crowdfill_test_open").set(-2);
+        reg.histogram("crowdfill_test_latency_ns").record(1500);
+        let text = reg.snapshot();
+        assert!(text.contains("# TYPE crowdfill_test_total counter"));
+        assert!(text.contains("crowdfill_test_total 3"));
+        assert!(text.contains("crowdfill_test_open -2"));
+        assert!(text.contains("crowdfill_test_latency_ns_count 1"));
+        assert!(text.contains("crowdfill_test_latency_ns_sum 1500"));
+        assert!(text.contains("crowdfill_test_latency_ns_max 1500"));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-counter")]
+    fn kind_collisions_panic() {
+        let reg = MetricsRegistry::new();
+        reg.gauge("crowdfill_test_kind");
+        reg.counter("crowdfill_test_kind");
+    }
+}

@@ -1,0 +1,93 @@
+//! RAII span timing: start a [`SpanTimer`], drop it when the work is
+//! done, and the elapsed nanoseconds land in a histogram (and, at
+//! trace level, in the log).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::log::{enabled, Level};
+use crate::metrics::Histogram;
+
+/// Times a scope and records the elapsed nanoseconds on drop.
+///
+/// ```ignore
+/// let timer = SpanTimer::start(&latency_histogram);
+/// handle_request();
+/// drop(timer); // or just fall off the end of the scope
+/// ```
+#[must_use = "a SpanTimer records on drop; binding it to _ ends the span immediately"]
+pub struct SpanTimer {
+    histogram: Arc<Histogram>,
+    /// Logged at trace level on drop when set.
+    label: Option<(&'static str, &'static str)>,
+    start: Instant,
+}
+
+impl SpanTimer {
+    /// Starts a span recording into `histogram`.
+    pub fn start(histogram: &Arc<Histogram>) -> SpanTimer {
+        SpanTimer {
+            histogram: Arc::clone(histogram),
+            label: None,
+            start: Instant::now(),
+        }
+    }
+
+    /// Like [`start`](Self::start), but also emits a trace event
+    /// `target`/`name` with the elapsed time when the span closes.
+    pub fn start_labeled(
+        histogram: &Arc<Histogram>,
+        target: &'static str,
+        name: &'static str,
+    ) -> SpanTimer {
+        SpanTimer {
+            histogram: Arc::clone(histogram),
+            label: Some((target, name)),
+            start: Instant::now(),
+        }
+    }
+
+    /// Elapsed time so far without ending the span.
+    pub fn elapsed_ns(&self) -> u64 {
+        self.start.elapsed().as_nanos().min(u64::MAX as u128) as u64
+    }
+}
+
+impl Drop for SpanTimer {
+    fn drop(&mut self) {
+        let ns = self.elapsed_ns();
+        self.histogram.record(ns);
+        if let Some((target, name)) = self.label {
+            if enabled(Level::Trace) {
+                crate::obs_log!(Level::Trace, target, "span {name}"; elapsed_ns => ns);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_records_into_histogram() {
+        let h = Arc::new(Histogram::new());
+        {
+            let _t = SpanTimer::start(&h);
+            std::hint::black_box((0..1000).sum::<u64>());
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 1);
+        assert!(snap.max > 0);
+    }
+
+    #[test]
+    fn elapsed_is_monotone() {
+        let h = Arc::new(Histogram::new());
+        let t = SpanTimer::start_labeled(&h, "obs", "test_span");
+        let a = t.elapsed_ns();
+        std::hint::black_box((0..10_000).sum::<u64>());
+        let b = t.elapsed_ns();
+        assert!(b >= a);
+    }
+}

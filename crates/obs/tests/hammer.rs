@@ -1,0 +1,74 @@
+//! Multi-thread hammer tests: concurrent recording must lose nothing.
+
+use std::sync::Arc;
+
+use crowdfill_obs::log::{set_level, Event, FieldValue, Level, RingSink, Sink};
+use crowdfill_obs::metrics::MetricsRegistry;
+
+const THREADS: usize = 8;
+const PER_THREAD: u64 = 20_000;
+
+#[test]
+fn concurrent_counters_and_histograms_are_exact() {
+    let registry = Arc::new(MetricsRegistry::new());
+    crossbeam::scope(|scope| {
+        for t in 0..THREADS {
+            let registry = Arc::clone(&registry);
+            scope.spawn(move |_| {
+                let counter = registry.counter("crowdfill_obs_hammer_total");
+                let gauge = registry.gauge("crowdfill_obs_hammer_inflight");
+                let histogram = registry.histogram("crowdfill_obs_hammer_ns");
+                for i in 0..PER_THREAD {
+                    counter.inc();
+                    gauge.add(1);
+                    histogram.record(t as u64 * PER_THREAD + i);
+                    gauge.add(-1);
+                }
+            });
+        }
+    })
+    .expect("hammer threads panicked");
+
+    let expected = THREADS as u64 * PER_THREAD;
+    assert_eq!(registry.counter("crowdfill_obs_hammer_total").get(), expected);
+    assert_eq!(registry.gauge("crowdfill_obs_hammer_inflight").get(), 0);
+    let snap = registry.histogram("crowdfill_obs_hammer_ns").snapshot();
+    assert_eq!(snap.count, expected);
+    assert_eq!(snap.max, expected - 1);
+    // Sum of 0..expected.
+    assert_eq!(snap.sum, expected * (expected - 1) / 2);
+}
+
+#[test]
+fn ring_sink_sequences_survive_concurrent_writers() {
+    let ring = Arc::new(RingSink::new(512));
+    set_level(Level::Off); // sequence accounting must not depend on the global gate
+    crossbeam::scope(|scope| {
+        for t in 0..THREADS {
+            let ring = Arc::clone(&ring);
+            scope.spawn(move |_| {
+                for i in 0..2_000u64 {
+                    let event = Event {
+                        level: Level::Info,
+                        target: "hammer",
+                        message: format!("t{t}"),
+                        fields: vec![("i", FieldValue::U64(i))],
+                        unix_micros: 0,
+                    };
+                    ring.accept(&event);
+                }
+            });
+        }
+    })
+    .expect("ring threads panicked");
+
+    let total = THREADS as u64 * 2_000;
+    assert_eq!(ring.total_seen(), total);
+    let recent = ring.recent();
+    assert_eq!(recent.len(), 512);
+    // Retained sequence numbers are exactly the last `capacity`,
+    // contiguous and in order: nothing inside the window was lost.
+    for (offset, (seq, _)) in recent.iter().enumerate() {
+        assert_eq!(*seq, total - 512 + offset as u64);
+    }
+}

@@ -1,0 +1,107 @@
+//! Property tests for histogram bucket math and snapshot merging.
+
+use crowdfill_obs::metrics::{
+    bucket_bounds, bucket_index, Histogram, HistogramSnapshot, HISTOGRAM_BUCKETS,
+};
+use proptest::prelude::*;
+
+fn snapshot_of(values: &[u64]) -> HistogramSnapshot {
+    let h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Every value falls in exactly one bucket, and that bucket's bounds
+    /// contain it.
+    #[test]
+    fn bucket_bounds_contain_their_values(v in any::<u64>()) {
+        let i = bucket_index(v);
+        prop_assert!(i < HISTOGRAM_BUCKETS);
+        let (lo, hi) = bucket_bounds(i);
+        prop_assert!(lo <= v && v <= hi, "v={v} not in bucket {i} [{lo}, {hi}]");
+    }
+
+    /// Bucket bounds are monotone: each bucket starts right after the
+    /// previous one ends.
+    #[test]
+    fn buckets_are_monotone_and_adjacent(i in 1usize..HISTOGRAM_BUCKETS) {
+        let (prev_lo, prev_hi) = bucket_bounds(i - 1);
+        let (lo, hi) = bucket_bounds(i);
+        prop_assert!(prev_lo <= prev_hi);
+        prop_assert!(lo <= hi);
+        prop_assert_eq!(lo, prev_hi + 1);
+    }
+
+    /// A quantile estimate stays within the bounds of the bucket that
+    /// holds the rank-q sample, and never exceeds the observed max.
+    #[test]
+    fn quantile_estimates_bracket_true_rank(
+        mut values in proptest::collection::vec(0u64..1_000_000, 1..200),
+        q in 0.0f64..=1.0,
+    ) {
+        let snap = snapshot_of(&values);
+        let est = snap.quantile(q).expect("non-empty");
+
+        values.sort_unstable();
+        let rank = ((q * values.len() as f64).ceil() as usize).clamp(1, values.len());
+        let true_value = values[rank - 1];
+        let (lo, hi) = bucket_bounds(bucket_index(true_value));
+        prop_assert!(
+            est >= lo && est <= hi.min(snap.max),
+            "estimate {est} outside bucket [{lo}, {hi}] of true rank value {true_value}",
+        );
+    }
+
+    /// Quantiles are monotone in q.
+    #[test]
+    fn quantiles_are_monotone(
+        values in proptest::collection::vec(0u64..1_000_000_000, 1..200),
+        lo_q in 0.0f64..=1.0,
+        hi_q in 0.0f64..=1.0,
+    ) {
+        let (lo_q, hi_q) = if lo_q <= hi_q { (lo_q, hi_q) } else { (hi_q, lo_q) };
+        let snap = snapshot_of(&values);
+        prop_assert!(snap.quantile(lo_q).unwrap() <= snap.quantile(hi_q).unwrap());
+    }
+
+    /// Merging snapshots is exact: merge(a, b) equals the snapshot of
+    /// the concatenated samples, so merging is associative and
+    /// commutative by construction.
+    #[test]
+    fn merge_matches_concatenation(
+        a in proptest::collection::vec(0u64..1_000_000, 0..100),
+        b in proptest::collection::vec(0u64..1_000_000, 0..100),
+    ) {
+        let merged = snapshot_of(&a).merge(&snapshot_of(&b));
+        let mut all = a.clone();
+        all.extend_from_slice(&b);
+        prop_assert_eq!(&merged, &snapshot_of(&all));
+        prop_assert_eq!(&merged, &snapshot_of(&b).merge(&snapshot_of(&a)));
+    }
+
+    /// Associativity over three shards, directly.
+    #[test]
+    fn merge_is_associative(
+        a in proptest::collection::vec(0u64..1_000_000, 0..60),
+        b in proptest::collection::vec(0u64..1_000_000, 0..60),
+        c in proptest::collection::vec(0u64..1_000_000, 0..60),
+    ) {
+        let (sa, sb, sc) = (snapshot_of(&a), snapshot_of(&b), snapshot_of(&c));
+        prop_assert_eq!(sa.merge(&sb).merge(&sc), sa.merge(&sb.merge(&sc)));
+    }
+
+    /// count/sum/max always agree with the raw samples.
+    #[test]
+    fn totals_are_exact(values in proptest::collection::vec(0u64..1_000_000, 0..200)) {
+        let snap = snapshot_of(&values);
+        prop_assert_eq!(snap.count, values.len() as u64);
+        prop_assert_eq!(snap.sum, values.iter().sum::<u64>());
+        prop_assert_eq!(snap.max, values.iter().copied().max().unwrap_or(0));
+        prop_assert_eq!(snap.buckets.iter().sum::<u64>(), snap.count);
+    }
+}

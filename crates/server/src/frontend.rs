@@ -10,10 +10,34 @@ use crate::config::TaskConfig;
 use crate::wire;
 use crowdfill_docstore::{DocStore, Filter, Json, StoreError};
 use crowdfill_model::{FinalTable, QuorumMajority, ScoringRef};
+use crowdfill_obs::metrics::{Counter, Histogram};
+use crowdfill_obs::SpanTimer;
 use crowdfill_pay::{Payout, Scheme};
 use std::fmt;
 use std::path::Path;
 use std::sync::Arc;
+
+/// Per-operation front-end metrics, resolved once per front end.
+struct FrontendMetrics {
+    tasks_created: Arc<Counter>,
+    tasks_launched: Arc<Counter>,
+    tasks_completed: Arc<Counter>,
+    tasks_deleted: Arc<Counter>,
+    op_latency_ns: Arc<Histogram>,
+}
+
+impl FrontendMetrics {
+    fn resolve() -> FrontendMetrics {
+        use crowdfill_obs::metrics::{counter, histogram};
+        FrontendMetrics {
+            tasks_created: counter("crowdfill_server_frontend_tasks_created"),
+            tasks_launched: counter("crowdfill_server_frontend_tasks_launched"),
+            tasks_completed: counter("crowdfill_server_frontend_tasks_completed"),
+            tasks_deleted: counter("crowdfill_server_frontend_tasks_deleted"),
+            op_latency_ns: histogram("crowdfill_server_frontend_op_latency_ns"),
+        }
+    }
+}
 
 /// Task lifecycle states.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -116,6 +140,7 @@ fn scheme_from_name(s: &str) -> Result<Scheme, FrontendError> {
 pub struct Frontend {
     store: DocStore,
     next_id: u64,
+    metrics: FrontendMetrics,
 }
 
 const TASKS: &str = "tasks";
@@ -129,6 +154,7 @@ impl Frontend {
         Frontend {
             store: DocStore::in_memory(),
             next_id: 1,
+            metrics: FrontendMetrics::resolve(),
         }
     }
 
@@ -143,12 +169,17 @@ impl Frontend {
             .max()
             .unwrap_or(0)
             + 1;
-        Ok(Frontend { store, next_id })
+        Ok(Frontend {
+            store,
+            next_id,
+            metrics: FrontendMetrics::resolve(),
+        })
     }
 
     /// Creates a task specification; returns its id. The task starts in
     /// [`TaskStatus::Draft`].
     pub fn create_task(&mut self, config: &TaskConfig) -> Result<String, FrontendError> {
+        let _op_timer = SpanTimer::start(&self.metrics.op_latency_ns);
         let id = format!("task-{}", self.next_id);
         self.next_id += 1;
         let doc = Json::obj([
@@ -167,6 +198,8 @@ impl Frontend {
             ),
         ]);
         self.store.insert(TASKS, id.clone(), doc)?;
+        self.metrics.tasks_created.inc();
+        crowdfill_obs::obs_info!("server", "task created: {id}");
         Ok(id)
     }
 
@@ -228,15 +261,21 @@ impl Frontend {
 
     /// Deletes a draft task. Live/done tasks are immutable history.
     pub fn delete_task(&mut self, id: &str) -> Result<(), FrontendError> {
+        let _op_timer = SpanTimer::start(&self.metrics.op_latency_ns);
         self.expect_status(id, TaskStatus::Draft)?;
         self.store.remove(TASKS, id)?;
+        self.metrics.tasks_deleted.inc();
         Ok(())
     }
 
     /// Launches data collection (Draft → Live).
     pub fn launch_task(&mut self, id: &str) -> Result<(), FrontendError> {
+        let _op_timer = SpanTimer::start(&self.metrics.op_latency_ns);
         self.expect_status(id, TaskStatus::Draft)?;
-        self.set_status(id, TaskStatus::Live)
+        self.set_status(id, TaskStatus::Live)?;
+        self.metrics.tasks_launched.inc();
+        crowdfill_obs::obs_info!("server", "task launched: {id}");
+        Ok(())
     }
 
     /// Completes a task (Live → Done), storing the final table and payout.
@@ -246,6 +285,7 @@ impl Frontend {
         final_table: &FinalTable,
         payout: &Payout,
     ) -> Result<(), FrontendError> {
+        let _op_timer = SpanTimer::start(&self.metrics.op_latency_ns);
         self.expect_status(id, TaskStatus::Live)?;
         let rows: Vec<Json> = final_table
             .rows()
@@ -281,7 +321,14 @@ impl Frontend {
                 ("per_worker", Json::Arr(per_worker)),
             ]),
         )?;
-        self.set_status(id, TaskStatus::Done)
+        self.set_status(id, TaskStatus::Done)?;
+        self.metrics.tasks_completed.inc();
+        crowdfill_obs::obs_info!(
+            "server",
+            "task completed: {id}";
+            rows => final_table.rows().len() as u64,
+        );
+        Ok(())
     }
 
     /// Retrieves collected rows for a done task, as row values.

@@ -6,11 +6,13 @@
 //! client → server   {"type":"hello"}
 //!                   {"type":"submit","auto":bool,"msg":{...}}
 //!                   {"type":"modify","msgs":[{"auto":bool,"msg":{...}},...]}
+//!                   {"type":"stats"}
 //!                   {"type":"bye"}
 //! server → client   {"type":"welcome","worker":n,"client":n,
 //!                    "schema":{...},"history":[msg,...]}
 //!                   {"type":"ack","estimate":x,"fulfilled":bool}
 //!                   {"type":"reject","reason":"..."}
+//!                   {"type":"stats","snapshot":"..."}  (metrics text)
 //!                   {"type":"msg","msg":{...}}      (broadcast)
 //! ```
 //!
@@ -23,6 +25,8 @@ use crate::backend::Backend;
 use crate::wire;
 use crowdfill_docstore::Json;
 use crowdfill_net::{ConnError, FrameConn, TcpConn, TcpServer};
+use crowdfill_obs::metrics::{Counter, Histogram};
+use crowdfill_obs::SpanTimer;
 use crowdfill_pay::{Millis, WorkerId};
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -30,6 +34,37 @@ use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Per-endpoint service metrics, resolved once at service start.
+#[derive(Debug)]
+struct ServiceMetrics {
+    connects: Arc<Counter>,
+    disconnects: Arc<Counter>,
+    submit_requests: Arc<Counter>,
+    modify_requests: Arc<Counter>,
+    stats_requests: Arc<Counter>,
+    malformed_frames: Arc<Counter>,
+    request_latency_ns: Arc<Histogram>,
+    submit_latency_ns: Arc<Histogram>,
+    modify_latency_ns: Arc<Histogram>,
+}
+
+impl ServiceMetrics {
+    fn resolve() -> ServiceMetrics {
+        use crowdfill_obs::metrics::{counter, histogram};
+        ServiceMetrics {
+            connects: counter("crowdfill_server_connects"),
+            disconnects: counter("crowdfill_server_disconnects"),
+            submit_requests: counter("crowdfill_server_submit_requests"),
+            modify_requests: counter("crowdfill_server_modify_requests"),
+            stats_requests: counter("crowdfill_server_stats_requests"),
+            malformed_frames: counter("crowdfill_server_malformed_frames"),
+            request_latency_ns: histogram("crowdfill_server_request_latency_ns"),
+            submit_latency_ns: histogram("crowdfill_server_submit_latency_ns"),
+            modify_latency_ns: histogram("crowdfill_server_modify_latency_ns"),
+        }
+    }
+}
 
 /// A running TCP service around one task's backend.
 pub struct TcpService {
@@ -50,6 +85,8 @@ impl TcpService {
         let shutdown = Arc::new(AtomicBool::new(false));
         let registry: ConnRegistry = Arc::new(Mutex::new(HashMap::new()));
         let started = Instant::now();
+        let metrics = Arc::new(ServiceMetrics::resolve());
+        crowdfill_obs::obs_info!("server", "tcp service listening on {addr}");
 
         let accept_backend = Arc::clone(&backend);
         let accept_shutdown = Arc::clone(&shutdown);
@@ -64,9 +101,10 @@ impl TcpService {
                     let conn = Arc::new(conn);
                     let backend = Arc::clone(&accept_backend);
                     let registry = Arc::clone(&registry);
+                    let metrics = Arc::clone(&metrics);
                     let _ = std::thread::Builder::new()
                         .name("crowdfill-conn".into())
-                        .spawn(move || serve_conn(conn, backend, registry, started));
+                        .spawn(move || serve_conn(conn, backend, registry, started, metrics));
                 }
             })
             .map_err(|e| ConnError::Io(e.to_string()))?;
@@ -109,15 +147,19 @@ fn serve_conn(
     backend: Arc<Mutex<Backend>>,
     registry: ConnRegistry,
     started: Instant,
+    metrics: Arc<ServiceMetrics>,
 ) {
     // Expect hello.
     let Ok(frame) = conn.recv() else { return };
     let Ok(hello) = Json::parse(&String::from_utf8_lossy(&frame)) else {
+        metrics.malformed_frames.inc();
         return;
     };
     if hello.get("type").and_then(Json::as_str) != Some("hello") {
+        metrics.malformed_frames.inc();
         return;
     }
+    metrics.connects.inc();
 
     let (worker, client, history, schema_json) = {
         let mut b = backend.lock();
@@ -141,12 +183,23 @@ fn serve_conn(
         return;
     }
 
+    crowdfill_obs::obs_debug!(
+        "server",
+        "session started";
+        worker => worker.0,
+        client => client.0,
+    );
+
     while let Ok(frame) = conn.recv() {
         let Ok(req) = Json::parse(&String::from_utf8_lossy(&frame)) else {
+            metrics.malformed_frames.inc();
             continue;
         };
+        let _request_timer = SpanTimer::start(&metrics.request_latency_ns);
         match req.get("type").and_then(Json::as_str) {
             Some("submit") => {
+                metrics.submit_requests.inc();
+                let _submit_timer = SpanTimer::start(&metrics.submit_latency_ns);
                 let auto = req
                     .get("auto")
                     .and_then(Json::as_bool)
@@ -176,6 +229,8 @@ fn serve_conn(
                 flush_outboxes(&backend, &registry);
             }
             Some("modify") => {
+                metrics.modify_requests.inc();
+                let _modify_timer = SpanTimer::start(&metrics.modify_latency_ns);
                 let bundle: Option<Vec<(crowdfill_model::Message, bool)>> = req
                     .get("msgs")
                     .and_then(Json::as_arr)
@@ -214,6 +269,15 @@ fn serve_conn(
                 let _ = conn.send(reply.encode().as_bytes());
                 flush_outboxes(&backend, &registry);
             }
+            Some("stats") => {
+                metrics.stats_requests.inc();
+                let snapshot = crowdfill_obs::metrics::global().snapshot();
+                let reply = Json::obj([
+                    ("type", Json::str("stats")),
+                    ("snapshot", Json::str(snapshot)),
+                ]);
+                let _ = conn.send(reply.encode().as_bytes());
+            }
             Some("bye") | None => break,
             _ => {}
         }
@@ -221,6 +285,8 @@ fn serve_conn(
 
     registry.lock().remove(&worker);
     backend.lock().disconnect(worker);
+    metrics.disconnects.inc();
+    crowdfill_obs::obs_debug!("server", "session ended"; worker => worker.0);
 }
 
 /// Delivers every session's pending broadcasts over its connection.
@@ -471,6 +537,36 @@ impl RemoteWorker {
                             .unwrap_or("unknown")
                             .to_string(),
                     ));
+                }
+                other => {
+                    return Err(RemoteError::Protocol(format!(
+                        "unexpected frame {other:?}"
+                    )))
+                }
+            }
+        }
+    }
+
+    /// Fetches the server's metrics snapshot (Prometheus-style text),
+    /// absorbing any interleaved broadcasts.
+    pub fn stats(&mut self) -> Result<String, RemoteError> {
+        self.conn
+            .send(Json::obj([("type", Json::str("stats"))]).encode().as_bytes())
+            .map_err(RemoteError::Conn)?;
+        loop {
+            let frame = self.conn.recv().map_err(RemoteError::Conn)?;
+            let json = Json::parse(&String::from_utf8_lossy(&frame))
+                .map_err(|e| RemoteError::Protocol(e.to_string()))?;
+            match json.get("type").and_then(Json::as_str) {
+                Some("msg") => {
+                    self.absorb_frame(&frame);
+                }
+                Some("stats") => {
+                    return json
+                        .get("snapshot")
+                        .and_then(Json::as_str)
+                        .map(str::to_string)
+                        .ok_or_else(|| RemoteError::Protocol("stats missing snapshot".into()));
                 }
                 other => {
                     return Err(RemoteError::Protocol(format!(

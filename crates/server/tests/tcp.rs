@@ -97,6 +97,50 @@ fn remote_collection_end_to_end() {
     service.stop();
 }
 
+/// Reads a plain `name value` metric line out of a snapshot.
+fn metric(snapshot: &str, name: &str) -> u64 {
+    snapshot
+        .lines()
+        .find_map(|l| {
+            l.strip_prefix(name)
+                .and_then(|rest| rest.strip_prefix(' '))
+                .and_then(|v| v.parse().ok())
+        })
+        .unwrap_or(0)
+}
+
+#[test]
+fn stats_request_reports_live_metrics() {
+    let backend = crowdfill_server::Backend::new(config(1));
+    let service = TcpService::start(backend, "127.0.0.1:0").unwrap();
+    let addr = service.addr();
+
+    let mut worker = RemoteWorker::connect(addr).unwrap();
+    let rows = worker.view().presented_rows();
+    worker
+        .fill(rows[0], ColumnId(0), Value::text("Messi"))
+        .unwrap();
+
+    let snapshot = worker.stats().unwrap();
+    // The submit above flowed through sync, the TCP framing layer, and
+    // the per-request latency histogram; all must show up end to end.
+    assert!(metric(&snapshot, "crowdfill_sync_ops_applied") > 0, "{snapshot}");
+    assert!(metric(&snapshot, "crowdfill_net_bytes_out") > 0, "{snapshot}");
+    assert!(
+        metric(&snapshot, "crowdfill_server_request_latency_ns_count") > 0,
+        "{snapshot}"
+    );
+    assert!(metric(&snapshot, "crowdfill_server_submit_requests") > 0, "{snapshot}");
+    assert!(metric(&snapshot, "crowdfill_server_stats_requests") > 0, "{snapshot}");
+
+    // The protocol keeps working after a stats exchange.
+    let r = worker.view().replica().table().row_ids().next().unwrap();
+    worker.fill(r, ColumnId(1), Value::text("Argentina")).unwrap();
+
+    worker.bye();
+    service.stop();
+}
+
 #[test]
 fn malformed_frames_are_rejected_gracefully() {
     use crowdfill_net::{FrameConn, TcpConn};

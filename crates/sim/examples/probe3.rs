@@ -5,6 +5,7 @@ use crowdfill_sim::*;
 use std::sync::Arc;
 
 fn main() {
+    crowdfill_obs::init_from_env();
     for guided in [false, true] {
         let cfg = paper_setup(2014, 20);
         let schema = cfg.universe.schema.clone();
@@ -57,6 +58,15 @@ fn main() {
                 }
             }
         }
-        println!("guided={guided} elapsed={}s nones={nones} fizzles={fizzles} rejects={rejects} oks={oks}", now/1000);
+        crowdfill_obs::obs_info!(
+            "probe3",
+            "probe finished";
+            guided => guided,
+            elapsed_secs => now / 1000,
+            nones => nones as u64,
+            fizzles => fizzles as u64,
+            rejects => rejects as u64,
+            oks => oks as u64,
+        );
     }
 }

@@ -105,6 +105,9 @@ pub struct RunReport {
     pub schema: Arc<crowdfill_model::Schema>,
     pub split: crowdfill_pay::SplitConfig,
     pub budget: f64,
+    /// Prometheus-style metrics snapshot taken as the run finished (global
+    /// registry: sync/net/server counters accumulate across runs in-process).
+    pub metrics_snapshot: String,
 }
 
 impl RunReport {
@@ -166,6 +169,10 @@ pub fn run(cfg: SimConfig) -> RunReport {
         push(&mut queue, &mut events, t, w, EventKind::Think);
     }
 
+    let events_processed = crowdfill_obs::metrics::counter("crowdfill_sim_events_processed");
+    let run_duration_ns = crowdfill_obs::metrics::histogram("crowdfill_sim_run_ns");
+    let run_timer = crowdfill_obs::SpanTimer::start(&run_duration_ns);
+
     let max_ms = (cfg.max_sim_secs * 1000.0) as u64;
     let mut fulfilled_at: Option<u64> = None;
     let mut now = 0u64;
@@ -174,6 +181,7 @@ pub fn run(cfg: SimConfig) -> RunReport {
         if t > max_ms || fulfilled_at.is_some() {
             break;
         }
+        events_processed.inc();
         now = t;
         let widx = packed >> 32;
         let eid = packed & 0xFFFF_FFFF;
@@ -286,6 +294,16 @@ pub fn run(cfg: SimConfig) -> RunReport {
         .corrected_totals(&contributions, backend.trace());
     let estimate_timeline = backend.estimator().timeline().to_vec();
 
+    drop(run_timer);
+    crowdfill_obs::obs_info!(
+        "sim",
+        "run finished";
+        fulfilled => fulfilled,
+        sim_millis => elapsed.0,
+        candidate_rows => table.len() as u64,
+    );
+    let metrics_snapshot = crowdfill_obs::metrics::global().snapshot();
+
     RunReport {
         fulfilled,
         elapsed,
@@ -305,5 +323,6 @@ pub fn run(cfg: SimConfig) -> RunReport {
         schema,
         split,
         budget: cfg.budget,
+        metrics_snapshot,
     }
 }

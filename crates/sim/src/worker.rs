@@ -583,6 +583,9 @@ mod tests {
         let mut profile = WorkerProfile::nominal();
         profile.coverage = 1.0; // knows everything
         profile.vote_propensity = 1.0;
+        // Pin to pure voting: a correction would repair the corrupted row
+        // on the spot and leave nothing to downvote.
+        profile.correction_propensity = 0.0;
         let mut w = SimWorker::new(profile, client, &gt, 9);
 
         // Build one correct complete row and one corrupted complete row via

@@ -22,6 +22,22 @@ fn paper_run_reaches_fulfillment() {
     assert!(paid > 0.0 && paid <= 10.0 + 1e-6);
     // Replicas: every worker action appears in the trace.
     assert!(!report.trace.is_empty());
+    // The attached metrics snapshot saw the run: sync ops flowed and the
+    // event engine counted its work.
+    let metric = |name: &str| -> u64 {
+        report
+            .metrics_snapshot
+            .lines()
+            .find_map(|l| {
+                l.strip_prefix(name)
+                    .and_then(|rest| rest.strip_prefix(' '))
+                    .and_then(|v| v.parse().ok())
+            })
+            .unwrap_or(0)
+    };
+    assert!(metric("crowdfill_sync_ops_applied") > 0, "{}", report.metrics_snapshot);
+    assert!(metric("crowdfill_sync_ops_processed") > 0, "{}", report.metrics_snapshot);
+    assert!(metric("crowdfill_sim_events_processed") > 0, "{}", report.metrics_snapshot);
 }
 
 #[test]

@@ -13,7 +13,32 @@ use crate::history::VoteHistory;
 use crowdfill_model::{
     CandidateTable, ClientId, Message, OpError, Operation, RowEntry, RowId, RowValue, Schema,
 };
+use crowdfill_obs::metrics::{Counter, Gauge};
 use std::sync::Arc;
+
+/// Shared handles into the global metrics registry; resolved once per
+/// replica so the hot paths pay one atomic op, not a name lookup.
+#[derive(Debug, Clone)]
+struct ReplicaMetrics {
+    ops_applied: Arc<Counter>,
+    ops_rejected: Arc<Counter>,
+    ops_processed: Arc<Counter>,
+    vote_history_entries: Arc<Gauge>,
+    divergence_checks: Arc<Counter>,
+}
+
+impl ReplicaMetrics {
+    fn resolve() -> ReplicaMetrics {
+        use crowdfill_obs::metrics::{counter, gauge};
+        ReplicaMetrics {
+            ops_applied: counter("crowdfill_sync_ops_applied"),
+            ops_rejected: counter("crowdfill_sync_ops_rejected"),
+            ops_processed: counter("crowdfill_sync_ops_processed"),
+            vote_history_entries: gauge("crowdfill_sync_vote_history_entries"),
+            divergence_checks: counter("crowdfill_sync_divergence_checks"),
+        }
+    }
+}
 
 /// One copy of the evolving candidate table, with vote histories.
 #[derive(Debug, Clone)]
@@ -24,6 +49,7 @@ pub struct Replica {
     table: CandidateTable,
     uh: VoteHistory,
     dh: VoteHistory,
+    metrics: ReplicaMetrics,
 }
 
 impl Replica {
@@ -37,6 +63,7 @@ impl Replica {
             table: CandidateTable::new(),
             uh: VoteHistory::new(),
             dh: VoteHistory::new(),
+            metrics: ReplicaMetrics::resolve(),
         }
     }
 
@@ -137,8 +164,16 @@ impl Replica {
     /// server. Fails — without side effects — if the operation is invalid
     /// against the current local copy (e.g. the row was already replaced).
     pub fn apply_local(&mut self, op: &Operation) -> Result<Message, OpError> {
-        let msg = self.prepare(op)?;
+        let msg = match self.prepare(op) {
+            Ok(msg) => msg,
+            Err(err) => {
+                self.metrics.ops_rejected.inc();
+                crowdfill_obs::obs_debug!("sync", "rejected local op: {err}");
+                return Err(err);
+            }
+        };
         self.process(&msg);
+        self.metrics.ops_applied.inc();
         Ok(msg)
     }
 
@@ -194,6 +229,10 @@ impl Replica {
                 }
             }
         }
+        self.metrics.ops_processed.inc();
+        self.metrics
+            .vote_history_entries
+            .set((self.uh.distinct_vectors() + self.dh.distinct_vectors()) as i64);
         #[cfg(debug_assertions)]
         self.assert_vote_invariants();
     }
@@ -202,7 +241,17 @@ impl Replica {
     /// vote counts) and vote histories are identical — the condition of the
     /// paper's convergence theorem.
     pub fn same_state(&self, other: &Replica) -> bool {
-        self.table == other.table && self.uh == other.uh && self.dh == other.dh
+        self.metrics.divergence_checks.inc();
+        let same = self.table == other.table && self.uh == other.uh && self.dh == other.dh;
+        if !same {
+            crowdfill_obs::obs_debug!(
+                "sync",
+                "divergence between replicas";
+                left_client => self.client.0,
+                right_client => other.client.0,
+            );
+        }
+        same
     }
 
     /// Checks Lemma 3's invariants for every row:

@@ -5,10 +5,15 @@
 //!
 //! Run with: `cargo run --release --example live_server`
 
+use crowdfill::obs::obs_info;
 use crowdfill::prelude::*;
 use std::sync::Arc;
 
 fn main() {
+    // Progress notes go to the structured stderr log (OBS_LEVEL/OBS_FORMAT
+    // control verbosity and encoding); tables stay on stdout.
+    crowdfill::obs::init_from_env();
+
     // Step 1: the user creates a table specification through the front end.
     let schema = Arc::new(
         Schema::new(
@@ -31,18 +36,18 @@ fn main() {
     let mut frontend = Frontend::in_memory();
     let task_id = frontend.create_task(&config).unwrap();
     frontend.launch_task(&task_id).unwrap();
-    println!("front-end: created and launched {task_id}");
+    obs_info!("example", "front-end: created and launched {task_id}");
 
     // Step 2: the front end publishes tasks in the marketplace.
     let mut market = Marketplace::new();
     let hit = market.create_hit("Help fill a soccer-player table", &task_id, 0.05, 3);
-    println!("marketplace: published HIT {hit:?}");
+    obs_info!("example", "marketplace: published HIT {hit:?}");
 
     // The back-end server goes live on an ephemeral port.
     let backend = Backend::new(frontend.get_task(&task_id).unwrap());
     let service = TcpService::start(backend, "127.0.0.1:0").unwrap();
     let addr = service.addr();
-    println!("back-end: listening on {addr}");
+    obs_info!("example", "back-end: listening on {addr}");
 
     // Step 3: workers accept assignments and are redirected to the back end.
     let (a1, _) = market.accept(hit, "AMZN-ALICE").unwrap();
@@ -84,7 +89,7 @@ fn main() {
         estimated
     });
     let alice_estimated = alice_handle.join().unwrap();
-    println!("alice: finished filling (estimated ${alice_estimated:.2})");
+    obs_info!("example", "alice: finished filling (estimated ${alice_estimated:.2})");
 
     // Bob verifies and endorses both rows.
     let mut bob = RemoteWorker::connect(addr).unwrap();
@@ -106,14 +111,24 @@ fn main() {
             .collect();
         for row in complete {
             if let Ok(ack) = bob.upvote(row) {
-                println!("bob: upvoted a row (estimated ${:.2})", ack.estimate);
+                obs_info!("example", "bob: upvoted a row (estimated ${:.2})", ack.estimate);
                 fulfilled = ack.fulfilled;
             }
         }
         std::thread::sleep(std::time::Duration::from_millis(20));
     }
+
+    // Any client can pull the server's metrics over the wire.
+    let snapshot = bob.stats().unwrap();
     bob.bye();
-    println!("constraints fulfilled: {fulfilled}");
+    obs_info!("example", "constraints fulfilled: {fulfilled}");
+    println!("server metrics (stats request, excerpt):");
+    for line in snapshot
+        .lines()
+        .filter(|l| l.starts_with("crowdfill_server_") || l.starts_with("crowdfill_net_"))
+    {
+        println!("  {line}");
+    }
 
     // Step 5: the user retrieves data and pays through the marketplace.
     let backend = service.backend();

@@ -1,0 +1,8 @@
+#!/usr/bin/env bash
+# Full local gate: release build, tests, and lints for the whole workspace.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+cargo clippy --all-targets -- -D warnings

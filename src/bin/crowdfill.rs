@@ -17,6 +17,7 @@ use crowdfill::server::wire;
 use std::sync::Arc;
 
 fn main() {
+    crowdfill::obs::init_from_env();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let code = match args.first().map(String::as_str) {
         Some("spec") => cmd_spec(),
@@ -66,7 +67,10 @@ fn cmd_simulate(args: &[String]) -> i32 {
     let scheme = flag(args, "--scheme")
         .and_then(|v| parse_scheme(&v))
         .unwrap_or(Scheme::DualWeighted);
-    eprintln!("simulating: {rows} rows, seed {seed}, {scheme} allocation");
+    crowdfill::obs::obs_info!(
+        "cli",
+        "simulating: {rows} rows, seed {seed}, {scheme} allocation"
+    );
     let report = run_simulation(paper_setup(seed, rows).with_scheme(scheme));
     let schema = report.schema.clone();
     println!(
@@ -137,7 +141,8 @@ fn cmd_serve(args: &[String]) -> i32 {
             return 1;
         }
     };
-    eprintln!(
+    crowdfill::obs::obs_info!(
+        "cli",
         "crowdfill back-end listening on {} — collecting until constraints are fulfilled",
         service.addr()
     );
@@ -149,7 +154,7 @@ fn cmd_serve(args: &[String]) -> i32 {
         }
     }
     let (final_table, _contributions, payout) = backend.lock().settle();
-    eprintln!("constraints fulfilled; final table:");
+    crowdfill::obs::obs_info!("cli", "constraints fulfilled; final table:");
     for r in final_table.rows() {
         println!("{}", r.value.display(&schema));
     }

@@ -25,6 +25,7 @@
 //! | [`net`] | §3.3 | framed TCP / in-process transports (Socket.IO substitute) |
 //! | [`server`] | §3 | back-end, front-end, marketplace, worker client, TCP service |
 //! | [`sim`] | §6 | crowd simulator, datasets, experiment runner |
+//! | [`obs`] | — | structured logging, metrics registry, span timing |
 //!
 //! ## Quickstart
 //!
@@ -87,6 +88,7 @@ pub use crowdfill_docstore as docstore;
 pub use crowdfill_matching as matching;
 pub use crowdfill_model as model;
 pub use crowdfill_net as net;
+pub use crowdfill_obs as obs;
 pub use crowdfill_pay as pay;
 pub use crowdfill_server as server;
 pub use crowdfill_sim as sim;

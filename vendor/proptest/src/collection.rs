@@ -1,0 +1,179 @@
+//! Collection strategies: `vec`, `btree_map`, `hash_set`.
+
+use std::collections::{BTreeMap, HashSet};
+use std::hash::Hash;
+use std::ops::{Range, RangeInclusive};
+
+use crate::strategy::Strategy;
+use crate::TestRng;
+
+/// Inclusive element-count bounds accepted by the collection strategies.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize,
+}
+
+impl SizeRange {
+    fn sample(&self, rng: &mut TestRng) -> usize {
+        self.lo + rng.below((self.hi - self.lo + 1) as u64) as usize
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> SizeRange {
+        assert!(r.start < r.end, "collection size range is empty");
+        SizeRange {
+            lo: r.start,
+            hi: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> SizeRange {
+        assert!(r.start() <= r.end(), "collection size range is empty");
+        SizeRange {
+            lo: *r.start(),
+            hi: *r.end(),
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> SizeRange {
+        SizeRange { lo: n, hi: n }
+    }
+}
+
+/// Generates `Vec`s of `element` with a length drawn from `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = self.size.sample(rng);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Generates `BTreeMap`s with the given key/value strategies. If the key
+/// space is too small to reach the sampled size, the map is simply
+/// smaller (keys deduplicate, as in real proptest).
+pub fn btree_map<K, V>(keys: K, values: V, size: impl Into<SizeRange>) -> BTreeMapStrategy<K, V>
+where
+    K: Strategy,
+    K::Value: Ord,
+    V: Strategy,
+{
+    BTreeMapStrategy {
+        keys,
+        values,
+        size: size.into(),
+    }
+}
+
+#[derive(Debug, Clone)]
+pub struct BTreeMapStrategy<K, V> {
+    keys: K,
+    values: V,
+    size: SizeRange,
+}
+
+impl<K, V> Strategy for BTreeMapStrategy<K, V>
+where
+    K: Strategy,
+    K::Value: Ord,
+    V: Strategy,
+{
+    type Value = BTreeMap<K::Value, V::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> BTreeMap<K::Value, V::Value> {
+        let target = self.size.sample(rng);
+        let mut map = BTreeMap::new();
+        for _ in 0..target.saturating_mul(8).max(16) {
+            if map.len() >= target {
+                break;
+            }
+            map.insert(self.keys.generate(rng), self.values.generate(rng));
+        }
+        map
+    }
+}
+
+/// Generates `HashSet`s of `element`; like `btree_map`, duplicates may
+/// leave the set below the sampled size.
+pub fn hash_set<S>(element: S, size: impl Into<SizeRange>) -> HashSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Hash + Eq,
+{
+    HashSetStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+#[derive(Debug, Clone)]
+pub struct HashSetStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S> Strategy for HashSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Hash + Eq,
+{
+    type Value = HashSet<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> HashSet<S::Value> {
+        let target = self.size.sample(rng);
+        let mut set = HashSet::new();
+        for _ in 0..target.saturating_mul(8).max(16) {
+            if set.len() >= target {
+                break;
+            }
+            set.insert(self.element.generate(rng));
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_respects_size_bounds() {
+        let mut rng = TestRng::new(5);
+        for _ in 0..500 {
+            let v = vec(0u8..10, 1..6).generate(&mut rng);
+            assert!((1..6).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 10));
+        }
+    }
+
+    #[test]
+    fn maps_and_sets_dedup_keys() {
+        let mut rng = TestRng::new(6);
+        for _ in 0..200 {
+            let m = btree_map(0u16..4, 0u8..255, 0..=8usize).generate(&mut rng);
+            assert!(m.len() <= 4);
+            let s = hash_set((0usize..12, 0usize..12), 0..50).generate(&mut rng);
+            assert!(s.len() <= 50);
+        }
+    }
+}

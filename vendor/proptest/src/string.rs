@@ -1,0 +1,304 @@
+//! Generation of strings matching a small regex subset.
+//!
+//! Supported syntax (the subset the workspace's tests use):
+//! * literal chars and `\`-escapes (`\\`, `\.`, `\xHH`, `\n`, `\t`, `\r`);
+//! * character classes `[...]` with literal chars, ranges `a-z`, and
+//!   `\xHH` escapes (no negation);
+//! * `\PC` — any non-control character (printable, per the unicode
+//!   "complement of category C" meaning proptest gives it);
+//! * groups `(...)`;
+//! * repetition postfixes `{m,n}`, `{n}`, `?`, `*`, `+` (`*`/`+` are
+//!   capped at 8 repeats).
+//!
+//! Unsupported syntax panics with the offending pattern, so a new test
+//! pattern fails loudly instead of generating garbage.
+
+use crate::TestRng;
+
+/// Inclusive codepoint ranges.
+type Class = Vec<(u32, u32)>;
+
+enum Atom {
+    Class(Class),
+    Group(Vec<Node>),
+}
+
+struct Node {
+    atom: Atom,
+    min: u32,
+    max: u32,
+}
+
+/// Generates a string matching `pattern`.
+pub fn generate_matching(pattern: &str, rng: &mut TestRng) -> String {
+    let mut chars: Vec<char> = pattern.chars().collect();
+    chars.reverse(); // pop() from the front
+    let nodes = parse_seq(&mut chars, pattern, true);
+    let mut out = String::new();
+    emit_seq(&nodes, rng, &mut out);
+    out
+}
+
+/// A printable char for `any::<char>()`: ASCII-weighted, never a control
+/// character or surrogate.
+pub fn arbitrary_char(rng: &mut TestRng) -> char {
+    sample_class(&not_control_class(), rng)
+}
+
+fn parse_seq(chars: &mut Vec<char>, pattern: &str, top: bool) -> Vec<Node> {
+    let mut nodes = Vec::new();
+    while let Some(&c) = chars.last() {
+        if c == ')' {
+            if top {
+                bad(pattern, "unmatched ')'");
+            }
+            break;
+        }
+        chars.pop();
+        let atom = match c {
+            '[' => Atom::Class(parse_class(chars, pattern)),
+            '(' => {
+                let inner = parse_seq(chars, pattern, false);
+                match chars.pop() {
+                    Some(')') => {}
+                    _ => bad(pattern, "unclosed '('"),
+                }
+                Atom::Group(inner)
+            }
+            '\\' => Atom::Class(parse_escape(chars, pattern)),
+            '.' => Atom::Class(not_control_class()),
+            c => Atom::Class(vec![(c as u32, c as u32)]),
+        };
+        let (min, max) = parse_repeat(chars, pattern);
+        nodes.push(Node { atom, min, max });
+    }
+    nodes
+}
+
+fn parse_repeat(chars: &mut Vec<char>, pattern: &str) -> (u32, u32) {
+    match chars.last() {
+        Some('?') => {
+            chars.pop();
+            (0, 1)
+        }
+        Some('*') => {
+            chars.pop();
+            (0, 8)
+        }
+        Some('+') => {
+            chars.pop();
+            (1, 8)
+        }
+        Some('{') => {
+            chars.pop();
+            let mut spec = String::new();
+            loop {
+                match chars.pop() {
+                    Some('}') => break,
+                    Some(c) => spec.push(c),
+                    None => bad(pattern, "unclosed '{'"),
+                }
+            }
+            let parse_n = |s: &str| -> u32 {
+                s.trim()
+                    .parse()
+                    .unwrap_or_else(|_| bad(pattern, "non-numeric repeat bound"))
+            };
+            match spec.split_once(',') {
+                Some((lo, hi)) => {
+                    let (lo, hi) = (parse_n(lo), parse_n(hi));
+                    if lo > hi {
+                        bad(pattern, "repeat bounds out of order");
+                    }
+                    (lo, hi)
+                }
+                None => {
+                    let n = parse_n(&spec);
+                    (n, n)
+                }
+            }
+        }
+        _ => (1, 1),
+    }
+}
+
+fn parse_class(chars: &mut Vec<char>, pattern: &str) -> Class {
+    let mut items: Vec<char> = Vec::new(); // single chars, pre-range folding
+    let mut ranges: Class = Vec::new();
+    loop {
+        let c = match chars.pop() {
+            Some(']') => break,
+            Some('\\') => {
+                let esc = parse_escape(chars, pattern);
+                if esc.len() == 1 && esc[0].0 == esc[0].1 {
+                    char::from_u32(esc[0].0).unwrap_or_else(|| bad(pattern, "bad escape"))
+                } else {
+                    // A multi-char escape class inside [...]: merge it in.
+                    ranges.extend(esc);
+                    continue;
+                }
+            }
+            Some(c) => c,
+            None => bad(pattern, "unclosed '['"),
+        };
+        if c == '-' && !items.is_empty() && chars.last().is_some_and(|&n| n != ']') {
+            let lo = items.pop().unwrap();
+            let hi = match chars.pop() {
+                Some('\\') => {
+                    let esc = parse_escape(chars, pattern);
+                    if esc.len() != 1 || esc[0].0 != esc[0].1 {
+                        bad(pattern, "class escape cannot end a range");
+                    }
+                    char::from_u32(esc[0].0).unwrap_or_else(|| bad(pattern, "bad escape"))
+                }
+                Some(h) => h,
+                None => bad(pattern, "unclosed '['"),
+            };
+            if (lo as u32) > (hi as u32) {
+                bad(pattern, "class range out of order");
+            }
+            ranges.push((lo as u32, hi as u32));
+        } else {
+            items.push(c);
+        }
+    }
+    ranges.extend(items.into_iter().map(|c| (c as u32, c as u32)));
+    if ranges.is_empty() {
+        bad(pattern, "empty character class");
+    }
+    ranges
+}
+
+/// Parses the escape after a consumed `\`; returns the codepoint ranges
+/// it denotes (a single char for simple escapes).
+fn parse_escape(chars: &mut Vec<char>, pattern: &str) -> Class {
+    match chars.pop() {
+        Some('x') => {
+            let hi = chars.pop().unwrap_or_else(|| bad(pattern, "truncated \\x"));
+            let lo = chars.pop().unwrap_or_else(|| bad(pattern, "truncated \\x"));
+            let v = u32::from_str_radix(&format!("{hi}{lo}"), 16)
+                .unwrap_or_else(|_| bad(pattern, "bad \\x digits"));
+            vec![(v, v)]
+        }
+        Some('P') => match chars.pop() {
+            // \PC: complement of unicode category C (control & co.) —
+            // i.e. any printable character.
+            Some('C') => not_control_class(),
+            _ => bad(pattern, "unsupported \\P category"),
+        },
+        Some('n') => vec![(0x0A, 0x0A)],
+        Some('r') => vec![(0x0D, 0x0D)],
+        Some('t') => vec![(0x09, 0x09)],
+        Some(c @ ('\\' | '.' | '(' | ')' | '[' | ']' | '{' | '}' | '?' | '*' | '+' | '-')) => {
+            vec![(c as u32, c as u32)]
+        }
+        Some(c) => vec![(c as u32, c as u32)],
+        None => bad(pattern, "trailing '\\'"),
+    }
+}
+
+/// Printable chars: ASCII-heavy with some Latin-1, general unicode and
+/// emoji so non-ASCII paths get exercised.
+fn not_control_class() -> Class {
+    vec![
+        (0x20, 0x7E),       // ASCII printable (repeated for weight)
+        (0x20, 0x7E),
+        (0x20, 0x7E),
+        (0xA1, 0xFF),       // Latin-1 supplement
+        (0x100, 0x17F),     // Latin extended-A
+        (0x391, 0x3C9),     // Greek
+        (0x4E00, 0x4EFF),   // CJK slice
+        (0x1F300, 0x1F64F), // emoji
+    ]
+}
+
+fn emit_seq(nodes: &[Node], rng: &mut TestRng, out: &mut String) {
+    for node in nodes {
+        let reps = node.min + rng.below((node.max - node.min + 1) as u64) as u32;
+        for _ in 0..reps {
+            match &node.atom {
+                Atom::Class(class) => out.push(sample_class(class, rng)),
+                Atom::Group(inner) => emit_seq(inner, rng, out),
+            }
+        }
+    }
+}
+
+fn sample_class(class: &Class, rng: &mut TestRng) -> char {
+    // Weight ranges by size for uniformity over the class.
+    let total: u64 = class.iter().map(|(lo, hi)| (hi - lo + 1) as u64).sum();
+    loop {
+        let mut pick = rng.below(total);
+        for &(lo, hi) in class {
+            let size = (hi - lo + 1) as u64;
+            if pick < size {
+                if let Some(c) = char::from_u32(lo + pick as u32) {
+                    return c;
+                }
+                break; // surrogate gap — resample
+            }
+            pick -= size;
+        }
+    }
+}
+
+fn bad(pattern: &str, why: &str) -> ! {
+    panic!("unsupported regex pattern {pattern:?} in offline proptest stub: {why}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen(pattern: &str, seed: u64) -> String {
+        generate_matching(pattern, &mut TestRng::new(seed))
+    }
+
+    #[test]
+    fn simple_class_repeat() {
+        for seed in 0..200 {
+            let s = gen("[a-z]{1,6}", seed);
+            assert!((1..=6).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn group_with_optional() {
+        for seed in 0..200 {
+            let s = gen("[a-zA-Z0-9]([a-zA-Z0-9 ]{0,6}[a-zA-Z0-9])?", seed);
+            let n = s.chars().count();
+            assert!((1..=8).contains(&n), "{s:?}");
+            assert!(!s.starts_with(' ') && !s.ends_with(' '), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_alphanumeric() || c == ' '));
+        }
+    }
+
+    #[test]
+    fn not_control_escape() {
+        let mut long_enough = false;
+        for seed in 0..200 {
+            let s = gen("\\PC{0,64}", seed);
+            let n = s.chars().count();
+            assert!(n <= 64, "{s:?}");
+            long_enough |= n > 32;
+            assert!(s.chars().all(|c| !c.is_control()), "{s:?}");
+        }
+        assert!(long_enough);
+    }
+
+    #[test]
+    fn hex_ranges_and_unicode_literals() {
+        let mut saw_unicode = false;
+        for seed in 0..500 {
+            let s = gen("[\\x00-\\x7F«✓🦀]{0,12}", seed);
+            assert!(s.chars().count() <= 12, "{s:?}");
+            for c in s.chars() {
+                let ok = (c as u32) <= 0x7F || matches!(c, '«' | '✓' | '🦀');
+                assert!(ok, "{s:?} contains {c:?}");
+                saw_unicode |= (c as u32) > 0x7F;
+            }
+        }
+        assert!(saw_unicode);
+    }
+}
