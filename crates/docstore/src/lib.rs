@@ -20,4 +20,4 @@ pub mod wal;
 pub use collection::{Collection, Filter, StoreError};
 pub use json::{Json, JsonError};
 pub use store::DocStore;
-pub use wal::{crc32, Wal};
+pub use wal::{crc32, FsyncPolicy, Wal};

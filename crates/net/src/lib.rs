@@ -11,13 +11,23 @@
 //!   discrete-event simulator and in-process deployments;
 //! * [`TcpConn`]/[`TcpServer`] — length-prefixed frames over TCP
 //!   (`std::net` + threads, no async runtime), used by the live networked
-//!   server.
+//!   server;
+//! * [`FaultyConn`] — a fault-injecting wrapper around any transport,
+//!   driven by a deterministic seeded [`FaultConfig`] plan (drops, delays,
+//!   partial writes, forced disconnects) for the recovery test suite.
 //!
 //! Frames are opaque byte vectors; the server layers a JSON protocol
 //! (`crowdfill-docstore::Json`) on top.
+//!
+//! Failure semantics: a [`TcpConn`] whose send tears mid-frame is
+//! *poisoned* — every later operation returns [`ConnError::Disconnected`]
+//! instead of risking desynchronized framing. Recovery happens a layer up,
+//! via the server's reconnect-with-resume protocol.
 
 pub mod conn;
+pub mod fault;
 pub mod tcp;
 
 pub use conn::{ConnError, FrameConn, LocalConn, MAX_FRAME_LEN};
-pub use tcp::{TcpConn, TcpServer};
+pub use fault::{FaultConfig, FaultyConn};
+pub use tcp::{TcpConn, TcpServer, READER_QUEUE_FRAMES};

@@ -7,13 +7,25 @@
 //! same non-blocking options as [`LocalConn`](crate::LocalConn).
 
 use crate::conn::{ConnError, FrameConn, MAX_FRAME_LEN};
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, TryRecvError};
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, TryRecvError};
 use crowdfill_obs::metrics::{counter, Counter};
 use crowdfill_obs::obs_warn;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
+
+/// Capacity of the per-connection reader channel, in frames.
+///
+/// Backpressure policy: when the consumer falls behind by this many frames,
+/// the reader thread blocks on the channel and stops draining the socket, so
+/// TCP flow control pushes back on the peer. A hostile or runaway peer can
+/// therefore buffer at most `READER_QUEUE_FRAMES × MAX_FRAME_LEN` bytes in
+/// this process (and in practice far less: the kernel socket buffer fills
+/// first). The connection is never dropped for slowness — slow consumers
+/// slow the peer down instead.
+pub const READER_QUEUE_FRAMES: usize = 1024;
 
 /// Transport metrics, resolved once per connection/listener.
 struct NetMetrics {
@@ -22,6 +34,7 @@ struct NetMetrics {
     frames_in: Arc<Counter>,
     frames_out: Arc<Counter>,
     frame_errors: Arc<Counter>,
+    poisoned: Arc<Counter>,
 }
 
 impl NetMetrics {
@@ -32,6 +45,7 @@ impl NetMetrics {
             frames_in: counter("crowdfill_net_frames_in"),
             frames_out: counter("crowdfill_net_frames_out"),
             frame_errors: counter("crowdfill_net_frame_errors"),
+            poisoned: counter("crowdfill_net_poisoned_conns"),
         }
     }
 }
@@ -41,6 +55,11 @@ pub struct TcpConn {
     writer: Mutex<TcpStream>,
     frames: Receiver<Vec<u8>>,
     peer: SocketAddr,
+    /// Set on the first failed send. A failed `write_all` may leave a
+    /// partial frame header or payload on the stream, after which the
+    /// framing is desynchronized; every later `send`/`recv` must fail
+    /// rather than silently corrupt the byte stream.
+    dead: AtomicBool,
     metrics: NetMetrics,
 }
 
@@ -56,7 +75,7 @@ impl TcpConn {
         stream.set_nodelay(true).map_err(io_err)?;
         let peer = stream.peer_addr().map_err(io_err)?;
         let reader = stream.try_clone().map_err(io_err)?;
-        let (tx, frames) = unbounded();
+        let (tx, frames) = bounded(READER_QUEUE_FRAMES);
         let reader_metrics = NetMetrics::resolve();
         std::thread::Builder::new()
             .name(format!("crowdfill-net-read-{peer}"))
@@ -92,6 +111,7 @@ impl TcpConn {
             writer: Mutex::new(stream),
             frames,
             peer,
+            dead: AtomicBool::new(false),
             metrics: NetMetrics::resolve(),
         })
     }
@@ -99,6 +119,21 @@ impl TcpConn {
     /// The peer's address.
     pub fn peer_addr(&self) -> SocketAddr {
         self.peer
+    }
+
+    /// Whether the connection has been poisoned by a failed send.
+    pub fn is_poisoned(&self) -> bool {
+        self.dead.load(Ordering::Acquire)
+    }
+
+    /// Poisons the connection and closes the socket so the peer and our
+    /// reader thread both observe the death promptly.
+    fn poison(&self, writer: &TcpStream) {
+        if !self.dead.swap(true, Ordering::AcqRel) {
+            self.metrics.poisoned.inc();
+            obs_warn!("net", "connection to {} poisoned after failed send", self.peer);
+        }
+        let _ = writer.shutdown(std::net::Shutdown::Both);
     }
 }
 
@@ -120,20 +155,34 @@ impl FrameConn for TcpConn {
             return Err(ConnError::FrameTooLarge(frame.len()));
         }
         let mut writer = self.writer.lock().expect("writer lock");
-        writer
+        if self.dead.load(Ordering::Acquire) {
+            return Err(ConnError::Disconnected);
+        }
+        let sent = writer
             .write_all(&(frame.len() as u32).to_be_bytes())
-            .and_then(|_| writer.write_all(frame))
-            .map_err(|_| ConnError::Disconnected)?;
+            .and_then(|_| writer.write_all(frame));
+        if sent.is_err() {
+            // The stream may hold a torn frame: poison so no later send can
+            // interleave bytes into the middle of it.
+            self.poison(&writer);
+            return Err(ConnError::Disconnected);
+        }
         self.metrics.frames_out.inc();
         self.metrics.bytes_out.add(4 + frame.len() as u64);
         Ok(())
     }
 
     fn recv(&self) -> Result<Vec<u8>, ConnError> {
+        if self.dead.load(Ordering::Acquire) {
+            return Err(ConnError::Disconnected);
+        }
         self.frames.recv().map_err(|_| ConnError::Disconnected)
     }
 
     fn try_recv(&self) -> Result<Vec<u8>, ConnError> {
+        if self.dead.load(Ordering::Acquire) {
+            return Err(ConnError::Disconnected);
+        }
         self.frames.try_recv().map_err(|e| match e {
             TryRecvError::Empty => ConnError::Empty,
             TryRecvError::Disconnected => ConnError::Disconnected,
@@ -141,6 +190,9 @@ impl FrameConn for TcpConn {
     }
 
     fn recv_timeout(&self, timeout: Duration) -> Result<Vec<u8>, ConnError> {
+        if self.dead.load(Ordering::Acquire) {
+            return Err(ConnError::Disconnected);
+        }
         self.frames.recv_timeout(timeout).map_err(|e| match e {
             RecvTimeoutError::Timeout => ConnError::Empty,
             RecvTimeoutError::Disconnected => ConnError::Disconnected,
@@ -262,6 +314,32 @@ mod tests {
         let conn = TcpConn::connect(addr).unwrap();
         handle.join().unwrap();
         assert_eq!(conn.recv(), Err(ConnError::Disconnected));
+    }
+
+    #[test]
+    fn failed_send_poisons_connection() {
+        let server = TcpServer::bind("127.0.0.1:0").unwrap();
+        let addr = server.local_addr().unwrap();
+        let conn = TcpConn::connect(addr).unwrap();
+        let accepted = server.accept().unwrap();
+        drop(accepted); // peer closes; our writes will start failing
+        let mut saw_err = false;
+        for _ in 0..100_000 {
+            if conn.send(&[0u8; 4096]).is_err() {
+                saw_err = true;
+                break;
+            }
+        }
+        assert!(saw_err, "send kept succeeding against a closed peer");
+        assert!(conn.is_poisoned());
+        // Every later operation fails fast instead of corrupting framing.
+        assert_eq!(conn.send(b"x"), Err(ConnError::Disconnected));
+        assert_eq!(conn.recv(), Err(ConnError::Disconnected));
+        assert_eq!(conn.try_recv(), Err(ConnError::Disconnected));
+        assert_eq!(
+            conn.recv_timeout(Duration::from_millis(1)),
+            Err(ConnError::Disconnected)
+        );
     }
 
     #[test]

@@ -71,6 +71,39 @@ pub struct SubmitReport {
     pub estimate: f64,
     /// Whether the task's constraints are now fulfilled.
     pub fulfilled: bool,
+    /// History sequence numbers assigned to the worker's own message(s) in
+    /// this submission. The worker never receives those back as broadcasts,
+    /// so the ack carries their seqs for its applied-set bookkeeping.
+    pub seqs: Vec<u64>,
+}
+
+/// Why a `resume` request was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResumeError {
+    /// No session with that worker id was ever created.
+    UnknownWorker,
+}
+
+impl std::fmt::Display for ResumeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ResumeError::UnknownWorker => write!(f, "unknown worker"),
+        }
+    }
+}
+
+impl std::error::Error for ResumeError {}
+
+/// A successful session resumption.
+#[derive(Debug, Clone, Copy)]
+pub struct ResumeInfo {
+    /// The client id originally assigned to the worker.
+    pub client: ClientId,
+    /// The session's new epoch. A connection thread holding an older epoch
+    /// must not tear the session down (it has been superseded).
+    pub epoch: u64,
+    /// Current length of the global message history.
+    pub history_len: u64,
 }
 
 /// Which way a worker voted on a value (for the undo policy).
@@ -87,9 +120,13 @@ struct Session {
     voted_values: HashMap<RowValue, VoteKind>,
     /// Primary-key projections this worker has upvoted.
     upvoted_keys: HashSet<RowValue>,
-    /// Messages awaiting delivery to this worker.
-    outbox: VecDeque<Message>,
+    /// Messages awaiting delivery to this worker, tagged with their history
+    /// sequence number.
+    outbox: VecDeque<(u64, Message)>,
     connected: bool,
+    /// Bumped on every [`Backend::resume`]: lets a stale connection thread
+    /// detect that it no longer owns the session.
+    epoch: u64,
 }
 
 /// The CrowdFill back-end server for one data-collection task.
@@ -192,6 +229,7 @@ impl Backend {
                 upvoted_keys: HashSet::new(),
                 outbox: VecDeque::new(),
                 connected: true,
+                epoch: 0,
             },
         );
         (worker, client, self.history.clone())
@@ -204,6 +242,65 @@ impl Backend {
             s.connected = false;
             s.outbox.clear();
         }
+    }
+
+    /// Marks a worker disconnected, but only if `epoch` still names the
+    /// session's current incarnation. A connection thread that lost the
+    /// session to a [`resume`](Self::resume) becomes a no-op here instead of
+    /// tearing down its successor.
+    pub fn disconnect_epoch(&mut self, worker: WorkerId, epoch: u64) {
+        if let Some(s) = self.sessions.get_mut(&worker) {
+            if s.epoch == epoch {
+                s.connected = false;
+                s.outbox.clear();
+            }
+        }
+    }
+
+    /// Re-attaches a previously-created session after a connection loss:
+    /// marks it connected, clears the (dead connection's) outbox, and bumps
+    /// the epoch so the old connection thread can no longer interfere. The
+    /// caller replays the missed history suffix to the client and then
+    /// delivers new broadcasts via [`poll_seq`](Self::poll_seq); do both
+    /// under the same lock acquisition as this call, or broadcasts racing
+    /// in between are silently lost.
+    pub fn resume(&mut self, worker: WorkerId, at: Millis) -> Result<ResumeInfo, ResumeError> {
+        self.set_time(at);
+        let history_len = self.history.len() as u64;
+        let s = self
+            .sessions
+            .get_mut(&worker)
+            .ok_or(ResumeError::UnknownWorker)?;
+        s.connected = true;
+        s.outbox.clear();
+        s.epoch += 1;
+        Ok(ResumeInfo {
+            client: s.client,
+            epoch: s.epoch,
+            history_len,
+        })
+    }
+
+    /// The session's current epoch (0 until the first resume).
+    pub fn session_epoch(&self, worker: WorkerId) -> Option<u64> {
+        self.sessions.get(&worker).map(|s| s.epoch)
+    }
+
+    /// Number of messages in the global broadcast history. The next message
+    /// accepted by the backend gets this as its sequence number.
+    pub fn history_len(&self) -> u64 {
+        self.history.len() as u64
+    }
+
+    /// The seq-tagged history suffix starting at `from_seq` (for resume
+    /// replay; the caller filters out seqs the client reports as applied).
+    pub fn history_suffix(&self, from_seq: u64) -> Vec<(u64, Message)> {
+        let from = (from_seq as usize).min(self.history.len());
+        self.history[from..]
+            .iter()
+            .enumerate()
+            .map(|(i, m)| (from_seq + i as u64, m.clone()))
+            .collect()
     }
 
     /// The client id assigned to a connected worker.
@@ -232,6 +329,12 @@ impl Backend {
 
     /// Drains the messages pending delivery to `worker`.
     pub fn poll(&mut self, worker: WorkerId) -> Vec<Message> {
+        self.poll_seq(worker).into_iter().map(|(_, m)| m).collect()
+    }
+
+    /// Drains the messages pending delivery to `worker`, each tagged with
+    /// its history sequence number.
+    pub fn poll_seq(&mut self, worker: WorkerId) -> Vec<(u64, Message)> {
         self.sessions
             .get_mut(&worker)
             .map(|s| s.outbox.drain(..).collect())
@@ -310,11 +413,13 @@ impl Backend {
             _ => self.estimator.on_action(idx, &entry, self.master.table()),
         };
 
-        // Broadcast to all other connected workers.
+        // Broadcast to all other connected workers. The submitter gets the
+        // message's seq in its ack instead of an echo.
+        let own_seq = self.history.len() as u64;
         self.history.push(msg.clone());
         for (w, s) in self.sessions.iter_mut() {
             if *w != worker && s.connected {
-                s.outbox.push_back(msg.clone());
+                s.outbox.push_back((own_seq, msg.clone()));
             }
         }
 
@@ -325,10 +430,11 @@ impl Backend {
             self.note_row(&cc_msg);
             self.master.process(&cc_msg);
             self.trace.record_system(self.clock, cc_msg.clone());
+            let seq = self.history.len() as u64;
             self.history.push(cc_msg.clone());
             for s in self.sessions.values_mut() {
                 if s.connected {
-                    s.outbox.push_back(cc_msg.clone());
+                    s.outbox.push_back((seq, cc_msg.clone()));
                 }
             }
         }
@@ -338,6 +444,7 @@ impl Backend {
         SubmitReport {
             estimate,
             fulfilled: self.cc.is_fulfilled(),
+            seqs: vec![own_seq],
         }
     }
 
@@ -365,11 +472,16 @@ impl Backend {
                 // A modify of an *empty* cell degrades to a plain fill
                 // bundle; hand it to the normal path.
                 (0, Message::Replace { .. }) => {
-                    let mut last = None;
+                    let mut last: Option<SubmitReport> = None;
+                    let mut seqs = Vec::new();
                     for (m, a) in bundle {
-                        last = Some(self.submit(worker, m, at, a)?);
+                        let report = self.submit(worker, m, at, a)?;
+                        seqs.extend_from_slice(&report.seqs);
+                        last = Some(report);
                     }
-                    return last.ok_or(SubmitError::Op(OpError::UnknownRow));
+                    let mut report = last.ok_or(SubmitError::Op(OpError::UnknownRow))?;
+                    report.seqs = seqs;
+                    return Ok(report);
                 }
                 (1, Message::Insert { row }) => {
                     lineage = Some(*row);
@@ -388,7 +500,8 @@ impl Backend {
         // Apply: the downvote and insert bypass the per-message policy, the
         // fills go through the normal path (which accepts them: the rows
         // exist because we just inserted them).
-        let mut last = None;
+        let mut last: Option<SubmitReport> = None;
+        let mut seqs = Vec::new();
         for (msg, auto) in bundle {
             let exempt = matches!(msg, Message::Downvote { .. } | Message::Insert { .. });
             if exempt {
@@ -403,12 +516,17 @@ impl Backend {
                 {
                     return Err(SubmitError::UnknownWorker);
                 }
-                self.apply_worker_message(worker, msg, auto);
+                let report = self.apply_worker_message(worker, msg, auto);
+                seqs.extend_from_slice(&report.seqs);
             } else {
-                last = Some(self.submit(worker, msg, at, auto)?);
+                let report = self.submit(worker, msg, at, auto)?;
+                seqs.extend_from_slice(&report.seqs);
+                last = Some(report);
             }
         }
-        last.ok_or(SubmitError::Op(OpError::UnknownRow))
+        let mut report = last.ok_or(SubmitError::Op(OpError::UnknownRow))?;
+        report.seqs = seqs;
+        Ok(report)
     }
 
     /// The master replica.

@@ -30,5 +30,7 @@ pub use config::TaskConfig;
 pub use frontend::{Frontend, FrontendError, TaskStatus};
 pub use marketplace::{Assignment, AssignmentId, Hit, HitId, MarketError, Marketplace};
 pub use recommend::{Recommendation, RecommendationKind};
-pub use tcp_service::{RemoteAck, RemoteError, RemoteWorker, TcpService};
+pub use tcp_service::{
+    Dialer, ReconnectPolicy, RemoteAck, RemoteError, RemoteWorker, ServiceOptions, TcpService,
+};
 pub use worker_client::{Outgoing, WorkerClient};

@@ -4,36 +4,72 @@
 //!
 //! ```text
 //! client → server   {"type":"hello"}
+//!                   {"type":"resume","worker":n,"from":n,"have":[n,...]}
 //!                   {"type":"submit","auto":bool,"msg":{...}}
 //!                   {"type":"modify","msgs":[{"auto":bool,"msg":{...}},...]}
+//!                   {"type":"sync","from":n,"have":[n,...]}
 //!                   {"type":"stats"}
 //!                   {"type":"bye"}
-//! server → client   {"type":"welcome","worker":n,"client":n,
+//! server → client   {"type":"welcome","worker":n,"client":n,"history_len":n,
 //!                    "schema":{...},"history":[msg,...]}
-//!                   {"type":"ack","estimate":x,"fulfilled":bool}
+//!                   {"type":"resumed","client":n,"history_len":n,
+//!                    "msgs":[{"seq":n,"msg":{...}},...]}
+//!                   {"type":"ack","estimate":x,"fulfilled":bool,"seqs":[n,...]}
 //!                   {"type":"reject","reason":"..."}
 //!                   {"type":"stats","snapshot":"..."}  (metrics text)
-//!                   {"type":"msg","msg":{...}}      (broadcast)
+//!                   {"type":"synced","history_len":n,"msgs":[{"seq":n,...},...]}
+//!                   {"type":"msg","seq":n,"msg":{...}}  (broadcast)
 //! ```
 //!
 //! One reader thread per connection; the shared [`Backend`] is guarded by a
 //! `parking_lot::Mutex`. After every accepted submission the service flushes
 //! all session outboxes to their connections, which preserves the per-link
 //! FIFO order the model requires.
+//!
+//! ## Failure model
+//!
+//! The convergence theorem (paper §2.4) assumes reliable in-order delivery
+//! for a worker's whole lifetime; TCP only provides it per *connection*.
+//! The recovery layer restores the assumption across connection failures:
+//!
+//! * Every broadcast carries its index in the server's global message
+//!   history (`seq`); acks carry the seqs assigned to the client's own
+//!   submissions. The client tracks the exact set it has applied
+//!   ([`AppliedSeqs`]).
+//! * On a connection failure, [`RemoteWorker`] redials with capped
+//!   exponential backoff plus jitter ([`ReconnectPolicy`]) and sends
+//!   `resume`: the server re-attaches the session (bumping its epoch so the
+//!   dead connection's thread cannot tear it down) and replays exactly the
+//!   history suffix the client is missing.
+//! * A submission that was in flight when the connection died is matched by
+//!   equality against the replayed suffix: present means the server applied
+//!   it (the lost ack is synthesized with `recovered = true`); absent means
+//!   it must be resubmitted. A resubmission the server rejects triggers a
+//!   full resync — rebuild the replica from the complete history — because
+//!   the local optimistic application has provably diverged.
+//! * `sync` is the read-only variant of `resume` (no session takeover): the
+//!   client asks for whatever it is missing, which also heals silent
+//!   broadcast loss on a lossy link.
+//!
+//! Messages are *not* idempotent (votes increment counters), so exact-set
+//! replay — rather than at-least-once redelivery — is what makes a resumed
+//! replica provably converge to the master.
 
 use crate::backend::Backend;
 use crate::wire;
 use crowdfill_docstore::Json;
+use crowdfill_model::Message;
 use crowdfill_net::{ConnError, FrameConn, TcpConn, TcpServer};
 use crowdfill_obs::metrics::{Counter, Histogram};
 use crowdfill_obs::SpanTimer;
 use crowdfill_pay::{Millis, WorkerId};
+use crowdfill_sync::AppliedSeqs;
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Per-endpoint service metrics, resolved once at service start.
 #[derive(Debug)]
@@ -43,7 +79,11 @@ struct ServiceMetrics {
     submit_requests: Arc<Counter>,
     modify_requests: Arc<Counter>,
     stats_requests: Arc<Counter>,
+    resume_requests: Arc<Counter>,
+    sync_requests: Arc<Counter>,
     malformed_frames: Arc<Counter>,
+    accept_errors: Arc<Counter>,
+    idle_disconnects: Arc<Counter>,
     request_latency_ns: Arc<Histogram>,
     submit_latency_ns: Arc<Histogram>,
     modify_latency_ns: Arc<Histogram>,
@@ -58,10 +98,38 @@ impl ServiceMetrics {
             submit_requests: counter("crowdfill_server_submit_requests"),
             modify_requests: counter("crowdfill_server_modify_requests"),
             stats_requests: counter("crowdfill_server_stats_requests"),
+            resume_requests: counter("crowdfill_server_resume_requests"),
+            sync_requests: counter("crowdfill_server_sync_requests"),
             malformed_frames: counter("crowdfill_server_malformed_frames"),
+            accept_errors: counter("crowdfill_server_accept_errors"),
+            idle_disconnects: counter("crowdfill_server_idle_disconnects"),
             request_latency_ns: histogram("crowdfill_server_request_latency_ns"),
             submit_latency_ns: histogram("crowdfill_server_submit_latency_ns"),
             modify_latency_ns: histogram("crowdfill_server_modify_latency_ns"),
+        }
+    }
+}
+
+/// Tunables for the service's graceful degradation under misbehaving peers.
+#[derive(Debug, Clone)]
+pub struct ServiceOptions {
+    /// Disconnect a session after this long without a request (`None`:
+    /// never). Reclaims threads from clients that vanished without `bye`
+    /// behind a link that never resets.
+    pub idle_timeout: Option<Duration>,
+    /// First sleep after a failed `accept` (doubles per consecutive
+    /// failure).
+    pub accept_backoff_base: Duration,
+    /// Cap on the accept backoff.
+    pub accept_backoff_max: Duration,
+}
+
+impl Default for ServiceOptions {
+    fn default() -> ServiceOptions {
+        ServiceOptions {
+            idle_timeout: None,
+            accept_backoff_base: Duration::from_millis(10),
+            accept_backoff_max: Duration::from_secs(1),
         }
     }
 }
@@ -77,8 +145,18 @@ pub struct TcpService {
 type ConnRegistry = Arc<Mutex<HashMap<WorkerId, Arc<TcpConn>>>>;
 
 impl TcpService {
-    /// Binds and starts serving. Use port 0 for an ephemeral port.
+    /// Binds and starts serving with default options. Use port 0 for an
+    /// ephemeral port.
     pub fn start(backend: Backend, addr: &str) -> Result<TcpService, ConnError> {
+        TcpService::start_with(backend, addr, ServiceOptions::default())
+    }
+
+    /// Binds and starts serving with explicit degradation options.
+    pub fn start_with(
+        backend: Backend,
+        addr: &str,
+        options: ServiceOptions,
+    ) -> Result<TcpService, ConnError> {
         let server = TcpServer::bind(addr)?;
         let addr = server.local_addr()?;
         let backend = Arc::new(Mutex::new(backend));
@@ -86,6 +164,7 @@ impl TcpService {
         let registry: ConnRegistry = Arc::new(Mutex::new(HashMap::new()));
         let started = Instant::now();
         let metrics = Arc::new(ServiceMetrics::resolve());
+        let options = Arc::new(options);
         crowdfill_obs::obs_info!("server", "tcp service listening on {addr}");
 
         let accept_backend = Arc::clone(&backend);
@@ -93,8 +172,21 @@ impl TcpService {
         let accept_thread = std::thread::Builder::new()
             .name("crowdfill-accept".into())
             .spawn(move || {
+                let mut backoff = options.accept_backoff_base;
                 while !accept_shutdown.load(Ordering::SeqCst) {
-                    let Ok(conn) = server.accept() else { continue };
+                    let conn = match server.accept() {
+                        Ok(conn) => conn,
+                        Err(_) => {
+                            // A failed accept (fd exhaustion, transient
+                            // socket error) must not busy-spin the core:
+                            // back off, capped, and try again.
+                            metrics.accept_errors.inc();
+                            std::thread::sleep(backoff);
+                            backoff = (backoff * 2).min(options.accept_backoff_max);
+                            continue;
+                        }
+                    };
+                    backoff = options.accept_backoff_base;
                     if accept_shutdown.load(Ordering::SeqCst) {
                         return;
                     }
@@ -102,9 +194,12 @@ impl TcpService {
                     let backend = Arc::clone(&accept_backend);
                     let registry = Arc::clone(&registry);
                     let metrics = Arc::clone(&metrics);
+                    let options = Arc::clone(&options);
                     let _ = std::thread::Builder::new()
                         .name("crowdfill-conn".into())
-                        .spawn(move || serve_conn(conn, backend, registry, started, metrics));
+                        .spawn(move || {
+                            serve_conn(conn, backend, registry, started, metrics, options)
+                        });
                 }
             })
             .map_err(|e| ConnError::Io(e.to_string()))?;
@@ -142,55 +237,213 @@ fn now_millis(started: Instant) -> Millis {
     Millis(started.elapsed().as_millis() as u64)
 }
 
+fn reject_frame(reason: &str) -> Json {
+    Json::obj([
+        ("type", Json::str("reject")),
+        ("reason", Json::str(reason)),
+    ])
+}
+
+fn broadcast_frame(seq: u64, msg: &Message) -> Json {
+    Json::obj([
+        ("type", Json::str("msg")),
+        ("seq", Json::num(seq as f64)),
+        ("msg", wire::message_to_json(msg)),
+    ])
+}
+
+fn seq_msgs_to_json(msgs: &[(u64, Message)]) -> Json {
+    Json::Arr(
+        msgs.iter()
+            .map(|(seq, msg)| {
+                Json::obj([
+                    ("seq", Json::num(*seq as f64)),
+                    ("msg", wire::message_to_json(msg)),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// Parses the `(from, have)` cursor of a resume/sync request.
+fn parse_cursor(req: &Json) -> (u64, HashSet<u64>) {
+    let from = req
+        .get("from")
+        .and_then(Json::as_i64)
+        .unwrap_or(0)
+        .max(0) as u64;
+    let have: HashSet<u64> = req
+        .get("have")
+        .and_then(Json::as_arr)
+        .map(|arr| {
+            arr.iter()
+                .filter_map(Json::as_i64)
+                .filter(|v| *v >= 0)
+                .map(|v| v as u64)
+                .collect()
+        })
+        .unwrap_or_default();
+    (from, have)
+}
+
 fn serve_conn(
     conn: Arc<TcpConn>,
     backend: Arc<Mutex<Backend>>,
     registry: ConnRegistry,
     started: Instant,
     metrics: Arc<ServiceMetrics>,
+    options: Arc<ServiceOptions>,
 ) {
-    // Expect hello.
+    // First frame opens the session: hello (fresh) or resume (re-attach).
     let Ok(frame) = conn.recv() else { return };
-    let Ok(hello) = Json::parse(&String::from_utf8_lossy(&frame)) else {
+    let Ok(req) = Json::parse(&String::from_utf8_lossy(&frame)) else {
         metrics.malformed_frames.inc();
         return;
     };
-    if hello.get("type").and_then(Json::as_str) != Some("hello") {
-        metrics.malformed_frames.inc();
-        return;
-    }
-    metrics.connects.inc();
-
-    let (worker, client, history, schema_json) = {
-        let mut b = backend.lock();
-        let (w, c, h) = b.connect(now_millis(started));
-        let schema_json = wire::schema_to_json(&b.config().schema);
-        (w, c, h, schema_json)
+    let mut alive = true;
+    let (worker, epoch) = match req.get("type").and_then(Json::as_str) {
+        Some("hello") => {
+            metrics.connects.inc();
+            let (worker, client, history, schema_json) = {
+                let mut b = backend.lock();
+                let (w, c, h) = b.connect(now_millis(started));
+                let schema_json = wire::schema_to_json(&b.config().schema);
+                (w, c, h, schema_json)
+            };
+            let welcome = Json::obj([
+                ("type", Json::str("welcome")),
+                ("worker", Json::num(worker.0 as f64)),
+                ("client", Json::num(client.0 as f64)),
+                ("history_len", Json::num(history.len() as f64)),
+                ("schema", schema_json),
+                (
+                    "history",
+                    Json::Arr(history.iter().map(wire::message_to_json).collect()),
+                ),
+            ]);
+            if conn.send(welcome.encode().as_bytes()).is_err() {
+                alive = false;
+            }
+            crowdfill_obs::obs_debug!(
+                "server",
+                "session started";
+                worker => worker.0,
+                client => client.0,
+            );
+            (worker, 0u64)
+        }
+        Some("resume") => {
+            metrics.resume_requests.inc();
+            let Some(w) = req
+                .get("worker")
+                .and_then(Json::as_i64)
+                .filter(|v| *v >= 0)
+            else {
+                metrics.malformed_frames.inc();
+                return;
+            };
+            let worker = WorkerId(w as u32);
+            let (from, have) = parse_cursor(&req);
+            // Resume and suffix must come from ONE lock acquisition: the
+            // suffix plus subsequent poll_seq broadcasts then covers the
+            // history with no gap.
+            let resumed = {
+                let mut b = backend.lock();
+                match b.resume(worker, now_millis(started)) {
+                    Err(e) => Err(e.to_string()),
+                    Ok(info) => {
+                        let msgs: Vec<(u64, Message)> = b
+                            .history_suffix(from)
+                            .into_iter()
+                            .filter(|(s, _)| !have.contains(s))
+                            .collect();
+                        Ok((info, msgs))
+                    }
+                }
+            };
+            let (info, msgs) = match resumed {
+                Err(reason) => {
+                    let _ = conn.send(reject_frame(&reason).encode().as_bytes());
+                    return;
+                }
+                Ok(ok) => ok,
+            };
+            let reply = Json::obj([
+                ("type", Json::str("resumed")),
+                ("client", Json::num(info.client.0 as f64)),
+                ("history_len", Json::num(info.history_len as f64)),
+                ("msgs", seq_msgs_to_json(&msgs)),
+            ]);
+            if conn.send(reply.encode().as_bytes()).is_err() {
+                alive = false;
+            }
+            crowdfill_obs::obs_debug!(
+                "server",
+                "session resumed";
+                worker => worker.0,
+                epoch => info.epoch,
+                replayed => msgs.len(),
+            );
+            (worker, info.epoch)
+        }
+        _ => {
+            metrics.malformed_frames.inc();
+            return;
+        }
     };
-    registry.lock().insert(worker, Arc::clone(&conn));
 
-    let welcome = Json::obj([
-        ("type", Json::str("welcome")),
-        ("worker", Json::num(worker.0 as f64)),
-        ("client", Json::num(client.0 as f64)),
-        ("schema", schema_json),
-        (
-            "history",
-            Json::Arr(history.iter().map(wire::message_to_json).collect()),
-        ),
-    ]);
-    if conn.send(welcome.encode().as_bytes()).is_err() {
-        return;
+    if alive {
+        // Register only after the handshake reply is on the wire, so no
+        // broadcast can precede it; then drain our own outbox to cover
+        // messages enqueued between the backend call and registration.
+        registry.lock().insert(worker, Arc::clone(&conn));
+        flush_worker_outbox(&backend, &conn, worker);
+        run_session(&conn, &backend, &registry, worker, started, &metrics, &options);
     }
 
-    crowdfill_obs::obs_debug!(
-        "server",
-        "session started";
-        worker => worker.0,
-        client => client.0,
-    );
+    // Cleanup is guarded: remove the registry entry only if it is still this
+    // connection, and disconnect the session only if this thread's epoch is
+    // current — a resumed successor must survive its predecessor's exit.
+    {
+        let mut reg = registry.lock();
+        if reg.get(&worker).is_some_and(|c| Arc::ptr_eq(c, &conn)) {
+            reg.remove(&worker);
+        }
+    }
+    backend.lock().disconnect_epoch(worker, epoch);
+    metrics.disconnects.inc();
+    crowdfill_obs::obs_debug!("server", "session ended"; worker => worker.0, epoch => epoch);
+}
 
-    while let Ok(frame) = conn.recv() {
+fn run_session(
+    conn: &Arc<TcpConn>,
+    backend: &Arc<Mutex<Backend>>,
+    registry: &ConnRegistry,
+    worker: WorkerId,
+    started: Instant,
+    metrics: &ServiceMetrics,
+    options: &ServiceOptions,
+) {
+    loop {
+        let frame = match options.idle_timeout {
+            Some(t) => match conn.recv_timeout(t) {
+                Ok(f) => f,
+                Err(ConnError::Empty) => {
+                    metrics.idle_disconnects.inc();
+                    crowdfill_obs::obs_debug!(
+                        "server",
+                        "idle session disconnected";
+                        worker => worker.0,
+                    );
+                    return;
+                }
+                Err(_) => return,
+            },
+            None => match conn.recv() {
+                Ok(f) => f,
+                Err(_) => return,
+            },
+        };
         let Ok(req) = Json::parse(&String::from_utf8_lossy(&frame)) else {
             metrics.malformed_frames.inc();
             continue;
@@ -206,32 +459,22 @@ fn serve_conn(
                     .unwrap_or(false);
                 let msg = req.get("msg").and_then(|m| wire::message_from_json(m).ok());
                 let reply = match msg {
-                    None => Json::obj([
-                        ("type", Json::str("reject")),
-                        ("reason", Json::str("malformed message")),
-                    ]),
+                    None => reject_frame("malformed message"),
                     Some(msg) => {
                         let mut b = backend.lock();
                         match b.submit(worker, msg, now_millis(started), auto) {
-                            Ok(report) => Json::obj([
-                                ("type", Json::str("ack")),
-                                ("estimate", Json::num(report.estimate)),
-                                ("fulfilled", Json::Bool(report.fulfilled)),
-                            ]),
-                            Err(e) => Json::obj([
-                                ("type", Json::str("reject")),
-                                ("reason", Json::str(e.to_string())),
-                            ]),
+                            Ok(report) => ack_frame(&report),
+                            Err(e) => reject_frame(&e.to_string()),
                         }
                     }
                 };
                 let _ = conn.send(reply.encode().as_bytes());
-                flush_outboxes(&backend, &registry);
+                flush_outboxes(backend, registry);
             }
             Some("modify") => {
                 metrics.modify_requests.inc();
                 let _modify_timer = SpanTimer::start(&metrics.modify_latency_ns);
-                let bundle: Option<Vec<(crowdfill_model::Message, bool)>> = req
+                let bundle: Option<Vec<(Message, bool)>> = req
                     .get("msgs")
                     .and_then(Json::as_arr)
                     .map(|arr| {
@@ -247,27 +490,36 @@ fn serve_conn(
                     })
                     .unwrap_or(None);
                 let reply = match bundle {
-                    None => Json::obj([
-                        ("type", Json::str("reject")),
-                        ("reason", Json::str("malformed modify bundle")),
-                    ]),
+                    None => reject_frame("malformed modify bundle"),
                     Some(bundle) => {
                         let mut b = backend.lock();
                         match b.submit_modify(worker, bundle, now_millis(started)) {
-                            Ok(report) => Json::obj([
-                                ("type", Json::str("ack")),
-                                ("estimate", Json::num(report.estimate)),
-                                ("fulfilled", Json::Bool(report.fulfilled)),
-                            ]),
-                            Err(e) => Json::obj([
-                                ("type", Json::str("reject")),
-                                ("reason", Json::str(e.to_string())),
-                            ]),
+                            Ok(report) => ack_frame(&report),
+                            Err(e) => reject_frame(&e.to_string()),
                         }
                     }
                 };
                 let _ = conn.send(reply.encode().as_bytes());
-                flush_outboxes(&backend, &registry);
+                flush_outboxes(backend, registry);
+            }
+            Some("sync") => {
+                metrics.sync_requests.inc();
+                let (from, have) = parse_cursor(&req);
+                let (history_len, msgs) = {
+                    let b = backend.lock();
+                    let msgs: Vec<(u64, Message)> = b
+                        .history_suffix(from)
+                        .into_iter()
+                        .filter(|(s, _)| !have.contains(s))
+                        .collect();
+                    (b.history_len(), msgs)
+                };
+                let reply = Json::obj([
+                    ("type", Json::str("synced")),
+                    ("history_len", Json::num(history_len as f64)),
+                    ("msgs", seq_msgs_to_json(&msgs)),
+                ]);
+                let _ = conn.send(reply.encode().as_bytes());
             }
             Some("stats") => {
                 metrics.stats_requests.inc();
@@ -278,15 +530,22 @@ fn serve_conn(
                 ]);
                 let _ = conn.send(reply.encode().as_bytes());
             }
-            Some("bye") | None => break,
+            Some("bye") | None => return,
             _ => {}
         }
     }
+}
 
-    registry.lock().remove(&worker);
-    backend.lock().disconnect(worker);
-    metrics.disconnects.inc();
-    crowdfill_obs::obs_debug!("server", "session ended"; worker => worker.0);
+fn ack_frame(report: &crate::backend::SubmitReport) -> Json {
+    Json::obj([
+        ("type", Json::str("ack")),
+        ("estimate", Json::num(report.estimate)),
+        ("fulfilled", Json::Bool(report.fulfilled)),
+        (
+            "seqs",
+            Json::Arr(report.seqs.iter().map(|s| Json::num(*s as f64)).collect()),
+        ),
+    ])
 }
 
 /// Delivers every session's pending broadcasts over its connection.
@@ -297,19 +556,89 @@ fn flush_outboxes(backend: &Arc<Mutex<Backend>>, registry: &ConnRegistry) {
         .map(|(w, c)| (*w, Arc::clone(c)))
         .collect();
     for (worker, conn) in conns {
-        let pending = backend.lock().poll(worker);
-        for msg in pending {
-            let frame = Json::obj([("type", Json::str("msg")), ("msg", wire::message_to_json(&msg))]);
-            let _ = conn.send(frame.encode().as_bytes());
+        flush_worker_outbox(backend, &conn, worker);
+    }
+}
+
+/// Delivers one session's pending broadcasts over its connection.
+fn flush_worker_outbox(backend: &Arc<Mutex<Backend>>, conn: &TcpConn, worker: WorkerId) {
+    let pending = backend.lock().poll_seq(worker);
+    for (seq, msg) in pending {
+        let _ = conn.send(broadcast_frame(seq, &msg).encode().as_bytes());
+    }
+}
+
+// ---- client side ------------------------------------------------------------
+
+/// How a [`RemoteWorker`] obtains a fresh connection: called with the attempt
+/// number (0 for the initial connect, then one per redial). Tests wrap the
+/// dialed connection in a [`FaultyConn`](crowdfill_net::FaultyConn) with a
+/// per-attempt reseeded plan.
+pub type Dialer = Box<dyn FnMut(u32) -> Result<Box<dyn FrameConn>, ConnError> + Send>;
+
+/// Reconnection behavior of a [`RemoteWorker`].
+#[derive(Debug, Clone)]
+pub struct ReconnectPolicy {
+    /// Redial attempts per recovery episode before giving up.
+    pub max_attempts: u32,
+    /// First backoff delay (doubles per attempt).
+    pub base_delay: Duration,
+    /// Cap on the backoff delay.
+    pub max_delay: Duration,
+    /// How long to wait for an ack (or handshake reply) before treating the
+    /// connection as dead. Bounds the wait when a request or its reply was
+    /// silently dropped by a lossy link.
+    pub ack_timeout: Duration,
+    /// Seed of the jitter stream (deterministic for reproducible tests).
+    pub jitter_seed: u64,
+}
+
+impl Default for ReconnectPolicy {
+    fn default() -> ReconnectPolicy {
+        ReconnectPolicy {
+            max_attempts: 8,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(500),
+            ack_timeout: Duration::from_secs(2),
+            jitter_seed: 0,
+        }
+    }
+}
+
+/// Client-side recovery metrics.
+#[derive(Debug)]
+struct ClientMetrics {
+    reconnect_attempts: Arc<Counter>,
+    resumes: Arc<Counter>,
+    resyncs: Arc<Counter>,
+    recovered_acks: Arc<Counter>,
+}
+
+impl ClientMetrics {
+    fn resolve() -> ClientMetrics {
+        use crowdfill_obs::metrics::counter;
+        ClientMetrics {
+            reconnect_attempts: counter("crowdfill_client_reconnect_attempts"),
+            resumes: counter("crowdfill_client_resumes"),
+            resyncs: counter("crowdfill_client_resyncs"),
+            recovered_acks: counter("crowdfill_client_recovered_acks"),
         }
     }
 }
 
 /// A client-side handle: a [`WorkerClient`](crate::WorkerClient) replica kept
-/// in sync over the TCP protocol.
+/// in sync over the TCP protocol, with reconnect-and-resume recovery when a
+/// [`ReconnectPolicy`] is configured.
 pub struct RemoteWorker {
-    conn: TcpConn,
+    conn: Box<dyn FrameConn>,
+    dialer: Dialer,
+    policy: Option<ReconnectPolicy>,
     client: crate::worker_client::WorkerClient,
+    /// Exactly which history seqs this replica has applied.
+    applied: AppliedSeqs,
+    /// Jitter stream state.
+    jitter: u64,
+    metrics: ClientMetrics,
 }
 
 /// Client-side protocol errors.
@@ -338,16 +667,129 @@ impl std::error::Error for RemoteError {}
 #[derive(Debug, Clone, Copy)]
 pub struct RemoteAck {
     pub estimate: f64,
+    /// Whether the task's constraints are now fulfilled.
     pub fulfilled: bool,
+    /// True when the real ack was lost to a connection failure and this one
+    /// was synthesized after the resume replay proved the submission landed
+    /// (`estimate`/`fulfilled` then carry no information).
+    pub recovered: bool,
+}
+
+/// What was in flight when a connection died, for [`RemoteWorker::recover`].
+enum Pending<'a> {
+    Nothing,
+    /// A single `submit` frame: the message and its auto-upvote flag.
+    Submit(&'a Message, bool),
+    /// A `modify` bundle (applied atomically by the server).
+    Modify(&'a [crate::worker_client::Outgoing]),
+}
+
+impl Pending<'_> {
+    fn messages(&self) -> Vec<&Message> {
+        match self {
+            Pending::Nothing => Vec::new(),
+            Pending::Submit(m, _) => vec![m],
+            Pending::Modify(bundle) => bundle.iter().map(|o| &o.msg).collect(),
+        }
+    }
+}
+
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn seq_msgs_from_json(j: &Json) -> Result<Vec<(u64, Message)>, RemoteError> {
+    j.as_arr()
+        .ok_or_else(|| RemoteError::Protocol("msgs must be an array".into()))?
+        .iter()
+        .map(|e| {
+            let seq = e
+                .get("seq")
+                .and_then(Json::as_i64)
+                .filter(|v| *v >= 0)
+                .ok_or_else(|| RemoteError::Protocol("missing seq".into()))?
+                as u64;
+            let msg = e
+                .get("msg")
+                .ok_or_else(|| RemoteError::Protocol("missing msg".into()))
+                .and_then(|m| {
+                    wire::message_from_json(m).map_err(|e| RemoteError::Protocol(e.to_string()))
+                })?;
+            Ok((seq, msg))
+        })
+        .collect()
 }
 
 impl RemoteWorker {
     /// Connects, handshakes, and replays the history into a local replica.
+    /// No reconnect policy: a connection failure surfaces as an error, as a
+    /// plain TCP client would see it.
     pub fn connect(addr: SocketAddr) -> Result<RemoteWorker, RemoteError> {
-        let conn = TcpConn::connect(addr).map_err(RemoteError::Conn)?;
+        let dialer: Dialer = Box::new(move |_| {
+            TcpConn::connect(addr).map(|c| Box::new(c) as Box<dyn FrameConn>)
+        });
+        RemoteWorker::establish(dialer, None)
+    }
+
+    /// Connects through `dialer` and recovers from connection failures per
+    /// `policy`: redial with capped backoff plus jitter, resume the session,
+    /// replay what was missed, and finish any in-flight submission.
+    pub fn connect_with(
+        dialer: Dialer,
+        policy: ReconnectPolicy,
+    ) -> Result<RemoteWorker, RemoteError> {
+        RemoteWorker::establish(dialer, Some(policy))
+    }
+
+    fn establish(
+        mut dialer: Dialer,
+        policy: Option<ReconnectPolicy>,
+    ) -> Result<RemoteWorker, RemoteError> {
+        let attempts = policy.as_ref().map_or(1, |p| p.max_attempts.max(1));
+        let mut last_err = RemoteError::Conn(ConnError::Disconnected);
+        for attempt in 0..attempts {
+            let conn = match dialer(attempt).map_err(RemoteError::Conn) {
+                Ok(c) => c,
+                Err(e) => {
+                    last_err = e;
+                    continue;
+                }
+            };
+            match RemoteWorker::hello(&*conn, policy.as_ref()) {
+                Ok((client, applied)) => {
+                    let jitter = policy.as_ref().map_or(0, |p| p.jitter_seed);
+                    return Ok(RemoteWorker {
+                        conn,
+                        dialer,
+                        policy,
+                        client,
+                        applied,
+                        jitter,
+                        metrics: ClientMetrics::resolve(),
+                    });
+                }
+                Err(e @ RemoteError::Conn(_)) => last_err = e,
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last_err)
+    }
+
+    /// The hello handshake on a fresh connection.
+    fn hello(
+        conn: &dyn FrameConn,
+        policy: Option<&ReconnectPolicy>,
+    ) -> Result<(crate::worker_client::WorkerClient, AppliedSeqs), RemoteError> {
         conn.send(Json::obj([("type", Json::str("hello"))]).encode().as_bytes())
             .map_err(RemoteError::Conn)?;
-        let frame = conn.recv().map_err(RemoteError::Conn)?;
+        let frame = match policy {
+            Some(p) => conn.recv_timeout(p.ack_timeout),
+            None => conn.recv(),
+        }
+        .map_err(RemoteError::Conn)?;
         let welcome = Json::parse(&String::from_utf8_lossy(&frame))
             .map_err(|e| RemoteError::Protocol(e.to_string()))?;
         if welcome.get("type").and_then(Json::as_str) != Some("welcome") {
@@ -387,12 +829,19 @@ impl RemoteWorker {
             Arc::new(schema),
             &history,
         );
-        Ok(RemoteWorker { conn, client })
+        let mut applied = AppliedSeqs::new();
+        applied.note_prefix(history.len() as u64);
+        Ok((client, applied))
     }
 
     /// The local view (kept in sync by [`Self::absorb_pending`] and acks).
     pub fn view(&self) -> &crate::worker_client::WorkerClient {
         &self.client
+    }
+
+    /// This worker's id.
+    pub fn worker(&self) -> WorkerId {
+        self.client.worker()
     }
 
     /// Absorbs any broadcast messages that have arrived.
@@ -406,14 +855,27 @@ impl RemoteWorker {
         n
     }
 
+    /// Applies a broadcast frame if it is fresh; seq-based dedup makes
+    /// redelivery (e.g. overlap between a resume replay and a racing flush)
+    /// harmless even though messages themselves are not idempotent.
     fn absorb_frame(&mut self, frame: &[u8]) -> bool {
         let Ok(json) = Json::parse(&String::from_utf8_lossy(frame)) else {
             return false;
         };
         if json.get("type").and_then(Json::as_str) == Some("msg") {
             if let Some(m) = json.get("msg").and_then(|m| wire::message_from_json(m).ok()) {
-                self.client.absorb(&m);
-                return true;
+                match json.get("seq").and_then(Json::as_i64).filter(|v| *v >= 0) {
+                    Some(seq) => {
+                        if self.applied.note(seq as u64) {
+                            self.client.absorb(&m);
+                            return true;
+                        }
+                    }
+                    None => {
+                        self.client.absorb(&m);
+                        return true;
+                    }
+                }
             }
         }
         false
@@ -477,44 +939,60 @@ impl RemoteWorker {
             .client
             .modify(row, column, value)
             .map_err(RemoteError::Op)?;
-        let msgs = Json::Arr(
-            bundle
-                .iter()
-                .map(|o| {
-                    Json::obj([
-                        ("auto", Json::Bool(o.auto_upvote)),
-                        ("msg", wire::message_to_json(&o.msg)),
-                    ])
-                })
-                .collect(),
-        );
-        let frame = Json::obj([("type", Json::str("modify")), ("msgs", msgs)]);
-        self.conn
+        let frame = modify_frame(&bundle);
+        let result = self
+            .conn
             .send(frame.encode().as_bytes())
-            .map_err(RemoteError::Conn)?;
-        self.await_ack()
+            .map_err(RemoteError::Conn)
+            .and_then(|_| self.await_ack());
+        match result {
+            Err(RemoteError::Conn(_)) if self.policy.is_some() => {
+                self.recover(&Pending::Modify(&bundle))
+            }
+            Err(RemoteError::Rejected(r)) => {
+                for out in &bundle {
+                    self.client.retract_own_vote_record(&out.msg);
+                }
+                self.resync()?;
+                Err(RemoteError::Rejected(r))
+            }
+            other => other,
+        }
     }
 
     fn submit(
         &mut self,
-        msg: &crowdfill_model::Message,
+        msg: &Message,
         auto: bool,
     ) -> Result<RemoteAck, RemoteError> {
-        let frame = Json::obj([
-            ("type", Json::str("submit")),
-            ("auto", Json::Bool(auto)),
-            ("msg", wire::message_to_json(msg)),
-        ]);
-        self.conn
+        let frame = submit_frame(msg, auto);
+        let result = self
+            .conn
             .send(frame.encode().as_bytes())
-            .map_err(RemoteError::Conn)?;
-        self.await_ack()
+            .map_err(RemoteError::Conn)
+            .and_then(|_| self.await_ack());
+        match result {
+            Err(RemoteError::Conn(_)) if self.policy.is_some() => {
+                self.recover(&Pending::Submit(msg, auto))
+            }
+            Err(RemoteError::Rejected(r)) => {
+                // The message was applied locally on optimistic grounds the
+                // server just refuted: drop the vote record and rebuild from
+                // the authoritative history before surfacing the rejection.
+                self.client.retract_own_vote_record(msg);
+                self.resync()?;
+                Err(RemoteError::Rejected(r))
+            }
+            other => other,
+        }
     }
 
     /// Waits for the server's ack/reject, absorbing interleaved broadcasts.
+    /// With a policy, the wait is bounded by `ack_timeout` (a dropped
+    /// request or reply must not hang the client forever).
     fn await_ack(&mut self) -> Result<RemoteAck, RemoteError> {
         loop {
-            let frame = self.conn.recv().map_err(RemoteError::Conn)?;
+            let frame = self.recv_frame().map_err(RemoteError::Conn)?;
             let json = Json::parse(&String::from_utf8_lossy(&frame))
                 .map_err(|e| RemoteError::Protocol(e.to_string()))?;
             match json.get("type").and_then(Json::as_str) {
@@ -522,12 +1000,14 @@ impl RemoteWorker {
                     self.absorb_frame(&frame);
                 }
                 Some("ack") => {
+                    self.note_ack_seqs(&json);
                     return Ok(RemoteAck {
                         estimate: json.get("estimate").and_then(Json::as_f64).unwrap_or(0.0),
                         fulfilled: json
                             .get("fulfilled")
                             .and_then(Json::as_bool)
                             .unwrap_or(false),
+                        recovered: false,
                     });
                 }
                 Some("reject") => {
@@ -547,6 +1027,288 @@ impl RemoteWorker {
         }
     }
 
+    fn recv_frame(&self) -> Result<Vec<u8>, ConnError> {
+        match &self.policy {
+            Some(p) => self.conn.recv_timeout(p.ack_timeout),
+            None => self.conn.recv(),
+        }
+    }
+
+    /// Records the seqs the server assigned to our own submission (we never
+    /// get them back as broadcasts).
+    fn note_ack_seqs(&mut self, ack: &Json) {
+        if let Some(seqs) = ack.get("seqs").and_then(Json::as_arr) {
+            for s in seqs.iter().filter_map(Json::as_i64).filter(|v| *v >= 0) {
+                self.applied.note(s as u64);
+            }
+        }
+    }
+
+    /// Number of contiguously-applied history messages (the resume cursor).
+    fn contig(&self) -> u64 {
+        self.applied.last_contiguous().map_or(0, |s| s + 1)
+    }
+
+    fn backoff_delay(&mut self, policy: &ReconnectPolicy, attempt: u32) -> Duration {
+        let exp = policy
+            .base_delay
+            .saturating_mul(1u32 << attempt.min(16))
+            .min(policy.max_delay);
+        // Jitter in [50%, 100%] of the exponential step: desynchronizes a
+        // thundering herd of clients redialing after a server restart.
+        self.jitter = splitmix64(self.jitter);
+        let per_mille = 500 + (self.jitter % 501) as u32;
+        exp * per_mille / 1000
+    }
+
+    /// Reconnect-and-resume. Replays the missed history suffix into the
+    /// replica, then settles whatever was in flight: if the replay contains
+    /// it, the server applied it and the lost ack is synthesized
+    /// (`recovered = true`); otherwise it is resubmitted. A rejected
+    /// resubmission forces a full [`resync`](Self::resync) (the optimistic
+    /// local application has diverged) and surfaces the rejection.
+    fn recover(&mut self, pending: &Pending<'_>) -> Result<RemoteAck, RemoteError> {
+        let policy = self.policy.clone().expect("recover requires a policy");
+        let pending_msgs = pending.messages();
+        for attempt in 0..policy.max_attempts {
+            std::thread::sleep(self.backoff_delay(&policy, attempt));
+            self.metrics.reconnect_attempts.inc();
+            let conn = match (self.dialer)(attempt + 1) {
+                Ok(c) => c,
+                Err(_) => continue,
+            };
+            let req = Json::obj([
+                ("type", Json::str("resume")),
+                ("worker", Json::num(self.client.worker().0 as f64)),
+                ("from", Json::num(self.contig() as f64)),
+                (
+                    "have",
+                    Json::Arr(
+                        self.applied
+                            .extras()
+                            .map(|s| Json::num(s as f64))
+                            .collect(),
+                    ),
+                ),
+            ]);
+            if conn.send(req.encode().as_bytes()).is_err() {
+                continue;
+            }
+            let frame = match conn.recv_timeout(policy.ack_timeout) {
+                Ok(f) => f,
+                Err(_) => continue,
+            };
+            let reply = match Json::parse(&String::from_utf8_lossy(&frame)) {
+                Ok(j) => j,
+                Err(_) => continue,
+            };
+            match reply.get("type").and_then(Json::as_str) {
+                Some("resumed") => {}
+                Some("reject") => {
+                    // Unknown worker: unrecoverable, no point redialing.
+                    return Err(RemoteError::Rejected(
+                        reply
+                            .get("reason")
+                            .and_then(Json::as_str)
+                            .unwrap_or("unknown")
+                            .to_string(),
+                    ));
+                }
+                _ => continue,
+            }
+            let msgs = seq_msgs_from_json(
+                reply
+                    .get("msgs")
+                    .ok_or_else(|| RemoteError::Protocol("resumed missing msgs".into()))?,
+            )?;
+            self.conn = conn;
+            self.metrics.resumes.inc();
+            crowdfill_obs::obs_debug!(
+                "client",
+                "session resumed";
+                worker => self.client.worker().0,
+                attempt => attempt,
+                replayed => msgs.len(),
+            );
+
+            // Replay, matching our in-flight messages by equality: each is
+            // already applied locally, so a matched instance is noted but
+            // not re-absorbed. (A vote identical to another worker's is
+            // indistinguishable on the wire; skipping exactly one instance
+            // keeps the replica convergent either way, because identical
+            // vote messages are interchangeable in effect.)
+            let mut matched = vec![false; pending_msgs.len()];
+            for (seq, m) in &msgs {
+                if !self.applied.note(*seq) {
+                    continue;
+                }
+                let mine = pending_msgs
+                    .iter()
+                    .enumerate()
+                    .find(|(i, pm)| !matched[*i] && **pm == m)
+                    .map(|(i, _)| i);
+                match mine {
+                    Some(i) => matched[i] = true,
+                    None => self.client.absorb(m),
+                }
+            }
+
+            if pending_msgs.is_empty() {
+                return Ok(RemoteAck {
+                    estimate: 0.0,
+                    fulfilled: false,
+                    recovered: true,
+                });
+            }
+            if matched.iter().all(|&m| m) {
+                // The server applied the submission; only its ack was lost.
+                self.metrics.recovered_acks.inc();
+                return Ok(RemoteAck {
+                    estimate: 0.0,
+                    fulfilled: false,
+                    recovered: true,
+                });
+            }
+
+            // The server never saw it: resubmit on the fresh connection.
+            let frame = match pending {
+                Pending::Submit(msg, auto) => submit_frame(msg, *auto),
+                Pending::Modify(bundle) => modify_frame(bundle),
+                Pending::Nothing => unreachable!("handled above"),
+            };
+            let result = self
+                .conn
+                .send(frame.encode().as_bytes())
+                .map_err(RemoteError::Conn)
+                .and_then(|_| self.await_ack());
+            match result {
+                Ok(ack) => return Ok(ack),
+                Err(RemoteError::Rejected(r)) => {
+                    // Applied locally, refused by the server: diverged.
+                    for m in &pending_msgs {
+                        self.client.retract_own_vote_record(m);
+                    }
+                    self.resync()?;
+                    return Err(RemoteError::Rejected(r));
+                }
+                Err(RemoteError::Conn(_)) => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        Err(RemoteError::Conn(ConnError::Disconnected))
+    }
+
+    /// Asks the server for every history message this replica is missing
+    /// and applies them — the catch-up that heals silent broadcast loss on
+    /// a lossy link. Call before comparing replicas (or periodically).
+    pub fn sync(&mut self) -> Result<(), RemoteError> {
+        self.sync_inner(false)
+    }
+
+    /// Rebuilds the local replica from the server's complete history — the
+    /// recovery of last resort after provable divergence (e.g. a rejected
+    /// submission that was already applied locally).
+    pub fn resync(&mut self) -> Result<(), RemoteError> {
+        self.sync_inner(true)
+    }
+
+    fn sync_inner(&mut self, full: bool) -> Result<(), RemoteError> {
+        let attempts = self.policy.as_ref().map_or(1, |p| p.max_attempts.max(1));
+        let mut last = RemoteError::Conn(ConnError::Disconnected);
+        for _ in 0..attempts {
+            match self.try_sync(full) {
+                Ok(()) => return Ok(()),
+                Err(e @ RemoteError::Conn(_)) if self.policy.is_some() => {
+                    last = e;
+                    // Re-establish the session, then retry the sync on the
+                    // fresh connection.
+                    self.recover(&Pending::Nothing)?;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last)
+    }
+
+    fn try_sync(&mut self, full: bool) -> Result<(), RemoteError> {
+        let (from, have) = if full {
+            (0, Vec::new())
+        } else {
+            (self.contig(), self.applied.extras().collect())
+        };
+        let req = Json::obj([
+            ("type", Json::str("sync")),
+            ("from", Json::num(from as f64)),
+            (
+                "have",
+                Json::Arr(have.iter().map(|s| Json::num(*s as f64)).collect()),
+            ),
+        ]);
+        self.conn
+            .send(req.encode().as_bytes())
+            .map_err(RemoteError::Conn)?;
+        // During a full resync, broadcasts that race the reply must be
+        // replayed AFTER the rebuild (the rebuild would otherwise erase
+        // them); stash their frames and run them through seq-dedup at the
+        // end. Incremental syncs apply them immediately, as usual.
+        let mut stash: Vec<Vec<u8>> = Vec::new();
+        loop {
+            let frame = self.recv_frame().map_err(RemoteError::Conn)?;
+            let json = Json::parse(&String::from_utf8_lossy(&frame))
+                .map_err(|e| RemoteError::Protocol(e.to_string()))?;
+            match json.get("type").and_then(Json::as_str) {
+                Some("msg") => {
+                    if full {
+                        stash.push(frame);
+                    } else {
+                        self.absorb_frame(&frame);
+                    }
+                }
+                Some("synced") => {
+                    let history_len = json
+                        .get("history_len")
+                        .and_then(Json::as_i64)
+                        .filter(|v| *v >= 0)
+                        .ok_or_else(|| {
+                            RemoteError::Protocol("synced missing history_len".into())
+                        })? as u64;
+                    let msgs = seq_msgs_from_json(
+                        json.get("msgs")
+                            .ok_or_else(|| RemoteError::Protocol("synced missing msgs".into()))?,
+                    )?;
+                    if full {
+                        let history: Vec<Message> =
+                            msgs.iter().map(|(_, m)| m.clone()).collect();
+                        self.client.rebuild(&history);
+                        self.applied.reset_to_prefix(history_len);
+                        self.metrics.resyncs.inc();
+                        for f in stash {
+                            self.absorb_frame(&f);
+                        }
+                        crowdfill_obs::obs_debug!(
+                            "client",
+                            "full resync";
+                            worker => self.client.worker().0,
+                            history_len => history_len,
+                        );
+                    } else {
+                        for (seq, m) in &msgs {
+                            if self.applied.note(*seq) {
+                                self.client.absorb(m);
+                            }
+                        }
+                    }
+                    return Ok(());
+                }
+                other => {
+                    return Err(RemoteError::Protocol(format!(
+                        "unexpected frame {other:?}"
+                    )))
+                }
+            }
+        }
+    }
+
     /// Fetches the server's metrics snapshot (Prometheus-style text),
     /// absorbing any interleaved broadcasts.
     pub fn stats(&mut self) -> Result<String, RemoteError> {
@@ -554,7 +1316,7 @@ impl RemoteWorker {
             .send(Json::obj([("type", Json::str("stats"))]).encode().as_bytes())
             .map_err(RemoteError::Conn)?;
         loop {
-            let frame = self.conn.recv().map_err(RemoteError::Conn)?;
+            let frame = self.recv_frame().map_err(RemoteError::Conn)?;
             let json = Json::parse(&String::from_utf8_lossy(&frame))
                 .map_err(|e| RemoteError::Protocol(e.to_string()))?;
             match json.get("type").and_then(Json::as_str) {
@@ -583,4 +1345,27 @@ impl RemoteWorker {
             .conn
             .send(Json::obj([("type", Json::str("bye"))]).encode().as_bytes());
     }
+}
+
+fn submit_frame(msg: &Message, auto: bool) -> Json {
+    Json::obj([
+        ("type", Json::str("submit")),
+        ("auto", Json::Bool(auto)),
+        ("msg", wire::message_to_json(msg)),
+    ])
+}
+
+fn modify_frame(bundle: &[crate::worker_client::Outgoing]) -> Json {
+    let msgs = Json::Arr(
+        bundle
+            .iter()
+            .map(|o| {
+                Json::obj([
+                    ("auto", Json::Bool(o.auto_upvote)),
+                    ("msg", wire::message_to_json(&o.msg)),
+                ])
+            })
+            .collect(),
+    );
+    Json::obj([("type", Json::str("modify")), ("msgs", msgs)])
 }

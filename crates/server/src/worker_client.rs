@@ -33,6 +33,7 @@ enum OwnVote {
 }
 
 /// A worker's local state.
+#[derive(Clone)]
 pub struct WorkerClient {
     worker: WorkerId,
     replica: Replica,
@@ -76,6 +77,34 @@ impl WorkerClient {
     /// Absorbs a message broadcast by the server.
     pub fn absorb(&mut self, msg: &Message) {
         self.replica.process(msg);
+    }
+
+    /// Rebuilds the local replica from a full server history — the client's
+    /// recovery of last resort, after its state has provably diverged (a
+    /// locally-applied action the server finally rejected). Own-vote records
+    /// and the row-id counter survive the rebuild: the former keep undo
+    /// validation working, the latter prevents the client from re-issuing
+    /// row ids from its previous life (which would collide server-side).
+    pub fn rebuild(&mut self, history: &[Message]) {
+        let seq_floor = self.replica.next_seq();
+        let mut replica = Replica::new(self.replica.client(), Arc::clone(self.replica.schema()));
+        replica.replay(history);
+        replica.resume_seq_at_least(seq_floor);
+        self.replica = replica;
+    }
+
+    /// Drops the own-vote record for a vote the server finally rejected: it
+    /// never landed and never will, so undo must not be offered against it.
+    pub fn retract_own_vote_record(&mut self, msg: &Message) {
+        match msg {
+            Message::Upvote { value } if self.own_votes.get(value) == Some(&OwnVote::Up) => {
+                self.own_votes.remove(value);
+            }
+            Message::Downvote { value } if self.own_votes.get(value) == Some(&OwnVote::Down) => {
+                self.own_votes.remove(value);
+            }
+            _ => {}
+        }
     }
 
     /// The rows as presented to this worker: a deterministic per-worker

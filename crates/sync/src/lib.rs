@@ -19,10 +19,19 @@
 //! fabric used to check exactly that over adversarial and randomized
 //! schedules (see `tests/convergence.rs`).
 
+//! Recovery: delivery in the real deployment is only reliable per TCP
+//! *connection*, not per worker lifetime. [`AppliedSeqs`] tracks which
+//! server-numbered messages a replica has applied so a reconnecting client
+//! can ask the server to replay exactly the missed suffix (the
+//! `{"type":"resume"}` protocol in `crowdfill-server`), restoring the
+//! convergence theorem's delivery assumption across connection failures.
+
 pub mod history;
 pub mod hub;
 pub mod replica;
+pub mod resume;
 
 pub use history::VoteHistory;
 pub use hub::{Hub, Link};
 pub use replica::Replica;
+pub use resume::AppliedSeqs;

@@ -99,6 +99,31 @@ impl Replica {
         id
     }
 
+    /// The next local row-id counter value (for resume bookkeeping).
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Raises the local row-id counter to at least `n`.
+    ///
+    /// A replica rebuilt from server history during a full resync starts
+    /// its counter at zero, but rows with this client's earlier ids already
+    /// exist in the history — reissuing those ids would alias two distinct
+    /// rows. The rebuilt replica must therefore inherit the old replica's
+    /// counter (or any larger value) before generating new ids.
+    pub fn resume_seq_at_least(&mut self, n: u64) {
+        if n > self.next_seq {
+            self.next_seq = n;
+        }
+    }
+
+    /// Processes a batch of received messages in order (resume replay).
+    pub fn replay<'a>(&mut self, msgs: impl IntoIterator<Item = &'a Message>) {
+        for m in msgs {
+            self.process(m);
+        }
+    }
+
     /// Validates `op` against the local copy and converts it into its wire
     /// message, generating fresh row ids for `insert`/`fill`. Does **not**
     /// apply it.
@@ -546,6 +571,32 @@ mod tests {
         let b = r.apply_local(&Operation::Insert).unwrap().creates_row().unwrap();
         assert_ne!(a, b);
         assert_eq!(a.client, ClientId(1));
+    }
+
+    /// A replica rebuilt from history must not reissue its own old row ids:
+    /// `resume_seq_at_least` carries the counter across the rebuild.
+    #[test]
+    fn rebuilt_replica_does_not_reissue_row_ids() {
+        let mut original = replica(1);
+        let mut history = Vec::new();
+        history.push(original.apply_local(&Operation::Insert).unwrap());
+        let row = history[0].creates_row().unwrap();
+        history.push(
+            original
+                .apply_local(&Operation::fill(row, ColumnId(0), "Messi"))
+                .unwrap(),
+        );
+
+        let mut rebuilt = Replica::new(ClientId(1), schema());
+        rebuilt.replay(history.iter());
+        rebuilt.resume_seq_at_least(original.next_seq());
+        assert!(rebuilt.same_state(&original));
+
+        let fresh = rebuilt.apply_local(&Operation::Insert).unwrap();
+        let fresh_row = fresh.creates_row().unwrap();
+        for m in &history {
+            assert_ne!(m.creates_row(), Some(fresh_row), "row id reissued");
+        }
     }
 
     #[test]

@@ -1,0 +1,153 @@
+//! Client-side bookkeeping for reconnect-with-resume.
+//!
+//! The server numbers every message with its index in the global broadcast
+//! history. A client tracks exactly which sequence numbers it has applied to
+//! its replica: a dense prefix (`0..contig`) plus a small sparse set of
+//! seqs above it — its own acked submissions, whose broadcasts from
+//! concurrent workers may still be in flight. On reconnect the client sends
+//! the pair `(last_seq, extras)` in its `{"type":"resume"}` request and the
+//! server replays precisely the missing suffix, so the resumed replica
+//! provably ends up having processed the same message *set* as the master.
+
+use std::collections::BTreeSet;
+
+/// The set of history sequence numbers a replica has applied, stored as a
+/// contiguous prefix plus sparse out-of-order extras.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AppliedSeqs {
+    /// All seqs in `0..contig` are applied.
+    contig: u64,
+    /// Applied seqs ≥ `contig` (always non-adjacent to the prefix).
+    extras: BTreeSet<u64>,
+}
+
+impl AppliedSeqs {
+    /// Nothing applied yet.
+    pub fn new() -> AppliedSeqs {
+        AppliedSeqs::default()
+    }
+
+    /// Marks the whole prefix `0..len` applied (the welcome history).
+    pub fn note_prefix(&mut self, len: u64) {
+        if len > self.contig {
+            self.contig = len;
+        }
+        self.compact();
+    }
+
+    /// Records `seq` as applied. Returns `false` if it already was (the
+    /// caller should skip re-applying the message).
+    pub fn note(&mut self, seq: u64) -> bool {
+        if seq < self.contig {
+            return false;
+        }
+        if seq == self.contig {
+            self.contig += 1;
+            self.compact();
+            return true;
+        }
+        self.extras.insert(seq)
+    }
+
+    /// Whether `seq` has been applied.
+    pub fn contains(&self, seq: u64) -> bool {
+        seq < self.contig || self.extras.contains(&seq)
+    }
+
+    /// The resume cursor: every seq `<= last_seq()` is applied. `None`
+    /// before anything was applied.
+    pub fn last_contiguous(&self) -> Option<u64> {
+        self.contig.checked_sub(1)
+    }
+
+    /// The sparse applied seqs above the contiguous prefix, ascending.
+    pub fn extras(&self) -> impl Iterator<Item = u64> + '_ {
+        self.extras.iter().copied()
+    }
+
+    /// Total number of distinct seqs applied.
+    pub fn len(&self) -> u64 {
+        self.contig + self.extras.len() as u64
+    }
+
+    /// Whether nothing has been applied.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Resets to exactly the prefix `0..len` (after a full resync).
+    pub fn reset_to_prefix(&mut self, len: u64) {
+        self.contig = len;
+        self.extras.clear();
+    }
+
+    fn compact(&mut self) {
+        while self.extras.remove(&self.contig) {
+            self.contig += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefix_then_in_order() {
+        let mut a = AppliedSeqs::new();
+        a.note_prefix(3);
+        assert_eq!(a.last_contiguous(), Some(2));
+        assert!(a.note(3));
+        assert!(a.note(4));
+        assert_eq!(a.last_contiguous(), Some(4));
+        assert_eq!(a.extras().count(), 0);
+        assert_eq!(a.len(), 5);
+    }
+
+    #[test]
+    fn out_of_order_tracked_as_extras_then_compacted() {
+        let mut a = AppliedSeqs::new();
+        a.note_prefix(2);
+        assert!(a.note(5)); // own ack raced ahead of broadcasts 2..=4
+        assert_eq!(a.last_contiguous(), Some(1));
+        assert_eq!(a.extras().collect::<Vec<_>>(), vec![5]);
+        assert!(a.contains(5));
+        assert!(!a.contains(2));
+        assert!(a.note(2));
+        assert!(a.note(3));
+        assert!(a.note(4)); // gap closes: 5 folds into the prefix
+        assert_eq!(a.last_contiguous(), Some(5));
+        assert_eq!(a.extras().count(), 0);
+    }
+
+    #[test]
+    fn duplicates_rejected() {
+        let mut a = AppliedSeqs::new();
+        a.note_prefix(2);
+        assert!(!a.note(0));
+        assert!(!a.note(1));
+        assert!(a.note(7));
+        assert!(!a.note(7));
+        assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    fn reset_after_full_resync() {
+        let mut a = AppliedSeqs::new();
+        a.note_prefix(4);
+        a.note(9);
+        a.reset_to_prefix(12);
+        assert_eq!(a.last_contiguous(), Some(11));
+        assert_eq!(a.extras().count(), 0);
+        assert!(a.contains(9));
+        assert!(!a.contains(12));
+    }
+
+    #[test]
+    fn empty_state() {
+        let a = AppliedSeqs::new();
+        assert!(a.is_empty());
+        assert_eq!(a.last_contiguous(), None);
+        assert!(!a.contains(0));
+    }
+}

@@ -4,5 +4,11 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release
-cargo test -q
-cargo clippy --all-targets -- -D warnings
+cargo test -q --workspace
+cargo clippy --workspace --all-targets -- -D warnings
+
+# Recovery-path gate: the fault-injection suite always runs with its
+# built-in seeds as part of `cargo test` above; this pass pins an extra
+# fixed seed set so regressions in reconnect/resume fail the check even
+# when they only show under other fault schedules.
+CROWDFILL_FAULT_SEEDS=11,23,47,101 cargo test -q -p crowdfill-server --test faults

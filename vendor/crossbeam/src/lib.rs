@@ -16,10 +16,14 @@ pub mod channel {
     struct Shared<T> {
         queue: Mutex<State<T>>,
         ready: Condvar,
+        /// Signalled when queue space frees up (bounded channels only).
+        space: Condvar,
     }
 
     struct State<T> {
         items: VecDeque<T>,
+        /// `None` for unbounded channels; `Some(cap)` blocks senders at cap.
+        cap: Option<usize>,
         senders: usize,
         receivers: usize,
     }
@@ -68,15 +72,16 @@ pub mod channel {
 
     impl std::error::Error for RecvError {}
 
-    /// Creates an unbounded MPMC channel.
-    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    fn with_cap<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
         let shared = Arc::new(Shared {
             queue: Mutex::new(State {
                 items: VecDeque::new(),
+                cap,
                 senders: 1,
                 receivers: 1,
             }),
             ready: Condvar::new(),
+            space: Condvar::new(),
         });
         (
             Sender {
@@ -86,11 +91,35 @@ pub mod channel {
         )
     }
 
+    /// Creates an unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        with_cap(None)
+    }
+
+    /// Creates a bounded MPMC channel: `send` blocks while `cap` messages
+    /// are queued (backpressure), matching crossbeam's semantics. A zero
+    /// capacity is rounded up to one (this stand-in has no rendezvous mode).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        with_cap(Some(cap.max(1)))
+    }
+
     impl<T> Sender<T> {
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
             let mut state = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
-            if state.receivers == 0 {
-                return Err(SendError(value));
+            loop {
+                if state.receivers == 0 {
+                    return Err(SendError(value));
+                }
+                match state.cap {
+                    Some(cap) if state.items.len() >= cap => {
+                        state = self
+                            .shared
+                            .space
+                            .wait(state)
+                            .unwrap_or_else(|e| e.into_inner());
+                    }
+                    _ => break,
+                }
             }
             state.items.push_back(value);
             drop(state);
@@ -130,6 +159,8 @@ pub mod channel {
             let mut state = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
             loop {
                 if let Some(item) = state.items.pop_front() {
+                    drop(state);
+                    self.shared.space.notify_one();
                     return Ok(item);
                 }
                 if state.senders == 0 {
@@ -146,7 +177,11 @@ pub mod channel {
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
             let mut state = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
             match state.items.pop_front() {
-                Some(item) => Ok(item),
+                Some(item) => {
+                    drop(state);
+                    self.shared.space.notify_one();
+                    Ok(item)
+                }
                 None if state.senders == 0 => Err(TryRecvError::Disconnected),
                 None => Err(TryRecvError::Empty),
             }
@@ -157,6 +192,8 @@ pub mod channel {
             let mut state = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
             loop {
                 if let Some(item) = state.items.pop_front() {
+                    drop(state);
+                    self.shared.space.notify_one();
                     return Ok(item);
                 }
                 if state.senders == 0 {
@@ -205,11 +242,15 @@ pub mod channel {
 
     impl<T> Drop for Receiver<T> {
         fn drop(&mut self) {
-            self.shared
-                .queue
-                .lock()
-                .unwrap_or_else(|e| e.into_inner())
-                .receivers -= 1;
+            let mut state = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            state.receivers -= 1;
+            let disconnected = state.receivers == 0;
+            drop(state);
+            if disconnected {
+                // Wake senders blocked on a full bounded channel so they
+                // observe the hangup instead of waiting forever.
+                self.shared.space.notify_all();
+            }
         }
     }
 }
@@ -301,6 +342,33 @@ mod tests {
         }
         handle.join().unwrap();
         assert_eq!(sum, 999 * 1000 / 2);
+    }
+
+    #[test]
+    fn bounded_blocks_until_space() {
+        let (tx, rx) = super::channel::bounded(2);
+        tx.send(1u8).unwrap();
+        tx.send(2).unwrap();
+        let handle = std::thread::spawn(move || {
+            tx.send(3).unwrap(); // blocks until the receiver drains one
+            tx.send(4).unwrap();
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(rx.len(), 2, "sender must not overfill a bounded channel");
+        for i in 1..=4u8 {
+            assert_eq!(rx.recv().unwrap(), i);
+        }
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn bounded_sender_unblocks_on_receiver_drop() {
+        let (tx, rx) = super::channel::bounded(1);
+        tx.send(1u8).unwrap();
+        let handle = std::thread::spawn(move || tx.send(2).is_err());
+        std::thread::sleep(Duration::from_millis(20));
+        drop(rx);
+        assert!(handle.join().unwrap(), "blocked send must fail on hangup");
     }
 
     #[test]
