@@ -34,7 +34,11 @@ fn schema() -> Arc<Schema> {
 fn populated_replica(n: usize) -> Replica {
     let mut r = Replica::new(ClientId(1), schema());
     for i in 0..n {
-        let mut row = r.apply_local(&Operation::Insert).unwrap().creates_row().unwrap();
+        let mut row = r
+            .apply_local(&Operation::Insert)
+            .unwrap()
+            .creates_row()
+            .unwrap();
         for (col, v) in [
             (0u16, Value::text(format!("Player {i}"))),
             (1, Value::text(format!("Country {}", i % 30))),
@@ -66,7 +70,11 @@ fn bench_fill_chain(c: &mut Criterion) {
             b.iter_batched(
                 || {
                     let mut r = base.clone();
-                    let row = r.apply_local(&Operation::Insert).unwrap().creates_row().unwrap();
+                    let row = r
+                        .apply_local(&Operation::Insert)
+                        .unwrap()
+                        .creates_row()
+                        .unwrap();
                     (r, row)
                 },
                 |(mut r, row)| {

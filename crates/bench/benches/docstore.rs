@@ -70,10 +70,8 @@ fn bench_wal(c: &mut Criterion) {
         let _ = std::fs::remove_file(&path);
     });
     group.bench_function("replay_1k_records", |b| {
-        let path = std::env::temp_dir().join(format!(
-            "crowdfill-bench-replay-{}.wal",
-            std::process::id()
-        ));
+        let path =
+            std::env::temp_dir().join(format!("crowdfill-bench-replay-{}.wal", std::process::id()));
         let _ = std::fs::remove_file(&path);
         {
             let mut store = DocStore::open(&path).unwrap();

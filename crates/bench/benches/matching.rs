@@ -36,25 +36,29 @@ fn adjacency(t: usize, p: usize) -> Vec<Vec<usize>> {
 fn bench_incremental_churn(c: &mut Criterion) {
     let mut group = c.benchmark_group("matching/incremental_churn");
     for &(t, p) in &[(10usize, 30usize), (50, 150), (200, 600)] {
-        group.bench_with_input(BenchmarkId::from_parameter(format!("{t}x{p}")), &(t, p), |b, &(t, p)| {
-            let base = build(t, p);
-            b.iter_batched(
-                || base.clone(),
-                |mut m| {
-                    // One probable row leaves, a replacement arrives: the
-                    // per-worker-action churn PRI maintenance sees.
-                    m.remove_right(&0);
-                    m.add_right(p + 1);
-                    for left in 0..t {
-                        if (left * 7 + (p + 1) * 13) % 4 == 0 {
-                            m.add_edge(left, p + 1);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{t}x{p}")),
+            &(t, p),
+            |b, &(t, p)| {
+                let base = build(t, p);
+                b.iter_batched(
+                    || base.clone(),
+                    |mut m| {
+                        // One probable row leaves, a replacement arrives: the
+                        // per-worker-action churn PRI maintenance sees.
+                        m.remove_right(&0);
+                        m.add_right(p + 1);
+                        for left in 0..t {
+                            if (left * 7 + (p + 1) * 13) % 4 == 0 {
+                                m.add_edge(left, p + 1);
+                            }
                         }
-                    }
-                    black_box(m.repair());
-                },
-                criterion::BatchSize::SmallInput,
-            );
-        });
+                        black_box(m.repair());
+                    },
+                    criterion::BatchSize::SmallInput,
+                );
+            },
+        );
     }
     group.finish();
 }
@@ -63,9 +67,13 @@ fn bench_full_recompute(c: &mut Criterion) {
     let mut group = c.benchmark_group("matching/hopcroft_karp_rebuild");
     for &(t, p) in &[(10usize, 30usize), (50, 150), (200, 600)] {
         let adj = adjacency(t, p);
-        group.bench_with_input(BenchmarkId::from_parameter(format!("{t}x{p}")), &(t, p), |b, &(_, p)| {
-            b.iter(|| black_box(hopcroft_karp(&adj, p)));
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{t}x{p}")),
+            &(t, p),
+            |b, &(_, p)| {
+                b.iter(|| black_box(hopcroft_karp(&adj, p)));
+            },
+        );
     }
     group.finish();
 }

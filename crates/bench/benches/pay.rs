@@ -31,18 +31,22 @@ fn bench_allocation_schemes(c: &mut Criterion) {
     let r = report(20);
     let mut group = c.benchmark_group("pay/allocate");
     for scheme in Scheme::ALL {
-        group.bench_with_input(BenchmarkId::from_parameter(scheme.name()), &scheme, |b, &scheme| {
-            b.iter(|| {
-                black_box(allocate(
-                    scheme,
-                    10.0,
-                    &r.trace,
-                    &r.contributions,
-                    &r.schema,
-                    &SplitConfig::new(),
-                ))
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(scheme.name()),
+            &scheme,
+            |b, &scheme| {
+                b.iter(|| {
+                    black_box(allocate(
+                        scheme,
+                        10.0,
+                        &r.trace,
+                        &r.contributions,
+                        &r.schema,
+                        &SplitConfig::new(),
+                    ))
+                });
+            },
+        );
     }
     group.finish();
 }
@@ -67,7 +71,8 @@ fn bench_estimator_throughput(c: &mut Criterion) {
                 Arc::new(QuorumMajority::of_three()),
                 &Template::cardinality(10),
             );
-            let mut replica = Replica::new(crowdfill_model::ClientId(u32::MAX), Arc::clone(&r.schema));
+            let mut replica =
+                Replica::new(crowdfill_model::ClientId(u32::MAX), Arc::clone(&r.schema));
             let mut row_values: std::collections::HashMap<_, crowdfill_model::RowValue> =
                 std::collections::HashMap::new();
             for (idx, e) in r.trace.entries().iter().enumerate() {

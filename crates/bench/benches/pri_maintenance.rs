@@ -29,7 +29,11 @@ fn schema() -> Arc<Schema> {
 fn setup(template_rows: usize, filled: usize) -> (PriMaintainer, Replica) {
     let s = schema();
     let scoring: crowdfill_model::ScoringRef = Arc::new(QuorumMajority::of_three());
-    let mut cc = PriMaintainer::new(Arc::clone(&s), scoring, &Template::cardinality(template_rows));
+    let mut cc = PriMaintainer::new(
+        Arc::clone(&s),
+        scoring,
+        &Template::cardinality(template_rows),
+    );
     let mut worker = Replica::new(ClientId(1), s);
     for m in cc.take_outbox() {
         worker.process(&m);

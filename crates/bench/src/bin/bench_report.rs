@@ -1,0 +1,219 @@
+//! `bench-report`: the machine-readable throughput harness behind the CI
+//! bench gate. Measures the batched apply pipeline (batch-size sweep, with
+//! and without a journal) and the sharded matcher (sequential vs parallel
+//! repair), then writes `BENCH_sync.json` and `BENCH_matching.json` —
+//! one result object per line, so `scripts/bench_compare.sh` can diff two
+//! runs with nothing fancier than sed.
+//!
+//! Usage: `bench-report [--quick] [--out-dir DIR]`
+//!
+//! `--quick` shrinks the workload and repetition count for CI smoke runs;
+//! the numbers are noisier but the file format is identical.
+
+use crowdfill_bench::workload::{
+    record_fill_workload, replay_batched, replay_singleton, sharded_graph,
+};
+use crowdfill_docstore::{FsyncPolicy, Wal};
+use crowdfill_matching::Parallelism;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// One measured configuration, serialized as a single JSON line.
+struct Entry {
+    name: String,
+    median_ns_per_op: u64,
+    ops_per_sec: f64,
+    ops: usize,
+    reps: usize,
+}
+
+impl Entry {
+    fn json_line(&self) -> String {
+        format!(
+            "    {{\"name\": \"{}\", \"median_ns_per_op\": {}, \"ops_per_sec\": {:.1}, \"ops\": {}, \"reps\": {}}}",
+            self.name, self.median_ns_per_op, self.ops_per_sec, self.ops, self.reps
+        )
+    }
+}
+
+/// Runs `f` (a whole-workload pass over `ops` operations) `reps` times and
+/// reduces to the median per-op cost.
+fn measure(name: &str, ops: usize, reps: usize, mut f: impl FnMut()) -> Entry {
+    let mut samples: Vec<u128> = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let start = Instant::now();
+        f();
+        samples.push(start.elapsed().as_nanos());
+    }
+    samples.sort_unstable();
+    let median_total = samples[samples.len() / 2];
+    let median_ns_per_op = (median_total / ops.max(1) as u128) as u64;
+    let ops_per_sec = if median_total == 0 {
+        f64::INFINITY
+    } else {
+        ops as f64 * 1e9 / median_total as f64
+    };
+    let entry = Entry {
+        name: name.to_string(),
+        median_ns_per_op,
+        ops_per_sec,
+        ops,
+        reps,
+    };
+    eprintln!(
+        "{:<44} {:>12} ns/op {:>14.0} ops/s",
+        entry.name, entry.median_ns_per_op, entry.ops_per_sec
+    );
+    entry
+}
+
+fn temp_wal(tag: &str) -> (PathBuf, Wal) {
+    let path = std::env::temp_dir().join(format!(
+        "crowdfill-bench-report-{tag}-{}-{}.wal",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos()
+    ));
+    let wal = Wal::open_with(&path, FsyncPolicy::EveryN(1), |_| {}).unwrap();
+    (path, wal)
+}
+
+fn write_report(path: &Path, suite: &str, quick: bool, entries: &[Entry]) {
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir).ok();
+    }
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"suite\": \"{suite}\",\n"));
+    out.push_str("  \"generated_by\": \"bench-report\",\n");
+    out.push_str(&format!("  \"quick\": {quick},\n"));
+    out.push_str("  \"results\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        out.push_str(&e.json_line());
+        out.push_str(if i + 1 < entries.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    let mut f = std::fs::File::create(path)
+        .unwrap_or_else(|e| panic!("cannot create {}: {e}", path.display()));
+    f.write_all(out.as_bytes()).unwrap();
+    eprintln!("wrote {}", path.display());
+}
+
+fn sync_suite(quick: bool) -> Vec<Entry> {
+    // Modest table size on purpose: per-op apply cost grows with the table
+    // (PRI maintenance is table-sized work), and what this suite isolates
+    // is the pipeline's amortization of the per-op constants — the journal
+    // fsync above all — not replica scaling.
+    let (rows, workers, reps) = if quick { (16, 4, 3) } else { (32, 4, 9) };
+    let jobs = record_fill_workload(rows, workers);
+    let ops = jobs.len();
+    eprintln!("sync workload: {ops} ops over {rows} rows, {workers} workers, {reps} reps");
+    let mut entries = Vec::new();
+
+    entries.push(measure("apply/singleton", ops, reps, || {
+        replay_singleton(&jobs, rows, workers, None);
+    }));
+    for batch in [1usize, 8, 32, 128] {
+        entries.push(measure(&format!("apply/batch={batch}"), ops, reps, || {
+            replay_batched(&jobs, rows, workers, batch, None);
+        }));
+    }
+
+    // The journaled sweep is the headline: with FsyncPolicy::EveryN(1) a
+    // batch pays one fsync regardless of size, so batch=32 must clear the
+    // 2x acceptance bar over the per-op-fsync singleton path.
+    entries.push(measure("apply_journaled/singleton", ops, reps, || {
+        let (path, wal) = temp_wal("single");
+        replay_singleton(&jobs, rows, workers, Some(wal));
+        std::fs::remove_file(path).ok();
+    }));
+    for batch in [8usize, 32, 128] {
+        entries.push(measure(
+            &format!("apply_journaled/batch={batch}"),
+            ops,
+            reps,
+            || {
+                let (path, wal) = temp_wal("batch");
+                replay_batched(&jobs, rows, workers, batch, Some(wal));
+                std::fs::remove_file(path).ok();
+            },
+        ));
+    }
+    entries
+}
+
+fn matching_suite(quick: bool) -> Vec<Entry> {
+    let (configs, reps): (&[(usize, usize)], usize) = if quick {
+        (&[(16, 16), (64, 16)], 3)
+    } else {
+        (&[(16, 16), (64, 16), (64, 64), (256, 32)], 7)
+    };
+    let mut entries = Vec::new();
+    for &(components, size) in configs {
+        // One repair resolves every free left across all components; count
+        // the lefts as the "ops" so ns/op is per augmenting start.
+        let ops = components * size;
+        for (label, par) in [("seq", Parallelism::Sequential), ("par", Parallelism::Auto)] {
+            entries.push(measure(
+                &format!("sharded_repair/{label}/c{components}x{size}"),
+                ops,
+                reps,
+                || {
+                    let mut m = sharded_graph(components, size, par);
+                    m.repair();
+                    assert_eq!(m.matching_size(), components * size);
+                },
+            ));
+        }
+    }
+    entries
+}
+
+fn main() {
+    let mut quick = false;
+    let mut out_dir = PathBuf::from(".");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out-dir" => {
+                out_dir = PathBuf::from(args.next().expect("--out-dir needs a value"));
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: bench-report [--quick] [--out-dir DIR]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let sync = sync_suite(quick);
+    write_report(&out_dir.join("BENCH_sync.json"), "sync", quick, &sync);
+
+    let matching = matching_suite(quick);
+    write_report(
+        &out_dir.join("BENCH_matching.json"),
+        "matching",
+        quick,
+        &matching,
+    );
+
+    // Surface the acceptance ratio so a human skimming CI logs sees it.
+    let find = |name: &str| {
+        sync.iter()
+            .find(|e| e.name == name)
+            .map(|e| e.ops_per_sec)
+            .unwrap_or(0.0)
+    };
+    let single = find("apply_journaled/singleton");
+    let batch32 = find("apply_journaled/batch=32");
+    if single > 0.0 {
+        eprintln!(
+            "journaled batch=32 vs singleton: {:.2}x ops/sec",
+            batch32 / single
+        );
+    }
+}

@@ -36,7 +36,11 @@ fn main() {
     let amounts: Vec<f64> = report.payout.per_worker.values().copied().collect();
     let min = amounts.iter().cloned().fold(f64::MAX, f64::min);
     let max = amounts.iter().cloned().fold(f64::MIN, f64::max);
-    println!("\nspread: {} .. {} (paper: $0.51 .. $3.49)", money(min), money(max));
+    println!(
+        "\nspread: {} .. {} (paper: $0.51 .. $3.49)",
+        money(min),
+        money(max)
+    );
     println!("unspent: {}", money(report.payout.unspent));
 
     // Shape check: most-active worker earns the most; least-active least.

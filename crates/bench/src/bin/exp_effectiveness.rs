@@ -47,7 +47,16 @@ fn main() {
         sums.4 += report.accuracy;
     }
     print_table(
-        &["seed", "done", "elapsed", "cand", "final", "rejected", "conflicts", "accuracy"],
+        &[
+            "seed",
+            "done",
+            "elapsed",
+            "cand",
+            "final",
+            "rejected",
+            "conflicts",
+            "accuracy",
+        ],
         &rows,
     );
     println!(

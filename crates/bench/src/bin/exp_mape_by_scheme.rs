@@ -23,7 +23,9 @@ fn main() {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(4);
-    println!("E4: estimate MAPE by allocation scheme, {runs_per_domain} seeds × 3 domains × 8 rows\n");
+    println!(
+        "E4: estimate MAPE by allocation scheme, {runs_per_domain} seeds × 3 domains × 8 rows\n"
+    );
 
     let mut rows = Vec::new();
     for scheme in Scheme::ALL {
@@ -38,13 +40,10 @@ fn main() {
             ];
             for universe in universes {
                 total += 1;
-                let cfg = SimConfig::new(
-                    universe,
-                    Template::cardinality(8),
-                    paper_worker_profiles(),
-                )
-                .with_seed(seed * 31 + 7)
-                .with_scheme(scheme);
+                let cfg =
+                    SimConfig::new(universe, Template::cardinality(8), paper_worker_profiles())
+                        .with_seed(seed * 31 + 7)
+                        .with_scheme(scheme);
                 let report = run(cfg);
                 if !report.fulfilled {
                     continue;

@@ -38,7 +38,13 @@ fn main() {
             actions += report.actions_per_worker.values().sum::<usize>() as f64;
         }
         if done == 0 {
-            rows.push(vec![n_workers.to_string(), "—".into(), "—".into(), "—".into(), "—".into()]);
+            rows.push(vec![
+                n_workers.to_string(),
+                "—".into(),
+                "—".into(),
+                "—".into(),
+                "—".into(),
+            ]);
             continue;
         }
         let d = done as f64;
@@ -50,7 +56,10 @@ fn main() {
             format!("{:.0}%", acc / d * 100.0),
         ]);
     }
-    print_table(&["workers", "makespan", "extra rows", "actions", "accuracy"], &rows);
+    print_table(
+        &["workers", "makespan", "extra rows", "actions", "accuracy"],
+        &rows,
+    );
 
     println!("\nA2b: table-size scaling (5 nominal workers, mean of 3 seeds)\n");
     let mut rows = Vec::new();
@@ -71,7 +80,13 @@ fn main() {
             acc += report.accuracy;
         }
         if done == 0 {
-            rows.push(vec![target.to_string(), "—".into(), "—".into(), "—".into(), "—".into()]);
+            rows.push(vec![
+                target.to_string(),
+                "—".into(),
+                "—".into(),
+                "—".into(),
+                "—".into(),
+            ]);
             continue;
         }
         let d = done as f64;
@@ -83,6 +98,9 @@ fn main() {
             format!("{:.0}%", acc / d * 100.0),
         ]);
     }
-    print_table(&["rows", "converged", "makespan", "extra rows", "accuracy"], &rows);
+    print_table(
+        &["rows", "converged", "makespan", "extra rows", "accuracy"],
+        &rows,
+    );
     println!("\n(secs are simulated worker time, not wall clock)");
 }

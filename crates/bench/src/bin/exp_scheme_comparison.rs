@@ -47,7 +47,14 @@ fn main() {
         ]);
     }
     print_table(
-        &["worker", "actions", "uniform", "column", "dual", "dual vs uniform"],
+        &[
+            "worker",
+            "actions",
+            "uniform",
+            "column",
+            "dual",
+            "dual vs uniform",
+        ],
         &rows,
     );
 
@@ -69,6 +76,10 @@ fn main() {
     );
     println!(
         "shape check — weighted pays the non-voting filler at least uniform: {}",
-        if d >= u { "✓" } else { "✗ (column latencies unusual this run)" }
+        if d >= u {
+            "✓"
+        } else {
+            "✗ (column latencies unusual this run)"
+        }
     );
 }

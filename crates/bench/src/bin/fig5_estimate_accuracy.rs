@@ -39,7 +39,11 @@ fn main() {
     for (w, actual) in &report.payout.per_worker {
         let raw = report.estimates_raw.get(w).copied().unwrap_or(0.0);
         let corr = report.estimates_corrected.get(w).copied().unwrap_or(0.0);
-        println!("  {:<4} a {}", wname(*w), "█".repeat((actual * scale) as usize));
+        println!(
+            "  {:<4} a {}",
+            wname(*w),
+            "█".repeat((actual * scale) as usize)
+        );
         println!("       e {}", "▒".repeat((raw * scale) as usize));
         println!("       c {}", "░".repeat((corr * scale) as usize));
     }
@@ -53,6 +57,10 @@ fn main() {
     let corr_m = mape(&pairs_corr).unwrap_or(0.0);
     println!(
         "shape check — corrected ≤ raw: {}",
-        if corr_m <= raw_m { "✓" } else { "✗ (estimates unusually lucky this run)" }
+        if corr_m <= raw_m {
+            "✓"
+        } else {
+            "✗ (estimates unusually lucky this run)"
+        }
     );
 }

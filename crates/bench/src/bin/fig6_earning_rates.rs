@@ -49,11 +49,7 @@ fn main() {
         let cu = normalize(&earning_curve(&uniform, &report.trace, w));
         let cd = normalize(&earning_curve(&dual, &report.trace, w));
         println!("worker {}:", wname(w));
-        ascii_chart(
-            &[("weighted", &cd), ("uniform", &cu)],
-            64,
-            12,
-        );
+        ascii_chart(&[("weighted", &cd), ("uniform", &cu)], 64, 12);
         println!();
     }
 

@@ -1,6 +1,8 @@
 //! Shared helpers for the experiment binaries that regenerate the paper's
 //! tables and figures (see `src/bin/`) and for the criterion benches.
 
+pub mod workload;
+
 use crowdfill_pay::WorkerId;
 use std::collections::BTreeMap;
 

@@ -31,10 +31,9 @@
 //! group-best), the derived final table satisfies the constraint.
 
 use crate::probable::probable_rows;
-use crowdfill_matching::IncrementalMatcher;
+use crowdfill_matching::ShardedMatcher;
 use crowdfill_model::{
-    ClientId, Entry, Message, Operation, RowId, RowValue, Schema, ScoringRef, Template,
-    TemplateRow,
+    ClientId, Entry, Message, Operation, RowId, RowValue, Schema, ScoringRef, Template, TemplateRow,
 };
 use crowdfill_sync::Replica;
 use std::collections::BTreeSet;
@@ -53,7 +52,10 @@ pub struct PriMaintainer {
     template: Vec<(TemplateIdx, TemplateRow)>,
     /// Template rows CC had to give up on (paper §4.2's degenerate case).
     dropped: Vec<(TemplateIdx, TemplateRow)>,
-    matcher: IncrementalMatcher<TemplateIdx, RowId>,
+    /// Sharded so large templates repair component-parallel, and ordered so
+    /// two maintainers fed identical messages make identical decisions (the
+    /// batched server relies on that for cross-instance history identity).
+    matcher: ShardedMatcher<TemplateIdx, RowId>,
     /// Current probable set (mirrors the matcher's right vertices).
     probable: BTreeSet<RowId>,
     /// Messages CC has generated and not yet handed to the caller.
@@ -73,7 +75,7 @@ impl PriMaintainer {
             scoring,
             template: template.rows().iter().cloned().enumerate().collect(),
             dropped: Vec::new(),
-            matcher: IncrementalMatcher::new(),
+            matcher: ShardedMatcher::new(),
             probable: BTreeSet::new(),
             outbox: Vec::new(),
         };
@@ -121,6 +123,24 @@ impl PriMaintainer {
     /// the outbox.
     pub fn on_message(&mut self, msg: &Message) {
         self.replica.process(msg);
+        self.refresh_and_maintain();
+    }
+
+    /// Batched variant of [`on_message`](Self::on_message): absorbs a run of
+    /// messages into the replica and re-establishes the PRI **once**, so the
+    /// probable-set diff and augmenting-path repair are amortized over the
+    /// whole run instead of paid per message.
+    ///
+    /// The final state can differ from calling `on_message` per element —
+    /// intermediate maintenance (and the inserts it would have generated) is
+    /// skipped — so this is for callers that only observe the end state:
+    /// bulk replay, offline analysis, and the PRI throughput benchmarks. The
+    /// live server keeps per-message maintenance, which is what the
+    /// batch/singleton history-equivalence property pins down.
+    pub fn on_messages(&mut self, msgs: &[Message]) {
+        for msg in msgs {
+            self.replica.process(msg);
+        }
         self.refresh_and_maintain();
     }
 
@@ -257,9 +277,9 @@ impl PriMaintainer {
     /// restores the PRI by insertion / shuffle / template-drop.
     fn refresh_and_maintain(&mut self) {
         crowdfill_obs::metrics::counter("crowdfill_constraints_pri_refreshes").inc();
-        let _refresh_timer = crowdfill_obs::SpanTimer::start(
-            &crowdfill_obs::metrics::histogram("crowdfill_constraints_pri_refresh_ns"),
-        );
+        let _refresh_timer = crowdfill_obs::SpanTimer::start(&crowdfill_obs::metrics::histogram(
+            "crowdfill_constraints_pri_refresh_ns",
+        ));
         self.sync_probable_set();
         self.matcher.repair();
 

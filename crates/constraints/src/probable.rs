@@ -154,11 +154,7 @@ mod tests {
     }
 
     fn rv(pairs: &[(u16, &str)]) -> RowValue {
-        RowValue::from_pairs(
-            pairs
-                .iter()
-                .map(|(c, v)| (ColumnId(*c), Value::text(*v))),
-        )
+        RowValue::from_pairs(pairs.iter().map(|(c, v)| (ColumnId(*c), Value::text(*v))))
     }
 
     fn id(seq: u64) -> RowId {
@@ -230,10 +226,7 @@ mod tests {
     fn tie_breaks_to_lowest_id() {
         let a = rv(&[(0, "A"), (1, "X"), (2, "FW")]);
         let b = rv(&[(0, "A"), (1, "X"), (2, "MF")]);
-        let c = classify(vec![
-            (id(7), entry(a, 2, 0)),
-            (id(3), entry(b, 2, 0)),
-        ]);
+        let c = classify(vec![(id(7), entry(a, 2, 0)), (id(3), entry(b, 2, 0))]);
         assert_eq!(c[&id(3)], ProbableStatus::Winner);
         assert_eq!(c[&id(7)], ProbableStatus::Outscored);
     }
@@ -242,10 +235,7 @@ mod tests {
     fn different_keys_do_not_interfere() {
         let a = rv(&[(0, "A"), (1, "X"), (2, "FW")]);
         let b = rv(&[(0, "B"), (1, "X"), (2, "MF")]);
-        let c = classify(vec![
-            (id(0), entry(a, 5, 0)),
-            (id(1), entry(b, 2, 0)),
-        ]);
+        let c = classify(vec![(id(0), entry(a, 5, 0)), (id(1), entry(b, 2, 0))]);
         assert_eq!(c[&id(0)], ProbableStatus::Winner);
         assert_eq!(c[&id(1)], ProbableStatus::Winner);
     }
@@ -277,9 +267,18 @@ mod tests {
     #[test]
     fn paper_4_3_initial_classification() {
         let rows = vec![
-            (id(1), entry(rv(&[(0, "Neymar"), (1, "Brazil"), (2, "FW")]), 0, 0)),
-            (id(2), entry(rv(&[(0, "Ronaldinho"), (1, "Brazil"), (2, "FW")]), 0, 1)),
-            (id(3), entry(rv(&[(0, "Messi"), (1, "Spain"), (2, "FW")]), 0, 0)),
+            (
+                id(1),
+                entry(rv(&[(0, "Neymar"), (1, "Brazil"), (2, "FW")]), 0, 0),
+            ),
+            (
+                id(2),
+                entry(rv(&[(0, "Ronaldinho"), (1, "Brazil"), (2, "FW")]), 0, 1),
+            ),
+            (
+                id(3),
+                entry(rv(&[(0, "Messi"), (1, "Spain"), (2, "FW")]), 0, 0),
+            ),
             (id(4), entry(rv(&[(2, "FW")]), 0, 0)),
         ];
         let c = classify(rows);

@@ -138,8 +138,14 @@ fn paper_4_3_walkthrough() {
     // FW row stays bare (row 4 analogue).
     // Row 1: Neymar / Brazil / FW — built on CC's Brazil row.
     let b = rig.row_with(nat, "Brazil");
-    let r = rig.act(&Operation::fill(b, name, "Neymar")).creates_row().unwrap();
-    let row1 = rig.act(&Operation::fill(r, pos, "FW")).creates_row().unwrap();
+    let r = rig
+        .act(&Operation::fill(b, name, "Neymar"))
+        .creates_row()
+        .unwrap();
+    let row1 = rig
+        .act(&Operation::fill(r, pos, "FW"))
+        .creates_row()
+        .unwrap();
 
     // Row 2: Ronaldinho / Brazil / FW — a fresh Brazil row must NOT be
     // inserted by CC for this; the worker builds it from row 1's lineage? No:
@@ -192,8 +198,14 @@ fn repair_via_augmenting_path_inserts_nothing() {
 
     // Complete the Brazil seed into a Brazilian FW (covers both a and b).
     let b = rig.row_with(nat, "Brazil");
-    let r = rig.act(&Operation::fill(b, name, "Neymar")).creates_row().unwrap();
-    let both = rig.act(&Operation::fill(r, pos, "FW")).creates_row().unwrap();
+    let r = rig
+        .act(&Operation::fill(b, name, "Neymar"))
+        .creates_row()
+        .unwrap();
+    let both = rig
+        .act(&Operation::fill(r, pos, "FW"))
+        .creates_row()
+        .unwrap();
     assert_eq!(rig.cc.replica().table().len(), 2);
 
     // Downvote the bare FW seed twice: it leaves P. Template a must shift
@@ -202,9 +214,19 @@ fn repair_via_augmenting_path_inserts_nothing() {
     // one of them. To test the *pure* augmenting case, first give `a`
     // another FW row by completing the bare seed instead:
     let bare = rig.row_with(pos, "FW");
-    let bare = if bare == both { rig.row_with(pos, "FW") } else { bare };
-    let r = rig.act(&Operation::fill(bare, name, "Messi")).creates_row().unwrap();
-    let messi = rig.act(&Operation::fill(r, nat, "Argentina")).creates_row().unwrap();
+    let bare = if bare == both {
+        rig.row_with(pos, "FW")
+    } else {
+        bare
+    };
+    let r = rig
+        .act(&Operation::fill(bare, name, "Messi"))
+        .creates_row()
+        .unwrap();
+    let messi = rig
+        .act(&Operation::fill(r, nat, "Argentina"))
+        .creates_row()
+        .unwrap();
     assert_eq!(rig.cc.replica().table().len(), 2);
     let before = rig.cc.replica().table().len();
 
@@ -230,7 +252,10 @@ fn fulfillment_with_prescribed_keys() {
     let nat = s.column_id("nationality").unwrap();
     let pos = s.column_id("position").unwrap();
     let template = Template::from_rows(vec![
-        TemplateRow::from_values([(name, Value::text("Messi")), (nat, Value::text("Argentina"))]),
+        TemplateRow::from_values([
+            (name, Value::text("Messi")),
+            (nat, Value::text("Argentina")),
+        ]),
         TemplateRow::from_values([(name, Value::text("Neymar")), (nat, Value::text("Brazil"))]),
     ]);
     let mut rig = Rig::new(template);
@@ -274,8 +299,14 @@ fn predicates_fulfillment_is_strict_on_complete_rows() {
 
     // Complete the Brazil seed with a *violating* position.
     let b = rig.row_with(nat, "Brazil");
-    let r = rig.act(&Operation::fill(b, name, "Cafu")).creates_row().unwrap();
-    let done = rig.act(&Operation::fill(r, pos, "DF")).creates_row().unwrap();
+    let r = rig
+        .act(&Operation::fill(b, name, "Cafu"))
+        .creates_row()
+        .unwrap();
+    let done = rig
+        .act(&Operation::fill(r, pos, "DF"))
+        .creates_row()
+        .unwrap();
     rig.act(&Operation::Upvote { row: done });
     let mut w2 = rig.worker.clone();
     let msg = w2.apply_local(&Operation::Upvote { row: done }).unwrap();
@@ -330,13 +361,26 @@ fn probable_set_matches_recomputation() {
     let mut rig = Rig::new(Template::cardinality(3));
 
     let rows: Vec<RowId> = rig.worker.table().row_ids().collect();
-    let r = rig.act(&Operation::fill(rows[0], name, "Messi")).creates_row().unwrap();
-    let r = rig.act(&Operation::fill(r, nat, "Argentina")).creates_row().unwrap();
-    let done = rig.act(&Operation::fill(r, pos, "FW")).creates_row().unwrap();
+    let r = rig
+        .act(&Operation::fill(rows[0], name, "Messi"))
+        .creates_row()
+        .unwrap();
+    let r = rig
+        .act(&Operation::fill(r, nat, "Argentina"))
+        .creates_row()
+        .unwrap();
+    let done = rig
+        .act(&Operation::fill(r, pos, "FW"))
+        .creates_row()
+        .unwrap();
     rig.act(&Operation::Upvote { row: done });
     rig.act(&Operation::fill(rows[1], name, "Xavi"));
 
-    let fresh = probable_rows(rig.cc.replica().table(), rig.cc.replica().schema(), &QuorumMajority::of_three());
+    let fresh = probable_rows(
+        rig.cc.replica().table(),
+        rig.cc.replica().schema(),
+        &QuorumMajority::of_three(),
+    );
     assert_eq!(rig.cc.probable_set(), &fresh);
     assert!(rig.cc.invariant_holds());
 }
@@ -347,8 +391,10 @@ fn seeded_values_are_not_in_worker_compensable_cells() {
     // pay crate can distinguish template cells from worker cells.
     let s = schema();
     let nat = s.column_id("nationality").unwrap();
-    let template =
-        Template::from_rows(vec![TemplateRow::from_values([(nat, Value::text("Brazil"))])]);
+    let template = Template::from_rows(vec![TemplateRow::from_values([(
+        nat,
+        Value::text("Brazil"),
+    )])]);
     let mut cc = PriMaintainer::new(Arc::clone(&s), scoring(), &template);
     for m in cc.take_outbox() {
         if let Some(id) = m.creates_row() {

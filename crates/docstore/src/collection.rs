@@ -72,8 +72,14 @@ impl Filter {
             Filter::All => true,
             Filter::Eq(field, v) => doc.get(field) == Some(v),
             Filter::Exists(field) => doc.get(field).is_some(),
-            Filter::Gt(field, v) => doc.get(field).and_then(Json::as_f64).is_some_and(|x| x > *v),
-            Filter::Lt(field, v) => doc.get(field).and_then(Json::as_f64).is_some_and(|x| x < *v),
+            Filter::Gt(field, v) => doc
+                .get(field)
+                .and_then(Json::as_f64)
+                .is_some_and(|x| x > *v),
+            Filter::Lt(field, v) => doc
+                .get(field)
+                .and_then(Json::as_f64)
+                .is_some_and(|x| x < *v),
             Filter::And(fs) => fs.iter().all(|f| f.matches(doc)),
             Filter::Or(fs) => fs.iter().any(|f| f.matches(doc)),
             Filter::Not(f) => !f.matches(doc),
@@ -288,7 +294,11 @@ impl Collection {
     /// Creates a secondary index over `field`, backfilling existing docs.
     /// Fails on duplicate index names or (for unique indexes) existing
     /// duplicate keys.
-    pub fn create_index(&mut self, field: impl Into<String>, unique: bool) -> Result<(), StoreError> {
+    pub fn create_index(
+        &mut self,
+        field: impl Into<String>,
+        unique: bool,
+    ) -> Result<(), StoreError> {
         let field = field.into();
         if self.indexes.iter().any(|i| i.field == field) {
             return Err(StoreError::DuplicateIndex(field));
@@ -402,13 +412,22 @@ mod tests {
     fn indexed_query_agrees_with_scan() {
         let mut c = Collection::new();
         for i in 0..50 {
-            c.insert(format!("{i:03}"), doc(&format!("p{}", i % 7), i)).unwrap();
+            c.insert(format!("{i:03}"), doc(&format!("p{}", i % 7), i))
+                .unwrap();
         }
         let filter = Filter::Eq("name".into(), Json::str("p3"));
-        let scan: Vec<String> = c.find(&filter).iter().map(|(id, _)| id.to_string()).collect();
+        let scan: Vec<String> = c
+            .find(&filter)
+            .iter()
+            .map(|(id, _)| id.to_string())
+            .collect();
         c.create_index("name", false).unwrap();
         assert!(c.has_index("name"));
-        let indexed: Vec<String> = c.find(&filter).iter().map(|(id, _)| id.to_string()).collect();
+        let indexed: Vec<String> = c
+            .find(&filter)
+            .iter()
+            .map(|(id, _)| id.to_string())
+            .collect();
         assert_eq!(scan, indexed);
     }
 
@@ -455,7 +474,8 @@ mod tests {
             Err(StoreError::UniqueViolation { .. })
         ));
         assert!(matches!(
-            c.create_index("caps", false).and(c.create_index("caps", false)),
+            c.create_index("caps", false)
+                .and(c.create_index("caps", false)),
             Err(StoreError::DuplicateIndex(_))
         ));
     }

@@ -28,12 +28,7 @@ pub enum Json {
 impl Json {
     /// Builds an object from key/value pairs.
     pub fn obj(pairs: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
-        Json::Obj(
-            pairs
-                .into_iter()
-                .map(|(k, v)| (k.to_string(), v))
-                .collect(),
-        )
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
     }
 
     /// A string value.
@@ -354,8 +349,7 @@ impl<'a> Parser<'a> {
                             if !(0xDC00..0xE000).contains(&low) {
                                 return Err(self.err("invalid low surrogate"));
                             }
-                            let combined =
-                                0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+                            let combined = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
                             char::from_u32(combined).ok_or_else(|| self.err("invalid codepoint"))?
                         } else if (0xDC00..0xE000).contains(&cp) {
                             return Err(self.err("unpaired low surrogate"));
@@ -391,7 +385,9 @@ impl<'a> Parser<'a> {
     fn hex4(&mut self) -> Result<u32, JsonError> {
         let mut v = 0u32;
         for _ in 0..4 {
-            let b = self.bump().ok_or_else(|| self.err("truncated \\u escape"))?;
+            let b = self
+                .bump()
+                .ok_or_else(|| self.err("truncated \\u escape"))?;
             let d = (b as char)
                 .to_digit(16)
                 .ok_or_else(|| self.err("invalid hex digit"))?;
@@ -491,7 +487,10 @@ mod tests {
         roundtrip(&Json::obj([
             ("name", Json::str("Messi")),
             ("caps", Json::num(83)),
-            ("teams", Json::Arr(vec![Json::str("Barcelona"), Json::str("PSG")])),
+            (
+                "teams",
+                Json::Arr(vec![Json::str("Barcelona"), Json::str("PSG")]),
+            ),
             ("meta", Json::obj([("active", Json::Bool(true))])),
         ]));
     }
@@ -522,9 +521,25 @@ mod tests {
     #[test]
     fn rejects_malformed_input() {
         for bad in [
-            "", "{", "}", "[1,", "[1 2]", "{\"a\":}", "{a:1}", "01", "1.", ".5", "1e",
-            "tru", "nul", "\"unterminated", "[1]extra", "+1", "'single'",
-            "{\"a\":1,}", "[1,]",
+            "",
+            "{",
+            "}",
+            "[1,",
+            "[1 2]",
+            "{\"a\":}",
+            "{a:1}",
+            "01",
+            "1.",
+            ".5",
+            "1e",
+            "tru",
+            "nul",
+            "\"unterminated",
+            "[1]extra",
+            "+1",
+            "'single'",
+            "{\"a\":1,}",
+            "[1,]",
         ] {
             assert!(Json::parse(bad).is_err(), "should reject {bad:?}");
         }

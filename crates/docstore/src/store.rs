@@ -241,7 +241,10 @@ mod tests {
         let mut s = DocStore::in_memory();
         s.insert("tasks", "t1", doc(1)).unwrap();
         s.upsert("tasks", "t1", doc(2)).unwrap();
-        assert_eq!(s.get("tasks", "t1").unwrap().get("n").unwrap().as_i64(), Some(2));
+        assert_eq!(
+            s.get("tasks", "t1").unwrap().get("n").unwrap().as_i64(),
+            Some(2)
+        );
         assert_eq!(s.find("tasks", &Filter::All).len(), 1);
         assert_eq!(s.find("ghosts", &Filter::All).len(), 0);
         s.remove("tasks", "t1").unwrap();
@@ -261,9 +264,15 @@ mod tests {
             s.upsert("tasks", "t1", doc(10)).unwrap();
         }
         let s = DocStore::open(&path).unwrap();
-        assert_eq!(s.get("tasks", "t1").unwrap().get("n").unwrap().as_i64(), Some(10));
+        assert_eq!(
+            s.get("tasks", "t1").unwrap().get("n").unwrap().as_i64(),
+            Some(10)
+        );
         assert_eq!(s.get("tasks", "t2"), None);
-        assert_eq!(s.get("results", "r1").unwrap().get("n").unwrap().as_i64(), Some(3));
+        assert_eq!(
+            s.get("results", "r1").unwrap().get("n").unwrap().as_i64(),
+            Some(3)
+        );
         std::fs::remove_file(&path).unwrap();
     }
 
@@ -281,7 +290,10 @@ mod tests {
             assert!(after < before / 10, "compaction should shrink the log");
         }
         let s = DocStore::open(&path).unwrap();
-        assert_eq!(s.get("t", "same-id").unwrap().get("n").unwrap().as_i64(), Some(99));
+        assert_eq!(
+            s.get("t", "same-id").unwrap().get("n").unwrap().as_i64(),
+            Some(99)
+        );
         std::fs::remove_file(&path).unwrap();
     }
 

@@ -67,7 +67,11 @@ pub fn crc32(data: &[u8]) -> u32 {
             let mut c = i as u32;
             let mut k = 0;
             while k < 8 {
-                c = if c & 1 != 0 { 0xEDB88320 ^ (c >> 1) } else { c >> 1 };
+                c = if c & 1 != 0 {
+                    0xEDB88320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
                 k += 1;
             }
             t[i] = c;
@@ -100,10 +104,7 @@ impl Wal {
     /// records through `replay`, with the default durability policy
     /// ([`FsyncPolicy::Always`]). Truncated/corrupt tails are dropped from
     /// the file so subsequent appends are clean.
-    pub fn open(
-        path: impl AsRef<Path>,
-        replay: impl FnMut(&[u8]),
-    ) -> std::io::Result<Wal> {
+    pub fn open(path: impl AsRef<Path>, replay: impl FnMut(&[u8])) -> std::io::Result<Wal> {
         Wal::open_with(path, FsyncPolicy::Always, replay)
     }
 
@@ -224,10 +225,7 @@ impl Wal {
 
     /// Atomically replaces the log's contents with `records` (compaction):
     /// writes a sibling temp file and renames it over the log.
-    pub fn compact<'a>(
-        &mut self,
-        records: impl Iterator<Item = &'a [u8]>,
-    ) -> std::io::Result<()> {
+    pub fn compact<'a>(&mut self, records: impl Iterator<Item = &'a [u8]>) -> std::io::Result<()> {
         let tmp = self.path.with_extension("wal.tmp");
         {
             let mut w = BufWriter::new(File::create(&tmp)?);
@@ -319,7 +317,10 @@ mod tests {
     fn crc32_known_vectors() {
         assert_eq!(crc32(b""), 0x0000_0000);
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
-        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
     }
 
     #[test]

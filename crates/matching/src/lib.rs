@@ -15,6 +15,13 @@
 //!   freed).
 //! * [`hopcroft_karp`] — an independent O(E·√V) bulk solver, used for bulk
 //!   (re)construction and as a test oracle for the incremental engine.
+//! * [`ShardedMatcher`] — a deterministic, component-sharded engine with the
+//!   same incremental API, whose repair runs independent connected
+//!   components on scoped threads (see [`sharded`]).
+
+pub mod sharded;
+
+pub use sharded::{Parallelism, ShardedMatcher};
 
 use std::collections::hash_map::Entry;
 use std::collections::{HashMap, HashSet, VecDeque};
@@ -356,8 +363,7 @@ where
     pub fn check_consistency(&self) -> bool {
         self.match_l.len() == self.match_r.len()
             && self.match_l.iter().all(|(l, r)| {
-                self.match_r.get(r) == Some(l)
-                    && self.adj.get(l).is_some_and(|v| v.contains(r))
+                self.match_r.get(r) == Some(l) && self.adj.get(l).is_some_and(|v| v.contains(r))
             })
     }
 }
@@ -538,7 +544,7 @@ mod tests {
         m.add_edge(2, 0);
         let ex = m.exchangeable_lefts(&2);
         assert_eq!(ex, vec![0]); // l0 can donate r0 to l2 (and then be free)
-        // l1 is not reachable: r1 is not adjacent to l2 or l0.
+                                 // l1 is not reachable: r1 is not adjacent to l2 or l0.
         m.add_edge(0, 1);
         let mut ex = m.exchangeable_lefts(&2);
         ex.sort();

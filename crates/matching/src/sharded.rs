@@ -1,0 +1,644 @@
+//! Component-sharded bipartite matching (paper §4.2, scaled).
+//!
+//! The PRI matching decomposes naturally: an augmenting path can never leave
+//! the connected component of its starting vertex, so the bipartite graph
+//! splits into **independent shards** — one per connected component — and
+//! repairing them is embarrassingly parallel. [`ShardedMatcher`] exploits
+//! that: it stores the graph in ordered maps (fully deterministic, unlike a
+//! `HashMap`-backed matcher whose per-instance hash seeds make the *edges* of
+//! the maximum matching vary run to run), partitions the free left vertices
+//! by component at repair time, and solves the shards on crossbeam scoped
+//! threads when the graph is large enough to pay for the fan-out.
+//!
+//! Determinism is load-bearing here: the Central Client's insert/shuffle/drop
+//! decisions read the matching, so two servers fed the same message sequence
+//! must produce byte-identical broadcast histories — that is exactly what the
+//! batch/singleton equivalence property (`server/tests/batch_props.rs`)
+//! asserts. Free lefts are always augmented in ascending order and adjacency
+//! lists preserve insertion order, so the repaired matching is a pure
+//! function of the mutation history, shard-parallel or not.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::hash::Hash;
+use std::sync::OnceLock;
+
+use crowdfill_obs::metrics::{Counter, Histogram};
+
+/// Minimum total vertex count (across shards that need repair) before a
+/// repair fans out to threads; below it, thread spawn dominates the BFS work.
+const PAR_MIN_VERTICES: usize = 512;
+
+fn sharded_repairs() -> &'static Counter {
+    static C: OnceLock<std::sync::Arc<Counter>> = OnceLock::new();
+    C.get_or_init(|| crowdfill_obs::metrics::counter("crowdfill_matching_sharded_repairs"))
+}
+
+fn parallel_repairs() -> &'static Counter {
+    static C: OnceLock<std::sync::Arc<Counter>> = OnceLock::new();
+    C.get_or_init(|| crowdfill_obs::metrics::counter("crowdfill_matching_parallel_repairs"))
+}
+
+fn repair_shards() -> &'static Histogram {
+    static H: OnceLock<std::sync::Arc<Histogram>> = OnceLock::new();
+    H.get_or_init(|| crowdfill_obs::metrics::histogram("crowdfill_matching_repair_shards"))
+}
+
+fn augment_searches() -> &'static Counter {
+    static C: OnceLock<std::sync::Arc<Counter>> = OnceLock::new();
+    C.get_or_init(|| crowdfill_obs::metrics::counter("crowdfill_matching_augment_searches"))
+}
+
+fn augment_steps() -> &'static Counter {
+    static C: OnceLock<std::sync::Arc<Counter>> = OnceLock::new();
+    C.get_or_init(|| crowdfill_obs::metrics::counter("crowdfill_matching_augment_steps"))
+}
+
+/// How [`ShardedMatcher::repair`] schedules independent shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Parallelism {
+    /// Always solve shards on the calling thread (still component-local).
+    Sequential,
+    /// Fan out to scoped threads when ≥ 2 shards need repair and their
+    /// combined vertex count clears [`PAR_MIN_VERTICES`]. The default.
+    Auto,
+    /// Fan out across at most this many threads whenever ≥ 2 shards need
+    /// repair (benchmarks; `Threads(1)` is equivalent to `Sequential`).
+    Threads(usize),
+}
+
+/// One independent subproblem: the free lefts of a connected component plus
+/// the component-local graph and matching. Owned, so it can cross a thread
+/// boundary.
+struct Shard<L, R> {
+    free: Vec<L>,
+    adj: BTreeMap<L, Vec<R>>,
+    match_l: BTreeMap<L, R>,
+    match_r: BTreeMap<R, L>,
+}
+
+/// A deterministic, component-sharded bipartite matching with the same
+/// incremental API as [`IncrementalMatcher`](crate::IncrementalMatcher):
+/// mutations may break maximality, [`repair`](Self::repair) restores it via
+/// augmenting paths — per component, in parallel when it pays.
+#[derive(Debug, Clone)]
+pub struct ShardedMatcher<L, R>
+where
+    L: Clone + Eq + Hash + Ord,
+    R: Clone + Eq + Hash + Ord,
+{
+    /// left → adjacent rights (insertion-ordered for determinism).
+    adj: BTreeMap<L, Vec<R>>,
+    /// right → adjacent lefts.
+    radj: BTreeMap<R, Vec<L>>,
+    /// left → matched right.
+    match_l: BTreeMap<L, R>,
+    /// right → matched left.
+    match_r: BTreeMap<R, L>,
+    parallelism: Parallelism,
+}
+
+impl<L, R> Default for ShardedMatcher<L, R>
+where
+    L: Clone + Eq + Hash + Ord,
+    R: Clone + Eq + Hash + Ord,
+{
+    fn default() -> Self {
+        ShardedMatcher {
+            adj: BTreeMap::new(),
+            radj: BTreeMap::new(),
+            match_l: BTreeMap::new(),
+            match_r: BTreeMap::new(),
+            parallelism: Parallelism::Auto,
+        }
+    }
+}
+
+/// The shared augmenting-path search: BFS over alternating paths from free
+/// left `l` (unmatched edge to a right, matched edge back to a left), flip
+/// the first path that ends at a free right. Deterministic given adjacency
+/// insertion order. Used both in place and inside shard solvers.
+fn bfs_augment<L, R>(
+    l: &L,
+    adj: &BTreeMap<L, Vec<R>>,
+    match_l: &mut BTreeMap<L, R>,
+    match_r: &mut BTreeMap<R, L>,
+) -> bool
+where
+    L: Clone + Eq + Hash + Ord,
+    R: Clone + Eq + Hash + Ord,
+{
+    augment_searches().inc();
+    let mut parent_of_right: BTreeMap<R, L> = BTreeMap::new();
+    let mut visited_left: BTreeSet<L> = BTreeSet::new();
+    let mut queue = VecDeque::new();
+    visited_left.insert(l.clone());
+    queue.push_back(l.clone());
+    let mut endpoint: Option<R> = None;
+    let mut steps = 0u64;
+
+    'bfs: while let Some(cur) = queue.pop_front() {
+        steps += 1;
+        for r in adj.get(&cur).into_iter().flatten() {
+            if parent_of_right.contains_key(r) {
+                continue;
+            }
+            parent_of_right.insert(r.clone(), cur.clone());
+            match match_r.get(r) {
+                None => {
+                    endpoint = Some(r.clone());
+                    break 'bfs;
+                }
+                Some(next_l) => {
+                    if visited_left.insert(next_l.clone()) {
+                        queue.push_back(next_l.clone());
+                    }
+                }
+            }
+        }
+    }
+
+    augment_steps().add(steps);
+    let Some(mut r) = endpoint else {
+        return false;
+    };
+    loop {
+        let left = parent_of_right[&r].clone();
+        let prev_r = match_l.insert(left.clone(), r.clone());
+        match_r.insert(r, left.clone());
+        match prev_r {
+            Some(pr) => r = pr,
+            None => break,
+        }
+    }
+    true
+}
+
+impl<L, R> Shard<L, R>
+where
+    L: Clone + Eq + Hash + Ord + Send,
+    R: Clone + Eq + Hash + Ord + Send,
+{
+    /// Augments every free left (ascending) and returns the shard's final
+    /// matched pairs. Augmenting never unmatches a left, so the caller can
+    /// merge by insertion alone.
+    fn solve(mut self) -> Vec<(L, R)> {
+        for l in &self.free {
+            bfs_augment(l, &self.adj, &mut self.match_l, &mut self.match_r);
+        }
+        self.match_l.into_iter().collect()
+    }
+}
+
+impl<L, R> ShardedMatcher<L, R>
+where
+    L: Clone + Eq + Hash + Ord,
+    R: Clone + Eq + Hash + Ord,
+{
+    /// An empty matcher with [`Parallelism::Auto`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Overrides the repair scheduling policy.
+    pub fn set_parallelism(&mut self, p: Parallelism) {
+        self.parallelism = p;
+    }
+
+    /// Number of matched pairs.
+    pub fn matching_size(&self) -> usize {
+        self.match_l.len()
+    }
+
+    /// Number of left vertices.
+    pub fn left_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of right vertices.
+    pub fn right_count(&self) -> usize {
+        self.radj.len()
+    }
+
+    /// The right vertex matched to `l`, if any.
+    pub fn matched_right(&self, l: &L) -> Option<&R> {
+        self.match_l.get(l)
+    }
+
+    /// The left vertex matched to `r`, if any.
+    pub fn matched_left(&self, r: &R) -> Option<&L> {
+        self.match_r.get(r)
+    }
+
+    /// Whether left vertex `l` exists.
+    pub fn has_left(&self, l: &L) -> bool {
+        self.adj.contains_key(l)
+    }
+
+    /// Whether right vertex `r` exists.
+    pub fn has_right(&self, r: &R) -> bool {
+        self.radj.contains_key(r)
+    }
+
+    /// The currently unmatched left vertices, ascending (deterministic).
+    pub fn free_lefts(&self) -> Vec<L> {
+        self.adj
+            .keys()
+            .filter(|l| !self.match_l.contains_key(*l))
+            .cloned()
+            .collect()
+    }
+
+    /// Adds an isolated left vertex. No-op if present.
+    pub fn add_left(&mut self, l: L) {
+        self.adj.entry(l).or_default();
+    }
+
+    /// Adds an isolated right vertex. No-op if present.
+    pub fn add_right(&mut self, r: R) {
+        self.radj.entry(r).or_default();
+    }
+
+    /// Adds an edge (creating endpoints as needed). Returns `true` if the
+    /// edge is new.
+    pub fn add_edge(&mut self, l: L, r: R) -> bool {
+        let lv = self.adj.entry(l.clone()).or_default();
+        if lv.contains(&r) {
+            return false;
+        }
+        lv.push(r.clone());
+        self.radj.entry(r).or_default().push(l);
+        true
+    }
+
+    /// Removes an edge if present; a matched pair becomes unmatched (call
+    /// [`repair`](Self::repair) afterwards). Returns `true` if removed.
+    pub fn remove_edge(&mut self, l: &L, r: &R) -> bool {
+        let Some(lv) = self.adj.get_mut(l) else {
+            return false;
+        };
+        let Some(pos) = lv.iter().position(|x| x == r) else {
+            return false;
+        };
+        lv.remove(pos);
+        if let Some(rv) = self.radj.get_mut(r) {
+            rv.retain(|x| x != l);
+        }
+        if self.match_l.get(l) == Some(r) {
+            self.match_l.remove(l);
+            self.match_r.remove(r);
+        }
+        true
+    }
+
+    /// Removes a right vertex and all its edges; unmatches its partner.
+    /// Returns the left vertex that lost its match, if any.
+    pub fn remove_right(&mut self, r: &R) -> Option<L> {
+        let lefts = self.radj.remove(r)?;
+        for l in &lefts {
+            if let Some(lv) = self.adj.get_mut(l) {
+                lv.retain(|x| x != r);
+            }
+        }
+        let widowed = self.match_r.remove(r);
+        if let Some(l) = &widowed {
+            self.match_l.remove(l);
+        }
+        widowed
+    }
+
+    /// Removes a left vertex and all its edges; unmatches its partner.
+    /// Returns the right vertex that lost its match, if any.
+    pub fn remove_left(&mut self, l: &L) -> Option<R> {
+        let rights = self.adj.remove(l)?;
+        for r in &rights {
+            if let Some(rv) = self.radj.get_mut(r) {
+                rv.retain(|x| x != l);
+            }
+        }
+        let widowed = self.match_l.remove(l);
+        if let Some(r) = &widowed {
+            self.match_r.remove(r);
+        }
+        widowed
+    }
+
+    /// Attempts to match free left vertex `l` via one augmenting-path search.
+    /// Returns `true` on success; no-op (`false`) if `l` is unknown or
+    /// already matched.
+    pub fn augment(&mut self, l: &L) -> bool {
+        if !self.adj.contains_key(l) || self.match_l.contains_key(l) {
+            return false;
+        }
+        bfs_augment(l, &self.adj, &mut self.match_l, &mut self.match_r)
+    }
+
+    /// The connected component containing `seed`: its lefts (ascending when
+    /// collected into the shard) and rights, via BFS over all edges. An
+    /// augmenting path cannot leave a component, which is what makes shards
+    /// independent.
+    fn component_of(&self, seed: &L, visited: &mut BTreeSet<L>) -> (BTreeSet<L>, BTreeSet<R>) {
+        let mut lefts = BTreeSet::new();
+        let mut rights = BTreeSet::new();
+        let mut queue = VecDeque::new();
+        visited.insert(seed.clone());
+        lefts.insert(seed.clone());
+        queue.push_back(seed.clone());
+        while let Some(cur) = queue.pop_front() {
+            for r in self.adj.get(&cur).into_iter().flatten() {
+                if rights.insert(r.clone()) {
+                    for l2 in self.radj.get(r).into_iter().flatten() {
+                        if visited.insert(l2.clone()) {
+                            lefts.insert(l2.clone());
+                            queue.push_back(l2.clone());
+                        }
+                    }
+                }
+            }
+        }
+        (lefts, rights)
+    }
+
+    /// Extracts one owned shard per connected component that contains at
+    /// least one free left, in ascending order of smallest free left.
+    fn free_shards(&self, free: &[L]) -> Vec<Shard<L, R>> {
+        let mut visited: BTreeSet<L> = BTreeSet::new();
+        let mut shards = Vec::new();
+        for l in free {
+            if visited.contains(l) {
+                continue;
+            }
+            let (lefts, rights) = self.component_of(l, &mut visited);
+            let shard_free: Vec<L> = free.iter().filter(|f| lefts.contains(f)).cloned().collect();
+            let adj: BTreeMap<L, Vec<R>> = lefts
+                .iter()
+                .map(|l| (l.clone(), self.adj.get(l).cloned().unwrap_or_default()))
+                .collect();
+            let match_l: BTreeMap<L, R> = lefts
+                .iter()
+                .filter_map(|l| self.match_l.get(l).map(|r| (l.clone(), r.clone())))
+                .collect();
+            let match_r: BTreeMap<R, L> = rights
+                .iter()
+                .filter_map(|r| self.match_r.get(r).map(|l| (r.clone(), l.clone())))
+                .collect();
+            shards.push(Shard {
+                free: shard_free,
+                adj,
+                match_l,
+                match_r,
+            });
+        }
+        shards
+    }
+
+    /// Augments every free left vertex once (ascending, per component) and
+    /// returns the matching size. After arbitrary mutations this restores
+    /// maximality. Independent components are solved on crossbeam scoped
+    /// threads when the policy and problem size warrant; the result is
+    /// identical either way.
+    pub fn repair(&mut self) -> usize
+    where
+        L: Send + Sync,
+        R: Send + Sync,
+    {
+        let free = self.free_lefts();
+        if free.is_empty() {
+            return self.matching_size();
+        }
+        let threads = match self.parallelism {
+            Parallelism::Sequential => 1,
+            Parallelism::Threads(n) => n.max(1),
+            Parallelism::Auto => std::thread::available_parallelism().map_or(1, |n| n.get()),
+        };
+        if threads <= 1 {
+            for l in free {
+                self.augment(&l);
+            }
+            return self.matching_size();
+        }
+        let shards = self.free_shards(&free);
+        repair_shards().record(shards.len() as u64);
+        let total_vertices: usize = shards.iter().map(|s| s.adj.len() + s.match_r.len()).sum();
+        let too_small = self.parallelism == Parallelism::Auto && total_vertices < PAR_MIN_VERTICES;
+        if shards.len() < 2 || too_small {
+            for l in free {
+                self.augment(&l);
+            }
+            return self.matching_size();
+        }
+
+        sharded_repairs().inc();
+        parallel_repairs().inc();
+        // Round-robin the shards across at most `threads` workers; each
+        // worker solves its shards in order. Shards are vertex-disjoint, so
+        // any schedule merges to the same matching.
+        let workers = threads.min(shards.len());
+        let mut buckets: Vec<Vec<Shard<L, R>>> = (0..workers).map(|_| Vec::new()).collect();
+        for (i, shard) in shards.into_iter().enumerate() {
+            buckets[i % workers].push(shard);
+        }
+        let solved: Vec<Vec<(L, R)>> = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = buckets
+                .into_iter()
+                .map(|bucket| {
+                    scope.spawn(move |_| {
+                        bucket
+                            .into_iter()
+                            .flat_map(Shard::solve)
+                            .collect::<Vec<(L, R)>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard solver panicked"))
+                .collect()
+        })
+        .expect("matching repair scope panicked");
+        for pairs in solved {
+            for (l, r) in pairs {
+                self.match_l.insert(l.clone(), r.clone());
+                self.match_r.insert(r, l);
+            }
+        }
+        self.matching_size()
+    }
+
+    /// The *exchangeable* left vertices for a free left `l`: matched lefts
+    /// reachable by an alternating path, i.e. candidates to donate their
+    /// match (the Central Client's "shuffle" step, paper §4.2). Ascending
+    /// BFS-discovery order over ordered adjacency — deterministic.
+    pub fn exchangeable_lefts(&self, l: &L) -> Vec<L> {
+        if !self.adj.contains_key(l) || self.match_l.contains_key(l) {
+            return Vec::new();
+        }
+        let mut visited_left: BTreeSet<L> = BTreeSet::new();
+        let mut out = Vec::new();
+        let mut queue = VecDeque::new();
+        visited_left.insert(l.clone());
+        queue.push_back(l.clone());
+        while let Some(cur) = queue.pop_front() {
+            for r in self.adj.get(&cur).into_iter().flatten() {
+                if let Some(next_l) = self.match_r.get(r) {
+                    if visited_left.insert(next_l.clone()) {
+                        out.push(next_l.clone());
+                        queue.push_back(next_l.clone());
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Rebuilds the matching so that `l` (currently free) becomes matched and
+    /// `donor` (currently matched, reachable from `l`) becomes free. Returns
+    /// `false` — leaving the matching unchanged — if no alternating path from
+    /// `l` ends at `donor`.
+    pub fn exchange(&mut self, l: &L, donor: &L) -> bool {
+        if self.match_l.contains_key(l) || !self.match_l.contains_key(donor) {
+            return false;
+        }
+        let mut parent_of_right: BTreeMap<R, L> = BTreeMap::new();
+        let mut visited_left: BTreeSet<L> = BTreeSet::new();
+        let mut queue = VecDeque::new();
+        visited_left.insert(l.clone());
+        queue.push_back(l.clone());
+        let mut endpoint: Option<R> = None;
+        'bfs: while let Some(cur) = queue.pop_front() {
+            for r in self.adj.get(&cur).into_iter().flatten() {
+                if parent_of_right.contains_key(r) {
+                    continue;
+                }
+                parent_of_right.insert(r.clone(), cur.clone());
+                if let Some(next_l) = self.match_r.get(r) {
+                    if next_l == donor {
+                        endpoint = Some(r.clone());
+                        break 'bfs;
+                    }
+                    if visited_left.insert(next_l.clone()) {
+                        queue.push_back(next_l.clone());
+                    }
+                }
+            }
+        }
+        let Some(mut r) = endpoint else {
+            return false;
+        };
+        self.match_l.remove(donor);
+        self.match_r.remove(&r);
+        loop {
+            let left = parent_of_right[&r].clone();
+            let prev_r = self.match_l.insert(left.clone(), r.clone());
+            self.match_r.insert(r, left.clone());
+            match prev_r {
+                Some(pr) => {
+                    self.match_r.remove(&pr);
+                    r = pr;
+                }
+                None => break,
+            }
+        }
+        true
+    }
+
+    /// Internal consistency check: matched pairs are symmetric and all
+    /// matched edges exist.
+    pub fn check_consistency(&self) -> bool {
+        self.match_l.len() == self.match_r.len()
+            && self.match_l.iter().all(|(l, r)| {
+                self.match_r.get(r) == Some(l) && self.adj.get(l).is_some_and(|v| v.contains(r))
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matcher_from(edges: &[(u32, u32)]) -> ShardedMatcher<u32, u32> {
+        let mut m = ShardedMatcher::new();
+        for &(l, r) in edges {
+            m.add_edge(l, r);
+        }
+        m
+    }
+
+    #[test]
+    fn mirrors_incremental_semantics() {
+        let mut m = matcher_from(&[(0, 0), (0, 1), (1, 0)]);
+        assert_eq!(m.repair(), 2);
+        assert!(m.check_consistency());
+        let r = *m.matched_right(&0).unwrap();
+        assert!(m.remove_edge(&0, &r));
+        assert!(m.matched_right(&0).is_none());
+        assert!(m.check_consistency());
+    }
+
+    #[test]
+    fn repair_is_deterministic_across_instances() {
+        let edges: Vec<(u32, u32)> = (0..40)
+            .flat_map(|l| (0..3).map(move |k| (l, (l * 7 + k * 11) % 40)))
+            .collect();
+        let mut a = matcher_from(&edges);
+        let mut b = matcher_from(&edges);
+        b.set_parallelism(Parallelism::Threads(4));
+        assert_eq!(a.repair(), b.repair());
+        for l in 0..40u32 {
+            assert_eq!(a.matched_right(&l), b.matched_right(&l), "left {l}");
+        }
+    }
+
+    #[test]
+    fn parallel_and_sequential_agree_on_many_components() {
+        // 16 disjoint chains; each chain forces one reshuffling augment.
+        let mut seq = ShardedMatcher::new();
+        let mut par = ShardedMatcher::new();
+        seq.set_parallelism(Parallelism::Sequential);
+        par.set_parallelism(Parallelism::Threads(8));
+        for c in 0..16u32 {
+            let base = c * 100;
+            for m in [&mut seq, &mut par] {
+                m.add_edge(base, base);
+                m.add_edge(base + 1, base);
+                m.add_edge(base, base + 1);
+                m.add_edge(base + 2, base + 1);
+                m.add_edge(base + 1, base + 2);
+            }
+        }
+        assert_eq!(seq.repair(), par.repair());
+        assert_eq!(seq.matching_size(), 48);
+        for c in 0..16u32 {
+            for off in 0..3 {
+                let l = c * 100 + off;
+                assert_eq!(seq.matched_right(&l), par.matched_right(&l));
+            }
+        }
+        assert!(par.check_consistency());
+    }
+
+    #[test]
+    fn exchange_shifts_matching() {
+        let mut m = matcher_from(&[(0, 0), (0, 1), (1, 1)]);
+        m.repair();
+        m.add_edge(2, 0);
+        let mut ex = m.exchangeable_lefts(&2);
+        ex.sort_unstable();
+        assert_eq!(ex, vec![0, 1]);
+        assert!(m.exchange(&2, &1));
+        assert!(m.check_consistency());
+        assert_eq!(m.matching_size(), 2);
+        assert!(m.matched_right(&2).is_some());
+        assert!(m.matched_right(&1).is_none());
+    }
+
+    #[test]
+    fn removals_widow_and_repair_recovers() {
+        let mut m = matcher_from(&[(0, 0), (0, 1), (1, 0)]);
+        m.repair();
+        assert!(m.remove_right(&0).is_some());
+        assert_eq!(m.repair(), 1);
+        m.remove_left(&0);
+        assert_eq!(m.repair(), 0);
+        assert!(m.check_consistency());
+    }
+}

@@ -1,8 +1,13 @@
 //! Property tests: the incremental matcher always reaches the same maximum
 //! matching *size* as the independent Hopcroft–Karp solver, across random
-//! graphs and random mutation sequences.
+//! graphs and random mutation sequences. The sharded matcher is held to the
+//! same oracle plus two stronger properties its determinism promises: two
+//! instances fed the same mutations agree edge-for-edge, and parallel
+//! repair agrees edge-for-edge with sequential repair.
 
-use crowdfill_matching::{hopcroft_karp, max_matching_size, IncrementalMatcher};
+use crowdfill_matching::{
+    hopcroft_karp, max_matching_size, IncrementalMatcher, Parallelism, ShardedMatcher,
+};
 use proptest::prelude::*;
 use std::collections::HashSet;
 
@@ -79,6 +84,62 @@ proptest! {
             if let Some(r) = r {
                 prop_assert!(adj[l].contains(r));
                 prop_assert!(used.insert(*r));
+            }
+        }
+    }
+
+    /// The sharded matcher hits the oracle's maximum after every mutation,
+    /// and parallel repair yields the exact same matched edges as
+    /// sequential repair on an identically-mutated twin.
+    #[test]
+    fn sharded_matches_oracle_and_is_deterministic(
+        muts in proptest::collection::vec(mutation_strategy(), 1..60)
+    ) {
+        let mut seq: ShardedMatcher<u8, u8> = ShardedMatcher::new();
+        let mut par: ShardedMatcher<u8, u8> = ShardedMatcher::new();
+        seq.set_parallelism(Parallelism::Sequential);
+        par.set_parallelism(Parallelism::Threads(4));
+        let mut edges: HashSet<(u8, u8)> = HashSet::new();
+        for mu in &muts {
+            match *mu {
+                Mutation::AddEdge(l, r) => {
+                    seq.add_edge(l, r);
+                    par.add_edge(l, r);
+                    edges.insert((l, r));
+                }
+                Mutation::RemoveEdge(l, r) => {
+                    seq.remove_edge(&l, &r);
+                    par.remove_edge(&l, &r);
+                    edges.remove(&(l, r));
+                }
+                Mutation::RemoveLeft(l) => {
+                    seq.remove_left(&l);
+                    par.remove_left(&l);
+                    edges.retain(|&(el, _)| el != l);
+                }
+                Mutation::RemoveRight(r) => {
+                    seq.remove_right(&r);
+                    par.remove_right(&r);
+                    edges.retain(|&(_, er)| er != r);
+                }
+            }
+            seq.repair();
+            par.repair();
+            prop_assert!(seq.check_consistency());
+            prop_assert!(par.check_consistency());
+
+            let mut adj = vec![Vec::new(); 10];
+            for &(l, r) in &edges {
+                adj[l as usize].push(r as usize);
+            }
+            let oracle = max_matching_size(&adj, 10);
+            prop_assert_eq!(seq.matching_size(), oracle);
+            prop_assert_eq!(par.matching_size(), oracle);
+            for l in 0u8..10 {
+                prop_assert_eq!(
+                    seq.matched_right(&l), par.matched_right(&l),
+                    "parallel/sequential repair diverged at left {}", l
+                );
             }
         }
     }

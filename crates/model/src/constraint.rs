@@ -351,9 +351,36 @@ mod tests {
     fn paper_final_table(schema: &Schema) -> FinalTable {
         let mut t = CandidateTable::new();
         let rows = [
-            row(&[("name", "Lionel Messi"), ("nationality", "Argentina"), ("position", "FW"), ("caps", "83"), ("goals", "37")], schema),
-            row(&[("name", "Ronaldinho"), ("nationality", "Brazil"), ("position", "MF"), ("caps", "97"), ("goals", "33")], schema),
-            row(&[("name", "Iker Casillas"), ("nationality", "Spain"), ("position", "GK"), ("caps", "150"), ("goals", "0")], schema),
+            row(
+                &[
+                    ("name", "Lionel Messi"),
+                    ("nationality", "Argentina"),
+                    ("position", "FW"),
+                    ("caps", "83"),
+                    ("goals", "37"),
+                ],
+                schema,
+            ),
+            row(
+                &[
+                    ("name", "Ronaldinho"),
+                    ("nationality", "Brazil"),
+                    ("position", "MF"),
+                    ("caps", "97"),
+                    ("goals", "33"),
+                ],
+                schema,
+            ),
+            row(
+                &[
+                    ("name", "Iker Casillas"),
+                    ("nationality", "Spain"),
+                    ("position", "GK"),
+                    ("caps", "150"),
+                    ("goals", "0"),
+                ],
+                schema,
+            ),
         ];
         for (i, v) in rows.into_iter().enumerate() {
             t.insert(

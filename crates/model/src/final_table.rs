@@ -173,14 +173,83 @@ mod tests {
             id
         };
 
-        add(&mut t, &[("name", "Lionel Messi"), ("nationality", "Argentina"), ("position", "FW"), ("caps", "83"), ("goals", "37")], 2, 0);
-        add(&mut t, &[("name", "Ronaldinho"), ("nationality", "Brazil"), ("position", "MF"), ("caps", "97"), ("goals", "33")], 3, 0);
-        add(&mut t, &[("name", "Ronaldinho"), ("nationality", "Brazil"), ("position", "FW"), ("caps", "97"), ("goals", "33")], 2, 1);
-        add(&mut t, &[("name", "Iker Casillas"), ("nationality", "Spain"), ("position", "GK"), ("caps", "150"), ("goals", "0")], 2, 0);
-        add(&mut t, &[("name", "David Beckham"), ("nationality", "England"), ("position", "MF"), ("caps", "115"), ("goals", "17")], 1, 0);
-        add(&mut t, &[("name", "Neymar"), ("nationality", "Brazil"), ("position", "FW")], 0, 1);
+        add(
+            &mut t,
+            &[
+                ("name", "Lionel Messi"),
+                ("nationality", "Argentina"),
+                ("position", "FW"),
+                ("caps", "83"),
+                ("goals", "37"),
+            ],
+            2,
+            0,
+        );
+        add(
+            &mut t,
+            &[
+                ("name", "Ronaldinho"),
+                ("nationality", "Brazil"),
+                ("position", "MF"),
+                ("caps", "97"),
+                ("goals", "33"),
+            ],
+            3,
+            0,
+        );
+        add(
+            &mut t,
+            &[
+                ("name", "Ronaldinho"),
+                ("nationality", "Brazil"),
+                ("position", "FW"),
+                ("caps", "97"),
+                ("goals", "33"),
+            ],
+            2,
+            1,
+        );
+        add(
+            &mut t,
+            &[
+                ("name", "Iker Casillas"),
+                ("nationality", "Spain"),
+                ("position", "GK"),
+                ("caps", "150"),
+                ("goals", "0"),
+            ],
+            2,
+            0,
+        );
+        add(
+            &mut t,
+            &[
+                ("name", "David Beckham"),
+                ("nationality", "England"),
+                ("position", "MF"),
+                ("caps", "115"),
+                ("goals", "17"),
+            ],
+            1,
+            0,
+        );
+        add(
+            &mut t,
+            &[
+                ("name", "Neymar"),
+                ("nationality", "Brazil"),
+                ("position", "FW"),
+            ],
+            0,
+            1,
+        );
         add(&mut t, &[("name", "Zinedine Zidane")], 0, 0);
-        add(&mut t, &[("nationality", "France"), ("position", "DF")], 0, 0);
+        add(
+            &mut t,
+            &[("nationality", "France"), ("position", "DF")],
+            0,
+            0,
+        );
         add(&mut t, &[], 0, 0);
         add(&mut t, &[], 0, 0);
 
@@ -214,11 +283,23 @@ mod tests {
         let s = soccer_schema();
         let mut t = CandidateTable::new();
         let v1 = row(
-            &[("name", "A"), ("nationality", "X"), ("position", "FW"), ("caps", "80"), ("goals", "1")],
+            &[
+                ("name", "A"),
+                ("nationality", "X"),
+                ("position", "FW"),
+                ("caps", "80"),
+                ("goals", "1"),
+            ],
             &s,
         );
         let v2 = row(
-            &[("name", "A"), ("nationality", "X"), ("position", "MF"), ("caps", "80"), ("goals", "1")],
+            &[
+                ("name", "A"),
+                ("nationality", "X"),
+                ("position", "MF"),
+                ("caps", "80"),
+                ("goals", "1"),
+            ],
             &s,
         );
         // Same key, same score; higher id inserted first to prove ordering,
@@ -248,7 +329,13 @@ mod tests {
     fn zero_and_negative_scores_excluded() {
         let s = soccer_schema();
         let full = row(
-            &[("name", "A"), ("nationality", "X"), ("position", "FW"), ("caps", "80"), ("goals", "1")],
+            &[
+                ("name", "A"),
+                ("nationality", "X"),
+                ("position", "FW"),
+                ("caps", "80"),
+                ("goals", "1"),
+            ],
             &s,
         );
         let mut t = CandidateTable::new();
@@ -265,7 +352,13 @@ mod tests {
     fn any_subsumes_checks_downvote_consistency() {
         let s = soccer_schema();
         let full = row(
-            &[("name", "A"), ("nationality", "X"), ("position", "FW"), ("caps", "80"), ("goals", "1")],
+            &[
+                ("name", "A"),
+                ("nationality", "X"),
+                ("position", "FW"),
+                ("caps", "80"),
+                ("goals", "1"),
+            ],
             &s,
         );
         let mut t = CandidateTable::new();

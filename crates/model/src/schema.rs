@@ -224,7 +224,10 @@ mod tests {
                 Column::with_domain(
                     "position",
                     DataType::Text,
-                    ["GK", "DF", "MF", "FW"].iter().map(|s| Value::text(*s)).collect(),
+                    ["GK", "DF", "MF", "FW"]
+                        .iter()
+                        .map(|s| Value::text(*s))
+                        .collect(),
                 )
                 .unwrap(),
                 Column::new("caps", DataType::Int),

@@ -134,10 +134,18 @@ impl fmt::Display for ScoringViolation {
         match self {
             ScoringViolation::NonZeroOrigin(v) => write!(f, "f(0,0) = {v}, expected 0"),
             ScoringViolation::NotMonotoneInUpvotes { u, d } => {
-                write!(f, "f({u},{d}) > f({},{d}): not increasing in upvotes", u + 1)
+                write!(
+                    f,
+                    "f({u},{d}) > f({},{d}): not increasing in upvotes",
+                    u + 1
+                )
             }
             ScoringViolation::NotMonotoneInDownvotes { u, d } => {
-                write!(f, "f({u},{d}) < f({u},{}): not decreasing in downvotes", d + 1)
+                write!(
+                    f,
+                    "f({u},{d}) < f({u},{}): not decreasing in downvotes",
+                    d + 1
+                )
             }
         }
     }
@@ -251,13 +259,16 @@ mod tests {
 
     #[test]
     fn fn_scoring_wraps_closures() {
-        let f = FnScoring::new("strict", |u: u32, d: u32| {
-            if d > 0 {
-                -i64::from(d)
-            } else {
-                i64::from(u)
-            }
-        });
+        let f = FnScoring::new(
+            "strict",
+            |u: u32, d: u32| {
+                if d > 0 {
+                    -i64::from(d)
+                } else {
+                    i64::from(u)
+                }
+            },
+        );
         assert!(validate(&f, 8).is_ok());
         assert_eq!(f.name(), "strict");
         assert_eq!(f.min_upvotes(), Some(1));

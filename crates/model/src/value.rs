@@ -328,7 +328,10 @@ mod tests {
         assert_eq!(Value::parse(DataType::Text, "   "), None);
         assert_eq!(Value::parse(DataType::Int, "83"), Some(Value::int(83)));
         assert_eq!(Value::parse(DataType::Int, "83.5"), None);
-        assert_eq!(Value::parse(DataType::Float, "83.5"), Some(Value::float(83.5)));
+        assert_eq!(
+            Value::parse(DataType::Float, "83.5"),
+            Some(Value::float(83.5))
+        );
         assert_eq!(Value::parse(DataType::Float, "NaN"), None);
         assert_eq!(Value::parse(DataType::Bool, "yes"), Some(Value::bool(true)));
         assert_eq!(

@@ -18,8 +18,11 @@ fn value_strategy() -> impl Strategy<Value = Value> {
         "[a-zA-Z0-9]([a-zA-Z0-9 ]{0,6}[a-zA-Z0-9])?".prop_map(Value::text),
         (-1000i64..1000).prop_map(Value::int),
         any::<bool>().prop_map(Value::bool),
-        (-100i32..100, 1u32..13, 1u32..29)
-            .prop_map(|(y, m, d)| Value::date(2000 + y, m as u8, d as u8)),
+        (-100i32..100, 1u32..13, 1u32..29).prop_map(|(y, m, d)| Value::date(
+            2000 + y,
+            m as u8,
+            d as u8
+        )),
     ]
 }
 

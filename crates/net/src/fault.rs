@@ -351,10 +351,7 @@ mod tests {
     #[test]
     fn delays_preserve_content_and_order() {
         let (a, b) = LocalConn::pair();
-        let a = FaultyConn::new(
-            a,
-            FaultConfig::delays(9, 1000, Duration::from_millis(2)),
-        );
+        let a = FaultyConn::new(a, FaultConfig::delays(9, 1000, Duration::from_millis(2)));
         for i in 0..8u32 {
             a.send(&i.to_be_bytes()).unwrap();
         }

@@ -131,7 +131,11 @@ impl TcpConn {
     fn poison(&self, writer: &TcpStream) {
         if !self.dead.swap(true, Ordering::AcqRel) {
             self.metrics.poisoned.inc();
-            obs_warn!("net", "connection to {} poisoned after failed send", self.peer);
+            obs_warn!(
+                "net",
+                "connection to {} poisoned after failed send",
+                self.peer
+            );
         }
         let _ = writer.shutdown(std::net::Shutdown::Both);
     }

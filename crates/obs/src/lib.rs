@@ -28,7 +28,9 @@ pub mod log;
 pub mod metrics;
 pub mod span;
 
-pub use crate::log::{CaptureSink, Event, FieldValue, Level, RingSink, Sink, StderrFormat, StderrSink};
+pub use crate::log::{
+    CaptureSink, Event, FieldValue, Level, RingSink, Sink, StderrFormat, StderrSink,
+};
 pub use crate::metrics::{counter, gauge, histogram, Counter, Gauge, Histogram, MetricsRegistry};
 pub use crate::span::SpanTimer;
 

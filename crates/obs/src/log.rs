@@ -362,7 +362,11 @@ impl CaptureSink {
     }
 
     pub fn messages(&self) -> Vec<String> {
-        self.events.lock().iter().map(|e| e.message.clone()).collect()
+        self.events
+            .lock()
+            .iter()
+            .map(|e| e.message.clone())
+            .collect()
     }
 }
 

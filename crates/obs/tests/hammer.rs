@@ -30,7 +30,10 @@ fn concurrent_counters_and_histograms_are_exact() {
     .expect("hammer threads panicked");
 
     let expected = THREADS as u64 * PER_THREAD;
-    assert_eq!(registry.counter("crowdfill_obs_hammer_total").get(), expected);
+    assert_eq!(
+        registry.counter("crowdfill_obs_hammer_total").get(),
+        expected
+    );
     assert_eq!(registry.gauge("crowdfill_obs_hammer_inflight").get(), 0);
     let snap = registry.histogram("crowdfill_obs_hammer_ns").snapshot();
     assert_eq!(snap.count, expected);

@@ -36,7 +36,11 @@ pub enum Scheme {
 
 impl Scheme {
     /// All schemes, for sweeps.
-    pub const ALL: [Scheme; 3] = [Scheme::Uniform, Scheme::ColumnWeighted, Scheme::DualWeighted];
+    pub const ALL: [Scheme; 3] = [
+        Scheme::Uniform,
+        Scheme::ColumnWeighted,
+        Scheme::DualWeighted,
+    ];
 
     pub fn name(self) -> &'static str {
         match self {
@@ -225,8 +229,16 @@ fn compute_weights(
             }
         }
     }
-    let up_samples: Vec<f64> = contributions.upvotes.iter().filter_map(|&i| sample(i)).collect();
-    let down_samples: Vec<f64> = contributions.downvotes.iter().filter_map(|&i| sample(i)).collect();
+    let up_samples: Vec<f64> = contributions
+        .upvotes
+        .iter()
+        .filter_map(|&i| sample(i))
+        .collect();
+    let down_samples: Vec<f64> = contributions
+        .downvotes
+        .iter()
+        .filter_map(|&i| sample(i))
+        .collect();
 
     let global: Vec<f64> = col_samples
         .iter()
@@ -286,7 +298,9 @@ fn first_appearance_ranks(
     for idx in 0..trace.len() {
         if let Some((c, v)) = trace.filled_cell(idx, &values) {
             if c == col {
-                first_at.entry(v).or_insert_with(|| trace.get(idx).at.seconds());
+                first_at
+                    .entry(v)
+                    .or_insert_with(|| trace.get(idx).at.seconds());
             }
         }
     }
@@ -585,7 +599,14 @@ mod tests {
     fn column_weighted_pays_slower_columns_more() {
         let (b, c, ..) = weighted_run();
         let s = schema();
-        let p = allocate(Scheme::ColumnWeighted, 9.0, &b.trace, &c, &s, &SplitConfig::new());
+        let p = allocate(
+            Scheme::ColumnWeighted,
+            9.0,
+            &b.trace,
+            &c,
+            &s,
+            &SplitConfig::new(),
+        );
         // Medians: name 3.0, pos 0.5, upvote 1.0.
         assert!((p.weights.per_column[0] - 3.0).abs() < 1e-9);
         assert!((p.weights.per_column[1] - 0.5).abs() < 1e-9);
@@ -600,7 +621,14 @@ mod tests {
     fn dual_weighting_pays_later_keys_more() {
         let (b, c, i_messi, i_xavi) = weighted_run();
         let s = schema();
-        let p = allocate(Scheme::DualWeighted, 9.0, &b.trace, &c, &s, &SplitConfig::new());
+        let p = allocate(
+            Scheme::DualWeighted,
+            9.0,
+            &b.trace,
+            &c,
+            &s,
+            &SplitConfig::new(),
+        );
         // Key completion gaps grow (≈1.0s then 3.0s) ⇒ z > 0 ⇒ the later key
         // (Xavi, rank 2) earns more than the earlier (Messi, rank 1).
         assert!(p.weights.z[0] > 0.0 && p.weights.z[0] <= 1.0);

@@ -394,7 +394,7 @@ mod tests {
 
         let ft = b.final_table();
         assert_eq!(ft.len(), 1); // Xavi row incomplete?? No—it is complete.
-        // Both rows are complete; Xavi has no votes → score 0 → only Messi.
+                                 // Both rows are complete; Xavi has no votes → score 0 → only Messi.
         let c = analyze(&b.trace, &ft);
         let pos_cell = c
             .cells
@@ -461,9 +461,7 @@ mod tests {
         let (_, r1b) = b.worker(2, &Operation::fill(rb, ColumnId(0), "Xavi"));
         let xavi_partial = r1b.unwrap();
 
-        let i_inconsistent = b
-            .worker(3, &Operation::Downvote { row: messi_partial })
-            .0;
+        let i_inconsistent = b.worker(3, &Operation::Downvote { row: messi_partial }).0;
         let i_consistent = b.worker(3, &Operation::Downvote { row: xavi_partial }).0;
         let i_consistent2 = b.worker(4, &Operation::Downvote { row: xavi_partial }).0;
 

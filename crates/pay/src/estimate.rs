@@ -309,8 +309,12 @@ impl Estimator {
             .iter()
             .map(|s| median(s).unwrap_or(fallback).max(WEIGHT_FLOOR))
             .collect();
-        let up = median(&self.up_samples).unwrap_or(fallback).max(WEIGHT_FLOOR);
-        let down = median(&self.down_samples).unwrap_or(fallback).max(WEIGHT_FLOOR);
+        let up = median(&self.up_samples)
+            .unwrap_or(fallback)
+            .max(WEIGHT_FLOOR);
+        let down = median(&self.down_samples)
+            .unwrap_or(fallback)
+            .max(WEIGHT_FLOOR);
         (cols, up, down)
     }
 
@@ -542,12 +546,12 @@ mod tests {
         let rb = rig.system_insert();
         // Build latency evidence: name fills slow (4s), pos fills fast (1s).
         let (first_amt, ra1) = rig.fill(1, 4000, ra, ColumnId(0), "Messi"); // no sample yet
-        // With no samples at all, weights are uniform ⇒ b = 12/6 = 2.
+                                                                            // With no samples at all, weights are uniform ⇒ b = 12/6 = 2.
         assert!((first_amt - 2.0).abs() < 1e-9);
         let (_, _ra2) = rig.fill(1, 1000, ra1, ColumnId(1), "FW"); // pos sample 1s
         let (amt_name, _rb1) = rig.fill(1, 4000, rb, ColumnId(0), "Xavi"); // name sample 4s
-        // Weights now: name 4, pos 1, votes fallback = median(1,4) = 2.5.
-        // Y = 4·2 + 1·2 + 2.5·2 = 15 ⇒ name estimate = 4·12/15 = 3.2.
+                                                                           // Weights now: name 4, pos 1, votes fallback = median(1,4) = 2.5.
+                                                                           // Y = 4·2 + 1·2 + 2.5·2 = 15 ⇒ name estimate = 4·12/15 = 3.2.
         assert!((amt_name - 3.2).abs() < 1e-9, "got {amt_name}");
     }
 

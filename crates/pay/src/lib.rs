@@ -23,7 +23,9 @@ pub mod estimate;
 pub mod stats;
 pub mod trace;
 
-pub use allocate::{allocate, earning_curve, earning_instability, Payout, Scheme, SplitConfig, Weights};
+pub use allocate::{
+    allocate, earning_curve, earning_instability, Payout, Scheme, SplitConfig, Weights,
+};
 pub use contrib::{analyze, CellContribution, CellRef, Contributions};
 pub use estimate::{ActionEstimate, Estimator};
 pub use stats::mape;

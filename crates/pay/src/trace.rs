@@ -251,9 +251,21 @@ mod tests {
     fn latencies_skip_first_messages_and_cc() {
         let mut t = Trace::new();
         t.record_system(Millis(0), Message::Insert { row: rid(0, 0) });
-        t.record_worker(Millis(1000), WorkerId(1), Message::Upvote { value: rv(&[]) });
-        t.record_worker(Millis(1500), WorkerId(2), Message::Upvote { value: rv(&[]) });
-        t.record_worker(Millis(4000), WorkerId(1), Message::Upvote { value: rv(&[]) });
+        t.record_worker(
+            Millis(1000),
+            WorkerId(1),
+            Message::Upvote { value: rv(&[]) },
+        );
+        t.record_worker(
+            Millis(1500),
+            WorkerId(2),
+            Message::Upvote { value: rv(&[]) },
+        );
+        t.record_worker(
+            Millis(4000),
+            WorkerId(1),
+            Message::Upvote { value: rv(&[]) },
+        );
         let lats = t.latencies();
         assert_eq!(lats, vec![None, None, None, Some(Millis(3000))]);
     }

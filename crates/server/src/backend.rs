@@ -13,16 +13,55 @@
 //! limits total votes.
 
 use crate::config::TaskConfig;
+use crate::wire;
 use crowdfill_constraints::PriMaintainer;
-use crowdfill_model::{
-    derive_final_table, ClientId, FinalTable, Message, OpError, RowValue,
-};
+use crowdfill_docstore::{Json, Wal};
+use crowdfill_model::{derive_final_table, ClientId, FinalTable, Message, OpError, RowValue};
+use crowdfill_obs::metrics::{Counter, Histogram};
 use crowdfill_pay::{
     allocate, analyze, Contributions, Estimator, Millis, Payout, Trace, TraceEntry, WorkerId,
 };
 use crowdfill_sync::Replica;
 use std::collections::{HashMap, HashSet, VecDeque};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+
+/// Counter of batches applied via [`Backend::submit_batch`].
+fn batch_submits() -> &'static Counter {
+    static C: OnceLock<Arc<Counter>> = OnceLock::new();
+    C.get_or_init(|| crowdfill_obs::metrics::counter("crowdfill_server_batch_submits"))
+}
+
+/// Counter of individual operations carried inside batches.
+fn batch_ops() -> &'static Counter {
+    static C: OnceLock<Arc<Counter>> = OnceLock::new();
+    C.get_or_init(|| crowdfill_obs::metrics::counter("crowdfill_server_batch_ops"))
+}
+
+/// Histogram of batch sizes (operations per batch).
+fn batch_size() -> &'static Histogram {
+    static H: OnceLock<Arc<Histogram>> = OnceLock::new();
+    H.get_or_init(|| crowdfill_obs::metrics::histogram("crowdfill_server_batch_size"))
+}
+
+/// Histogram of wall time spent applying one whole batch, in nanoseconds.
+fn batch_apply_ns() -> &'static Histogram {
+    static H: OnceLock<Arc<Histogram>> = OnceLock::new();
+    H.get_or_init(|| crowdfill_obs::metrics::histogram("crowdfill_server_batch_apply_ns"))
+}
+
+/// Counter of WAL frames written by the backend journal (one per
+/// submit/modify/batch that grew the history — *not* one per op).
+fn batch_wal_frames() -> &'static Counter {
+    static C: OnceLock<Arc<Counter>> = OnceLock::new();
+    C.get_or_init(|| crowdfill_obs::metrics::counter("crowdfill_server_batch_wal_frames"))
+}
+
+/// Counter of backend journal append failures (journaling is best-effort
+/// once attached; failures are logged and counted, never block an ack).
+fn batch_wal_errors() -> &'static Counter {
+    static C: OnceLock<Arc<Counter>> = OnceLock::new();
+    C.get_or_init(|| crowdfill_obs::metrics::counter("crowdfill_server_batch_wal_errors"))
+}
 
 /// Why the backend rejected a submission.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -144,6 +183,36 @@ pub struct Backend {
     next_worker: u32,
     clock: Millis,
     closed: bool,
+    /// Optional history journal: every accepted submit/modify/batch appends
+    /// its whole history delta as **one** frame, so under
+    /// `FsyncPolicy::EveryN(1)` a batch costs one fsync (group commit).
+    wal: Option<Wal>,
+}
+
+/// One operation inside a [`Backend::submit_batch`] call.
+#[derive(Debug, Clone)]
+pub enum BatchOp {
+    /// A plain worker message, as accepted by [`Backend::submit`].
+    Msg { msg: Message, auto_upvote: bool },
+    /// A modify bundle, as accepted by [`Backend::submit_modify`].
+    Modify { bundle: Vec<(Message, bool)> },
+}
+
+/// A worker-attributed operation queued for batched application.
+#[derive(Debug, Clone)]
+pub struct BatchJob {
+    pub worker: WorkerId,
+    pub op: BatchOp,
+}
+
+/// The result of applying one batch: per-job outcomes plus the contiguous
+/// history seq range `[first_seq, end_seq)` the batch produced (CC reactions
+/// included). Broadcast fan-out covers exactly this range.
+#[derive(Debug)]
+pub struct BatchOutcome {
+    pub results: Vec<Result<SubmitReport, SubmitError>>,
+    pub first_seq: u64,
+    pub end_seq: u64,
 }
 
 impl Backend {
@@ -191,8 +260,38 @@ impl Backend {
             next_worker: 1,
             clock: Millis(0),
             closed: false,
+            wal: None,
             config,
         }
+    }
+
+    /// Attaches a history journal. From now on every accepted
+    /// submit/modify/batch appends its history delta (the messages it added,
+    /// with their seqs) as a single WAL frame — so batching coalesces WAL
+    /// traffic to one frame, and under `FsyncPolicy::EveryN(1)` one fsync,
+    /// per batch. Journaling is best-effort: an append failure is logged and
+    /// counted (`crowdfill_server_batch_wal_errors`) but does not fail the
+    /// submission that triggered it.
+    ///
+    /// Journaling starts at the current history length; to recover a
+    /// backend, replay frames via [`Backend::decode_journal_frame`] from a
+    /// WAL that was attached at history length 0.
+    pub fn attach_wal(&mut self, wal: Wal) {
+        self.wal = Some(wal);
+    }
+
+    /// Detaches and returns the journal, syncing any buffered frames.
+    pub fn detach_wal(&mut self) -> Option<Wal> {
+        let mut wal = self.wal.take()?;
+        if wal.sync().is_err() {
+            batch_wal_errors().inc();
+        }
+        Some(wal)
+    }
+
+    /// Whether a journal is currently attached.
+    pub fn has_wal(&self) -> bool {
+        self.wal.is_some()
     }
 
     /// The task configuration.
@@ -345,8 +444,26 @@ impl Backend {
     /// local application of a fill/upvote/downvote). `auto_upvote` marks the
     /// automatic completion upvote (§3.4). On success the message has been
     /// applied to the master table, recorded in the trace, reacted to by the
-    /// Central Client, and broadcast to all other workers.
+    /// Central Client, broadcast to all other workers, and journaled (one
+    /// WAL frame) if a journal is attached.
     pub fn submit(
+        &mut self,
+        worker: WorkerId,
+        msg: Message,
+        at: Millis,
+        auto_upvote: bool,
+    ) -> Result<SubmitReport, SubmitError> {
+        let from = self.history.len() as u64;
+        let report = self.submit_unjournaled(worker, msg, at, auto_upvote)?;
+        self.journal_from(from);
+        Ok(report)
+    }
+
+    /// [`submit`](Self::submit) minus journaling — the per-op core that
+    /// [`submit_batch`](Self::submit_batch) loops so a whole batch lands in
+    /// one journal frame. History, trace, and broadcasts are identical to
+    /// the journaled path.
+    pub fn submit_unjournaled(
         &mut self,
         worker: WorkerId,
         msg: Message,
@@ -463,6 +580,21 @@ impl Backend {
         bundle: Vec<(Message, bool)>,
         at: Millis,
     ) -> Result<SubmitReport, SubmitError> {
+        let from = self.history.len() as u64;
+        let report = self.submit_modify_unjournaled(worker, bundle, at)?;
+        self.journal_from(from);
+        Ok(report)
+    }
+
+    /// [`submit_modify`](Self::submit_modify) minus journaling (see
+    /// [`submit_unjournaled`](Self::submit_unjournaled)). A bundle's whole
+    /// history delta journals as one frame either way.
+    pub fn submit_modify_unjournaled(
+        &mut self,
+        worker: WorkerId,
+        bundle: Vec<(Message, bool)>,
+        at: Millis,
+    ) -> Result<SubmitReport, SubmitError> {
         // Shape validation before any mutation.
         let mut stage = 0; // 0: expect downvote, 1: expect insert, 2+: fills
         let mut lineage: Option<crowdfill_model::RowId> = None;
@@ -475,7 +607,7 @@ impl Backend {
                     let mut last: Option<SubmitReport> = None;
                     let mut seqs = Vec::new();
                     for (m, a) in bundle {
-                        let report = self.submit(worker, m, at, a)?;
+                        let report = self.submit_unjournaled(worker, m, at, a)?;
                         seqs.extend_from_slice(&report.seqs);
                         last = Some(report);
                     }
@@ -509,17 +641,13 @@ impl Backend {
                 if self.closed {
                     return Err(SubmitError::CollectionClosed);
                 }
-                if !self
-                    .sessions
-                    .get(&worker)
-                    .is_some_and(|s| s.connected)
-                {
+                if !self.sessions.get(&worker).is_some_and(|s| s.connected) {
                     return Err(SubmitError::UnknownWorker);
                 }
                 let report = self.apply_worker_message(worker, msg, auto);
                 seqs.extend_from_slice(&report.seqs);
             } else {
-                let report = self.submit(worker, msg, at, auto)?;
+                let report = self.submit_unjournaled(worker, msg, at, auto)?;
                 seqs.extend_from_slice(&report.seqs);
                 last = Some(report);
             }
@@ -527,6 +655,88 @@ impl Backend {
         let mut report = last.ok_or(SubmitError::Op(OpError::UnknownRow))?;
         report.seqs = seqs;
         Ok(report)
+    }
+
+    /// Applies a batch of queued operations in one pass and returns per-job
+    /// outcomes plus the contiguous history seq range the batch produced.
+    ///
+    /// Each job goes through exactly the per-op path ([`submit`](Self::submit)
+    /// / [`submit_modify`](Self::submit_modify) semantics, including policy
+    /// checks and per-op Central Client reaction), so the resulting history,
+    /// master replica, and per-session outboxes are **identical** to applying
+    /// the jobs singly — the batch/singleton equivalence property. What the
+    /// batch amortizes is everything around the ops: one lock acquisition
+    /// (the caller's), one journal frame + fsync, and one broadcast flush
+    /// for the whole seq range.
+    pub fn submit_batch(&mut self, jobs: Vec<BatchJob>, at: Millis) -> BatchOutcome {
+        let timer = std::time::Instant::now();
+        let first_seq = self.history.len() as u64;
+        let n = jobs.len() as u64;
+        let results = jobs
+            .into_iter()
+            .map(|job| match job.op {
+                BatchOp::Msg { msg, auto_upvote } => {
+                    self.submit_unjournaled(job.worker, msg, at, auto_upvote)
+                }
+                BatchOp::Modify { bundle } => {
+                    self.submit_modify_unjournaled(job.worker, bundle, at)
+                }
+            })
+            .collect();
+        let end_seq = self.history.len() as u64;
+        self.journal_from(first_seq);
+        batch_submits().inc();
+        batch_ops().add(n);
+        batch_size().record(n);
+        batch_apply_ns().record(timer.elapsed().as_nanos() as u64);
+        BatchOutcome {
+            results,
+            first_seq,
+            end_seq,
+        }
+    }
+
+    /// Appends `history[from..]` to the journal as one frame:
+    /// `{"from": N, "msgs": [...]}`. No-op without a journal or delta.
+    fn journal_from(&mut self, from: u64) {
+        let Some(wal) = self.wal.as_mut() else {
+            return;
+        };
+        let len = self.history.len() as u64;
+        if from >= len {
+            return;
+        }
+        let msgs: Vec<Json> = self.history[from as usize..]
+            .iter()
+            .map(wire::message_to_json)
+            .collect();
+        let frame = Json::obj([("from", Json::num(from as f64)), ("msgs", Json::Arr(msgs))]);
+        match wal.append(frame.encode().as_bytes()) {
+            Ok(()) => batch_wal_frames().inc(),
+            Err(e) => {
+                batch_wal_errors().inc();
+                crowdfill_obs::obs_warn!(
+                    "server",
+                    "history journal append failed";
+                    error => e.to_string(),
+                );
+            }
+        }
+    }
+
+    /// Decodes one journal frame (as written by an attached WAL) back into
+    /// its seq-tagged history delta. Replay all frames in order against an
+    /// empty history to recover the broadcast log.
+    pub fn decode_journal_frame(payload: &[u8]) -> Option<Vec<(u64, Message)>> {
+        let text = std::str::from_utf8(payload).ok()?;
+        let json = Json::parse(text).ok()?;
+        let from = json.get("from")?.as_f64()? as u64;
+        let msgs = json.get("msgs")?.as_arr()?;
+        let mut out = Vec::with_capacity(msgs.len());
+        for (i, m) in msgs.iter().enumerate() {
+            out.push((from + i as u64, wire::message_from_json(m).ok()?));
+        }
+        Some(out)
     }
 
     /// The master replica.

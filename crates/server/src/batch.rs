@@ -1,0 +1,143 @@
+//! The batched op pipeline: a single apply thread that drains queued
+//! submissions into [`Backend::submit_batch`] calls.
+//!
+//! Connection threads don't touch the backend on the submit hot path;
+//! they enqueue a [`BatchOp`] and block on a one-shot reply channel. The
+//! apply thread drains whatever has queued (up to
+//! [`BatchOptions::max_batch`]), applies it as one batch — one backend lock
+//! acquisition, one journal frame + fsync, per-op semantics identical to
+//! singleton submits — answers every submitter, and then triggers one
+//! broadcast flush for the batch's whole seq range.
+//!
+//! Batches form from natural queuing: while a batch is being applied,
+//! concurrent submitters pile up in the channel and become the next batch.
+//! Under light load batches degenerate to singletons and the pipeline
+//! behaves exactly like the direct path (plus one thread hop);
+//! [`BatchOptions::max_wait`] can trade latency for fuller batches.
+
+use crate::backend::{Backend, BatchJob, BatchOp, SubmitError, SubmitReport};
+use crossbeam::channel;
+use crowdfill_pay::{Millis, WorkerId};
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Batching knobs for the apply thread.
+#[derive(Debug, Clone)]
+pub struct BatchOptions {
+    /// Most ops applied per batch (bounds broadcast frame size and the
+    /// time the backend lock is held).
+    pub max_batch: usize,
+    /// After the first op of a batch arrives, wait up to this long for more
+    /// before applying. Zero (the default) means drain-only: apply whatever
+    /// has already queued, never delay an op.
+    pub max_wait: std::time::Duration,
+}
+
+impl Default for BatchOptions {
+    fn default() -> BatchOptions {
+        BatchOptions {
+            max_batch: 64,
+            max_wait: std::time::Duration::ZERO,
+        }
+    }
+}
+
+/// One queued submission: the op, its submitter, and the channel its
+/// ack/reject travels back on.
+struct PipelineJob {
+    worker: WorkerId,
+    op: BatchOp,
+    reply: channel::Sender<Result<SubmitReport, SubmitError>>,
+}
+
+/// A running batch pipeline around a shared [`Backend`].
+///
+/// The apply thread exits when every handle to the pipeline is gone (the
+/// job channel disconnects); there is nothing to shut down explicitly.
+pub struct BatchPipeline {
+    tx: channel::Sender<PipelineJob>,
+}
+
+impl BatchPipeline {
+    /// Spawns the apply thread. `clock` supplies the server timestamp for
+    /// each batch; `after_batch` runs after every applied batch (the TCP
+    /// service flushes broadcast outboxes there; tests can pass a no-op and
+    /// poll the backend directly).
+    pub fn start(
+        backend: Arc<Mutex<Backend>>,
+        clock: Box<dyn Fn() -> Millis + Send>,
+        after_batch: Box<dyn Fn() + Send>,
+        options: BatchOptions,
+    ) -> BatchPipeline {
+        let (tx, rx) = channel::unbounded::<PipelineJob>();
+        let max_batch = options.max_batch.max(1);
+        let _ = std::thread::Builder::new()
+            .name("crowdfill-batch-apply".into())
+            .spawn(move || loop {
+                let first = match rx.recv() {
+                    Ok(job) => job,
+                    Err(_) => return,
+                };
+                let mut jobs = vec![first];
+                while jobs.len() < max_batch {
+                    match rx.try_recv() {
+                        Ok(job) => jobs.push(job),
+                        Err(_) => break,
+                    }
+                }
+                if jobs.len() < max_batch && !options.max_wait.is_zero() {
+                    let deadline = Instant::now() + options.max_wait;
+                    while jobs.len() < max_batch {
+                        let now = Instant::now();
+                        if now >= deadline {
+                            break;
+                        }
+                        match rx.recv_timeout(deadline - now) {
+                            Ok(job) => jobs.push(job),
+                            Err(_) => break,
+                        }
+                    }
+                }
+                let (batch, replies): (Vec<BatchJob>, Vec<_>) = jobs
+                    .into_iter()
+                    .map(|j| {
+                        (
+                            BatchJob {
+                                worker: j.worker,
+                                op: j.op,
+                            },
+                            j.reply,
+                        )
+                    })
+                    .unzip();
+                let outcome = backend.lock().submit_batch(batch, clock());
+                for (reply, result) in replies.into_iter().zip(outcome.results) {
+                    let _ = reply.send(result);
+                }
+                after_batch();
+            });
+        BatchPipeline { tx }
+    }
+
+    /// Enqueues one op and blocks until its batch has been applied,
+    /// returning exactly what a direct `submit`/`submit_modify` would have.
+    pub fn submit(&self, worker: WorkerId, op: BatchOp) -> Result<SubmitReport, SubmitError> {
+        let (reply_tx, reply_rx) = channel::bounded(1);
+        if self
+            .tx
+            .send(PipelineJob {
+                worker,
+                op,
+                reply: reply_tx,
+            })
+            .is_err()
+        {
+            // The apply thread is gone; the service is shutting down.
+            return Err(SubmitError::CollectionClosed);
+        }
+        reply_rx
+            .recv()
+            .unwrap_or(Err(SubmitError::CollectionClosed))
+    }
+}

@@ -82,7 +82,10 @@ pub enum FrontendError {
     Wire(wire::WireError),
     NotFound(String),
     /// Operation not valid in the task's current status.
-    InvalidStatus { expected: TaskStatus, actual: TaskStatus },
+    InvalidStatus {
+        expected: TaskStatus,
+        actual: TaskStatus,
+    },
     /// Scoring function name not in the registry.
     UnknownScoring(String),
 }
@@ -332,10 +335,7 @@ impl Frontend {
     }
 
     /// Retrieves collected rows for a done task, as row values.
-    pub fn get_results(
-        &self,
-        id: &str,
-    ) -> Result<Vec<crowdfill_model::RowValue>, FrontendError> {
+    pub fn get_results(&self, id: &str) -> Result<Vec<crowdfill_model::RowValue>, FrontendError> {
         let doc = self
             .store
             .get(RESULTS, id)
@@ -386,8 +386,11 @@ impl Frontend {
         id: &str,
         trace: &crowdfill_pay::Trace,
     ) -> Result<(), FrontendError> {
-        self.store
-            .upsert(TRACES, id, Json::obj([("entries", wire::trace_to_json(trace))]))?;
+        self.store.upsert(
+            TRACES,
+            id,
+            Json::obj([("entries", wire::trace_to_json(trace))]),
+        )?;
         Ok(())
     }
 
@@ -540,11 +543,8 @@ mod tests {
                 downvotes: 0,
             },
         );
-        let ft = crowdfill_model::derive_final_table(
-            &table,
-            &cfg.schema,
-            &QuorumMajority::of_three(),
-        );
+        let ft =
+            crowdfill_model::derive_final_table(&table, &cfg.schema, &QuorumMajority::of_three());
         let payout = crowdfill_pay::allocate(
             Scheme::Uniform,
             10.0,

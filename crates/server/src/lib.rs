@@ -17,6 +17,7 @@
 //! * [`TcpService`] / [`RemoteWorker`] — the networked deployment (§3.3).
 
 pub mod backend;
+pub mod batch;
 pub mod config;
 pub mod frontend;
 pub mod marketplace;
@@ -25,7 +26,8 @@ pub mod tcp_service;
 pub mod wire;
 pub mod worker_client;
 
-pub use backend::{Backend, SubmitError, SubmitReport};
+pub use backend::{Backend, BatchJob, BatchOp, BatchOutcome, SubmitError, SubmitReport};
+pub use batch::{BatchOptions, BatchPipeline};
 pub use config::TaskConfig;
 pub use frontend::{Frontend, FrontendError, TaskStatus};
 pub use marketplace::{Assignment, AssignmentId, Hit, HitId, MarketError, Marketplace};

@@ -118,7 +118,10 @@ impl Marketplace {
         hit: HitId,
         external_worker: impl Into<String>,
     ) -> Result<(AssignmentId, String), MarketError> {
-        let h = self.hits.get_mut(&hit).ok_or(MarketError::UnknownHit(hit))?;
+        let h = self
+            .hits
+            .get_mut(&hit)
+            .ok_or(MarketError::UnknownHit(hit))?;
         if !h.open {
             return Err(MarketError::HitClosed(hit));
         }
@@ -188,11 +191,7 @@ impl Marketplace {
             .values()
             .filter(|a| a.submitted)
             .map(|a| {
-                let base = self
-                    .hits
-                    .get(&a.hit)
-                    .map(|h| h.base_reward)
-                    .unwrap_or(0.0);
+                let base = self.hits.get(&a.hit).map(|h| h.base_reward).unwrap_or(0.0);
                 base + a.bonus_paid
             })
             .sum()

@@ -55,7 +55,9 @@ impl Backend {
         let mut opens = Vec::new();
 
         for (id, entry) in table.iter() {
-            let Some(status) = classes.get(&id) else { continue };
+            let Some(status) = classes.get(&id) else {
+                continue;
+            };
             if !status.is_probable() {
                 continue;
             }
@@ -64,10 +66,7 @@ impl Backend {
                 // many workers at it as votes are still missing — otherwise
                 // every worker converges on the same row inside the
                 // data-entry latency window and the surplus votes are waste.
-                let score = self
-                    .config()
-                    .scoring
-                    .score(entry.upvotes, entry.downvotes);
+                let score = self.config().scoring.score(entry.upvotes, entry.downvotes);
                 if score <= 0 && self.may_vote(worker, &entry.value) {
                     let deficit = self
                         .config()
@@ -111,9 +110,7 @@ impl Backend {
         // racing loses the race-loser's data-entry time to a stale fill.
         let spread = |v: &mut Vec<Recommendation>| {
             v.sort_by_key(|r| {
-                let mut z = (worker.0 as u64) << 32
-                    ^ ((r.row.client.0 as u64) << 20)
-                    ^ r.row.seq;
+                let mut z = (worker.0 as u64) << 32 ^ ((r.row.client.0 as u64) << 20) ^ r.row.seq;
                 z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
                 z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
                 z ^ (z >> 31)
@@ -165,9 +162,7 @@ mod tests {
     use super::*;
     use crate::config::TaskConfig;
     use crate::worker_client::WorkerClient;
-    use crowdfill_model::{
-        Column, DataType, QuorumMajority, Schema, Template, Value,
-    };
+    use crowdfill_model::{Column, DataType, QuorumMajority, Schema, Template, Value};
     use crowdfill_pay::Millis;
     use std::sync::Arc;
 
@@ -248,7 +243,9 @@ mod tests {
 
         // Worker A auto-upvoted the row: no vote recommendation for A…
         let recs_a = backend.recommend(a.worker(), 10);
-        assert!(recs_a.iter().all(|r| r.kind != RecommendationKind::VoteOnRow));
+        assert!(recs_a
+            .iter()
+            .all(|r| r.kind != RecommendationKind::VoteOnRow));
         // …but B should be pointed at it.
         let recs_b = backend.recommend(b.worker(), 10);
         assert_eq!(recs_b[0].kind, RecommendationKind::VoteOnRow);
@@ -263,7 +260,9 @@ mod tests {
             .submit(b.worker(), out.msg, Millis(2000), false)
             .unwrap();
         let recs_b = backend.recommend(b.worker(), 10);
-        assert!(recs_b.iter().all(|r| r.kind != RecommendationKind::VoteOnRow));
+        assert!(recs_b
+            .iter()
+            .all(|r| r.kind != RecommendationKind::VoteOnRow));
     }
 
     #[test]

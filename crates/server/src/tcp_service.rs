@@ -55,7 +55,8 @@
 //! replay — rather than at-least-once redelivery — is what makes a resumed
 //! replica provably converge to the master.
 
-use crate::backend::Backend;
+use crate::backend::{Backend, BatchOp};
+use crate::batch::{BatchOptions, BatchPipeline};
 use crate::wire;
 use crowdfill_docstore::Json;
 use crowdfill_model::Message;
@@ -68,8 +69,19 @@ use parking_lot::Mutex;
 use std::collections::{HashMap, HashSet};
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
+
+/// Counter of multi-op `batch` broadcast frames sent (each replaces what
+/// would have been `msgs-per-frame` singleton `msg` frames).
+fn batch_broadcast_frames() -> &'static Counter {
+    static C: OnceLock<Arc<Counter>> = OnceLock::new();
+    C.get_or_init(|| crowdfill_obs::metrics::counter("crowdfill_server_batch_broadcast_frames"))
+}
+
+/// Most seq-tagged messages packed into one `batch` broadcast frame (keeps
+/// frames far inside the transport's frame-size cap).
+const BATCH_FRAME_CHUNK: usize = 256;
 
 /// Per-endpoint service metrics, resolved once at service start.
 #[derive(Debug)]
@@ -122,6 +134,12 @@ pub struct ServiceOptions {
     pub accept_backoff_base: Duration,
     /// Cap on the accept backoff.
     pub accept_backoff_max: Duration,
+    /// Batched apply pipeline configuration. `Some` (the default) routes
+    /// submit/modify requests through a single apply thread that drains
+    /// concurrent submissions into [`Backend::submit_batch`] calls; `None`
+    /// applies each request directly on its connection thread (the
+    /// pre-batching behavior).
+    pub batch: Option<BatchOptions>,
 }
 
 impl Default for ServiceOptions {
@@ -130,6 +148,7 @@ impl Default for ServiceOptions {
             idle_timeout: None,
             accept_backoff_base: Duration::from_millis(10),
             accept_backoff_max: Duration::from_secs(1),
+            batch: Some(BatchOptions::default()),
         }
     }
 }
@@ -140,6 +159,9 @@ pub struct TcpService {
     backend: Arc<Mutex<Backend>>,
     shutdown: Arc<AtomicBool>,
     accept_thread: Option<std::thread::JoinHandle<()>>,
+    /// Keeps the apply thread alive for the service's lifetime (connection
+    /// threads hold their own handles while serving).
+    _pipeline: Option<Arc<BatchPipeline>>,
 }
 
 type ConnRegistry = Arc<Mutex<HashMap<WorkerId, Arc<TcpConn>>>>;
@@ -167,6 +189,22 @@ impl TcpService {
         let options = Arc::new(options);
         crowdfill_obs::obs_info!("server", "tcp service listening on {addr}");
 
+        // The apply thread owns the submit hot path; its after-batch hook
+        // flushes every session outbox once per batch, emitting multi-op
+        // broadcast frames.
+        let pipeline = options.batch.clone().map(|batch_options| {
+            let apply_backend = Arc::clone(&backend);
+            let flush_backend = Arc::clone(&backend);
+            let flush_registry = Arc::clone(&registry);
+            Arc::new(BatchPipeline::start(
+                apply_backend,
+                Box::new(move || now_millis(started)),
+                Box::new(move || flush_outboxes(&flush_backend, &flush_registry)),
+                batch_options,
+            ))
+        });
+
+        let pipeline_handle = pipeline.clone();
         let accept_backend = Arc::clone(&backend);
         let accept_shutdown = Arc::clone(&shutdown);
         let accept_thread = std::thread::Builder::new()
@@ -195,10 +233,11 @@ impl TcpService {
                     let registry = Arc::clone(&registry);
                     let metrics = Arc::clone(&metrics);
                     let options = Arc::clone(&options);
+                    let pipeline = pipeline.clone();
                     let _ = std::thread::Builder::new()
                         .name("crowdfill-conn".into())
                         .spawn(move || {
-                            serve_conn(conn, backend, registry, started, metrics, options)
+                            serve_conn(conn, backend, registry, started, metrics, options, pipeline)
                         });
                 }
             })
@@ -209,6 +248,7 @@ impl TcpService {
             backend,
             shutdown,
             accept_thread: Some(accept_thread),
+            _pipeline: pipeline_handle,
         })
     }
 
@@ -238,10 +278,7 @@ fn now_millis(started: Instant) -> Millis {
 }
 
 fn reject_frame(reason: &str) -> Json {
-    Json::obj([
-        ("type", Json::str("reject")),
-        ("reason", Json::str(reason)),
-    ])
+    Json::obj([("type", Json::str("reject")), ("reason", Json::str(reason))])
 }
 
 fn broadcast_frame(seq: u64, msg: &Message) -> Json {
@@ -249,6 +286,16 @@ fn broadcast_frame(seq: u64, msg: &Message) -> Json {
         ("type", Json::str("msg")),
         ("seq", Json::num(seq as f64)),
         ("msg", wire::message_to_json(msg)),
+    ])
+}
+
+/// A multi-op broadcast: the seq-tagged messages of one batch in one frame.
+/// Clients unpack it entry-by-entry into the same seq-dedup path as `msg`
+/// frames, so a batch boundary is invisible to the convergence argument.
+fn batch_broadcast_frame(msgs: &[(u64, Message)]) -> Json {
+    Json::obj([
+        ("type", Json::str("batch")),
+        ("msgs", seq_msgs_to_json(msgs)),
     ])
 }
 
@@ -267,11 +314,7 @@ fn seq_msgs_to_json(msgs: &[(u64, Message)]) -> Json {
 
 /// Parses the `(from, have)` cursor of a resume/sync request.
 fn parse_cursor(req: &Json) -> (u64, HashSet<u64>) {
-    let from = req
-        .get("from")
-        .and_then(Json::as_i64)
-        .unwrap_or(0)
-        .max(0) as u64;
+    let from = req.get("from").and_then(Json::as_i64).unwrap_or(0).max(0) as u64;
     let have: HashSet<u64> = req
         .get("have")
         .and_then(Json::as_arr)
@@ -293,6 +336,7 @@ fn serve_conn(
     started: Instant,
     metrics: Arc<ServiceMetrics>,
     options: Arc<ServiceOptions>,
+    pipeline: Option<Arc<BatchPipeline>>,
 ) {
     // First frame opens the session: hello (fresh) or resume (re-attach).
     let Ok(frame) = conn.recv() else { return };
@@ -334,11 +378,7 @@ fn serve_conn(
         }
         Some("resume") => {
             metrics.resume_requests.inc();
-            let Some(w) = req
-                .get("worker")
-                .and_then(Json::as_i64)
-                .filter(|v| *v >= 0)
-            else {
+            let Some(w) = req.get("worker").and_then(Json::as_i64).filter(|v| *v >= 0) else {
                 metrics.malformed_frames.inc();
                 return;
             };
@@ -398,7 +438,16 @@ fn serve_conn(
         // messages enqueued between the backend call and registration.
         registry.lock().insert(worker, Arc::clone(&conn));
         flush_worker_outbox(&backend, &conn, worker);
-        run_session(&conn, &backend, &registry, worker, started, &metrics, &options);
+        run_session(
+            &conn,
+            &backend,
+            &registry,
+            worker,
+            started,
+            &metrics,
+            &options,
+            pipeline.as_deref(),
+        );
     }
 
     // Cleanup is guarded: remove the registry entry only if it is still this
@@ -415,6 +464,7 @@ fn serve_conn(
     crowdfill_obs::obs_debug!("server", "session ended"; worker => worker.0, epoch => epoch);
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_session(
     conn: &Arc<TcpConn>,
     backend: &Arc<Mutex<Backend>>,
@@ -423,6 +473,7 @@ fn run_session(
     started: Instant,
     metrics: &ServiceMetrics,
     options: &ServiceOptions,
+    pipeline: Option<&BatchPipeline>,
 ) {
     loop {
         let frame = match options.idle_timeout {
@@ -453,23 +504,34 @@ fn run_session(
             Some("submit") => {
                 metrics.submit_requests.inc();
                 let _submit_timer = SpanTimer::start(&metrics.submit_latency_ns);
-                let auto = req
-                    .get("auto")
-                    .and_then(Json::as_bool)
-                    .unwrap_or(false);
+                let auto = req.get("auto").and_then(Json::as_bool).unwrap_or(false);
                 let msg = req.get("msg").and_then(|m| wire::message_from_json(m).ok());
                 let reply = match msg {
                     None => reject_frame("malformed message"),
                     Some(msg) => {
-                        let mut b = backend.lock();
-                        match b.submit(worker, msg, now_millis(started), auto) {
+                        let result = match pipeline {
+                            Some(p) => p.submit(
+                                worker,
+                                BatchOp::Msg {
+                                    msg,
+                                    auto_upvote: auto,
+                                },
+                            ),
+                            None => backend
+                                .lock()
+                                .submit(worker, msg, now_millis(started), auto),
+                        };
+                        match result {
                             Ok(report) => ack_frame(&report),
                             Err(e) => reject_frame(&e.to_string()),
                         }
                     }
                 };
                 let _ = conn.send(reply.encode().as_bytes());
-                flush_outboxes(backend, registry);
+                if pipeline.is_none() {
+                    // The pipeline's apply thread flushes after each batch.
+                    flush_outboxes(backend, registry);
+                }
             }
             Some("modify") => {
                 metrics.modify_requests.inc();
@@ -480,8 +542,7 @@ fn run_session(
                     .map(|arr| {
                         arr.iter()
                             .map(|e| {
-                                let auto =
-                                    e.get("auto").and_then(Json::as_bool).unwrap_or(false);
+                                let auto = e.get("auto").and_then(Json::as_bool).unwrap_or(false);
                                 e.get("msg")
                                     .and_then(|m| wire::message_from_json(m).ok())
                                     .map(|m| (m, auto))
@@ -492,15 +553,24 @@ fn run_session(
                 let reply = match bundle {
                     None => reject_frame("malformed modify bundle"),
                     Some(bundle) => {
-                        let mut b = backend.lock();
-                        match b.submit_modify(worker, bundle, now_millis(started)) {
+                        let result = match pipeline {
+                            Some(p) => p.submit(worker, BatchOp::Modify { bundle }),
+                            None => {
+                                backend
+                                    .lock()
+                                    .submit_modify(worker, bundle, now_millis(started))
+                            }
+                        };
+                        match result {
                             Ok(report) => ack_frame(&report),
                             Err(e) => reject_frame(&e.to_string()),
                         }
                     }
                 };
                 let _ = conn.send(reply.encode().as_bytes());
-                flush_outboxes(backend, registry);
+                if pipeline.is_none() {
+                    flush_outboxes(backend, registry);
+                }
             }
             Some("sync") => {
                 metrics.sync_requests.inc();
@@ -560,11 +630,19 @@ fn flush_outboxes(backend: &Arc<Mutex<Backend>>, registry: &ConnRegistry) {
     }
 }
 
-/// Delivers one session's pending broadcasts over its connection.
+/// Delivers one session's pending broadcasts over its connection: a lone
+/// message as a legacy `msg` frame, several as `batch` frames (chunked so a
+/// huge backlog cannot overflow the transport's frame-size cap).
 fn flush_worker_outbox(backend: &Arc<Mutex<Backend>>, conn: &TcpConn, worker: WorkerId) {
     let pending = backend.lock().poll_seq(worker);
-    for (seq, msg) in pending {
-        let _ = conn.send(broadcast_frame(seq, &msg).encode().as_bytes());
+    if pending.len() == 1 {
+        let (seq, msg) = &pending[0];
+        let _ = conn.send(broadcast_frame(*seq, msg).encode().as_bytes());
+        return;
+    }
+    for chunk in pending.chunks(BATCH_FRAME_CHUNK) {
+        let _ = conn.send(batch_broadcast_frame(chunk).encode().as_bytes());
+        batch_broadcast_frames().inc();
     }
 }
 
@@ -728,9 +806,8 @@ impl RemoteWorker {
     /// No reconnect policy: a connection failure surfaces as an error, as a
     /// plain TCP client would see it.
     pub fn connect(addr: SocketAddr) -> Result<RemoteWorker, RemoteError> {
-        let dialer: Dialer = Box::new(move |_| {
-            TcpConn::connect(addr).map(|c| Box::new(c) as Box<dyn FrameConn>)
-        });
+        let dialer: Dialer =
+            Box::new(move |_| TcpConn::connect(addr).map(|c| Box::new(c) as Box<dyn FrameConn>));
         RemoteWorker::establish(dialer, None)
     }
 
@@ -783,8 +860,12 @@ impl RemoteWorker {
         conn: &dyn FrameConn,
         policy: Option<&ReconnectPolicy>,
     ) -> Result<(crate::worker_client::WorkerClient, AppliedSeqs), RemoteError> {
-        conn.send(Json::obj([("type", Json::str("hello"))]).encode().as_bytes())
-            .map_err(RemoteError::Conn)?;
+        conn.send(
+            Json::obj([("type", Json::str("hello"))])
+                .encode()
+                .as_bytes(),
+        )
+        .map_err(RemoteError::Conn)?;
         let frame = match policy {
             Some(p) => conn.recv_timeout(p.ack_timeout),
             None => conn.recv(),
@@ -823,12 +904,8 @@ impl RemoteWorker {
             .map(wire::message_from_json)
             .collect::<Result<Vec<_>, _>>()
             .map_err(|e| RemoteError::Protocol(e.to_string()))?;
-        let client = crate::worker_client::WorkerClient::new(
-            worker,
-            client_id,
-            Arc::new(schema),
-            &history,
-        );
+        let client =
+            crate::worker_client::WorkerClient::new(worker, client_id, Arc::new(schema), &history);
         let mut applied = AppliedSeqs::new();
         applied.note_prefix(history.len() as u64);
         Ok((client, applied))
@@ -855,30 +932,51 @@ impl RemoteWorker {
         n
     }
 
-    /// Applies a broadcast frame if it is fresh; seq-based dedup makes
-    /// redelivery (e.g. overlap between a resume replay and a racing flush)
-    /// harmless even though messages themselves are not idempotent.
+    /// Applies a broadcast frame — a single `msg` or a multi-op `batch` —
+    /// if it carries anything fresh; seq-based dedup makes redelivery (e.g.
+    /// overlap between a resume replay and a racing flush) harmless even
+    /// though messages themselves are not idempotent.
     fn absorb_frame(&mut self, frame: &[u8]) -> bool {
         let Ok(json) = Json::parse(&String::from_utf8_lossy(frame)) else {
             return false;
         };
-        if json.get("type").and_then(Json::as_str) == Some("msg") {
-            if let Some(m) = json.get("msg").and_then(|m| wire::message_from_json(m).ok()) {
-                match json.get("seq").and_then(Json::as_i64).filter(|v| *v >= 0) {
-                    Some(seq) => {
-                        if self.applied.note(seq as u64) {
-                            self.client.absorb(&m);
-                            return true;
-                        }
-                    }
-                    None => {
-                        self.client.absorb(&m);
-                        return true;
+        match json.get("type").and_then(Json::as_str) {
+            Some("msg") => self.absorb_seq_msg(&json),
+            Some("batch") => {
+                let mut any = false;
+                if let Some(entries) = json.get("msgs").and_then(Json::as_arr) {
+                    for entry in entries {
+                        any |= self.absorb_seq_msg(entry);
                     }
                 }
+                any
+            }
+            _ => false,
+        }
+    }
+
+    /// Applies one `{"seq":n,"msg":{...}}` element (the shared shape of a
+    /// `msg` frame body and a `batch` frame entry), seq-deduplicated.
+    fn absorb_seq_msg(&mut self, entry: &Json) -> bool {
+        let Some(m) = entry
+            .get("msg")
+            .and_then(|m| wire::message_from_json(m).ok())
+        else {
+            return false;
+        };
+        match entry.get("seq").and_then(Json::as_i64).filter(|v| *v >= 0) {
+            Some(seq) => {
+                if self.applied.note(seq as u64) {
+                    self.client.absorb(&m);
+                    return true;
+                }
+                false
+            }
+            None => {
+                self.client.absorb(&m);
+                true
             }
         }
-        false
     }
 
     /// Fills a cell: applies locally, submits (plus the auto-upvote when the
@@ -919,10 +1017,7 @@ impl RemoteWorker {
     }
 
     /// Retracts an earlier downvote (own votes only).
-    pub fn undo_downvote(
-        &mut self,
-        row: crowdfill_model::RowId,
-    ) -> Result<RemoteAck, RemoteError> {
+    pub fn undo_downvote(&mut self, row: crowdfill_model::RowId) -> Result<RemoteAck, RemoteError> {
         let out = self.client.undo_downvote(row).map_err(RemoteError::Op)?;
         self.submit(&out.msg, false)
     }
@@ -960,11 +1055,7 @@ impl RemoteWorker {
         }
     }
 
-    fn submit(
-        &mut self,
-        msg: &Message,
-        auto: bool,
-    ) -> Result<RemoteAck, RemoteError> {
+    fn submit(&mut self, msg: &Message, auto: bool) -> Result<RemoteAck, RemoteError> {
         let frame = submit_frame(msg, auto);
         let result = self
             .conn
@@ -996,7 +1087,7 @@ impl RemoteWorker {
             let json = Json::parse(&String::from_utf8_lossy(&frame))
                 .map_err(|e| RemoteError::Protocol(e.to_string()))?;
             match json.get("type").and_then(Json::as_str) {
-                Some("msg") => {
+                Some("msg") | Some("batch") => {
                     self.absorb_frame(&frame);
                 }
                 Some("ack") => {
@@ -1018,11 +1109,7 @@ impl RemoteWorker {
                             .to_string(),
                     ));
                 }
-                other => {
-                    return Err(RemoteError::Protocol(format!(
-                        "unexpected frame {other:?}"
-                    )))
-                }
+                other => return Err(RemoteError::Protocol(format!("unexpected frame {other:?}"))),
             }
         }
     }
@@ -1083,12 +1170,7 @@ impl RemoteWorker {
                 ("from", Json::num(self.contig() as f64)),
                 (
                     "have",
-                    Json::Arr(
-                        self.applied
-                            .extras()
-                            .map(|s| Json::num(s as f64))
-                            .collect(),
-                    ),
+                    Json::Arr(self.applied.extras().map(|s| Json::num(s as f64)).collect()),
                 ),
             ]);
             if conn.send(req.encode().as_bytes()).is_err() {
@@ -1257,7 +1339,7 @@ impl RemoteWorker {
             let json = Json::parse(&String::from_utf8_lossy(&frame))
                 .map_err(|e| RemoteError::Protocol(e.to_string()))?;
             match json.get("type").and_then(Json::as_str) {
-                Some("msg") => {
+                Some("msg") | Some("batch") => {
                     if full {
                         stash.push(frame);
                     } else {
@@ -1269,16 +1351,14 @@ impl RemoteWorker {
                         .get("history_len")
                         .and_then(Json::as_i64)
                         .filter(|v| *v >= 0)
-                        .ok_or_else(|| {
-                            RemoteError::Protocol("synced missing history_len".into())
-                        })? as u64;
+                        .ok_or_else(|| RemoteError::Protocol("synced missing history_len".into()))?
+                        as u64;
                     let msgs = seq_msgs_from_json(
                         json.get("msgs")
                             .ok_or_else(|| RemoteError::Protocol("synced missing msgs".into()))?,
                     )?;
                     if full {
-                        let history: Vec<Message> =
-                            msgs.iter().map(|(_, m)| m.clone()).collect();
+                        let history: Vec<Message> = msgs.iter().map(|(_, m)| m.clone()).collect();
                         self.client.rebuild(&history);
                         self.applied.reset_to_prefix(history_len);
                         self.metrics.resyncs.inc();
@@ -1300,11 +1380,7 @@ impl RemoteWorker {
                     }
                     return Ok(());
                 }
-                other => {
-                    return Err(RemoteError::Protocol(format!(
-                        "unexpected frame {other:?}"
-                    )))
-                }
+                other => return Err(RemoteError::Protocol(format!("unexpected frame {other:?}"))),
             }
         }
     }
@@ -1313,14 +1389,18 @@ impl RemoteWorker {
     /// absorbing any interleaved broadcasts.
     pub fn stats(&mut self) -> Result<String, RemoteError> {
         self.conn
-            .send(Json::obj([("type", Json::str("stats"))]).encode().as_bytes())
+            .send(
+                Json::obj([("type", Json::str("stats"))])
+                    .encode()
+                    .as_bytes(),
+            )
             .map_err(RemoteError::Conn)?;
         loop {
             let frame = self.recv_frame().map_err(RemoteError::Conn)?;
             let json = Json::parse(&String::from_utf8_lossy(&frame))
                 .map_err(|e| RemoteError::Protocol(e.to_string()))?;
             match json.get("type").and_then(Json::as_str) {
-                Some("msg") => {
+                Some("msg") | Some("batch") => {
                     self.absorb_frame(&frame);
                 }
                 Some("stats") => {
@@ -1330,11 +1410,7 @@ impl RemoteWorker {
                         .map(str::to_string)
                         .ok_or_else(|| RemoteError::Protocol("stats missing snapshot".into()));
                 }
-                other => {
-                    return Err(RemoteError::Protocol(format!(
-                        "unexpected frame {other:?}"
-                    )))
-                }
+                other => return Err(RemoteError::Protocol(format!("unexpected frame {other:?}"))),
             }
         }
     }

@@ -3,8 +3,8 @@
 
 use crowdfill_docstore::Json;
 use crowdfill_model::{
-    ClientId, Column, ColumnId, DataType, Date, Entry, Message, Predicate, RowId, RowValue,
-    Schema, Template, TemplateRow, Value,
+    ClientId, Column, ColumnId, DataType, Date, Entry, Message, Predicate, RowId, RowValue, Schema,
+    Template, TemplateRow, Value,
 };
 use std::fmt;
 
@@ -109,10 +109,7 @@ pub fn row_value_to_json(rv: &RowValue) -> Json {
     Json::Arr(
         rv.iter()
             .map(|(col, v)| {
-                Json::obj([
-                    ("col", Json::num(col.0 as f64)),
-                    ("val", value_to_json(v)),
-                ])
+                Json::obj([("col", Json::num(col.0 as f64)), ("val", value_to_json(v))])
             })
             .collect(),
     )
@@ -135,10 +132,9 @@ pub fn row_value_from_json(j: &Json) -> Result<RowValue> {
 
 pub fn message_to_json(m: &Message) -> Json {
     match m {
-        Message::Insert { row } => Json::obj([
-            ("kind", Json::str("insert")),
-            ("row", row_id_to_json(*row)),
-        ]),
+        Message::Insert { row } => {
+            Json::obj([("kind", Json::str("insert")), ("row", row_id_to_json(*row))])
+        }
         Message::Replace { old, new, value } => Json::obj([
             ("kind", Json::str("replace")),
             ("old", row_id_to_json(*old)),
@@ -393,17 +389,10 @@ pub fn template_to_json(t: &Template) -> Json {
                         .map(|(col, e)| {
                             let entry = match e {
                                 Entry::Any => Json::Null,
-                                Entry::Value(v) => {
-                                    Json::obj([("value", value_to_json(v))])
-                                }
-                                Entry::Pred(p) => {
-                                    Json::obj([("pred", predicate_to_json(p))])
-                                }
+                                Entry::Value(v) => Json::obj([("value", value_to_json(v))]),
+                                Entry::Pred(p) => Json::obj([("pred", predicate_to_json(p))]),
                             };
-                            Json::obj([
-                                ("col", Json::num(col.0 as f64)),
-                                ("entry", entry),
-                            ])
+                            Json::obj([("col", Json::num(col.0 as f64)), ("entry", entry)])
                         })
                         .collect(),
                 )
@@ -508,10 +497,7 @@ mod tests {
         assert_eq!(back.name(), s.name());
         assert_eq!(back.width(), s.width());
         assert_eq!(back.key(), s.key());
-        assert_eq!(
-            back.column(ColumnId(2)).unwrap().domain().unwrap().len(),
-            2
-        );
+        assert_eq!(back.column(ColumnId(2)).unwrap().domain().unwrap().len(), 2);
     }
 
     #[test]

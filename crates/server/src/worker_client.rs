@@ -10,9 +10,7 @@
 //! result without waiting for the server) and returned as [`Outgoing`]
 //! messages the caller must submit to the backend.
 
-use crowdfill_model::{
-    ClientId, ColumnId, Message, OpError, Operation, RowId, Schema, Value,
-};
+use crowdfill_model::{ClientId, ColumnId, Message, OpError, Operation, RowId, Schema, Value};
 use crowdfill_pay::WorkerId;
 use crowdfill_sync::Replica;
 use std::sync::Arc;
@@ -137,7 +135,9 @@ impl WorkerClient {
         column: ColumnId,
         value: Value,
     ) -> Result<Vec<Outgoing>, OpError> {
-        let msg = self.replica.apply_local(&Operation::Fill { row, column, value })?;
+        let msg = self
+            .replica
+            .apply_local(&Operation::Fill { row, column, value })?;
         let new_row = msg.creates_row().expect("replace creates a row");
         let mut out = vec![Outgoing {
             msg,

@@ -2,9 +2,7 @@
 //! worker clients, exercising the vote policy, PRI maintenance, estimation,
 //! and settlement.
 
-use crowdfill_model::{
-    Column, ColumnId, DataType, QuorumMajority, RowId, Schema, Template, Value,
-};
+use crowdfill_model::{Column, ColumnId, DataType, QuorumMajority, RowId, Schema, Template, Value};
 use crowdfill_pay::{Millis, Scheme, WorkerId};
 use crowdfill_server::{Backend, SubmitError, TaskConfig, WorkerClient};
 use std::collections::HashMap;
@@ -135,7 +133,11 @@ fn full_collection_run_reaches_fulfillment() {
     assert!(!rig.backend.is_fulfilled());
 
     // Worker 1 completes the first seeded row; workers 2 and 3 approve.
-    let rows: Vec<RowId> = rig.clients[&WorkerId(1)].replica().table().row_ids().collect();
+    let rows: Vec<RowId> = rig.clients[&WorkerId(1)]
+        .replica()
+        .table()
+        .row_ids()
+        .collect();
     assert_eq!(rows.len(), 2);
 
     let r = rig.fill(1, rows[0], 0, "Messi").unwrap();
@@ -169,7 +171,11 @@ fn full_collection_run_reaches_fulfillment() {
 #[test]
 fn vote_policy_one_vote_per_row() {
     let mut rig = Rig::new(config(1, 10.0), 2);
-    let rows: Vec<RowId> = rig.clients[&WorkerId(1)].replica().table().row_ids().collect();
+    let rows: Vec<RowId> = rig.clients[&WorkerId(1)]
+        .replica()
+        .table()
+        .row_ids()
+        .collect();
     let r = rig.fill(1, rows[0], 0, "Messi").unwrap();
     let r = rig.fill(1, r, 1, "Argentina").unwrap();
     let done = rig.fill(1, r, 2, "FW").unwrap();
@@ -185,7 +191,11 @@ fn vote_policy_one_vote_per_row() {
 #[test]
 fn vote_policy_one_upvote_per_key() {
     let mut rig = Rig::new(config(2, 10.0), 2);
-    let rows: Vec<RowId> = rig.clients[&WorkerId(1)].replica().table().row_ids().collect();
+    let rows: Vec<RowId> = rig.clients[&WorkerId(1)]
+        .replica()
+        .table()
+        .row_ids()
+        .collect();
     // Worker 1 builds two complete rows with the same primary key
     // (different position). Its second auto-upvote rides on the fill and is
     // exempt from the duplicate-key rule.
@@ -207,7 +217,11 @@ fn vote_policy_one_upvote_per_key() {
 #[test]
 fn vote_cap_enforced() {
     let mut rig = Rig::new(config(1, 10.0).with_max_votes(2), 4);
-    let rows: Vec<RowId> = rig.clients[&WorkerId(1)].replica().table().row_ids().collect();
+    let rows: Vec<RowId> = rig.clients[&WorkerId(1)]
+        .replica()
+        .table()
+        .row_ids()
+        .collect();
     let r = rig.fill(1, rows[0], 0, "Messi").unwrap();
     let r = rig.fill(1, r, 1, "Argentina").unwrap();
     let done = rig.fill(1, r, 2, "FW").unwrap(); // auto: 1 vote
@@ -242,7 +256,11 @@ fn unknown_worker_rejected() {
 #[test]
 fn stale_fill_rejected_but_harmless() {
     let mut rig = Rig::new(config(1, 10.0), 2);
-    let rows: Vec<RowId> = rig.clients[&WorkerId(1)].replica().table().row_ids().collect();
+    let rows: Vec<RowId> = rig.clients[&WorkerId(1)]
+        .replica()
+        .table()
+        .row_ids()
+        .collect();
     // Worker 1 fills the row; worker 2's client still shows the old row but
     // the backend has already replaced it. A fill against the stale id is
     // rejected server-side — worker 2's local state remains consistent after
@@ -252,18 +270,22 @@ fn stale_fill_rejected_but_harmless() {
     let worker2 = WorkerId(2);
     // Worker 2 hasn't polled yet in this test flow (rig.fill synced, so
     // make a new stale target: fill the *same* original row id).
-    let stale = rig
-        .clients
-        .get_mut(&worker2)
-        .unwrap()
-        .fill(rows[0], ColumnId(1), Value::text("Brazil")); // row gone locally too
+    let stale =
+        rig.clients
+            .get_mut(&worker2)
+            .unwrap()
+            .fill(rows[0], ColumnId(1), Value::text("Brazil")); // row gone locally too
     assert!(stale.is_err(), "local replica already replaced the row");
 }
 
 #[test]
 fn late_joiner_replays_history_and_converges() {
     let mut rig = Rig::new(config(1, 10.0), 1);
-    let rows: Vec<RowId> = rig.clients[&WorkerId(1)].replica().table().row_ids().collect();
+    let rows: Vec<RowId> = rig.clients[&WorkerId(1)]
+        .replica()
+        .table()
+        .row_ids()
+        .collect();
     let r = rig.fill(1, rows[0], 0, "Messi").unwrap();
     let _ = rig.fill(1, r, 1, "Argentina").unwrap();
 
@@ -307,7 +329,9 @@ fn estimates_are_positive_and_tracked() {
     let (w, c, history) = backend.connect(Millis(0));
     let mut client = WorkerClient::new(w, c, schema_arc, &history);
     let rows: Vec<RowId> = client.replica().table().row_ids().collect();
-    let out = client.fill(rows[0], ColumnId(0), Value::text("Messi")).unwrap();
+    let out = client
+        .fill(rows[0], ColumnId(0), Value::text("Messi"))
+        .unwrap();
     let report = backend
         .submit(w, out[0].msg.clone(), Millis(1000), false)
         .unwrap();
@@ -321,7 +345,11 @@ fn settlement_closes_collection() {
     let mut rig = Rig::new(config(1, 10.0), 1);
     let (_, _, payout) = rig.backend.settle();
     assert_eq!(payout.per_worker.len(), 0);
-    let rows: Vec<RowId> = rig.clients[&WorkerId(1)].replica().table().row_ids().collect();
+    let rows: Vec<RowId> = rig.clients[&WorkerId(1)]
+        .replica()
+        .table()
+        .row_ids()
+        .collect();
     assert_eq!(
         rig.fill(1, rows[0], 0, "Messi"),
         Err(SubmitError::CollectionClosed)
@@ -331,7 +359,11 @@ fn settlement_closes_collection() {
 #[test]
 fn undo_vote_lifecycle() {
     let mut rig = Rig::new(config(1, 10.0), 3);
-    let rows: Vec<RowId> = rig.clients[&WorkerId(1)].replica().table().row_ids().collect();
+    let rows: Vec<RowId> = rig.clients[&WorkerId(1)]
+        .replica()
+        .table()
+        .row_ids()
+        .collect();
     let r = rig.fill(1, rows[0], 0, "Messi").unwrap();
     let r = rig.fill(1, r, 1, "Argentina").unwrap();
     let done = rig.fill(1, r, 2, "FW").unwrap(); // auto-upvote: 1↑
@@ -352,27 +384,18 @@ fn undo_vote_lifecycle() {
         .unwrap();
     rig.sync_all();
     assert!(!rig.backend.is_fulfilled());
-    assert_eq!(
-        rig.backend.master().table().get(done).unwrap().upvotes,
-        1
-    );
+    assert_eq!(rig.backend.master().table().get(done).unwrap().upvotes, 1);
     rig.assert_replicas_converged();
 
     // Having undone it, worker 2 may vote on the row again — downvote now.
     rig.downvote(2, done).unwrap();
-    assert_eq!(
-        rig.backend.master().table().get(done).unwrap().downvotes,
-        1
-    );
+    assert_eq!(rig.backend.master().table().get(done).unwrap().downvotes, 1);
 
     // Worker 3 never voted: the client itself rejects the undo (own-votes
     // -only discipline), even though the shared history shows votes.
     let worker3 = WorkerId(3);
     let out = rig.clients.get_mut(&worker3).unwrap().undo_upvote(done);
-    assert!(matches!(
-        out,
-        Err(crowdfill_model::OpError::NothingToUndo)
-    ));
+    assert!(matches!(out, Err(crowdfill_model::OpError::NothingToUndo)));
     // And a forged raw undo message is still caught by the server policy.
     let forged = crowdfill_model::Message::UndoUpvote {
         value: rig
@@ -393,7 +416,11 @@ fn undo_vote_lifecycle() {
 #[test]
 fn undone_votes_earn_nothing() {
     let mut rig = Rig::new(config(1, 12.0), 3);
-    let rows: Vec<RowId> = rig.clients[&WorkerId(1)].replica().table().row_ids().collect();
+    let rows: Vec<RowId> = rig.clients[&WorkerId(1)]
+        .replica()
+        .table()
+        .row_ids()
+        .collect();
     let r = rig.fill(1, rows[0], 0, "Messi").unwrap();
     let r = rig.fill(1, r, 1, "Argentina").unwrap();
     let done = rig.fill(1, r, 2, "FW").unwrap();
@@ -414,7 +441,11 @@ fn undone_votes_earn_nothing() {
     rig.upvote(3, done).unwrap();
 
     let (_, contributions, payout) = rig.backend.settle();
-    assert_eq!(contributions.upvotes.len(), 1, "only the standing vote pays");
+    assert_eq!(
+        contributions.upvotes.len(),
+        1,
+        "only the standing vote pays"
+    );
     assert_eq!(payout.worker_total(WorkerId(2)), 0.0);
     assert!(payout.worker_total(WorkerId(3)) > 0.0);
 }
@@ -422,7 +453,11 @@ fn undone_votes_earn_nothing() {
 #[test]
 fn modify_overwrites_a_cell_through_the_primitive_series() {
     let mut rig = Rig::new(config(1, 10.0), 2);
-    let rows: Vec<RowId> = rig.clients[&WorkerId(1)].replica().table().row_ids().collect();
+    let rows: Vec<RowId> = rig.clients[&WorkerId(1)]
+        .replica()
+        .table()
+        .row_ids()
+        .collect();
     let r = rig.fill(1, rows[0], 0, "Messi").unwrap();
     let r = rig.fill(1, r, 1, "Argentina").unwrap();
     let done = rig.fill(1, r, 2, "MF").unwrap(); // wrong position
@@ -491,7 +526,11 @@ fn archived_trace_resettles_identically() {
     use crowdfill_server::Frontend;
 
     let mut rig = Rig::new(config(2, 10.0), 3);
-    let rows: Vec<RowId> = rig.clients[&WorkerId(1)].replica().table().row_ids().collect();
+    let rows: Vec<RowId> = rig.clients[&WorkerId(1)]
+        .replica()
+        .table()
+        .row_ids()
+        .collect();
     let r = rig.fill(1, rows[0], 0, "Messi").unwrap();
     let r = rig.fill(1, r, 1, "Argentina").unwrap();
     let done1 = rig.fill(1, r, 2, "FW").unwrap();

@@ -8,13 +8,11 @@
 //! Each scenario runs over a fixed seed set; extend it without editing the
 //! file via `CROWDFILL_FAULT_SEEDS=7,8,9 cargo test -p crowdfill-server`.
 
-use crowdfill_model::{
-    Column, ColumnId, DataType, QuorumMajority, RowId, Schema, Template, Value,
-};
+use crowdfill_model::{Column, ColumnId, DataType, QuorumMajority, RowId, Schema, Template, Value};
 use crowdfill_net::{FaultConfig, FaultyConn, FrameConn, TcpConn};
 use crowdfill_server::{
-    Backend, Dialer, ReconnectPolicy, RemoteError, RemoteWorker, ServiceOptions, TaskConfig,
-    TcpService,
+    Backend, BatchOptions, Dialer, ReconnectPolicy, RemoteError, RemoteWorker, ServiceOptions,
+    TaskConfig, TcpService,
 };
 use std::net::SocketAddr;
 use std::sync::Arc;
@@ -44,7 +42,11 @@ fn config(rows: usize) -> TaskConfig {
 fn seeds() -> Vec<u64> {
     let mut s = vec![1, 2, 3];
     if let Ok(extra) = std::env::var("CROWDFILL_FAULT_SEEDS") {
-        s.extend(extra.split(',').filter_map(|t| t.trim().parse::<u64>().ok()));
+        s.extend(
+            extra
+                .split(',')
+                .filter_map(|t| t.trim().parse::<u64>().ok()),
+        );
     }
     s
 }
@@ -214,6 +216,104 @@ fn converges_through_forced_disconnects() {
         run_scenario("disconnects", FaultConfig::disconnects(seed, 8..25));
     }
     assert!(resumes.get() > before, "no session was ever resumed");
+}
+
+/// The batched-broadcast recovery property: an observer whose connection
+/// dies every few frames — i.e. routinely mid-way through a multi-op
+/// `batch` broadcast — must, on resume, receive exactly the missing history
+/// suffix. Votes are non-idempotent, so both failure modes of an inexact
+/// replay are visible in the final state: a dropped suffix leaves the
+/// observer behind the master, a re-replayed one double-counts votes. The
+/// fill window (`max_wait`) keeps batches multi-op so the interrupted
+/// frames genuinely carry several ops.
+#[test]
+fn resume_replays_exact_suffix_after_mid_batch_disconnect() {
+    let batch_frames = crowdfill_obs::metrics::counter("crowdfill_server_batch_broadcast_frames");
+    let resumes = crowdfill_obs::metrics::counter("crowdfill_client_resumes");
+    let frames_before = batch_frames.get();
+    let resumes_before = resumes.get();
+    for seed in seeds() {
+        let backend = Backend::new(config(2));
+        let options = ServiceOptions {
+            idle_timeout: Some(Duration::from_secs(30)),
+            batch: Some(BatchOptions {
+                max_batch: 64,
+                max_wait: Duration::from_millis(10),
+            }),
+            ..ServiceOptions::default()
+        };
+        let service = TcpService::start_with(backend, "127.0.0.1:0", options).unwrap();
+        let addr = service.addr();
+
+        let mut observer = RemoteWorker::connect_with(
+            faulty_dialer(addr, FaultConfig::disconnects(seed, 4..12)),
+            policy(seed),
+        )
+        .unwrap_or_else(|e| panic!("mid-batch seed {seed}: observer connect failed: {e}"));
+
+        // Two clean workers fill concurrently so their ops coalesce inside
+        // the fill window into multi-op batches — and thus multi-op
+        // broadcast frames toward the flapping observer link.
+        let workers: Vec<RemoteWorker> = (0..2)
+            .map(|r| {
+                let mut w = RemoteWorker::connect(addr).unwrap();
+                std::thread::spawn(move || {
+                    fill_row(&mut w, r);
+                    w
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .collect();
+        // Vote through the faulty link too: the observer's own submissions
+        // ride alongside the broadcast replays it is recovering.
+        observer.absorb_pending();
+        let complete: Vec<RowId> = observer
+            .view()
+            .replica()
+            .table()
+            .iter()
+            .filter(|(_, e)| e.value.len() == 3)
+            .map(|(id, _)| id)
+            .collect();
+        for row in complete {
+            tolerate(observer.upvote(row), "observer voting over faulty link");
+        }
+
+        observer
+            .sync()
+            .unwrap_or_else(|e| panic!("mid-batch seed {seed}: observer sync failed: {e}"));
+        let mut workers = workers;
+        for w in &mut workers {
+            w.sync().unwrap();
+        }
+
+        let backend = service.backend();
+        let b = backend.lock();
+        assert!(
+            b.history_len() > 0,
+            "mid-batch seed {seed}: no progress made"
+        );
+        assert!(
+            observer.view().replica().same_state(b.master()),
+            "mid-batch seed {seed}: observer diverged (inexact suffix replay)"
+        );
+        for w in &workers {
+            assert!(
+                w.view().replica().same_state(b.master()),
+                "mid-batch seed {seed}: clean worker diverged"
+            );
+        }
+    }
+    assert!(
+        batch_frames.get() > frames_before,
+        "no multi-op batch frame was ever broadcast"
+    );
+    assert!(
+        resumes.get() > resumes_before,
+        "no session was ever resumed mid-run"
+    );
 }
 
 #[test]

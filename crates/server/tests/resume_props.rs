@@ -45,9 +45,17 @@ fn config() -> TaskConfig {
 #[derive(Debug, Clone)]
 enum Action {
     /// Fill the `row_pick`-th visible row in its `col_pick`-th empty column.
-    Fill { row_pick: usize, col_pick: usize, value_pick: usize },
-    Upvote { row_pick: usize },
-    Downvote { row_pick: usize },
+    Fill {
+        row_pick: usize,
+        col_pick: usize,
+        value_pick: usize,
+    },
+    Upvote {
+        row_pick: usize,
+    },
+    Downvote {
+        row_pick: usize,
+    },
     /// Deliver this worker's pending broadcasts.
     Deliver,
 }
@@ -140,7 +148,11 @@ impl SimWorker {
         let rows: Vec<RowId> = table.row_ids().collect();
         match action {
             Action::Deliver => self.deliver(backend),
-            Action::Fill { row_pick, col_pick, value_pick } => {
+            Action::Fill {
+                row_pick,
+                col_pick,
+                value_pick,
+            } => {
                 if rows.is_empty() {
                     return;
                 }
@@ -235,12 +247,33 @@ fn run(script: &[(usize, Action)], cut: usize, gap: usize) -> (Backend, SimWorke
 fn rejected_bundle_head_aborts_tail() {
     use Action::*;
     let script = vec![
-        (1, Fill { row_pick: 7, col_pick: 0, value_pick: 0 }),
+        (
+            1,
+            Fill {
+                row_pick: 7,
+                col_pick: 0,
+                value_pick: 0,
+            },
+        ),
         (0, Upvote { row_pick: 3 }),
-        (1, Fill { row_pick: 6, col_pick: 2, value_pick: 0 }),
+        (
+            1,
+            Fill {
+                row_pick: 6,
+                col_pick: 2,
+                value_pick: 0,
+            },
+        ),
         (0, Deliver),
         (1, Deliver),
-        (0, Fill { row_pick: 2, col_pick: 1, value_pick: 1 }),
+        (
+            0,
+            Fill {
+                row_pick: 2,
+                col_pick: 1,
+                value_pick: 1,
+            },
+        ),
         (1, Upvote { row_pick: 4 }),
         (0, Downvote { row_pick: 3 }),
         (0, Deliver),
@@ -248,22 +281,106 @@ fn rejected_bundle_head_aborts_tail() {
         (1, Deliver),
         (1, Downvote { row_pick: 1 }),
         (1, Upvote { row_pick: 1 }),
-        (0, Fill { row_pick: 3, col_pick: 0, value_pick: 2 }),
+        (
+            0,
+            Fill {
+                row_pick: 3,
+                col_pick: 0,
+                value_pick: 2,
+            },
+        ),
         (0, Upvote { row_pick: 5 }),
-        (1, Fill { row_pick: 5, col_pick: 2, value_pick: 3 }),
-        (1, Fill { row_pick: 7, col_pick: 0, value_pick: 1 }),
-        (0, Fill { row_pick: 5, col_pick: 1, value_pick: 2 }),
-        (0, Fill { row_pick: 1, col_pick: 0, value_pick: 0 }),
-        (1, Fill { row_pick: 3, col_pick: 2, value_pick: 0 }),
+        (
+            1,
+            Fill {
+                row_pick: 5,
+                col_pick: 2,
+                value_pick: 3,
+            },
+        ),
+        (
+            1,
+            Fill {
+                row_pick: 7,
+                col_pick: 0,
+                value_pick: 1,
+            },
+        ),
+        (
+            0,
+            Fill {
+                row_pick: 5,
+                col_pick: 1,
+                value_pick: 2,
+            },
+        ),
+        (
+            0,
+            Fill {
+                row_pick: 1,
+                col_pick: 0,
+                value_pick: 0,
+            },
+        ),
+        (
+            1,
+            Fill {
+                row_pick: 3,
+                col_pick: 2,
+                value_pick: 0,
+            },
+        ),
         (0, Deliver),
-        (1, Fill { row_pick: 4, col_pick: 2, value_pick: 2 }),
-        (0, Fill { row_pick: 6, col_pick: 1, value_pick: 2 }),
-        (1, Fill { row_pick: 1, col_pick: 1, value_pick: 3 }),
-        (0, Fill { row_pick: 4, col_pick: 0, value_pick: 2 }),
-        (0, Fill { row_pick: 7, col_pick: 0, value_pick: 1 }),
+        (
+            1,
+            Fill {
+                row_pick: 4,
+                col_pick: 2,
+                value_pick: 2,
+            },
+        ),
+        (
+            0,
+            Fill {
+                row_pick: 6,
+                col_pick: 1,
+                value_pick: 2,
+            },
+        ),
+        (
+            1,
+            Fill {
+                row_pick: 1,
+                col_pick: 1,
+                value_pick: 3,
+            },
+        ),
+        (
+            0,
+            Fill {
+                row_pick: 4,
+                col_pick: 0,
+                value_pick: 2,
+            },
+        ),
+        (
+            0,
+            Fill {
+                row_pick: 7,
+                col_pick: 0,
+                value_pick: 1,
+            },
+        ),
         (1, Deliver),
         (1, Deliver),
-        (1, Fill { row_pick: 2, col_pick: 1, value_pick: 1 }),
+        (
+            1,
+            Fill {
+                row_pick: 2,
+                col_pick: 1,
+                value_pick: 1,
+            },
+        ),
         (1, Downvote { row_pick: 2 }),
     ];
     let (backend, w0, w1) = run(&script, 33, 8);
@@ -318,10 +435,7 @@ fn resume_replays_votes_exactly_once() {
     for (c, v) in [(0u16, "w1-v0"), (1, "w1-v1"), (2, "w1-v2")] {
         let rows: Vec<RowId> = w1.client.replica().table().row_ids().collect();
         let row = *rows.first().unwrap();
-        let outs = w1
-            .client
-            .fill(row, ColumnId(c), Value::text(v))
-            .unwrap();
+        let outs = w1.client.fill(row, ColumnId(c), Value::text(v)).unwrap();
         for out in outs {
             assert!(w1.submit(&mut backend, &out.msg, out.auto_upvote, Millis(1)));
         }

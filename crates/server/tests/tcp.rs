@@ -42,14 +42,10 @@ fn remote_collection_end_to_end() {
         .fill(rows[0], ColumnId(0), Value::text("Messi"))
         .unwrap();
     assert!(ack.estimate > 0.0);
-    let r = alice
-        .view()
-        .replica()
-        .table()
-        .row_ids()
-        .next()
+    let r = alice.view().replica().table().row_ids().next().unwrap();
+    let _ = alice
+        .fill(r, ColumnId(1), Value::text("Argentina"))
         .unwrap();
-    let _ = alice.fill(r, ColumnId(1), Value::text("Argentina")).unwrap();
     let r = alice.view().replica().table().row_ids().next().unwrap();
     let ack = alice.fill(r, ColumnId(2), Value::text("FW")).unwrap();
     assert!(!ack.fulfilled); // one auto-upvote is below quorum
@@ -124,18 +120,32 @@ fn stats_request_reports_live_metrics() {
     let snapshot = worker.stats().unwrap();
     // The submit above flowed through sync, the TCP framing layer, and
     // the per-request latency histogram; all must show up end to end.
-    assert!(metric(&snapshot, "crowdfill_sync_ops_applied") > 0, "{snapshot}");
-    assert!(metric(&snapshot, "crowdfill_net_bytes_out") > 0, "{snapshot}");
+    assert!(
+        metric(&snapshot, "crowdfill_sync_ops_applied") > 0,
+        "{snapshot}"
+    );
+    assert!(
+        metric(&snapshot, "crowdfill_net_bytes_out") > 0,
+        "{snapshot}"
+    );
     assert!(
         metric(&snapshot, "crowdfill_server_request_latency_ns_count") > 0,
         "{snapshot}"
     );
-    assert!(metric(&snapshot, "crowdfill_server_submit_requests") > 0, "{snapshot}");
-    assert!(metric(&snapshot, "crowdfill_server_stats_requests") > 0, "{snapshot}");
+    assert!(
+        metric(&snapshot, "crowdfill_server_submit_requests") > 0,
+        "{snapshot}"
+    );
+    assert!(
+        metric(&snapshot, "crowdfill_server_stats_requests") > 0,
+        "{snapshot}"
+    );
 
     // The protocol keeps working after a stats exchange.
     let r = worker.view().replica().table().row_ids().next().unwrap();
-    worker.fill(r, ColumnId(1), Value::text("Argentina")).unwrap();
+    worker
+        .fill(r, ColumnId(1), Value::text("Argentina"))
+        .unwrap();
 
     worker.bye();
     service.stop();

@@ -10,7 +10,10 @@ fn main() {
         let cfg = paper_setup(2014, 20);
         let schema = cfg.universe.schema.clone();
         let mut task = TaskConfig::new(
-            Arc::clone(&schema), Arc::clone(&cfg.scoring), cfg.template.clone(), cfg.budget,
+            Arc::clone(&schema),
+            Arc::clone(&cfg.scoring),
+            cfg.template.clone(),
+            cfg.budget,
         );
         task.max_votes_per_row = cfg.max_votes_per_row;
         let mut backend = Backend::new(task);
@@ -24,15 +27,21 @@ fn main() {
         }
         // simple round-robin time loop like the DES
         let mut t = vec![0u64; workers.len()];
-        for (i, w) in workers.iter().enumerate() { t[i] = (w.profile.join_delay*1000.0) as u64; }
+        for (i, w) in workers.iter().enumerate() {
+            t[i] = (w.profile.join_delay * 1000.0) as u64;
+        }
         let (mut nones, mut rejects, mut fizzles, mut oks) = (0, 0, 0, 0);
         let mut now;
         loop {
             let i = (0..workers.len()).min_by_key(|&i| t[i]).unwrap();
             now = t[i];
-            if now > 4*3600*1000 || backend.is_fulfilled() { break; }
+            if now > 4 * 3600 * 1000 || backend.is_fulfilled() {
+                break;
+            }
             let w = &mut workers[i];
-            for m in backend.poll(w.worker_id()) { w.client.absorb(&m); }
+            for m in backend.poll(w.worker_id()) {
+                w.client.absorb(&m);
+            }
             let decision = if guided {
                 let recs = backend.recommend(w.worker_id(), 8);
                 w.decide_with_recommendations(&cfg.universe, &*cfg.scoring, &recs)
@@ -40,15 +49,25 @@ fn main() {
                 w.decide(&cfg.universe, &*cfg.scoring)
             };
             match decision {
-                None => { nones += 1; t[i] += (w.profile.idle_backoff*1000.0) as u64; }
+                None => {
+                    nones += 1;
+                    t[i] += (w.profile.idle_backoff * 1000.0) as u64;
+                }
                 Some((a, lat)) => {
-                    t[i] += (lat*1000.0) as u64;
-                    for m in backend.poll(w.worker_id()) { w.client.absorb(&m); }
+                    t[i] += (lat * 1000.0) as u64;
+                    for m in backend.poll(w.worker_id()) {
+                        w.client.absorb(&m);
+                    }
                     match w.execute(&a) {
                         None => fizzles += 1,
                         Some(outs) => {
                             for o in outs {
-                                match backend.submit(w.worker_id(), o.msg, Millis(t[i]), o.auto_upvote) {
+                                match backend.submit(
+                                    w.worker_id(),
+                                    o.msg,
+                                    Millis(t[i]),
+                                    o.auto_upvote,
+                                ) {
                                     Ok(_) => oks += 1,
                                     Err(_) => rejects += 1,
                                 }

@@ -58,17 +58,42 @@ const GIVEN: &[&str] = &[
     "Lio", "Dan", "Mar", "Ron", "Ney", "And", "Ser", "Xav", "Ike", "Zin", "Raf", "Gon", "Edi",
     "Fer", "Pau", "Luc", "Thi", "Car", "Jor", "Mat",
 ];
-const GIVEN_TAIL: &[&str] = &["nel", "iel", "cos", "aldo", "mar", "res", "gio", "vi", "r", "edine"];
+const GIVEN_TAIL: &[&str] = &[
+    "nel", "iel", "cos", "aldo", "mar", "res", "gio", "vi", "r", "edine",
+];
 const SUR: &[&str] = &[
     "Mes", "Bat", "Sil", "Ron", "Cas", "Zid", "Gar", "Fern", "Lop", "Mor", "San", "Per", "Rod",
     "Gom", "Mart", "Alv", "Tor", "Val", "Rib", "Kro",
 ];
-const SUR_TAIL: &[&str] = &["si", "ista", "va", "aldinho", "illas", "ane", "cia", "andez", "ez", "ales", "os"];
+const SUR_TAIL: &[&str] = &[
+    "si", "ista", "va", "aldinho", "illas", "ane", "cia", "andez", "ez", "ales", "os",
+];
 
 const NATIONS: &[&str] = &[
-    "Argentina", "Brazil", "Spain", "England", "France", "Germany", "Italy", "Portugal",
-    "Netherlands", "Uruguay", "Mexico", "Japan", "Korea", "Nigeria", "Ghana", "Sweden",
-    "Denmark", "Croatia", "Poland", "USA", "Chile", "Colombia", "Belgium", "Egypt",
+    "Argentina",
+    "Brazil",
+    "Spain",
+    "England",
+    "France",
+    "Germany",
+    "Italy",
+    "Portugal",
+    "Netherlands",
+    "Uruguay",
+    "Mexico",
+    "Japan",
+    "Korea",
+    "Nigeria",
+    "Ghana",
+    "Sweden",
+    "Denmark",
+    "Croatia",
+    "Poland",
+    "USA",
+    "Chile",
+    "Colombia",
+    "Belgium",
+    "Egypt",
 ];
 const POSITIONS: &[&str] = &["GK", "DF", "MF", "FW"];
 
@@ -171,13 +196,21 @@ pub fn cities_universe(seed: u64, n: usize) -> GroundTruth {
     let mut rows = Vec::with_capacity(n);
     let mut used = HashSet::new();
     while rows.len() < n {
-        let city = format!("{} {}{}", pick(&mut rng, &prefixes), pick(&mut rng, &stems), rng.gen_range(1..99));
+        let city = format!(
+            "{} {}{}",
+            pick(&mut rng, &prefixes),
+            pick(&mut rng, &stems),
+            rng.gen_range(1..99)
+        );
         if !used.insert(city.clone()) {
             continue;
         }
         rows.push(RowValue::from_pairs([
             (ColumnId(0), Value::text(city)),
-            (ColumnId(1), Value::text(pick(&mut rng, NATIONS).to_string())),
+            (
+                ColumnId(1),
+                Value::text(pick(&mut rng, NATIONS).to_string()),
+            ),
             (ColumnId(2), Value::int(rng.gen_range(50..=9000))),
             (ColumnId(3), Value::bool(rng.gen_bool(0.4))),
         ]));
@@ -216,7 +249,11 @@ pub fn movies_universe(seed: u64, n: usize) -> GroundTruth {
     let mut rows = Vec::with_capacity(n);
     let mut used = HashSet::new();
     while rows.len() < n {
-        let title = format!("The {} {}", pick(&mut rng, &adjectives), pick(&mut rng, &nouns));
+        let title = format!(
+            "The {} {}",
+            pick(&mut rng, &adjectives),
+            pick(&mut rng, &nouns)
+        );
         let year = rng.gen_range(1960..=2013i64);
         if !used.insert((title.clone(), year)) {
             continue;

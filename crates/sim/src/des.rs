@@ -34,7 +34,11 @@ pub struct SimConfig {
 impl SimConfig {
     /// Defaults mirroring the paper's representative run: majority-of-three
     /// scoring, $10 budget, dual-weighted allocation.
-    pub fn new(universe: GroundTruth, template: Template, profiles: Vec<WorkerProfile>) -> SimConfig {
+    pub fn new(
+        universe: GroundTruth,
+        template: Template,
+        profiles: Vec<WorkerProfile>,
+    ) -> SimConfig {
         SimConfig {
             universe,
             template,
@@ -157,7 +161,11 @@ pub fn run(cfg: SimConfig) -> RunReport {
     let mut queue: BinaryHeap<Reverse<(u64, u64, usize)>> = BinaryHeap::new();
     let mut events: Vec<Option<EventKind>> = Vec::new();
     let mut seq = 0u64;
-    let mut push = |queue: &mut BinaryHeap<_>, events: &mut Vec<Option<EventKind>>, t: u64, w: usize, kind: EventKind| {
+    let mut push = |queue: &mut BinaryHeap<_>,
+                    events: &mut Vec<Option<EventKind>>,
+                    t: u64,
+                    w: usize,
+                    kind: EventKind| {
         let id = events.len();
         events.push(Some(kind));
         queue.push(Reverse((t, seq, id | (w << 32))));
@@ -185,7 +193,9 @@ pub fn run(cfg: SimConfig) -> RunReport {
         now = t;
         let widx = packed >> 32;
         let eid = packed & 0xFFFF_FFFF;
-        let Some(kind) = events[eid].take() else { continue };
+        let Some(kind) = events[eid].take() else {
+            continue;
+        };
         let worker = &mut workers[widx];
 
         // Absorb everything the server has broadcast to this worker.
@@ -204,7 +214,13 @@ pub fn run(cfg: SimConfig) -> RunReport {
                 match decision {
                     Some((action, latency)) => {
                         let due = t + (latency * 1000.0) as u64;
-                        push(&mut queue, &mut events, due, widx, EventKind::Submit(action));
+                        push(
+                            &mut queue,
+                            &mut events,
+                            due,
+                            widx,
+                            EventKind::Submit(action),
+                        );
                     }
                     None => {
                         let due = t + (worker.profile.idle_backoff.max(0.5) * 1000.0) as u64;

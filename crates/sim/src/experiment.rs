@@ -91,7 +91,12 @@ pub fn paper_setup(seed: u64, target_rows: usize) -> SimConfig {
 
 /// A setup over an arbitrary universe with homogeneous nominal workers —
 /// used by scaling benches.
-pub fn uniform_setup(universe: GroundTruth, target_rows: usize, n_workers: usize, seed: u64) -> SimConfig {
+pub fn uniform_setup(
+    universe: GroundTruth,
+    target_rows: usize,
+    n_workers: usize,
+    seed: u64,
+) -> SimConfig {
     let profiles = (0..n_workers)
         .map(|i| {
             let mut p = WorkerProfile::nominal();

@@ -141,7 +141,10 @@ impl SimWorker {
         scoring: &dyn Scoring,
     ) -> Option<(PlannedAction, f64)> {
         // 1. Voting pass (gated by propensity).
-        if self.rng.gen_bool(self.profile.vote_propensity.clamp(0.0, 1.0)) {
+        if self
+            .rng
+            .gen_bool(self.profile.vote_propensity.clamp(0.0, 1.0))
+        {
             if let Some(action) = self.pick_vote(universe, scoring) {
                 let lat = self.action_latency(&action, universe);
                 return Some((action, lat));
@@ -202,7 +205,9 @@ impl SimWorker {
     ) -> Option<(PlannedAction, f64)> {
         // Respect the worker's own appetite for voting: recommendations
         // guide *which* row to act on, not *whether* to vote.
-        let vote_now = self.rng.gen_bool(self.profile.vote_propensity.clamp(0.0, 1.0));
+        let vote_now = self
+            .rng
+            .gen_bool(self.profile.vote_propensity.clamp(0.0, 1.0));
         for pass in 0..2 {
             for rec in recommendations {
                 use crowdfill_server::RecommendationKind::*;
@@ -256,7 +261,11 @@ impl SimWorker {
             .copied()
             .unwrap_or(5.0);
         Some((
-            PlannedAction::Fill { row: row_id, column, value },
+            PlannedAction::Fill {
+                row: row_id,
+                column,
+                value,
+            },
             self.latency(base),
         ))
     }
@@ -272,8 +281,7 @@ impl SimWorker {
                     if o.auto_upvote {
                         if let crowdfill_model::Message::Upvote { value } = &o.msg {
                             self.voted.insert(value.clone());
-                            if let Some(key) =
-                                value.key_projection(self.client.replica().schema())
+                            if let Some(key) = value.key_projection(self.client.replica().schema())
                             {
                                 self.upvoted_keys.insert(key);
                             }
@@ -307,8 +315,7 @@ impl SimWorker {
                     if o.auto_upvote {
                         if let crowdfill_model::Message::Upvote { value } = &o.msg {
                             self.voted.insert(value.clone());
-                            if let Some(key) =
-                                value.key_projection(self.client.replica().schema())
+                            if let Some(key) = value.key_projection(self.client.replica().schema())
                             {
                                 self.upvoted_keys.insert(key);
                             }
@@ -330,7 +337,11 @@ impl SimWorker {
     /// A vote this worker can confidently cast right now. Rows whose score
     /// is already positive are not upvoted further (workers see the vote
     /// counts in the interface and don't pile onto settled rows).
-    fn pick_vote(&mut self, universe: &GroundTruth, scoring: &dyn Scoring) -> Option<PlannedAction> {
+    fn pick_vote(
+        &mut self,
+        universe: &GroundTruth,
+        scoring: &dyn Scoring,
+    ) -> Option<PlannedAction> {
         for row_id in self.client.presented_rows() {
             if let Some(action) = self.plan_vote_for_row(row_id, universe, scoring) {
                 return Some(action);
@@ -358,9 +369,11 @@ impl SimWorker {
                 return None; // can't judge a row without its key
             };
             // Does the worker know the entity with this key?
-            let known_entity = self.known.iter().copied().find(|&i| {
-                universe.rows[i].key_projection(schema).as_ref() == Some(&key)
-            });
+            let known_entity = self
+                .known
+                .iter()
+                .copied()
+                .find(|&i| universe.rows[i].key_projection(schema).as_ref() == Some(&key));
             match known_entity {
                 Some(entity_idx) => {
                     let entity = &universe.rows[entity_idx];
@@ -401,7 +414,10 @@ impl SimWorker {
                     // sources instead of skipping, so rows built by other
                     // workers can still reach quorum (and fabricated rows
                     // still get refuted).
-                    if !self.rng.gen_bool(self.profile.verify_propensity.clamp(0.0, 1.0)) {
+                    if !self
+                        .rng
+                        .gen_bool(self.profile.verify_propensity.clamp(0.0, 1.0))
+                    {
                         return None;
                     }
                     if value.is_complete(schema) {
@@ -448,7 +464,9 @@ impl SimWorker {
             return known_match;
         }
         if row_value.has_full_key(schema)
-            && self.rng.gen_bool(self.profile.verify_propensity.clamp(0.0, 1.0))
+            && self
+                .rng
+                .gen_bool(self.profile.verify_propensity.clamp(0.0, 1.0))
         {
             return universe.rows.iter().position(|e| e.subsumes(row_value));
         }
@@ -469,21 +487,18 @@ impl SimWorker {
             .iter()
             .filter_map(|(_, e)| e.value.get(first_key))
             .collect();
-        self.known
-            .iter()
-            .copied()
-            .find(|&i| {
-                let entity = &universe.rows[i];
-                if !entity.subsumes(row_value) {
-                    return false;
-                }
-                // If the row already names the entity (leading key filled),
-                // it's the right one regardless of "taken".
-                if row_value.has(first_key) {
-                    return true;
-                }
-                !taken.contains(entity.get(first_key).expect("complete entity"))
-            })
+        self.known.iter().copied().find(|&i| {
+            let entity = &universe.rows[i];
+            if !entity.subsumes(row_value) {
+                return false;
+            }
+            // If the row already names the entity (leading key filled),
+            // it's the right one regardless of "taken".
+            if row_value.has(first_key) {
+                return true;
+            }
+            !taken.contains(entity.get(first_key).expect("complete entity"))
+        })
     }
 
     /// Produces a plausible-but-wrong value for a column.
@@ -491,7 +506,11 @@ impl SimWorker {
         match &correct {
             Value::Int(v) => {
                 let delta = self.rng.gen_range(1..=5i64);
-                Value::Int(if self.rng.gen_bool(0.5) { v + delta } else { (v - delta).max(0) })
+                Value::Int(if self.rng.gen_bool(0.5) {
+                    v + delta
+                } else {
+                    (v - delta).max(0)
+                })
             }
             Value::Bool(b) => Value::Bool(!b),
             Value::Date(d) => {
@@ -502,7 +521,10 @@ impl SimWorker {
                 // Swap in another entity's value for the same column (stays
                 // inside any domain restriction).
                 let i = self.rng.gen_range(0..universe.len());
-                let alt = universe.rows[i].get(column).cloned().unwrap_or_else(|| correct.clone());
+                let alt = universe.rows[i]
+                    .get(column)
+                    .cloned()
+                    .unwrap_or_else(|| correct.clone());
                 if alt == correct {
                     // Give up rather than loop: a "wrong" value equal to the
                     // right one is harmless.
@@ -530,7 +552,12 @@ mod tests {
             history.push(cc.apply_local(&Operation::Insert).unwrap());
         }
         (
-            WorkerClient::new(WorkerId(1), ClientId(1), Arc::clone(&universe.schema), &history),
+            WorkerClient::new(
+                WorkerId(1),
+                ClientId(1),
+                Arc::clone(&universe.schema),
+                &history,
+            ),
             history,
         )
     }
@@ -551,7 +578,9 @@ mod tests {
         let gt = soccer_universe(1, 100);
         let (client, _) = seeded_client(&gt, 2);
         let mut w = SimWorker::new(WorkerProfile::nominal(), client, &gt, 9);
-        let (action, lat) = w.decide(&gt, &crowdfill_model::QuorumMajority::of_three()).expect("worker knows plenty");
+        let (action, lat) = w
+            .decide(&gt, &crowdfill_model::QuorumMajority::of_three())
+            .expect("worker knows plenty");
         match action {
             PlannedAction::Fill { column, .. } => {
                 assert!(gt.schema.is_key(column), "key columns first");
@@ -590,7 +619,8 @@ mod tests {
 
         // Build one correct complete row and one corrupted complete row via
         // a second client.
-        let mut other = WorkerClient::new(WorkerId(2), ClientId(2), Arc::clone(&gt.schema), &history);
+        let mut other =
+            WorkerClient::new(WorkerId(2), ClientId(2), Arc::clone(&gt.schema), &history);
         let rows: Vec<RowId> = other.replica().table().row_ids().collect();
         let correct = &gt.rows[0];
         let mut target = rows[0];
@@ -649,7 +679,10 @@ mod tests {
         let (client, _) = seeded_client(&gt, 1);
         let mut w = SimWorker::new(WorkerProfile::nominal(), client, &gt, 9);
         assert_ne!(w.corrupt(Value::int(83), ColumnId(3), &gt), Value::int(83));
-        assert_eq!(w.corrupt(Value::bool(true), ColumnId(3), &gt), Value::bool(false));
+        assert_eq!(
+            w.corrupt(Value::bool(true), ColumnId(3), &gt),
+            Value::bool(false)
+        );
         let d = Value::date(1987, 6, 24);
         assert_ne!(w.corrupt(d.clone(), ColumnId(5), &gt), d);
     }

@@ -35,9 +35,21 @@ fn paper_run_reaches_fulfillment() {
             })
             .unwrap_or(0)
     };
-    assert!(metric("crowdfill_sync_ops_applied") > 0, "{}", report.metrics_snapshot);
-    assert!(metric("crowdfill_sync_ops_processed") > 0, "{}", report.metrics_snapshot);
-    assert!(metric("crowdfill_sim_events_processed") > 0, "{}", report.metrics_snapshot);
+    assert!(
+        metric("crowdfill_sync_ops_applied") > 0,
+        "{}",
+        report.metrics_snapshot
+    );
+    assert!(
+        metric("crowdfill_sync_ops_processed") > 0,
+        "{}",
+        report.metrics_snapshot
+    );
+    assert!(
+        metric("crowdfill_sim_events_processed") > 0,
+        "{}",
+        report.metrics_snapshot
+    );
 }
 
 #[test]

@@ -247,8 +247,10 @@ mod tests {
             .unwrap();
         h.drain();
         // Both clients fill different columns of the same row concurrently.
-        h.client_op(0, &Operation::fill(row, ColumnId(0), "x")).unwrap();
-        h.client_op(1, &Operation::fill(row, ColumnId(1), "y")).unwrap();
+        h.client_op(0, &Operation::fill(row, ColumnId(0), "x"))
+            .unwrap();
+        h.client_op(1, &Operation::fill(row, ColumnId(1), "y"))
+            .unwrap();
         h.drain();
         assert!(h.converged());
         assert_eq!(h.server().table().len(), 2); // forked, per the model
@@ -264,9 +266,12 @@ mod tests {
             .creates_row()
             .unwrap();
         h.drain();
-        h.client_op(0, &Operation::fill(row, ColumnId(0), "x")).unwrap();
-        h.client_op(1, &Operation::fill(row, ColumnId(0), "y")).unwrap();
-        h.client_op(2, &Operation::fill(row, ColumnId(1), "z")).unwrap();
+        h.client_op(0, &Operation::fill(row, ColumnId(0), "x"))
+            .unwrap();
+        h.client_op(1, &Operation::fill(row, ColumnId(0), "y"))
+            .unwrap();
+        h.client_op(2, &Operation::fill(row, ColumnId(1), "z"))
+            .unwrap();
         h.drain_with(|n| n - 1);
         assert!(h.quiesced());
         assert!(h.converged());

@@ -351,7 +351,11 @@ mod tests {
     #[test]
     fn fill_on_filled_column_rejected() {
         let mut r = replica(1);
-        let row = r.apply_local(&Operation::Insert).unwrap().creates_row().unwrap();
+        let row = r
+            .apply_local(&Operation::Insert)
+            .unwrap()
+            .creates_row()
+            .unwrap();
         let row = r
             .apply_local(&Operation::fill(row, ColumnId(0), "Messi"))
             .unwrap()
@@ -376,7 +380,11 @@ mod tests {
     #[test]
     fn fill_validates_schema() {
         let mut r = replica(1);
-        let row = r.apply_local(&Operation::Insert).unwrap().creates_row().unwrap();
+        let row = r
+            .apply_local(&Operation::Insert)
+            .unwrap()
+            .creates_row()
+            .unwrap();
         let err = r
             .apply_local(&Operation::fill(row, ColumnId(0), 42i64))
             .unwrap_err();
@@ -384,7 +392,11 @@ mod tests {
     }
 
     fn complete_row(r: &mut Replica, name: &str) -> RowId {
-        let mut row = r.apply_local(&Operation::Insert).unwrap().creates_row().unwrap();
+        let mut row = r
+            .apply_local(&Operation::Insert)
+            .unwrap()
+            .creates_row()
+            .unwrap();
         for (col, v) in [(0, name), (1, "Argentina"), (2, "FW")] {
             row = r
                 .apply_local(&Operation::fill(row, ColumnId(col), v))
@@ -398,7 +410,11 @@ mod tests {
     #[test]
     fn upvote_requires_complete_row() {
         let mut r = replica(1);
-        let row = r.apply_local(&Operation::Insert).unwrap().creates_row().unwrap();
+        let row = r
+            .apply_local(&Operation::Insert)
+            .unwrap()
+            .creates_row()
+            .unwrap();
         assert_eq!(
             r.apply_local(&Operation::Upvote { row }),
             Err(OpError::RowNotComplete)
@@ -411,7 +427,11 @@ mod tests {
     #[test]
     fn downvote_requires_partial_row() {
         let mut r = replica(1);
-        let row = r.apply_local(&Operation::Insert).unwrap().creates_row().unwrap();
+        let row = r
+            .apply_local(&Operation::Insert)
+            .unwrap()
+            .creates_row()
+            .unwrap();
         assert_eq!(
             r.apply_local(&Operation::Downvote { row }),
             Err(OpError::RowEmpty)
@@ -455,13 +475,18 @@ mod tests {
     #[test]
     fn replace_inherits_downvotes_of_subsets() {
         let mut r = replica(1);
-        let row = r.apply_local(&Operation::Insert).unwrap().creates_row().unwrap();
+        let row = r
+            .apply_local(&Operation::Insert)
+            .unwrap()
+            .creates_row()
+            .unwrap();
         let partial = r
             .apply_local(&Operation::fill(row, ColumnId(0), "Messi"))
             .unwrap()
             .creates_row()
             .unwrap();
-        r.apply_local(&Operation::Downvote { row: partial }).unwrap();
+        r.apply_local(&Operation::Downvote { row: partial })
+            .unwrap();
         // Extending the downvoted partial row carries the downvote along.
         let extended = r
             .apply_local(&Operation::fill(partial, ColumnId(1), "Brazil"))
@@ -567,8 +592,16 @@ mod tests {
     #[test]
     fn fresh_ids_are_unique_per_client() {
         let mut r = replica(1);
-        let a = r.apply_local(&Operation::Insert).unwrap().creates_row().unwrap();
-        let b = r.apply_local(&Operation::Insert).unwrap().creates_row().unwrap();
+        let a = r
+            .apply_local(&Operation::Insert)
+            .unwrap()
+            .creates_row()
+            .unwrap();
+        let b = r
+            .apply_local(&Operation::Insert)
+            .unwrap()
+            .creates_row()
+            .unwrap();
         assert_ne!(a, b);
         assert_eq!(a.client, ClientId(1));
     }
@@ -602,7 +635,11 @@ mod tests {
     #[test]
     fn failed_ops_have_no_side_effects() {
         let mut r = replica(1);
-        let row = r.apply_local(&Operation::Insert).unwrap().creates_row().unwrap();
+        let row = r
+            .apply_local(&Operation::Insert)
+            .unwrap()
+            .creates_row()
+            .unwrap();
         let snapshot = r.clone();
         let _ = r.apply_local(&Operation::Upvote { row }); // fails: incomplete
         let _ = r.apply_local(&Operation::fill(row, ColumnId(0), 42i64)); // fails: type
@@ -631,7 +668,11 @@ mod undo_tests {
     }
 
     fn complete_row(r: &mut Replica, name: &str) -> RowId {
-        let mut row = r.apply_local(&Operation::Insert).unwrap().creates_row().unwrap();
+        let mut row = r
+            .apply_local(&Operation::Insert)
+            .unwrap()
+            .creates_row()
+            .unwrap();
         for (col, v) in [(0u16, name), (1, "x")] {
             row = r
                 .apply_local(&Operation::fill(row, ColumnId(col), v))
@@ -648,7 +689,11 @@ mod undo_tests {
         let row = complete_row(&mut r, "A");
         r.apply_local(&Operation::Upvote { row }).unwrap();
         assert_eq!(r.table().get(row).unwrap().upvotes, 1);
-        assert_eq!(r.upvote_history().get(&r.table().get(row).unwrap().value.clone()), 1);
+        assert_eq!(
+            r.upvote_history()
+                .get(&r.table().get(row).unwrap().value.clone()),
+            1
+        );
 
         r.apply_local(&Operation::UndoUpvote { row }).unwrap();
         assert_eq!(r.table().get(row).unwrap().upvotes, 0);
@@ -660,13 +705,18 @@ mod undo_tests {
     fn undo_downvote_reverses_subsuming_rows() {
         let mut r = Replica::new(ClientId(1), schema());
         // partial {a: A} plus its completion {a: A, b: x}
-        let row = r.apply_local(&Operation::Insert).unwrap().creates_row().unwrap();
+        let row = r
+            .apply_local(&Operation::Insert)
+            .unwrap()
+            .creates_row()
+            .unwrap();
         let partial = r
             .apply_local(&Operation::fill(row, ColumnId(0), "A"))
             .unwrap()
             .creates_row()
             .unwrap();
-        r.apply_local(&Operation::Downvote { row: partial }).unwrap();
+        r.apply_local(&Operation::Downvote { row: partial })
+            .unwrap();
         let full = r
             .apply_local(&Operation::fill(partial, ColumnId(1), "x"))
             .unwrap()
@@ -678,14 +728,19 @@ mod undo_tests {
         // Undo targets the partial *value*; the partial row is gone but the
         // superset row sheds the inherited downvote.
         // (Rebuild a row with the partial value so the op can address it.)
-        let row2 = r.apply_local(&Operation::Insert).unwrap().creates_row().unwrap();
+        let row2 = r
+            .apply_local(&Operation::Insert)
+            .unwrap()
+            .creates_row()
+            .unwrap();
         let partial2 = r
             .apply_local(&Operation::fill(row2, ColumnId(0), "A"))
             .unwrap()
             .creates_row()
             .unwrap();
         assert_eq!(r.table().get(partial2).unwrap().downvotes, 1); // inherited
-        r.apply_local(&Operation::UndoDownvote { row: partial2 }).unwrap();
+        r.apply_local(&Operation::UndoDownvote { row: partial2 })
+            .unwrap();
         assert_eq!(r.table().get(full).unwrap().downvotes, 0);
         assert_eq!(r.table().get(partial2).unwrap().downvotes, 0);
     }
@@ -729,7 +784,9 @@ mod undo_tests {
         };
         let mut cur = row;
         for (col, v) in [(0u16, "A"), (1, "x")] {
-            let m = a.apply_local(&Operation::fill(cur, ColumnId(col), v)).unwrap();
+            let m = a
+                .apply_local(&Operation::fill(cur, ColumnId(col), v))
+                .unwrap();
             cur = m.creates_row().unwrap();
             relay(&m, &mut b);
         }

@@ -121,7 +121,14 @@ fn run_script(n_clients: u32, script: &[(usize, Action)], seed: u64) -> Hub {
                 }
                 let col = empties[col_pick % empties.len()];
                 let v = value_for(col, *value_pick);
-                let _ = hub.client_op(i, &Operation::Fill { row, column: col, value: v });
+                let _ = hub.client_op(
+                    i,
+                    &Operation::Fill {
+                        row,
+                        column: col,
+                        value: v,
+                    },
+                );
             }
             Action::Upvote { row_pick } => {
                 let rows: Vec<_> = hub.client(i).table().row_ids().collect();

@@ -83,5 +83,8 @@ fn main() {
             dual.weights.z[i]
         );
     }
-    println!("  upvote: y = {:.2}s, downvote: y = {:.2}s", dual.weights.upvote, dual.weights.downvote);
+    println!(
+        "  upvote: y = {:.2}s, downvote: y = {:.2}s",
+        dual.weights.upvote, dual.weights.downvote
+    );
 }

@@ -119,8 +119,10 @@ fn main() {
         .expect("wrong row still visible");
     let out = alice.undo_upvote(wrong).unwrap();
     send(&mut t, &mut backend, w1, vec![out]);
-    println!("
-Alice retracts her auto-upvote on the wrong row, freeing her key slot.");
+    println!(
+        "
+Alice retracts her auto-upvote on the wrong row, freeing her key slot."
+    );
     let corrected = alice
         .presented_rows()
         .into_iter()

@@ -53,7 +53,10 @@ fn main() {
     let (a1, _) = market.accept(hit, "AMZN-ALICE").unwrap();
     let (a2, _) = market.accept(hit, "AMZN-BOB").unwrap();
 
-    let players = [("Lionel Messi", "Argentina", "FW"), ("Neymar", "Brazil", "FW")];
+    let players = [
+        ("Lionel Messi", "Argentina", "FW"),
+        ("Neymar", "Brazil", "FW"),
+    ];
 
     // Step 4: workers perform actions until the constraints are fulfilled.
     let alice_handle = std::thread::spawn(move || {
@@ -89,7 +92,10 @@ fn main() {
         estimated
     });
     let alice_estimated = alice_handle.join().unwrap();
-    obs_info!("example", "alice: finished filling (estimated ${alice_estimated:.2})");
+    obs_info!(
+        "example",
+        "alice: finished filling (estimated ${alice_estimated:.2})"
+    );
 
     // Bob verifies and endorses both rows.
     let mut bob = RemoteWorker::connect(addr).unwrap();
@@ -111,7 +117,11 @@ fn main() {
             .collect();
         for row in complete {
             if let Ok(ack) = bob.upvote(row) {
-                obs_info!("example", "bob: upvoted a row (estimated ${:.2})", ack.estimate);
+                obs_info!(
+                    "example",
+                    "bob: upvoted a row (estimated ${:.2})",
+                    ack.estimate
+                );
                 fulfilled = ack.fulfilled;
             }
         }

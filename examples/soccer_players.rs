@@ -41,7 +41,12 @@ fn main() {
 
     println!("\n=== Final table ===");
     for r in report.final_table.rows() {
-        println!("  {} [↑{} ↓{}]", r.value.display(&schema), r.upvotes, r.downvotes);
+        println!(
+            "  {} [↑{} ↓{}]",
+            r.value.display(&schema),
+            r.upvotes,
+            r.downvotes
+        );
     }
 
     println!("\n=== Worker compensation (dual-weighted, $10 budget) ===");

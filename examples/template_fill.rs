@@ -51,14 +51,26 @@ fn main() {
                 }
             })
             .collect();
-        println!("  t{}: {}", i, if entries.is_empty() { "(empty)".into() } else { entries.join(", ") });
+        println!(
+            "  t{}: {}",
+            i,
+            if entries.is_empty() {
+                "(empty)".into()
+            } else {
+                entries.join(", ")
+            }
+        );
     }
 
     let profiles = vec![WorkerProfile::nominal(); 4];
     let cfg = SimConfig::new(universe, template.clone(), profiles).with_seed(99);
     let report = run_simulation(cfg);
 
-    println!("\nfulfilled: {} in {:.0}s (simulated)", report.fulfilled, report.elapsed.seconds());
+    println!(
+        "\nfulfilled: {} in {:.0}s (simulated)",
+        report.fulfilled,
+        report.elapsed.seconds()
+    );
     println!("final table:");
     for r in report.final_table.rows() {
         println!("  {}", r.value.display(&schema));

@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Compares two bench-report output files (BENCH_sync.json / BENCH_matching.json
+# shape: one result object per line) and fails on median regressions.
+#
+# Usage: bench_compare.sh BASELINE.json CURRENT.json [THRESHOLD_PCT]
+#
+# For every benchmark name present in both files, the current
+# median_ns_per_op may exceed the baseline by at most THRESHOLD_PCT
+# (default 15). Names present in only one file are reported but never fail
+# the comparison (benches come and go across commits).
+#
+# Exit codes: 0 — no regression; 1 — at least one regression; 2 — usage or
+# unreadable input.
+set -euo pipefail
+
+if [ "$#" -lt 2 ] || [ "$#" -gt 3 ]; then
+  echo "usage: $0 BASELINE.json CURRENT.json [THRESHOLD_PCT]" >&2
+  exit 2
+fi
+baseline="$1"
+current="$2"
+threshold="${3:-15}"
+
+for f in "$baseline" "$current"; do
+  if [ ! -r "$f" ]; then
+    echo "bench_compare: cannot read $f" >&2
+    exit 2
+  fi
+done
+
+# Extracts "name median_ns_per_op" pairs from the one-object-per-line format.
+extract() {
+  sed -n 's/.*"name": "\([^"]*\)", "median_ns_per_op": \([0-9][0-9]*\).*/\1 \2/p' "$1"
+}
+
+extract "$baseline" | sort > /tmp/bench_compare_base.$$
+extract "$current" | sort > /tmp/bench_compare_cur.$$
+trap 'rm -f /tmp/bench_compare_base.$$ /tmp/bench_compare_cur.$$' EXIT
+
+if [ ! -s /tmp/bench_compare_base.$$ ] || [ ! -s /tmp/bench_compare_cur.$$ ]; then
+  echo "bench_compare: no results parsed (wrong file format?)" >&2
+  exit 2
+fi
+
+status=0
+join /tmp/bench_compare_base.$$ /tmp/bench_compare_cur.$$ | awk -v pct="$threshold" '
+  {
+    name = $1; base = $2; cur = $3
+    limit = base * (1 + pct / 100.0)
+    delta = (cur - base) * 100.0 / base
+    if (cur > limit) {
+      printf "REGRESSION  %-44s %12d -> %12d ns/op (%+.1f%%, limit +%s%%)\n", name, base, cur, delta, pct
+      fail = 1
+    } else {
+      printf "ok          %-44s %12d -> %12d ns/op (%+.1f%%)\n", name, base, cur, delta
+    }
+  }
+  END { exit fail ? 1 : 0 }
+' || status=$?
+
+# Names only on one side are informational.
+join -v 1 /tmp/bench_compare_base.$$ /tmp/bench_compare_cur.$$ | awk '{ printf "removed     %s\n", $1 }'
+join -v 2 /tmp/bench_compare_base.$$ /tmp/bench_compare_cur.$$ | awk '{ printf "added       %s\n", $1 }'
+
+exit "$status"

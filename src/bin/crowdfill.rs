@@ -62,8 +62,12 @@ fn parse_scheme(s: &str) -> Option<Scheme> {
 }
 
 fn cmd_simulate(args: &[String]) -> i32 {
-    let rows: usize = flag(args, "--rows").and_then(|v| v.parse().ok()).unwrap_or(20);
-    let seed: u64 = flag(args, "--seed").and_then(|v| v.parse().ok()).unwrap_or(2014);
+    let rows: usize = flag(args, "--rows")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20);
+    let seed: u64 = flag(args, "--seed")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2014);
     let scheme = flag(args, "--scheme")
         .and_then(|v| parse_scheme(&v))
         .unwrap_or(Scheme::DualWeighted);
@@ -97,14 +101,11 @@ fn cmd_simulate(args: &[String]) -> i32 {
 fn load_spec(path: &str) -> Result<TaskConfig, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
     let json = Json::parse(&text).map_err(|e| format!("parsing {path}: {e}"))?;
-    let schema = wire::schema_from_json(
-        json.get("schema").ok_or("spec missing \"schema\"")?,
-    )
-    .map_err(|e| e.to_string())?;
-    let template = wire::template_from_json(
-        json.get("template").ok_or("spec missing \"template\"")?,
-    )
-    .map_err(|e| e.to_string())?;
+    let schema = wire::schema_from_json(json.get("schema").ok_or("spec missing \"schema\"")?)
+        .map_err(|e| e.to_string())?;
+    let template =
+        wire::template_from_json(json.get("template").ok_or("spec missing \"template\"")?)
+            .map_err(|e| e.to_string())?;
     let scoring: ScoringRef = match json.get("scoring").and_then(Json::as_str) {
         Some("difference") => Arc::new(crowdfill::model::Difference),
         Some("quorum-majority") | None => Arc::new(QuorumMajority::of_three()),

@@ -98,9 +98,9 @@ pub use crowdfill_sync as sync;
 pub mod prelude {
     pub use crowdfill_constraints::{classify_rows, probable_rows, PriMaintainer, ProbableStatus};
     pub use crowdfill_model::{
-        derive_final_table, CandidateTable, ClientId, Column, ColumnId, DataType, Date,
-        Difference, Entry, FinalTable, Message, Operation, Predicate, QuorumMajority, RowId,
-        RowValue, Schema, Scoring, ScoringRef, Template, TemplateRow, Value,
+        derive_final_table, CandidateTable, ClientId, Column, ColumnId, DataType, Date, Difference,
+        Entry, FinalTable, Message, Operation, Predicate, QuorumMajority, RowId, RowValue, Schema,
+        Scoring, ScoringRef, Template, TemplateRow, Value,
     };
     pub use crowdfill_pay::{
         allocate, analyze, earning_curve, earning_instability, mape, Estimator, Millis, Payout,

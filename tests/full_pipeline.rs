@@ -54,9 +54,7 @@ fn five_step_lifecycle_end_to_end() {
     for (i, a) in assignments.iter().enumerate() {
         market.submit(*a).unwrap();
         let w = WorkerId(i as u32 + 1);
-        market
-            .pay_bonus(*a, report.payout.worker_total(w))
-            .unwrap();
+        market.pay_bonus(*a, report.payout.worker_total(w)).unwrap();
     }
     let paid: f64 = market.total_paid();
     assert!(paid > 0.0);
@@ -171,7 +169,11 @@ fn paper_running_example_through_the_stack() {
     );
 
     // Votes: Messi +1 (auto) +1; MF-variant to score 3; FW-variant stays 2↑1↓.
-    let mut vote = |backend: &mut Backend, clients: &mut Vec<WorkerClient>, who: usize, row: RowId, up: bool| {
+    let mut vote = |backend: &mut Backend,
+                    clients: &mut Vec<WorkerClient>,
+                    who: usize,
+                    row: RowId,
+                    up: bool| {
         t += 500;
         let out = if up {
             clients[who].upvote(row).unwrap()
@@ -232,8 +234,12 @@ fn predicates_constraint_collection() {
         TemplateRow::empty(),
         TemplateRow::empty(),
     ]);
-    let cfg = SimConfig::new(universe, template.clone(), vec![WorkerProfile::nominal(); 3])
-        .with_seed(6);
+    let cfg = SimConfig::new(
+        universe,
+        template.clone(),
+        vec![WorkerProfile::nominal(); 3],
+    )
+    .with_seed(6);
     let report = run_simulation(cfg);
     assert!(report.fulfilled);
     assert!(template.satisfied_by(&report.final_table));

@@ -89,7 +89,10 @@ impl Bencher {
             n = n.saturating_mul(if elapsed.is_zero() {
                 16
             } else {
-                2.max((MEASURE_TARGET.as_nanos() / (SAMPLES as u128) / elapsed.as_nanos().max(1)) as u64)
+                2.max(
+                    (MEASURE_TARGET.as_nanos() / (SAMPLES as u128) / elapsed.as_nanos().max(1))
+                        as u64,
+                )
             });
         }
         let mut samples = Vec::with_capacity(SAMPLES);
@@ -125,7 +128,8 @@ impl Bencher {
         if per_round.is_zero() {
             per_round = Duration::from_nanos(1);
         }
-        let rounds = ((MEASURE_TARGET.as_nanos() / (SAMPLES as u128) / per_round.as_nanos()) as usize)
+        let rounds = ((MEASURE_TARGET.as_nanos() / (SAMPLES as u128) / per_round.as_nanos())
+            as usize)
             .clamp(1, 1 << 16);
         let mut samples = Vec::with_capacity(SAMPLES);
         for _ in 0..SAMPLES {

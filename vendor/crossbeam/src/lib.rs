@@ -276,7 +276,9 @@ pub struct Scope<'scope, 'env: 'scope> {
 impl<'scope, 'env> Scope<'scope, 'env> {
     fn wrap<'a>(inner: &'a std::thread::Scope<'scope, 'env>) -> &'a Scope<'scope, 'env> {
         // SAFETY: repr(transparent) over std::thread::Scope.
-        unsafe { &*(inner as *const std::thread::Scope<'scope, 'env> as *const Scope<'scope, 'env>) }
+        unsafe {
+            &*(inner as *const std::thread::Scope<'scope, 'env> as *const Scope<'scope, 'env>)
+        }
     }
 
     pub fn spawn<F, T>(&'scope self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
@@ -375,10 +377,7 @@ mod tests {
     fn scoped_threads_join_and_borrow() {
         let data = [1u64, 2, 3, 4];
         let total: u64 = super::scope(|s| {
-            let handles: Vec<_> = data
-                .iter()
-                .map(|&x| s.spawn(move |_| x * 2))
-                .collect();
+            let handles: Vec<_> = data.iter().map(|&x| s.spawn(move |_| x * 2)).collect();
             handles.into_iter().map(|h| h.join().unwrap()).sum()
         })
         .unwrap();

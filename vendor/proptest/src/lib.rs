@@ -243,7 +243,9 @@ macro_rules! prop_assert_ne {
         if *l == *r {
             return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
                 "assertion failed: {} != {}\n  both: {:?}",
-                stringify!($left), stringify!($right), l,
+                stringify!($left),
+                stringify!($right),
+                l,
             )));
         }
     }};

@@ -201,7 +201,7 @@ fn parse_escape(chars: &mut Vec<char>, pattern: &str) -> Class {
 /// emoji so non-ASCII paths get exercised.
 fn not_control_class() -> Class {
     vec![
-        (0x20, 0x7E),       // ASCII printable (repeated for weight)
+        (0x20, 0x7E), // ASCII printable (repeated for weight)
         (0x20, 0x7E),
         (0x20, 0x7E),
         (0xA1, 0xFF),       // Latin-1 supplement
