@@ -10,11 +10,13 @@
 //! `--quick` shrinks the workload and repetition count for CI smoke runs;
 //! the numbers are noisier but the file format is identical.
 
+use crowdfill_bench::overload::{run_schedule, HarnessOptions, ScenarioReport};
 use crowdfill_bench::workload::{
     record_fill_workload, replay_batched, replay_singleton, sharded_graph,
 };
 use crowdfill_docstore::{FsyncPolicy, Wal};
 use crowdfill_matching::Parallelism;
+use crowdfill_sim::openloop;
 use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::time::Instant;
@@ -172,6 +174,79 @@ fn matching_suite(quick: bool) -> Vec<Entry> {
     entries
 }
 
+/// The overload stress suite: seeded open-loop storms against a tiny
+/// admission bound (DESIGN.md §9). Every scenario's invariants — bounded
+/// queue depth, zero acked loss — are asserted, so a regression fails the
+/// report run rather than just shifting a number.
+fn overload_suite(quick: bool) -> Vec<ScenarioReport> {
+    let seeds: &[u64] = if quick { &[11] } else { &[11, 47, 101] };
+    let mut reports = Vec::new();
+    for &seed in seeds {
+        let mut burst_opts = HarnessOptions::tiny(32, 3);
+        burst_opts.overload.max_queue = 4;
+        burst_opts.overload.spec_queue = 2;
+        reports.push(run_schedule(
+            &openloop::burst(seed, 32, 3, 10, 300),
+            &burst_opts,
+        ));
+
+        let mut ramp_opts = HarnessOptions::tiny(16, 6);
+        ramp_opts.overload.max_queue = 4;
+        reports.push(run_schedule(&openloop::ramp(seed, 16, 96, 400), &ramp_opts));
+
+        let mut stall_opts = HarnessOptions::tiny(8, 8);
+        stall_opts.overload.writer_pace = Some(std::time::Duration::from_millis(100));
+        stall_opts.overload.write_buffer_frames = 4;
+        stall_opts.overload.evict_after = std::time::Duration::from_millis(50);
+        reports.push(run_schedule(
+            &openloop::stalled_reader(seed, 8, 8, 400, 2),
+            &stall_opts,
+        ));
+
+        reports.push(run_schedule(
+            &openloop::thundering_herd(seed, 12, 5, 400, 150),
+            &HarnessOptions::tiny(12, 5),
+        ));
+    }
+    for r in &reports {
+        r.assert_invariants();
+        eprintln!(
+            "{:<28} offered {:>4} acked {:>4} rejects {:>4} sheds {:>3} evictions {:>2} p99 {:>5}ms depth {:>3}/{}",
+            format!("{}/seed={}", r.scenario, r.seed),
+            r.offered,
+            r.acked,
+            r.admission_rejects,
+            r.sheds,
+            r.evictions,
+            r.p99_ack_ms,
+            r.max_queue_depth,
+            r.queue_bound,
+        );
+    }
+    reports
+}
+
+fn write_overload_report(path: &Path, quick: bool, reports: &[ScenarioReport]) {
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir).ok();
+    }
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"suite\": \"overload\",\n");
+    out.push_str("  \"generated_by\": \"bench-report\",\n");
+    out.push_str(&format!("  \"quick\": {quick},\n"));
+    out.push_str("  \"results\": [\n");
+    for (i, r) in reports.iter().enumerate() {
+        out.push_str(&r.json_line());
+        out.push_str(if i + 1 < reports.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    let mut f = std::fs::File::create(path)
+        .unwrap_or_else(|e| panic!("cannot create {}: {e}", path.display()));
+    f.write_all(out.as_bytes()).unwrap();
+    eprintln!("wrote {}", path.display());
+}
+
 fn main() {
     let mut quick = false;
     let mut out_dir = PathBuf::from(".");
@@ -200,6 +275,9 @@ fn main() {
         quick,
         &matching,
     );
+
+    let overload = overload_suite(quick);
+    write_overload_report(&out_dir.join("BENCH_overload.json"), quick, &overload);
 
     // Surface the acceptance ratio so a human skimming CI logs sees it.
     let find = |name: &str| {

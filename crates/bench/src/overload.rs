@@ -1,0 +1,506 @@
+//! The deterministic overload harness: replays a seeded open-loop
+//! [`Schedule`](crowdfill_sim::openloop::Schedule) against a *real*
+//! [`TcpService`] and reports what the overload-protection layer did
+//! (DESIGN.md §9).
+//!
+//! Each schedule worker runs on its own thread and connection, submitting
+//! its arrivals on the schedule's wall clock — not waiting for the server
+//! to be ready for them — so offered load genuinely exceeds capacity when
+//! the schedule says it should. The scenario events ride along: stalled
+//! readers are extra connections that hello and then never read their
+//! socket; a herd disconnect forcibly drops every connection mid-run via
+//! [`TcpService::disconnect_all`].
+//!
+//! The report carries the three acceptance properties the stress tests and
+//! `BENCH_overload.json` assert:
+//!
+//! 1. **bounded queues** — the pipeline depth gauge never exceeded
+//!    `max_queue` plus one in-flight submission per connection;
+//! 2. **bounded ack latency** — p99 time-to-ack over admitted (acked)
+//!    submissions;
+//! 3. **zero acked loss** — every fill the server acked is present in the
+//!    master table when a fresh verifier connects afterwards.
+
+use crowdfill_model::{Column, ColumnId, DataType, QuorumMajority, RowId, Schema, Template, Value};
+use crowdfill_net::{FrameConn, TcpConn};
+use crowdfill_obs::metrics;
+use crowdfill_server::{
+    Backend, BatchOptions, OverloadOptions, ReconnectPolicy, RemoteError, RemoteWorker,
+    ServiceOptions, TaskConfig, TcpService,
+};
+use crowdfill_sim::openloop::Schedule;
+use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Harness configuration: the service under stress and the client budget.
+#[derive(Debug, Clone)]
+pub struct HarnessOptions {
+    /// Rows in the collection (the template cardinality); sized so the
+    /// schedule cannot run out of empty rows to anchor fills in.
+    pub rows: usize,
+    /// The overload knobs under test.
+    pub overload: OverloadOptions,
+    /// The batch pipeline configuration.
+    pub batch: BatchOptions,
+    /// Per-client reconnect/retry budget (also the overload retry budget).
+    pub max_attempts: u32,
+}
+
+impl HarnessOptions {
+    /// A deliberately tiny server — `max_queue` far below the schedule's
+    /// concurrency — so a modest storm is 4x+ the admission bound.
+    pub fn tiny(workers: usize, ops_per_worker: usize) -> HarnessOptions {
+        HarnessOptions {
+            rows: workers * ops_per_worker + workers,
+            overload: OverloadOptions {
+                max_queue: 8,
+                spec_queue: 2,
+                shed_after: Duration::from_millis(250),
+                retry_after_base: Duration::from_millis(5),
+                write_buffer_frames: 8,
+                evict_after: Duration::from_millis(150),
+                writer_pace: None,
+            },
+            batch: BatchOptions {
+                max_batch: 16,
+                max_wait: Duration::from_millis(2),
+            },
+            max_attempts: 8,
+        }
+    }
+}
+
+/// One acked fill: the row anchor (the unique text acked into column 0),
+/// the column, and the value the server acknowledged.
+#[derive(Debug, Clone)]
+struct AckedCell {
+    anchor: String,
+    column: ColumnId,
+    value: Value,
+}
+
+/// What one scenario run did, in the terms the acceptance gate asserts.
+#[derive(Debug, Clone)]
+pub struct ScenarioReport {
+    pub scenario: String,
+    pub seed: u64,
+    /// Scheduled submissions (open-loop offered load).
+    pub offered: usize,
+    /// Fills the server acked (and therefore guarantees).
+    pub acked: usize,
+    /// Fills the client gave up on after its overload retry budget.
+    pub overload_give_ups: usize,
+    /// Rejections/op conflicts (e.g. two workers anchoring one row) and
+    /// arrivals skipped for want of an empty row — acceptable outcomes.
+    pub op_failures: usize,
+    /// Connection-level failures that exhausted the reconnect budget.
+    pub fatal: usize,
+    /// Highest pipeline queue depth the sampler saw.
+    pub max_queue_depth: i64,
+    /// The depth the run must not have exceeded (`max_queue` + one
+    /// in-flight submission per connection, from the conservative
+    /// admission pre-increment).
+    pub queue_bound: i64,
+    /// Server-side overload counters, as deltas over the run.
+    pub admission_rejects: u64,
+    pub sheds: u64,
+    pub lag_downgrades: u64,
+    pub evictions: u64,
+    /// Client-side overload backoffs taken (deltas over the run).
+    pub client_backoffs: u64,
+    /// p99 of client-observed time-to-ack over acked fills, ms.
+    pub p99_ack_ms: u64,
+    /// Acked fills missing from the master at verification. MUST be 0.
+    pub acked_lost: usize,
+}
+
+impl ScenarioReport {
+    /// One JSON line for `BENCH_overload.json`.
+    pub fn json_line(&self) -> String {
+        format!(
+            "    {{\"name\": \"{}/seed={}\", \"offered\": {}, \"acked\": {}, \"overload_give_ups\": {}, \
+             \"op_failures\": {}, \"max_queue_depth\": {}, \"queue_bound\": {}, \
+             \"admission_rejects\": {}, \"sheds\": {}, \"lag_downgrades\": {}, \"evictions\": {}, \
+             \"client_backoffs\": {}, \"p99_ack_ms\": {}, \"acked_lost\": {}}}",
+            self.scenario,
+            self.seed,
+            self.offered,
+            self.acked,
+            self.overload_give_ups,
+            self.op_failures,
+            self.max_queue_depth,
+            self.queue_bound,
+            self.admission_rejects,
+            self.sheds,
+            self.lag_downgrades,
+            self.evictions,
+            self.client_backoffs,
+            self.p99_ack_ms,
+            self.acked_lost
+        )
+    }
+
+    /// The invariants every scenario must satisfy, panicking with context
+    /// on violation. Latency is asserted by the caller (it knows the
+    /// scenario's budget); loss and queue bounds are universal.
+    pub fn assert_invariants(&self) {
+        assert_eq!(
+            self.acked_lost, 0,
+            "{}/seed={}: {} acked submissions missing from master",
+            self.scenario, self.seed, self.acked_lost
+        );
+        assert!(
+            self.max_queue_depth <= self.queue_bound,
+            "{}/seed={}: queue depth {} exceeded bound {}",
+            self.scenario,
+            self.seed,
+            self.max_queue_depth,
+            self.queue_bound
+        );
+        assert!(
+            self.fatal == 0,
+            "{}/seed={}: {} workers exhausted their reconnect budget",
+            self.scenario,
+            self.seed,
+            self.fatal
+        );
+        let outcomes = self.acked + self.overload_give_ups + self.op_failures;
+        assert_eq!(
+            outcomes, self.offered,
+            "{}/seed={}: outcomes {} != offered {}",
+            self.scenario, self.seed, outcomes, self.offered
+        );
+    }
+}
+
+fn harness_config(rows: usize) -> TaskConfig {
+    let schema = Arc::new(
+        Schema::new(
+            "StressRow",
+            vec![
+                Column::new("anchor", DataType::Text),
+                Column::new("alpha", DataType::Text),
+                Column::new("beta", DataType::Text),
+            ],
+            &["anchor"],
+        )
+        .unwrap(),
+    );
+    TaskConfig::new(
+        schema,
+        Arc::new(QuorumMajority::of_three()),
+        Template::cardinality(rows),
+        10.0,
+    )
+}
+
+fn plain_dialer(addr: std::net::SocketAddr) -> crowdfill_server::Dialer {
+    Box::new(move |_attempt| TcpConn::connect(addr).map(|c| Box::new(c) as Box<dyn FrameConn>))
+}
+
+fn policy(seed: u64, max_attempts: u32) -> ReconnectPolicy {
+    ReconnectPolicy {
+        max_attempts,
+        base_delay: Duration::from_millis(1),
+        max_delay: Duration::from_millis(30),
+        ack_timeout: Duration::from_millis(1500),
+        jitter_seed: seed,
+    }
+}
+
+fn find_row_with(w: &RemoteWorker, col: ColumnId, val: &Value) -> Option<RowId> {
+    w.view()
+        .replica()
+        .table()
+        .iter()
+        .find(|(_, e)| e.value.get(col) == Some(val))
+        .map(|(id, _)| id)
+}
+
+/// Per-worker outcome tally plus the acked cells to verify.
+#[derive(Default)]
+struct WorkerOutcome {
+    acked: Vec<AckedCell>,
+    ack_latencies_ms: Vec<u64>,
+    overload_give_ups: usize,
+    op_failures: usize,
+    fatal: usize,
+}
+
+/// Replays one worker's arrivals: anchor a fresh row (unique text into
+/// column 0), then fill its remaining columns, one cell per arrival.
+fn run_worker(
+    addr: std::net::SocketAddr,
+    schedule: &Schedule,
+    worker_ix: usize,
+    start: Instant,
+    opts: &HarnessOptions,
+) -> WorkerOutcome {
+    let mut out = WorkerOutcome::default();
+    let seed = schedule.seed ^ (worker_ix as u64).wrapping_mul(0x9E37_79B9);
+    let mut w =
+        match RemoteWorker::connect_with(plain_dialer(addr), policy(seed, opts.max_attempts)) {
+            Ok(w) => w,
+            Err(_) => {
+                out.fatal = schedule.for_worker(worker_ix).count();
+                return out;
+            }
+        };
+
+    // (anchor text, row) of the row currently being filled, plus the next
+    // column due; `None` means the next arrival anchors a fresh row.
+    let mut current: Option<(String, RowId)> = None;
+    let mut next_col: u16 = 1;
+    let mut anchored = 0usize;
+
+    for arrival in schedule.for_worker(worker_ix) {
+        let due = start + Duration::from_millis(arrival.at_ms);
+        if let Some(wait) = due.checked_duration_since(Instant::now()) {
+            std::thread::sleep(wait);
+        }
+        w.absorb_pending();
+
+        let began = Instant::now();
+        let result = match &current {
+            None => {
+                // Anchor: claim a presented row whose anchor column is
+                // still empty in our view (others may have part-filled
+                // rows that are presented for completion).
+                let row = w.view().presented_rows().iter().copied().find(|r| {
+                    w.view()
+                        .replica()
+                        .table()
+                        .get(*r)
+                        .is_none_or(|e| !e.value.has(ColumnId(0)))
+                });
+                let Some(row) = row else {
+                    out.op_failures += 1;
+                    continue;
+                };
+                let anchor = format!("w{worker_ix}-r{anchored}");
+                anchored += 1;
+                let val = Value::text(anchor.clone());
+                let r = if arrival.speculative {
+                    w.fill_speculative(row, ColumnId(0), val)
+                } else {
+                    w.fill(row, ColumnId(0), val)
+                };
+                if r.is_ok() {
+                    out.acked.push(AckedCell {
+                        anchor: anchor.clone(),
+                        column: ColumnId(0),
+                        value: Value::text(anchor.clone()),
+                    });
+                    current = Some((anchor, row));
+                    next_col = 1;
+                }
+                r
+            }
+            Some((anchor, _)) => {
+                // A resync (rejection, reconnect) may have rebuilt the
+                // replica; re-find the anchored row by its unique value.
+                let Some(row) = find_row_with(&w, ColumnId(0), &Value::text(anchor.clone())) else {
+                    current = None;
+                    out.op_failures += 1;
+                    continue;
+                };
+                let anchor = anchor.clone();
+                let col = ColumnId(next_col);
+                let val = Value::text(format!("{anchor}-c{next_col}"));
+                let r = if arrival.speculative {
+                    w.fill_speculative(row, col, val.clone())
+                } else {
+                    w.fill(row, col, val.clone())
+                };
+                if r.is_ok() {
+                    out.acked.push(AckedCell {
+                        anchor,
+                        column: col,
+                        value: val,
+                    });
+                    next_col += 1;
+                    if next_col >= 3 {
+                        current = None;
+                    }
+                }
+                r
+            }
+        };
+
+        match result {
+            Ok(_) => out
+                .ack_latencies_ms
+                .push(began.elapsed().as_millis() as u64),
+            Err(RemoteError::Overloaded { .. }) => {
+                // The client retracted and resynced; our row state may be
+                // stale, so start fresh on the next arrival.
+                current = None;
+                out.overload_give_ups += 1;
+            }
+            Err(RemoteError::Rejected(_)) | Err(RemoteError::Op(_)) => {
+                current = None;
+                out.op_failures += 1;
+            }
+            Err(_) => {
+                current = None;
+                out.fatal += 1;
+            }
+        }
+    }
+
+    // Final catch-up so the connection parts cleanly; outcome immaterial.
+    let _ = w.sync();
+    out
+}
+
+/// A connection that says hello and then never reads: broadcast fan-out
+/// toward it must be absorbed by the seat watermark, not server memory.
+/// The connection is held open until dropped.
+fn stalled_reader_conn(addr: std::net::SocketAddr) -> Option<TcpConn> {
+    let conn = TcpConn::connect(addr).ok()?;
+    conn.send(br#"{"type": "hello"}"#).ok()?;
+    // Read the welcome only, so the session is fully registered; every
+    // later broadcast is left to rot in the socket.
+    conn.recv().ok()?;
+    Some(conn)
+}
+
+/// Runs one schedule against a fresh service and reports what happened.
+/// Scenarios are serialized process-wide: the report reads deltas of the
+/// global metrics registry, which concurrent runs would contaminate.
+pub fn run_schedule(schedule: &Schedule, opts: &HarnessOptions) -> ScenarioReport {
+    static SERIAL: Mutex<()> = Mutex::new(());
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+
+    let rejects = metrics::counter("crowdfill_server_overload_rejects");
+    let sheds = metrics::counter("crowdfill_server_sheds");
+    let downgrades = metrics::counter("crowdfill_server_lag_downgrades");
+    let evictions = metrics::counter("crowdfill_server_evictions");
+    let backoffs = metrics::counter("crowdfill_client_overload_backoffs");
+    let depth_gauge = metrics::gauge("crowdfill_server_queue_depth");
+    let before = (
+        rejects.get(),
+        sheds.get(),
+        downgrades.get(),
+        evictions.get(),
+        backoffs.get(),
+    );
+
+    let backend = Backend::new(harness_config(opts.rows));
+    let options = ServiceOptions {
+        idle_timeout: Some(Duration::from_secs(30)),
+        batch: Some(opts.batch.clone()),
+        overload: opts.overload.clone(),
+        ..ServiceOptions::default()
+    };
+    let service = Arc::new(TcpService::start_with(backend, "127.0.0.1:0", options).unwrap());
+    let addr = service.addr();
+
+    // Queue-depth sampler: the bound is asserted on the maximum it saw.
+    let sampling = Arc::new(AtomicBool::new(true));
+    let max_depth = Arc::new(AtomicI64::new(0));
+    let sampler = {
+        let sampling = Arc::clone(&sampling);
+        let max_depth = Arc::clone(&max_depth);
+        std::thread::spawn(move || {
+            while sampling.load(Ordering::Acquire) {
+                max_depth.fetch_max(depth_gauge.get(), Ordering::AcqRel);
+                std::thread::sleep(Duration::from_micros(200));
+            }
+        })
+    };
+
+    // Scenario events: stalled readers connect before the storm...
+    let stalled: Vec<TcpConn> = (0..schedule.stalled_readers)
+        .filter_map(|_| stalled_reader_conn(addr))
+        .collect();
+    assert_eq!(
+        stalled.len(),
+        schedule.stalled_readers,
+        "stalled readers failed to connect"
+    );
+    // ...and the herd disconnect fires mid-run on its own clock.
+    let start = Instant::now();
+    let herd = schedule.herd_disconnect_at_ms.map(|at_ms| {
+        let service = Arc::clone(&service);
+        std::thread::spawn(move || {
+            let due = start + Duration::from_millis(at_ms);
+            if let Some(wait) = due.checked_duration_since(Instant::now()) {
+                std::thread::sleep(wait);
+            }
+            service.disconnect_all()
+        })
+    });
+
+    let outcomes: Vec<WorkerOutcome> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..schedule.workers)
+            .map(|ix| scope.spawn(move || run_worker(addr, schedule, ix, start, opts)))
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    if let Some(h) = herd {
+        let dropped = h.join().unwrap();
+        assert!(dropped > 0, "herd disconnect found no connections to drop");
+    }
+    drop(stalled);
+    sampling.store(false, Ordering::Release);
+    sampler.join().unwrap();
+
+    // Verification: a fresh replica's hello carries the full history —
+    // every acked fill must be in it.
+    let verifier = RemoteWorker::connect(addr).unwrap();
+    let mut acked_lost = 0usize;
+    let mut all_acked = 0usize;
+    let mut latencies: Vec<u64> = Vec::new();
+    for out in &outcomes {
+        all_acked += out.acked.len();
+        latencies.extend_from_slice(&out.ack_latencies_ms);
+        for cell in &out.acked {
+            let anchor = Value::text(cell.anchor.clone());
+            let present = find_row_with(&verifier, ColumnId(0), &anchor).is_some_and(|row| {
+                verifier
+                    .view()
+                    .replica()
+                    .table()
+                    .get(row)
+                    .is_some_and(|e| e.value.get(cell.column) == Some(&cell.value))
+            });
+            if !present {
+                acked_lost += 1;
+            }
+        }
+    }
+    verifier.bye();
+
+    latencies.sort_unstable();
+    let p99_ack_ms = if latencies.is_empty() {
+        0
+    } else {
+        latencies[(latencies.len() * 99 / 100).min(latencies.len() - 1)]
+    };
+
+    let report = ScenarioReport {
+        scenario: schedule.name.to_string(),
+        seed: schedule.seed,
+        offered: schedule.total_ops(),
+        acked: all_acked,
+        overload_give_ups: outcomes.iter().map(|o| o.overload_give_ups).sum(),
+        op_failures: outcomes.iter().map(|o| o.op_failures).sum(),
+        fatal: outcomes.iter().map(|o| o.fatal).sum(),
+        max_queue_depth: max_depth.load(Ordering::Acquire),
+        queue_bound: (opts.overload.max_queue + schedule.workers) as i64,
+        admission_rejects: rejects.get() - before.0,
+        sheds: sheds.get() - before.1,
+        lag_downgrades: downgrades.get() - before.2,
+        evictions: evictions.get() - before.3,
+        client_backoffs: backoffs.get() - before.4,
+        p99_ack_ms,
+        acked_lost,
+    };
+
+    if let Some(service) = Arc::into_inner(service) {
+        service.stop();
+    }
+    report
+}

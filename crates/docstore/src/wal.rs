@@ -115,6 +115,19 @@ impl Wal {
         mut replay: impl FnMut(&[u8]),
     ) -> std::io::Result<Wal> {
         let path = path.as_ref().to_path_buf();
+        // A crash between `compact`'s temp-file write and its rename leaves
+        // a stale sibling `*.wal.tmp`. It was never renamed, so it is not
+        // part of the log — remove the corpse so a later compact can't
+        // collide with it (or, worse, a future reader mistake it for data).
+        let tmp = path.with_extension("wal.tmp");
+        if tmp.exists() {
+            crowdfill_obs::obs_warn!(
+                "docstore",
+                "removing stale compaction temp file: {}",
+                tmp.display()
+            );
+            std::fs::remove_file(&tmp)?;
+        }
         let metrics = WalMetrics::resolve();
         let mut replayed = 0u64;
         let mut valid_len: u64 = 0;
@@ -399,6 +412,33 @@ mod tests {
         let mut seen = Vec::new();
         let _ = Wal::open(&path, |rec| seen.push(rec.to_vec())).unwrap();
         assert_eq!(seen, vec![vec![42], vec![43], vec![44]]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn open_removes_stale_compaction_tmp() {
+        let path = tmp_path("stale-tmp");
+        {
+            let mut wal = Wal::open(&path, |_| {}).unwrap();
+            wal.append(b"kept").unwrap();
+        }
+        // Simulate a crash between compact's temp write and its rename: a
+        // fully-written sibling temp file next to the intact log.
+        let tmp = path.with_extension("wal.tmp");
+        std::fs::write(&tmp, b"half-finished compaction").unwrap();
+        let mut seen = Vec::new();
+        {
+            let mut wal = Wal::open(&path, |rec| seen.push(rec.to_vec())).unwrap();
+            assert_eq!(seen, vec![b"kept".to_vec()], "log contents untouched");
+            assert!(!tmp.exists(), "stale temp file must be removed on open");
+            // A later compact must succeed cleanly where the corpse stood.
+            let keep: Vec<Vec<u8>> = vec![b"compacted".to_vec()];
+            wal.compact(keep.iter().map(Vec::as_slice)).unwrap();
+        }
+        let mut seen2 = Vec::new();
+        let _ = Wal::open(&path, |rec| seen2.push(rec.to_vec())).unwrap();
+        assert_eq!(seen2, vec![b"compacted".to_vec()]);
+        assert!(!tmp.exists());
         std::fs::remove_file(&path).unwrap();
     }
 

@@ -53,6 +53,11 @@ impl NetMetrics {
 /// A framed TCP connection.
 pub struct TcpConn {
     writer: Mutex<TcpStream>,
+    /// A second handle on the socket used by [`TcpConn::shutdown`] and
+    /// `Drop`. Kept outside the `writer` mutex on purpose: a write blocked
+    /// against a stalled peer holds that mutex indefinitely, and forcing
+    /// the connection closed is exactly what unblocks it.
+    closer: TcpStream,
     frames: Receiver<Vec<u8>>,
     peer: SocketAddr,
     /// Set on the first failed send. A failed `write_all` may leave a
@@ -75,6 +80,7 @@ impl TcpConn {
         stream.set_nodelay(true).map_err(io_err)?;
         let peer = stream.peer_addr().map_err(io_err)?;
         let reader = stream.try_clone().map_err(io_err)?;
+        let closer = stream.try_clone().map_err(io_err)?;
         let (tx, frames) = bounded(READER_QUEUE_FRAMES);
         let reader_metrics = NetMetrics::resolve();
         std::thread::Builder::new()
@@ -109,11 +115,23 @@ impl TcpConn {
             .map_err(io_err)?;
         Ok(TcpConn {
             writer: Mutex::new(stream),
+            closer,
             frames,
             peer,
             dead: AtomicBool::new(false),
             metrics: NetMetrics::resolve(),
         })
+    }
+
+    /// Forcibly closes the connection from any thread: marks it dead and
+    /// shuts the socket down, without touching the writer mutex (which a
+    /// write blocked against a stalled peer may hold). The peer sees a
+    /// reset/EOF, our reader thread unblocks, an in-progress `send` fails,
+    /// and every later operation returns `Disconnected`. This is the
+    /// server's eviction lever for slow clients.
+    pub fn shutdown(&self) {
+        self.dead.store(true, Ordering::Release);
+        let _ = self.closer.shutdown(std::net::Shutdown::Both);
     }
 
     /// The peer's address.
@@ -145,10 +163,9 @@ impl Drop for TcpConn {
     fn drop(&mut self) {
         // Close the socket so the peer observes EOF and our reader thread
         // unblocks; without this, the reader's cloned stream would keep the
-        // connection half-open forever.
-        if let Ok(stream) = self.writer.lock() {
-            let _ = stream.shutdown(std::net::Shutdown::Both);
-        }
+        // connection half-open forever. Uses the closer handle — never the
+        // writer mutex, which a blocked send may hold.
+        let _ = self.closer.shutdown(std::net::Shutdown::Both);
     }
 }
 
@@ -344,6 +361,25 @@ mod tests {
             conn.recv_timeout(Duration::from_millis(1)),
             Err(ConnError::Disconnected)
         );
+    }
+
+    #[test]
+    fn shutdown_unblocks_both_sides() {
+        let server = TcpServer::bind("127.0.0.1:0").unwrap();
+        let addr = server.local_addr().unwrap();
+        let conn = TcpConn::connect(addr).unwrap();
+        let accepted = std::sync::Arc::new(server.accept().unwrap());
+        let evictor = std::sync::Arc::clone(&accepted);
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            evictor.shutdown();
+        });
+        // Blocked on a peer that never sends: shutdown must break us out.
+        assert_eq!(conn.recv(), Err(ConnError::Disconnected));
+        handle.join().unwrap();
+        // The shut-down side fails fast on every later operation.
+        assert_eq!(accepted.send(b"x"), Err(ConnError::Disconnected));
+        assert_eq!(accepted.recv(), Err(ConnError::Disconnected));
     }
 
     #[test]

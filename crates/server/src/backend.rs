@@ -82,6 +82,9 @@ pub enum SubmitError {
     Op(OpError),
     /// Data collection already finished.
     CollectionClosed,
+    /// The server's admission queue is full or the op was shed before
+    /// apply; retry after the hinted delay. Never raised after an ack.
+    Overloaded { retry_after_ms: u64 },
 }
 
 impl std::fmt::Display for SubmitError {
@@ -97,6 +100,9 @@ impl std::fmt::Display for SubmitError {
             SubmitError::NoVoteToUndo => write!(f, "no matching vote of yours to undo"),
             SubmitError::Op(e) => write!(f, "invalid operation: {e}"),
             SubmitError::CollectionClosed => write!(f, "data collection is closed"),
+            SubmitError::Overloaded { retry_after_ms } => {
+                write!(f, "server overloaded; retry after {retry_after_ms}ms")
+            }
         }
     }
 }

@@ -14,12 +14,25 @@
 //! Under light load batches degenerate to singletons and the pipeline
 //! behaves exactly like the direct path (plus one thread hop);
 //! [`BatchOptions::max_wait`] can trade latency for fuller batches.
+//!
+//! The queue is the server's admission point (DESIGN.md §9): it is
+//! bounded at [`OverloadOptions::max_queue`] jobs, speculative traffic is
+//! turned away once depth reaches [`OverloadOptions::spec_queue`], and a
+//! job the apply thread picks up after more than
+//! [`OverloadOptions::shed_after`] (+ the fill window) of queue wait is
+//! shed — answered [`SubmitError::Overloaded`] without ever touching the
+//! backend. Shedding therefore always happens *before* the ack: an op
+//! that was acked was applied and journaled, so overload can never lose
+//! acked work.
 
 use crate::backend::{Backend, BatchJob, BatchOp, SubmitError, SubmitReport};
-use crossbeam::channel;
+use crate::overload::{OverloadOptions, Priority};
+use crossbeam::channel::{self, TrySendError};
+use crowdfill_obs::metrics::{counter, gauge, histogram, Counter, Gauge, Histogram};
 use crowdfill_pay::{Millis, WorkerId};
 use parking_lot::Mutex;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 /// Batching knobs for the apply thread.
@@ -43,12 +56,35 @@ impl Default for BatchOptions {
     }
 }
 
-/// One queued submission: the op, its submitter, and the channel its
-/// ack/reject travels back on.
+fn m_queue_depth() -> &'static Arc<Gauge> {
+    static G: OnceLock<Arc<Gauge>> = OnceLock::new();
+    G.get_or_init(|| gauge("crowdfill_server_queue_depth"))
+}
+fn m_overload_rejects() -> &'static Arc<Counter> {
+    static C: OnceLock<Arc<Counter>> = OnceLock::new();
+    C.get_or_init(|| counter("crowdfill_server_overload_rejects"))
+}
+fn m_sheds() -> &'static Arc<Counter> {
+    static C: OnceLock<Arc<Counter>> = OnceLock::new();
+    C.get_or_init(|| counter("crowdfill_server_sheds"))
+}
+fn m_queue_wait() -> &'static Arc<Histogram> {
+    static H: OnceLock<Arc<Histogram>> = OnceLock::new();
+    H.get_or_init(|| histogram("crowdfill_server_queue_wait_ns"))
+}
+fn m_ack_latency() -> &'static Arc<Histogram> {
+    static H: OnceLock<Arc<Histogram>> = OnceLock::new();
+    H.get_or_init(|| histogram("crowdfill_server_ack_latency_ns"))
+}
+
+/// One queued submission: the op, its submitter, the channel its
+/// ack/reject travels back on, and when it entered the queue (for
+/// shedding and latency accounting).
 struct PipelineJob {
     worker: WorkerId,
     op: BatchOp,
     reply: channel::Sender<Result<SubmitReport, SubmitError>>,
+    enqueued: Instant,
 }
 
 /// A running batch pipeline around a shared [`Backend`].
@@ -57,6 +93,11 @@ struct PipelineJob {
 /// job channel disconnects); there is nothing to shut down explicitly.
 pub struct BatchPipeline {
     tx: channel::Sender<PipelineJob>,
+    /// Jobs enqueued but not yet picked up by the apply thread. Kept
+    /// alongside the channel (rather than using `Receiver::len`) so the
+    /// submit path can make admission decisions without the receiver.
+    depth: Arc<AtomicUsize>,
+    overload: OverloadOptions,
 }
 
 impl BatchPipeline {
@@ -69,72 +110,154 @@ impl BatchPipeline {
         clock: Box<dyn Fn() -> Millis + Send>,
         after_batch: Box<dyn Fn() + Send>,
         options: BatchOptions,
+        overload: OverloadOptions,
     ) -> BatchPipeline {
-        let (tx, rx) = channel::unbounded::<PipelineJob>();
+        let (tx, rx) = channel::bounded::<PipelineJob>(overload.max_queue.max(1));
+        let depth = Arc::new(AtomicUsize::new(0));
         let max_batch = options.max_batch.max(1);
+        // A job is shed if it waited past the budget. The fill window is
+        // excluded from the job's bill: with a long `max_wait` the apply
+        // thread itself holds jobs back to fatten batches, and that delay
+        // is the server's choice, not queue pressure.
+        let shed_budget = overload.shed_after + options.max_wait;
+        let retry = overload.clone();
+        let thread_depth = Arc::clone(&depth);
         let _ = std::thread::Builder::new()
             .name("crowdfill-batch-apply".into())
-            .spawn(move || loop {
-                let first = match rx.recv() {
-                    Ok(job) => job,
-                    Err(_) => return,
-                };
-                let mut jobs = vec![first];
-                while jobs.len() < max_batch {
-                    match rx.try_recv() {
-                        Ok(job) => jobs.push(job),
-                        Err(_) => break,
+            .spawn(move || {
+                let take = |job: PipelineJob, jobs: &mut Vec<PipelineJob>| {
+                    thread_depth.fetch_sub(1, Ordering::Relaxed);
+                    m_queue_depth().add(-1);
+                    let waited = job.enqueued.elapsed();
+                    m_queue_wait().record(waited.as_nanos() as u64);
+                    if waited > shed_budget {
+                        // Shed: the op was never applied, so the reject is
+                        // safe — the client retries or gives up, but no
+                        // acked state is involved.
+                        m_sheds().inc();
+                        let hint = retry.retry_after_ms(thread_depth.load(Ordering::Relaxed));
+                        let _ = job.reply.send(Err(SubmitError::Overloaded {
+                            retry_after_ms: hint,
+                        }));
+                    } else {
+                        jobs.push(job);
                     }
-                }
-                if jobs.len() < max_batch && !options.max_wait.is_zero() {
-                    let deadline = Instant::now() + options.max_wait;
+                };
+                loop {
+                    let first = match rx.recv() {
+                        Ok(job) => job,
+                        Err(_) => return,
+                    };
+                    let mut jobs = Vec::new();
+                    take(first, &mut jobs);
                     while jobs.len() < max_batch {
-                        let now = Instant::now();
-                        if now >= deadline {
-                            break;
-                        }
-                        match rx.recv_timeout(deadline - now) {
-                            Ok(job) => jobs.push(job),
+                        match rx.try_recv() {
+                            Ok(job) => take(job, &mut jobs),
                             Err(_) => break,
                         }
                     }
+                    if !jobs.is_empty() && jobs.len() < max_batch && !options.max_wait.is_zero() {
+                        let deadline = Instant::now() + options.max_wait;
+                        while jobs.len() < max_batch {
+                            let now = Instant::now();
+                            if now >= deadline {
+                                break;
+                            }
+                            match rx.recv_timeout(deadline - now) {
+                                Ok(job) => take(job, &mut jobs),
+                                Err(_) => break,
+                            }
+                        }
+                    }
+                    if jobs.is_empty() {
+                        // Everything drained this round was shed.
+                        continue;
+                    }
+                    let enqueued_at: Vec<Instant> = jobs.iter().map(|j| j.enqueued).collect();
+                    let (batch, replies): (Vec<BatchJob>, Vec<_>) = jobs
+                        .into_iter()
+                        .map(|j| {
+                            (
+                                BatchJob {
+                                    worker: j.worker,
+                                    op: j.op,
+                                },
+                                j.reply,
+                            )
+                        })
+                        .unzip();
+                    let outcome = backend.lock().submit_batch(batch, clock());
+                    for ((reply, result), enqueued) in
+                        replies.into_iter().zip(outcome.results).zip(enqueued_at)
+                    {
+                        m_ack_latency().record(enqueued.elapsed().as_nanos() as u64);
+                        let _ = reply.send(result);
+                    }
+                    after_batch();
                 }
-                let (batch, replies): (Vec<BatchJob>, Vec<_>) = jobs
-                    .into_iter()
-                    .map(|j| {
-                        (
-                            BatchJob {
-                                worker: j.worker,
-                                op: j.op,
-                            },
-                            j.reply,
-                        )
-                    })
-                    .unzip();
-                let outcome = backend.lock().submit_batch(batch, clock());
-                for (reply, result) in replies.into_iter().zip(outcome.results) {
-                    let _ = reply.send(result);
-                }
-                after_batch();
             });
-        BatchPipeline { tx }
+        BatchPipeline {
+            tx,
+            depth,
+            overload,
+        }
+    }
+
+    /// Jobs currently queued (enqueued, not yet picked up for apply).
+    pub fn queue_depth(&self) -> usize {
+        self.depth.load(Ordering::Relaxed)
     }
 
     /// Enqueues one op and blocks until its batch has been applied,
     /// returning exactly what a direct `submit`/`submit_modify` would have.
     pub fn submit(&self, worker: WorkerId, op: BatchOp) -> Result<SubmitReport, SubmitError> {
+        self.submit_classified(worker, op, Priority::Normal)
+    }
+
+    /// [`submit`](BatchPipeline::submit) with an explicit admission class.
+    ///
+    /// Speculative jobs are admitted only while queue depth is below
+    /// [`OverloadOptions::spec_queue`]; every class is rejected once the
+    /// queue is full. A rejection never reaches the backend: the op was
+    /// not applied, not journaled, and not acked.
+    pub fn submit_classified(
+        &self,
+        worker: WorkerId,
+        op: BatchOp,
+        priority: Priority,
+    ) -> Result<SubmitReport, SubmitError> {
+        let depth = self.depth.load(Ordering::Relaxed);
+        if priority == Priority::Speculative && depth >= self.overload.spec_queue {
+            m_overload_rejects().inc();
+            return Err(SubmitError::Overloaded {
+                retry_after_ms: self.overload.retry_after_ms(depth),
+            });
+        }
         let (reply_tx, reply_rx) = channel::bounded(1);
-        if self
-            .tx
-            .send(PipelineJob {
-                worker,
-                op,
-                reply: reply_tx,
-            })
-            .is_err()
-        {
-            // The apply thread is gone; the service is shutting down.
-            return Err(SubmitError::CollectionClosed);
+        // Count the job before it is visible to the apply thread so the
+        // admission check above never undercounts.
+        self.depth.fetch_add(1, Ordering::Relaxed);
+        match self.tx.try_send(PipelineJob {
+            worker,
+            op,
+            reply: reply_tx,
+            enqueued: Instant::now(),
+        }) {
+            Ok(()) => {
+                m_queue_depth().add(1);
+            }
+            Err(TrySendError::Full(_)) => {
+                self.depth.fetch_sub(1, Ordering::Relaxed);
+                m_overload_rejects().inc();
+                return Err(SubmitError::Overloaded {
+                    retry_after_ms: self.overload.retry_after_ms(self.overload.max_queue),
+                });
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                self.depth.fetch_sub(1, Ordering::Relaxed);
+                // The apply thread is gone; the service is shutting down.
+                return Err(SubmitError::CollectionClosed);
+            }
         }
         reply_rx
             .recv()

@@ -21,6 +21,7 @@ pub mod batch;
 pub mod config;
 pub mod frontend;
 pub mod marketplace;
+pub mod overload;
 pub mod recommend;
 pub mod tcp_service;
 pub mod wire;
@@ -31,6 +32,7 @@ pub use batch::{BatchOptions, BatchPipeline};
 pub use config::TaskConfig;
 pub use frontend::{Frontend, FrontendError, TaskStatus};
 pub use marketplace::{Assignment, AssignmentId, Hit, HitId, MarketError, Marketplace};
+pub use overload::{OverloadOptions, Priority};
 pub use recommend::{Recommendation, RecommendationKind};
 pub use tcp_service::{
     Dialer, ReconnectPolicy, RemoteAck, RemoteError, RemoteWorker, ServiceOptions, TcpService,

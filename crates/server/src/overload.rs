@@ -1,0 +1,139 @@
+//! Overload-protection policy: admission classes and the knobs shared by
+//! the batch pipeline (admission control + load shedding) and the TCP
+//! service (slow-client eviction).
+//!
+//! The model (DESIGN.md §9) in one paragraph: the server admits what it
+//! can serve and sheds the rest *before* acknowledging it. Control
+//! traffic (resume/sync/stats) is answered directly under the backend
+//! lock and never queues, so recovery always gets through. Submissions
+//! queue in a bounded pipeline; when the queue is full they are rejected
+//! at the door, and when a queued op waits longer than its budget it is
+//! shed from the queue — both surface as [`SubmitError::Overloaded`]
+//! with a `retry_after` hint scaled by queue depth. Speculative fills
+//! admit against a lower bound so background traffic yields first. On
+//! the fan-out side every connection gets a bounded write buffer; a
+//! reader that falls behind is downgraded to catch-up-via-`sync`
+//! (broadcasts to it are dropped, not buffered) and evicted if it stays
+//! lagging. Because an op is only acked after it is applied and
+//! journaled, shedding/rejecting/evicting can never lose an acked
+//! submission — the property the overload tests pin down.
+//!
+//! [`SubmitError::Overloaded`]: crate::backend::SubmitError::Overloaded
+
+use std::time::Duration;
+
+/// Admission class of a piece of inbound traffic, highest first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Priority {
+    /// Session recovery and read-only catch-up (`resume`/`sync`/`stats`).
+    /// Handled outside the pipeline queue: never admission-rejected,
+    /// never shed. Overloaded clients must always be able to heal.
+    Control,
+    /// Ordinary submissions (fills, votes, modifies). Admitted while the
+    /// pipeline queue has room.
+    Normal,
+    /// Fills the client marked speculative (prefetch/low-stakes work).
+    /// Admitted only while queue depth is below
+    /// [`OverloadOptions::spec_queue`], so they are the first traffic to
+    /// be turned away as load rises.
+    Speculative,
+}
+
+/// Knobs for admission control, load shedding, and slow-client eviction.
+///
+/// The defaults are sized for the fault/bench harnesses (hundreds of
+/// connections, in-process or loopback TCP); production deployments
+/// should scale `max_queue`/`write_buffer_frames` with expected fan-out.
+#[derive(Debug, Clone)]
+pub struct OverloadOptions {
+    /// Bound on the batch-pipeline job queue. A submission arriving when
+    /// `max_queue` jobs are already waiting is rejected with
+    /// `Overloaded` instead of growing memory.
+    pub max_queue: usize,
+    /// Admission bound for [`Priority::Speculative`] traffic: speculative
+    /// fills are rejected once queue depth reaches this (≤ `max_queue`).
+    pub spec_queue: usize,
+    /// Queue-wait budget. A job that has waited longer than
+    /// `shed_after` + the batch fill window (`BatchOptions::max_wait`)
+    /// when the apply thread picks it up is shed — answered
+    /// `Overloaded`, never applied, never acked.
+    pub shed_after: Duration,
+    /// Base for `retry_after` hints; the hint grows with queue depth
+    /// (base × (1 + 4·depth/max_queue)) so clients back off harder the
+    /// deeper the queue they were turned away from.
+    pub retry_after_base: Duration,
+    /// Bound on each connection's outbound frame buffer. When a reader's
+    /// buffer fills, it is downgraded to lagging: further broadcasts to
+    /// it are counted and dropped, and it is told to catch up via
+    /// `sync`.
+    pub write_buffer_frames: usize,
+    /// How long a connection may stay lagging (buffer still full, no
+    /// healing `sync`) before the server disconnects it. The session
+    /// survives eviction — the client can reconnect and `resume`.
+    pub evict_after: Duration,
+    /// Test/harness lever: sleep this long after each frame a
+    /// connection's writer thread sends, making "slow reader" a
+    /// deterministic server-side condition instead of a kernel
+    /// socket-buffer race. `None` (the default, and the only sensible
+    /// production setting) writes at full speed.
+    pub writer_pace: Option<Duration>,
+}
+
+impl Default for OverloadOptions {
+    fn default() -> OverloadOptions {
+        OverloadOptions {
+            max_queue: 1024,
+            spec_queue: 512,
+            shed_after: Duration::from_secs(2),
+            retry_after_base: Duration::from_millis(25),
+            write_buffer_frames: 256,
+            evict_after: Duration::from_secs(5),
+            writer_pace: None,
+        }
+    }
+}
+
+impl OverloadOptions {
+    /// The `retry_after` hint (in milliseconds) for a client turned away
+    /// at queue depth `depth`: the base delay scaled up to 5× as the
+    /// queue fills, and never below 1ms so clients always wait.
+    pub fn retry_after_ms(&self, depth: usize) -> u64 {
+        let base = self.retry_after_base.as_millis() as u64;
+        let max_queue = self.max_queue.max(1) as u64;
+        let depth = (depth as u64).min(max_queue);
+        (base * (1 + 4 * depth / max_queue)).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retry_hint_scales_with_depth() {
+        let opts = OverloadOptions {
+            retry_after_base: Duration::from_millis(25),
+            max_queue: 100,
+            ..OverloadOptions::default()
+        };
+        assert_eq!(opts.retry_after_ms(0), 25);
+        assert_eq!(opts.retry_after_ms(100), 125);
+        assert_eq!(opts.retry_after_ms(1000), 125); // clamped at max_queue
+        assert!(opts.retry_after_ms(50) > opts.retry_after_ms(0));
+    }
+
+    #[test]
+    fn retry_hint_never_zero() {
+        let opts = OverloadOptions {
+            retry_after_base: Duration::ZERO,
+            ..OverloadOptions::default()
+        };
+        assert_eq!(opts.retry_after_ms(0), 1);
+    }
+
+    #[test]
+    fn priority_order_matches_doc() {
+        assert!(Priority::Control < Priority::Normal);
+        assert!(Priority::Normal < Priority::Speculative);
+    }
+}

@@ -5,7 +5,8 @@
 //! ```text
 //! client → server   {"type":"hello"}
 //!                   {"type":"resume","worker":n,"from":n,"have":[n,...]}
-//!                   {"type":"submit","auto":bool,"msg":{...}}
+//!                   {"type":"submit","auto":bool,"msg":{...},
+//!                    "speculative":bool?}
 //!                   {"type":"modify","msgs":[{"auto":bool,"msg":{...}},...]}
 //!                   {"type":"sync","from":n,"have":[n,...]}
 //!                   {"type":"stats"}
@@ -16,6 +17,8 @@
 //!                    "msgs":[{"seq":n,"msg":{...}},...]}
 //!                   {"type":"ack","estimate":x,"fulfilled":bool,"seqs":[n,...]}
 //!                   {"type":"reject","reason":"..."}
+//!                   {"type":"overloaded","retry_after_ms":n}
+//!                   {"type":"lagging"}  (catch up via sync; broadcasts dropped)
 //!                   {"type":"stats","snapshot":"..."}  (metrics text)
 //!                   {"type":"synced","history_len":n,"msgs":[{"seq":n,...},...]}
 //!                   {"type":"msg","seq":n,"msg":{...}}  (broadcast)
@@ -24,7 +27,11 @@
 //! One reader thread per connection; the shared [`Backend`] is guarded by a
 //! `parking_lot::Mutex`. After every accepted submission the service flushes
 //! all session outboxes to their connections, which preserves the per-link
-//! FIFO order the model requires.
+//! FIFO order the model requires. Outbound delivery goes through a bounded
+//! per-connection buffer drained by a dedicated writer thread ([`Seat`]),
+//! so one stalled reader cannot wedge the flush path — it is downgraded to
+//! lagging (broadcasts to it dropped, healed by `sync`) and eventually
+//! evicted (see [`OverloadOptions`] and DESIGN.md §9).
 //!
 //! ## Failure model
 //!
@@ -55,9 +62,11 @@
 //! replay — rather than at-least-once redelivery — is what makes a resumed
 //! replica provably converge to the master.
 
-use crate::backend::{Backend, BatchOp};
+use crate::backend::{Backend, BatchOp, SubmitError};
 use crate::batch::{BatchOptions, BatchPipeline};
+use crate::overload::{OverloadOptions, Priority};
 use crate::wire;
+use crossbeam::channel::{self, TrySendError};
 use crowdfill_docstore::Json;
 use crowdfill_model::Message;
 use crowdfill_net::{ConnError, FrameConn, TcpConn, TcpServer};
@@ -77,6 +86,25 @@ use std::time::{Duration, Instant};
 fn batch_broadcast_frames() -> &'static Counter {
     static C: OnceLock<Arc<Counter>> = OnceLock::new();
     C.get_or_init(|| crowdfill_obs::metrics::counter("crowdfill_server_batch_broadcast_frames"))
+}
+
+/// Connections forcibly closed after staying lagging past `evict_after`.
+fn m_evictions() -> &'static Counter {
+    static C: OnceLock<Arc<Counter>> = OnceLock::new();
+    C.get_or_init(|| crowdfill_obs::metrics::counter("crowdfill_server_evictions"))
+}
+
+/// Connections downgraded to lagging (write buffer overflowed).
+fn m_lag_downgrades() -> &'static Counter {
+    static C: OnceLock<Arc<Counter>> = OnceLock::new();
+    C.get_or_init(|| crowdfill_obs::metrics::counter("crowdfill_server_lag_downgrades"))
+}
+
+/// Broadcast frames dropped instead of buffered for lagging connections
+/// (each is healed later by the client's `sync`/`resume`).
+fn m_lag_dropped() -> &'static Counter {
+    static C: OnceLock<Arc<Counter>> = OnceLock::new();
+    C.get_or_init(|| crowdfill_obs::metrics::counter("crowdfill_server_lag_dropped_frames"))
 }
 
 /// Most seq-tagged messages packed into one `batch` broadcast frame (keeps
@@ -140,6 +168,10 @@ pub struct ServiceOptions {
     /// applies each request directly on its connection thread (the
     /// pre-batching behavior).
     pub batch: Option<BatchOptions>,
+    /// Overload-protection knobs: admission bounds and shed budget for the
+    /// batch pipeline, write-buffer watermark and eviction policy for
+    /// connections (DESIGN.md §9).
+    pub overload: OverloadOptions,
 }
 
 impl Default for ServiceOptions {
@@ -149,7 +181,130 @@ impl Default for ServiceOptions {
             accept_backoff_base: Duration::from_millis(10),
             accept_backoff_max: Duration::from_secs(1),
             batch: Some(BatchOptions::default()),
+            overload: OverloadOptions::default(),
         }
+    }
+}
+
+/// The server-side send half of one connection: a bounded outbound frame
+/// buffer drained by a dedicated writer thread, plus the lagging state that
+/// drives the watermark downgrade → `sync` → eviction policy. Enqueuing is
+/// non-blocking, so one stalled reader can never wedge the broadcast flush
+/// path for everyone else.
+struct Seat {
+    conn: Arc<TcpConn>,
+    outbound: channel::Sender<Vec<u8>>,
+    /// Set when the write buffer overflows. While lagging, broadcasts to
+    /// this connection are counted and dropped — the client's exact-seq
+    /// tracking means a later `sync`/`resume` replays precisely what was
+    /// missed — and the eviction clock runs.
+    lagging: AtomicBool,
+    /// When the seat went lagging (the eviction clock).
+    lagging_since: Mutex<Option<Instant>>,
+    /// A `{"type":"lagging"}` note owed to the client, sent by the writer
+    /// thread as soon as the buffer makes progress.
+    note_pending: AtomicBool,
+    /// Set once the seat has been evicted (shutdown is idempotent, but the
+    /// metrics should count each eviction once).
+    evicted: AtomicBool,
+}
+
+impl Seat {
+    /// Wraps a connection in a bounded outbound buffer and spawns its
+    /// writer thread. The thread exits when the seat is dropped (channel
+    /// disconnects) or the connection dies.
+    fn spawn(conn: Arc<TcpConn>, overload: &OverloadOptions) -> Arc<Seat> {
+        let (outbound, rx) = channel::bounded::<Vec<u8>>(overload.write_buffer_frames.max(1));
+        let seat = Arc::new(Seat {
+            conn,
+            outbound,
+            lagging: AtomicBool::new(false),
+            lagging_since: Mutex::new(None),
+            note_pending: AtomicBool::new(false),
+            evicted: AtomicBool::new(false),
+        });
+        let writer_seat = Arc::clone(&seat);
+        let pace = overload.writer_pace;
+        let _ = std::thread::Builder::new()
+            .name("crowdfill-conn-write".into())
+            .spawn(move || loop {
+                let frame = match rx.recv() {
+                    Ok(f) => f,
+                    Err(_) => return,
+                };
+                if writer_seat.conn.send(&frame).is_err() {
+                    return;
+                }
+                if writer_seat.note_pending.swap(false, Ordering::AcqRel)
+                    && writer_seat
+                        .conn
+                        .send(lagging_frame().encode().as_bytes())
+                        .is_err()
+                {
+                    return;
+                }
+                if let Some(pace) = pace {
+                    std::thread::sleep(pace);
+                }
+            });
+        seat
+    }
+
+    /// Queues one outbound frame, non-blocking. A full buffer downgrades
+    /// the connection to lagging; a connection lagging past
+    /// [`OverloadOptions::evict_after`] is forcibly closed (the session
+    /// survives — the client reconnects and resumes).
+    fn enqueue(&self, frame: Vec<u8>, overload: &OverloadOptions) {
+        if self.evicted.load(Ordering::Acquire) {
+            return;
+        }
+        if self.lagging.load(Ordering::Acquire) {
+            m_lag_dropped().inc();
+            let since = *self.lagging_since.lock();
+            if since.is_some_and(|t| t.elapsed() > overload.evict_after)
+                && !self.evicted.swap(true, Ordering::AcqRel)
+            {
+                m_evictions().inc();
+                crowdfill_obs::obs_warn!(
+                    "server",
+                    "evicting slow client {} (lagging past {:?})",
+                    self.conn.peer_addr(),
+                    overload.evict_after
+                );
+                self.conn.shutdown();
+            }
+            return;
+        }
+        match self.outbound.try_send(frame) {
+            Ok(()) => {}
+            Err(TrySendError::Full(_)) => {
+                // Watermark crossed: stop buffering for this reader. It is
+                // told to catch up via `sync` (which also clears the flag);
+                // until then broadcasts to it are dropped, not queued.
+                if !self.lagging.swap(true, Ordering::AcqRel) {
+                    *self.lagging_since.lock() = Some(Instant::now());
+                    self.note_pending.store(true, Ordering::Release);
+                    m_lag_downgrades().inc();
+                    crowdfill_obs::obs_warn!(
+                        "server",
+                        "client {} lagging: write buffer full, downgraded to sync",
+                        self.conn.peer_addr()
+                    );
+                }
+                m_lag_dropped().inc();
+            }
+            Err(TrySendError::Disconnected(_)) => {}
+        }
+    }
+
+    /// Clears the lagging state. Called by the `sync` handler *before* the
+    /// catch-up suffix is computed under the backend lock: every broadcast
+    /// dropped while lagging then has a seq below the history length the
+    /// reply covers, and anything newer is enqueued normally (overlap is
+    /// healed by the client's seq dedup).
+    fn clear_lagging(&self) {
+        self.lagging.store(false, Ordering::Release);
+        *self.lagging_since.lock() = None;
     }
 }
 
@@ -159,12 +314,13 @@ pub struct TcpService {
     backend: Arc<Mutex<Backend>>,
     shutdown: Arc<AtomicBool>,
     accept_thread: Option<std::thread::JoinHandle<()>>,
+    registry: ConnRegistry,
     /// Keeps the apply thread alive for the service's lifetime (connection
     /// threads hold their own handles while serving).
     _pipeline: Option<Arc<BatchPipeline>>,
 }
 
-type ConnRegistry = Arc<Mutex<HashMap<WorkerId, Arc<TcpConn>>>>;
+type ConnRegistry = Arc<Mutex<HashMap<WorkerId, Arc<Seat>>>>;
 
 impl TcpService {
     /// Binds and starts serving with default options. Use port 0 for an
@@ -196,15 +352,20 @@ impl TcpService {
             let apply_backend = Arc::clone(&backend);
             let flush_backend = Arc::clone(&backend);
             let flush_registry = Arc::clone(&registry);
+            let flush_options = Arc::clone(&options);
             Arc::new(BatchPipeline::start(
                 apply_backend,
                 Box::new(move || now_millis(started)),
-                Box::new(move || flush_outboxes(&flush_backend, &flush_registry)),
+                Box::new(move || {
+                    flush_outboxes(&flush_backend, &flush_registry, &flush_options.overload)
+                }),
                 batch_options,
+                options.overload.clone(),
             ))
         });
 
         let pipeline_handle = pipeline.clone();
+        let service_registry = Arc::clone(&registry);
         let accept_backend = Arc::clone(&backend);
         let accept_shutdown = Arc::clone(&shutdown);
         let accept_thread = std::thread::Builder::new()
@@ -248,8 +409,21 @@ impl TcpService {
             backend,
             shutdown,
             accept_thread: Some(accept_thread),
+            registry: service_registry,
             _pipeline: pipeline_handle,
         })
+    }
+
+    /// Forcibly closes every registered connection at once. Sessions
+    /// survive — each client sees a dead connection and recovers via its
+    /// reconnect-and-resume path. This is the thundering-herd lever the
+    /// overload harness uses to stage a mass-reconnect storm.
+    pub fn disconnect_all(&self) -> usize {
+        let seats: Vec<Arc<Seat>> = self.registry.lock().values().cloned().collect();
+        for seat in &seats {
+            seat.conn.shutdown();
+        }
+        seats.len()
     }
 
     /// The bound address clients connect to.
@@ -436,8 +610,9 @@ fn serve_conn(
         // Register only after the handshake reply is on the wire, so no
         // broadcast can precede it; then drain our own outbox to cover
         // messages enqueued between the backend call and registration.
-        registry.lock().insert(worker, Arc::clone(&conn));
-        flush_worker_outbox(&backend, &conn, worker);
+        let seat = Seat::spawn(Arc::clone(&conn), &options.overload);
+        registry.lock().insert(worker, Arc::clone(&seat));
+        flush_worker_outbox(&backend, &seat, worker, &options.overload);
         run_session(
             &conn,
             &backend,
@@ -455,7 +630,10 @@ fn serve_conn(
     // current — a resumed successor must survive its predecessor's exit.
     {
         let mut reg = registry.lock();
-        if reg.get(&worker).is_some_and(|c| Arc::ptr_eq(c, &conn)) {
+        if reg
+            .get(&worker)
+            .is_some_and(|s| Arc::ptr_eq(&s.conn, &conn))
+        {
             reg.remove(&worker);
         }
     }
@@ -505,32 +683,39 @@ fn run_session(
                 metrics.submit_requests.inc();
                 let _submit_timer = SpanTimer::start(&metrics.submit_latency_ns);
                 let auto = req.get("auto").and_then(Json::as_bool).unwrap_or(false);
+                let priority = if req
+                    .get("speculative")
+                    .and_then(Json::as_bool)
+                    .unwrap_or(false)
+                {
+                    Priority::Speculative
+                } else {
+                    Priority::Normal
+                };
                 let msg = req.get("msg").and_then(|m| wire::message_from_json(m).ok());
                 let reply = match msg {
                     None => reject_frame("malformed message"),
                     Some(msg) => {
                         let result = match pipeline {
-                            Some(p) => p.submit(
+                            Some(p) => p.submit_classified(
                                 worker,
                                 BatchOp::Msg {
                                     msg,
                                     auto_upvote: auto,
                                 },
+                                priority,
                             ),
                             None => backend
                                 .lock()
                                 .submit(worker, msg, now_millis(started), auto),
                         };
-                        match result {
-                            Ok(report) => ack_frame(&report),
-                            Err(e) => reject_frame(&e.to_string()),
-                        }
+                        result_frame(result)
                     }
                 };
                 let _ = conn.send(reply.encode().as_bytes());
                 if pipeline.is_none() {
                     // The pipeline's apply thread flushes after each batch.
-                    flush_outboxes(backend, registry);
+                    flush_outboxes(backend, registry, &options.overload);
                 }
             }
             Some("modify") => {
@@ -561,19 +746,30 @@ fn run_session(
                                     .submit_modify(worker, bundle, now_millis(started))
                             }
                         };
-                        match result {
-                            Ok(report) => ack_frame(&report),
-                            Err(e) => reject_frame(&e.to_string()),
-                        }
+                        result_frame(result)
                     }
                 };
                 let _ = conn.send(reply.encode().as_bytes());
                 if pipeline.is_none() {
-                    flush_outboxes(backend, registry);
+                    flush_outboxes(backend, registry, &options.overload);
                 }
             }
             Some("sync") => {
                 metrics.sync_requests.inc();
+                // A sync heals a lagging connection. Clear the flag BEFORE
+                // computing the suffix under the backend lock: every
+                // broadcast dropped while lagging then has a seq below the
+                // history length this reply covers, and broadcasts after
+                // the clear are enqueued normally (overlap is seq-deduped
+                // client-side), so nothing can fall in a gap.
+                {
+                    let reg = registry.lock();
+                    if let Some(seat) = reg.get(&worker) {
+                        if Arc::ptr_eq(&seat.conn, conn) {
+                            seat.clear_lagging();
+                        }
+                    }
+                }
                 let (from, have) = parse_cursor(&req);
                 let (history_len, msgs) = {
                     let b = backend.lock();
@@ -618,30 +814,66 @@ fn ack_frame(report: &crate::backend::SubmitReport) -> Json {
     ])
 }
 
-/// Delivers every session's pending broadcasts over its connection.
-fn flush_outboxes(backend: &Arc<Mutex<Backend>>, registry: &ConnRegistry) {
-    let conns: Vec<(WorkerId, Arc<TcpConn>)> = registry
-        .lock()
-        .iter()
-        .map(|(w, c)| (*w, Arc::clone(c)))
-        .collect();
-    for (worker, conn) in conns {
-        flush_worker_outbox(backend, &conn, worker);
+/// The typed overload response: the op was neither applied nor acked, and
+/// the client should retry after the hinted delay.
+fn overloaded_frame(retry_after_ms: u64) -> Json {
+    Json::obj([
+        ("type", Json::str("overloaded")),
+        ("retry_after_ms", Json::num(retry_after_ms as f64)),
+    ])
+}
+
+/// Tells a lagging client its broadcasts are being dropped and it should
+/// catch up via `sync`.
+fn lagging_frame() -> Json {
+    Json::obj([("type", Json::str("lagging"))])
+}
+
+/// Maps a submit/modify outcome to its reply frame; overload gets its
+/// typed frame (so clients can back off) rather than a generic reject.
+fn result_frame(result: Result<crate::backend::SubmitReport, SubmitError>) -> Json {
+    match result {
+        Ok(report) => ack_frame(&report),
+        Err(SubmitError::Overloaded { retry_after_ms }) => overloaded_frame(retry_after_ms),
+        Err(e) => reject_frame(&e.to_string()),
     }
 }
 
-/// Delivers one session's pending broadcasts over its connection: a lone
-/// message as a legacy `msg` frame, several as `batch` frames (chunked so a
-/// huge backlog cannot overflow the transport's frame-size cap).
-fn flush_worker_outbox(backend: &Arc<Mutex<Backend>>, conn: &TcpConn, worker: WorkerId) {
+/// Delivers every session's pending broadcasts over its connection.
+fn flush_outboxes(
+    backend: &Arc<Mutex<Backend>>,
+    registry: &ConnRegistry,
+    overload: &OverloadOptions,
+) {
+    let seats: Vec<(WorkerId, Arc<Seat>)> = registry
+        .lock()
+        .iter()
+        .map(|(w, s)| (*w, Arc::clone(s)))
+        .collect();
+    for (worker, seat) in seats {
+        flush_worker_outbox(backend, &seat, worker, overload);
+    }
+}
+
+/// Delivers one session's pending broadcasts into its seat's bounded
+/// write buffer: a lone message as a legacy `msg` frame, several as
+/// `batch` frames (chunked so a huge backlog cannot overflow the
+/// transport's frame-size cap). Never blocks — a full buffer downgrades
+/// the seat to lagging instead (see [`Seat::enqueue`]).
+fn flush_worker_outbox(
+    backend: &Arc<Mutex<Backend>>,
+    seat: &Seat,
+    worker: WorkerId,
+    overload: &OverloadOptions,
+) {
     let pending = backend.lock().poll_seq(worker);
     if pending.len() == 1 {
         let (seq, msg) = &pending[0];
-        let _ = conn.send(broadcast_frame(*seq, msg).encode().as_bytes());
+        seat.enqueue(broadcast_frame(*seq, msg).encode().into_bytes(), overload);
         return;
     }
     for chunk in pending.chunks(BATCH_FRAME_CHUNK) {
-        let _ = conn.send(batch_broadcast_frame(chunk).encode().as_bytes());
+        seat.enqueue(batch_broadcast_frame(chunk).encode().into_bytes(), overload);
         batch_broadcast_frames().inc();
     }
 }
@@ -690,6 +922,7 @@ struct ClientMetrics {
     resumes: Arc<Counter>,
     resyncs: Arc<Counter>,
     recovered_acks: Arc<Counter>,
+    overload_backoffs: Arc<Counter>,
 }
 
 impl ClientMetrics {
@@ -700,6 +933,7 @@ impl ClientMetrics {
             resumes: counter("crowdfill_client_resumes"),
             resyncs: counter("crowdfill_client_resyncs"),
             recovered_acks: counter("crowdfill_client_recovered_acks"),
+            overload_backoffs: counter("crowdfill_client_overload_backoffs"),
         }
     }
 }
@@ -714,6 +948,10 @@ pub struct RemoteWorker {
     client: crate::worker_client::WorkerClient,
     /// Exactly which history seqs this replica has applied.
     applied: AppliedSeqs,
+    /// Set by a server `lagging` note: broadcasts to us were dropped and a
+    /// `sync` is owed. Healed opportunistically after the next ack or
+    /// [`absorb_pending`](Self::absorb_pending) call.
+    needs_sync: bool,
     /// Jitter stream state.
     jitter: u64,
     metrics: ClientMetrics,
@@ -725,6 +963,12 @@ pub enum RemoteError {
     Conn(ConnError),
     Protocol(String),
     Rejected(String),
+    /// The server refused the op under load (it was never applied). With a
+    /// [`ReconnectPolicy`] the client retries with jittered backoff first;
+    /// this surfaces only once those retries are exhausted.
+    Overloaded {
+        retry_after_ms: u64,
+    },
     Op(crowdfill_model::OpError),
 }
 
@@ -734,6 +978,9 @@ impl std::fmt::Display for RemoteError {
             RemoteError::Conn(e) => write!(f, "connection: {e}"),
             RemoteError::Protocol(e) => write!(f, "protocol: {e}"),
             RemoteError::Rejected(r) => write!(f, "rejected: {r}"),
+            RemoteError::Overloaded { retry_after_ms } => {
+                write!(f, "server overloaded; retry after {retry_after_ms}ms")
+            }
             RemoteError::Op(e) => write!(f, "operation: {e}"),
         }
     }
@@ -844,6 +1091,7 @@ impl RemoteWorker {
                         policy,
                         client,
                         applied,
+                        needs_sync: false,
                         jitter,
                         metrics: ClientMetrics::resolve(),
                     });
@@ -921,7 +1169,10 @@ impl RemoteWorker {
         self.client.worker()
     }
 
-    /// Absorbs any broadcast messages that have arrived.
+    /// Absorbs any broadcast messages that have arrived. If the server has
+    /// flagged this connection as lagging (broadcasts to it were dropped),
+    /// a catch-up `sync` is attempted here, best-effort — this is the heal
+    /// point for read-mostly clients that rarely submit.
     pub fn absorb_pending(&mut self) -> usize {
         let mut n = 0;
         while let Ok(frame) = self.conn.try_recv() {
@@ -929,7 +1180,21 @@ impl RemoteWorker {
                 n += 1;
             }
         }
+        if self.needs_sync {
+            // Clear first: a note that arrives during the sync refers to
+            // drops the sync reply cannot cover and must re-set the flag.
+            self.needs_sync = false;
+            if self.sync().is_err() {
+                self.needs_sync = true;
+            }
+        }
         n
+    }
+
+    /// Whether the server has told us to catch up via `sync` and we have
+    /// not yet managed to.
+    pub fn needs_sync(&self) -> bool {
+        self.needs_sync
     }
 
     /// Applies a broadcast frame — a single `msg` or a multi-op `batch` —
@@ -950,6 +1215,10 @@ impl RemoteWorker {
                     }
                 }
                 any
+            }
+            Some("lagging") => {
+                self.needs_sync = true;
+                false
             }
             _ => false,
         }
@@ -998,6 +1267,31 @@ impl RemoteWorker {
         Ok(last.expect("fill yields at least one message"))
     }
 
+    /// [`fill`](Self::fill), marked speculative: the server admits it only
+    /// while its queue is comfortably below the admission bound, so under
+    /// load this is the first traffic to be turned away
+    /// ([`RemoteError::Overloaded`] after the retry budget). Use for
+    /// prefetch/low-stakes work whose loss costs nothing.
+    pub fn fill_speculative(
+        &mut self,
+        row: crowdfill_model::RowId,
+        column: crowdfill_model::ColumnId,
+        value: crowdfill_model::Value,
+    ) -> Result<RemoteAck, RemoteError> {
+        let outgoing = self
+            .client
+            .fill(row, column, value)
+            .map_err(RemoteError::Op)?;
+        let mut last = None;
+        for out in outgoing {
+            last = Some(self.transact(
+                submit_frame_with(&out.msg, out.auto_upvote, true),
+                Pending::Submit(&out.msg, out.auto_upvote),
+            )?);
+        }
+        Ok(last.expect("fill yields at least one message"))
+    }
+
     /// Upvotes a row.
     pub fn upvote(&mut self, row: crowdfill_model::RowId) -> Result<RemoteAck, RemoteError> {
         let out = self.client.upvote(row).map_err(RemoteError::Op)?;
@@ -1034,47 +1328,69 @@ impl RemoteWorker {
             .client
             .modify(row, column, value)
             .map_err(RemoteError::Op)?;
-        let frame = modify_frame(&bundle);
-        let result = self
-            .conn
-            .send(frame.encode().as_bytes())
-            .map_err(RemoteError::Conn)
-            .and_then(|_| self.await_ack());
-        match result {
-            Err(RemoteError::Conn(_)) if self.policy.is_some() => {
-                self.recover(&Pending::Modify(&bundle))
-            }
-            Err(RemoteError::Rejected(r)) => {
-                for out in &bundle {
-                    self.client.retract_own_vote_record(&out.msg);
-                }
-                self.resync()?;
-                Err(RemoteError::Rejected(r))
-            }
-            other => other,
-        }
+        self.transact(modify_frame(&bundle), Pending::Modify(&bundle))
     }
 
     fn submit(&mut self, msg: &Message, auto: bool) -> Result<RemoteAck, RemoteError> {
-        let frame = submit_frame(msg, auto);
-        let result = self
-            .conn
-            .send(frame.encode().as_bytes())
-            .map_err(RemoteError::Conn)
-            .and_then(|_| self.await_ack());
-        match result {
-            Err(RemoteError::Conn(_)) if self.policy.is_some() => {
-                self.recover(&Pending::Submit(msg, auto))
+        self.transact(submit_frame(msg, auto), Pending::Submit(msg, auto))
+    }
+
+    /// Sends one request frame and drives it to an outcome:
+    ///
+    /// * connection failure → [`recover`](Self::recover) (with a policy);
+    /// * `reject` → the optimistic local application has diverged: retract
+    ///   the vote record, full resync, surface the rejection;
+    /// * `overloaded` → the op was never applied server-side; retry the
+    ///   same frame after a jittered backoff honoring the server's
+    ///   `retry_after` hint, up to the policy's attempt budget, then roll
+    ///   back the local application and surface the overload.
+    fn transact(&mut self, frame: Json, pending: Pending<'_>) -> Result<RemoteAck, RemoteError> {
+        let bytes = frame.encode();
+        let mut overload_tries: u32 = 0;
+        loop {
+            let result = self
+                .conn
+                .send(bytes.as_bytes())
+                .map_err(RemoteError::Conn)
+                .and_then(|_| self.await_ack());
+            match result {
+                Ok(ack) => {
+                    if self.needs_sync {
+                        self.needs_sync = false;
+                        self.sync()?;
+                    }
+                    return Ok(ack);
+                }
+                Err(RemoteError::Conn(_)) if self.policy.is_some() => {
+                    return self.recover(&pending);
+                }
+                Err(RemoteError::Rejected(r)) => {
+                    // Applied locally on optimistic grounds the server just
+                    // refuted: drop the vote record and rebuild from the
+                    // authoritative history before surfacing the rejection.
+                    for m in pending.messages() {
+                        self.client.retract_own_vote_record(m);
+                    }
+                    self.resync()?;
+                    return Err(RemoteError::Rejected(r));
+                }
+                Err(RemoteError::Overloaded { retry_after_ms }) => {
+                    let budget = self.policy.as_ref().map_or(0, |p| p.max_attempts);
+                    if overload_tries >= budget {
+                        // Out of retries. The server never applied the op,
+                        // so the optimistic local application must go too.
+                        for m in pending.messages() {
+                            self.client.retract_own_vote_record(m);
+                        }
+                        self.resync()?;
+                        return Err(RemoteError::Overloaded { retry_after_ms });
+                    }
+                    self.metrics.overload_backoffs.inc();
+                    std::thread::sleep(self.overload_delay(retry_after_ms, overload_tries));
+                    overload_tries += 1;
+                }
+                other => return other,
             }
-            Err(RemoteError::Rejected(r)) => {
-                // The message was applied locally on optimistic grounds the
-                // server just refuted: drop the vote record and rebuild from
-                // the authoritative history before surfacing the rejection.
-                self.client.retract_own_vote_record(msg);
-                self.resync()?;
-                Err(RemoteError::Rejected(r))
-            }
-            other => other,
         }
     }
 
@@ -1087,8 +1403,17 @@ impl RemoteWorker {
             let json = Json::parse(&String::from_utf8_lossy(&frame))
                 .map_err(|e| RemoteError::Protocol(e.to_string()))?;
             match json.get("type").and_then(Json::as_str) {
-                Some("msg") | Some("batch") => {
+                Some("msg") | Some("batch") | Some("lagging") => {
                     self.absorb_frame(&frame);
+                }
+                Some("overloaded") => {
+                    return Err(RemoteError::Overloaded {
+                        retry_after_ms: json
+                            .get("retry_after_ms")
+                            .and_then(Json::as_i64)
+                            .filter(|v| *v >= 0)
+                            .unwrap_or(0) as u64,
+                    });
                 }
                 Some("ack") => {
                     self.note_ack_seqs(&json);
@@ -1143,6 +1468,23 @@ impl RemoteWorker {
             .min(policy.max_delay);
         // Jitter in [50%, 100%] of the exponential step: desynchronizes a
         // thundering herd of clients redialing after a server restart.
+        self.jitter = splitmix64(self.jitter);
+        let per_mille = 500 + (self.jitter % 501) as u32;
+        exp * per_mille / 1000
+    }
+
+    /// The wait before retrying an overload-rejected op: the server's
+    /// `retry_after` hint, doubled per consecutive rejection and jittered
+    /// like [`backoff_delay`](Self::backoff_delay) so a crowd of rejected
+    /// clients does not return in lockstep.
+    fn overload_delay(&mut self, retry_after_ms: u64, tries: u32) -> Duration {
+        let base = Duration::from_millis(retry_after_ms.max(1));
+        let cap = self
+            .policy
+            .as_ref()
+            .map_or(Duration::from_secs(2), |p| p.max_delay)
+            .max(base);
+        let exp = base.saturating_mul(1u32 << tries.min(10)).min(cap);
         self.jitter = splitmix64(self.jitter);
         let per_mille = 500 + (self.jitter % 501) as u32;
         exp * per_mille / 1000
@@ -1273,6 +1615,15 @@ impl RemoteWorker {
                     self.resync()?;
                     return Err(RemoteError::Rejected(r));
                 }
+                Err(RemoteError::Overloaded { retry_after_ms }) => {
+                    // Queue full on an otherwise healthy connection: wait
+                    // out the hint and take another lap — resume is
+                    // control-class and always gets through, and the next
+                    // replay settles whether the resubmission landed.
+                    self.metrics.overload_backoffs.inc();
+                    std::thread::sleep(Duration::from_millis(retry_after_ms.max(1)));
+                    continue;
+                }
                 Err(RemoteError::Conn(_)) => continue,
                 Err(e) => return Err(e),
             }
@@ -1346,6 +1697,11 @@ impl RemoteWorker {
                         self.absorb_frame(&frame);
                     }
                 }
+                Some("lagging") => {
+                    // Drops after the server processed this very sync:
+                    // another round is owed once this one completes.
+                    self.needs_sync = true;
+                }
                 Some("synced") => {
                     let history_len = json
                         .get("history_len")
@@ -1400,7 +1756,7 @@ impl RemoteWorker {
             let json = Json::parse(&String::from_utf8_lossy(&frame))
                 .map_err(|e| RemoteError::Protocol(e.to_string()))?;
             match json.get("type").and_then(Json::as_str) {
-                Some("msg") | Some("batch") => {
+                Some("msg") | Some("batch") | Some("lagging") => {
                     self.absorb_frame(&frame);
                 }
                 Some("stats") => {
@@ -1424,11 +1780,23 @@ impl RemoteWorker {
 }
 
 fn submit_frame(msg: &Message, auto: bool) -> Json {
-    Json::obj([
+    submit_frame_with(msg, auto, false)
+}
+
+/// A submit frame with an explicit admission class. A speculative
+/// resubmission after a reconnect intentionally goes out unmarked
+/// ([`Pending`] carries no flag): the client has already paid for
+/// recovery, so the op is no longer cheap to throw away.
+fn submit_frame_with(msg: &Message, auto: bool, speculative: bool) -> Json {
+    let mut fields = vec![
         ("type", Json::str("submit")),
         ("auto", Json::Bool(auto)),
         ("msg", wire::message_to_json(msg)),
-    ])
+    ];
+    if speculative {
+        fields.push(("speculative", Json::Bool(true)));
+    }
+    Json::obj(fields)
 }
 
 fn modify_frame(bundle: &[crate::worker_client::Outgoing]) -> Json {

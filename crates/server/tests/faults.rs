@@ -83,7 +83,10 @@ fn find_row_with(w: &RemoteWorker, col: ColumnId, val: &Value) -> Option<RowId> 
 /// an exhausted connection or a protocol violation fails the test.
 fn tolerate(result: Result<crowdfill_server::RemoteAck, RemoteError>, what: &str) {
     match result {
-        Ok(_) | Err(RemoteError::Rejected(_)) | Err(RemoteError::Op(_)) => {}
+        Ok(_)
+        | Err(RemoteError::Rejected(_))
+        | Err(RemoteError::Op(_))
+        | Err(RemoteError::Overloaded { .. }) => {}
         Err(e) => panic!("fatal while {what}: {e}"),
     }
 }
@@ -329,4 +332,208 @@ fn converges_through_mixed_faults() {
         };
         run_scenario("mixed", cfg);
     }
+}
+
+// ---------------------------------------------------------------------------
+// Overload scenarios (DESIGN.md §9): the robustness invariant is the same as
+// for link faults — convergence — plus the overload contract: an op answered
+// `Overloaded` was shed strictly before its ack, so nothing the server ever
+// acked may be missing afterwards.
+
+fn plain_dialer(addr: SocketAddr) -> Dialer {
+    Box::new(move |_attempt| TcpConn::connect(addr).map(|c| Box::new(c) as Box<dyn FrameConn>))
+}
+
+/// One acked fill, remembered as (anchor value, column, cell value) so it
+/// can be re-found in any replica regardless of row-id churn.
+type AckedFill = (Value, ColumnId, Value);
+
+/// Anchors one row with `tag` and fills its remaining columns, recording
+/// exactly the fills the server acked. Overload give-ups and rejections
+/// are tolerated — the point is what happens to the acks.
+fn fill_recorded(w: &mut RemoteWorker, tag: &str, acked: &mut Vec<AckedFill>) {
+    w.absorb_pending();
+    let anchor = Value::text(tag);
+    let row = w.view().presented_rows().iter().copied().find(|r| {
+        w.view()
+            .replica()
+            .table()
+            .get(*r)
+            .is_none_or(|e| !e.value.has(ColumnId(0)))
+    });
+    let Some(row) = row else {
+        return;
+    };
+    let result = w.fill(row, ColumnId(0), anchor.clone());
+    if result.is_ok() {
+        acked.push((anchor.clone(), ColumnId(0), anchor.clone()));
+    }
+    tolerate(result, "anchoring under overload");
+    for c in [1u16, 2] {
+        w.absorb_pending();
+        let Some(row) = find_row_with(w, ColumnId(0), &anchor) else {
+            return;
+        };
+        let val = Value::text(format!("{tag}-c{c}"));
+        let result = w.fill(row, ColumnId(c), val.clone());
+        if result.is_ok() {
+            acked.push((anchor.clone(), ColumnId(c), val));
+        }
+        tolerate(result, "filling under overload");
+    }
+}
+
+fn assert_acked_present(verifier: &RemoteWorker, acked: &[AckedFill], scenario: &str) {
+    for (anchor, col, val) in acked {
+        let present = find_row_with(verifier, ColumnId(0), anchor).is_some_and(|row| {
+            verifier
+                .view()
+                .replica()
+                .table()
+                .get(row)
+                .is_some_and(|e| e.value.get(*col) == Some(val))
+        });
+        assert!(
+            present,
+            "{scenario}: acked fill {anchor:?}/{col:?}={val:?} missing from master"
+        );
+    }
+}
+
+/// A burst of eight workers against an admission queue of two while the
+/// apply thread is stalled (the backend lock is held, the deterministic
+/// stand-in for a slow apply): submissions must be shed/rejected with
+/// `Overloaded` rather than queued without bound, every client must ride
+/// it out, and afterwards every replica converges with every acked fill
+/// in place.
+#[test]
+fn sheds_under_burst_without_losing_acks() {
+    let sheds = crowdfill_obs::metrics::counter("crowdfill_server_sheds");
+    let rejects = crowdfill_obs::metrics::counter("crowdfill_server_overload_rejects");
+    let turned_away_before = sheds.get() + rejects.get();
+
+    let backend = Backend::new(config(16));
+    let options = ServiceOptions {
+        idle_timeout: Some(Duration::from_secs(30)),
+        batch: Some(BatchOptions {
+            max_batch: 4,
+            max_wait: Duration::from_millis(1),
+        }),
+        overload: crowdfill_server::OverloadOptions {
+            max_queue: 2,
+            shed_after: Duration::from_millis(5),
+            retry_after_base: Duration::from_millis(2),
+            ..crowdfill_server::OverloadOptions::default()
+        },
+        ..ServiceOptions::default()
+    };
+    let service = TcpService::start_with(backend, "127.0.0.1:0", options).unwrap();
+    let addr = service.addr();
+
+    let backend = service.backend();
+    let ready = std::sync::Barrier::new(9);
+    let results: Vec<(RemoteWorker, Vec<AckedFill>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..8u64)
+            .map(|k| {
+                let ready = &ready;
+                scope.spawn(move || {
+                    let mut w = RemoteWorker::connect_with(plain_dialer(addr), policy(k)).unwrap();
+                    ready.wait();
+                    let mut acked = Vec::new();
+                    fill_recorded(&mut w, &format!("burst-w{k}"), &mut acked);
+                    (w, acked)
+                })
+            })
+            .collect();
+        // Everyone is connected; stall the apply thread through the whole
+        // burst so the queue (capacity two) must turn traffic away.
+        ready.wait();
+        let guard = backend.lock();
+        std::thread::sleep(Duration::from_millis(60));
+        drop(guard);
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    assert!(
+        sheds.get() + rejects.get() > turned_away_before,
+        "a 4x burst against a queue of two never shed or rejected anything"
+    );
+
+    let verifier = RemoteWorker::connect(addr).unwrap();
+    for (mut w, acked) in results {
+        assert_acked_present(&verifier, &acked, "shed-burst");
+        w.sync().unwrap();
+        assert!(
+            w.view().replica().same_state(backend.lock().master()),
+            "shed-burst: worker diverged after overload"
+        );
+    }
+}
+
+/// A reader that stops draining its connection is downgraded to lagging
+/// (bounded buffer, broadcasts dropped and owed via sync) and then evicted;
+/// on its next sync it reconnects, resumes, and converges — with every
+/// fill the server acked along the way still present.
+#[test]
+fn slow_client_is_evicted_then_resumes_and_converges() {
+    let evictions = crowdfill_obs::metrics::counter("crowdfill_server_evictions");
+    let downgrades = crowdfill_obs::metrics::counter("crowdfill_server_lag_downgrades");
+    let (ev_before, dg_before) = (evictions.get(), downgrades.get());
+
+    let backend = Backend::new(config(64));
+    let options = ServiceOptions {
+        idle_timeout: Some(Duration::from_secs(30)),
+        overload: crowdfill_server::OverloadOptions {
+            write_buffer_frames: 2,
+            evict_after: Duration::from_millis(30),
+            // The deterministic slow-reader lever: every seat drains at 20
+            // frames/s, so the stalled observer's buffer overflows without
+            // depending on kernel socket-buffer sizes.
+            writer_pace: Some(Duration::from_millis(50)),
+            ..crowdfill_server::OverloadOptions::default()
+        },
+        ..ServiceOptions::default()
+    };
+    let service = TcpService::start_with(backend, "127.0.0.1:0", options).unwrap();
+    let addr = service.addr();
+
+    // The observer connects and then never reads a frame.
+    let mut observer = RemoteWorker::connect_with(plain_dialer(addr), policy(1)).unwrap();
+    // The filler keeps broadcast traffic flowing until an eviction lands.
+    let mut filler = RemoteWorker::connect_with(plain_dialer(addr), policy(2)).unwrap();
+    let mut acked = Vec::new();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let mut n = 0;
+    while evictions.get() == ev_before {
+        assert!(
+            Instant::now() < deadline,
+            "no eviction after {n} fills against a paced writer"
+        );
+        fill_recorded(&mut filler, &format!("slow-{n}"), &mut acked);
+        n += 1;
+        std::thread::sleep(Duration::from_millis(15));
+    }
+    assert!(
+        downgrades.get() > dg_before,
+        "eviction without a preceding lagging downgrade"
+    );
+    assert!(!acked.is_empty(), "filler never landed a fill");
+
+    // The evicted observer heals on its next sync: reconnect, resume,
+    // replay exactly the missed suffix.
+    observer.sync().unwrap();
+    filler.sync().unwrap();
+    let backend = service.backend();
+    let b = backend.lock();
+    assert!(
+        observer.view().replica().same_state(b.master()),
+        "evicted observer failed to converge after resume"
+    );
+    assert!(
+        filler.view().replica().same_state(b.master()),
+        "filler diverged during eviction churn"
+    );
+    drop(b);
+    let verifier = RemoteWorker::connect(addr).unwrap();
+    assert_acked_present(&verifier, &acked, "slow-client");
 }

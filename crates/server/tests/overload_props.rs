@@ -1,0 +1,379 @@
+//! The overload-protection invariants at the pipeline layer (DESIGN.md §9):
+//!
+//! * **shed-strictly-before-ack** — an op the pipeline answers
+//!   `Overloaded` (admission reject or deadline shed) was never applied:
+//!   it is absent from the master and the broadcast history. Conversely an
+//!   acked op is always present. There is no third state.
+//! * **bounded admission** — with the apply thread stalled, at most
+//!   `max_queue` jobs (plus the in-flight batch) are ever admitted; the
+//!   rest are turned away with a non-zero `retry_after`.
+//! * **speculative gate** — speculative ops are refused the moment queue
+//!   depth reaches `spec_queue`, while normal ops still get in.
+//!
+//! The apply thread is stalled deterministically by holding the backend
+//! lock — the same lock the pipeline applies batches under — so queue
+//! buildup does not depend on machine speed. Seeds extend via
+//! `CROWDFILL_FAULT_SEEDS`, as in `faults.rs`.
+
+use crowdfill_model::{Column, ColumnId, DataType, QuorumMajority, RowId, Schema, Template, Value};
+use crowdfill_pay::{Millis, WorkerId};
+use crowdfill_server::{
+    Backend, BatchOp, BatchOptions, BatchPipeline, OverloadOptions, Priority, SubmitError,
+    TaskConfig, WorkerClient,
+};
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn config(rows: usize) -> TaskConfig {
+    let schema = Arc::new(
+        Schema::new(
+            "T",
+            vec![
+                Column::new("a", DataType::Text),
+                Column::new("b", DataType::Text),
+                Column::new("c", DataType::Text),
+            ],
+            &["a"],
+        )
+        .unwrap(),
+    );
+    TaskConfig::new(
+        schema,
+        Arc::new(QuorumMajority::of_three()),
+        Template::cardinality(rows),
+        10.0,
+    )
+}
+
+fn seeds() -> Vec<u64> {
+    let mut s = vec![5, 17, 29];
+    if let Ok(extra) = std::env::var("CROWDFILL_FAULT_SEEDS") {
+        s.extend(
+            extra
+                .split(',')
+                .filter_map(|t| t.trim().parse::<u64>().ok()),
+        );
+    }
+    s
+}
+
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// One worker's independent workload: fills of its own row, each tagged
+/// with a unique value so presence in the master decides "was applied".
+struct Workload {
+    worker: WorkerId,
+    /// The tag is the claim: `Some` for fill ops (acked ⇔ value in the
+    /// master), `None` for the auto-upvotes riding along (votes carry no
+    /// cell value to check).
+    ops: Vec<(Option<String>, BatchOp)>,
+}
+
+/// Connects `workers` clients and records, per worker, fills of every
+/// column of its own row — all ops valid and non-conflicting, so the only
+/// possible outcomes are ack and overload.
+fn workloads(backend: &mut Backend, workers: usize) -> Vec<Workload> {
+    let mut out = Vec::new();
+    for k in 0..workers {
+        let (id, client_id, history) = backend.connect(Millis(0));
+        let mut client =
+            WorkerClient::new(id, client_id, backend.config().schema.clone(), &history);
+        let rows: Vec<RowId> = client.replica().table().row_ids().collect();
+        // Each fill replaces the row under a fresh id (the replace message
+        // creates it), so chase the id from fill to fill.
+        let mut row = rows[k];
+        let mut ops = Vec::new();
+        for c in 0..3u16 {
+            let tag = format!("w{k}-c{c}");
+            let outs = client
+                .fill(row, ColumnId(c), Value::text(tag.clone()))
+                .expect("fill of own empty cell is valid");
+            row = outs[0].msg.creates_row().expect("fill replaces the row");
+            for o in outs {
+                let claim = (!o.auto_upvote).then(|| tag.clone());
+                ops.push((
+                    claim,
+                    BatchOp::Msg {
+                        msg: o.msg,
+                        auto_upvote: o.auto_upvote,
+                    },
+                ));
+            }
+        }
+        out.push(Workload { worker: id, ops });
+    }
+    out
+}
+
+fn master_contains(backend: &Backend, tag: &str) -> bool {
+    let val = Value::text(tag);
+    backend
+        .master()
+        .table()
+        .iter()
+        .any(|(_, e)| (0..3u16).any(|c| e.value.get(ColumnId(c)) == Some(&val)))
+}
+
+fn pipeline(
+    backend: &Arc<Mutex<Backend>>,
+    options: BatchOptions,
+    overload: OverloadOptions,
+) -> BatchPipeline {
+    BatchPipeline::start(
+        Arc::clone(backend),
+        Box::new(|| Millis(1)),
+        Box::new(|| {}),
+        options,
+        overload,
+    )
+}
+
+/// The headline property, under a seeded stall/stagger interleaving:
+/// every fill is either acked and in the master, or answered `Overloaded`
+/// and absent — shedding happens strictly before the ack, never after.
+#[test]
+fn shed_strictly_before_ack() {
+    for seed in seeds() {
+        let workers = 6;
+        let mut backend = Backend::new(config(workers));
+        let loads = workloads(&mut backend, workers);
+        let backend = Arc::new(Mutex::new(backend));
+        let p = pipeline(
+            &backend,
+            BatchOptions {
+                max_batch: 4,
+                max_wait: Duration::ZERO,
+            },
+            OverloadOptions {
+                max_queue: 64,
+                shed_after: Duration::from_millis(5),
+                ..OverloadOptions::default()
+            },
+        );
+
+        // Stall the apply thread for a seeded window while workers submit
+        // at seeded offsets around the release instant: early arrivals
+        // outwait the shed budget, late ones sail through.
+        let hold = Duration::from_millis(10 + splitmix64(seed) % 20);
+        let guard = backend.lock();
+        let outcomes: Vec<(Option<String>, Result<(), SubmitError>)> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = loads
+                    .iter()
+                    .enumerate()
+                    .map(|(k, load)| {
+                        let p = &p;
+                        let stagger = Duration::from_millis(
+                            splitmix64(seed ^ (k as u64) << 32) % (2 * hold.as_millis() as u64 + 1),
+                        );
+                        scope.spawn(move || {
+                            std::thread::sleep(stagger);
+                            let mut results = Vec::new();
+                            for (tag, op) in &load.ops {
+                                let r = p.submit(load.worker, op.clone()).map(|_| ());
+                                results.push((tag.clone(), r));
+                            }
+                            results
+                        })
+                    })
+                    .collect();
+                std::thread::sleep(hold);
+                drop(guard);
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().unwrap())
+                    .collect()
+            });
+
+        let b = backend.lock();
+        let (mut acked, mut turned_away) = (0, 0);
+        for (tag, result) in &outcomes {
+            match result {
+                Ok(()) => {
+                    acked += 1;
+                    if let Some(tag) = tag {
+                        assert!(
+                            master_contains(&b, tag),
+                            "seed {seed}: acked fill {tag} missing from master"
+                        );
+                    }
+                }
+                Err(e) => {
+                    // Overloaded = shed; any other error is the cascade of
+                    // an earlier shed (the op targets a row whose creating
+                    // fill never applied). Either way: never applied.
+                    turned_away += 1;
+                    if let SubmitError::Overloaded { retry_after_ms } = e {
+                        assert!(*retry_after_ms >= 1, "seed {seed}: zero retry hint");
+                    }
+                    if let Some(tag) = tag {
+                        assert!(
+                            !master_contains(&b, tag),
+                            "seed {seed}: failed fill {tag} ({e}) was applied anyway"
+                        );
+                    }
+                }
+            }
+        }
+        assert_eq!(acked + turned_away, outcomes.len());
+        // The history a client would replay must agree with the master:
+        // exactly the acked ops, in some order — no shed op smuggled in.
+        assert!(
+            b.history_len() >= acked as u64,
+            "seed {seed}: history shorter than acked ops"
+        );
+    }
+}
+
+/// With the apply thread stalled and `max_batch = 1`, admission stops at
+/// `max_queue` + the single in-flight job; everyone else is rejected
+/// immediately with a hint. After release, the admitted ops all apply.
+#[test]
+fn admission_is_bounded_while_stalled() {
+    let workers = 10;
+    let mut backend = Backend::new(config(workers));
+    let loads = workloads(&mut backend, workers);
+    let backend = Arc::new(Mutex::new(backend));
+    let overload = OverloadOptions {
+        max_queue: 4,
+        shed_after: Duration::from_secs(10), // no shedding: isolate admission
+        ..OverloadOptions::default()
+    };
+    let p = pipeline(
+        &backend,
+        BatchOptions {
+            max_batch: 1,
+            max_wait: Duration::ZERO,
+        },
+        overload.clone(),
+    );
+
+    let guard = backend.lock();
+    let outcomes: Vec<(String, Result<(), SubmitError>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = loads
+            .iter()
+            .map(|load| {
+                let p = &p;
+                // One op per worker: ten concurrent submissions against a
+                // queue of four.
+                let (tag, op) = load.ops[0].clone();
+                let tag = tag.expect("first op is a fill");
+                let worker = load.worker;
+                scope.spawn(move || (tag, p.submit(worker, op).map(|_| ())))
+            })
+            .collect();
+        // Let every submitter reach its verdict: admitted ones are parked
+        // in the queue (depth saturates), the rest have bounced.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while p.queue_depth() < overload.max_queue && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        std::thread::sleep(Duration::from_millis(50));
+        drop(guard);
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let b = backend.lock();
+    let mut rejected = 0;
+    for (tag, result) in &outcomes {
+        match result {
+            Ok(()) => assert!(master_contains(&b, tag), "acked {tag} missing"),
+            Err(SubmitError::Overloaded { retry_after_ms }) => {
+                rejected += 1;
+                assert!(*retry_after_ms >= 1);
+                assert!(!master_contains(&b, tag), "rejected {tag} applied");
+            }
+            Err(e) => panic!("unexpected outcome for {tag}: {e}"),
+        }
+    }
+    // 10 submitters, queue of 4, one in flight: at least 4 must bounce
+    // (more when a submitter lost the race to even enqueue).
+    assert!(
+        rejected >= 4,
+        "only {rejected} of 10 rejected over a queue of 4"
+    );
+}
+
+/// Speculative ops are refused as soon as the queue shows any depth at or
+/// past `spec_queue`, while the same op submitted as `Normal` is admitted;
+/// on an idle pipeline speculative ops go through like any other.
+#[test]
+fn speculative_gate_closes_first() {
+    let workers = 4;
+    let mut backend = Backend::new(config(workers));
+    let loads = workloads(&mut backend, workers);
+    let backend = Arc::new(Mutex::new(backend));
+    let p = pipeline(
+        &backend,
+        BatchOptions {
+            max_batch: 1,
+            max_wait: Duration::ZERO,
+        },
+        OverloadOptions {
+            max_queue: 8,
+            spec_queue: 1,
+            shed_after: Duration::from_secs(10),
+            ..OverloadOptions::default()
+        },
+    );
+
+    // Idle pipeline: a speculative op is admitted and applied.
+    let (tag, op) = loads[0].ops[0].clone();
+    let tag = tag.expect("first op is a fill");
+    p.submit_classified(loads[0].worker, op, Priority::Speculative)
+        .expect("speculative admitted while idle");
+    assert!(master_contains(&backend.lock(), &tag));
+
+    // Stalled pipeline with visible depth: the gate is closed for
+    // speculative traffic but still open for normal traffic.
+    let guard = backend.lock();
+    let parked: Vec<_> = std::thread::scope(|scope| {
+        let handles: Vec<_> = loads[1..3]
+            .iter()
+            .map(|load| {
+                let p = &p;
+                let (_, op) = load.ops[0].clone();
+                let worker = load.worker;
+                scope.spawn(move || p.submit(worker, op).map(|_| ()))
+            })
+            .collect();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while p.queue_depth() < 1 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(p.queue_depth() >= 1, "queue never showed depth");
+
+        let (spec_tag, spec_op) = loads[3].ops[0].clone();
+        let spec_tag = spec_tag.expect("first op is a fill");
+        let spec_worker = loads[3].worker;
+        let refused = p.submit_classified(spec_worker, spec_op.clone(), Priority::Speculative);
+        match refused {
+            Err(SubmitError::Overloaded { retry_after_ms }) => assert!(retry_after_ms >= 1),
+            other => panic!("speculative admitted at depth >= spec_queue: {other:?}"),
+        }
+
+        // The same op as Normal is admitted (queue has room)...
+        let pref = &p;
+        let normal =
+            scope.spawn(move || pref.submit_classified(spec_worker, spec_op, Priority::Normal));
+        drop(guard);
+        let normal = normal.join().unwrap();
+        assert!(
+            normal.is_ok(),
+            "normal op bounced with queue room: {normal:?}"
+        );
+        // ...and lands, proving the refusal above was the gate, not the op.
+        assert!(master_contains(&backend.lock(), &spec_tag));
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for r in parked {
+        r.expect("parked normal ops apply after release");
+    }
+    assert!(master_contains(&backend.lock(), &tag));
+}

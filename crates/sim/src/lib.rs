@@ -11,14 +11,18 @@
 //! * [`worker`] — behavioral profiles: speed, knowledge coverage, error
 //!   rate, vote propensity, session timing;
 //! * [`des`] — the event engine and [`RunReport`];
-//! * [`experiment`] — canned setups mirroring the paper's §6 runs.
+//! * [`experiment`] — canned setups mirroring the paper's §6 runs;
+//! * [`openloop`] — seeded open-loop arrival schedules for the overload
+//!   stress harness (burst, ramp, stalled-reader, thundering-herd).
 
 pub mod dataset;
 pub mod des;
 pub mod experiment;
+pub mod openloop;
 pub mod worker;
 
 pub use dataset::{cities_universe, movies_universe, soccer_schema, soccer_universe, GroundTruth};
 pub use des::{run, RunReport, SimConfig};
 pub use experiment::{paper_setup, paper_worker_profiles, uniform_setup};
+pub use openloop::{Arrival, Schedule};
 pub use worker::{PlannedAction, SimWorker, WorkerProfile};

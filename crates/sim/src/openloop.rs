@@ -1,0 +1,239 @@
+//! Seeded open-loop load schedules for the overload harness.
+//!
+//! A closed-loop driver (each worker waits for its ack before the next op)
+//! can never overload a server — it self-throttles to whatever the server
+//! sustains. Overload needs *open-loop* arrivals: ops land on the wall
+//! clock regardless of how the server is doing. This module generates
+//! those arrival schedules as pure, deterministic data — a seed fully
+//! determines every arrival time — so the bench harness
+//! (`crowdfill-bench`) can replay identical overload storms against a real
+//! `tcp_service` and assert bounded queues, bounded ack latency, and zero
+//! acked-submission loss (DESIGN.md §9).
+//!
+//! Four shapes, matching the classic failure stories:
+//!
+//! * [`burst`] — the whole offered load arrives in one short window
+//!   (a crowd marketplace posting a batch of HITs);
+//! * [`ramp`] — arrival rate grows linearly from zero (a task going
+//!   viral), so the harness can watch admission kick in mid-run;
+//! * [`stalled_reader`] — steady load plus readers that stop draining
+//!   their connection, exercising the watermark downgrade/eviction path;
+//! * [`thundering_herd`] — steady load with a mass disconnect at a fixed
+//!   offset, after which every client reconnects and resumes at once.
+
+/// One scheduled submission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Arrival {
+    /// Offset from harness start.
+    pub at_ms: u64,
+    /// Index of the submitting worker in `0..workers`.
+    pub worker: usize,
+    /// Whether the op should be marked speculative (admitted only under
+    /// slack; the first traffic shed as load rises).
+    pub speculative: bool,
+}
+
+/// A complete open-loop scenario: who submits what, when, plus the
+/// scenario-level events (stalled readers, herd disconnect) the harness
+/// stages around the arrivals.
+#[derive(Debug, Clone)]
+pub struct Schedule {
+    /// Scenario family (`burst`, `ramp`, ...), for reports.
+    pub name: &'static str,
+    /// The seed that generated everything below.
+    pub seed: u64,
+    /// Number of submitting workers (arrival `worker` indexes this range).
+    pub workers: usize,
+    /// Submissions, sorted by `at_ms` (ties keep generation order).
+    pub arrivals: Vec<Arrival>,
+    /// How many additional read-only observers connect and then *stop
+    /// reading* their socket, to stage the slow-client path.
+    pub stalled_readers: usize,
+    /// If set, the harness forcibly drops every connection at this offset
+    /// (`TcpService::disconnect_all`), staging a thundering-herd
+    /// reconnect-and-resume storm.
+    pub herd_disconnect_at_ms: Option<u64>,
+}
+
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Tiny deterministic generator (the workspace's usual splitmix64 walk).
+struct Prng(u64);
+
+impl Prng {
+    fn new(seed: u64) -> Prng {
+        Prng(splitmix64(seed ^ 0x6A09_E667_F3BC_C908))
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.0 = splitmix64(self.0);
+        self.0
+    }
+    /// Uniform in `[0, 1)`.
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+    fn below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            0
+        } else {
+            self.next_u64() % n
+        }
+    }
+}
+
+fn finish(name: &'static str, seed: u64, workers: usize, mut arrivals: Vec<Arrival>) -> Schedule {
+    arrivals.sort_by_key(|a| a.at_ms);
+    Schedule {
+        name,
+        seed,
+        workers,
+        arrivals,
+        stalled_readers: 0,
+        herd_disconnect_at_ms: None,
+    }
+}
+
+/// Every op lands uniformly inside one short `window_ms`: the whole
+/// offered load at once. `spec_per_mille` of arrivals (seeded choice) are
+/// marked speculative.
+pub fn burst(
+    seed: u64,
+    workers: usize,
+    ops_per_worker: usize,
+    window_ms: u64,
+    spec_per_mille: u32,
+) -> Schedule {
+    let mut rng = Prng::new(seed);
+    let mut arrivals = Vec::with_capacity(workers * ops_per_worker);
+    for worker in 0..workers {
+        for _ in 0..ops_per_worker {
+            arrivals.push(Arrival {
+                at_ms: rng.below(window_ms.max(1)),
+                worker,
+                speculative: rng.below(1000) < spec_per_mille as u64,
+            });
+        }
+    }
+    finish("burst", seed, workers, arrivals)
+}
+
+/// Arrival rate grows linearly from zero over `duration_ms` (inverse-CDF
+/// sampling: `t = duration · √u` puts twice the density at the end of the
+/// run as a uniform draw would), so admission control engages mid-run.
+pub fn ramp(seed: u64, workers: usize, total_ops: usize, duration_ms: u64) -> Schedule {
+    let mut rng = Prng::new(seed);
+    let mut arrivals = Vec::with_capacity(total_ops);
+    for _ in 0..total_ops {
+        let t = (duration_ms as f64) * rng.next_f64().sqrt();
+        arrivals.push(Arrival {
+            at_ms: t as u64,
+            worker: rng.below(workers.max(1) as u64) as usize,
+            speculative: false,
+        });
+    }
+    finish("ramp", seed, workers, arrivals)
+}
+
+/// Steady uniform load from `workers` submitters while `stalled_readers`
+/// extra observers connect and never read: broadcast fan-out to them must
+/// hit the write-buffer watermark, not server memory.
+pub fn stalled_reader(
+    seed: u64,
+    workers: usize,
+    ops_per_worker: usize,
+    window_ms: u64,
+    stalled_readers: usize,
+) -> Schedule {
+    let mut schedule = burst(seed, workers, ops_per_worker, window_ms, 0);
+    schedule.name = "stalled-reader";
+    schedule.stalled_readers = stalled_readers;
+    schedule
+}
+
+/// Steady uniform load with every connection forcibly dropped at
+/// `disconnect_at_ms`: the herd redials, resumes, and resubmits at once,
+/// while admission control keeps the recovery storm bounded.
+pub fn thundering_herd(
+    seed: u64,
+    workers: usize,
+    ops_per_worker: usize,
+    window_ms: u64,
+    disconnect_at_ms: u64,
+) -> Schedule {
+    let mut schedule = burst(seed, workers, ops_per_worker, window_ms, 0);
+    schedule.name = "thundering-herd";
+    schedule.herd_disconnect_at_ms = Some(disconnect_at_ms);
+    schedule
+}
+
+impl Schedule {
+    /// Total scheduled submissions.
+    pub fn total_ops(&self) -> usize {
+        self.arrivals.len()
+    }
+
+    /// The last arrival offset (0 for an empty schedule).
+    pub fn horizon_ms(&self) -> u64 {
+        self.arrivals.last().map_or(0, |a| a.at_ms)
+    }
+
+    /// The arrivals of one worker, in time order.
+    pub fn for_worker(&self, worker: usize) -> impl Iterator<Item = &Arrival> {
+        self.arrivals.iter().filter(move |a| a.worker == worker)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let a = burst(42, 8, 10, 100, 250);
+        let b = burst(42, 8, 10, 100, 250);
+        assert_eq!(a.arrivals, b.arrivals);
+        let c = burst(43, 8, 10, 100, 250);
+        assert_ne!(a.arrivals, c.arrivals, "different seed, different storm");
+    }
+
+    #[test]
+    fn burst_shape() {
+        let s = burst(7, 16, 5, 50, 500);
+        assert_eq!(s.total_ops(), 80);
+        assert!(s.horizon_ms() < 50);
+        assert!(s.arrivals.windows(2).all(|w| w[0].at_ms <= w[1].at_ms));
+        let spec = s.arrivals.iter().filter(|a| a.speculative).count();
+        assert!(spec > 10 && spec < 70, "~half speculative, got {spec}");
+        for w in 0..16 {
+            assert_eq!(s.for_worker(w).count(), 5);
+        }
+    }
+
+    #[test]
+    fn ramp_back_half_denser_than_front_half() {
+        let s = ramp(11, 8, 1000, 1000);
+        let mid = 500;
+        let front = s.arrivals.iter().filter(|a| a.at_ms < mid).count();
+        let back = s.total_ops() - front;
+        assert!(
+            back > front + front / 2,
+            "ramp must lean late: front={front} back={back}"
+        );
+    }
+
+    #[test]
+    fn scenario_events_carried() {
+        let s = stalled_reader(3, 4, 2, 20, 3);
+        assert_eq!(s.stalled_readers, 3);
+        assert_eq!(s.name, "stalled-reader");
+        let h = thundering_herd(3, 4, 2, 200, 80);
+        assert_eq!(s.total_ops(), h.total_ops());
+        assert_eq!(h.herd_disconnect_at_ms, Some(80));
+        assert_eq!(h.name, "thundering-herd");
+    }
+}

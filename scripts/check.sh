@@ -15,3 +15,12 @@ cargo clippy --workspace --all-targets -- -D warnings
 # fixed seed set so regressions in reconnect/resume fail the check even
 # when they only show under other fault schedules.
 CROWDFILL_FAULT_SEEDS=11,23,47,101 cargo test -q -p crowdfill-server --test faults
+
+# Overload gate: the stress harness (seeded open-loop storms against a
+# real service) and the shed/admission property tests, at extra pinned
+# seeds beyond the built-ins. Release profile: the harness replays
+# wall-clock schedules, so debug-build slowness just stretches the run.
+CROWDFILL_STRESS_SEEDS=101,9091 \
+  cargo test -q --release -p crowdfill-bench --test overload_harness
+CROWDFILL_FAULT_SEEDS=11,23,47,101 \
+  cargo test -q --release -p crowdfill-server --test overload_props

@@ -58,6 +58,24 @@ pub mod channel {
         Disconnected,
     }
 
+    /// Error returned by [`Sender::try_send`]: the channel is at capacity
+    /// (bounded channels only) or all receivers are gone. The rejected
+    /// value is handed back in either case.
+    #[derive(PartialEq, Eq, Clone, Copy)]
+    pub enum TrySendError<T> {
+        Full(T),
+        Disconnected(T),
+    }
+
+    impl<T> fmt::Debug for TrySendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TrySendError::Full(_) => f.write_str("TrySendError::Full(..)"),
+                TrySendError::Disconnected(_) => f.write_str("TrySendError::Disconnected(..)"),
+            }
+        }
+    }
+
     impl<T> fmt::Debug for SendError<T> {
         fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
             f.write_str("SendError(..)")
@@ -119,6 +137,22 @@ pub mod channel {
                             .unwrap_or_else(|e| e.into_inner());
                     }
                     _ => break,
+                }
+            }
+            state.items.push_back(value);
+            drop(state);
+            self.shared.ready.notify_one();
+            Ok(())
+        }
+
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            let mut state = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            if state.receivers == 0 {
+                return Err(TrySendError::Disconnected(value));
+            }
+            if let Some(cap) = state.cap {
+                if state.items.len() >= cap {
+                    return Err(TrySendError::Full(value));
                 }
             }
             state.items.push_back(value);
@@ -361,6 +395,24 @@ mod tests {
             assert_eq!(rx.recv().unwrap(), i);
         }
         handle.join().unwrap();
+    }
+
+    #[test]
+    fn try_send_full_and_disconnected() {
+        use super::channel::TrySendError;
+        let (tx, rx) = super::channel::bounded(2);
+        tx.try_send(1u8).unwrap();
+        tx.try_send(2).unwrap();
+        assert_eq!(tx.try_send(3), Err(TrySendError::Full(3)));
+        assert_eq!(rx.recv(), Ok(1));
+        tx.try_send(3).unwrap();
+        drop(rx);
+        assert_eq!(tx.try_send(4), Err(TrySendError::Disconnected(4)));
+
+        let (utx, _urx) = unbounded();
+        for i in 0..100u32 {
+            utx.try_send(i).unwrap(); // unbounded never reports Full
+        }
     }
 
     #[test]
