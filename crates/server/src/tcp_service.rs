@@ -202,8 +202,10 @@ struct Seat {
     /// When the seat went lagging (the eviction clock).
     lagging_since: Mutex<Option<Instant>>,
     /// A `{"type":"lagging"}` note owed to the client, sent by the writer
-    /// thread as soon as the buffer makes progress.
-    note_pending: AtomicBool,
+    /// thread as soon as the buffer makes progress. Shared with the writer
+    /// thread directly (not via the seat) so the thread does not keep the
+    /// seat — and with it the channel's only `Sender` — alive.
+    note_pending: Arc<AtomicBool>,
     /// Set once the seat has been evicted (shutdown is idempotent, but the
     /// metrics should count each eviction once).
     evicted: AtomicBool,
@@ -211,19 +213,21 @@ struct Seat {
 
 impl Seat {
     /// Wraps a connection in a bounded outbound buffer and spawns its
-    /// writer thread. The thread exits when the seat is dropped (channel
-    /// disconnects) or the connection dies.
+    /// writer thread. The thread must NOT hold the seat itself: the seat
+    /// owns the channel's only `Sender`, and the thread's exit condition is
+    /// `recv()` observing disconnection once the seat is dropped. It
+    /// captures only the connection and the `note_pending` flag.
     fn spawn(conn: Arc<TcpConn>, overload: &OverloadOptions) -> Arc<Seat> {
         let (outbound, rx) = channel::bounded::<Vec<u8>>(overload.write_buffer_frames.max(1));
+        let note_pending = Arc::new(AtomicBool::new(false));
         let seat = Arc::new(Seat {
-            conn,
+            conn: Arc::clone(&conn),
             outbound,
             lagging: AtomicBool::new(false),
             lagging_since: Mutex::new(None),
-            note_pending: AtomicBool::new(false),
+            note_pending: Arc::clone(&note_pending),
             evicted: AtomicBool::new(false),
         });
-        let writer_seat = Arc::clone(&seat);
         let pace = overload.writer_pace;
         let _ = std::thread::Builder::new()
             .name("crowdfill-conn-write".into())
@@ -232,14 +236,11 @@ impl Seat {
                     Ok(f) => f,
                     Err(_) => return,
                 };
-                if writer_seat.conn.send(&frame).is_err() {
+                if conn.send(&frame).is_err() {
                     return;
                 }
-                if writer_seat.note_pending.swap(false, Ordering::AcqRel)
-                    && writer_seat
-                        .conn
-                        .send(lagging_frame().encode().as_bytes())
-                        .is_err()
+                if note_pending.swap(false, Ordering::AcqRel)
+                    && conn.send(lagging_frame().encode().as_bytes()).is_err()
                 {
                     return;
                 }
@@ -260,19 +261,7 @@ impl Seat {
         }
         if self.lagging.load(Ordering::Acquire) {
             m_lag_dropped().inc();
-            let since = *self.lagging_since.lock();
-            if since.is_some_and(|t| t.elapsed() > overload.evict_after)
-                && !self.evicted.swap(true, Ordering::AcqRel)
-            {
-                m_evictions().inc();
-                crowdfill_obs::obs_warn!(
-                    "server",
-                    "evicting slow client {} (lagging past {:?})",
-                    self.conn.peer_addr(),
-                    overload.evict_after
-                );
-                self.conn.shutdown();
-            }
+            self.maybe_evict(overload);
             return;
         }
         match self.outbound.try_send(frame) {
@@ -294,6 +283,30 @@ impl Seat {
                 m_lag_dropped().inc();
             }
             Err(TrySendError::Disconnected(_)) => {}
+        }
+    }
+
+    /// Disconnects the seat if it has been lagging past
+    /// [`OverloadOptions::evict_after`] without a healing `sync`. Called
+    /// from [`enqueue`](Self::enqueue) when fresh broadcasts arrive and
+    /// from the service's periodic sweep, so a stalled reader on a quiet
+    /// collection (no further broadcast traffic) is still evicted on time.
+    fn maybe_evict(&self, overload: &OverloadOptions) {
+        if self.evicted.load(Ordering::Acquire) || !self.lagging.load(Ordering::Acquire) {
+            return;
+        }
+        let since = *self.lagging_since.lock();
+        if since.is_some_and(|t| t.elapsed() > overload.evict_after)
+            && !self.evicted.swap(true, Ordering::AcqRel)
+        {
+            m_evictions().inc();
+            crowdfill_obs::obs_warn!(
+                "server",
+                "evicting slow client {} (lagging past {:?})",
+                self.conn.peer_addr(),
+                overload.evict_after
+            );
+            self.conn.shutdown();
         }
     }
 
@@ -363,6 +376,26 @@ impl TcpService {
                 options.overload.clone(),
             ))
         });
+
+        // The eviction clock must not depend on broadcast traffic: a reader
+        // that stalls on a quiet collection never triggers the enqueue-path
+        // check, so a periodic sweep drives `maybe_evict` for every seat.
+        let sweep_registry = Arc::clone(&registry);
+        let sweep_shutdown = Arc::clone(&shutdown);
+        let sweep_options = Arc::clone(&options);
+        let sweep_interval = (options.overload.evict_after / 4)
+            .clamp(Duration::from_millis(5), Duration::from_secs(1));
+        let _ = std::thread::Builder::new()
+            .name("crowdfill-evict-sweep".into())
+            .spawn(move || {
+                while !sweep_shutdown.load(Ordering::SeqCst) {
+                    std::thread::sleep(sweep_interval);
+                    let seats: Vec<Arc<Seat>> = sweep_registry.lock().values().cloned().collect();
+                    for seat in seats {
+                        seat.maybe_evict(&sweep_options.overload);
+                    }
+                }
+            });
 
         let pipeline_handle = pipeline.clone();
         let service_registry = Arc::clone(&registry);
@@ -637,6 +670,10 @@ fn serve_conn(
             reg.remove(&worker);
         }
     }
+    // Dropping the registry's seat (and ours below) disconnects the writer
+    // channel, but a writer mid-`send` to a peer that stopped reading would
+    // still block on the socket; closing it forces that send to error.
+    conn.shutdown();
     backend.lock().disconnect_epoch(worker, epoch);
     metrics.disconnects.inc();
     crowdfill_obs::obs_debug!("server", "session ended"; worker => worker.0, epoch => epoch);
@@ -1355,9 +1392,16 @@ impl RemoteWorker {
                 .and_then(|_| self.await_ack());
             match result {
                 Ok(ack) => {
+                    // The op is acked — durably applied server-side — so the
+                    // lagging heal is best-effort, like `absorb_pending`: a
+                    // transient sync failure must not surface as the op's
+                    // error (a caller treating it as failure could retry an
+                    // already-applied op). Re-set the flag and heal later.
                     if self.needs_sync {
                         self.needs_sync = false;
-                        self.sync()?;
+                        if self.sync().is_err() {
+                            self.needs_sync = true;
+                        }
                     }
                     return Ok(ack);
                 }
