@@ -64,5 +64,28 @@ fn bench_batched_apply(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_batched_apply);
+/// Tracing overhead on the batched apply path: off (the disabled-branch
+/// hot path the ≤2% gate compares against the pre-tracing baseline),
+/// sampled 1-in-64, and every-op. The workload is re-recorded per mode
+/// because jobs mint their trace ids at record time.
+fn bench_trace_overhead(c: &mut Criterion) {
+    use crowdfill_obs::trace::{self as obstrace, TraceMode};
+    let before = obstrace::mode();
+    let mut group = c.benchmark_group("sync_pipeline/trace_overhead");
+    for (label, mode) in [
+        ("off", TraceMode::Off),
+        ("sampled64", TraceMode::Sampled(64)),
+        ("all", TraceMode::All),
+    ] {
+        obstrace::set_mode(mode);
+        let jobs = record_fill_workload(ROWS, WORKERS);
+        group.bench_function(label, |b| {
+            b.iter(|| replay_batched(&jobs, ROWS, WORKERS, 32, None));
+        });
+    }
+    obstrace::set_mode(before);
+    group.finish();
+}
+
+criterion_group!(benches, bench_batched_apply, bench_trace_overhead);
 criterion_main!(benches);

@@ -174,6 +174,35 @@ fn matching_suite(quick: bool) -> Vec<Entry> {
     entries
 }
 
+/// Tracing overhead on the sync-pipeline workload: the same batched
+/// replay with tracing off, sampled (1-in-64), and on for every op. The
+/// `off` row is the hot path the ≤2% regression gate watches; the others
+/// price turning the flight recorder on.
+fn trace_overhead_suite(quick: bool) -> Vec<Entry> {
+    use crowdfill_obs::trace::{self as obstrace, TraceMode};
+    let (rows, workers, reps) = if quick { (16, 4, 3) } else { (32, 4, 9) };
+    eprintln!("trace overhead workload: {rows} rows, {workers} workers, {reps} reps");
+    let before = obstrace::mode();
+    let mut entries = Vec::new();
+    for (label, mode) in [
+        ("off", TraceMode::Off),
+        ("sampled64", TraceMode::Sampled(64)),
+        ("all", TraceMode::All),
+    ] {
+        obstrace::set_mode(mode);
+        // Re-record under each mode: the workload mints its jobs' trace
+        // ids at record time, gated on the mode (off → untraced jobs,
+        // sampled → 1-in-64, all → every job).
+        let jobs = record_fill_workload(rows, workers);
+        let ops = jobs.len();
+        entries.push(measure(&format!("apply_traced/{label}"), ops, reps, || {
+            replay_batched(&jobs, rows, workers, 32, None);
+        }));
+    }
+    obstrace::set_mode(before);
+    entries
+}
+
 /// The overload stress suite: seeded open-loop storms against a tiny
 /// admission bound (DESIGN.md §9). Every scenario's invariants — bounded
 /// queue depth, zero acked loss — are asserted, so a regression fails the
@@ -274,6 +303,14 @@ fn main() {
         "matching",
         quick,
         &matching,
+    );
+
+    let trace_overhead = trace_overhead_suite(quick);
+    write_report(
+        &out_dir.join("BENCH_trace_overhead.json"),
+        "trace_overhead",
+        quick,
+        &trace_overhead,
     );
 
     let overload = overload_suite(quick);

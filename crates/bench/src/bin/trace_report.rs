@@ -1,0 +1,75 @@
+//! `trace-report`: latency attribution over a flight-recorder dump.
+//!
+//! ```text
+//! trace-report <dump.jsonl> [--slowest N]
+//! trace-report -            # read the dump from stdin
+//! ```
+//!
+//! The dump is whatever `{"type":"trace_dump"}` returned, a
+//! `flight-*.jsonl` file a failing harness wrote, or any concatenation of
+//! `TraceEvent` JSON lines. Output: per-stage p50/p99 (the same
+//! log-bucket quantiles the Prometheus export uses), a critical-path
+//! breakdown of the mean acked op, and the slowest N ops as span trees.
+
+use crowdfill_bench::tracereport::{parse_jsonl, Report};
+use std::io::Read;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut path: Option<String> = None;
+    let mut slowest = 5usize;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--slowest" => {
+                i += 1;
+                slowest = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage("--slowest needs a number"));
+            }
+            "-h" | "--help" => usage(""),
+            a => {
+                if path.is_some() {
+                    usage("more than one input path");
+                }
+                path = Some(a.to_string());
+            }
+        }
+        i += 1;
+    }
+    let Some(path) = path else {
+        usage("missing input path");
+    };
+
+    let text = if path == "-" {
+        let mut buf = String::new();
+        std::io::stdin()
+            .read_to_string(&mut buf)
+            .unwrap_or_else(|e| fail(&format!("reading stdin: {e}")));
+        buf
+    } else {
+        std::fs::read_to_string(&path).unwrap_or_else(|e| fail(&format!("reading {path}: {e}")))
+    };
+
+    let (events, bad) = parse_jsonl(&text);
+    if events.is_empty() {
+        fail(&format!(
+            "no trace events in {path} ({bad} unparsable lines) — is tracing on? (OBS_TRACE=all)"
+        ));
+    }
+    print!("{}", Report::build(&events, slowest, bad).render());
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}");
+    }
+    eprintln!("usage: trace-report <dump.jsonl | -> [--slowest N]");
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(1);
+}

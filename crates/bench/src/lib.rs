@@ -2,6 +2,7 @@
 //! tables and figures (see `src/bin/`) and for the criterion benches.
 
 pub mod overload;
+pub mod tracereport;
 pub mod workload;
 
 use crowdfill_pay::WorkerId;

@@ -141,36 +141,51 @@ impl ScenarioReport {
         )
     }
 
-    /// The invariants every scenario must satisfy, panicking with context
-    /// on violation. Latency is asserted by the caller (it knows the
-    /// scenario's budget); loss and queue bounds are universal.
-    pub fn assert_invariants(&self) {
-        assert_eq!(
-            self.acked_lost, 0,
-            "{}/seed={}: {} acked submissions missing from master",
-            self.scenario, self.seed, self.acked_lost
-        );
-        assert!(
-            self.max_queue_depth <= self.queue_bound,
-            "{}/seed={}: queue depth {} exceeded bound {}",
-            self.scenario,
-            self.seed,
-            self.max_queue_depth,
-            self.queue_bound
-        );
-        assert!(
-            self.fatal == 0,
-            "{}/seed={}: {} workers exhausted their reconnect budget",
-            self.scenario,
-            self.seed,
-            self.fatal
-        );
+    /// The invariants every scenario must satisfy, as a checkable result
+    /// so callers can attach diagnostics before failing. Latency is
+    /// asserted by the caller (it knows the scenario's budget); loss and
+    /// queue bounds are universal.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        if self.acked_lost != 0 {
+            return Err(format!(
+                "{}/seed={}: {} acked submissions missing from master",
+                self.scenario, self.seed, self.acked_lost
+            ));
+        }
+        if self.max_queue_depth > self.queue_bound {
+            return Err(format!(
+                "{}/seed={}: queue depth {} exceeded bound {}",
+                self.scenario, self.seed, self.max_queue_depth, self.queue_bound
+            ));
+        }
+        if self.fatal != 0 {
+            return Err(format!(
+                "{}/seed={}: {} workers exhausted their reconnect budget",
+                self.scenario, self.seed, self.fatal
+            ));
+        }
         let outcomes = self.acked + self.overload_give_ups + self.op_failures;
-        assert_eq!(
-            outcomes, self.offered,
-            "{}/seed={}: outcomes {} != offered {}",
-            self.scenario, self.seed, outcomes, self.offered
-        );
+        if outcomes != self.offered {
+            return Err(format!(
+                "{}/seed={}: outcomes {} != offered {}",
+                self.scenario, self.seed, outcomes, self.offered
+            ));
+        }
+        Ok(())
+    }
+
+    /// [`check_invariants`](Self::check_invariants), panicking on
+    /// violation. When the flight recorder holds events for this run, they
+    /// are dumped to a file first and the panic message names the path —
+    /// the failing seed's op timeline survives the process.
+    pub fn assert_invariants(&self) {
+        if let Err(msg) = self.check_invariants() {
+            let label = format!("overload-{}-seed{}", self.scenario, self.seed);
+            match crowdfill_obs::trace::dump_flight_record(&label) {
+                Some(path) => panic!("{msg}\nflight record dumped to {}", path.display()),
+                None => panic!("{msg}"),
+            }
+        }
     }
 }
 
@@ -372,6 +387,23 @@ fn stalled_reader_conn(addr: std::net::SocketAddr) -> Option<TcpConn> {
 pub fn run_schedule(schedule: &Schedule, opts: &HarnessOptions) -> ScenarioReport {
     static SERIAL: Mutex<()> = Mutex::new(());
     let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+
+    // Make sure a failing scenario has a flight record to dump: if tracing
+    // is off (the default), sample 1-in-8 ops for the duration of the run.
+    // Sampling is pure in the deterministically-seeded trace ids, so the
+    // recorded subset is reproducible per seed.
+    use crowdfill_obs::trace as obstrace;
+    let mode_before = obstrace::mode();
+    if mode_before == obstrace::TraceMode::Off {
+        obstrace::set_mode(obstrace::TraceMode::Sampled(8));
+    }
+    let _restore = ModeGuard(mode_before);
+    struct ModeGuard(crowdfill_obs::trace::TraceMode);
+    impl Drop for ModeGuard {
+        fn drop(&mut self) {
+            crowdfill_obs::trace::set_mode(self.0);
+        }
+    }
 
     let rejects = metrics::counter("crowdfill_server_overload_rejects");
     let sheds = metrics::counter("crowdfill_server_sheds");

@@ -1,0 +1,327 @@
+//! Latency attribution over a flight-recorder dump: per-stage quantiles,
+//! a critical-path breakdown of the mean end-to-end op, and the slowest
+//! ops rendered as span trees.
+//!
+//! Input is the JSONL emitted by
+//! [`FlightRecorder::dump_jsonl`](crowdfill_obs::trace::FlightRecorder::dump_jsonl)
+//! (one [`TraceEvent`] per line) — whether it came over the wire via
+//! `{"type":"trace_dump"}`, from a `flight-*.jsonl` file a failing
+//! harness dumped, or from the in-process recorder. The report is a pure
+//! function of the event set: re-running it over the same dump yields
+//! byte-identical text (ordering is by duration, then trace id).
+
+use crowdfill_obs::trace::{by_trace, Stage, TraceEvent, TraceId, TraceSummary, STAGES};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Parses a JSONL dump, ignoring blank lines. Returns the events plus the
+/// number of lines that failed to parse (a non-zero count usually means
+/// the file is not a flight-recorder dump).
+pub fn parse_jsonl(text: &str) -> (Vec<TraceEvent>, usize) {
+    let mut events = Vec::new();
+    let mut bad = 0;
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        match TraceEvent::parse_json_line(line) {
+            Some(ev) => events.push(ev),
+            None => bad += 1,
+        }
+    }
+    (events, bad)
+}
+
+/// One reconstructed op: its events, keyed by its trace id.
+struct Op {
+    trace: TraceId,
+    /// Duration of the root `client_submit` span when present (the op's
+    /// end-to-end latency as the submitting client saw it); ops traced
+    /// server-side only (sim, bench replay) fall back to the `apply` span.
+    total_ns: u64,
+    events: Vec<TraceEvent>,
+}
+
+fn op_total(events: &[TraceEvent]) -> u64 {
+    let of_stage = |stage: Stage| {
+        events
+            .iter()
+            .filter(|e| e.stage == stage)
+            .map(|e| e.dur_ns)
+            .max()
+    };
+    of_stage(Stage::ClientSubmit)
+        .or_else(|| of_stage(Stage::Apply))
+        .unwrap_or(0)
+}
+
+/// The full attribution report over one event set.
+pub struct Report {
+    summary: TraceSummary,
+    /// Mean duration per stage over complete (acked) ops, ns.
+    critical_path: BTreeMap<Stage, u64>,
+    /// Complete (acked) ops counted into the critical path.
+    complete_ops: usize,
+    mean_total_ns: u64,
+    /// The slowest ops, by total duration descending (trace id breaks
+    /// ties so the order is stable).
+    slowest: Vec<Op>,
+    parse_failures: usize,
+}
+
+impl Report {
+    /// Builds the report. `slowest_n` bounds the span-tree section.
+    pub fn build(events: &[TraceEvent], slowest_n: usize, parse_failures: usize) -> Report {
+        let summary = TraceSummary::from_events(events);
+        let grouped = by_trace(events);
+        let mut ops: Vec<Op> = grouped
+            .into_iter()
+            .map(|(trace, events)| Op {
+                trace,
+                total_ns: op_total(&events),
+                events,
+            })
+            .collect();
+
+        // Critical path: over ops that completed (reached `ack`), the mean
+        // time spent in each stage. Stages the server stamps once per op
+        // contribute their duration; instantaneous stamps (admit, ack,
+        // broadcast) contribute zero and are omitted from the breakdown.
+        let mut sums: BTreeMap<Stage, u64> = BTreeMap::new();
+        let mut total_sum = 0u64;
+        let mut complete_ops = 0usize;
+        for op in &ops {
+            if !op.events.iter().any(|e| e.stage == Stage::Ack) {
+                continue;
+            }
+            complete_ops += 1;
+            total_sum += op.total_ns;
+            // Bill each (span, stage) once — retries re-stamp identical
+            // spans and must not double-count.
+            let mut seen = std::collections::BTreeSet::new();
+            for e in &op.events {
+                if seen.insert((e.span, e.stage, e.at_ns)) {
+                    *sums.entry(e.stage).or_insert(0) += e.dur_ns;
+                }
+            }
+        }
+        let critical_path = sums
+            .into_iter()
+            .map(|(s, sum)| (s, sum / complete_ops.max(1) as u64))
+            .collect();
+        let mean_total_ns = total_sum / complete_ops.max(1) as u64;
+
+        ops.sort_by(|a, b| b.total_ns.cmp(&a.total_ns).then(a.trace.0.cmp(&b.trace.0)));
+        ops.truncate(slowest_n);
+        Report {
+            summary,
+            critical_path,
+            complete_ops,
+            mean_total_ns,
+            slowest: ops,
+            parse_failures,
+        }
+    }
+
+    /// Deterministic plain-text rendering.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.summary.render());
+        if self.parse_failures > 0 {
+            let _ = writeln!(out, "  ({} unparsable lines skipped)", self.parse_failures);
+        }
+
+        let _ = writeln!(
+            out,
+            "\ncritical path (mean over {} acked ops, end-to-end {}ns):",
+            self.complete_ops, self.mean_total_ns
+        );
+        // Stages in lifecycle order, only those that occurred with nonzero
+        // time; the remainder is wire/scheduling time no stage claims.
+        let mut attributed = 0u64;
+        for stage in STAGES {
+            let Some(&mean) = self.critical_path.get(&stage) else {
+                continue;
+            };
+            if mean == 0 || stage == Stage::ClientSubmit {
+                continue;
+            }
+            attributed += mean;
+            let pct = if self.mean_total_ns > 0 {
+                mean as f64 * 100.0 / self.mean_total_ns as f64
+            } else {
+                0.0
+            };
+            let _ = writeln!(
+                out,
+                "  {:<14} {:>12}ns  {:>5.1}%",
+                stage.as_str(),
+                mean,
+                pct
+            );
+        }
+        if self.mean_total_ns > attributed {
+            let rest = self.mean_total_ns - attributed;
+            let _ = writeln!(
+                out,
+                "  {:<14} {:>12}ns  {:>5.1}%",
+                "(unattributed)",
+                rest,
+                rest as f64 * 100.0 / self.mean_total_ns.max(1) as f64
+            );
+        }
+
+        let _ = writeln!(out, "\nslowest {} ops:", self.slowest.len());
+        for op in &self.slowest {
+            let _ = writeln!(
+                out,
+                "  trace {}  total {}ns",
+                op.trace.to_hex(),
+                op.total_ns
+            );
+            render_span_tree(&mut out, &op.events);
+        }
+        out
+    }
+}
+
+/// Renders one op's events as an indented tree under its root span.
+/// Children sort by (first timestamp, stage, span) so the rendering is
+/// stable; duplicate re-stamps of the same (span, stage, at) collapse.
+fn render_span_tree(out: &mut String, events: &[TraceEvent]) {
+    let mut uniq: Vec<&TraceEvent> = Vec::new();
+    let mut seen = std::collections::BTreeSet::new();
+    for e in events {
+        if seen.insert((e.span, e.stage, e.at_ns, e.arg)) {
+            uniq.push(e);
+        }
+    }
+    uniq.sort_by_key(|e| (e.at_ns, e.stage as u8, e.span.0, e.arg));
+
+    // parent span -> children (events whose parent it is).
+    let mut children: BTreeMap<u64, Vec<&TraceEvent>> = BTreeMap::new();
+    let mut roots: Vec<&TraceEvent> = Vec::new();
+    for e in &uniq {
+        if e.parent.is_none() {
+            roots.push(e);
+        } else {
+            children.entry(e.parent.0).or_default().push(e);
+        }
+    }
+    // An orphan (parent span never stamped — e.g. the dump is a ring
+    // suffix) still renders, at top level, rather than vanishing.
+    let root_spans: std::collections::BTreeSet<u64> = uniq.iter().map(|e| e.span.0).collect();
+    for (parent, kids) in &children {
+        if !root_spans.contains(parent) {
+            roots.extend(kids.iter().copied());
+        }
+    }
+    roots.sort_by_key(|e| (e.at_ns, e.stage as u8, e.span.0, e.arg));
+
+    fn walk(
+        out: &mut String,
+        e: &TraceEvent,
+        children: &BTreeMap<u64, Vec<&TraceEvent>>,
+        depth: usize,
+        visited: &mut std::collections::BTreeSet<u64>,
+    ) {
+        let _ = writeln!(
+            out,
+            "    {:indent$}{} at={}ns dur={}ns arg={}",
+            "",
+            e.stage.as_str(),
+            e.at_ns,
+            e.dur_ns,
+            e.arg,
+            indent = depth * 2
+        );
+        // Recurse into this span's children once (several events can share
+        // the root span; their common children render under the first).
+        if !visited.insert(e.span.0) {
+            return;
+        }
+        if let Some(kids) = children.get(&e.span.0) {
+            for kid in kids {
+                walk(out, kid, children, depth + 1, visited);
+            }
+        }
+    }
+    let mut visited = std::collections::BTreeSet::new();
+    for root in roots {
+        walk(out, root, &children, 0, &mut visited);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowdfill_obs::trace::SpanId;
+
+    fn ev(trace: u64, span: u64, parent: u64, stage: Stage, at: u64, dur: u64) -> TraceEvent {
+        TraceEvent {
+            trace: TraceId(trace),
+            span: SpanId(span),
+            parent: SpanId(parent),
+            stage,
+            at_ns: at,
+            dur_ns: dur,
+            arg: 0,
+        }
+    }
+
+    #[test]
+    fn report_is_deterministic_and_attributes_stages() {
+        let events = vec![
+            ev(5, 10, 0, Stage::ClientSubmit, 0, 1000),
+            ev(5, 11, 10, Stage::Apply, 100, 300),
+            ev(5, 12, 10, Stage::Ack, 900, 0),
+            ev(7, 20, 0, Stage::ClientSubmit, 0, 4000),
+            ev(7, 21, 20, Stage::Apply, 100, 700),
+            ev(7, 22, 20, Stage::Ack, 3900, 0),
+        ];
+        let a = Report::build(&events, 10, 0).render();
+        let b = Report::build(&events, 10, 0).render();
+        assert_eq!(a, b);
+        assert!(a.contains("2 acked ops"), "{a}");
+        assert!(a.contains("end-to-end 2500ns"), "{a}");
+        // mean apply = (300+700)/2
+        assert!(a.contains("apply"), "{a}");
+        assert!(a.contains("500"), "{a}");
+        // slowest first: trace 7 (4000ns) before trace 5.
+        let i7 = a.find(&TraceId(7).to_hex()).unwrap();
+        let i5 = a.find(&TraceId(5).to_hex()).unwrap();
+        assert!(i7 < i5, "{a}");
+    }
+
+    #[test]
+    fn jsonl_roundtrip_through_parse() {
+        let events = vec![
+            ev(5, 10, 0, Stage::ClientSubmit, 0, 1000),
+            ev(5, 11, 10, Stage::Apply, 100, 300),
+        ];
+        let text: String = events.iter().map(|e| e.to_json_line() + "\n").collect();
+        let (parsed, bad) = parse_jsonl(&text);
+        assert_eq!(bad, 0);
+        assert_eq!(parsed, events);
+    }
+
+    #[test]
+    fn unparsable_lines_are_counted_not_fatal() {
+        let (parsed, bad) = parse_jsonl("not json\n\n");
+        assert!(parsed.is_empty());
+        assert_eq!(bad, 1);
+    }
+
+    #[test]
+    fn retries_do_not_double_bill() {
+        let mut events = vec![
+            ev(5, 10, 0, Stage::ClientSubmit, 0, 1000),
+            ev(5, 11, 10, Stage::Apply, 100, 300),
+            ev(5, 12, 10, Stage::Ack, 900, 0),
+        ];
+        events.push(events[1]); // identical re-stamp
+        let r = Report::build(&events, 10, 0);
+        assert_eq!(r.critical_path[&Stage::Apply], 300);
+    }
+}

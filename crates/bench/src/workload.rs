@@ -100,6 +100,7 @@ pub fn record_fill_workload(rows: usize, n_workers: usize) -> Vec<BatchJob> {
                 msg,
                 auto_upvote: auto,
             },
+            trace: crowdfill_obs::trace::TraceId::generate(0x51_EED, jobs.len() as u64 + 1),
         });
     };
 

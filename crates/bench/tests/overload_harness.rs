@@ -14,6 +14,7 @@
 //! `CROWDFILL_STRESS_SEEDS=7,8 cargo test -p crowdfill-bench`.
 
 use crowdfill_bench::overload::{run_schedule, HarnessOptions};
+use crowdfill_obs::trace::dump_on_panic;
 use crowdfill_sim::openloop;
 use std::time::Duration;
 
@@ -37,73 +38,79 @@ const P99_BUDGET_MS: u64 = 3_000;
 #[test]
 fn burst_bounded_and_lossless() {
     for seed in seeds() {
-        // 32 connections against an admission bound of 4: an 8x storm,
-        // all arrivals inside one 10ms window.
-        let schedule = openloop::burst(seed, 32, 3, 10, 300);
-        let mut opts = HarnessOptions::tiny(32, 3);
-        opts.overload.max_queue = 4;
-        opts.overload.spec_queue = 2;
-        let report = run_schedule(&schedule, &opts);
-        eprintln!("burst seed {seed}: {report:?}");
-        report.assert_invariants();
-        assert!(report.acked > 0, "seed {seed}: nothing was ever admitted");
-        assert!(
-            report.admission_rejects > 0,
-            "seed {seed}: an 8x burst never tripped admission control"
-        );
-        assert!(
-            report.client_backoffs > 0,
-            "seed {seed}: no client honored a retry_after hint"
-        );
-        assert!(
-            report.p99_ack_ms <= P99_BUDGET_MS,
-            "seed {seed}: admitted p99 {}ms over budget",
-            report.p99_ack_ms
-        );
+        dump_on_panic(&format!("burst-seed{seed}"), || {
+            // 32 connections against an admission bound of 4: an 8x storm,
+            // all arrivals inside one 10ms window.
+            let schedule = openloop::burst(seed, 32, 3, 10, 300);
+            let mut opts = HarnessOptions::tiny(32, 3);
+            opts.overload.max_queue = 4;
+            opts.overload.spec_queue = 2;
+            let report = run_schedule(&schedule, &opts);
+            eprintln!("burst seed {seed}: {report:?}");
+            report.assert_invariants();
+            assert!(report.acked > 0, "seed {seed}: nothing was ever admitted");
+            assert!(
+                report.admission_rejects > 0,
+                "seed {seed}: an 8x burst never tripped admission control"
+            );
+            assert!(
+                report.client_backoffs > 0,
+                "seed {seed}: no client honored a retry_after hint"
+            );
+            assert!(
+                report.p99_ack_ms <= P99_BUDGET_MS,
+                "seed {seed}: admitted p99 {}ms over budget",
+                report.p99_ack_ms
+            );
+        });
     }
 }
 
 #[test]
 fn ramp_admits_until_saturation() {
     for seed in seeds() {
-        let schedule = openloop::ramp(seed, 16, 96, 400);
-        let mut opts = HarnessOptions::tiny(16, 6);
-        opts.overload.max_queue = 4;
-        let report = run_schedule(&schedule, &opts);
-        eprintln!("ramp seed {seed}: {report:?}");
-        report.assert_invariants();
-        assert!(report.acked > 0, "seed {seed}: nothing admitted");
-        assert!(
-            report.p99_ack_ms <= P99_BUDGET_MS,
-            "seed {seed}: admitted p99 {}ms over budget",
-            report.p99_ack_ms
-        );
+        dump_on_panic(&format!("ramp-seed{seed}"), || {
+            let schedule = openloop::ramp(seed, 16, 96, 400);
+            let mut opts = HarnessOptions::tiny(16, 6);
+            opts.overload.max_queue = 4;
+            let report = run_schedule(&schedule, &opts);
+            eprintln!("ramp seed {seed}: {report:?}");
+            report.assert_invariants();
+            assert!(report.acked > 0, "seed {seed}: nothing admitted");
+            assert!(
+                report.p99_ack_ms <= P99_BUDGET_MS,
+                "seed {seed}: admitted p99 {}ms over budget",
+                report.p99_ack_ms
+            );
+        });
     }
 }
 
 #[test]
 fn stalled_readers_are_downgraded_then_evicted() {
     for seed in seeds() {
-        let schedule = openloop::stalled_reader(seed, 8, 8, 400, 2);
-        let mut opts = HarnessOptions::tiny(8, 8);
-        // The deterministic slow-reader lever: every seat's writer drains
-        // at 10 frames/s, so broadcast fan-out outruns the stalled
-        // readers' buffers quickly and on every platform.
-        opts.overload.writer_pace = Some(Duration::from_millis(100));
-        opts.overload.write_buffer_frames = 4;
-        opts.overload.evict_after = Duration::from_millis(50);
-        let report = run_schedule(&schedule, &opts);
-        eprintln!("stalled-reader seed {seed}: {report:?}");
-        report.assert_invariants();
-        assert!(report.acked > 0, "seed {seed}: nothing admitted");
-        assert!(
-            report.lag_downgrades > 0,
-            "seed {seed}: no seat ever hit the write watermark"
-        );
-        assert!(
-            report.evictions > 0,
-            "seed {seed}: a stalled reader was never evicted"
-        );
+        dump_on_panic(&format!("stalled-reader-seed{seed}"), || {
+            let schedule = openloop::stalled_reader(seed, 8, 8, 400, 2);
+            let mut opts = HarnessOptions::tiny(8, 8);
+            // The deterministic slow-reader lever: every seat's writer
+            // drains at 10 frames/s, so broadcast fan-out outruns the
+            // stalled readers' buffers quickly and on every platform.
+            opts.overload.writer_pace = Some(Duration::from_millis(100));
+            opts.overload.write_buffer_frames = 4;
+            opts.overload.evict_after = Duration::from_millis(50);
+            let report = run_schedule(&schedule, &opts);
+            eprintln!("stalled-reader seed {seed}: {report:?}");
+            report.assert_invariants();
+            assert!(report.acked > 0, "seed {seed}: nothing admitted");
+            assert!(
+                report.lag_downgrades > 0,
+                "seed {seed}: no seat ever hit the write watermark"
+            );
+            assert!(
+                report.evictions > 0,
+                "seed {seed}: a stalled reader was never evicted"
+            );
+        });
     }
 }
 
@@ -111,21 +118,23 @@ fn stalled_readers_are_downgraded_then_evicted() {
 fn thundering_herd_reconnects_without_losing_acks() {
     let resumes = crowdfill_obs::metrics::counter("crowdfill_client_resumes");
     for seed in seeds() {
-        let before = resumes.get();
-        let schedule = openloop::thundering_herd(seed, 12, 5, 400, 150);
-        let opts = HarnessOptions::tiny(12, 5);
-        let report = run_schedule(&schedule, &opts);
-        eprintln!("thundering-herd seed {seed}: {report:?}");
-        report.assert_invariants();
-        assert!(report.acked > 0, "seed {seed}: nothing admitted");
-        assert!(
-            resumes.get() > before,
-            "seed {seed}: the herd never resumed a session"
-        );
-        assert!(
-            report.p99_ack_ms <= P99_BUDGET_MS,
-            "seed {seed}: admitted p99 {}ms over budget",
-            report.p99_ack_ms
-        );
+        dump_on_panic(&format!("thundering-herd-seed{seed}"), || {
+            let before = resumes.get();
+            let schedule = openloop::thundering_herd(seed, 12, 5, 400, 150);
+            let opts = HarnessOptions::tiny(12, 5);
+            let report = run_schedule(&schedule, &opts);
+            eprintln!("thundering-herd seed {seed}: {report:?}");
+            report.assert_invariants();
+            assert!(report.acked > 0, "seed {seed}: nothing admitted");
+            assert!(
+                resumes.get() > before,
+                "seed {seed}: the herd never resumed a session"
+            );
+            assert!(
+                report.p99_ack_ms <= P99_BUDGET_MS,
+                "seed {seed}: admitted p99 {}ms over budget",
+                report.p99_ack_ms
+            );
+        });
     }
 }

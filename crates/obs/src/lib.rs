@@ -17,6 +17,12 @@
 //!   [`histogram`]; scoped registries can be created for isolation.
 //! * [`span`] — [`SpanTimer`](span::SpanTimer), an RAII guard that
 //!   records elapsed nanoseconds into a histogram on drop.
+//! * [`trace`] — causal per-op tracing: deterministic
+//!   [`TraceId`](trace::TraceId)s/[`SpanId`](trace::SpanId)s, a bounded
+//!   lock-free [`FlightRecorder`](trace::FlightRecorder) ring of
+//!   [`TraceEvent`](trace::TraceEvent)s, `OBS_TRACE` sampling (one
+//!   relaxed load when off), JSONL dumps, and per-stage latency
+//!   summaries.
 //!
 //! Metric names follow `crowdfill_<crate>_<name>` (e.g.
 //! `crowdfill_sync_ops_applied`, `crowdfill_net_bytes_out`).
@@ -27,12 +33,14 @@
 pub mod log;
 pub mod metrics;
 pub mod span;
+pub mod trace;
 
 pub use crate::log::{
     CaptureSink, Event, FieldValue, Level, RingSink, Sink, StderrFormat, StderrSink,
 };
 pub use crate::metrics::{counter, gauge, histogram, Counter, Gauge, Histogram, MetricsRegistry};
 pub use crate::span::SpanTimer;
+pub use crate::trace::{FlightRecorder, SpanId, Stage, TraceEvent, TraceId, TraceMode};
 
 use std::sync::Once;
 
@@ -43,10 +51,13 @@ static INIT: Once = Once::new();
 ///
 /// * `OBS_LEVEL` — `trace` | `debug` | `info` | `warn` | `error` | `off`
 ///   (default `info`);
-/// * `OBS_FORMAT` — `text` | `json` (default `text`).
+/// * `OBS_FORMAT` — `text` | `json` (default `text`);
+/// * `OBS_TRACE` — `off` | `sampled:<N>` | `all` (default `off`): op
+///   tracing into the [`trace::FlightRecorder`].
 ///
 /// Installs a [`StderrSink`] unless the level is `off`.
 pub fn init_from_env() {
+    trace::init_from_env();
     INIT.call_once(|| {
         let level = match std::env::var("OBS_LEVEL") {
             Ok(v) => match Level::parse(&v) {

@@ -1,0 +1,134 @@
+//! Hammer tests for the flight-recorder ring: many concurrent writers
+//! plus a concurrent dumper, on a ring far smaller than the write volume
+//! (so slots are continuously overwritten). The dumper must never see a
+//! torn event, and memory must stay bounded at the ring capacity.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use crowdfill_obs::trace::{FlightRecorder, SpanId, Stage, TraceEvent, TraceId};
+
+const WRITERS: u64 = 8;
+const PER_WRITER: u64 = 50_000;
+const CAPACITY: usize = 1024;
+
+/// A self-validating payload: every field is a pure function of
+/// `(writer, i)`, so a dumped event either matches the function exactly
+/// or was torn.
+fn expected_event(writer: u64, i: u64) -> TraceEvent {
+    let trace = TraceId::derive(writer + 1, i);
+    TraceEvent {
+        trace,
+        span: SpanId::derive(trace, Stage::Apply, i),
+        parent: SpanId::root(trace),
+        stage: Stage::Apply,
+        at_ns: writer * PER_WRITER + i,
+        dur_ns: i.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        arg: (writer << 32) | i,
+    }
+}
+
+fn check_untorn(ev: &TraceEvent) {
+    let writer = ev.arg >> 32;
+    let i = ev.arg & 0xFFFF_FFFF;
+    assert!(writer < WRITERS, "writer id out of range: {}", writer);
+    assert!(i < PER_WRITER, "op index out of range: {}", i);
+    assert_eq!(
+        *ev,
+        expected_event(writer, i),
+        "torn event: fields disagree with the (writer={writer}, i={i}) payload"
+    );
+}
+
+#[test]
+fn concurrent_writers_and_dumper_no_torn_events() {
+    let ring = Arc::new(FlightRecorder::with_capacity(CAPACITY));
+    let done = Arc::new(AtomicBool::new(false));
+
+    crossbeam::scope(|scope| {
+        for w in 0..WRITERS {
+            let ring = Arc::clone(&ring);
+            scope.spawn(move |_| {
+                for i in 0..PER_WRITER {
+                    ring.record(expected_event(w, i));
+                }
+            });
+        }
+        // Dump continuously while the storm runs.
+        let dumper_ring = Arc::clone(&ring);
+        let dumper_done = Arc::clone(&done);
+        let dumper = scope.spawn(move |_| {
+            let mut dumps = 0u64;
+            let mut events_seen = 0u64;
+            while !dumper_done.load(Ordering::Relaxed) {
+                let entries = dumper_ring.dump_entries();
+                assert!(
+                    entries.len() <= CAPACITY,
+                    "dump exceeded ring capacity: {}",
+                    entries.len()
+                );
+                for window in entries.windows(2) {
+                    assert!(window[0].0 < window[1].0, "claims must strictly increase");
+                }
+                for (_, ev) in &entries {
+                    check_untorn(ev);
+                }
+                events_seen += entries.len() as u64;
+                dumps += 1;
+            }
+            (dumps, events_seen)
+        });
+        // Writers run inside this scope; signal the dumper once the
+        // scope's writer spawns have all finished. crossbeam joins
+        // spawned threads at scope end, so do the signalling from a
+        // dedicated watcher that joins nothing: simplest is to let the
+        // scope drop — but the dumper would spin forever. Instead the
+        // main thread waits by recording progress.
+        while ring.cursor() < WRITERS * PER_WRITER {
+            std::thread::yield_now();
+        }
+        done.store(true, Ordering::Relaxed);
+        let (dumps, _events) = dumper.join().expect("dumper panicked");
+        assert!(dumps > 0, "dumper must have sampled the storm");
+    })
+    .expect("hammer threads panicked");
+
+    // Quiescent final state: exactly the last CAPACITY claims survive,
+    // contiguous, every payload intact.
+    let total = WRITERS * PER_WRITER;
+    assert_eq!(ring.cursor(), total);
+    let entries = ring.dump_entries();
+    assert_eq!(entries.len(), CAPACITY, "full ring retains its capacity");
+    for (offset, (claim, ev)) in entries.iter().enumerate() {
+        assert_eq!(*claim, total - CAPACITY as u64 + offset as u64);
+        check_untorn(ev);
+    }
+}
+
+#[test]
+fn block_claims_are_contiguous_under_contention() {
+    let ring = Arc::new(FlightRecorder::with_capacity(4096));
+    crossbeam::scope(|scope| {
+        for w in 0..4u64 {
+            let ring = Arc::clone(&ring);
+            scope.spawn(move |_| {
+                for i in 0..200u64 {
+                    let block: Vec<TraceEvent> =
+                        (0..3).map(|k| expected_event(w, 3 * i + k)).collect();
+                    ring.record_block(&block);
+                }
+            });
+        }
+    })
+    .expect("writers panicked");
+    let entries = ring.dump_entries();
+    assert_eq!(entries.len(), 4 * 200 * 3);
+    // Each block's 3 events occupy consecutive claims in order.
+    for chunk in entries.chunks(3) {
+        let (w, base) = (chunk[0].1.arg >> 32, chunk[0].1.arg & 0xFFFF_FFFF);
+        for (k, (claim, ev)) in chunk.iter().enumerate() {
+            assert_eq!(*claim, chunk[0].0 + k as u64);
+            assert_eq!(ev.arg, (w << 32) | (base + k as u64));
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Property tests for the tracing layer: a traced op's spans always
+//! form a single rooted tree, and the JSONL dump format round-trips.
+
+use crowdfill_obs::trace::{validate_span_tree, SpanId, Stage, TraceEvent, TraceId, STAGES};
+use proptest::prelude::*;
+
+/// Builds a trace's events the way the instrumentation does: one root
+/// `client_submit` span, then per-stage children parented on the root
+/// (with deterministic salts), plus optional grandchildren under the
+/// apply span — mirroring how `wal_append` could nest if attribution
+/// deepens later.
+fn build_trace(seed: u64, n: u64, child_stages: &[(usize, u64)], nest: bool) -> Vec<TraceEvent> {
+    let trace = TraceId::derive(seed, n);
+    let root = SpanId::root(trace);
+    let mut events = vec![TraceEvent {
+        trace,
+        span: root,
+        parent: SpanId::NONE,
+        stage: Stage::ClientSubmit,
+        at_ns: 0,
+        dur_ns: 10,
+        arg: 0,
+    }];
+    let mut apply_span = None;
+    for &(stage_idx, salt) in child_stages {
+        let stage = STAGES[1 + stage_idx % (STAGES.len() - 1)];
+        let span = SpanId::derive(trace, stage, salt);
+        if stage == Stage::Apply {
+            apply_span = Some(span);
+        }
+        events.push(TraceEvent {
+            trace,
+            span,
+            parent: root,
+            stage,
+            at_ns: salt,
+            dur_ns: salt % 1000,
+            arg: salt,
+        });
+    }
+    if nest {
+        if let Some(apply) = apply_span {
+            events.push(TraceEvent {
+                trace,
+                span: SpanId::derive(trace, Stage::WalAppend, u64::MAX),
+                parent: apply,
+                stage: Stage::WalAppend,
+                at_ns: 1,
+                dur_ns: 1,
+                arg: 1,
+            });
+        }
+    }
+    events
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// However the op's lifecycle unfolds (any stage multiset, repeated
+    /// stages under distinct salts, retries duplicating events, nested
+    /// children), its spans form a single tree rooted at the
+    /// deterministic root span.
+    #[test]
+    fn traced_op_spans_form_a_single_rooted_tree(
+        seed in any::<u64>(),
+        n in any::<u64>(),
+        children in proptest::collection::vec((0usize..16, any::<u64>()), 0..24),
+        nest in any::<bool>(),
+        duplicate_from in any::<u64>(),
+    ) {
+        let mut events = build_trace(seed, n, &children, nest);
+        // Retries re-stamp the same deterministic spans: duplicating
+        // any suffix of the event list must not break tree-ness.
+        let dup_at = (duplicate_from as usize) % (events.len() + 1);
+        let dups: Vec<TraceEvent> = events[dup_at..].to_vec();
+        events.extend(dups);
+        prop_assert!(
+            validate_span_tree(&events).is_ok(),
+            "tree validation failed: {:?}",
+            validate_span_tree(&events)
+        );
+    }
+
+    /// Dump lines round-trip exactly.
+    #[test]
+    fn json_lines_roundtrip(
+        raw_trace in any::<u64>(),
+        span in any::<u64>(),
+        parent in any::<u64>(),
+        stage_idx in 0usize..STAGES.len(),
+        at_ns in any::<u64>(),
+        dur_ns in any::<u64>(),
+        arg in any::<u64>(),
+    ) {
+        let trace = raw_trace | 1; // the dump format is for traced (nonzero) ids
+        let ev = TraceEvent {
+            trace: TraceId(trace),
+            span: SpanId(span),
+            parent: SpanId(parent),
+            stage: STAGES[stage_idx],
+            at_ns,
+            dur_ns,
+            arg,
+        };
+        prop_assert_eq!(TraceEvent::parse_json_line(&ev.to_json_line()), Some(ev));
+    }
+
+    /// An event from a *different* trace spliced into the set is always
+    /// rejected (the validator never silently merges traces).
+    #[test]
+    fn mixed_traces_are_rejected(seed in any::<u64>(), n in any::<u64>()) {
+        let mut events = build_trace(seed, n, &[(5, 0)], false);
+        let other = build_trace(seed ^ 1, n.wrapping_add(1), &[], false);
+        prop_assume!(events[0].trace != other[0].trace);
+        events.extend(other);
+        prop_assert!(validate_span_tree(&events).is_err());
+    }
+}

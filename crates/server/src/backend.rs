@@ -18,6 +18,7 @@ use crowdfill_constraints::PriMaintainer;
 use crowdfill_docstore::{Json, Wal};
 use crowdfill_model::{derive_final_table, ClientId, FinalTable, Message, OpError, RowValue};
 use crowdfill_obs::metrics::{Counter, Histogram};
+use crowdfill_obs::trace::{self as obstrace, ActiveSpan, SpanId, Stage, TraceId};
 use crowdfill_pay::{
     allocate, analyze, Contributions, Estimator, Millis, Payout, Trace, TraceEntry, WorkerId,
 };
@@ -193,7 +194,15 @@ pub struct Backend {
     /// its whole history delta as **one** frame, so under
     /// `FsyncPolicy::EveryN(1)` a batch costs one fsync (group commit).
     wal: Option<Wal>,
+    /// Recent `[from, to)` history-seq ranges produced by traced ops, so
+    /// the broadcast flusher can attribute each outgoing seq to the
+    /// originating trace. Bounded; old ranges age out (their broadcasts
+    /// have long since flushed).
+    seq_traces: VecDeque<(u64, u64, TraceId)>,
 }
+
+/// How many traced seq ranges [`Backend::trace_for_seq`] remembers.
+const SEQ_TRACE_WINDOW: usize = 1024;
 
 /// One operation inside a [`Backend::submit_batch`] call.
 #[derive(Debug, Clone)]
@@ -209,6 +218,9 @@ pub enum BatchOp {
 pub struct BatchJob {
     pub worker: WorkerId,
     pub op: BatchOp,
+    /// Trace context for latency attribution ([`TraceId::NONE`] when the
+    /// op is untraced — the common case).
+    pub trace: TraceId,
 }
 
 /// The result of applying one batch: per-job outcomes plus the contiguous
@@ -267,8 +279,33 @@ impl Backend {
             clock: Millis(0),
             closed: false,
             wal: None,
+            seq_traces: VecDeque::new(),
             config,
         }
+    }
+
+    /// Remembers that history seqs `[from, to)` came from `trace`.
+    fn note_seq_trace(&mut self, from: u64, to: u64, trace: TraceId) {
+        if trace.is_none() || from >= to {
+            return;
+        }
+        while self.seq_traces.len() >= SEQ_TRACE_WINDOW {
+            self.seq_traces.pop_front();
+        }
+        self.seq_traces.push_back((from, to, trace));
+    }
+
+    /// The trace that produced history seq `seq`, if it was traced and
+    /// still inside the remembered window ([`TraceId::NONE`] otherwise).
+    pub fn trace_for_seq(&self, seq: u64) -> TraceId {
+        // Recent ranges live at the back; broadcast flushes run right
+        // after the apply, so scan backwards.
+        for &(from, to, trace) in self.seq_traces.iter().rev() {
+            if (from..to).contains(&seq) {
+                return trace;
+            }
+        }
+        TraceId::NONE
     }
 
     /// Attaches a history journal. From now on every accepted
@@ -459,9 +496,39 @@ impl Backend {
         at: Millis,
         auto_upvote: bool,
     ) -> Result<SubmitReport, SubmitError> {
+        self.submit_traced(worker, msg, at, auto_upvote, TraceId::NONE)
+    }
+
+    /// [`submit`](Self::submit) carrying a trace context: stamps `apply`
+    /// and `wal_append` spans under the trace's root span and remembers
+    /// the produced seq range for broadcast attribution. With
+    /// [`TraceId::NONE`] this *is* `submit` (one branch of overhead).
+    pub fn submit_traced(
+        &mut self,
+        worker: WorkerId,
+        msg: Message,
+        at: Millis,
+        auto_upvote: bool,
+        trace: TraceId,
+    ) -> Result<SubmitReport, SubmitError> {
         let from = self.history.len() as u64;
-        let report = self.submit_unjournaled(worker, msg, at, auto_upvote)?;
-        self.journal_from(from);
+        let span = if trace.is_none() {
+            None
+        } else {
+            Some(ActiveSpan::start(
+                trace,
+                Stage::Apply,
+                SpanId::root(trace),
+                0,
+                from,
+            ))
+        };
+        let report = self.submit_unjournaled(worker, msg, at, auto_upvote);
+        drop(span);
+        let report = report?;
+        let to = self.history.len() as u64;
+        self.note_seq_trace(from, to, trace);
+        self.journal_traced(from, &[trace]);
         Ok(report)
     }
 
@@ -586,9 +653,36 @@ impl Backend {
         bundle: Vec<(Message, bool)>,
         at: Millis,
     ) -> Result<SubmitReport, SubmitError> {
+        self.submit_modify_traced(worker, bundle, at, TraceId::NONE)
+    }
+
+    /// [`submit_modify`](Self::submit_modify) carrying a trace context
+    /// (see [`submit_traced`](Self::submit_traced)).
+    pub fn submit_modify_traced(
+        &mut self,
+        worker: WorkerId,
+        bundle: Vec<(Message, bool)>,
+        at: Millis,
+        trace: TraceId,
+    ) -> Result<SubmitReport, SubmitError> {
         let from = self.history.len() as u64;
-        let report = self.submit_modify_unjournaled(worker, bundle, at)?;
-        self.journal_from(from);
+        let span = if trace.is_none() {
+            None
+        } else {
+            Some(ActiveSpan::start(
+                trace,
+                Stage::Apply,
+                SpanId::root(trace),
+                0,
+                from,
+            ))
+        };
+        let report = self.submit_modify_unjournaled(worker, bundle, at);
+        drop(span);
+        let report = report?;
+        let to = self.history.len() as u64;
+        self.note_seq_trace(from, to, trace);
+        self.journal_traced(from, &[trace]);
         Ok(report)
     }
 
@@ -678,19 +772,42 @@ impl Backend {
         let timer = std::time::Instant::now();
         let first_seq = self.history.len() as u64;
         let n = jobs.len() as u64;
+        let mut traced: Vec<TraceId> = Vec::new();
         let results = jobs
             .into_iter()
-            .map(|job| match job.op {
-                BatchOp::Msg { msg, auto_upvote } => {
-                    self.submit_unjournaled(job.worker, msg, at, auto_upvote)
+            .map(|job| {
+                let from = self.history.len() as u64;
+                let span = if job.trace.is_none() {
+                    None
+                } else {
+                    Some(ActiveSpan::start(
+                        job.trace,
+                        Stage::Apply,
+                        SpanId::root(job.trace),
+                        0,
+                        from,
+                    ))
+                };
+                let result = match job.op {
+                    BatchOp::Msg { msg, auto_upvote } => {
+                        self.submit_unjournaled(job.worker, msg, at, auto_upvote)
+                    }
+                    BatchOp::Modify { bundle } => {
+                        self.submit_modify_unjournaled(job.worker, bundle, at)
+                    }
+                };
+                drop(span);
+                if !job.trace.is_none() {
+                    if result.is_ok() {
+                        self.note_seq_trace(from, self.history.len() as u64, job.trace);
+                    }
+                    traced.push(job.trace);
                 }
-                BatchOp::Modify { bundle } => {
-                    self.submit_modify_unjournaled(job.worker, bundle, at)
-                }
+                result
             })
             .collect();
         let end_seq = self.history.len() as u64;
-        self.journal_from(first_seq);
+        self.journal_traced(first_seq, &traced);
         batch_submits().inc();
         batch_ops().add(n);
         batch_size().record(n);
@@ -699,6 +816,32 @@ impl Backend {
             results,
             first_seq,
             end_seq,
+        }
+    }
+
+    /// [`journal_from`](Self::journal_from), stamping a `wal_append`
+    /// trace event for every traced op that rode the frame (the frame —
+    /// and its fsync — is shared by the whole batch, so each traced op
+    /// is billed the same duration).
+    fn journal_traced(&mut self, from: u64, traces: &[TraceId]) {
+        let any_traced = traces.iter().any(|t| !t.is_none());
+        if !any_traced || self.wal.is_none() || from >= self.history.len() as u64 {
+            self.journal_from(from);
+            return;
+        }
+        let msgs = self.history.len() as u64 - from;
+        let timer = std::time::Instant::now();
+        self.journal_from(from);
+        let dur_ns = timer.elapsed().as_nanos() as u64;
+        for &trace in traces {
+            obstrace::stamp_dur(
+                trace,
+                Stage::WalAppend,
+                SpanId::root(trace),
+                0,
+                msgs,
+                dur_ns,
+            );
         }
     }
 

@@ -29,6 +29,7 @@ use crate::backend::{Backend, BatchJob, BatchOp, SubmitError, SubmitReport};
 use crate::overload::{OverloadOptions, Priority};
 use crossbeam::channel::{self, TrySendError};
 use crowdfill_obs::metrics::{counter, gauge, histogram, Counter, Gauge, Histogram};
+use crowdfill_obs::trace::{self as obstrace, SpanId, Stage, TraceId};
 use crowdfill_pay::{Millis, WorkerId};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -85,6 +86,7 @@ struct PipelineJob {
     op: BatchOp,
     reply: channel::Sender<Result<SubmitReport, SubmitError>>,
     enqueued: Instant,
+    trace: TraceId,
 }
 
 /// A running batch pipeline around a shared [`Backend`].
@@ -135,11 +137,29 @@ impl BatchPipeline {
                         // safe — the client retries or gives up, but no
                         // acked state is involved.
                         m_sheds().inc();
+                        obstrace::stamp_dur(
+                            job.trace,
+                            Stage::Shed,
+                            SpanId::root(job.trace),
+                            0,
+                            0,
+                            waited.as_nanos() as u64,
+                        );
                         let hint = retry.retry_after_ms(thread_depth.load(Ordering::Relaxed));
                         let _ = job.reply.send(Err(SubmitError::Overloaded {
                             retry_after_ms: hint,
                         }));
                     } else {
+                        // `batch_form`: the op made it into a batch; its
+                        // duration is the queue wait it paid to get there.
+                        obstrace::stamp_dur(
+                            job.trace,
+                            Stage::BatchForm,
+                            SpanId::root(job.trace),
+                            0,
+                            jobs.len() as u64 + 1,
+                            waited.as_nanos() as u64,
+                        );
                         jobs.push(job);
                     }
                 };
@@ -181,6 +201,7 @@ impl BatchPipeline {
                                 BatchJob {
                                     worker: j.worker,
                                     op: j.op,
+                                    trace: j.trace,
                                 },
                                 j.reply,
                             )
@@ -226,12 +247,32 @@ impl BatchPipeline {
         op: BatchOp,
         priority: Priority,
     ) -> Result<SubmitReport, SubmitError> {
+        self.submit_traced(worker, op, priority, TraceId::NONE)
+    }
+
+    /// [`submit_classified`](BatchPipeline::submit_classified) carrying a
+    /// trace context: stamps `enqueue` + `admit` on admission (or
+    /// `reject` on refusal) under the trace's root span. With
+    /// [`TraceId::NONE`] the stamps are single-branch no-ops.
+    pub fn submit_traced(
+        &self,
+        worker: WorkerId,
+        op: BatchOp,
+        priority: Priority,
+        trace: TraceId,
+    ) -> Result<SubmitReport, SubmitError> {
+        let root = if trace.is_none() {
+            SpanId::NONE
+        } else {
+            SpanId::root(trace)
+        };
         let depth = self.depth.load(Ordering::Relaxed);
+        obstrace::stamp(trace, Stage::Enqueue, root, 0, depth as u64);
         if priority == Priority::Speculative && depth >= self.overload.spec_queue {
             m_overload_rejects().inc();
-            return Err(SubmitError::Overloaded {
-                retry_after_ms: self.overload.retry_after_ms(depth),
-            });
+            let retry_after_ms = self.overload.retry_after_ms(depth);
+            obstrace::stamp(trace, Stage::Reject, root, 0, retry_after_ms);
+            return Err(SubmitError::Overloaded { retry_after_ms });
         }
         let (reply_tx, reply_rx) = channel::bounded(1);
         // Count the job before it is visible to the apply thread so the
@@ -242,16 +283,18 @@ impl BatchPipeline {
             op,
             reply: reply_tx,
             enqueued: Instant::now(),
+            trace,
         }) {
             Ok(()) => {
                 m_queue_depth().add(1);
+                obstrace::stamp(trace, Stage::Admit, root, 0, depth as u64 + 1);
             }
             Err(TrySendError::Full(_)) => {
                 self.depth.fetch_sub(1, Ordering::Relaxed);
                 m_overload_rejects().inc();
-                return Err(SubmitError::Overloaded {
-                    retry_after_ms: self.overload.retry_after_ms(self.overload.max_queue),
-                });
+                let retry_after_ms = self.overload.retry_after_ms(self.overload.max_queue);
+                obstrace::stamp(trace, Stage::Reject, root, 0, retry_after_ms);
+                return Err(SubmitError::Overloaded { retry_after_ms });
             }
             Err(TrySendError::Disconnected(_)) => {
                 self.depth.fetch_sub(1, Ordering::Relaxed);

@@ -71,6 +71,7 @@ use crowdfill_docstore::Json;
 use crowdfill_model::Message;
 use crowdfill_net::{ConnError, FrameConn, TcpConn, TcpServer};
 use crowdfill_obs::metrics::{Counter, Histogram};
+use crowdfill_obs::trace::{self as obstrace, ActiveSpan, SpanId, Stage, TraceId};
 use crowdfill_obs::SpanTimer;
 use crowdfill_pay::{Millis, WorkerId};
 use crowdfill_sync::AppliedSeqs;
@@ -119,6 +120,7 @@ struct ServiceMetrics {
     submit_requests: Arc<Counter>,
     modify_requests: Arc<Counter>,
     stats_requests: Arc<Counter>,
+    trace_dump_requests: Arc<Counter>,
     resume_requests: Arc<Counter>,
     sync_requests: Arc<Counter>,
     malformed_frames: Arc<Counter>,
@@ -138,6 +140,7 @@ impl ServiceMetrics {
             submit_requests: counter("crowdfill_server_submit_requests"),
             modify_requests: counter("crowdfill_server_modify_requests"),
             stats_requests: counter("crowdfill_server_stats_requests"),
+            trace_dump_requests: counter("crowdfill_server_trace_dump_requests"),
             resume_requests: counter("crowdfill_server_resume_requests"),
             sync_requests: counter("crowdfill_server_sync_requests"),
             malformed_frames: counter("crowdfill_server_malformed_frames"),
@@ -485,24 +488,67 @@ fn now_millis(started: Instant) -> Millis {
 }
 
 fn reject_frame(reason: &str) -> Json {
-    Json::obj([("type", Json::str("reject")), ("reason", Json::str(reason))])
+    reject_frame_traced(reason, TraceId::NONE)
 }
 
-fn broadcast_frame(seq: u64, msg: &Message) -> Json {
-    Json::obj([
+fn reject_frame_traced(reason: &str, trace: TraceId) -> Json {
+    let mut fields = vec![("type", Json::str("reject")), ("reason", Json::str(reason))];
+    if !trace.is_none() {
+        fields.push(("trace", Json::str(trace.to_hex())));
+    }
+    Json::obj(fields)
+}
+
+/// The trace context of a request/broadcast entry: an optional `"trace"`
+/// field carrying the id in hex. Only consulted when tracing is on, so
+/// the disabled path pays one branch.
+fn json_trace(j: &Json) -> TraceId {
+    if !obstrace::enabled() {
+        return TraceId::NONE;
+    }
+    j.get("trace")
+        .and_then(Json::as_str)
+        .and_then(TraceId::from_hex)
+        .unwrap_or(TraceId::NONE)
+}
+
+/// A broadcast frame for one seq-tagged message; traced ops propagate
+/// their originating id so the receiver can attribute absorb latency.
+fn broadcast_frame(seq: u64, msg: &Message, trace: TraceId) -> Json {
+    let mut fields = vec![
         ("type", Json::str("msg")),
         ("seq", Json::num(seq as f64)),
         ("msg", wire::message_to_json(msg)),
-    ])
+    ];
+    if !trace.is_none() {
+        fields.push(("trace", Json::str(trace.to_hex())));
+    }
+    Json::obj(fields)
 }
 
 /// A multi-op broadcast: the seq-tagged messages of one batch in one frame.
 /// Clients unpack it entry-by-entry into the same seq-dedup path as `msg`
 /// frames, so a batch boundary is invisible to the convergence argument.
-fn batch_broadcast_frame(msgs: &[(u64, Message)]) -> Json {
+fn batch_broadcast_frame(msgs: &[(u64, Message, TraceId)]) -> Json {
     Json::obj([
         ("type", Json::str("batch")),
-        ("msgs", seq_msgs_to_json(msgs)),
+        (
+            "msgs",
+            Json::Arr(
+                msgs.iter()
+                    .map(|(seq, msg, trace)| {
+                        let mut fields = vec![
+                            ("seq", Json::num(*seq as f64)),
+                            ("msg", wire::message_to_json(msg)),
+                        ];
+                        if !trace.is_none() {
+                            fields.push(("trace", Json::str(trace.to_hex())));
+                        }
+                        Json::obj(fields)
+                    })
+                    .collect(),
+            ),
+        ),
     ])
 }
 
@@ -729,24 +775,30 @@ fn run_session(
                 } else {
                     Priority::Normal
                 };
+                let trace = json_trace(&req);
                 let msg = req.get("msg").and_then(|m| wire::message_from_json(m).ok());
                 let reply = match msg {
                     None => reject_frame("malformed message"),
                     Some(msg) => {
                         let result = match pipeline {
-                            Some(p) => p.submit_classified(
+                            Some(p) => p.submit_traced(
                                 worker,
                                 BatchOp::Msg {
                                     msg,
                                     auto_upvote: auto,
                                 },
                                 priority,
+                                trace,
                             ),
-                            None => backend
-                                .lock()
-                                .submit(worker, msg, now_millis(started), auto),
+                            None => backend.lock().submit_traced(
+                                worker,
+                                msg,
+                                now_millis(started),
+                                auto,
+                                trace,
+                            ),
                         };
-                        result_frame(result)
+                        result_frame(result, trace)
                     }
                 };
                 let _ = conn.send(reply.encode().as_bytes());
@@ -772,18 +824,25 @@ fn run_session(
                             .collect::<Option<Vec<_>>>()
                     })
                     .unwrap_or(None);
+                let trace = json_trace(&req);
                 let reply = match bundle {
                     None => reject_frame("malformed modify bundle"),
                     Some(bundle) => {
                         let result = match pipeline {
-                            Some(p) => p.submit(worker, BatchOp::Modify { bundle }),
-                            None => {
-                                backend
-                                    .lock()
-                                    .submit_modify(worker, bundle, now_millis(started))
-                            }
+                            Some(p) => p.submit_traced(
+                                worker,
+                                BatchOp::Modify { bundle },
+                                Priority::Normal,
+                                trace,
+                            ),
+                            None => backend.lock().submit_modify_traced(
+                                worker,
+                                bundle,
+                                now_millis(started),
+                                trace,
+                            ),
                         };
-                        result_frame(result)
+                        result_frame(result, trace)
                     }
                 };
                 let _ = conn.send(reply.encode().as_bytes());
@@ -833,14 +892,26 @@ fn run_session(
                 ]);
                 let _ = conn.send(reply.encode().as_bytes());
             }
+            Some("trace_dump") => {
+                // Sibling of `stats`: the flight recorder's current ring
+                // contents as JSON lines, for trace-report and debugging.
+                metrics.trace_dump_requests.inc();
+                obstrace::flush_thread();
+                let events = obstrace::recorder().dump_jsonl();
+                let reply = Json::obj([
+                    ("type", Json::str("trace_dump")),
+                    ("events", Json::str(events)),
+                ]);
+                let _ = conn.send(reply.encode().as_bytes());
+            }
             Some("bye") | None => return,
             _ => {}
         }
     }
 }
 
-fn ack_frame(report: &crate::backend::SubmitReport) -> Json {
-    Json::obj([
+fn ack_frame(report: &crate::backend::SubmitReport, trace: TraceId) -> Json {
+    let mut fields = vec![
         ("type", Json::str("ack")),
         ("estimate", Json::num(report.estimate)),
         ("fulfilled", Json::Bool(report.fulfilled)),
@@ -848,16 +919,24 @@ fn ack_frame(report: &crate::backend::SubmitReport) -> Json {
             "seqs",
             Json::Arr(report.seqs.iter().map(|s| Json::num(*s as f64)).collect()),
         ),
-    ])
+    ];
+    if !trace.is_none() {
+        fields.push(("trace", Json::str(trace.to_hex())));
+    }
+    Json::obj(fields)
 }
 
 /// The typed overload response: the op was neither applied nor acked, and
 /// the client should retry after the hinted delay.
-fn overloaded_frame(retry_after_ms: u64) -> Json {
-    Json::obj([
+fn overloaded_frame(retry_after_ms: u64, trace: TraceId) -> Json {
+    let mut fields = vec![
         ("type", Json::str("overloaded")),
         ("retry_after_ms", Json::num(retry_after_ms as f64)),
-    ])
+    ];
+    if !trace.is_none() {
+        fields.push(("trace", Json::str(trace.to_hex())));
+    }
+    Json::obj(fields)
 }
 
 /// Tells a lagging client its broadcasts are being dropped and it should
@@ -868,11 +947,29 @@ fn lagging_frame() -> Json {
 
 /// Maps a submit/modify outcome to its reply frame; overload gets its
 /// typed frame (so clients can back off) rather than a generic reject.
-fn result_frame(result: Result<crate::backend::SubmitReport, SubmitError>) -> Json {
+/// The op's trace id is echoed on every reply and stamps the terminal
+/// `ack` span (overload/shed rejects are stamped by the pipeline).
+fn result_frame(result: Result<crate::backend::SubmitReport, SubmitError>, trace: TraceId) -> Json {
     match result {
-        Ok(report) => ack_frame(&report),
-        Err(SubmitError::Overloaded { retry_after_ms }) => overloaded_frame(retry_after_ms),
-        Err(e) => reject_frame(&e.to_string()),
+        Ok(report) => {
+            if !trace.is_none() {
+                obstrace::stamp(
+                    trace,
+                    Stage::Ack,
+                    SpanId::root(trace),
+                    0,
+                    report.seqs.len() as u64,
+                );
+            }
+            ack_frame(&report, trace)
+        }
+        Err(SubmitError::Overloaded { retry_after_ms }) => overloaded_frame(retry_after_ms, trace),
+        Err(e) => {
+            if !trace.is_none() {
+                obstrace::stamp(trace, Stage::Reject, SpanId::root(trace), 0, 0);
+            }
+            reject_frame_traced(&e.to_string(), trace)
+        }
     }
 }
 
@@ -903,10 +1000,45 @@ fn flush_worker_outbox(
     worker: WorkerId,
     overload: &OverloadOptions,
 ) {
-    let pending = backend.lock().poll_seq(worker);
+    // One lock acquisition fetches both the pending broadcasts and (when
+    // tracing) their originating trace ids, so attribution can never see
+    // a different history than the poll did.
+    let pending: Vec<(u64, Message, TraceId)> = {
+        let mut b = backend.lock();
+        let polled = b.poll_seq(worker);
+        if obstrace::enabled() {
+            polled
+                .into_iter()
+                .map(|(seq, msg)| {
+                    let trace = b.trace_for_seq(seq);
+                    if !trace.is_none() {
+                        // `arg` carries the receiving worker so a trace's
+                        // broadcast fan-out is visible in reports; the seq
+                        // salts the span so each seq is a distinct node.
+                        obstrace::stamp(
+                            trace,
+                            Stage::Broadcast,
+                            SpanId::root(trace),
+                            seq,
+                            worker.0 as u64,
+                        );
+                    }
+                    (seq, msg, trace)
+                })
+                .collect()
+        } else {
+            polled
+                .into_iter()
+                .map(|(seq, msg)| (seq, msg, TraceId::NONE))
+                .collect()
+        }
+    };
     if pending.len() == 1 {
-        let (seq, msg) = &pending[0];
-        seat.enqueue(broadcast_frame(*seq, msg).encode().into_bytes(), overload);
+        let (seq, msg, trace) = &pending[0];
+        seat.enqueue(
+            broadcast_frame(*seq, msg, *trace).encode().into_bytes(),
+            overload,
+        );
         return;
     }
     for chunk in pending.chunks(BATCH_FRAME_CHUNK) {
@@ -991,6 +1123,11 @@ pub struct RemoteWorker {
     needs_sync: bool,
     /// Jitter stream state.
     jitter: u64,
+    /// Seed + counter of the deterministic trace-id stream: op ids are
+    /// `TraceId::generate(trace_seed, n)` so a reconnecting client under a
+    /// fixed policy emits the same ids run-to-run.
+    trace_seed: u64,
+    trace_count: u64,
     metrics: ClientMetrics,
 }
 
@@ -1122,6 +1259,7 @@ impl RemoteWorker {
             match RemoteWorker::hello(&*conn, policy.as_ref()) {
                 Ok((client, applied)) => {
                     let jitter = policy.as_ref().map_or(0, |p| p.jitter_seed);
+                    let trace_seed = splitmix64(jitter ^ (client.worker().0 as u64));
                     return Ok(RemoteWorker {
                         conn,
                         dialer,
@@ -1130,6 +1268,8 @@ impl RemoteWorker {
                         applied,
                         needs_sync: false,
                         jitter,
+                        trace_seed,
+                        trace_count: 0,
                         metrics: ClientMetrics::resolve(),
                     });
                 }
@@ -1274,6 +1414,18 @@ impl RemoteWorker {
             Some(seq) => {
                 if self.applied.note(seq as u64) {
                     self.client.absorb(&m);
+                    let trace = json_trace(entry);
+                    if !trace.is_none() {
+                        // The far edge of the causal chain: another
+                        // replica applied the originating op's broadcast.
+                        obstrace::stamp(
+                            trace,
+                            Stage::ClientAbsorb,
+                            SpanId::root(trace),
+                            seq as u64,
+                            self.client.worker().0 as u64,
+                        );
+                    }
                     return true;
                 }
                 false
@@ -1321,9 +1473,11 @@ impl RemoteWorker {
             .map_err(RemoteError::Op)?;
         let mut last = None;
         for out in outgoing {
+            let trace = self.next_trace();
             last = Some(self.transact(
-                submit_frame_with(&out.msg, out.auto_upvote, true),
+                submit_frame_with(&out.msg, out.auto_upvote, true, trace),
                 Pending::Submit(&out.msg, out.auto_upvote),
+                trace,
             )?);
         }
         Ok(last.expect("fill yields at least one message"))
@@ -1365,11 +1519,28 @@ impl RemoteWorker {
             .client
             .modify(row, column, value)
             .map_err(RemoteError::Op)?;
-        self.transact(modify_frame(&bundle), Pending::Modify(&bundle))
+        let trace = self.next_trace();
+        self.transact(
+            modify_frame(&bundle, trace),
+            Pending::Modify(&bundle),
+            trace,
+        )
+    }
+
+    /// The next op's trace id: [`TraceId::NONE`] unless tracing is on and
+    /// the op is sampled, so the disabled hot path pays one branch here.
+    fn next_trace(&mut self) -> TraceId {
+        self.trace_count = self.trace_count.wrapping_add(1);
+        TraceId::generate(self.trace_seed, self.trace_count)
     }
 
     fn submit(&mut self, msg: &Message, auto: bool) -> Result<RemoteAck, RemoteError> {
-        self.transact(submit_frame(msg, auto), Pending::Submit(msg, auto))
+        let trace = self.next_trace();
+        self.transact(
+            submit_frame_with(msg, auto, false, trace),
+            Pending::Submit(msg, auto),
+            trace,
+        )
     }
 
     /// Sends one request frame and drives it to an outcome:
@@ -1381,7 +1552,20 @@ impl RemoteWorker {
     ///   same frame after a jittered backoff honoring the server's
     ///   `retry_after` hint, up to the policy's attempt budget, then roll
     ///   back the local application and surface the overload.
-    fn transact(&mut self, frame: Json, pending: Pending<'_>) -> Result<RemoteAck, RemoteError> {
+    fn transact(
+        &mut self,
+        frame: Json,
+        pending: Pending<'_>,
+        trace: TraceId,
+    ) -> Result<RemoteAck, RemoteError> {
+        // The root span covers the whole client-side transaction — send,
+        // overload retries, recovery — so its duration is the op's true
+        // submit-to-ack latency as the caller experienced it.
+        let _root = if trace.is_none() {
+            None
+        } else {
+            Some(ActiveSpan::root(trace, Stage::ClientSubmit))
+        };
         let bytes = frame.encode();
         let mut overload_tries: u32 = 0;
         loop {
@@ -1639,9 +1823,12 @@ impl RemoteWorker {
             }
 
             // The server never saw it: resubmit on the fresh connection.
+            // The resubmission goes out untraced — its original root span
+            // already covers the recovery, and a fresh id here would split
+            // one logical op across two traces.
             let frame = match pending {
                 Pending::Submit(msg, auto) => submit_frame(msg, *auto),
-                Pending::Modify(bundle) => modify_frame(bundle),
+                Pending::Modify(bundle) => modify_frame(bundle, TraceId::NONE),
                 Pending::Nothing => unreachable!("handled above"),
             };
             let result = self
@@ -1815,6 +2002,36 @@ impl RemoteWorker {
         }
     }
 
+    /// Fetches the server's flight-recorder contents as JSON lines (one
+    /// [`TraceEvent`] per line), absorbing any interleaved broadcasts.
+    pub fn trace_dump(&mut self) -> Result<String, RemoteError> {
+        self.conn
+            .send(
+                Json::obj([("type", Json::str("trace_dump"))])
+                    .encode()
+                    .as_bytes(),
+            )
+            .map_err(RemoteError::Conn)?;
+        loop {
+            let frame = self.recv_frame().map_err(RemoteError::Conn)?;
+            let json = Json::parse(&String::from_utf8_lossy(&frame))
+                .map_err(|e| RemoteError::Protocol(e.to_string()))?;
+            match json.get("type").and_then(Json::as_str) {
+                Some("msg") | Some("batch") | Some("lagging") => {
+                    self.absorb_frame(&frame);
+                }
+                Some("trace_dump") => {
+                    return json
+                        .get("events")
+                        .and_then(Json::as_str)
+                        .map(str::to_string)
+                        .ok_or_else(|| RemoteError::Protocol("trace_dump missing events".into()));
+                }
+                other => return Err(RemoteError::Protocol(format!("unexpected frame {other:?}"))),
+            }
+        }
+    }
+
     /// Says goodbye (the server releases the session).
     pub fn bye(self) {
         let _ = self
@@ -1824,14 +2041,14 @@ impl RemoteWorker {
 }
 
 fn submit_frame(msg: &Message, auto: bool) -> Json {
-    submit_frame_with(msg, auto, false)
+    submit_frame_with(msg, auto, false, TraceId::NONE)
 }
 
 /// A submit frame with an explicit admission class. A speculative
 /// resubmission after a reconnect intentionally goes out unmarked
 /// ([`Pending`] carries no flag): the client has already paid for
 /// recovery, so the op is no longer cheap to throw away.
-fn submit_frame_with(msg: &Message, auto: bool, speculative: bool) -> Json {
+fn submit_frame_with(msg: &Message, auto: bool, speculative: bool, trace: TraceId) -> Json {
     let mut fields = vec![
         ("type", Json::str("submit")),
         ("auto", Json::Bool(auto)),
@@ -1840,10 +2057,13 @@ fn submit_frame_with(msg: &Message, auto: bool, speculative: bool) -> Json {
     if speculative {
         fields.push(("speculative", Json::Bool(true)));
     }
+    if !trace.is_none() {
+        fields.push(("trace", Json::str(trace.to_hex())));
+    }
     Json::obj(fields)
 }
 
-fn modify_frame(bundle: &[crate::worker_client::Outgoing]) -> Json {
+fn modify_frame(bundle: &[crate::worker_client::Outgoing], trace: TraceId) -> Json {
     let msgs = Json::Arr(
         bundle
             .iter()
@@ -1855,5 +2075,9 @@ fn modify_frame(bundle: &[crate::worker_client::Outgoing]) -> Json {
             })
             .collect(),
     );
-    Json::obj([("type", Json::str("modify")), ("msgs", msgs)])
+    let mut fields = vec![("type", Json::str("modify")), ("msgs", msgs)];
+    if !trace.is_none() {
+        fields.push(("trace", Json::str(trace.to_hex())));
+    }
+    Json::obj(fields)
 }

@@ -12,6 +12,7 @@ use crowdfill_docstore::{FsyncPolicy, Wal};
 use crowdfill_model::{
     Column, ColumnId, DataType, Message, QuorumMajority, RowId, Schema, Template, Value,
 };
+use crowdfill_obs::trace::TraceId;
 use crowdfill_pay::{Millis, WorkerId};
 use crowdfill_server::{wire, Backend, BatchJob, BatchOp, TaskConfig, WorkerClient};
 use crowdfill_sync::AppliedSeqs;
@@ -279,6 +280,7 @@ fn batched_replay(recorded: &[Recorded], sizes: &[usize]) -> (Backend, WorkerId,
             .map(|r| BatchJob {
                 worker: r.worker,
                 op: r.op.clone(),
+                trace: TraceId::NONE,
             })
             .collect();
         idx = end;
@@ -417,6 +419,7 @@ fn batch_journals_one_coalesced_wal_frame() {
             .map(|r| BatchJob {
                 worker: r.worker,
                 op: r.op.clone(),
+                trace: TraceId::NONE,
             })
             .collect();
         let outcome = b.submit_batch(jobs, Millis(1));

@@ -135,6 +135,28 @@ fn fill_row(w: &mut RemoteWorker, r: usize) {
 /// observer votes on whatever completes; both must converge to the master.
 fn run_scenario(name: &str, cfg: FaultConfig) {
     let seed = cfg.seed;
+    // A failing seed dumps the flight recorder (sampled op traces) to a
+    // file named in the panic message, so the op timeline that led to the
+    // divergence survives the process.
+    crowdfill_obs::trace::dump_on_panic(&format!("fault-{name}-seed{seed}"), || {
+        run_scenario_inner(name, cfg)
+    })
+}
+
+fn run_scenario_inner(name: &str, cfg: FaultConfig) {
+    use crowdfill_obs::trace as obstrace;
+    let seed = cfg.seed;
+    let mode_before = obstrace::mode();
+    if mode_before == obstrace::TraceMode::Off {
+        obstrace::set_mode(obstrace::TraceMode::Sampled(8));
+    }
+    struct ModeGuard(obstrace::TraceMode);
+    impl Drop for ModeGuard {
+        fn drop(&mut self) {
+            obstrace::set_mode(self.0);
+        }
+    }
+    let _restore = ModeGuard(mode_before);
     let backend = Backend::new(config(2));
     let options = ServiceOptions {
         idle_timeout: Some(Duration::from_secs(30)),

@@ -112,6 +112,10 @@ pub struct RunReport {
     /// Prometheus-style metrics snapshot taken as the run finished (global
     /// registry: sync/net/server counters accumulate across runs in-process).
     pub metrics_snapshot: String,
+    /// Per-stage latency attribution of the ops this run traced, rendered
+    /// by [`TraceSummary`](crowdfill_obs::trace::TraceSummary). Empty when
+    /// tracing is off (`OBS_TRACE=off`, the default) or nothing sampled.
+    pub trace_summary: String,
 }
 
 impl RunReport {
@@ -181,6 +185,17 @@ pub fn run(cfg: SimConfig) -> RunReport {
     let run_duration_ns = crowdfill_obs::metrics::histogram("crowdfill_sim_run_ns");
     let run_timer = crowdfill_obs::SpanTimer::start(&run_duration_ns);
 
+    // Trace ids are derived from the run seed and an op counter, so the
+    // same seed traces the same ops with the same ids — reports diff
+    // cleanly across runs. The cursor scopes the summary to this run.
+    use crowdfill_obs::trace as obstrace;
+    let trace_cursor = obstrace::recorder().cursor();
+    let mut trace_ops = 0u64;
+    let next_trace = |n: &mut u64| {
+        *n = n.wrapping_add(1);
+        obstrace::TraceId::generate(cfg.seed, *n)
+    };
+
     let max_ms = (cfg.max_sim_secs * 1000.0) as u64;
     let mut fulfilled_at: Option<u64> = None;
     let mut now = 0u64;
@@ -239,14 +254,22 @@ pub fn run(cfg: SimConfig) -> RunReport {
                             .into_iter()
                             .map(|o| (o.msg, o.auto_upvote))
                             .collect();
-                        let _ = backend.submit_modify(wid, bundle, Millis(t));
+                        let trace = next_trace(&mut trace_ops);
+                        let _ = backend.submit_modify_traced(wid, bundle, Millis(t), trace);
                     } else {
                         for out in outgoing {
                             // Server-side rejections (vote policy, stale
                             // rows) drop the message; the worker's
                             // optimistic local state reconverges through
                             // later broadcasts.
-                            let _ = backend.submit(wid, out.msg, Millis(t), out.auto_upvote);
+                            let trace = next_trace(&mut trace_ops);
+                            let _ = backend.submit_traced(
+                                wid,
+                                out.msg,
+                                Millis(t),
+                                out.auto_upvote,
+                                trace,
+                            );
                         }
                     }
                     if backend.is_fulfilled() {
@@ -319,6 +342,13 @@ pub fn run(cfg: SimConfig) -> RunReport {
         candidate_rows => table.len() as u64,
     );
     let metrics_snapshot = crowdfill_obs::metrics::global().snapshot();
+    let trace_summary = if obstrace::enabled() {
+        obstrace::flush_thread();
+        let events = obstrace::recorder().dump_since(trace_cursor);
+        obstrace::TraceSummary::from_events(&events).render()
+    } else {
+        String::new()
+    };
 
     RunReport {
         fulfilled,
@@ -340,5 +370,6 @@ pub fn run(cfg: SimConfig) -> RunReport {
         split,
         budget: cfg.budget,
         metrics_snapshot,
+        trace_summary,
     }
 }

@@ -24,3 +24,9 @@ CROWDFILL_STRESS_SEEDS=101,9091 \
   cargo test -q --release -p crowdfill-bench --test overload_harness
 CROWDFILL_FAULT_SEEDS=11,23,47,101 \
   cargo test -q --release -p crowdfill-server --test overload_props
+
+# Trace gate: a seeded end-to-end scenario with the flight recorder on
+# for every op — asserts the wire dump parses and every acked submission
+# carries a complete client → server → ack span tree (DESIGN.md §10).
+OBS_TRACE=all \
+  cargo test -q --release -p crowdfill-bench --test trace_smoke

@@ -91,6 +91,10 @@ fn cmd_simulate(args: &[String]) -> i32 {
     for (w, amount) in &report.payout.per_worker {
         println!("  {w}: ${amount:.2}");
     }
+    // Populated only when OBS_TRACE enables the flight recorder.
+    if !report.trace_summary.is_empty() {
+        println!("{}", report.trace_summary);
+    }
     if report.fulfilled {
         0
     } else {
