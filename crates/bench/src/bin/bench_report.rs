@@ -48,6 +48,13 @@ fn measure(name: &str, ops: usize, reps: usize, mut f: impl FnMut()) -> Entry {
         f();
         samples.push(start.elapsed().as_nanos());
     }
+    reduce(name, ops, reps, samples)
+}
+
+/// Reduces whole-pass timings (nanoseconds each) to a median-based entry;
+/// for suites that interleave configurations and time the passes
+/// themselves rather than handing a closure to [`measure`].
+fn reduce(name: &str, ops: usize, reps: usize, mut samples: Vec<u128>) -> Entry {
     samples.sort_unstable();
     let median_total = samples[samples.len() / 2];
     let median_ns_per_op = (median_total / ops.max(1) as u128) as u64;
@@ -203,6 +210,52 @@ fn trace_overhead_suite(quick: bool) -> Vec<Entry> {
     entries
 }
 
+/// Telemetry-sampler overhead on the sync-pipeline workload: the batched
+/// replay with no sampler vs a sampler diffing the global registry at an
+/// aggressive period (far shorter than the production 250 ms default).
+/// The acceptance bound holds `on` within 2% of `off`: the sampler runs
+/// on its own thread and the instruments it reads are lock-free, so the
+/// hot path should not feel it. Off and on reps are interleaved — the
+/// sampler (re)started around each on-rep — so clock-frequency and cache
+/// drift over the run land on both sides equally; a sequential A-then-B
+/// layout shows multi-percent phantom deltas on shared runners.
+fn health_overhead_suite(quick: bool) -> Vec<Entry> {
+    use crowdfill_obs::timeseries::{RegistryRef, Sampler, SamplerOptions};
+    let (rows, workers, reps) = if quick { (16, 4, 5) } else { (96, 4, 25) };
+    eprintln!("health overhead workload: {rows} rows, {workers} workers, {reps} interleaved reps");
+    let jobs = record_fill_workload(rows, workers);
+    let ops = jobs.len();
+
+    // Warm-up pass so neither side pays the cold caches.
+    replay_batched(&jobs, rows, workers, 32, None);
+
+    let mut off: Vec<u128> = Vec::with_capacity(reps);
+    let mut on: Vec<u128> = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let start = Instant::now();
+        replay_batched(&jobs, rows, workers, 32, None);
+        off.push(start.elapsed().as_nanos());
+
+        // 5 ms period: 50x the production sampling rate, to make any
+        // hot-path interference visible above measurement noise.
+        let sampler = Sampler::start(
+            RegistryRef::Global,
+            SamplerOptions {
+                period: std::time::Duration::from_millis(5),
+                capacity: 1 << 14,
+            },
+        );
+        let start = Instant::now();
+        replay_batched(&jobs, rows, workers, 32, None);
+        on.push(start.elapsed().as_nanos());
+        drop(sampler);
+    }
+    vec![
+        reduce("apply_sampled/off", ops, reps, off),
+        reduce("apply_sampled/on", ops, reps, on),
+    ]
+}
+
 /// The overload stress suite: seeded open-loop storms against a tiny
 /// admission bound (DESIGN.md §9). Every scenario's invariants — bounded
 /// queue depth, zero acked loss — are asserted, so a regression fails the
@@ -279,6 +332,7 @@ fn write_overload_report(path: &Path, quick: bool, reports: &[ScenarioReport]) {
 fn main() {
     let mut quick = false;
     let mut out_dir = PathBuf::from(".");
+    let mut suite: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -286,35 +340,61 @@ fn main() {
             "--out-dir" => {
                 out_dir = PathBuf::from(args.next().expect("--out-dir needs a value"));
             }
+            "--suite" => {
+                suite = Some(args.next().expect("--suite needs a name"));
+            }
             other => {
                 eprintln!("unknown argument: {other}");
-                eprintln!("usage: bench-report [--quick] [--out-dir DIR]");
+                eprintln!(
+                    "usage: bench-report [--quick] [--out-dir DIR] \
+                     [--suite sync|matching|trace_overhead|health_overhead|overload]"
+                );
                 std::process::exit(2);
             }
         }
     }
+    let wants = |name: &str| suite.as_deref().is_none_or(|s| s == name);
 
-    let sync = sync_suite(quick);
-    write_report(&out_dir.join("BENCH_sync.json"), "sync", quick, &sync);
+    let mut sync = Vec::new();
+    if wants("sync") {
+        sync = sync_suite(quick);
+        write_report(&out_dir.join("BENCH_sync.json"), "sync", quick, &sync);
+    }
 
-    let matching = matching_suite(quick);
-    write_report(
-        &out_dir.join("BENCH_matching.json"),
-        "matching",
-        quick,
-        &matching,
-    );
+    if wants("matching") {
+        let matching = matching_suite(quick);
+        write_report(
+            &out_dir.join("BENCH_matching.json"),
+            "matching",
+            quick,
+            &matching,
+        );
+    }
 
-    let trace_overhead = trace_overhead_suite(quick);
-    write_report(
-        &out_dir.join("BENCH_trace_overhead.json"),
-        "trace_overhead",
-        quick,
-        &trace_overhead,
-    );
+    if wants("trace_overhead") {
+        let trace_overhead = trace_overhead_suite(quick);
+        write_report(
+            &out_dir.join("BENCH_trace_overhead.json"),
+            "trace_overhead",
+            quick,
+            &trace_overhead,
+        );
+    }
 
-    let overload = overload_suite(quick);
-    write_overload_report(&out_dir.join("BENCH_overload.json"), quick, &overload);
+    if wants("health_overhead") {
+        let health_overhead = health_overhead_suite(quick);
+        write_report(
+            &out_dir.join("BENCH_health_overhead.json"),
+            "health_overhead",
+            quick,
+            &health_overhead,
+        );
+    }
+
+    if wants("overload") {
+        let overload = overload_suite(quick);
+        write_overload_report(&out_dir.join("BENCH_overload.json"), quick, &overload);
+    }
 
     // Surface the acceptance ratio so a human skimming CI logs sees it.
     let find = |name: &str| {

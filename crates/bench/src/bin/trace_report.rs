@@ -1,7 +1,7 @@
 //! `trace-report`: latency attribution over a flight-recorder dump.
 //!
 //! ```text
-//! trace-report <dump.jsonl> [--slowest N]
+//! trace-report <dump.jsonl> [--slowest N] [--json]
 //! trace-report -            # read the dump from stdin
 //! ```
 //!
@@ -18,9 +18,11 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut path: Option<String> = None;
     let mut slowest = 5usize;
+    let mut json = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--json" => json = true,
             "--slowest" => {
                 i += 1;
                 slowest = args
@@ -58,14 +60,19 @@ fn main() {
             "no trace events in {path} ({bad} unparsable lines) — is tracing on? (OBS_TRACE=all)"
         ));
     }
-    print!("{}", Report::build(&events, slowest, bad).render());
+    let report = Report::build(&events, slowest, bad);
+    if json {
+        println!("{}", report.to_json().encode());
+    } else {
+        print!("{}", report.render());
+    }
 }
 
 fn usage(err: &str) -> ! {
     if !err.is_empty() {
         eprintln!("error: {err}");
     }
-    eprintln!("usage: trace-report <dump.jsonl | -> [--slowest N]");
+    eprintln!("usage: trace-report <dump.jsonl | -> [--slowest N] [--json]");
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }
 

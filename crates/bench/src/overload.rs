@@ -411,6 +411,9 @@ pub fn run_schedule(schedule: &Schedule, opts: &HarnessOptions) -> ScenarioRepor
     let evictions = metrics::counter("crowdfill_server_evictions");
     let backoffs = metrics::counter("crowdfill_client_overload_backoffs");
     let depth_gauge = metrics::gauge("crowdfill_server_queue_depth");
+    let outbox_gauge = metrics::gauge("crowdfill_server_outbox_msgs");
+    let depth_level = depth_gauge.get();
+    let outbox_level = outbox_gauge.get();
     let before = (
         rejects.get(),
         sheds.get(),
@@ -435,6 +438,7 @@ pub fn run_schedule(schedule: &Schedule, opts: &HarnessOptions) -> ScenarioRepor
     let sampler = {
         let sampling = Arc::clone(&sampling);
         let max_depth = Arc::clone(&max_depth);
+        let depth_gauge = Arc::clone(&depth_gauge);
         std::thread::spawn(move || {
             while sampling.load(Ordering::Acquire) {
                 max_depth.fetch_max(depth_gauge.get(), Ordering::AcqRel);
@@ -534,5 +538,30 @@ pub fn run_schedule(schedule: &Schedule, opts: &HarnessOptions) -> ScenarioRepor
     if let Some(service) = Arc::into_inner(service) {
         service.stop();
     }
+
+    // Gauge hygiene (DESIGN.md §11): once every connection has drained —
+    // including evicted stalled readers and herd-dropped sessions — the
+    // pipeline-depth and per-session outbox gauges must return to their
+    // pre-run levels, or `health`/`top` would show phantom load forever.
+    // Teardown decrements race the stop() join, so poll briefly.
+    await_gauge_drain("crowdfill_server_queue_depth", &depth_gauge, depth_level);
+    await_gauge_drain("crowdfill_server_outbox_msgs", &outbox_gauge, outbox_level);
     report
+}
+
+/// Polls until `gauge` is back at `level` (its pre-run reading), panicking
+/// if it stays elevated past a generous drain window. Catches leaked
+/// increments in the session-teardown paths under churn.
+fn await_gauge_drain(name: &str, gauge: &metrics::Gauge, level: i64) {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let v = gauge.get();
+        if v <= level {
+            return;
+        }
+        if Instant::now() >= deadline {
+            panic!("gauge hygiene: {name} stuck at {v} (pre-run level {level}) after drain");
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
 }

@@ -10,6 +10,7 @@
 //! function of the event set: re-running it over the same dump yields
 //! byte-identical text (ordering is by duration, then trace id).
 
+use crowdfill_docstore::Json;
 use crowdfill_obs::trace::{by_trace, Stage, TraceEvent, TraceId, TraceSummary, STAGES};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -122,6 +123,58 @@ impl Report {
             slowest: ops,
             parse_failures,
         }
+    }
+
+    /// The report as a JSON object (the `--json` output): per-stage
+    /// quantiles, the critical-path breakdown, and the slowest ops.
+    /// Deterministic for a given event set, like [`render`](Self::render).
+    pub fn to_json(&self) -> Json {
+        let stages = Json::Obj(
+            self.summary
+                .stages
+                .iter()
+                .map(|(stage, snap)| {
+                    (
+                        stage.as_str().to_string(),
+                        Json::obj([
+                            ("count", Json::num(snap.count as f64)),
+                            ("p50_ns", Json::num(snap.quantile(0.5).unwrap_or(0) as f64)),
+                            ("p90_ns", Json::num(snap.quantile(0.9).unwrap_or(0) as f64)),
+                            ("p99_ns", Json::num(snap.quantile(0.99).unwrap_or(0) as f64)),
+                            ("max_ns", Json::num(snap.max as f64)),
+                        ]),
+                    )
+                })
+                .collect(),
+        );
+        let critical = Json::Obj(
+            self.critical_path
+                .iter()
+                .map(|(stage, mean)| (stage.as_str().to_string(), Json::num(*mean as f64)))
+                .collect(),
+        );
+        let slowest = Json::Arr(
+            self.slowest
+                .iter()
+                .map(|op| {
+                    Json::obj([
+                        ("trace", Json::str(op.trace.to_hex())),
+                        ("total_ns", Json::num(op.total_ns as f64)),
+                        ("events", Json::num(op.events.len() as f64)),
+                    ])
+                })
+                .collect(),
+        );
+        Json::obj([
+            ("events", Json::num(self.summary.events as f64)),
+            ("traces", Json::num(self.summary.traces as f64)),
+            ("parse_failures", Json::num(self.parse_failures as f64)),
+            ("stages", stages),
+            ("complete_ops", Json::num(self.complete_ops as f64)),
+            ("mean_total_ns", Json::num(self.mean_total_ns as f64)),
+            ("critical_path", critical),
+            ("slowest", slowest),
+        ])
     }
 
     /// Deterministic plain-text rendering.
@@ -311,6 +364,34 @@ mod tests {
         let (parsed, bad) = parse_jsonl("not json\n\n");
         assert!(parsed.is_empty());
         assert_eq!(bad, 1);
+    }
+
+    #[test]
+    fn json_output_carries_the_same_numbers() {
+        let events = vec![
+            ev(5, 10, 0, Stage::ClientSubmit, 0, 1000),
+            ev(5, 11, 10, Stage::Apply, 100, 300),
+            ev(5, 12, 10, Stage::Ack, 900, 0),
+        ];
+        let json = Report::build(&events, 10, 2).to_json();
+        assert_eq!(json.get("events").and_then(Json::as_f64), Some(3.0));
+        assert_eq!(json.get("complete_ops").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(
+            json.get("mean_total_ns").and_then(Json::as_f64),
+            Some(1000.0)
+        );
+        assert_eq!(json.get("parse_failures").and_then(Json::as_f64), Some(2.0));
+        assert_eq!(
+            json.get("critical_path")
+                .and_then(|c| c.get("apply"))
+                .and_then(Json::as_f64),
+            Some(300.0)
+        );
+        let slowest = json.get("slowest").and_then(Json::as_arr).unwrap();
+        assert_eq!(slowest.len(), 1);
+        // Round-trips through the encoder.
+        let reparsed = Json::parse(&json.encode()).unwrap();
+        assert_eq!(reparsed, json);
     }
 
     #[test]

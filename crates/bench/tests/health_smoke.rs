@@ -1,0 +1,152 @@
+//! End-to-end health smoke test: a seeded fill workload against a real
+//! [`TcpService`] with the telemetry sampler on, asserting the acceptance
+//! property of PR 6 — the `{"type":"health"}` wire request returns a
+//! report whose per-collection completeness matches ground truth, whose
+//! per-worker rows carry ops/latency/lag, whose SLO section is populated
+//! from the service's sampler ring, and whose replica lag drains to zero
+//! once a lagging replica syncs.
+//!
+//! One `#[test]` on purpose: the metrics registry and the sampler are
+//! process-global, and parallel tests would contaminate the deltas.
+
+use crowdfill_bench::workload::pipeline_config;
+use crowdfill_model::{ColumnId, Value};
+use crowdfill_server::{
+    Backend, BatchOptions, RemoteWorker, ServiceOptions, TcpService, TelemetryOptions,
+};
+use std::time::Duration;
+
+const ROWS: usize = 12;
+const WIDTH: usize = 3; // pipeline_schema: a, b, c
+
+#[test]
+fn health_report_matches_ground_truth() {
+    let backend = Backend::new(pipeline_config(ROWS));
+    let options = ServiceOptions {
+        idle_timeout: Some(Duration::from_secs(30)),
+        batch: Some(BatchOptions {
+            max_batch: 8,
+            max_wait: Duration::from_millis(1),
+        }),
+        // A fast sampler so the SLO window has real ticks within the test.
+        telemetry: Some(TelemetryOptions {
+            sample_period: Duration::from_millis(10),
+            ..TelemetryOptions::default()
+        }),
+        ..ServiceOptions::default()
+    };
+    let service = TcpService::start_with(backend, "127.0.0.1:0", options).unwrap();
+    let addr = service.addr();
+
+    let mut filler = RemoteWorker::connect(addr).unwrap();
+    // A second replica that deliberately lags: it absorbs nothing while the
+    // filler works, so its server-side confirmed seq stays at the connect
+    // snapshot until it syncs.
+    let mut observer = RemoteWorker::connect(addr).unwrap();
+
+    // Ground truth: anchor every template row's key column exactly once.
+    for r in 0..ROWS {
+        let row = filler
+            .view()
+            .presented_rows()
+            .iter()
+            .copied()
+            .find(|row| {
+                filler
+                    .view()
+                    .replica()
+                    .table()
+                    .get(*row)
+                    .is_none_or(|e| !e.value.has(ColumnId(0)))
+            })
+            .expect("an unfilled template row remains");
+        filler
+            .fill(row, ColumnId(0), Value::text(format!("row-{r}")))
+            .expect("anchor fill acked");
+        filler.absorb_pending();
+    }
+
+    // Let the sampler take a few ticks so windowed rates and SLO burn
+    // gauges are computed over real samples.
+    std::thread::sleep(Duration::from_millis(60));
+
+    // First health read: the filler has confirmed nothing since connect, so
+    // its server-side replica lag is exactly its own ROWS accepted fills.
+    let report = filler.health().expect("health request round-trips");
+    let col = &report.collection;
+    assert_eq!(col.rows, ROWS, "template rows: {report:?}");
+    assert_eq!(col.cells, ROWS * WIDTH);
+    assert_eq!(col.filled_cells, ROWS, "one anchor per row: {col:?}");
+    let expected = ROWS as f64 / (ROWS * WIDTH) as f64;
+    assert!(
+        (col.completeness - expected).abs() < 1e-9,
+        "completeness {} != ground truth {expected}",
+        col.completeness
+    );
+    assert_eq!(col.columns.len(), WIDTH);
+    assert_eq!(col.columns[0].filled, ROWS);
+    assert_eq!(col.columns[1].filled, 0);
+    assert!(!col.fulfilled);
+
+    let filler_health = report
+        .workers
+        .iter()
+        .find(|w| w.ops > 0)
+        .expect("the filler shows up with ops");
+    assert_eq!(filler_health.ops, ROWS as u64, "one accepted op per fill");
+    assert!(filler_health.connected);
+    assert!(
+        filler_health.ack_p99_ns.is_some(),
+        "ack latency quantiles recorded for the filler: {filler_health:?}"
+    );
+    assert_eq!(
+        filler_health.lag, ROWS as u64,
+        "filler confirmed nothing since connect"
+    );
+    let observer_health = report
+        .workers
+        .iter()
+        .find(|w| w.ops == 0)
+        .expect("the observer shows up too");
+    assert_eq!(
+        observer_health.lag, ROWS as u64,
+        "observer absorbed nothing yet"
+    );
+
+    // The service's SLO specs are evaluated over its sampler ring.
+    let names: Vec<&str> = report.slos.iter().map(|s| s.name.as_str()).collect();
+    assert!(
+        names.contains(&"ack-p99") && names.contains(&"shed-rate"),
+        "default SLOs missing from health report: {names:?}"
+    );
+    for slo in &report.slos {
+        assert!(slo.ok, "an idle-ish run must not burn budget: {slo:?}");
+    }
+
+    // Both replicas sync; lag must drain to zero — on the server's report
+    // and in the client-side mirror.
+    filler.sync().expect("filler sync");
+    observer.sync().expect("observer sync");
+    assert_eq!(observer.local_lag(), 0, "client-side lag after sync");
+    assert_eq!(filler.local_lag(), 0);
+
+    let report = observer.health().expect("second health request");
+    for w in &report.workers {
+        assert_eq!(w.lag, 0, "lag after both replicas synced: {w:?}");
+        assert_eq!(w.outbox_depth, 0, "drained outbox after sync: {w:?}");
+    }
+
+    // The rendered form (what `crowdfill top` draws) names the collection
+    // and the arrival rate; the JSON form round-trips losslessly.
+    let rendered = report.render();
+    assert!(rendered.contains('B'), "{rendered}");
+    assert!(rendered.contains("fills/min"), "{rendered}");
+    assert_eq!(
+        crowdfill_server::HealthReport::from_json(&report.to_json()),
+        Some(report)
+    );
+
+    filler.bye();
+    observer.bye();
+    service.stop();
+}

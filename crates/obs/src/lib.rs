@@ -17,6 +17,10 @@
 //!   [`histogram`]; scoped registries can be created for isolation.
 //! * [`span`] — [`SpanTimer`](span::SpanTimer), an RAII guard that
 //!   records elapsed nanoseconds into a histogram on drop.
+//! * [`timeseries`] — a background [`Sampler`](timeseries::Sampler)
+//!   diffing the registry into a bounded ring of timestamped deltas,
+//!   with windowed rates, quantile trends, and declarative
+//!   [`SloSpec`](timeseries::SloSpec) tracking with burn-rate gauges.
 //! * [`trace`] — causal per-op tracing: deterministic
 //!   [`TraceId`](trace::TraceId)s/[`SpanId`](trace::SpanId)s, a bounded
 //!   lock-free [`FlightRecorder`](trace::FlightRecorder) ring of
@@ -33,13 +37,20 @@
 pub mod log;
 pub mod metrics;
 pub mod span;
+pub mod timeseries;
 pub mod trace;
 
 pub use crate::log::{
     CaptureSink, Event, FieldValue, Level, RingSink, Sink, StderrFormat, StderrSink,
 };
-pub use crate::metrics::{counter, gauge, histogram, Counter, Gauge, Histogram, MetricsRegistry};
+pub use crate::metrics::{
+    counter, gauge, histogram, Counter, Gauge, Histogram, InstrumentValue, MetricsRegistry,
+};
 pub use crate::span::SpanTimer;
+pub use crate::timeseries::{
+    DeltaTracker, RegistryRef, Sample, SampleDelta, SampleRing, Sampler, SamplerOptions, SloKind,
+    SloSpec, SloStatus,
+};
 pub use crate::trace::{FlightRecorder, SpanId, Stage, TraceEvent, TraceId, TraceMode};
 
 use std::sync::Once;

@@ -17,7 +17,7 @@ use crate::wire;
 use crowdfill_constraints::PriMaintainer;
 use crowdfill_docstore::{Json, Wal};
 use crowdfill_model::{derive_final_table, ClientId, FinalTable, Message, OpError, RowValue};
-use crowdfill_obs::metrics::{Counter, Histogram};
+use crowdfill_obs::metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
 use crowdfill_obs::trace::{self as obstrace, ActiveSpan, SpanId, Stage, TraceId};
 use crowdfill_pay::{
     allocate, analyze, Contributions, Estimator, Millis, Payout, Trace, TraceEntry, WorkerId,
@@ -62,6 +62,16 @@ fn batch_wal_frames() -> &'static Counter {
 fn batch_wal_errors() -> &'static Counter {
     static C: OnceLock<Arc<Counter>> = OnceLock::new();
     C.get_or_init(|| crowdfill_obs::metrics::counter("crowdfill_server_batch_wal_errors"))
+}
+
+/// Gauge of messages sitting in per-session outboxes awaiting handoff to
+/// their connections — the server-side broadcast lag summed over all
+/// sessions. Every `push_back` increments it and every drain/clear
+/// decrements by the same amount, so it must read zero whenever all
+/// outboxes are empty (asserted by the overload harness).
+fn outbox_msgs() -> &'static Gauge {
+    static G: OnceLock<Arc<Gauge>> = OnceLock::new();
+    G.get_or_init(|| crowdfill_obs::metrics::gauge("crowdfill_server_outbox_msgs"))
 }
 
 /// Why the backend rejected a submission.
@@ -173,6 +183,32 @@ struct Session {
     /// Bumped on every [`Backend::resume`]: lets a stale connection thread
     /// detect that it no longer owns the session.
     epoch: u64,
+    /// Deliberate (non-auto-upvote) operations accepted from this worker.
+    ops: u64,
+    /// Highest history length this worker is known to have fully absorbed:
+    /// set at connect/resume (the reply replays everything up to it) and
+    /// bumped by [`Backend::note_confirmed`] when a sync completes.
+    confirmed_seq: u64,
+    /// Ack-latency distribution for this worker, recorded by the transport
+    /// layer (the connection thread holds a clone of the `Arc` and records
+    /// lock-free; kept off the metrics registry to avoid per-worker
+    /// cardinality there).
+    ack_latency: Arc<Histogram>,
+}
+
+/// A per-worker session health reading (see [`Backend::session_stats`]).
+#[derive(Debug, Clone)]
+pub struct SessionStats {
+    pub worker: WorkerId,
+    pub connected: bool,
+    /// Deliberate (non-auto-upvote) operations accepted, lifetime.
+    pub ops: u64,
+    /// Messages queued for this worker, not yet handed to its connection.
+    pub outbox_depth: usize,
+    /// Highest history length the worker is known to have fully absorbed.
+    pub confirmed_seq: u64,
+    /// Ack-latency distribution recorded by the transport layer.
+    pub ack_latency: HistogramSnapshot,
 }
 
 /// The CrowdFill back-end server for one data-collection task.
@@ -372,6 +408,11 @@ impl Backend {
                 outbox: VecDeque::new(),
                 connected: true,
                 epoch: 0,
+                ops: 0,
+                // The connect reply carries the full history, so the new
+                // replica is caught up to here.
+                confirmed_seq: self.history.len() as u64,
+                ack_latency: Arc::new(Histogram::new()),
             },
         );
         (worker, client, self.history.clone())
@@ -382,6 +423,7 @@ impl Backend {
     pub fn disconnect(&mut self, worker: WorkerId) {
         if let Some(s) = self.sessions.get_mut(&worker) {
             s.connected = false;
+            outbox_msgs().add(-(s.outbox.len() as i64));
             s.outbox.clear();
         }
     }
@@ -394,6 +436,7 @@ impl Backend {
         if let Some(s) = self.sessions.get_mut(&worker) {
             if s.epoch == epoch {
                 s.connected = false;
+                outbox_msgs().add(-(s.outbox.len() as i64));
                 s.outbox.clear();
             }
         }
@@ -414,8 +457,12 @@ impl Backend {
             .get_mut(&worker)
             .ok_or(ResumeError::UnknownWorker)?;
         s.connected = true;
+        outbox_msgs().add(-(s.outbox.len() as i64));
         s.outbox.clear();
         s.epoch += 1;
+        // The resume reply replays the missed suffix under the caller's
+        // lock, so the resumed replica is caught up to here.
+        s.confirmed_seq = history_len;
         Ok(ResumeInfo {
             client: s.client,
             epoch: s.epoch,
@@ -477,10 +524,12 @@ impl Backend {
     /// Drains the messages pending delivery to `worker`, each tagged with
     /// its history sequence number.
     pub fn poll_seq(&mut self, worker: WorkerId) -> Vec<(u64, Message)> {
-        self.sessions
-            .get_mut(&worker)
-            .map(|s| s.outbox.drain(..).collect())
-            .unwrap_or_default()
+        let Some(s) = self.sessions.get_mut(&worker) else {
+            return Vec::new();
+        };
+        let drained: Vec<(u64, Message)> = s.outbox.drain(..).collect();
+        outbox_msgs().add(-(drained.len() as i64));
+        drained
     }
 
     /// Submits a worker-generated message (produced by the worker client's
@@ -574,6 +623,11 @@ impl Backend {
         self.note_row(&msg);
         self.master.process(&msg);
         self.update_vote_policy_state(worker, &msg);
+        if !auto_upvote {
+            if let Some(s) = self.sessions.get_mut(&worker) {
+                s.ops += 1;
+            }
+        }
 
         // Record in the trace.
         let entry = TraceEntry {
@@ -607,9 +661,11 @@ impl Backend {
         // message's seq in its ack instead of an echo.
         let own_seq = self.history.len() as u64;
         self.history.push(msg.clone());
+        let mut fanned_out = 0i64;
         for (w, s) in self.sessions.iter_mut() {
             if *w != worker && s.connected {
                 s.outbox.push_back((own_seq, msg.clone()));
+                fanned_out += 1;
             }
         }
 
@@ -625,9 +681,11 @@ impl Backend {
             for s in self.sessions.values_mut() {
                 if s.connected {
                     s.outbox.push_back((seq, cc_msg.clone()));
+                    fanned_out += 1;
                 }
             }
         }
+        outbox_msgs().add(fanned_out);
 
         debug_assert!(self.master.same_state(self.cc.replica()));
 
@@ -937,6 +995,49 @@ impl Backend {
             &self.config.split,
         );
         (final_table, contributions, payout)
+    }
+
+    /// Per-worker session health readings, ascending by worker id
+    /// (consumed by [`crate::health`]).
+    pub fn session_stats(&self) -> Vec<SessionStats> {
+        let mut out: Vec<SessionStats> = self
+            .sessions
+            .iter()
+            .map(|(w, s)| SessionStats {
+                worker: *w,
+                connected: s.connected,
+                ops: s.ops,
+                outbox_depth: s.outbox.len(),
+                confirmed_seq: s.confirmed_seq,
+                ack_latency: s.ack_latency.snapshot(),
+            })
+            .collect();
+        out.sort_unstable_by_key(|s| s.worker);
+        out
+    }
+
+    /// The per-worker ack-latency histogram, shared with the transport
+    /// layer: the connection thread clones the `Arc` once and records
+    /// into it lock-free on every acked submission.
+    pub fn worker_ack_histogram(&self, worker: WorkerId) -> Option<Arc<Histogram>> {
+        self.sessions
+            .get(&worker)
+            .map(|s| Arc::clone(&s.ack_latency))
+    }
+
+    /// Records that `worker`'s replica has absorbed the history prefix
+    /// `0..history_len` (a completed sync told us so). Monotone.
+    pub fn note_confirmed(&mut self, worker: WorkerId, history_len: u64) {
+        if let Some(s) = self.sessions.get_mut(&worker) {
+            s.confirmed_seq = s.confirmed_seq.max(history_len);
+        }
+    }
+
+    /// The last-known value of any row id that ever existed (for the
+    /// health module's trace analysis: fills are attributed to the column
+    /// they added over the replaced row's value).
+    pub(crate) fn row_value(&self, id: crowdfill_model::RowId) -> Option<&RowValue> {
+        self.row_values.get(&id)
     }
 
     // ---- internals ---------------------------------------------------------

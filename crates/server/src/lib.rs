@@ -20,6 +20,7 @@ pub mod backend;
 pub mod batch;
 pub mod config;
 pub mod frontend;
+pub mod health;
 pub mod marketplace;
 pub mod overload;
 pub mod recommend;
@@ -31,10 +32,15 @@ pub use backend::{Backend, BatchJob, BatchOp, BatchOutcome, SubmitError, SubmitR
 pub use batch::{BatchOptions, BatchPipeline};
 pub use config::TaskConfig;
 pub use frontend::{Frontend, FrontendError, TaskStatus};
+pub use health::{
+    collect, collect_windowed, CollectionHealth, ColumnHealth, HealthReport, SloHealth,
+    WorkerHealth,
+};
 pub use marketplace::{Assignment, AssignmentId, Hit, HitId, MarketError, Marketplace};
 pub use overload::{OverloadOptions, Priority};
 pub use recommend::{Recommendation, RecommendationKind};
 pub use tcp_service::{
     Dialer, ReconnectPolicy, RemoteAck, RemoteError, RemoteWorker, ServiceOptions, TcpService,
+    TelemetryOptions,
 };
 pub use worker_client::{Outgoing, WorkerClient};

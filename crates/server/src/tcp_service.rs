@@ -10,6 +10,7 @@
 //!                   {"type":"modify","msgs":[{"auto":bool,"msg":{...}},...]}
 //!                   {"type":"sync","from":n,"have":[n,...]}
 //!                   {"type":"stats"}
+//!                   {"type":"health"}
 //!                   {"type":"bye"}
 //! server → client   {"type":"welcome","worker":n,"client":n,"history_len":n,
 //!                    "schema":{...},"history":[msg,...]}
@@ -20,6 +21,7 @@
 //!                   {"type":"overloaded","retry_after_ms":n}
 //!                   {"type":"lagging"}  (catch up via sync; broadcasts dropped)
 //!                   {"type":"stats","snapshot":"..."}  (metrics text)
+//!                   {"type":"health","report":{...}}  (see DESIGN.md §11)
 //!                   {"type":"synced","history_len":n,"msgs":[{"seq":n,...},...]}
 //!                   {"type":"msg","seq":n,"msg":{...}}  (broadcast)
 //! ```
@@ -71,6 +73,9 @@ use crowdfill_docstore::Json;
 use crowdfill_model::Message;
 use crowdfill_net::{ConnError, FrameConn, TcpConn, TcpServer};
 use crowdfill_obs::metrics::{Counter, Histogram};
+use crowdfill_obs::timeseries::{
+    evaluate_slos, RegistryRef, SampleRing, Sampler, SamplerOptions, SloSpec,
+};
 use crowdfill_obs::trace::{self as obstrace, ActiveSpan, SpanId, Stage, TraceId};
 use crowdfill_obs::SpanTimer;
 use crowdfill_pay::{Millis, WorkerId};
@@ -120,6 +125,7 @@ struct ServiceMetrics {
     submit_requests: Arc<Counter>,
     modify_requests: Arc<Counter>,
     stats_requests: Arc<Counter>,
+    health_requests: Arc<Counter>,
     trace_dump_requests: Arc<Counter>,
     resume_requests: Arc<Counter>,
     sync_requests: Arc<Counter>,
@@ -140,6 +146,7 @@ impl ServiceMetrics {
             submit_requests: counter("crowdfill_server_submit_requests"),
             modify_requests: counter("crowdfill_server_modify_requests"),
             stats_requests: counter("crowdfill_server_stats_requests"),
+            health_requests: counter("crowdfill_server_health_requests"),
             trace_dump_requests: counter("crowdfill_server_trace_dump_requests"),
             resume_requests: counter("crowdfill_server_resume_requests"),
             sync_requests: counter("crowdfill_server_sync_requests"),
@@ -151,6 +158,53 @@ impl ServiceMetrics {
             modify_latency_ns: histogram("crowdfill_server_modify_latency_ns"),
         }
     }
+}
+
+/// Live-telemetry configuration: the background sampler feeding the
+/// `health` request's windowed rates and SLO burn gauges (DESIGN.md §11).
+#[derive(Debug, Clone)]
+pub struct TelemetryOptions {
+    /// Registry snapshot period for the background sampler.
+    pub sample_period: Duration,
+    /// Sampler ring capacity in ticks.
+    pub ring_capacity: usize,
+    /// Service-level objectives evaluated over the sampler ring on every
+    /// `health` request; each publishes a
+    /// `crowdfill_slo_<name>_burn_milli` gauge.
+    pub slos: Vec<SloSpec>,
+}
+
+impl Default for TelemetryOptions {
+    fn default() -> TelemetryOptions {
+        let window = Duration::from_secs(60);
+        TelemetryOptions {
+            sample_period: Duration::from_millis(250),
+            ring_capacity: 256,
+            slos: vec![
+                SloSpec::quantile_below_ms(
+                    "ack-p99",
+                    "crowdfill_server_ack_latency_ns",
+                    0.99,
+                    250,
+                    window,
+                ),
+                SloSpec::ratio_below(
+                    "shed-rate",
+                    "crowdfill_server_sheds",
+                    "crowdfill_server_submit_requests",
+                    0.05,
+                    window,
+                ),
+            ],
+        }
+    }
+}
+
+/// The running telemetry state `health` requests read: the sampler's ring
+/// plus the SLOs to evaluate over it.
+struct ServiceTelemetry {
+    ring: Arc<SampleRing>,
+    slos: Vec<SloSpec>,
 }
 
 /// Tunables for the service's graceful degradation under misbehaving peers.
@@ -175,6 +229,11 @@ pub struct ServiceOptions {
     /// batch pipeline, write-buffer watermark and eviction policy for
     /// connections (DESIGN.md §9).
     pub overload: OverloadOptions,
+    /// Live telemetry: `Some` (the default) runs a background sampler and
+    /// serves windowed rates and SLO burn rates on `health` requests;
+    /// `None` disables the sampler thread entirely (a `health` request
+    /// still reports semantic telemetry, just no SLO evaluation).
+    pub telemetry: Option<TelemetryOptions>,
 }
 
 impl Default for ServiceOptions {
@@ -185,6 +244,7 @@ impl Default for ServiceOptions {
             accept_backoff_max: Duration::from_secs(1),
             batch: Some(BatchOptions::default()),
             overload: OverloadOptions::default(),
+            telemetry: Some(TelemetryOptions::default()),
         }
     }
 }
@@ -334,6 +394,8 @@ pub struct TcpService {
     /// Keeps the apply thread alive for the service's lifetime (connection
     /// threads hold their own handles while serving).
     _pipeline: Option<Arc<BatchPipeline>>,
+    /// The background metrics sampler; joined on `stop` (and on drop).
+    sampler: Option<Sampler>,
 }
 
 type ConnRegistry = Arc<Mutex<HashMap<WorkerId, Arc<Seat>>>>;
@@ -358,8 +420,30 @@ impl TcpService {
         let registry: ConnRegistry = Arc::new(Mutex::new(HashMap::new()));
         let started = Instant::now();
         let metrics = Arc::new(ServiceMetrics::resolve());
-        let options = Arc::new(options);
         crowdfill_obs::obs_info!("server", "tcp service listening on {addr}");
+
+        // The telemetry sampler snapshots the global registry in the
+        // background; `health` requests read windowed rates and SLO burn
+        // from its ring. With telemetry off, no thread is spawned and the
+        // hot paths are untouched.
+        let (sampler, telemetry) = match &options.telemetry {
+            Some(t) => {
+                let sampler = Sampler::start(
+                    RegistryRef::Global,
+                    SamplerOptions {
+                        period: t.sample_period,
+                        capacity: t.ring_capacity,
+                    },
+                );
+                let telemetry = Arc::new(ServiceTelemetry {
+                    ring: sampler.ring(),
+                    slos: t.slos.clone(),
+                });
+                (Some(sampler), Some(telemetry))
+            }
+            None => (None, None),
+        };
+        let options = Arc::new(options);
 
         // The apply thread owns the submit hot path; its after-batch hook
         // flushes every session outbox once per batch, emitting multi-op
@@ -431,10 +515,14 @@ impl TcpService {
                     let metrics = Arc::clone(&metrics);
                     let options = Arc::clone(&options);
                     let pipeline = pipeline.clone();
+                    let telemetry = telemetry.clone();
                     let _ = std::thread::Builder::new()
                         .name("crowdfill-conn".into())
                         .spawn(move || {
-                            serve_conn(conn, backend, registry, started, metrics, options, pipeline)
+                            serve_conn(
+                                conn, backend, registry, started, metrics, options, pipeline,
+                                telemetry,
+                            )
                         });
                 }
             })
@@ -447,6 +535,7 @@ impl TcpService {
             accept_thread: Some(accept_thread),
             registry: service_registry,
             _pipeline: pipeline_handle,
+            sampler,
         })
     }
 
@@ -472,9 +561,13 @@ impl TcpService {
         Arc::clone(&self.backend)
     }
 
-    /// Stops accepting connections and joins the accept thread.
+    /// Stops accepting connections and joins the accept and sampler
+    /// threads.
     pub fn stop(mut self) {
         self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(mut s) = self.sampler.take() {
+            s.stop();
+        }
         // Unblock the accept() call.
         let _ = TcpConn::connect(self.addr);
         if let Some(t) = self.accept_thread.take() {
@@ -582,6 +675,7 @@ fn parse_cursor(req: &Json) -> (u64, HashSet<u64>) {
     (from, have)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn serve_conn(
     conn: Arc<TcpConn>,
     backend: Arc<Mutex<Backend>>,
@@ -590,6 +684,7 @@ fn serve_conn(
     metrics: Arc<ServiceMetrics>,
     options: Arc<ServiceOptions>,
     pipeline: Option<Arc<BatchPipeline>>,
+    telemetry: Option<Arc<ServiceTelemetry>>,
 ) {
     // First frame opens the session: hello (fresh) or resume (re-attach).
     let Ok(frame) = conn.recv() else { return };
@@ -701,6 +796,7 @@ fn serve_conn(
             &metrics,
             &options,
             pipeline.as_deref(),
+            telemetry.as_deref(),
         );
     }
 
@@ -735,7 +831,11 @@ fn run_session(
     metrics: &ServiceMetrics,
     options: &ServiceOptions,
     pipeline: Option<&BatchPipeline>,
+    telemetry: Option<&ServiceTelemetry>,
 ) {
+    // This worker's private ack-latency histogram (per-worker health);
+    // shared with the session so `health` can read quantiles.
+    let ack_hist = backend.lock().worker_ack_histogram(worker);
     loop {
         let frame = match options.idle_timeout {
             Some(t) => match conn.recv_timeout(t) {
@@ -765,6 +865,7 @@ fn run_session(
             Some("submit") => {
                 metrics.submit_requests.inc();
                 let _submit_timer = SpanTimer::start(&metrics.submit_latency_ns);
+                let submitted_at = Instant::now();
                 let auto = req.get("auto").and_then(Json::as_bool).unwrap_or(false);
                 let priority = if req
                     .get("speculative")
@@ -801,6 +902,9 @@ fn run_session(
                         result_frame(result, trace)
                     }
                 };
+                if let Some(h) = &ack_hist {
+                    h.record(submitted_at.elapsed().as_nanos() as u64);
+                }
                 let _ = conn.send(reply.encode().as_bytes());
                 if pipeline.is_none() {
                     // The pipeline's apply thread flushes after each batch.
@@ -868,13 +972,17 @@ fn run_session(
                 }
                 let (from, have) = parse_cursor(&req);
                 let (history_len, msgs) = {
-                    let b = backend.lock();
+                    let mut b = backend.lock();
                     let msgs: Vec<(u64, Message)> = b
                         .history_suffix(from)
                         .into_iter()
                         .filter(|(s, _)| !have.contains(s))
                         .collect();
-                    (b.history_len(), msgs)
+                    let history_len = b.history_len();
+                    // The reply covers the history through `history_len`,
+                    // so the replica-lag gauge for this worker resets.
+                    b.note_confirmed(worker, history_len);
+                    (history_len, msgs)
                 };
                 let reply = Json::obj([
                     ("type", Json::str("synced")),
@@ -890,6 +998,25 @@ fn run_session(
                     ("type", Json::str("stats")),
                     ("snapshot", Json::str(snapshot)),
                 ]);
+                let _ = conn.send(reply.encode().as_bytes());
+            }
+            Some("health") => {
+                // The semantic-health report (DESIGN.md §11): completeness,
+                // per-column agreement, per-worker latency/lag, plus SLO
+                // burn rates evaluated over the sampler ring.
+                metrics.health_requests.inc();
+                let mut report = {
+                    let b = backend.lock();
+                    crate::health::collect(&b)
+                };
+                if let Some(t) = telemetry {
+                    report.slos = evaluate_slos(&t.slos, &t.ring, crowdfill_obs::metrics::global())
+                        .into_iter()
+                        .map(crate::health::SloHealth::from)
+                        .collect();
+                }
+                let reply =
+                    Json::obj([("type", Json::str("health")), ("report", report.to_json())]);
                 let _ = conn.send(reply.encode().as_bytes());
             }
             Some("trace_dump") => {
@@ -1117,6 +1244,10 @@ pub struct RemoteWorker {
     client: crate::worker_client::WorkerClient,
     /// Exactly which history seqs this replica has applied.
     applied: AppliedSeqs,
+    /// The highest server history length this client has evidence of
+    /// (welcome, synced replies, broadcast/ack seqs): the denominator of
+    /// [`local_lag`](Self::local_lag).
+    server_history_len: u64,
     /// Set by a server `lagging` note: broadcasts to us were dropped and a
     /// `sync` is owed. Healed opportunistically after the next ack or
     /// [`absorb_pending`](Self::absorb_pending) call.
@@ -1260,12 +1391,14 @@ impl RemoteWorker {
                 Ok((client, applied)) => {
                     let jitter = policy.as_ref().map_or(0, |p| p.jitter_seed);
                     let trace_seed = splitmix64(jitter ^ (client.worker().0 as u64));
+                    let server_history_len = applied.len();
                     return Ok(RemoteWorker {
                         conn,
                         dialer,
                         policy,
                         client,
                         applied,
+                        server_history_len,
                         needs_sync: false,
                         jitter,
                         trace_seed,
@@ -1412,6 +1545,7 @@ impl RemoteWorker {
         };
         match entry.get("seq").and_then(Json::as_i64).filter(|v| *v >= 0) {
             Some(seq) => {
+                self.server_history_len = self.server_history_len.max(seq as u64 + 1);
                 if self.applied.note(seq as u64) {
                     self.client.absorb(&m);
                     let trace = json_trace(entry);
@@ -1679,6 +1813,7 @@ impl RemoteWorker {
     fn note_ack_seqs(&mut self, ack: &Json) {
         if let Some(seqs) = ack.get("seqs").and_then(Json::as_arr) {
             for s in seqs.iter().filter_map(Json::as_i64).filter(|v| *v >= 0) {
+                self.server_history_len = self.server_history_len.max(s as u64 + 1);
                 self.applied.note(s as u64);
             }
         }
@@ -1791,6 +1926,7 @@ impl RemoteWorker {
             // vote messages are interchangeable in effect.)
             let mut matched = vec![false; pending_msgs.len()];
             for (seq, m) in &msgs {
+                self.server_history_len = self.server_history_len.max(*seq + 1);
                 if !self.applied.note(*seq) {
                     continue;
                 }
@@ -1940,6 +2076,7 @@ impl RemoteWorker {
                         .filter(|v| *v >= 0)
                         .ok_or_else(|| RemoteError::Protocol("synced missing history_len".into()))?
                         as u64;
+                    self.server_history_len = self.server_history_len.max(history_len);
                     let msgs = seq_msgs_from_json(
                         json.get("msgs")
                             .ok_or_else(|| RemoteError::Protocol("synced missing msgs".into()))?,
@@ -2000,6 +2137,43 @@ impl RemoteWorker {
                 other => return Err(RemoteError::Protocol(format!("unexpected frame {other:?}"))),
             }
         }
+    }
+
+    /// Fetches the server's live health report (completeness, per-column
+    /// agreement, per-worker latency and lag, SLO burn rates), absorbing
+    /// any interleaved broadcasts.
+    pub fn health(&mut self) -> Result<crate::health::HealthReport, RemoteError> {
+        self.conn
+            .send(
+                Json::obj([("type", Json::str("health"))])
+                    .encode()
+                    .as_bytes(),
+            )
+            .map_err(RemoteError::Conn)?;
+        loop {
+            let frame = self.recv_frame().map_err(RemoteError::Conn)?;
+            let json = Json::parse(&String::from_utf8_lossy(&frame))
+                .map_err(|e| RemoteError::Protocol(e.to_string()))?;
+            match json.get("type").and_then(Json::as_str) {
+                Some("msg") | Some("batch") | Some("lagging") => {
+                    self.absorb_frame(&frame);
+                }
+                Some("health") => {
+                    return json
+                        .get("report")
+                        .and_then(crate::health::HealthReport::from_json)
+                        .ok_or_else(|| RemoteError::Protocol("malformed health report".into()));
+                }
+                other => return Err(RemoteError::Protocol(format!("unexpected frame {other:?}"))),
+            }
+        }
+    }
+
+    /// How far this replica trails the server's history as of the last
+    /// frame processed: `history_len − applied`. Zero right after a
+    /// successful `sync`.
+    pub fn local_lag(&self) -> u64 {
+        self.applied.lag_behind(self.server_history_len)
     }
 
     /// Fetches the server's flight-recorder contents as JSON lines (one

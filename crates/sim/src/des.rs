@@ -116,6 +116,10 @@ pub struct RunReport {
     /// by [`TraceSummary`](crowdfill_obs::trace::TraceSummary). Empty when
     /// tracing is off (`OBS_TRACE=off`, the default) or nothing sampled.
     pub trace_summary: String,
+    /// The end-of-run health report (completeness, per-column agreement,
+    /// per-worker stats; DESIGN.md §11), rendered as text. Taken just
+    /// before settlement, so it reflects the final collection state.
+    pub health_summary: String,
 }
 
 impl RunReport {
@@ -307,6 +311,9 @@ pub fn run(cfg: SimConfig) -> RunReport {
         .map(|&n| n - 1)
         .sum();
 
+    // Health must be read before settlement tears the sessions down.
+    let health_summary = crowdfill_server::health::collect(&backend).render();
+
     let (final_table, contributions, payout) = backend.settle();
     let accuracy = if final_table.is_empty() {
         0.0
@@ -371,5 +378,6 @@ pub fn run(cfg: SimConfig) -> RunReport {
         budget: cfg.budget,
         metrics_snapshot,
         trace_summary,
+        health_summary,
     }
 }

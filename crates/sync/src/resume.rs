@@ -75,6 +75,13 @@ impl AppliedSeqs {
         self.len() == 0
     }
 
+    /// How many of the server's first `history_len` messages are still
+    /// missing here — the replica's lag against a known history length.
+    /// Zero after a sync that covered `history_len`.
+    pub fn lag_behind(&self, history_len: u64) -> u64 {
+        history_len.saturating_sub(self.len())
+    }
+
     /// Resets to exactly the prefix `0..len` (after a full resync).
     pub fn reset_to_prefix(&mut self, len: u64) {
         self.contig = len;
@@ -149,5 +156,18 @@ mod tests {
         assert!(a.is_empty());
         assert_eq!(a.last_contiguous(), None);
         assert!(!a.contains(0));
+    }
+
+    #[test]
+    fn lag_counts_missing_messages() {
+        let mut a = AppliedSeqs::new();
+        assert_eq!(a.lag_behind(5), 5);
+        a.note_prefix(3);
+        assert_eq!(a.lag_behind(5), 2);
+        a.note(3);
+        a.note(4);
+        assert_eq!(a.lag_behind(5), 0);
+        // A stale (smaller) history length never underflows.
+        assert_eq!(a.lag_behind(2), 0);
     }
 }

@@ -30,3 +30,10 @@ CROWDFILL_FAULT_SEEDS=11,23,47,101 \
 # carries a complete client → server → ack span tree (DESIGN.md §10).
 OBS_TRACE=all \
   cargo test -q --release -p crowdfill-bench --test trace_smoke
+
+# Health gate: a fill workload against a real TcpService with the
+# telemetry sampler on — asserts the `health` wire request reports
+# completeness matching ground truth, per-worker latency/agreement/lag,
+# populated SLOs, and that replica lag drains to zero after a sync
+# (DESIGN.md §11).
+cargo test -q --release -p crowdfill-bench --test health_smoke

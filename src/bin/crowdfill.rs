@@ -4,12 +4,15 @@
 //! crowdfill spec                      # print an example task spec (JSON)
 //! crowdfill simulate [opts]           # run a simulated collection
 //! crowdfill serve --spec FILE [opts]  # serve a task over TCP until fulfilled
+//! crowdfill top --addr HOST:PORT      # live health view of a running server
 //! ```
 //!
 //! `serve` hosts the real back-end (`TcpService`); workers connect with the
 //! frame protocol documented in `crowdfill-server/src/tcp_service.rs` (see
 //! `RemoteWorker` for a client implementation). The task specification file
-//! uses the same JSON vocabulary the front-end store persists.
+//! uses the same JSON vocabulary the front-end store persists. `top` polls
+//! the server's `health` request and redraws the report in place, like
+//! `top(1)` for a collection (DESIGN.md §11).
 
 use crowdfill::docstore::Json;
 use crowdfill::prelude::*;
@@ -23,12 +26,14 @@ fn main() {
         Some("spec") => cmd_spec(),
         Some("simulate") => cmd_simulate(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("top") => cmd_top(&args[1..]),
         _ => {
             eprintln!(
-                "usage: crowdfill <spec | simulate | serve> [options]\n\n\
+                "usage: crowdfill <spec | simulate | serve | top> [options]\n\n\
                  spec                          print an example task spec (JSON) to stdout\n\
                  simulate [--rows N] [--seed N] [--scheme uniform|column-weighted|dual-weighted]\n\
-                 serve --spec FILE [--addr HOST:PORT]"
+                 serve --spec FILE [--addr HOST:PORT]\n\
+                 top --addr HOST:PORT [--interval-ms N] [--count N] [--json]"
             );
             2
         }
@@ -91,6 +96,7 @@ fn cmd_simulate(args: &[String]) -> i32 {
     for (w, amount) in &report.payout.per_worker {
         println!("  {w}: ${amount:.2}");
     }
+    println!("{}", report.health_summary);
     // Populated only when OBS_TRACE enables the flight recorder.
     if !report.trace_summary.is_empty() {
         println!("{}", report.trace_summary);
@@ -168,5 +174,63 @@ fn cmd_serve(args: &[String]) -> i32 {
         eprintln!("  {w}: ${amount:.2}");
     }
     service.stop();
+    0
+}
+
+/// `crowdfill top`: poll a live server's `health` request and redraw the
+/// rendered report in place. `--count N` stops after N refreshes (0 =
+/// forever); `--json` prints one JSON report per line instead of drawing.
+fn cmd_top(args: &[String]) -> i32 {
+    let Some(addr) = flag(args, "--addr") else {
+        eprintln!("top requires --addr HOST:PORT");
+        return 2;
+    };
+    let addr: std::net::SocketAddr = match addr.parse() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: bad --addr {addr:?}: {e}");
+            return 2;
+        }
+    };
+    let interval = std::time::Duration::from_millis(
+        flag(args, "--interval-ms")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(1000),
+    );
+    let count: usize = flag(args, "--count")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    let json = args.iter().any(|a| a == "--json");
+    let mut worker = match RemoteWorker::connect(addr) {
+        Ok(w) => w,
+        Err(e) => {
+            eprintln!("error: cannot connect to {addr}: {e}");
+            return 1;
+        }
+    };
+    let mut shown = 0usize;
+    loop {
+        let report = match worker.health() {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("error: health request failed: {e}");
+                return 1;
+            }
+        };
+        if json {
+            println!("{}", report.to_json().encode());
+        } else {
+            // Clear the screen and home the cursor, like top(1).
+            print!("\x1b[2J\x1b[H{}", report.render());
+            use std::io::Write as _;
+            let _ = std::io::stdout().flush();
+        }
+        shown += 1;
+        if count != 0 && shown >= count {
+            break;
+        }
+        std::thread::sleep(interval);
+    }
+    worker.bye();
     0
 }
