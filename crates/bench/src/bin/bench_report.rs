@@ -116,39 +116,85 @@ fn sync_suite(quick: bool) -> Vec<Entry> {
     // (PRI maintenance is table-sized work), and what this suite isolates
     // is the pipeline's amortization of the per-op constants — the journal
     // fsync above all — not replica scaling.
-    let (rows, workers, reps) = if quick { (16, 4, 3) } else { (32, 4, 9) };
+    // The regression gate on this suite is blocking in CI, so quick mode
+    // still takes enough reps for a stable median.
+    let (rows, workers, reps) = if quick { (16, 4, 5) } else { (32, 4, 9) };
     let jobs = record_fill_workload(rows, workers);
     let ops = jobs.len();
     eprintln!("sync workload: {ops} ops over {rows} rows, {workers} workers, {reps} reps");
     let mut entries = Vec::new();
 
-    entries.push(measure("apply/singleton", ops, reps, || {
-        replay_singleton(&jobs, rows, workers, None);
-    }));
-    for batch in [1usize, 8, 32, 128] {
-        entries.push(measure(&format!("apply/batch={batch}"), ops, reps, || {
-            replay_batched(&jobs, rows, workers, batch, None);
-        }));
+    // Interleave every variant rep by rep (see the matching suite for the
+    // rationale): timing each variant as its own back-to-back pass lets
+    // clock/cache drift between passes masquerade as a batching
+    // regression, when singleton and batch replay the same ops through the
+    // same pipeline. The order also rotates each rep so no variant always
+    // occupies the same slot of the cycle — a fixed slot picks up a small
+    // systematic bias from whatever the previous variant left in cache.
+    const BATCHES: [usize; 4] = [1, 8, 32, 128];
+    replay_singleton(&jobs, rows, workers, None); // warm-up
+    let variants = 1 + BATCHES.len();
+    let mut samples: Vec<Vec<u128>> = vec![Vec::with_capacity(reps); variants];
+    for rep in 0..reps {
+        for k in 0..variants {
+            let i = (rep + k) % variants;
+            let start = Instant::now();
+            match i {
+                0 => replay_singleton(&jobs, rows, workers, None),
+                _ => replay_batched(&jobs, rows, workers, BATCHES[i - 1], None),
+            };
+            samples[i].push(start.elapsed().as_nanos());
+        }
+    }
+    let mut samples = samples.into_iter();
+    entries.push(reduce(
+        "apply/singleton",
+        ops,
+        reps,
+        samples.next().unwrap(),
+    ));
+    for batch in BATCHES {
+        entries.push(reduce(
+            &format!("apply/batch={batch}"),
+            ops,
+            reps,
+            samples.next().unwrap(),
+        ));
     }
 
     // The journaled sweep is the headline: with FsyncPolicy::EveryN(1) a
     // batch pays one fsync regardless of size, so batch=32 must clear the
-    // 2x acceptance bar over the per-op-fsync singleton path.
-    entries.push(measure("apply_journaled/singleton", ops, reps, || {
-        let (path, wal) = temp_wal("single");
-        replay_singleton(&jobs, rows, workers, Some(wal));
-        std::fs::remove_file(path).ok();
-    }));
-    for batch in [8usize, 32, 128] {
-        entries.push(measure(
+    // 2x acceptance bar over the per-op-fsync singleton path. Interleaved
+    // for the same reason as above (fsync latency drifts too).
+    const JBATCHES: [usize; 3] = [8, 32, 128];
+    let jvariants = 1 + JBATCHES.len();
+    let mut jsamples: Vec<Vec<u128>> = vec![Vec::with_capacity(reps); jvariants];
+    for rep in 0..reps {
+        for k in 0..jvariants {
+            let i = (rep + k) % jvariants;
+            let (path, wal) = temp_wal(if i == 0 { "single" } else { "batch" });
+            let start = Instant::now();
+            match i {
+                0 => replay_singleton(&jobs, rows, workers, Some(wal)),
+                _ => replay_batched(&jobs, rows, workers, JBATCHES[i - 1], Some(wal)),
+            };
+            jsamples[i].push(start.elapsed().as_nanos());
+            std::fs::remove_file(path).ok();
+        }
+    }
+    let mut jsamples = jsamples.into_iter();
+    entries.push(reduce(
+        "apply_journaled/singleton",
+        ops,
+        reps,
+        jsamples.next().unwrap(),
+    ));
+    for batch in JBATCHES {
+        entries.push(reduce(
             &format!("apply_journaled/batch={batch}"),
             ops,
             reps,
-            || {
-                let (path, wal) = temp_wal("batch");
-                replay_batched(&jobs, rows, workers, batch, Some(wal));
-                std::fs::remove_file(path).ok();
-            },
+            jsamples.next().unwrap(),
         ));
     }
     entries
@@ -156,27 +202,56 @@ fn sync_suite(quick: bool) -> Vec<Entry> {
 
 fn matching_suite(quick: bool) -> Vec<Entry> {
     let (configs, reps): (&[(usize, usize)], usize) = if quick {
-        (&[(16, 16), (64, 16)], 3)
+        (&[(16, 16), (64, 16)], 5)
     } else {
-        (&[(16, 16), (64, 16), (64, 64), (256, 32)], 7)
+        (&[(16, 16), (64, 16), (64, 64), (256, 32)], 31)
     };
     let mut entries = Vec::new();
     for &(components, size) in configs {
         // One repair resolves every free left across all components; count
         // the lefts as the "ops" so ns/op is per augmenting start.
         let ops = components * size;
-        for (label, par) in [("seq", Parallelism::Sequential), ("par", Parallelism::Auto)] {
-            entries.push(measure(
-                &format!("sharded_repair/{label}/c{components}x{size}"),
-                ops,
-                reps,
-                || {
-                    let mut m = sharded_graph(components, size, par);
-                    m.repair();
-                    assert_eq!(m.matching_size(), components * size);
-                },
-            ));
+        // Warm-up pass so neither policy pays the cold caches.
+        sharded_graph(components, size, Parallelism::Sequential).repair();
+        // Interleave seq and par passes rep by rep: a sequential
+        // A-then-B layout lets clock-frequency and cache drift land
+        // entirely on one side, showing multi-percent phantom deltas
+        // between two policies that (below the Auto crossover, or on a
+        // single-core box) run the identical code path.
+        // Alternating which policy leads each rep cancels the (small)
+        // first-in-cycle cache bias as well.
+        let mut seq: Vec<u128> = Vec::with_capacity(reps);
+        let mut par: Vec<u128> = Vec::with_capacity(reps);
+        for rep in 0..reps {
+            for k in 0..2 {
+                let policy = if (rep + k) % 2 == 0 {
+                    Parallelism::Sequential
+                } else {
+                    Parallelism::Auto
+                };
+                let start = Instant::now();
+                let mut m = sharded_graph(components, size, policy);
+                m.repair();
+                let elapsed = start.elapsed().as_nanos();
+                assert_eq!(m.matching_size(), components * size);
+                match policy {
+                    Parallelism::Sequential => seq.push(elapsed),
+                    _ => par.push(elapsed),
+                }
+            }
         }
+        entries.push(reduce(
+            &format!("sharded_repair/seq/c{components}x{size}"),
+            ops,
+            reps,
+            seq,
+        ));
+        entries.push(reduce(
+            &format!("sharded_repair/par/c{components}x{size}"),
+            ops,
+            reps,
+            par,
+        ));
     }
     entries
 }

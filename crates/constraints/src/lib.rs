@@ -20,4 +20,4 @@ pub mod maintainer;
 pub mod probable;
 
 pub use maintainer::{PriMaintainer, TemplateIdx};
-pub use probable::{classify_rows, probable_rows, ProbableStatus};
+pub use probable::{classify, classify_rows, probable_rows, Classification, ProbableStatus};

@@ -30,7 +30,7 @@
 //! when every matched row is a condition-3 winner (complete, positive,
 //! group-best), the derived final table satisfies the constraint.
 
-use crate::probable::probable_rows;
+use crate::probable::classify;
 use crowdfill_matching::ShardedMatcher;
 use crowdfill_model::{
     ClientId, Entry, Message, Operation, RowId, RowValue, Schema, ScoringRef, Template, TemplateRow,
@@ -58,6 +58,13 @@ pub struct PriMaintainer {
     matcher: ShardedMatcher<TemplateIdx, RowId>,
     /// Current probable set (mirrors the matcher's right vertices).
     probable: BTreeSet<RowId>,
+    /// Size of the derived final table as of the last classification sweep
+    /// (the number of group-winner rows). Lets [`is_fulfilled`] reject in
+    /// O(1) without deriving the final table: a matching covering the
+    /// template needs at least `template.len()` final rows.
+    ///
+    /// [`is_fulfilled`]: Self::is_fulfilled
+    final_rows: usize,
     /// Messages CC has generated and not yet handed to the caller.
     outbox: Vec<Message>,
 }
@@ -77,6 +84,7 @@ impl PriMaintainer {
             dropped: Vec::new(),
             matcher: ShardedMatcher::new(),
             probable: BTreeSet::new(),
+            final_rows: 0,
             outbox: Vec::new(),
         };
         for (idx, row) in m.template.clone() {
@@ -154,13 +162,20 @@ impl PriMaintainer {
     /// Satisfaction is therefore checked directly against the derived final
     /// table, with its own unique-witness matching.
     pub fn is_fulfilled(&self) -> bool {
+        // O(1) necessary condition first: the unique-witness matching cannot
+        // cover the template with fewer final rows than live template rows,
+        // and the classification sweep already counted the final rows (the
+        // per-key-group winners). This skips the full derivation on the vast
+        // majority of mid-collection checks.
+        if self.final_rows < self.template.len() {
+            return false;
+        }
         let final_table = crowdfill_model::derive_final_table(
             self.replica.table(),
             self.replica.schema(),
             &*self.scoring,
         );
-        let live = Template::from_rows(self.template.iter().map(|(_, r)| r.clone()).collect());
-        live.satisfied_by(&final_table)
+        crowdfill_model::rows_satisfied_by(self.template.iter().map(|(_, r)| r), &final_table)
     }
 
     /// Whether the PRI currently holds (matching covers the live template).
@@ -351,7 +366,9 @@ impl PriMaintainer {
     /// Diffs the probable set into the matcher. Row values are immutable, so
     /// existing edges never change; only vertices enter and leave.
     fn sync_probable_set(&mut self) {
-        let fresh = probable_rows(self.replica.table(), self.replica.schema(), &*self.scoring);
+        let classification = classify(self.replica.table(), self.replica.schema(), &*self.scoring);
+        self.final_rows = classification.winners;
+        let fresh = classification.probable();
         // Removed rows.
         let gone: Vec<RowId> = self.probable.difference(&fresh).copied().collect();
         for id in gone {

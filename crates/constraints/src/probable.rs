@@ -10,7 +10,7 @@
 //!    greater score — among equal-score winners only one row (the lowest
 //!    [`RowId`], our deterministic tie-break) is probable.
 
-use crowdfill_model::{CandidateTable, RowId, RowValue, Schema, Scoring};
+use crowdfill_model::{CandidateTable, RowId, Schema, Scoring, Value};
 use std::collections::{BTreeSet, HashMap};
 
 /// Why (or why not) a row is probable; useful for diagnostics and tests.
@@ -52,45 +52,79 @@ struct KeyGroup {
     any_positive: bool,
 }
 
-/// Classifies every row of a candidate table.
+/// The result of one classification sweep: per-row statuses (ascending id
+/// order — `CandidateTable` iteration order) plus the group-winner count.
+///
+/// `winners` equals the number of key groups with a positive-score complete
+/// best row, which is by construction the size of the table's *derived final
+/// table* — the PRI maintainer uses it as an O(1) necessary condition for
+/// fulfillment (the full matching check can't succeed with fewer final rows
+/// than live template rows).
+#[derive(Debug, Default, Clone)]
+pub struct Classification {
+    /// `(row, status)` in ascending row-id order.
+    pub statuses: Vec<(RowId, ProbableStatus)>,
+    /// Number of rows classified [`ProbableStatus::Winner`].
+    pub winners: usize,
+}
+
+impl Classification {
+    /// The probable row ids, in deterministic (ascending) order.
+    pub fn probable(&self) -> BTreeSet<RowId> {
+        self.statuses
+            .iter()
+            .filter(|(_, s)| s.is_probable())
+            .map(|(id, _)| *id)
+            .collect()
+    }
+}
+
+/// Classifies every row of a candidate table in one sweep.
 ///
 /// A full recomputation is O(rows); the PRI maintainer calls it after each
 /// message and diffs the resulting set against its matcher (row values are
-/// immutable per id — Lemma 1 — so only set *membership* changes).
-pub fn classify_rows(
-    table: &CandidateTable,
-    schema: &Schema,
-    scoring: &dyn Scoring,
-) -> HashMap<RowId, ProbableStatus> {
-    let mut groups: HashMap<RowValue, KeyGroup> = HashMap::new();
+/// immutable per id — Lemma 1 — so only set *membership* changes). To keep
+/// the per-message cost down the sweep projects each row's key exactly once
+/// (into a flat `Vec<Value>` of shared values, not a fresh `RowValue` map)
+/// and reuses the projection across both the aggregate and classify passes.
+pub fn classify(table: &CandidateTable, schema: &Schema, scoring: &dyn Scoring) -> Classification {
+    // Per-row facts gathered in one iteration: (id, score, group index).
+    let mut rows: Vec<(RowId, i64, Option<usize>)> = Vec::with_capacity(table.len());
+    let mut groups: Vec<KeyGroup> = Vec::new();
+    let mut group_ids: HashMap<Vec<Value>, usize> = HashMap::new();
 
-    // Pass 1: group aggregates over rows with a full key.
     for (id, entry) in table.iter() {
-        let Some(key) = entry.value.key_projection(schema) else {
-            continue;
-        };
         let score = scoring.score(entry.upvotes, entry.downvotes);
-        let group = groups.entry(key).or_default();
-        if score > 0 {
-            group.any_positive = true;
-        }
-        if entry.value.is_complete(schema) && score > 0 {
-            // Ascending-id iteration + strict `>` implements lowest-id ties.
-            if group.best_complete_score.is_none_or(|b| score > b) {
-                group.best_complete_score = Some(score);
-                group.best_complete_row = Some(id);
+        let group = entry.value.key_values(schema).map(|key| {
+            let gi = *group_ids.entry(key).or_insert_with(|| {
+                groups.push(KeyGroup::default());
+                groups.len() - 1
+            });
+            let g = &mut groups[gi];
+            if score > 0 {
+                g.any_positive = true;
+                if entry.value.is_complete(schema) {
+                    // Ascending-id iteration + strict `>` = lowest-id ties.
+                    if g.best_complete_score.is_none_or(|b| score > b) {
+                        g.best_complete_score = Some(score);
+                        g.best_complete_row = Some(id);
+                    }
+                }
             }
-        }
+            gi
+        });
+        rows.push((id, score, group));
     }
 
-    // Pass 2: classify.
-    let mut out = HashMap::with_capacity(table.len());
-    for (id, entry) in table.iter() {
-        let score = scoring.score(entry.upvotes, entry.downvotes);
+    let mut out = Classification {
+        statuses: Vec::with_capacity(rows.len()),
+        winners: 0,
+    };
+    for (id, score, group) in rows {
         let status = if score < 0 {
             ProbableStatus::Rejected
         } else {
-            match entry.value.key_projection(schema) {
+            match group {
                 None => {
                     if score == 0 {
                         ProbableStatus::OpenKey
@@ -101,8 +135,8 @@ pub fn classify_rows(
                         ProbableStatus::Outscored
                     }
                 }
-                Some(key) => {
-                    let group = &groups[&key];
+                Some(gi) => {
+                    let group = &groups[gi];
                     if score == 0 {
                         if group.any_positive {
                             ProbableStatus::Shadowed
@@ -110,6 +144,7 @@ pub fn classify_rows(
                             ProbableStatus::Contender
                         }
                     } else if group.best_complete_row == Some(id) {
+                        out.winners += 1;
                         ProbableStatus::Winner
                     } else {
                         ProbableStatus::Outscored
@@ -117,9 +152,21 @@ pub fn classify_rows(
                 }
             }
         };
-        out.insert(id, status);
+        out.statuses.push((id, status));
     }
     out
+}
+
+/// Classifies every row of a candidate table (map form, for diagnostics).
+pub fn classify_rows(
+    table: &CandidateTable,
+    schema: &Schema,
+    scoring: &dyn Scoring,
+) -> HashMap<RowId, ProbableStatus> {
+    classify(table, schema, scoring)
+        .statuses
+        .into_iter()
+        .collect()
 }
 
 /// The set of probable row ids, in deterministic (ascending) order.
@@ -128,17 +175,15 @@ pub fn probable_rows(
     schema: &Schema,
     scoring: &dyn Scoring,
 ) -> BTreeSet<RowId> {
-    classify_rows(table, schema, scoring)
-        .into_iter()
-        .filter(|(_, s)| s.is_probable())
-        .map(|(id, _)| id)
-        .collect()
+    classify(table, schema, scoring).probable()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crowdfill_model::{ClientId, Column, ColumnId, DataType, QuorumMajority, RowEntry, Value};
+    use crowdfill_model::{
+        ClientId, Column, ColumnId, DataType, QuorumMajority, RowEntry, RowValue, Value,
+    };
 
     fn schema() -> Schema {
         Schema::new(

@@ -7,6 +7,7 @@
 //! (`crowdfill-net` frames carry JSON payloads). No external serialization
 //! dependency is used.
 
+use std::borrow::Cow;
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -194,6 +195,121 @@ pub struct JsonError {
     pub message: String,
 }
 
+/// A JSON value that borrows from the parsed input — the zero-copy twin of
+/// [`Json`] for decode-and-discard paths (network frame decode above all).
+///
+/// Escape-free strings are `Cow::Borrowed` slices of the input buffer;
+/// only strings containing escapes are decoded into owned storage. Objects
+/// keep their members in a `Vec` in document order rather than a sorted
+/// map: wire objects are a handful of keys, where a linear scan beats a
+/// `BTreeMap` and building the map is the dominant per-field allocation
+/// this type exists to avoid. [`JsonRef::get`] scans members in reverse so
+/// duplicate keys resolve last-wins, matching the owned parser's
+/// insert-overwrite semantics.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonRef<'a> {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(Cow<'a, str>),
+    Arr(Vec<JsonRef<'a>>),
+    Obj(Vec<(Cow<'a, str>, JsonRef<'a>)>),
+}
+
+impl<'a> JsonRef<'a> {
+    /// Parses a JSON document without copying escape-free strings; the
+    /// entire input must be consumed (modulo trailing whitespace).
+    pub fn parse(input: &'a str) -> Result<JsonRef<'a>, JsonError> {
+        let mut p = Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+            depth: 0,
+        };
+        p.skip_ws();
+        let v = p.value_ref()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters"));
+        }
+        Ok(v)
+    }
+
+    /// Member access for objects (last occurrence wins, like [`Json::get`]).
+    pub fn get(&self, key: &str) -> Option<&JsonRef<'a>> {
+        match self {
+            JsonRef::Obj(members) => members
+                .iter()
+                .rev()
+                .find(|(k, _)| k.as_ref() == key)
+                .map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Array element access.
+    pub fn at(&self, idx: usize) -> Option<&JsonRef<'a>> {
+        match self {
+            JsonRef::Arr(v) => v.get(idx),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonRef::Str(s) => Some(s.as_ref()),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonRef::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Integer view (exact integral numbers only).
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            JsonRef::Num(n) if n.fract() == 0.0 && n.abs() <= i64::MAX as f64 => Some(*n as i64),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonRef::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_arr(&self) -> Option<&[JsonRef<'a>]> {
+        match self {
+            JsonRef::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Converts into the owned [`Json`] model, for values that must outlive
+    /// the input buffer. Duplicate object keys collapse last-wins, exactly
+    /// as the owned parser would have resolved them.
+    pub fn to_owned(&self) -> Json {
+        match self {
+            JsonRef::Null => Json::Null,
+            JsonRef::Bool(b) => Json::Bool(*b),
+            JsonRef::Num(n) => Json::Num(*n),
+            JsonRef::Str(s) => Json::Str(s.clone().into_owned()),
+            JsonRef::Arr(items) => Json::Arr(items.iter().map(JsonRef::to_owned).collect()),
+            JsonRef::Obj(members) => Json::Obj(
+                members
+                    .iter()
+                    .map(|(k, v)| (k.clone().into_owned(), v.to_owned()))
+                    .collect(),
+            ),
+        }
+    }
+}
+
 impl fmt::Display for JsonError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "JSON error at byte {}: {}", self.pos, self.message)
@@ -251,19 +367,38 @@ impl<'a> Parser<'a> {
             Some(b'{') => self.object(),
             Some(b'[') => self.array(),
             Some(b'"') => Ok(Json::Str(self.string()?)),
-            Some(b't') => self.literal("true", Json::Bool(true)),
-            Some(b'f') => self.literal("false", Json::Bool(false)),
-            Some(b'n') => self.literal("null", Json::Null),
-            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(b't') => self.literal("true").map(|()| Json::Bool(true)),
+            Some(b'f') => self.literal("false").map(|()| Json::Bool(false)),
+            Some(b'n') => self.literal("null").map(|()| Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number().map(Json::Num),
             Some(_) => Err(self.err("unexpected character")),
             None => Err(self.err("unexpected end of input")),
         }
     }
 
-    fn literal(&mut self, word: &str, value: Json) -> Result<Json, JsonError> {
+    /// The borrowing twin of [`Parser::value`]; grammar and error behavior
+    /// are identical, only the produced representation differs.
+    fn value_ref(&mut self) -> Result<JsonRef<'a>, JsonError> {
+        if self.depth >= MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'{') => self.object_ref(),
+            Some(b'[') => self.array_ref(),
+            Some(b'"') => Ok(JsonRef::Str(self.string_ref()?)),
+            Some(b't') => self.literal("true").map(|()| JsonRef::Bool(true)),
+            Some(b'f') => self.literal("false").map(|()| JsonRef::Bool(false)),
+            Some(b'n') => self.literal("null").map(|()| JsonRef::Null),
+            Some(b'-' | b'0'..=b'9') => self.number().map(JsonRef::Num),
+            Some(_) => Err(self.err("unexpected character")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn literal(&mut self, word: &str) -> Result<(), JsonError> {
         if self.bytes[self.pos..].starts_with(word.as_bytes()) {
             self.pos += word.len();
-            Ok(value)
+            Ok(())
         } else {
             Err(self.err(&format!("expected {word:?}")))
         }
@@ -298,6 +433,35 @@ impl<'a> Parser<'a> {
         Ok(Json::Obj(map))
     }
 
+    fn object_ref(&mut self) -> Result<JsonRef<'a>, JsonError> {
+        self.expect(b'{')?;
+        self.depth += 1;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(JsonRef::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string_ref()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value_ref()?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b'}') => break,
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+        self.depth -= 1;
+        Ok(JsonRef::Obj(members))
+    }
+
     fn array(&mut self) -> Result<Json, JsonError> {
         self.expect(b'[')?;
         self.depth += 1;
@@ -322,8 +486,67 @@ impl<'a> Parser<'a> {
         Ok(Json::Arr(items))
     }
 
+    fn array_ref(&mut self) -> Result<JsonRef<'a>, JsonError> {
+        self.expect(b'[')?;
+        self.depth += 1;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(JsonRef::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value_ref()?);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b']') => break,
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+        self.depth -= 1;
+        Ok(JsonRef::Arr(items))
+    }
+
     fn string(&mut self) -> Result<String, JsonError> {
+        self.string_ref().map(Cow::into_owned)
+    }
+
+    /// Scans a string, borrowing the input slice when it contains no
+    /// escapes (the common case for this workspace's wire vocabulary) and
+    /// falling back to the allocating escape decoder otherwise.
+    fn string_ref(&mut self) -> Result<Cow<'a, str>, JsonError> {
         self.expect(b'"')?;
+        let start = self.pos;
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    let s = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    self.pos += 1;
+                    return Ok(Cow::Borrowed(s));
+                }
+                Some(b'\\') => {
+                    // Rewind to just past the opening quote and decode with
+                    // escape handling into owned storage.
+                    self.pos = start;
+                    return self.string_escaped().map(Cow::Owned);
+                }
+                Some(b) if b < 0x20 => {
+                    self.pos += 1; // position the error on the offender
+                    return Err(self.err("control character in string"));
+                }
+                Some(_) => self.pos += 1,
+            }
+        }
+    }
+
+    /// The escape-decoding string scanner; `self.pos` sits just past the
+    /// opening quote.
+    fn string_escaped(&mut self) -> Result<String, JsonError> {
         let mut out = String::new();
         loop {
             match self.bump() {
@@ -396,7 +619,7 @@ impl<'a> Parser<'a> {
         Ok(v)
     }
 
-    fn number(&mut self) -> Result<Json, JsonError> {
+    fn number(&mut self) -> Result<f64, JsonError> {
         let start = self.pos;
         if self.peek() == Some(b'-') {
             self.pos += 1;
@@ -437,7 +660,7 @@ impl<'a> Parser<'a> {
         if !n.is_finite() {
             return Err(self.err("number out of range"));
         }
-        Ok(Json::Num(n))
+        Ok(n)
     }
 }
 
@@ -551,6 +774,64 @@ mod tests {
         assert!(Json::parse(&deep).is_err());
         let ok = "[".repeat(100) + &"]".repeat(100);
         assert!(Json::parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn ref_parse_matches_owned_parse() {
+        for doc in [
+            "null",
+            "true",
+            "-12.5e3",
+            r#""plain text""#,
+            r#""esc \"aped\" é\n""#,
+            r#"[1, "two", {"three": [false, null]}]"#,
+            r#"{"kind":"replace","old":{"c":1,"s":2},"value":[{"col":0,"val":{"t":"text","v":"a"}}]}"#,
+        ] {
+            let owned = Json::parse(doc).unwrap();
+            let borrowed = JsonRef::parse(doc).unwrap();
+            assert_eq!(borrowed.to_owned(), owned, "mismatch for {doc}");
+        }
+    }
+
+    #[test]
+    fn ref_strings_borrow_unless_escaped() {
+        let doc = r#"{"plain":"no escapes here","fancy":"tab\there"}"#;
+        let j = JsonRef::parse(doc).unwrap();
+        match j.get("plain") {
+            Some(JsonRef::Str(Cow::Borrowed(s))) => assert_eq!(*s, "no escapes here"),
+            other => panic!("expected borrowed str, got {other:?}"),
+        }
+        match j.get("fancy") {
+            Some(JsonRef::Str(Cow::Owned(s))) => assert_eq!(s, "tab\there"),
+            other => panic!("expected owned str, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ref_duplicate_keys_resolve_last_wins() {
+        let doc = r#"{"k":1,"k":2}"#;
+        let owned = Json::parse(doc).unwrap();
+        let borrowed = JsonRef::parse(doc).unwrap();
+        assert_eq!(owned.get("k").unwrap().as_i64(), Some(2));
+        assert_eq!(borrowed.get("k").unwrap().as_i64(), Some(2));
+        assert_eq!(borrowed.to_owned(), owned);
+    }
+
+    #[test]
+    fn ref_rejects_what_owned_rejects() {
+        for doc in [
+            "",
+            "{",
+            r#"{"a":}"#,
+            r#""unterminated"#,
+            "[1,]",
+            "01",
+            "1e",
+            "\"ctrl\u{1}char\"",
+        ] {
+            assert!(Json::parse(doc).is_err(), "owned accepted {doc:?}");
+            assert!(JsonRef::parse(doc).is_err(), "borrowed accepted {doc:?}");
+        }
     }
 
     #[test]

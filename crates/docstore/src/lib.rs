@@ -18,6 +18,6 @@ pub mod store;
 pub mod wal;
 
 pub use collection::{Collection, Filter, StoreError};
-pub use json::{Json, JsonError};
+pub use json::{Json, JsonError, JsonRef};
 pub use store::DocStore;
 pub use wal::{crc32, FsyncPolicy, Wal};

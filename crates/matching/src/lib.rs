@@ -21,7 +21,7 @@
 
 pub mod sharded;
 
-pub use sharded::{Parallelism, ShardedMatcher};
+pub use sharded::{Parallelism, ShardedMatcher, PAR_MIN_VERTICES};
 
 use std::collections::hash_map::Entry;
 use std::collections::{HashMap, HashSet, VecDeque};

@@ -26,7 +26,26 @@ use crowdfill_obs::metrics::{Counter, Histogram};
 
 /// Minimum total vertex count (across shards that need repair) before a
 /// repair fans out to threads; below it, thread spawn dominates the BFS work.
-const PAR_MIN_VERTICES: usize = 512;
+///
+/// This is the measured `Auto` crossover: BENCH_matching.json shows the
+/// in-place sequential augment winning or tying the parallel path at every
+/// config whose dirty-vertex count sits under this bound (shard partitioning
+/// plus spawn cost is ~tens of microseconds, while a sub-512-vertex repair
+/// completes in single-digit microseconds). `Auto` therefore checks the
+/// whole-graph vertex count *before* building shards — see
+/// [`ShardedMatcher::planned_threads`] — and falls back to the sequential
+/// in-place path below it.
+pub const PAR_MIN_VERTICES: usize = 512;
+
+/// Cached [`std::thread::available_parallelism`]. The std call re-reads the
+/// cgroup CPU quota from the filesystem on every invocation (tens of
+/// microseconds on Linux) — enough to make an `Auto` repair measurably lose
+/// to `Sequential` on graphs whose whole repair takes comparable time. The
+/// quota does not change for the life of the process, so read it once.
+fn hardware_threads() -> usize {
+    static N: OnceLock<usize> = OnceLock::new();
+    *N.get_or_init(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+}
 
 fn sharded_repairs() -> &'static Counter {
     static C: OnceLock<std::sync::Arc<Counter>> = OnceLock::new();
@@ -67,13 +86,17 @@ pub enum Parallelism {
 }
 
 /// One independent subproblem: the free lefts of a connected component plus
-/// the component-local graph and matching. Owned, so it can cross a thread
-/// boundary.
+/// the component-local *matching* state. The adjacency is **not** copied —
+/// an augmenting search from a component's free left can only ever visit
+/// that component, so every shard solver reads the matcher's full adjacency
+/// map by shared reference; only the small per-component match maps are
+/// owned (they are mutated during the solve).
 struct Shard<L, R> {
     free: Vec<L>,
-    adj: BTreeMap<L, Vec<R>>,
     match_l: BTreeMap<L, R>,
     match_r: BTreeMap<R, L>,
+    /// Component size (lefts + rights), for work-based scheduling.
+    vertices: usize,
 }
 
 /// A deterministic, component-sharded bipartite matching with the same
@@ -178,12 +201,12 @@ where
     L: Clone + Eq + Hash + Ord + Send,
     R: Clone + Eq + Hash + Ord + Send,
 {
-    /// Augments every free left (ascending) and returns the shard's final
-    /// matched pairs. Augmenting never unmatches a left, so the caller can
-    /// merge by insertion alone.
-    fn solve(mut self) -> Vec<(L, R)> {
+    /// Augments every free left (ascending) against the shared adjacency and
+    /// returns the shard's final matched pairs. Augmenting never unmatches a
+    /// left, so the caller can merge by insertion alone.
+    fn solve(mut self, adj: &BTreeMap<L, Vec<R>>) -> Vec<(L, R)> {
         for l in &self.free {
-            bfs_augment(l, &self.adj, &mut self.match_l, &mut self.match_r);
+            bfs_augment(l, adj, &mut self.match_l, &mut self.match_r);
         }
         self.match_l.into_iter().collect()
     }
@@ -369,10 +392,6 @@ where
             }
             let (lefts, rights) = self.component_of(l, &mut visited);
             let shard_free: Vec<L> = free.iter().filter(|f| lefts.contains(f)).cloned().collect();
-            let adj: BTreeMap<L, Vec<R>> = lefts
-                .iter()
-                .map(|l| (l.clone(), self.adj.get(l).cloned().unwrap_or_default()))
-                .collect();
             let match_l: BTreeMap<L, R> = lefts
                 .iter()
                 .filter_map(|l| self.match_l.get(l).map(|r| (l.clone(), r.clone())))
@@ -383,12 +402,36 @@ where
                 .collect();
             shards.push(Shard {
                 free: shard_free,
-                adj,
                 match_l,
                 match_r,
+                vertices: lefts.len() + rights.len(),
             });
         }
         shards
+    }
+
+    /// The number of worker threads [`repair`](Self::repair) would fan out to
+    /// right now, given the policy and the current graph — `1` means solve in
+    /// place on the calling thread. Exposed so the `Auto` crossover decision
+    /// is directly observable and unit-testable.
+    ///
+    /// `Auto` applies the measured [`PAR_MIN_VERTICES`] crossover to the
+    /// whole-graph vertex count *before* any shard partitioning happens: the
+    /// dirty subgraph can never exceed the whole graph, so a small graph
+    /// proves the repair is below the crossover without paying for component
+    /// discovery.
+    pub fn planned_threads(&self) -> usize {
+        match self.parallelism {
+            Parallelism::Sequential => 1,
+            Parallelism::Threads(n) => n.max(1),
+            Parallelism::Auto => {
+                if self.adj.len() + self.radj.len() < PAR_MIN_VERTICES {
+                    1
+                } else {
+                    hardware_threads()
+                }
+            }
+        }
     }
 
     /// Augments every free left vertex once (ascending, per component) and
@@ -405,11 +448,7 @@ where
         if free.is_empty() {
             return self.matching_size();
         }
-        let threads = match self.parallelism {
-            Parallelism::Sequential => 1,
-            Parallelism::Threads(n) => n.max(1),
-            Parallelism::Auto => std::thread::available_parallelism().map_or(1, |n| n.get()),
-        };
+        let threads = self.planned_threads();
         if threads <= 1 {
             for l in free {
                 self.augment(&l);
@@ -418,9 +457,14 @@ where
         }
         let shards = self.free_shards(&free);
         repair_shards().record(shards.len() as u64);
-        let total_vertices: usize = shards.iter().map(|s| s.adj.len() + s.match_r.len()).sum();
+        let total_vertices: usize = shards.iter().map(|s| s.vertices).sum();
         let too_small = self.parallelism == Parallelism::Auto && total_vertices < PAR_MIN_VERTICES;
-        if shards.len() < 2 || too_small {
+        // Cap the fan-out so every worker gets at least ~PAR_MIN_VERTICES of
+        // real work: fragmented component sets batch into fewer, fuller
+        // buckets instead of paying one spawn per sliver of work.
+        let max_useful = (total_vertices / PAR_MIN_VERTICES).max(1);
+        let workers = threads.min(shards.len()).min(max_useful);
+        if shards.len() < 2 || too_small || workers <= 1 {
             for l in free {
                 self.augment(&l);
             }
@@ -429,14 +473,14 @@ where
 
         sharded_repairs().inc();
         parallel_repairs().inc();
-        // Round-robin the shards across at most `threads` workers; each
-        // worker solves its shards in order. Shards are vertex-disjoint, so
-        // any schedule merges to the same matching.
-        let workers = threads.min(shards.len());
+        // Round-robin the shards across the workers; each worker solves its
+        // shards in order against the shared (read-only) adjacency. Shards
+        // are vertex-disjoint, so any schedule merges to the same matching.
         let mut buckets: Vec<Vec<Shard<L, R>>> = (0..workers).map(|_| Vec::new()).collect();
         for (i, shard) in shards.into_iter().enumerate() {
             buckets[i % workers].push(shard);
         }
+        let adj = &self.adj;
         let solved: Vec<Vec<(L, R)>> = crossbeam::thread::scope(|scope| {
             let handles: Vec<_> = buckets
                 .into_iter()
@@ -444,7 +488,7 @@ where
                     scope.spawn(move |_| {
                         bucket
                             .into_iter()
-                            .flat_map(Shard::solve)
+                            .flat_map(|shard| shard.solve(adj))
                             .collect::<Vec<(L, R)>>()
                     })
                 })
@@ -629,6 +673,44 @@ mod tests {
         assert_eq!(m.matching_size(), 2);
         assert!(m.matched_right(&2).is_some());
         assert!(m.matched_right(&1).is_none());
+    }
+
+    #[test]
+    fn auto_picks_sequential_below_crossover() {
+        // A fragmented many-component graph that is nonetheless well under
+        // the crossover: Auto must plan an in-place (1-thread) repair, so
+        // small repairs never pay shard partitioning or thread spawn.
+        let mut m = ShardedMatcher::new();
+        for c in 0..40u32 {
+            m.add_edge(c * 10, c * 10);
+            m.add_edge(c * 10 + 1, c * 10);
+        }
+        assert!(m.left_count() + m.right_count() < PAR_MIN_VERTICES);
+        assert_eq!(m.planned_threads(), 1, "Auto below crossover");
+        m.repair();
+        assert!(m.check_consistency());
+
+        // Explicit thread requests are honored regardless of size…
+        m.set_parallelism(Parallelism::Threads(4));
+        assert_eq!(m.planned_threads(), 4);
+        // …and Sequential is always 1.
+        m.set_parallelism(Parallelism::Sequential);
+        assert_eq!(m.planned_threads(), 1);
+    }
+
+    #[test]
+    fn auto_crossover_tracks_graph_growth() {
+        let mut m: ShardedMatcher<u32, u32> = ShardedMatcher::new();
+        let mut v = 0u32;
+        while (m.left_count() + m.right_count()) < PAR_MIN_VERTICES {
+            assert_eq!(m.planned_threads(), 1, "still below crossover");
+            m.add_edge(v, v);
+            v += 1;
+        }
+        // At/above the crossover Auto defers to the machine's parallelism
+        // (which may legitimately be 1 on a single-core host).
+        let expected = std::thread::available_parallelism().map_or(1, |n| n.get());
+        assert_eq!(m.planned_threads(), expected);
     }
 
     #[test]

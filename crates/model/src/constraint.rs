@@ -259,23 +259,30 @@ impl Template {
     /// **unique** final row `s` with `s ⊇* t` (unique-witness semantics via
     /// bipartite matching).
     pub fn satisfied_by(&self, final_table: &FinalTable) -> bool {
-        let n_left = self.rows.len();
-        let values: Vec<&RowValue> = final_table.values().collect();
-        // adjacency[i] = final rows satisfying template row i
-        let adj: Vec<Vec<usize>> = self
-            .rows
-            .iter()
-            .map(|t| {
-                values
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, s)| t.satisfied_by(s))
-                    .map(|(j, _)| j)
-                    .collect()
-            })
-            .collect();
-        max_matching(&adj, values.len()) == n_left
+        rows_satisfied_by(self.rows.iter(), final_table)
     }
+}
+
+/// [`Template::satisfied_by`] over a borrowed row sequence, for callers (like
+/// the PRI maintainer) that track live template rows outside a `Template` and
+/// must not clone them per check.
+pub fn rows_satisfied_by<'a>(
+    rows: impl Iterator<Item = &'a TemplateRow>,
+    final_table: &FinalTable,
+) -> bool {
+    let values: Vec<&RowValue> = final_table.values().collect();
+    // adjacency[i] = final rows satisfying template row i
+    let adj: Vec<Vec<usize>> = rows
+        .map(|t| {
+            values
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| t.satisfied_by(s))
+                .map(|(j, _)| j)
+                .collect()
+        })
+        .collect();
+    max_matching(&adj, values.len()) == adj.len()
 }
 
 /// Kuhn's augmenting-path maximum bipartite matching. `adj[i]` lists the

@@ -25,6 +25,7 @@
 pub mod constraint;
 pub mod error;
 pub mod final_table;
+pub mod intern;
 pub mod op;
 pub mod row;
 pub mod schema;
@@ -32,9 +33,10 @@ pub mod score;
 pub mod table;
 pub mod value;
 
-pub use constraint::{Entry, Predicate, Template, TemplateRow};
+pub use constraint::{rows_satisfied_by, Entry, Predicate, Template, TemplateRow};
 pub use error::{ModelError, OpError};
 pub use final_table::{derive_final_table, FinalRow, FinalTable};
+pub use intern::IStr;
 pub use op::{Message, MessageKind, Operation};
 pub use row::{ClientId, RowId, RowValue};
 pub use schema::{Column, ColumnId, Schema};

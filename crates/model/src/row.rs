@@ -12,6 +12,7 @@ use crate::schema::{ColumnId, Schema};
 use crate::value::Value;
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// Identifies the origin of a row (a worker client or the central client).
 ///
@@ -70,9 +71,17 @@ impl fmt::Display for RowId {
 /// Also used for the paper's *value-vectors* `v` (values for a subset of the
 /// columns), which key the upvote/downvote histories. `BTreeMap` keeps
 /// iteration (and therefore hashing and display) deterministic.
+///
+/// The cell map is behind an `Arc`: row values are immutable once built
+/// (Lemma 1 — a fill *replaces* the row under a fresh id), so cloning one —
+/// into vote histories, broadcast outboxes, the WAL, the trace ring — is a
+/// refcount bump, not a deep copy. `Eq`/`Ord`/`Hash` delegate through the
+/// `Arc` to the cells, so sharing is invisible to vote resolution and
+/// subsumption; [`subsumes`](Self::subsumes) additionally short-circuits on
+/// pointer-identical maps.
 #[derive(Debug, Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct RowValue {
-    cells: BTreeMap<ColumnId, Value>,
+    cells: Arc<BTreeMap<ColumnId, Value>>,
 }
 
 impl RowValue {
@@ -84,7 +93,7 @@ impl RowValue {
     /// Builds a row value from `(column, value)` pairs.
     pub fn from_pairs(pairs: impl IntoIterator<Item = (ColumnId, Value)>) -> RowValue {
         RowValue {
-            cells: pairs.into_iter().collect(),
+            cells: Arc::new(pairs.into_iter().collect()),
         }
     }
 
@@ -121,10 +130,14 @@ impl RowValue {
 
     /// Returns a copy with `col` set to `v`. The caller is responsible for
     /// having checked that `col` was empty (the `fill` operation's contract).
+    /// This is the one place a new cell map is built; the copied values are
+    /// interned/shared, so the copy is shallow.
     pub fn with(&self, col: ColumnId, v: Value) -> RowValue {
-        let mut cells = self.cells.clone();
+        let mut cells = BTreeMap::clone(&self.cells);
         cells.insert(col, v);
-        RowValue { cells }
+        RowValue {
+            cells: Arc::new(cells),
+        }
     }
 
     /// Iterates over filled `(column, value)` pairs in column order.
@@ -140,6 +153,9 @@ impl RowValue {
     /// Subsumption: `self ⊇ other` — every value in `other` is present and
     /// equal in `self` (paper §2.3, after [Ullman 89]).
     pub fn subsumes(&self, other: &RowValue) -> bool {
+        if Arc::ptr_eq(&self.cells, &other.cells) {
+            return true;
+        }
         if other.cells.len() > self.cells.len() {
             return false;
         }
@@ -156,7 +172,22 @@ impl RowValue {
         for &k in schema.key() {
             cells.insert(k, self.cells.get(&k)?.clone());
         }
-        Some(RowValue { cells })
+        Some(RowValue {
+            cells: Arc::new(cells),
+        })
+    }
+
+    /// The primary-key cell values in key-column order, or `None` unless all
+    /// key columns are filled. A flat, allocation-light alternative to
+    /// [`key_projection`](Self::key_projection) for use as a grouping key on
+    /// hot paths (the values themselves are shared, not copied).
+    pub fn key_values(&self, schema: &Schema) -> Option<Vec<Value>> {
+        let key = schema.key();
+        let mut out = Vec::with_capacity(key.len());
+        for k in key {
+            out.push(self.cells.get(k)?.clone());
+        }
+        Some(out)
     }
 
     /// Whether all primary-key columns are filled.

@@ -6,6 +6,7 @@
 //! *value-vectors*, and the final-table derivation groups rows by their
 //! primary-key values.
 
+use crate::intern::IStr;
 use std::cmp::Ordering;
 use std::fmt;
 
@@ -144,9 +145,14 @@ impl fmt::Display for Date {
 }
 
 /// A single cell value.
+///
+/// Text payloads are [interned](crate::intern::IStr): cloning a text value is
+/// a refcount bump and equal strings share one allocation, while `Eq`/`Ord`/
+/// `Hash` stay content-based (vote histories and final-table grouping rely on
+/// that).
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Value {
-    Text(String),
+    Text(IStr),
     Int(i64),
     Float(Finite),
     Bool(bool),
@@ -154,9 +160,9 @@ pub enum Value {
 }
 
 impl Value {
-    /// Convenience constructor for text values.
-    pub fn text(s: impl Into<String>) -> Value {
-        Value::Text(s.into())
+    /// Convenience constructor for text values (interns the string).
+    pub fn text(s: impl AsRef<str>) -> Value {
+        Value::Text(IStr::new(s.as_ref()))
     }
 
     /// Convenience constructor for integer values.
@@ -205,7 +211,7 @@ impl Value {
                 if s.is_empty() {
                     None
                 } else {
-                    Some(Value::Text(s.to_string()))
+                    Some(Value::text(s))
                 }
             }
             DataType::Int => s.parse::<i64>().ok().map(Value::Int),
@@ -239,7 +245,7 @@ impl From<&str> for Value {
 }
 impl From<String> for Value {
     fn from(s: String) -> Value {
-        Value::Text(s)
+        Value::text(s)
     }
 }
 impl From<i64> for Value {

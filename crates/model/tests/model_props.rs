@@ -6,7 +6,7 @@
 //! * `Value::parse` inverts `Display` for every data type.
 
 use crowdfill_model::{
-    derive_final_table, CandidateTable, ClientId, Column, ColumnId, DataType, QuorumMajority,
+    derive_final_table, CandidateTable, ClientId, Column, ColumnId, DataType, IStr, QuorumMajority,
     RowEntry, RowId, RowValue, Schema, Scoring, Value,
 };
 use proptest::prelude::*;
@@ -163,5 +163,47 @@ proptest! {
             }
             None => prop_assert!(!rv.has_full_key(&schema)),
         }
+    }
+
+    /// Interned text keeps the raw strings' Eq/Ord/Hash contract — the
+    /// contract the vote histories (`HashMap<RowValue, _>`) and the sorted
+    /// cell maps lean on. Equal content must also share storage, which is
+    /// the point of interning.
+    #[test]
+    fn interned_text_preserves_eq_ord_hash(a in "[ -~]{0,12}", b in "[ -~]{0,12}") {
+        use std::hash::{BuildHasher, RandomState};
+
+        let (ia, ib) = (IStr::new(&a), IStr::new(&b));
+        prop_assert_eq!(ia == ib, a == b);
+        prop_assert_eq!(ia.cmp(&ib), a.as_str().cmp(b.as_str()));
+
+        // `Borrow<str>` requires the interned hash to equal the raw str
+        // hash, under any hasher.
+        let s = RandomState::new();
+        prop_assert_eq!(s.hash_one(&ia), s.hash_one(a.as_str()));
+
+        // Equal content shares one allocation.
+        if a == b {
+            prop_assert!(IStr::ptr_eq(&ia, &ib));
+        }
+    }
+
+    /// `Value` comparisons are content-based through interning: two
+    /// independently-built text values compare exactly like the strings
+    /// they hold, so vote resolution's deterministic orderings are
+    /// unchanged by the interned representation.
+    #[test]
+    fn value_text_compares_by_content(a in "[ -~]{0,12}", b in "[ -~]{0,12}") {
+        use std::hash::{BuildHasher, RandomState};
+
+        let (va, vb) = (Value::text(a.as_str()), Value::text(b.as_str()));
+        prop_assert_eq!(va == vb, a == b);
+        prop_assert_eq!(
+            va.partial_cmp(&vb),
+            Some(a.as_str().cmp(b.as_str())),
+            "text value ordering must match string ordering"
+        );
+        let s = RandomState::new();
+        prop_assert_eq!(s.hash_one(&va) == s.hash_one(&vb), a == b);
     }
 }

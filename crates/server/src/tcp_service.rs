@@ -69,7 +69,7 @@ use crate::batch::{BatchOptions, BatchPipeline};
 use crate::overload::{OverloadOptions, Priority};
 use crate::wire;
 use crossbeam::channel::{self, TrySendError};
-use crowdfill_docstore::Json;
+use crowdfill_docstore::{Json, JsonRef};
 use crowdfill_model::Message;
 use crowdfill_net::{ConnError, FrameConn, TcpConn, TcpServer};
 use crowdfill_obs::metrics::{Counter, Histogram};
@@ -605,6 +605,17 @@ fn json_trace(j: &Json) -> TraceId {
         .unwrap_or(TraceId::NONE)
 }
 
+/// [`json_trace`] over a borrowed frame (the session request loop).
+fn json_trace_ref(j: &JsonRef<'_>) -> TraceId {
+    if !obstrace::enabled() {
+        return TraceId::NONE;
+    }
+    j.get("trace")
+        .and_then(JsonRef::as_str)
+        .and_then(TraceId::from_hex)
+        .unwrap_or(TraceId::NONE)
+}
+
 /// A broadcast frame for one seq-tagged message; traced ops propagate
 /// their originating id so the receiver can attribute absorb latency.
 fn broadcast_frame(seq: u64, msg: &Message, trace: TraceId) -> Json {
@@ -667,6 +678,27 @@ fn parse_cursor(req: &Json) -> (u64, HashSet<u64>) {
         .map(|arr| {
             arr.iter()
                 .filter_map(Json::as_i64)
+                .filter(|v| *v >= 0)
+                .map(|v| v as u64)
+                .collect()
+        })
+        .unwrap_or_default();
+    (from, have)
+}
+
+/// [`parse_cursor`] over a borrowed frame (the session request loop).
+fn parse_cursor_ref(req: &JsonRef<'_>) -> (u64, HashSet<u64>) {
+    let from = req
+        .get("from")
+        .and_then(JsonRef::as_i64)
+        .unwrap_or(0)
+        .max(0) as u64;
+    let have: HashSet<u64> = req
+        .get("have")
+        .and_then(JsonRef::as_arr)
+        .map(|arr| {
+            arr.iter()
+                .filter_map(JsonRef::as_i64)
                 .filter(|v| *v >= 0)
                 .map(|v| v as u64)
                 .collect()
@@ -856,28 +888,34 @@ fn run_session(
                 Err(_) => return,
             },
         };
-        let Ok(req) = Json::parse(&String::from_utf8_lossy(&frame)) else {
+        // Borrowed decode: the frame is parsed in place (`JsonRef`), so the
+        // op hot path below builds no per-field Strings or sorted maps —
+        // text cells intern straight from the read buffer.
+        let text = String::from_utf8_lossy(&frame);
+        let Ok(req) = JsonRef::parse(&text) else {
             metrics.malformed_frames.inc();
             continue;
         };
         let _request_timer = SpanTimer::start(&metrics.request_latency_ns);
-        match req.get("type").and_then(Json::as_str) {
+        match req.get("type").and_then(JsonRef::as_str) {
             Some("submit") => {
                 metrics.submit_requests.inc();
                 let _submit_timer = SpanTimer::start(&metrics.submit_latency_ns);
                 let submitted_at = Instant::now();
-                let auto = req.get("auto").and_then(Json::as_bool).unwrap_or(false);
+                let auto = req.get("auto").and_then(JsonRef::as_bool).unwrap_or(false);
                 let priority = if req
                     .get("speculative")
-                    .and_then(Json::as_bool)
+                    .and_then(JsonRef::as_bool)
                     .unwrap_or(false)
                 {
                     Priority::Speculative
                 } else {
                     Priority::Normal
                 };
-                let trace = json_trace(&req);
-                let msg = req.get("msg").and_then(|m| wire::message_from_json(m).ok());
+                let trace = json_trace_ref(&req);
+                let msg = req
+                    .get("msg")
+                    .and_then(|m| wire::message_from_json_ref(m).ok());
                 let reply = match msg {
                     None => reject_frame("malformed message"),
                     Some(msg) => {
@@ -916,19 +954,20 @@ fn run_session(
                 let _modify_timer = SpanTimer::start(&metrics.modify_latency_ns);
                 let bundle: Option<Vec<(Message, bool)>> = req
                     .get("msgs")
-                    .and_then(Json::as_arr)
+                    .and_then(JsonRef::as_arr)
                     .map(|arr| {
                         arr.iter()
                             .map(|e| {
-                                let auto = e.get("auto").and_then(Json::as_bool).unwrap_or(false);
+                                let auto =
+                                    e.get("auto").and_then(JsonRef::as_bool).unwrap_or(false);
                                 e.get("msg")
-                                    .and_then(|m| wire::message_from_json(m).ok())
+                                    .and_then(|m| wire::message_from_json_ref(m).ok())
                                     .map(|m| (m, auto))
                             })
                             .collect::<Option<Vec<_>>>()
                     })
                     .unwrap_or(None);
-                let trace = json_trace(&req);
+                let trace = json_trace_ref(&req);
                 let reply = match bundle {
                     None => reject_frame("malformed modify bundle"),
                     Some(bundle) => {
@@ -970,7 +1009,7 @@ fn run_session(
                         }
                     }
                 }
-                let (from, have) = parse_cursor(&req);
+                let (from, have) = parse_cursor_ref(&req);
                 let (history_len, msgs) = {
                     let mut b = backend.lock();
                     let msgs: Vec<(u64, Message)> = b

@@ -1,7 +1,7 @@
 //! JSON codecs for model types — the wire vocabulary shared by the TCP
 //! protocol, the front-end store, and the trace exports.
 
-use crowdfill_docstore::Json;
+use crowdfill_docstore::{Json, JsonRef};
 use crowdfill_model::{
     ClientId, Column, ColumnId, DataType, Date, Entry, Message, Predicate, RowId, RowValue, Schema,
     Template, TemplateRow, Value,
@@ -51,7 +51,7 @@ fn u64_field(j: &Json, name: &str) -> Result<u64> {
 
 pub fn value_to_json(v: &Value) -> Json {
     match v {
-        Value::Text(s) => Json::obj([("t", Json::str("text")), ("v", Json::str(s.clone()))]),
+        Value::Text(s) => Json::obj([("t", Json::str("text")), ("v", Json::str(s.as_str()))]),
         Value::Int(i) => Json::obj([("t", Json::str("int")), ("v", Json::num(*i as f64))]),
         Value::Float(f) => Json::obj([("t", Json::str("float")), ("v", Json::num(f.get()))]),
         Value::Bool(b) => Json::obj([("t", Json::str("bool")), ("v", Json::Bool(*b))]),
@@ -63,11 +63,11 @@ pub fn value_from_json(j: &Json) -> Result<Value> {
     let t = str_field(j, "t")?;
     let v = field(j, "v")?;
     match t {
-        "text" => Ok(Value::Text(
-            v.as_str()
-                .ok_or_else(|| WireError::new("text value must be a string"))?
-                .to_string(),
-        )),
+        "text" => {
+            Ok(Value::text(v.as_str().ok_or_else(|| {
+                WireError::new("text value must be a string")
+            })?))
+        }
         "int" => v
             .as_i64()
             .map(Value::Int)
@@ -181,6 +181,108 @@ pub fn message_from_json(j: &Json) -> Result<Message> {
         }),
         "undo_downvote" => Ok(Message::UndoDownvote {
             value: row_value_from_json(field(j, "value")?)?,
+        }),
+        other => Err(WireError::new(format!("unknown message kind {other:?}"))),
+    }
+}
+
+// ---- Borrowed-frame decode --------------------------------------------------
+//
+// Zero-copy twins of the decoders above, over [`JsonRef`]: the TCP service
+// decodes submit/modify frames straight out of the read buffer, so neither
+// per-member key `String`s nor intermediate value copies materialize on the
+// op hot path. Text cells intern directly from the borrowed slice.
+
+fn field_ref<'a, 'b>(j: &'a JsonRef<'b>, name: &str) -> Result<&'a JsonRef<'b>> {
+    j.get(name)
+        .ok_or_else(|| WireError::new(format!("missing field {name:?}")))
+}
+
+fn str_field_ref<'a>(j: &'a JsonRef<'_>, name: &str) -> Result<&'a str> {
+    field_ref(j, name)?
+        .as_str()
+        .ok_or_else(|| WireError::new(format!("field {name:?} must be a string")))
+}
+
+fn u64_field_ref(j: &JsonRef<'_>, name: &str) -> Result<u64> {
+    field_ref(j, name)?
+        .as_i64()
+        .filter(|v| *v >= 0)
+        .map(|v| v as u64)
+        .ok_or_else(|| WireError::new(format!("field {name:?} must be a non-negative integer")))
+}
+
+pub fn value_from_json_ref(j: &JsonRef<'_>) -> Result<Value> {
+    let t = str_field_ref(j, "t")?;
+    let v = field_ref(j, "v")?;
+    match t {
+        "text" => {
+            Ok(Value::text(v.as_str().ok_or_else(|| {
+                WireError::new("text value must be a string")
+            })?))
+        }
+        "int" => v
+            .as_i64()
+            .map(Value::Int)
+            .ok_or_else(|| WireError::new("int value must be integral")),
+        "float" => v
+            .as_f64()
+            .and_then(Value::try_float)
+            .ok_or_else(|| WireError::new("float value must be finite")),
+        "bool" => v
+            .as_bool()
+            .map(Value::Bool)
+            .ok_or_else(|| WireError::new("bool value must be a boolean")),
+        "date" => v
+            .as_str()
+            .and_then(Date::parse)
+            .map(Value::Date)
+            .ok_or_else(|| WireError::new("date value must be YYYY-MM-DD")),
+        other => Err(WireError::new(format!("unknown value type {other:?}"))),
+    }
+}
+
+pub fn row_id_from_json_ref(j: &JsonRef<'_>) -> Result<RowId> {
+    Ok(RowId::new(
+        ClientId(u64_field_ref(j, "c")? as u32),
+        u64_field_ref(j, "s")?,
+    ))
+}
+
+pub fn row_value_from_json_ref(j: &JsonRef<'_>) -> Result<RowValue> {
+    let arr = j
+        .as_arr()
+        .ok_or_else(|| WireError::new("row value must be an array"))?;
+    let mut pairs = Vec::with_capacity(arr.len());
+    for item in arr {
+        let col = ColumnId(u64_field_ref(item, "col")? as u16);
+        let val = value_from_json_ref(field_ref(item, "val")?)?;
+        pairs.push((col, val));
+    }
+    Ok(RowValue::from_pairs(pairs))
+}
+
+pub fn message_from_json_ref(j: &JsonRef<'_>) -> Result<Message> {
+    match str_field_ref(j, "kind")? {
+        "insert" => Ok(Message::Insert {
+            row: row_id_from_json_ref(field_ref(j, "row")?)?,
+        }),
+        "replace" => Ok(Message::Replace {
+            old: row_id_from_json_ref(field_ref(j, "old")?)?,
+            new: row_id_from_json_ref(field_ref(j, "new")?)?,
+            value: row_value_from_json_ref(field_ref(j, "value")?)?,
+        }),
+        "upvote" => Ok(Message::Upvote {
+            value: row_value_from_json_ref(field_ref(j, "value")?)?,
+        }),
+        "downvote" => Ok(Message::Downvote {
+            value: row_value_from_json_ref(field_ref(j, "value")?)?,
+        }),
+        "undo_upvote" => Ok(Message::UndoUpvote {
+            value: row_value_from_json_ref(field_ref(j, "value")?)?,
+        }),
+        "undo_downvote" => Ok(Message::UndoDownvote {
+            value: row_value_from_json_ref(field_ref(j, "value")?)?,
         }),
         other => Err(WireError::new(format!("unknown message kind {other:?}"))),
     }
@@ -470,6 +572,38 @@ mod tests {
         for m in msgs {
             let j = Json::parse(&message_to_json(&m).encode()).unwrap();
             assert_eq!(message_from_json(&j).unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn borrowed_message_decode_matches_owned() {
+        let rv = RowValue::from_pairs([
+            (ColumnId(0), Value::text("Pelé \"O Rei\"")),
+            (ColumnId(1), Value::int(77)),
+            (ColumnId(2), Value::Bool(true)),
+            (
+                ColumnId(3),
+                Value::parse(DataType::Date, "1940-10-23").unwrap(),
+            ),
+        ]);
+        let msgs = vec![
+            Message::Insert {
+                row: RowId::new(ClientId(3), 7),
+            },
+            Message::Replace {
+                old: RowId::new(ClientId(1), 0),
+                new: RowId::new(ClientId(1), 1),
+                value: rv.clone(),
+            },
+            Message::Upvote { value: rv.clone() },
+            Message::UndoDownvote { value: rv },
+        ];
+        for m in msgs {
+            let encoded = message_to_json(&m).encode();
+            let owned = message_from_json(&Json::parse(&encoded).unwrap()).unwrap();
+            let borrowed = message_from_json_ref(&JsonRef::parse(&encoded).unwrap()).unwrap();
+            assert_eq!(borrowed, m);
+            assert_eq!(borrowed, owned);
         }
     }
 

@@ -17,7 +17,52 @@ use crowdfill_pay::{Millis, WorkerId};
 use crowdfill_server::{wire, Backend, BatchJob, BatchOp, TaskConfig, WorkerClient};
 use crowdfill_sync::AppliedSeqs;
 use proptest::prelude::*;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
 use std::sync::Arc;
+
+// ---- Allocation counting ---------------------------------------------------
+//
+// A counting wrapper around the system allocator, tallying per *thread*:
+// `submit`/`submit_batch` run synchronously on the calling thread, so a
+// thread-local count is immune to the other tests in this binary running
+// concurrently on harness threads. Only allocations are counted (frees are
+// not interesting for the regression this guards).
+
+struct CountingAlloc;
+
+thread_local! {
+    static THREAD_ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        // `try_with` so counting degrades to a no-op during TLS teardown.
+        let _ = THREAD_ALLOCS.try_with(|n| n.set(n.get() + 1));
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let _ = THREAD_ALLOCS.try_with(|n| n.set(n.get() + 1));
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        let _ = THREAD_ALLOCS.try_with(|n| n.set(n.get() + 1));
+        unsafe { System.alloc_zeroed(layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn thread_allocs() -> u64 {
+    THREAD_ALLOCS.with(|n| n.get())
+}
 
 fn schema() -> Arc<Schema> {
     Arc::new(
@@ -300,6 +345,97 @@ fn batched_replay(recorded: &[Recorded], sizes: &[usize]) -> (Backend, WorkerId,
         }
     }
     (backend, observer, results)
+}
+
+/// Replays the recorded op stream through the singleton `submit` /
+/// `submit_modify` path — the comparator for the batch path's per-op
+/// allocation and write behavior.
+fn singleton_replay(recorded: &[Recorded]) -> (Backend, Vec<String>) {
+    let mut backend = Backend::new(config());
+    backend.connect(Millis(0));
+    backend.connect(Millis(0));
+    backend.connect(Millis(0));
+    // Format results exactly as `batched_replay` does, so the two replays
+    // differ only in how ops reach the backend.
+    let mut results = Vec::new();
+    for r in recorded {
+        match &r.op {
+            BatchOp::Msg { msg, auto_upvote } => {
+                let result = backend.submit(r.worker, msg.clone(), Millis(1), *auto_upvote);
+                results.push(format!("{result:?}"));
+            }
+            BatchOp::Modify { bundle } => {
+                let result = backend.submit_modify(r.worker, bundle.clone(), Millis(1));
+                results.push(format!("{result:?}"));
+            }
+        }
+    }
+    (backend, results)
+}
+
+/// The allocation half of the no-win-batcher regression fix: submitting the
+/// recorded op stream as batches must not heap-allocate more than submitting
+/// it op by op. The regression this pins down was the batch path deep-cloning
+/// every op (row-value cell maps and all) before applying it; with the
+/// arena/interned model an op clone is a refcount bump, and batching strictly
+/// saves work (one journal frame, one broadcast flush per batch).
+#[test]
+fn batched_apply_allocates_no_more_than_singleton() {
+    let script: Vec<(usize, Action)> = (0..160)
+        .map(|i| {
+            let action = match i % 5 {
+                0 => Action::Fill {
+                    row_pick: i,
+                    col_pick: i / 2,
+                    value_pick: i % 4,
+                },
+                1 => Action::Deliver,
+                2 => Action::Upvote { row_pick: i },
+                3 => Action::Fill {
+                    row_pick: i / 3,
+                    col_pick: i,
+                    value_pick: (i + 1) % 4,
+                },
+                _ => Action::Modify {
+                    row_pick: i,
+                    col_pick: i,
+                    value_pick: 4 + (i % 4),
+                },
+            };
+            (i, action)
+        })
+        .collect();
+    let (_, _, recorded, _) = reference_run(&script);
+    assert!(
+        recorded.len() >= 48,
+        "script recorded only {} ops — too few for a meaningful comparison",
+        recorded.len()
+    );
+
+    let count = |f: &dyn Fn() -> Backend| {
+        let before = thread_allocs();
+        let backend = f();
+        let during = thread_allocs() - before;
+        drop(backend);
+        during
+    };
+    // One warm-up pass per path: interner pool, metrics registration, and
+    // other one-time lazies land outside the measured passes.
+    count(&|| singleton_replay(&recorded).0);
+    count(&|| batched_replay(&recorded, &[32]).0);
+
+    let singleton = count(&|| singleton_replay(&recorded).0);
+    let batched = count(&|| batched_replay(&recorded, &[32]).0);
+
+    // Allow a whisker of fixed per-batch overhead (result vectors, seq
+    // bookkeeping); anything like a per-op deep clone (several allocations
+    // per op) must fail.
+    let slack = recorded.len() as u64 / 8;
+    assert!(
+        batched <= singleton + slack,
+        "batched replay allocated more than singleton: {batched} vs {singleton} (+{slack} slack, {} ops)",
+        recorded.len()
+    );
 }
 
 /// The broadcast history as the exact bytes the wire codec would carry.

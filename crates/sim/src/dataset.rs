@@ -207,10 +207,7 @@ pub fn cities_universe(seed: u64, n: usize) -> GroundTruth {
         }
         rows.push(RowValue::from_pairs([
             (ColumnId(0), Value::text(city)),
-            (
-                ColumnId(1),
-                Value::text(pick(&mut rng, NATIONS).to_string()),
-            ),
+            (ColumnId(1), Value::text(pick(&mut rng, NATIONS))),
             (ColumnId(2), Value::int(rng.gen_range(50..=9000))),
             (ColumnId(3), Value::bool(rng.gen_bool(0.4))),
         ]));
