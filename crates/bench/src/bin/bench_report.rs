@@ -10,12 +10,16 @@
 //! `--quick` shrinks the workload and repetition count for CI smoke runs;
 //! the numbers are noisier but the file format is identical.
 
+use crowdfill_bench::connscale::{
+    run_conn_scale, verify_zero_acked_loss_remote, ConnScaleMode, ConnScaleOptions,
+};
 use crowdfill_bench::overload::{run_schedule, HarnessOptions, ScenarioReport};
 use crowdfill_bench::workload::{
     record_fill_workload, replay_batched, replay_singleton, sharded_graph,
 };
 use crowdfill_docstore::{FsyncPolicy, Wal};
 use crowdfill_matching::Parallelism;
+use crowdfill_server::ConnLayer;
 use crowdfill_sim::openloop;
 use std::io::Write;
 use std::path::{Path, PathBuf};
@@ -383,6 +387,149 @@ fn overload_suite(quick: bool) -> Vec<ScenarioReport> {
     reports
 }
 
+/// The connection-scale suite (DESIGN.md §13): lean wire-level sessions
+/// across many collections, reported as ack-latency entries so the same
+/// `bench_compare.sh` gate that guards the apply pipeline also guards the
+/// connection layer. Every scenario's invariants — zero acked-op loss,
+/// bounded fairness spread, no lost or timed-out sessions — are asserted
+/// here, so a regression fails the report run outright.
+///
+/// `median_ns_per_op` is the ack p50; `ops` is the acked fill count.
+fn connscale_suite(quick: bool) -> Vec<Entry> {
+    let mut entries = Vec::new();
+    let mut run = |opts: &ConnScaleOptions| {
+        let report = run_conn_scale(opts);
+        report.assert_invariants(100.0);
+        eprintln!(
+            "connscale/{:<24} conns {:>6} peak {:>6} acked {:>6} p50 {:>6}ms p99 {:>6}ms spread {:>5.1} deferrals {:>6}",
+            report.name,
+            report.conns,
+            report.peak_concurrent,
+            report.acked,
+            report.ack_p50_ns / 1_000_000,
+            report.ack_p99_ns / 1_000_000,
+            report.fairness_spread(),
+            report.fairness_deferrals,
+        );
+        let secs = report.elapsed.as_secs_f64();
+        entries.push(Entry {
+            name: format!("connscale/{}", opts.name),
+            median_ns_per_op: report.ack_p50_ns.max(1),
+            ops_per_sec: report.acked as f64 / secs.max(1e-9),
+            ops: report.acked,
+            reps: 1,
+        });
+    };
+
+    // The gated headline: 1k connections over 16 collections against the
+    // in-process reactor.
+    let mut headline = ConnScaleOptions::smoke(211, 16, 1_000);
+    headline.name = "reactor-1kx16";
+    run(&headline);
+
+    // The A/B pair bench_compare diffs across layers: same plan, reactor
+    // vs thread-per-connection.
+    for (name, layer) in [
+        ("reactor-128x4", ConnLayer::default()),
+        ("threadper-128x4", ConnLayer::ThreadPerConn),
+    ] {
+        let mut opts = ConnScaleOptions::smoke(223, 4, 128);
+        opts.name = name;
+        opts.connect_window_ms = 500;
+        opts.duration_ms = 1_500;
+        opts.mode = ConnScaleMode::InProcess(layer);
+        run(&opts);
+    }
+
+    // Full mode only: the 10k-connection, 128-collection headline. Driver
+    // and server each spend a file descriptor per session, so the server
+    // runs as a child process (see the `connscale-server` bin). The entry
+    // is informational in the compare gate — quick CI runs don't produce
+    // it, and one-sided names never gate.
+    if !quick {
+        let mut opts = ConnScaleOptions::smoke(227, 128, 10_000);
+        opts.name = "reactor-10kx128";
+        opts.connect_window_ms = 15_000;
+        opts.duration_ms = 30_000;
+        opts.deadline = std::time::Duration::from_secs(240);
+        opts.driver_threads = 8;
+        let (mut child, addr) =
+            spawn_connscale_server(opts.collections, opts.workers, opts.fills_per_worker);
+        opts.mode = ConnScaleMode::External(addr);
+        let report = run_conn_scale(&opts);
+        report.assert_invariants(100.0);
+        if let Err(msg) = verify_zero_acked_loss_remote(addr, &report) {
+            let _ = child.kill();
+            panic!("{msg}");
+        }
+        eprintln!(
+            "connscale/{:<24} conns {:>6} peak {:>6} acked {:>6} p50 {:>6}ms p99 {:>6}ms spread {:>5.1}",
+            report.name,
+            report.conns,
+            report.peak_concurrent,
+            report.acked,
+            report.ack_p50_ns / 1_000_000,
+            report.ack_p99_ns / 1_000_000,
+            report.fairness_spread(),
+        );
+        let secs = report.elapsed.as_secs_f64();
+        entries.push(Entry {
+            name: "connscale/reactor-10kx128".to_string(),
+            median_ns_per_op: report.ack_p50_ns.max(1),
+            ops_per_sec: report.acked as f64 / secs.max(1e-9),
+            ops: report.acked,
+            reps: 1,
+        });
+        drop(child.stdin.take()); // EOF tells the server to exit
+        let _ = child.wait();
+    }
+    entries
+}
+
+/// Spawns the `connscale-server` sibling binary hosting the scenario's
+/// collections and scrapes its `LISTENING <addr>` line.
+fn spawn_connscale_server(
+    collections: usize,
+    workers: usize,
+    fills: usize,
+) -> (std::process::Child, std::net::SocketAddr) {
+    let bin = std::env::current_exe()
+        .expect("current_exe")
+        .with_file_name("connscale-server");
+    if !bin.exists() {
+        panic!(
+            "{} not found — build it first: cargo build --release -p crowdfill-bench --bins",
+            bin.display()
+        );
+    }
+    let mut child = std::process::Command::new(&bin)
+        .args([
+            "--collections",
+            &collections.to_string(),
+            "--workers",
+            &workers.to_string(),
+            "--fills",
+            &fills.to_string(),
+            "--layer",
+            "reactor",
+        ])
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn connscale-server");
+    let stdout = child.stdout.take().expect("child stdout");
+    let mut line = String::new();
+    std::io::BufRead::read_line(&mut std::io::BufReader::new(stdout), &mut line)
+        .expect("read LISTENING line");
+    let addr = line
+        .trim()
+        .strip_prefix("LISTENING ")
+        .unwrap_or_else(|| panic!("unexpected server banner: {line:?}"))
+        .parse()
+        .expect("parse server addr");
+    (child, addr)
+}
+
 fn write_overload_report(path: &Path, quick: bool, reports: &[ScenarioReport]) {
     if let Some(dir) = path.parent() {
         std::fs::create_dir_all(dir).ok();
@@ -422,7 +569,7 @@ fn main() {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
                     "usage: bench-report [--quick] [--out-dir DIR] \
-                     [--suite sync|matching|trace_overhead|health_overhead|overload]"
+                     [--suite sync|matching|trace_overhead|health_overhead|overload|connscale]"
                 );
                 std::process::exit(2);
             }
@@ -469,6 +616,16 @@ fn main() {
     if wants("overload") {
         let overload = overload_suite(quick);
         write_overload_report(&out_dir.join("BENCH_overload.json"), quick, &overload);
+    }
+
+    if wants("connscale") {
+        let connscale = connscale_suite(quick);
+        write_report(
+            &out_dir.join("BENCH_connscale.json"),
+            "connscale",
+            quick,
+            &connscale,
+        );
     }
 
     // Surface the acceptance ratio so a human skimming CI logs sees it.

@@ -1,6 +1,7 @@
 //! Shared helpers for the experiment binaries that regenerate the paper's
 //! tables and figures (see `src/bin/`) and for the criterion benches.
 
+pub mod connscale;
 pub mod overload;
 pub mod tracereport;
 pub mod workload;

@@ -26,8 +26,10 @@
 
 pub mod conn;
 pub mod fault;
+pub mod nonblocking;
 pub mod tcp;
 
 pub use conn::{ConnError, FrameConn, LocalConn, MAX_FRAME_LEN};
 pub use fault::{FaultConfig, FaultyConn};
+pub use nonblocking::{FrameReader, FrameWriter};
 pub use tcp::{TcpConn, TcpServer, READER_QUEUE_FRAMES};

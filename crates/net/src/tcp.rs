@@ -266,6 +266,18 @@ impl TcpServer {
         self.accepts.inc();
         TcpConn::from_stream(stream)
     }
+
+    /// Accepts the next incoming connection as a raw stream (blocking),
+    /// spawning no threads. The readiness-driven connection layer wraps
+    /// these in nonblocking state machines
+    /// ([`FrameReader`](crate::FrameReader)/[`FrameWriter`](crate::FrameWriter))
+    /// instead of a [`TcpConn`]'s reader thread.
+    pub fn accept_raw(&self) -> Result<TcpStream, ConnError> {
+        let (stream, _) = self.listener.accept().map_err(io_err)?;
+        self.accepts.inc();
+        stream.set_nodelay(true).map_err(io_err)?;
+        Ok(stream)
+    }
 }
 
 #[cfg(test)]

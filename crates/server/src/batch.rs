@@ -261,6 +261,26 @@ impl BatchPipeline {
         priority: Priority,
         trace: TraceId,
     ) -> Result<SubmitReport, SubmitError> {
+        match self.submit_async(worker, op, priority, trace) {
+            AsyncSubmit::Done(result) => result,
+            AsyncSubmit::Pending(reply_rx) => reply_rx
+                .recv()
+                .unwrap_or(Err(SubmitError::CollectionClosed)),
+        }
+    }
+
+    /// Nonblocking enqueue for reactor threads: admission control runs
+    /// inline (so overload rejects are still immediate), but the ack is
+    /// returned as a one-shot receiver the caller polls instead of a
+    /// blocking wait. A sweep loop parks the receiver on the connection's
+    /// state machine and answers the client when it fires.
+    pub fn submit_async(
+        &self,
+        worker: WorkerId,
+        op: BatchOp,
+        priority: Priority,
+        trace: TraceId,
+    ) -> AsyncSubmit {
         let root = if trace.is_none() {
             SpanId::NONE
         } else {
@@ -272,7 +292,7 @@ impl BatchPipeline {
             m_overload_rejects().inc();
             let retry_after_ms = self.overload.retry_after_ms(depth);
             obstrace::stamp(trace, Stage::Reject, root, 0, retry_after_ms);
-            return Err(SubmitError::Overloaded { retry_after_ms });
+            return AsyncSubmit::Done(Err(SubmitError::Overloaded { retry_after_ms }));
         }
         let (reply_tx, reply_rx) = channel::bounded(1);
         // Count the job before it is visible to the apply thread so the
@@ -294,16 +314,25 @@ impl BatchPipeline {
                 m_overload_rejects().inc();
                 let retry_after_ms = self.overload.retry_after_ms(self.overload.max_queue);
                 obstrace::stamp(trace, Stage::Reject, root, 0, retry_after_ms);
-                return Err(SubmitError::Overloaded { retry_after_ms });
+                return AsyncSubmit::Done(Err(SubmitError::Overloaded { retry_after_ms }));
             }
             Err(TrySendError::Disconnected(_)) => {
                 self.depth.fetch_sub(1, Ordering::Relaxed);
                 // The apply thread is gone; the service is shutting down.
-                return Err(SubmitError::CollectionClosed);
+                return AsyncSubmit::Done(Err(SubmitError::CollectionClosed));
             }
         }
-        reply_rx
-            .recv()
-            .unwrap_or(Err(SubmitError::CollectionClosed))
+        AsyncSubmit::Pending(reply_rx)
     }
+}
+
+/// Outcome of a nonblocking [`BatchPipeline::submit_async`].
+pub enum AsyncSubmit {
+    /// Admission decided the job without involving the apply thread
+    /// (overload reject, speculative gate, or shutdown).
+    Done(Result<SubmitReport, SubmitError>),
+    /// The job was admitted; the one-shot receiver fires when its batch
+    /// has been applied. A `RecvError` means the pipeline shut down —
+    /// treat it as [`SubmitError::CollectionClosed`].
+    Pending(channel::Receiver<Result<SubmitReport, SubmitError>>),
 }

@@ -23,6 +23,7 @@ pub mod frontend;
 pub mod health;
 pub mod marketplace;
 pub mod overload;
+pub mod reactor;
 pub mod recommend;
 pub mod tcp_service;
 pub mod wire;
@@ -38,9 +39,10 @@ pub use health::{
 };
 pub use marketplace::{Assignment, AssignmentId, Hit, HitId, MarketError, Marketplace};
 pub use overload::{OverloadOptions, Priority};
+pub use reactor::ReactorOptions;
 pub use recommend::{Recommendation, RecommendationKind};
 pub use tcp_service::{
-    Dialer, ReconnectPolicy, RemoteAck, RemoteError, RemoteWorker, ServiceOptions, TcpService,
-    TelemetryOptions,
+    Collection, ConnLayer, Dialer, ReconnectPolicy, RemoteAck, RemoteError, RemoteWorker,
+    ServiceOptions, TcpService, TelemetryOptions, DEFAULT_COLLECTION,
 };
 pub use worker_client::{Outgoing, WorkerClient};

@@ -3,8 +3,9 @@
 //! Protocol (JSON per frame):
 //!
 //! ```text
-//! client → server   {"type":"hello"}
-//!                   {"type":"resume","worker":n,"from":n,"have":[n,...]}
+//! client → server   {"type":"hello","collection":"name"?}
+//!                   {"type":"resume","worker":n,"from":n,"have":[n,...],
+//!                    "collection":"name"?}
 //!                   {"type":"submit","auto":bool,"msg":{...},
 //!                    "speculative":bool?}
 //!                   {"type":"modify","msgs":[{"auto":bool,"msg":{...}},...]}
@@ -13,7 +14,7 @@
 //!                   {"type":"health"}
 //!                   {"type":"bye"}
 //! server → client   {"type":"welcome","worker":n,"client":n,"history_len":n,
-//!                    "schema":{...},"history":[msg,...]}
+//!                    "collection":"name","schema":{...},"history":[msg,...]}
 //!                   {"type":"resumed","client":n,"history_len":n,
 //!                    "msgs":[{"seq":n,"msg":{...}},...]}
 //!                   {"type":"ack","estimate":x,"fulfilled":bool,"seqs":[n,...]}
@@ -26,14 +27,37 @@
 //!                   {"type":"msg","seq":n,"msg":{...}}  (broadcast)
 //! ```
 //!
-//! One reader thread per connection; the shared [`Backend`] is guarded by a
-//! `parking_lot::Mutex`. After every accepted submission the service flushes
-//! all session outboxes to their connections, which preserves the per-link
-//! FIFO order the model requires. Outbound delivery goes through a bounded
-//! per-connection buffer drained by a dedicated writer thread ([`Seat`]),
-//! so one stalled reader cannot wedge the flush path — it is downgraded to
-//! lagging (broadcasts to it dropped, healed by `sync`) and eventually
-//! evicted (see [`OverloadOptions`] and DESIGN.md §9).
+//! ## Collections
+//!
+//! One service multiplexes N independent collections over one port
+//! ([`TcpService::start_multi`]). The first handshake frame names the
+//! collection to attach to (`"collection"`, defaulting to the first one),
+//! and everything after the handshake is scoped to it: each collection has
+//! its own [`Backend`] (history, WAL, PRI maintenance), its own
+//! [`BatchPipeline`] admission queue and apply thread, and its own
+//! connection registry, so one hot collection cannot starve another's
+//! queue. Worker ids and session epochs are per-collection (they are
+//! assigned by the collection's backend), which is why a `resume` must
+//! carry the collection id. See DESIGN.md §13.
+//!
+//! ## Connection layers
+//!
+//! Two interchangeable connection layers drive the same protocol
+//! ([`ConnLayer`]):
+//!
+//! * **Reactor (default)** — a small fixed pool of shard threads sweeps
+//!   nonblocking sockets with per-connection read/write state machines
+//!   (`crates/net` [`FrameReader`](crowdfill_net::FrameReader)/
+//!   [`FrameWriter`](crowdfill_net::FrameWriter)); total thread count is
+//!   O(pool size), not O(connections). See `reactor.rs` and DESIGN.md §13.
+//! * **Thread-per-connection (legacy)** — one reader thread plus one
+//!   [`Seat`] writer thread per connection; kept for A/B benchmarking.
+//!
+//! Both enforce the same degradation policy: outbound delivery goes
+//! through a bounded per-connection buffer, so one stalled reader cannot
+//! wedge the flush path — it is downgraded to lagging (broadcasts to it
+//! dropped, healed by `sync`) and eventually evicted (see
+//! [`OverloadOptions`] and DESIGN.md §9).
 //!
 //! ## Failure model
 //!
@@ -64,9 +88,10 @@
 //! replay — rather than at-least-once redelivery — is what makes a resumed
 //! replica provably converge to the master.
 
-use crate::backend::{Backend, BatchOp, SubmitError};
+use crate::backend::{Backend, BatchOp, SubmitError, SubmitReport};
 use crate::batch::{BatchOptions, BatchPipeline};
 use crate::overload::{OverloadOptions, Priority};
+use crate::reactor::{self, ReactorOptions};
 use crate::wire;
 use crossbeam::channel::{self, TrySendError};
 use crowdfill_docstore::{Json, JsonRef};
@@ -89,26 +114,26 @@ use std::time::{Duration, Instant};
 
 /// Counter of multi-op `batch` broadcast frames sent (each replaces what
 /// would have been `msgs-per-frame` singleton `msg` frames).
-fn batch_broadcast_frames() -> &'static Counter {
+pub(crate) fn batch_broadcast_frames() -> &'static Counter {
     static C: OnceLock<Arc<Counter>> = OnceLock::new();
     C.get_or_init(|| crowdfill_obs::metrics::counter("crowdfill_server_batch_broadcast_frames"))
 }
 
 /// Connections forcibly closed after staying lagging past `evict_after`.
-fn m_evictions() -> &'static Counter {
+pub(crate) fn m_evictions() -> &'static Counter {
     static C: OnceLock<Arc<Counter>> = OnceLock::new();
     C.get_or_init(|| crowdfill_obs::metrics::counter("crowdfill_server_evictions"))
 }
 
 /// Connections downgraded to lagging (write buffer overflowed).
-fn m_lag_downgrades() -> &'static Counter {
+pub(crate) fn m_lag_downgrades() -> &'static Counter {
     static C: OnceLock<Arc<Counter>> = OnceLock::new();
     C.get_or_init(|| crowdfill_obs::metrics::counter("crowdfill_server_lag_downgrades"))
 }
 
 /// Broadcast frames dropped instead of buffered for lagging connections
 /// (each is healed later by the client's `sync`/`resume`).
-fn m_lag_dropped() -> &'static Counter {
+pub(crate) fn m_lag_dropped() -> &'static Counter {
     static C: OnceLock<Arc<Counter>> = OnceLock::new();
     C.get_or_init(|| crowdfill_obs::metrics::counter("crowdfill_server_lag_dropped_frames"))
 }
@@ -119,22 +144,22 @@ const BATCH_FRAME_CHUNK: usize = 256;
 
 /// Per-endpoint service metrics, resolved once at service start.
 #[derive(Debug)]
-struct ServiceMetrics {
-    connects: Arc<Counter>,
-    disconnects: Arc<Counter>,
-    submit_requests: Arc<Counter>,
-    modify_requests: Arc<Counter>,
-    stats_requests: Arc<Counter>,
-    health_requests: Arc<Counter>,
-    trace_dump_requests: Arc<Counter>,
-    resume_requests: Arc<Counter>,
-    sync_requests: Arc<Counter>,
-    malformed_frames: Arc<Counter>,
-    accept_errors: Arc<Counter>,
-    idle_disconnects: Arc<Counter>,
-    request_latency_ns: Arc<Histogram>,
-    submit_latency_ns: Arc<Histogram>,
-    modify_latency_ns: Arc<Histogram>,
+pub(crate) struct ServiceMetrics {
+    pub(crate) connects: Arc<Counter>,
+    pub(crate) disconnects: Arc<Counter>,
+    pub(crate) submit_requests: Arc<Counter>,
+    pub(crate) modify_requests: Arc<Counter>,
+    pub(crate) stats_requests: Arc<Counter>,
+    pub(crate) health_requests: Arc<Counter>,
+    pub(crate) trace_dump_requests: Arc<Counter>,
+    pub(crate) resume_requests: Arc<Counter>,
+    pub(crate) sync_requests: Arc<Counter>,
+    pub(crate) malformed_frames: Arc<Counter>,
+    pub(crate) accept_errors: Arc<Counter>,
+    pub(crate) idle_disconnects: Arc<Counter>,
+    pub(crate) request_latency_ns: Arc<Histogram>,
+    pub(crate) submit_latency_ns: Arc<Histogram>,
+    pub(crate) modify_latency_ns: Arc<Histogram>,
 }
 
 impl ServiceMetrics {
@@ -202,9 +227,27 @@ impl Default for TelemetryOptions {
 
 /// The running telemetry state `health` requests read: the sampler's ring
 /// plus the SLOs to evaluate over it.
-struct ServiceTelemetry {
-    ring: Arc<SampleRing>,
-    slos: Vec<SloSpec>,
+pub(crate) struct ServiceTelemetry {
+    pub(crate) ring: Arc<SampleRing>,
+    pub(crate) slos: Vec<SloSpec>,
+}
+
+/// Which connection layer drives the sockets (see the module docs).
+#[derive(Debug, Clone)]
+pub enum ConnLayer {
+    /// Sharded readiness loop: a fixed pool of shard threads sweeps
+    /// nonblocking sockets. Thread count is O(pool size). The default.
+    Reactor(ReactorOptions),
+    /// One reader thread + one seat writer thread per connection. The
+    /// pre-reactor design, kept as the A/B baseline for the connection-
+    /// scale benches and the legacy procfs regression tests.
+    ThreadPerConn,
+}
+
+impl Default for ConnLayer {
+    fn default() -> ConnLayer {
+        ConnLayer::Reactor(ReactorOptions::default())
+    }
 }
 
 /// Tunables for the service's graceful degradation under misbehaving peers.
@@ -234,6 +277,9 @@ pub struct ServiceOptions {
     /// `None` disables the sampler thread entirely (a `health` request
     /// still reports semantic telemetry, just no SLO evaluation).
     pub telemetry: Option<TelemetryOptions>,
+    /// The connection layer: the sharded reactor (default) or the legacy
+    /// thread-per-connection design.
+    pub conn_layer: ConnLayer,
 }
 
 impl Default for ServiceOptions {
@@ -245,6 +291,7 @@ impl Default for ServiceOptions {
             batch: Some(BatchOptions::default()),
             overload: OverloadOptions::default(),
             telemetry: Some(TelemetryOptions::default()),
+            conn_layer: ConnLayer::default(),
         }
     }
 }
@@ -254,7 +301,7 @@ impl Default for ServiceOptions {
 /// drives the watermark downgrade → `sync` → eviction policy. Enqueuing is
 /// non-blocking, so one stalled reader can never wedge the broadcast flush
 /// path for everyone else.
-struct Seat {
+pub(crate) struct Seat {
     conn: Arc<TcpConn>,
     outbound: channel::Sender<Vec<u8>>,
     /// Set when the write buffer overflows. While lagging, broadcasts to
@@ -384,21 +431,119 @@ impl Seat {
     }
 }
 
-/// A running TCP service around one task's backend.
+/// The server-side send half of one connection, either layer: the legacy
+/// [`Seat`] (bounded channel + writer thread) or the reactor's
+/// [`Outbox`](reactor::Outbox) (bounded queue drained by a shard sweep).
+/// Both carry identical lagging/eviction semantics, so the registries,
+/// the eviction sweep, and the broadcast flush path are layer-agnostic.
+#[derive(Clone)]
+pub(crate) enum Downlink {
+    Seat(Arc<Seat>),
+    Outbox(Arc<reactor::Outbox>),
+}
+
+impl Downlink {
+    /// Queues one broadcast frame, non-blocking; a full buffer downgrades
+    /// the connection to lagging (see [`Seat::enqueue`]).
+    pub(crate) fn enqueue(&self, frame: Vec<u8>, overload: &OverloadOptions) {
+        match self {
+            Downlink::Seat(s) => s.enqueue(frame, overload),
+            Downlink::Outbox(o) => o.enqueue_broadcast(frame, overload),
+        }
+    }
+
+    pub(crate) fn clear_lagging(&self) {
+        match self {
+            Downlink::Seat(s) => s.clear_lagging(),
+            Downlink::Outbox(o) => o.clear_lagging(),
+        }
+    }
+
+    pub(crate) fn maybe_evict(&self, overload: &OverloadOptions) {
+        match self {
+            Downlink::Seat(s) => s.maybe_evict(overload),
+            Downlink::Outbox(o) => o.maybe_evict(overload),
+        }
+    }
+
+    /// Forcibly closes the underlying socket (thundering-herd lever).
+    pub(crate) fn shutdown(&self) {
+        match self {
+            Downlink::Seat(s) => s.conn.shutdown(),
+            Downlink::Outbox(o) => o.shutdown(),
+        }
+    }
+
+    /// Identity: whether both handles refer to the same connection.
+    pub(crate) fn same_link(&self, other: &Downlink) -> bool {
+        match (self, other) {
+            (Downlink::Seat(a), Downlink::Seat(b)) => Arc::ptr_eq(a, b),
+            (Downlink::Outbox(a), Downlink::Outbox(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
+}
+
+pub(crate) type ConnRegistry = Arc<Mutex<HashMap<WorkerId, Downlink>>>;
+
+/// One hosted collection: its backend (history, WAL, PRI), its batch
+/// pipeline (admission queue + apply thread), and the connections
+/// currently attached to it. Per-collection isolation is structural —
+/// nothing but the listening socket, the shard pool, and the telemetry
+/// sampler is shared between collections.
+pub struct Collection {
+    name: String,
+    pub(crate) backend: Arc<Mutex<Backend>>,
+    pub(crate) pipeline: Option<Arc<BatchPipeline>>,
+    pub(crate) registry: ConnRegistry,
+}
+
+impl Collection {
+    /// The collection's wire name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Shared access to this collection's backend.
+    pub fn backend(&self) -> Arc<Mutex<Backend>> {
+        Arc::clone(&self.backend)
+    }
+}
+
+pub(crate) type Collections = Arc<HashMap<String, Arc<Collection>>>;
+
+/// Immutable per-service state shared by every connection handler on
+/// either connection layer.
+pub(crate) struct ServiceShared {
+    pub(crate) collections: Collections,
+    /// The collection a handshake without a `"collection"` field attaches
+    /// to (the first one passed to [`TcpService::start_multi`]).
+    pub(crate) default_collection: String,
+    pub(crate) started: Instant,
+    pub(crate) metrics: Arc<ServiceMetrics>,
+    pub(crate) options: Arc<ServiceOptions>,
+    pub(crate) telemetry: Option<Arc<ServiceTelemetry>>,
+}
+
+impl ServiceShared {
+    /// Resolves a handshake's collection field. `None` = unknown name.
+    pub(crate) fn resolve_collection(&self, name: Option<&str>) -> Option<Arc<Collection>> {
+        let name = name.unwrap_or(&self.default_collection);
+        self.collections.get(name).cloned()
+    }
+}
+
+/// A running TCP service around one or more collections.
 pub struct TcpService {
     addr: SocketAddr,
-    backend: Arc<Mutex<Backend>>,
+    shared: Arc<ServiceShared>,
     shutdown: Arc<AtomicBool>,
     accept_thread: Option<std::thread::JoinHandle<()>>,
-    registry: ConnRegistry,
-    /// Keeps the apply thread alive for the service's lifetime (connection
-    /// threads hold their own handles while serving).
-    _pipeline: Option<Arc<BatchPipeline>>,
+    /// Reactor shard threads (empty under [`ConnLayer::ThreadPerConn`]).
+    shard_threads: Vec<std::thread::JoinHandle<()>>,
     /// The background metrics sampler; joined on `stop` (and on drop).
     sampler: Option<Sampler>,
 }
-
-type ConnRegistry = Arc<Mutex<HashMap<WorkerId, Arc<Seat>>>>;
 
 impl TcpService {
     /// Binds and starts serving with default options. Use port 0 for an
@@ -407,25 +552,46 @@ impl TcpService {
         TcpService::start_with(backend, addr, ServiceOptions::default())
     }
 
-    /// Binds and starts serving with explicit degradation options.
+    /// Binds and starts serving one collection (named
+    /// [`DEFAULT_COLLECTION`]) with explicit options.
     pub fn start_with(
         backend: Backend,
         addr: &str,
         options: ServiceOptions,
     ) -> Result<TcpService, ConnError> {
+        TcpService::start_multi(
+            vec![(DEFAULT_COLLECTION.to_string(), backend)],
+            addr,
+            options,
+        )
+    }
+
+    /// Binds and starts serving N independent collections multiplexed over
+    /// one port. The first entry is the default a bare `hello` attaches
+    /// to; names must be unique. Each collection gets its own batch
+    /// pipeline (admission queue + apply thread) per `options.batch`.
+    pub fn start_multi(
+        backends: Vec<(String, Backend)>,
+        addr: &str,
+        options: ServiceOptions,
+    ) -> Result<TcpService, ConnError> {
+        if backends.is_empty() {
+            return Err(ConnError::Io(
+                "start_multi needs at least one collection".into(),
+            ));
+        }
         let server = TcpServer::bind(addr)?;
         let addr = server.local_addr()?;
-        let backend = Arc::new(Mutex::new(backend));
         let shutdown = Arc::new(AtomicBool::new(false));
-        let registry: ConnRegistry = Arc::new(Mutex::new(HashMap::new()));
         let started = Instant::now();
         let metrics = Arc::new(ServiceMetrics::resolve());
-        crowdfill_obs::obs_info!("server", "tcp service listening on {addr}");
+        let default_collection = backends[0].0.clone();
 
         // The telemetry sampler snapshots the global registry in the
         // background; `health` requests read windowed rates and SLO burn
-        // from its ring. With telemetry off, no thread is spawned and the
-        // hot paths are untouched.
+        // from its ring. One sampler serves every collection (the metric
+        // registry is process-global). With telemetry off, no thread is
+        // spawned and the hot paths are untouched.
         let (sampler, telemetry) = match &options.telemetry {
             Some(t) => {
                 let sampler = Sampler::start(
@@ -445,29 +611,65 @@ impl TcpService {
         };
         let options = Arc::new(options);
 
-        // The apply thread owns the submit hot path; its after-batch hook
-        // flushes every session outbox once per batch, emitting multi-op
-        // broadcast frames.
-        let pipeline = options.batch.clone().map(|batch_options| {
-            let apply_backend = Arc::clone(&backend);
-            let flush_backend = Arc::clone(&backend);
-            let flush_registry = Arc::clone(&registry);
-            let flush_options = Arc::clone(&options);
-            Arc::new(BatchPipeline::start(
-                apply_backend,
-                Box::new(move || now_millis(started)),
-                Box::new(move || {
-                    flush_outboxes(&flush_backend, &flush_registry, &flush_options.overload)
-                }),
-                batch_options,
-                options.overload.clone(),
-            ))
+        // One pipeline per collection: admission, shedding, and batching
+        // are per-collection, so a storm on one cannot fill another's
+        // queue. Each apply thread's after-batch hook flushes only its own
+        // collection's outboxes.
+        let mut map = HashMap::with_capacity(backends.len());
+        for (name, backend) in backends {
+            let backend = Arc::new(Mutex::new(backend));
+            let registry: ConnRegistry = Arc::new(Mutex::new(HashMap::new()));
+            let pipeline = options.batch.clone().map(|batch_options| {
+                let apply_backend = Arc::clone(&backend);
+                let flush_backend = Arc::clone(&backend);
+                let flush_registry = Arc::clone(&registry);
+                let flush_options = Arc::clone(&options);
+                Arc::new(BatchPipeline::start(
+                    apply_backend,
+                    Box::new(move || now_millis(started)),
+                    Box::new(move || {
+                        flush_outboxes(&flush_backend, &flush_registry, &flush_options.overload)
+                    }),
+                    batch_options,
+                    options.overload.clone(),
+                ))
+            });
+            if map
+                .insert(
+                    name.clone(),
+                    Arc::new(Collection {
+                        name,
+                        backend,
+                        pipeline,
+                        registry,
+                    }),
+                )
+                .is_some()
+            {
+                return Err(ConnError::Io("duplicate collection name".into()));
+            }
+        }
+        let collections: Collections = Arc::new(map);
+        crowdfill_obs::obs_info!(
+            "server",
+            "tcp service listening on {addr} ({} collections)",
+            collections.len()
+        );
+
+        let shared = Arc::new(ServiceShared {
+            collections: Arc::clone(&collections),
+            default_collection,
+            started,
+            metrics: Arc::clone(&metrics),
+            options: Arc::clone(&options),
+            telemetry,
         });
 
         // The eviction clock must not depend on broadcast traffic: a reader
         // that stalls on a quiet collection never triggers the enqueue-path
-        // check, so a periodic sweep drives `maybe_evict` for every seat.
-        let sweep_registry = Arc::clone(&registry);
+        // check, so a periodic sweep drives `maybe_evict` for every
+        // connection of every collection.
+        let sweep_collections = Arc::clone(&collections);
         let sweep_shutdown = Arc::clone(&shutdown);
         let sweep_options = Arc::clone(&options);
         let sweep_interval = (options.overload.evict_after / 4)
@@ -477,78 +679,115 @@ impl TcpService {
             .spawn(move || {
                 while !sweep_shutdown.load(Ordering::SeqCst) {
                     std::thread::sleep(sweep_interval);
-                    let seats: Vec<Arc<Seat>> = sweep_registry.lock().values().cloned().collect();
-                    for seat in seats {
-                        seat.maybe_evict(&sweep_options.overload);
+                    for collection in sweep_collections.values() {
+                        let links: Vec<Downlink> =
+                            collection.registry.lock().values().cloned().collect();
+                        for link in links {
+                            link.maybe_evict(&sweep_options.overload);
+                        }
                     }
                 }
             });
 
-        let pipeline_handle = pipeline.clone();
-        let service_registry = Arc::clone(&registry);
-        let accept_backend = Arc::clone(&backend);
         let accept_shutdown = Arc::clone(&shutdown);
-        let accept_thread = std::thread::Builder::new()
-            .name("crowdfill-accept".into())
-            .spawn(move || {
-                let mut backoff = options.accept_backoff_base;
-                while !accept_shutdown.load(Ordering::SeqCst) {
-                    let conn = match server.accept() {
-                        Ok(conn) => conn,
-                        Err(_) => {
-                            // A failed accept (fd exhaustion, transient
-                            // socket error) must not busy-spin the core:
-                            // back off, capped, and try again.
-                            metrics.accept_errors.inc();
-                            std::thread::sleep(backoff);
-                            backoff = (backoff * 2).min(options.accept_backoff_max);
-                            continue;
+        let (accept_thread, shard_threads) = match &options.conn_layer {
+            ConnLayer::Reactor(reactor_options) => {
+                // Shard pool: the accept thread only hands fresh sockets
+                // to shards round-robin; shards own every conn for life.
+                let (shard_threads, injects) = reactor::start_shards(
+                    reactor_options,
+                    Arc::clone(&shared),
+                    Arc::clone(&shutdown),
+                );
+                let accept_shared = Arc::clone(&shared);
+                let accept_thread = std::thread::Builder::new()
+                    .name("crowdfill-accept".into())
+                    .spawn(move || {
+                        let mut backoff = accept_shared.options.accept_backoff_base;
+                        let mut next_shard = 0usize;
+                        while !accept_shutdown.load(Ordering::SeqCst) {
+                            let stream = match server.accept_raw() {
+                                Ok(s) => s,
+                                Err(_) => {
+                                    accept_shared.metrics.accept_errors.inc();
+                                    std::thread::sleep(backoff);
+                                    backoff =
+                                        (backoff * 2).min(accept_shared.options.accept_backoff_max);
+                                    continue;
+                                }
+                            };
+                            backoff = accept_shared.options.accept_backoff_base;
+                            if accept_shutdown.load(Ordering::SeqCst) {
+                                return;
+                            }
+                            let _ = injects[next_shard % injects.len()].send(stream);
+                            next_shard = next_shard.wrapping_add(1);
                         }
-                    };
-                    backoff = options.accept_backoff_base;
-                    if accept_shutdown.load(Ordering::SeqCst) {
-                        return;
-                    }
-                    let conn = Arc::new(conn);
-                    let backend = Arc::clone(&accept_backend);
-                    let registry = Arc::clone(&registry);
-                    let metrics = Arc::clone(&metrics);
-                    let options = Arc::clone(&options);
-                    let pipeline = pipeline.clone();
-                    let telemetry = telemetry.clone();
-                    let _ = std::thread::Builder::new()
-                        .name("crowdfill-conn".into())
-                        .spawn(move || {
-                            serve_conn(
-                                conn, backend, registry, started, metrics, options, pipeline,
-                                telemetry,
-                            )
-                        });
-                }
-            })
-            .map_err(|e| ConnError::Io(e.to_string()))?;
+                    })
+                    .map_err(|e| ConnError::Io(e.to_string()))?;
+                (accept_thread, shard_threads)
+            }
+            ConnLayer::ThreadPerConn => {
+                let accept_shared = Arc::clone(&shared);
+                let accept_thread = std::thread::Builder::new()
+                    .name("crowdfill-accept".into())
+                    .spawn(move || {
+                        let mut backoff = accept_shared.options.accept_backoff_base;
+                        while !accept_shutdown.load(Ordering::SeqCst) {
+                            let conn = match server.accept() {
+                                Ok(conn) => conn,
+                                Err(_) => {
+                                    // A failed accept (fd exhaustion, transient
+                                    // socket error) must not busy-spin the core:
+                                    // back off, capped, and try again.
+                                    accept_shared.metrics.accept_errors.inc();
+                                    std::thread::sleep(backoff);
+                                    backoff =
+                                        (backoff * 2).min(accept_shared.options.accept_backoff_max);
+                                    continue;
+                                }
+                            };
+                            backoff = accept_shared.options.accept_backoff_base;
+                            if accept_shutdown.load(Ordering::SeqCst) {
+                                return;
+                            }
+                            let conn = Arc::new(conn);
+                            let shared = Arc::clone(&accept_shared);
+                            let _ = std::thread::Builder::new()
+                                .name("crowdfill-conn".into())
+                                .spawn(move || serve_conn(conn, shared));
+                        }
+                    })
+                    .map_err(|e| ConnError::Io(e.to_string()))?;
+                (accept_thread, Vec::new())
+            }
+        };
 
         Ok(TcpService {
             addr,
-            backend,
+            shared,
             shutdown,
             accept_thread: Some(accept_thread),
-            registry: service_registry,
-            _pipeline: pipeline_handle,
+            shard_threads,
             sampler,
         })
     }
 
-    /// Forcibly closes every registered connection at once. Sessions
-    /// survive — each client sees a dead connection and recovers via its
-    /// reconnect-and-resume path. This is the thundering-herd lever the
-    /// overload harness uses to stage a mass-reconnect storm.
+    /// Forcibly closes every registered connection at once, across all
+    /// collections. Sessions survive — each client sees a dead connection
+    /// and recovers via its reconnect-and-resume path. This is the
+    /// thundering-herd lever the overload harness uses to stage a
+    /// mass-reconnect storm.
     pub fn disconnect_all(&self) -> usize {
-        let seats: Vec<Arc<Seat>> = self.registry.lock().values().cloned().collect();
-        for seat in &seats {
-            seat.conn.shutdown();
+        let mut n = 0;
+        for collection in self.shared.collections.values() {
+            let links: Vec<Downlink> = collection.registry.lock().values().cloned().collect();
+            for link in &links {
+                link.shutdown();
+            }
+            n += links.len();
         }
-        seats.len()
+        n
     }
 
     /// The bound address clients connect to.
@@ -556,13 +795,24 @@ impl TcpService {
         self.addr
     }
 
-    /// Shared access to the backend (settlement, inspection).
+    /// Shared access to the default collection's backend (settlement,
+    /// inspection). Single-collection services behave exactly as before.
     pub fn backend(&self) -> Arc<Mutex<Backend>> {
-        Arc::clone(&self.backend)
+        self.shared.collections[&self.shared.default_collection].backend()
     }
 
-    /// Stops accepting connections and joins the accept and sampler
-    /// threads.
+    /// Shared access to a named collection's backend.
+    pub fn backend_of(&self, collection: &str) -> Option<Arc<Mutex<Backend>>> {
+        self.shared.collections.get(collection).map(|c| c.backend())
+    }
+
+    /// The names of every hosted collection (unordered).
+    pub fn collection_names(&self) -> Vec<String> {
+        self.shared.collections.keys().cloned().collect()
+    }
+
+    /// Stops accepting connections and joins the accept, shard, and
+    /// sampler threads.
     pub fn stop(mut self) {
         self.shutdown.store(true, Ordering::SeqCst);
         if let Some(mut s) = self.sampler.take() {
@@ -573,14 +823,21 @@ impl TcpService {
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
         }
+        for t in self.shard_threads.drain(..) {
+            let _ = t.join();
+        }
     }
 }
 
-fn now_millis(started: Instant) -> Millis {
+/// The collection a bare `hello`/`resume` (no `"collection"` field)
+/// attaches to on a single-collection service.
+pub const DEFAULT_COLLECTION: &str = "default";
+
+pub(crate) fn now_millis(started: Instant) -> Millis {
     Millis(started.elapsed().as_millis() as u64)
 }
 
-fn reject_frame(reason: &str) -> Json {
+pub(crate) fn reject_frame(reason: &str) -> Json {
     reject_frame_traced(reason, TraceId::NONE)
 }
 
@@ -707,35 +964,43 @@ fn parse_cursor_ref(req: &JsonRef<'_>) -> (u64, HashSet<u64>) {
     (from, have)
 }
 
-#[allow(clippy::too_many_arguments)]
-fn serve_conn(
-    conn: Arc<TcpConn>,
-    backend: Arc<Mutex<Backend>>,
-    registry: ConnRegistry,
-    started: Instant,
-    metrics: Arc<ServiceMetrics>,
-    options: Arc<ServiceOptions>,
-    pipeline: Option<Arc<BatchPipeline>>,
-    telemetry: Option<Arc<ServiceTelemetry>>,
-) {
-    // First frame opens the session: hello (fresh) or resume (re-attach).
-    let Ok(frame) = conn.recv() else { return };
-    let Ok(req) = Json::parse(&String::from_utf8_lossy(&frame)) else {
-        metrics.malformed_frames.inc();
-        return;
-    };
-    let mut alive = true;
-    let (worker, epoch) = match req.get("type").and_then(Json::as_str) {
+/// Outcome of a handshake frame (`hello` or `resume`), shared by both
+/// connection layers. The reply is NOT yet on the wire — the caller owns
+/// delivery so each layer can order it before any broadcast.
+pub(crate) enum SessionOpen {
+    Started {
+        collection: Arc<Collection>,
+        worker: WorkerId,
+        epoch: u64,
+        reply: Json,
+    },
+    /// Handshake understood but refused (unknown collection, failed
+    /// resume); send the reply, then drop the connection.
+    Rejected(Json),
+    /// Not a handshake at all; drop the connection silently.
+    Malformed,
+}
+
+/// Processes the first frame of a connection: `hello` creates a worker in
+/// the requested collection, `resume` re-attaches to an existing one. The
+/// `"collection"` field selects the target; absent means the default.
+pub(crate) fn open_session(req: &Json, shared: &ServiceShared) -> SessionOpen {
+    let requested = req.get("collection").and_then(Json::as_str);
+    match req.get("type").and_then(Json::as_str) {
         Some("hello") => {
-            metrics.connects.inc();
+            shared.metrics.connects.inc();
+            let Some(collection) = shared.resolve_collection(requested) else {
+                return SessionOpen::Rejected(reject_frame("unknown collection"));
+            };
             let (worker, client, history, schema_json) = {
-                let mut b = backend.lock();
-                let (w, c, h) = b.connect(now_millis(started));
+                let mut b = collection.backend.lock();
+                let (w, c, h) = b.connect(now_millis(shared.started));
                 let schema_json = wire::schema_to_json(&b.config().schema);
                 (w, c, h, schema_json)
             };
-            let welcome = Json::obj([
+            let reply = Json::obj([
                 ("type", Json::str("welcome")),
+                ("collection", Json::str(collection.name())),
                 ("worker", Json::num(worker.0 as f64)),
                 ("client", Json::num(client.0 as f64)),
                 ("history_len", Json::num(history.len() as f64)),
@@ -745,31 +1010,36 @@ fn serve_conn(
                     Json::Arr(history.iter().map(wire::message_to_json).collect()),
                 ),
             ]);
-            if conn.send(welcome.encode().as_bytes()).is_err() {
-                alive = false;
-            }
             crowdfill_obs::obs_debug!(
                 "server",
                 "session started";
                 worker => worker.0,
                 client => client.0,
             );
-            (worker, 0u64)
+            SessionOpen::Started {
+                collection,
+                worker,
+                epoch: 0,
+                reply,
+            }
         }
         Some("resume") => {
-            metrics.resume_requests.inc();
+            shared.metrics.resume_requests.inc();
+            let Some(collection) = shared.resolve_collection(requested) else {
+                return SessionOpen::Rejected(reject_frame("unknown collection"));
+            };
             let Some(w) = req.get("worker").and_then(Json::as_i64).filter(|v| *v >= 0) else {
-                metrics.malformed_frames.inc();
-                return;
+                shared.metrics.malformed_frames.inc();
+                return SessionOpen::Malformed;
             };
             let worker = WorkerId(w as u32);
-            let (from, have) = parse_cursor(&req);
+            let (from, have) = parse_cursor(req);
             // Resume and suffix must come from ONE lock acquisition: the
             // suffix plus subsequent poll_seq broadcasts then covers the
             // history with no gap.
             let resumed = {
-                let mut b = backend.lock();
-                match b.resume(worker, now_millis(started)) {
+                let mut b = collection.backend.lock();
+                match b.resume(worker, now_millis(shared.started)) {
                     Err(e) => Err(e.to_string()),
                     Ok(info) => {
                         let msgs: Vec<(u64, Message)> = b
@@ -782,21 +1052,16 @@ fn serve_conn(
                 }
             };
             let (info, msgs) = match resumed {
-                Err(reason) => {
-                    let _ = conn.send(reject_frame(&reason).encode().as_bytes());
-                    return;
-                }
+                Err(reason) => return SessionOpen::Rejected(reject_frame(&reason)),
                 Ok(ok) => ok,
             };
             let reply = Json::obj([
                 ("type", Json::str("resumed")),
+                ("collection", Json::str(collection.name())),
                 ("client", Json::num(info.client.0 as f64)),
                 ("history_len", Json::num(info.history_len as f64)),
                 ("msgs", seq_msgs_to_json(&msgs)),
             ]);
-            if conn.send(reply.encode().as_bytes()).is_err() {
-                alive = false;
-            }
             crowdfill_obs::obs_debug!(
                 "server",
                 "session resumed";
@@ -804,67 +1069,273 @@ fn serve_conn(
                 epoch => info.epoch,
                 replayed => msgs.len(),
             );
-            (worker, info.epoch)
+            SessionOpen::Started {
+                collection,
+                worker,
+                epoch: info.epoch,
+                reply,
+            }
         }
         _ => {
-            metrics.malformed_frames.inc();
-            return;
+            shared.metrics.malformed_frames.inc();
+            SessionOpen::Malformed
         }
-    };
-
-    if alive {
-        // Register only after the handshake reply is on the wire, so no
-        // broadcast can precede it; then drain our own outbox to cover
-        // messages enqueued between the backend call and registration.
-        let seat = Seat::spawn(Arc::clone(&conn), &options.overload);
-        registry.lock().insert(worker, Arc::clone(&seat));
-        flush_worker_outbox(&backend, &seat, worker, &options.overload);
-        run_session(
-            &conn,
-            &backend,
-            &registry,
-            worker,
-            started,
-            &metrics,
-            &options,
-            pipeline.as_deref(),
-            telemetry.as_deref(),
-        );
     }
+}
 
-    // Cleanup is guarded: remove the registry entry only if it is still this
-    // connection, and disconnect the session only if this thread's epoch is
-    // current — a resumed successor must survive its predecessor's exit.
+/// Tears down a finished session: unregisters (guarded — only if the
+/// registry still holds THIS connection), closes the socket, and retires
+/// the epoch (guarded in the backend — a resumed successor must survive
+/// its predecessor's exit).
+pub(crate) fn close_session(
+    collection: &Collection,
+    link: &Downlink,
+    worker: WorkerId,
+    epoch: u64,
+    metrics: &ServiceMetrics,
+) {
     {
-        let mut reg = registry.lock();
-        if reg
-            .get(&worker)
-            .is_some_and(|s| Arc::ptr_eq(&s.conn, &conn))
-        {
+        let mut reg = collection.registry.lock();
+        if reg.get(&worker).is_some_and(|l| l.same_link(link)) {
             reg.remove(&worker);
         }
     }
-    // Dropping the registry's seat (and ours below) disconnects the writer
-    // channel, but a writer mid-`send` to a peer that stopped reading would
-    // still block on the socket; closing it forces that send to error.
-    conn.shutdown();
-    backend.lock().disconnect_epoch(worker, epoch);
+    // Dropping the registry's link disconnects the writer channel, but a
+    // writer mid-`send` to a peer that stopped reading would still block
+    // on the socket; closing it forces that send to error.
+    link.shutdown();
+    collection.backend.lock().disconnect_epoch(worker, epoch);
     metrics.disconnects.inc();
     crowdfill_obs::obs_debug!("server", "session ended"; worker => worker.0, epoch => epoch);
 }
 
-#[allow(clippy::too_many_arguments)]
+fn serve_conn(conn: Arc<TcpConn>, shared: Arc<ServiceShared>) {
+    // First frame opens the session: hello (fresh) or resume (re-attach).
+    let Ok(frame) = conn.recv() else { return };
+    let Ok(req) = Json::parse(&String::from_utf8_lossy(&frame)) else {
+        shared.metrics.malformed_frames.inc();
+        return;
+    };
+    let (collection, worker, epoch, reply) = match open_session(&req, &shared) {
+        SessionOpen::Started {
+            collection,
+            worker,
+            epoch,
+            reply,
+        } => (collection, worker, epoch, reply),
+        SessionOpen::Rejected(reply) => {
+            let _ = conn.send(reply.encode().as_bytes());
+            return;
+        }
+        SessionOpen::Malformed => return,
+    };
+
+    if conn.send(reply.encode().as_bytes()).is_ok() {
+        // Register only after the handshake reply is on the wire, so no
+        // broadcast can precede it; then drain our own outbox to cover
+        // messages enqueued between the backend call and registration.
+        let link = Downlink::Seat(Seat::spawn(Arc::clone(&conn), &shared.options.overload));
+        collection.registry.lock().insert(worker, link.clone());
+        flush_worker_outbox(&collection.backend, &link, worker, &shared.options.overload);
+        run_session(&conn, &collection, &link, worker, &shared);
+        close_session(&collection, &link, worker, epoch, &shared.metrics);
+    } else {
+        conn.shutdown();
+        collection.backend.lock().disconnect_epoch(worker, epoch);
+        shared.metrics.disconnects.inc();
+    }
+}
+
+/// One in-session request, decoded off the wire. Shared by both
+/// connection layers so the protocol cannot fork between them.
+pub(crate) enum Request {
+    Submit {
+        op: BatchOp,
+        priority: Priority,
+        trace: TraceId,
+    },
+    Modify {
+        op: BatchOp,
+        trace: TraceId,
+    },
+    Sync {
+        from: u64,
+        have: HashSet<u64>,
+    },
+    Stats,
+    Health,
+    TraceDump,
+    Bye,
+    /// A submit whose message failed to decode; reject, keep the session.
+    MalformedSubmit,
+    /// A modify whose bundle failed to decode; reject, keep the session.
+    MalformedModify,
+    /// Unrecognized request type; ignored, session continues.
+    Unknown,
+}
+
+/// Decodes one request frame. Borrowed decode: the op hot path builds no
+/// per-field Strings or sorted maps — text cells intern straight from the
+/// read buffer.
+pub(crate) fn parse_request(req: &JsonRef<'_>) -> Request {
+    match req.get("type").and_then(JsonRef::as_str) {
+        Some("submit") => {
+            let auto = req.get("auto").and_then(JsonRef::as_bool).unwrap_or(false);
+            let priority = if req
+                .get("speculative")
+                .and_then(JsonRef::as_bool)
+                .unwrap_or(false)
+            {
+                Priority::Speculative
+            } else {
+                Priority::Normal
+            };
+            let trace = json_trace_ref(req);
+            match req
+                .get("msg")
+                .and_then(|m| wire::message_from_json_ref(m).ok())
+            {
+                Some(msg) => Request::Submit {
+                    op: BatchOp::Msg {
+                        msg,
+                        auto_upvote: auto,
+                    },
+                    priority,
+                    trace,
+                },
+                None => Request::MalformedSubmit,
+            }
+        }
+        Some("modify") => {
+            let trace = json_trace_ref(req);
+            let bundle: Option<Vec<(Message, bool)>> = req
+                .get("msgs")
+                .and_then(JsonRef::as_arr)
+                .map(|arr| {
+                    arr.iter()
+                        .map(|e| {
+                            let auto = e.get("auto").and_then(JsonRef::as_bool).unwrap_or(false);
+                            e.get("msg")
+                                .and_then(|m| wire::message_from_json_ref(m).ok())
+                                .map(|m| (m, auto))
+                        })
+                        .collect::<Option<Vec<_>>>()
+                })
+                .unwrap_or(None);
+            match bundle {
+                Some(bundle) => Request::Modify {
+                    op: BatchOp::Modify { bundle },
+                    trace,
+                },
+                None => Request::MalformedModify,
+            }
+        }
+        Some("sync") => {
+            let (from, have) = parse_cursor_ref(req);
+            Request::Sync { from, have }
+        }
+        Some("stats") => Request::Stats,
+        Some("health") => Request::Health,
+        Some("trace_dump") => Request::TraceDump,
+        Some("bye") | None => Request::Bye,
+        _ => Request::Unknown,
+    }
+}
+
+/// Applies one admitted op directly on the backend (no-pipeline mode).
+pub(crate) fn apply_direct(
+    backend: &Mutex<Backend>,
+    worker: WorkerId,
+    op: BatchOp,
+    now: Millis,
+    trace: TraceId,
+) -> Result<SubmitReport, SubmitError> {
+    let mut b = backend.lock();
+    match op {
+        BatchOp::Msg { msg, auto_upvote } => b.submit_traced(worker, msg, now, auto_upvote, trace),
+        BatchOp::Modify { bundle } => b.submit_modify_traced(worker, bundle, now, trace),
+    }
+}
+
+/// Builds the `synced` reply. The caller must clear its own link's
+/// lagging flag BEFORE calling: every broadcast dropped while lagging
+/// then has a seq below the history length this reply covers, and
+/// broadcasts after the clear are enqueued normally (overlap is
+/// seq-deduped client-side), so nothing can fall in a gap.
+pub(crate) fn sync_reply(
+    backend: &Mutex<Backend>,
+    worker: WorkerId,
+    from: u64,
+    have: &HashSet<u64>,
+) -> Json {
+    let (history_len, msgs) = {
+        let mut b = backend.lock();
+        let msgs: Vec<(u64, Message)> = b
+            .history_suffix(from)
+            .into_iter()
+            .filter(|(s, _)| !have.contains(s))
+            .collect();
+        let history_len = b.history_len();
+        // The reply covers the history through `history_len`, so the
+        // replica-lag gauge for this worker resets.
+        b.note_confirmed(worker, history_len);
+        (history_len, msgs)
+    };
+    Json::obj([
+        ("type", Json::str("synced")),
+        ("history_len", Json::num(history_len as f64)),
+        ("msgs", seq_msgs_to_json(&msgs)),
+    ])
+}
+
+pub(crate) fn stats_reply() -> Json {
+    let snapshot = crowdfill_obs::metrics::global().snapshot();
+    Json::obj([
+        ("type", Json::str("stats")),
+        ("snapshot", Json::str(snapshot)),
+    ])
+}
+
+/// The semantic-health report (DESIGN.md §11): completeness, per-column
+/// agreement, per-worker latency/lag, plus SLO burn rates evaluated over
+/// the sampler ring. Scoped to ONE collection's backend.
+pub(crate) fn health_reply(backend: &Mutex<Backend>, telemetry: Option<&ServiceTelemetry>) -> Json {
+    let mut report = {
+        let b = backend.lock();
+        crate::health::collect(&b)
+    };
+    if let Some(t) = telemetry {
+        report.slos = evaluate_slos(&t.slos, &t.ring, crowdfill_obs::metrics::global())
+            .into_iter()
+            .map(crate::health::SloHealth::from)
+            .collect();
+    }
+    Json::obj([("type", Json::str("health")), ("report", report.to_json())])
+}
+
+/// Sibling of `stats`: the flight recorder's current ring contents as
+/// JSON lines, for trace-report and debugging.
+pub(crate) fn trace_dump_reply() -> Json {
+    obstrace::flush_thread();
+    let events = obstrace::recorder().dump_jsonl();
+    Json::obj([
+        ("type", Json::str("trace_dump")),
+        ("events", Json::str(events)),
+    ])
+}
+
 fn run_session(
     conn: &Arc<TcpConn>,
-    backend: &Arc<Mutex<Backend>>,
-    registry: &ConnRegistry,
+    collection: &Arc<Collection>,
+    link: &Downlink,
     worker: WorkerId,
-    started: Instant,
-    metrics: &ServiceMetrics,
-    options: &ServiceOptions,
-    pipeline: Option<&BatchPipeline>,
-    telemetry: Option<&ServiceTelemetry>,
+    shared: &ServiceShared,
 ) {
+    let backend = &collection.backend;
+    let registry = &collection.registry;
+    let pipeline = collection.pipeline.as_deref();
+    let metrics = &shared.metrics;
+    let options = &shared.options;
     // This worker's private ack-latency histogram (per-worker health);
     // shared with the session so `health` can read quantiles.
     let ack_hist = backend.lock().worker_ack_histogram(worker);
@@ -888,58 +1359,26 @@ fn run_session(
                 Err(_) => return,
             },
         };
-        // Borrowed decode: the frame is parsed in place (`JsonRef`), so the
-        // op hot path below builds no per-field Strings or sorted maps —
-        // text cells intern straight from the read buffer.
         let text = String::from_utf8_lossy(&frame);
         let Ok(req) = JsonRef::parse(&text) else {
             metrics.malformed_frames.inc();
             continue;
         };
         let _request_timer = SpanTimer::start(&metrics.request_latency_ns);
-        match req.get("type").and_then(JsonRef::as_str) {
-            Some("submit") => {
+        match parse_request(&req) {
+            Request::Submit {
+                op,
+                priority,
+                trace,
+            } => {
                 metrics.submit_requests.inc();
                 let _submit_timer = SpanTimer::start(&metrics.submit_latency_ns);
                 let submitted_at = Instant::now();
-                let auto = req.get("auto").and_then(JsonRef::as_bool).unwrap_or(false);
-                let priority = if req
-                    .get("speculative")
-                    .and_then(JsonRef::as_bool)
-                    .unwrap_or(false)
-                {
-                    Priority::Speculative
-                } else {
-                    Priority::Normal
+                let result = match pipeline {
+                    Some(p) => p.submit_traced(worker, op, priority, trace),
+                    None => apply_direct(backend, worker, op, now_millis(shared.started), trace),
                 };
-                let trace = json_trace_ref(&req);
-                let msg = req
-                    .get("msg")
-                    .and_then(|m| wire::message_from_json_ref(m).ok());
-                let reply = match msg {
-                    None => reject_frame("malformed message"),
-                    Some(msg) => {
-                        let result = match pipeline {
-                            Some(p) => p.submit_traced(
-                                worker,
-                                BatchOp::Msg {
-                                    msg,
-                                    auto_upvote: auto,
-                                },
-                                priority,
-                                trace,
-                            ),
-                            None => backend.lock().submit_traced(
-                                worker,
-                                msg,
-                                now_millis(started),
-                                auto,
-                                trace,
-                            ),
-                        };
-                        result_frame(result, trace)
-                    }
-                };
+                let reply = result_frame(result, trace);
                 if let Some(h) = &ack_hist {
                     h.record(submitted_at.elapsed().as_nanos() as u64);
                 }
@@ -949,129 +1388,49 @@ fn run_session(
                     flush_outboxes(backend, registry, &options.overload);
                 }
             }
-            Some("modify") => {
+            Request::MalformedSubmit => {
+                metrics.submit_requests.inc();
+                let _ = conn.send(reject_frame("malformed message").encode().as_bytes());
+            }
+            Request::Modify { op, trace } => {
                 metrics.modify_requests.inc();
                 let _modify_timer = SpanTimer::start(&metrics.modify_latency_ns);
-                let bundle: Option<Vec<(Message, bool)>> = req
-                    .get("msgs")
-                    .and_then(JsonRef::as_arr)
-                    .map(|arr| {
-                        arr.iter()
-                            .map(|e| {
-                                let auto =
-                                    e.get("auto").and_then(JsonRef::as_bool).unwrap_or(false);
-                                e.get("msg")
-                                    .and_then(|m| wire::message_from_json_ref(m).ok())
-                                    .map(|m| (m, auto))
-                            })
-                            .collect::<Option<Vec<_>>>()
-                    })
-                    .unwrap_or(None);
-                let trace = json_trace_ref(&req);
-                let reply = match bundle {
-                    None => reject_frame("malformed modify bundle"),
-                    Some(bundle) => {
-                        let result = match pipeline {
-                            Some(p) => p.submit_traced(
-                                worker,
-                                BatchOp::Modify { bundle },
-                                Priority::Normal,
-                                trace,
-                            ),
-                            None => backend.lock().submit_modify_traced(
-                                worker,
-                                bundle,
-                                now_millis(started),
-                                trace,
-                            ),
-                        };
-                        result_frame(result, trace)
-                    }
+                let result = match pipeline {
+                    Some(p) => p.submit_traced(worker, op, Priority::Normal, trace),
+                    None => apply_direct(backend, worker, op, now_millis(shared.started), trace),
                 };
-                let _ = conn.send(reply.encode().as_bytes());
+                let _ = conn.send(result_frame(result, trace).encode().as_bytes());
                 if pipeline.is_none() {
                     flush_outboxes(backend, registry, &options.overload);
                 }
             }
-            Some("sync") => {
+            Request::MalformedModify => {
+                metrics.modify_requests.inc();
+                let _ = conn.send(reject_frame("malformed modify bundle").encode().as_bytes());
+            }
+            Request::Sync { from, have } => {
                 metrics.sync_requests.inc();
-                // A sync heals a lagging connection. Clear the flag BEFORE
-                // computing the suffix under the backend lock: every
-                // broadcast dropped while lagging then has a seq below the
-                // history length this reply covers, and broadcasts after
-                // the clear are enqueued normally (overlap is seq-deduped
-                // client-side), so nothing can fall in a gap.
-                {
-                    let reg = registry.lock();
-                    if let Some(seat) = reg.get(&worker) {
-                        if Arc::ptr_eq(&seat.conn, conn) {
-                            seat.clear_lagging();
-                        }
-                    }
-                }
-                let (from, have) = parse_cursor_ref(&req);
-                let (history_len, msgs) = {
-                    let mut b = backend.lock();
-                    let msgs: Vec<(u64, Message)> = b
-                        .history_suffix(from)
-                        .into_iter()
-                        .filter(|(s, _)| !have.contains(s))
-                        .collect();
-                    let history_len = b.history_len();
-                    // The reply covers the history through `history_len`,
-                    // so the replica-lag gauge for this worker resets.
-                    b.note_confirmed(worker, history_len);
-                    (history_len, msgs)
-                };
-                let reply = Json::obj([
-                    ("type", Json::str("synced")),
-                    ("history_len", Json::num(history_len as f64)),
-                    ("msgs", seq_msgs_to_json(&msgs)),
-                ]);
+                // A sync heals a lagging connection; clear-before-suffix,
+                // see `sync_reply`.
+                link.clear_lagging();
+                let reply = sync_reply(backend, worker, from, &have);
                 let _ = conn.send(reply.encode().as_bytes());
             }
-            Some("stats") => {
+            Request::Stats => {
                 metrics.stats_requests.inc();
-                let snapshot = crowdfill_obs::metrics::global().snapshot();
-                let reply = Json::obj([
-                    ("type", Json::str("stats")),
-                    ("snapshot", Json::str(snapshot)),
-                ]);
-                let _ = conn.send(reply.encode().as_bytes());
+                let _ = conn.send(stats_reply().encode().as_bytes());
             }
-            Some("health") => {
-                // The semantic-health report (DESIGN.md §11): completeness,
-                // per-column agreement, per-worker latency/lag, plus SLO
-                // burn rates evaluated over the sampler ring.
+            Request::Health => {
                 metrics.health_requests.inc();
-                let mut report = {
-                    let b = backend.lock();
-                    crate::health::collect(&b)
-                };
-                if let Some(t) = telemetry {
-                    report.slos = evaluate_slos(&t.slos, &t.ring, crowdfill_obs::metrics::global())
-                        .into_iter()
-                        .map(crate::health::SloHealth::from)
-                        .collect();
-                }
-                let reply =
-                    Json::obj([("type", Json::str("health")), ("report", report.to_json())]);
+                let reply = health_reply(backend, shared.telemetry.as_deref());
                 let _ = conn.send(reply.encode().as_bytes());
             }
-            Some("trace_dump") => {
-                // Sibling of `stats`: the flight recorder's current ring
-                // contents as JSON lines, for trace-report and debugging.
+            Request::TraceDump => {
                 metrics.trace_dump_requests.inc();
-                obstrace::flush_thread();
-                let events = obstrace::recorder().dump_jsonl();
-                let reply = Json::obj([
-                    ("type", Json::str("trace_dump")),
-                    ("events", Json::str(events)),
-                ]);
-                let _ = conn.send(reply.encode().as_bytes());
+                let _ = conn.send(trace_dump_reply().encode().as_bytes());
             }
-            Some("bye") | None => return,
-            _ => {}
+            Request::Bye => return,
+            Request::Unknown => {}
         }
     }
 }
@@ -1107,7 +1466,7 @@ fn overloaded_frame(retry_after_ms: u64, trace: TraceId) -> Json {
 
 /// Tells a lagging client its broadcasts are being dropped and it should
 /// catch up via `sync`.
-fn lagging_frame() -> Json {
+pub(crate) fn lagging_frame() -> Json {
     Json::obj([("type", Json::str("lagging"))])
 }
 
@@ -1115,7 +1474,10 @@ fn lagging_frame() -> Json {
 /// typed frame (so clients can back off) rather than a generic reject.
 /// The op's trace id is echoed on every reply and stamps the terminal
 /// `ack` span (overload/shed rejects are stamped by the pipeline).
-fn result_frame(result: Result<crate::backend::SubmitReport, SubmitError>, trace: TraceId) -> Json {
+pub(crate) fn result_frame(
+    result: Result<crate::backend::SubmitReport, SubmitError>,
+    trace: TraceId,
+) -> Json {
     match result {
         Ok(report) => {
             if !trace.is_none() {
@@ -1140,29 +1502,31 @@ fn result_frame(result: Result<crate::backend::SubmitReport, SubmitError>, trace
 }
 
 /// Delivers every session's pending broadcasts over its connection.
-fn flush_outboxes(
+/// Collection-scoped: a pipeline's after-batch hook flushes only its own
+/// collection's registry.
+pub(crate) fn flush_outboxes(
     backend: &Arc<Mutex<Backend>>,
     registry: &ConnRegistry,
     overload: &OverloadOptions,
 ) {
-    let seats: Vec<(WorkerId, Arc<Seat>)> = registry
+    let links: Vec<(WorkerId, Downlink)> = registry
         .lock()
         .iter()
-        .map(|(w, s)| (*w, Arc::clone(s)))
+        .map(|(w, l)| (*w, l.clone()))
         .collect();
-    for (worker, seat) in seats {
-        flush_worker_outbox(backend, &seat, worker, overload);
+    for (worker, link) in links {
+        flush_worker_outbox(backend, &link, worker, overload);
     }
 }
 
-/// Delivers one session's pending broadcasts into its seat's bounded
+/// Delivers one session's pending broadcasts into its link's bounded
 /// write buffer: a lone message as a legacy `msg` frame, several as
 /// `batch` frames (chunked so a huge backlog cannot overflow the
 /// transport's frame-size cap). Never blocks — a full buffer downgrades
-/// the seat to lagging instead (see [`Seat::enqueue`]).
-fn flush_worker_outbox(
+/// the link to lagging instead (see [`Seat::enqueue`]).
+pub(crate) fn flush_worker_outbox(
     backend: &Arc<Mutex<Backend>>,
-    seat: &Seat,
+    link: &Downlink,
     worker: WorkerId,
     overload: &OverloadOptions,
 ) {
@@ -1201,14 +1565,14 @@ fn flush_worker_outbox(
     };
     if pending.len() == 1 {
         let (seq, msg, trace) = &pending[0];
-        seat.enqueue(
+        link.enqueue(
             broadcast_frame(*seq, msg, *trace).encode().into_bytes(),
             overload,
         );
         return;
     }
     for chunk in pending.chunks(BATCH_FRAME_CHUNK) {
-        seat.enqueue(batch_broadcast_frame(chunk).encode().into_bytes(), overload);
+        link.enqueue(batch_broadcast_frame(chunk).encode().into_bytes(), overload);
         batch_broadcast_frames().inc();
     }
 }
@@ -1280,6 +1644,12 @@ pub struct RemoteWorker {
     conn: Box<dyn FrameConn>,
     dialer: Dialer,
     policy: Option<ReconnectPolicy>,
+    /// The collection this session attached to. Carried on every `resume`
+    /// so recovery after an eviction or redial re-attaches to the SAME
+    /// collection — worker ids and epochs are per-collection, and a bare
+    /// resume would land on the server's default collection and be
+    /// rejected (or worse, take over an unrelated worker's session).
+    collection: Option<String>,
     client: crate::worker_client::WorkerClient,
     /// Exactly which history seqs this replica has applied.
     applied: AppliedSeqs,
@@ -1399,7 +1769,15 @@ impl RemoteWorker {
     pub fn connect(addr: SocketAddr) -> Result<RemoteWorker, RemoteError> {
         let dialer: Dialer =
             Box::new(move |_| TcpConn::connect(addr).map(|c| Box::new(c) as Box<dyn FrameConn>));
-        RemoteWorker::establish(dialer, None)
+        RemoteWorker::establish(dialer, None, None)
+    }
+
+    /// Like [`connect`](Self::connect), but attaches to a named collection
+    /// on a multi-collection service.
+    pub fn connect_to(addr: SocketAddr, collection: &str) -> Result<RemoteWorker, RemoteError> {
+        let dialer: Dialer =
+            Box::new(move |_| TcpConn::connect(addr).map(|c| Box::new(c) as Box<dyn FrameConn>));
+        RemoteWorker::establish(dialer, None, Some(collection.to_string()))
     }
 
     /// Connects through `dialer` and recovers from connection failures per
@@ -1409,12 +1787,23 @@ impl RemoteWorker {
         dialer: Dialer,
         policy: ReconnectPolicy,
     ) -> Result<RemoteWorker, RemoteError> {
-        RemoteWorker::establish(dialer, Some(policy))
+        RemoteWorker::establish(dialer, Some(policy), None)
+    }
+
+    /// [`connect_with`](Self::connect_with) targeting a named collection;
+    /// every resume after a failure re-attaches to the same collection.
+    pub fn connect_with_to(
+        dialer: Dialer,
+        policy: ReconnectPolicy,
+        collection: &str,
+    ) -> Result<RemoteWorker, RemoteError> {
+        RemoteWorker::establish(dialer, Some(policy), Some(collection.to_string()))
     }
 
     fn establish(
         mut dialer: Dialer,
         policy: Option<ReconnectPolicy>,
+        collection: Option<String>,
     ) -> Result<RemoteWorker, RemoteError> {
         let attempts = policy.as_ref().map_or(1, |p| p.max_attempts.max(1));
         let mut last_err = RemoteError::Conn(ConnError::Disconnected);
@@ -1426,7 +1815,7 @@ impl RemoteWorker {
                     continue;
                 }
             };
-            match RemoteWorker::hello(&*conn, policy.as_ref()) {
+            match RemoteWorker::hello(&*conn, policy.as_ref(), collection.as_deref()) {
                 Ok((client, applied)) => {
                     let jitter = policy.as_ref().map_or(0, |p| p.jitter_seed);
                     let trace_seed = splitmix64(jitter ^ (client.worker().0 as u64));
@@ -1435,6 +1824,7 @@ impl RemoteWorker {
                         conn,
                         dialer,
                         policy,
+                        collection,
                         client,
                         applied,
                         server_history_len,
@@ -1456,13 +1846,14 @@ impl RemoteWorker {
     fn hello(
         conn: &dyn FrameConn,
         policy: Option<&ReconnectPolicy>,
+        collection: Option<&str>,
     ) -> Result<(crate::worker_client::WorkerClient, AppliedSeqs), RemoteError> {
-        conn.send(
-            Json::obj([("type", Json::str("hello"))])
-                .encode()
-                .as_bytes(),
-        )
-        .map_err(RemoteError::Conn)?;
+        let mut fields = vec![("type", Json::str("hello"))];
+        if let Some(c) = collection {
+            fields.push(("collection", Json::str(c)));
+        }
+        conn.send(Json::obj(fields).encode().as_bytes())
+            .map_err(RemoteError::Conn)?;
         let frame = match policy {
             Some(p) => conn.recv_timeout(p.ack_timeout),
             None => conn.recv(),
@@ -1908,7 +2299,10 @@ impl RemoteWorker {
                 Ok(c) => c,
                 Err(_) => continue,
             };
-            let req = Json::obj([
+            // The resume carries the collection id: worker ids and epochs
+            // are per-collection, so re-attaching through the default
+            // collection would be rejected (or hijack an unrelated id).
+            let mut fields = vec![
                 ("type", Json::str("resume")),
                 ("worker", Json::num(self.client.worker().0 as f64)),
                 ("from", Json::num(self.contig() as f64)),
@@ -1916,7 +2310,11 @@ impl RemoteWorker {
                     "have",
                     Json::Arr(self.applied.extras().map(|s| Json::num(s as f64)).collect()),
                 ),
-            ]);
+            ];
+            if let Some(c) = &self.collection {
+                fields.push(("collection", Json::str(c)));
+            }
+            let req = Json::obj(fields);
             if conn.send(req.encode().as_bytes()).is_err() {
                 continue;
             }

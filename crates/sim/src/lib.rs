@@ -24,5 +24,5 @@ pub mod worker;
 pub use dataset::{cities_universe, movies_universe, soccer_schema, soccer_universe, GroundTruth};
 pub use des::{run, RunReport, SimConfig};
 pub use experiment::{paper_setup, paper_worker_profiles, uniform_setup};
-pub use openloop::{Arrival, Schedule};
+pub use openloop::{conn_scale, Arrival, ConnScaleSchedule, Schedule, SessionPlan};
 pub use worker::{PlannedAction, SimWorker, WorkerProfile};

@@ -171,6 +171,106 @@ pub fn thundering_herd(
     schedule
 }
 
+/// One simulated worker session in a connection-scale scenario: when it
+/// connects, which collection it attaches to, and when its fills go out.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionPlan {
+    /// Index of the worker in `0..workers` (unique per session).
+    pub worker: usize,
+    /// Index of the collection this session attaches to, in
+    /// `0..collections`.
+    pub collection: usize,
+    /// Connection offset from harness start (connections ramp in, so the
+    /// accept path sees a steady stream rather than one instantaneous
+    /// thundering herd).
+    pub connect_at_ms: u64,
+    /// Offsets of this session's fills, relative to harness start (all
+    /// `>= connect_at_ms`), sorted.
+    pub fill_at_ms: Vec<u64>,
+}
+
+/// A connection-scale scenario: many concurrent sessions spread across
+/// many collections, each submitting a small number of fills. Unlike the
+/// overload [`Schedule`]s, the load here is per-connection light — the
+/// stress is the *number of live sockets and collections*, not the op
+/// rate, which is what the sharded reactor exists to absorb.
+#[derive(Debug, Clone)]
+pub struct ConnScaleSchedule {
+    pub name: &'static str,
+    pub seed: u64,
+    /// Number of collections multiplexed on the one server port.
+    pub collections: usize,
+    /// Total concurrent worker sessions (across all collections).
+    pub workers: usize,
+    /// One plan per worker, sorted by `connect_at_ms`.
+    pub sessions: Vec<SessionPlan>,
+}
+
+/// Generates a connection-scale scenario: `workers` sessions assigned
+/// round-robin to `collections` (so every collection gets within-one-of
+/// equal membership), connecting uniformly over `connect_window_ms`, each
+/// submitting `fills_per_worker` fills uniformly over the remainder of
+/// `duration_ms`.
+pub fn conn_scale(
+    seed: u64,
+    collections: usize,
+    workers: usize,
+    fills_per_worker: usize,
+    connect_window_ms: u64,
+    duration_ms: u64,
+) -> ConnScaleSchedule {
+    let collections = collections.max(1);
+    let mut rng = Prng::new(seed ^ 0xC0_11EC_7104);
+    let mut sessions = Vec::with_capacity(workers);
+    for worker in 0..workers {
+        let connect_at_ms = rng.below(connect_window_ms.max(1));
+        let mut fill_at_ms: Vec<u64> = (0..fills_per_worker)
+            .map(|_| {
+                let span = duration_ms.saturating_sub(connect_at_ms).max(1);
+                connect_at_ms + rng.below(span)
+            })
+            .collect();
+        fill_at_ms.sort_unstable();
+        sessions.push(SessionPlan {
+            worker,
+            collection: worker % collections,
+            connect_at_ms,
+            fill_at_ms,
+        });
+    }
+    sessions.sort_by_key(|s| s.connect_at_ms);
+    ConnScaleSchedule {
+        name: "conn-scale",
+        seed,
+        collections,
+        workers,
+        sessions,
+    }
+}
+
+impl ConnScaleSchedule {
+    /// Total fills across all sessions.
+    pub fn total_fills(&self) -> usize {
+        self.sessions.iter().map(|s| s.fill_at_ms.len()).sum()
+    }
+
+    /// The last scheduled event (connect or fill).
+    pub fn horizon_ms(&self) -> u64 {
+        self.sessions
+            .iter()
+            .map(|s| s.fill_at_ms.last().copied().unwrap_or(s.connect_at_ms))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Sessions attached to one collection, in connect order.
+    pub fn for_collection(&self, collection: usize) -> impl Iterator<Item = &SessionPlan> {
+        self.sessions
+            .iter()
+            .filter(move |s| s.collection == collection)
+    }
+}
+
 impl Schedule {
     /// Total scheduled submissions.
     pub fn total_ops(&self) -> usize {
@@ -224,6 +324,33 @@ mod tests {
             back > front + front / 2,
             "ramp must lean late: front={front} back={back}"
         );
+    }
+
+    #[test]
+    fn conn_scale_is_deterministic_and_balanced() {
+        let a = conn_scale(9, 16, 1000, 3, 200, 2000);
+        let b = conn_scale(9, 16, 1000, 3, 200, 2000);
+        assert_eq!(a.sessions, b.sessions);
+        assert_eq!(a.workers, 1000);
+        assert_eq!(a.total_fills(), 3000);
+        assert!(a.horizon_ms() < 2000);
+        // Round-robin assignment: every collection within one of equal.
+        for c in 0..16 {
+            let n = a.for_collection(c).count();
+            assert!((62..=63).contains(&n), "collection {c} got {n} sessions");
+        }
+        // Fills never precede their session's connect.
+        for s in &a.sessions {
+            assert!(s.fill_at_ms.iter().all(|t| *t >= s.connect_at_ms));
+            assert!(s.fill_at_ms.windows(2).all(|w| w[0] <= w[1]));
+        }
+        // Connections ramp in rather than landing at once.
+        assert!(a
+            .sessions
+            .windows(2)
+            .all(|w| w[0].connect_at_ms <= w[1].connect_at_ms));
+        let c = conn_scale(10, 16, 1000, 3, 200, 2000);
+        assert_ne!(a.sessions, c.sessions, "different seed, different plan");
     }
 
     #[test]

@@ -25,6 +25,13 @@ CROWDFILL_STRESS_SEEDS=101,9091 \
 CROWDFILL_FAULT_SEEDS=11,23,47,101 \
   cargo test -q --release -p crowdfill-server --test overload_props
 
+# Connection-scale gate (DESIGN.md §13): 1k concurrent wire sessions over
+# 16 collections against the sharded reactor, pinned seeds — asserts zero
+# acked-op loss against the durable history, bounded per-collection
+# fairness spread, and O(shard pool) service threads.
+CROWDFILL_CONNSCALE_SEEDS=1009,2003 \
+  cargo test -q --release -p crowdfill-bench --test connscale_smoke
+
 # Trace gate: a seeded end-to-end scenario with the flight recorder on
 # for every op — asserts the wire dump parses and every acked submission
 # carries a complete client → server → ack span tree (DESIGN.md §10).
