@@ -530,6 +530,53 @@ fn spawn_connscale_server(
     (child, addr)
 }
 
+/// The recovery suite (DESIGN.md §14): restart cost at a 100× op-count
+/// spread, with and without compaction. The workload holds live state
+/// constant (vote/undo cycles), so journal-replay recovery grows ~100×
+/// while checkpoint + suffix recovery must stay flat — asserted at 2×, so
+/// a regression fails the report run (and the CI gate) outright.
+///
+/// `median_ns_per_op` carries the *total* median recovery wall time
+/// (ops=1): flatness across scales is the signal, not per-op cost.
+fn recovery_suite(quick: bool) -> Vec<Entry> {
+    use crowdfill_bench::recovery::{assert_flat, run_recovery};
+    let (small_ops, reps) = if quick { (300, 5) } else { (500, 9) };
+    let large_ops = small_ops * 100;
+    // Compact once the journal tops 16 KiB: both scales cross it, so both
+    // recover from a snapshot plus a bounded (constant-size) suffix.
+    let threshold = Some(16 << 10);
+    eprintln!("recovery workload: vote cycles over {small_ops} and {large_ops} ops, {reps} reps");
+    let mut entries = Vec::new();
+    let mut push = |r: &crowdfill_bench::recovery::RecoveryReport| {
+        eprintln!(
+            "{:<40} {:>12} ns/recovery  wal {:>9} B  base seq {:>7}",
+            r.name, r.median_recovery_ns, r.wal_bytes, r.history_base
+        );
+        entries.push(Entry {
+            name: r.name.clone(),
+            median_ns_per_op: r.median_recovery_ns,
+            ops_per_sec: 1e9 / r.median_recovery_ns.max(1) as f64,
+            ops: 1,
+            reps: r.reps,
+        });
+    };
+    let journal_small = run_recovery("journal-small", small_ops, None, reps);
+    let journal_large = run_recovery("journal-large", large_ops, None, reps);
+    let compact_small = run_recovery("compact-small", small_ops, threshold, reps);
+    let compact_large = run_recovery("compact-large", large_ops, threshold, reps);
+    push(&journal_small);
+    push(&journal_large);
+    push(&compact_small);
+    push(&compact_large);
+    // The §14 acceptance bar: flat within 2× at 100× ops.
+    assert_flat(&compact_small, &compact_large, 2.0);
+    assert!(
+        compact_large.median_recovery_ns < journal_large.median_recovery_ns,
+        "compaction did not beat full replay at {large_ops} ops"
+    );
+    entries
+}
+
 fn write_overload_report(path: &Path, quick: bool, reports: &[ScenarioReport]) {
     if let Some(dir) = path.parent() {
         std::fs::create_dir_all(dir).ok();
@@ -569,7 +616,7 @@ fn main() {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
                     "usage: bench-report [--quick] [--out-dir DIR] \
-                     [--suite sync|matching|trace_overhead|health_overhead|overload|connscale]"
+                     [--suite sync|matching|trace_overhead|health_overhead|overload|connscale|recovery]"
                 );
                 std::process::exit(2);
             }
@@ -625,6 +672,16 @@ fn main() {
             "connscale",
             quick,
             &connscale,
+        );
+    }
+
+    if wants("recovery") {
+        let recovery = recovery_suite(quick);
+        write_report(
+            &out_dir.join("BENCH_recovery.json"),
+            "recovery",
+            quick,
+            &recovery,
         );
     }
 

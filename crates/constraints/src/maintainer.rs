@@ -95,9 +95,100 @@ impl PriMaintainer {
         m
     }
 
+    /// Rebuilds the CC from checkpointed state (DESIGN.md §14): a restored
+    /// replica plus the live/dropped template partition as of the
+    /// checkpoint. The matching, probable set, and final-row count are all
+    /// *derived* state, so they are recomputed rather than stored; crucially
+    /// this emits **no messages** — recovery must reproduce history, not
+    /// extend it. Recovered history always ends on a submit boundary, where
+    /// maintenance had just run, so the recomputed maximum matching covers
+    /// the live template; if it somehow does not, the next incoming message
+    /// triggers ordinary maintenance and journals its repairs with that op.
+    pub fn restore(
+        scoring: ScoringRef,
+        replica: Replica,
+        template: Vec<(TemplateIdx, TemplateRow)>,
+        dropped: Vec<(TemplateIdx, TemplateRow)>,
+    ) -> PriMaintainer {
+        let mut m = PriMaintainer {
+            replica,
+            scoring,
+            template,
+            dropped,
+            matcher: ShardedMatcher::new(),
+            probable: BTreeSet::new(),
+            final_rows: 0,
+            outbox: Vec::new(),
+        };
+        let lefts: Vec<TemplateIdx> = m.template.iter().map(|(idx, _)| *idx).collect();
+        for idx in lefts {
+            m.matcher.add_left(idx);
+        }
+        m.sync_probable_set();
+        m.matcher.repair();
+        if !m.invariant_holds() {
+            crowdfill_obs::obs_warn!(
+                "constraints",
+                "PRI not covered after restore; deferring repair to next message";
+                matched => m.matcher.matching_size() as u64,
+                template => m.template.len() as u64,
+            );
+        }
+        m
+    }
+
     /// CC's replica (read access).
     pub fn replica(&self) -> &Replica {
         &self.replica
+    }
+
+    /// Absorbs one recovered message into CC's replica WITHOUT running
+    /// maintenance. Journal replay must reproduce history, not extend it:
+    /// the repairs CC generated for this message are themselves later
+    /// entries in the journal, so re-running maintenance here would emit
+    /// them twice. Call [`rederive`](Self::rederive) once after the whole
+    /// replay to rebuild the matching over the final replica state.
+    pub fn replay_message(&mut self, msg: &Message) {
+        self.replica.process(msg);
+    }
+
+    /// Replays a journaled template-drop event: moves original template row
+    /// `idx` from the live template to the dropped list. Drops are decided
+    /// by the *pre-crash* maintainer (they depend on its matching, which is
+    /// not checkpointed), so recovery takes them from the journal instead of
+    /// re-deriving them. No-op if `idx` is not live (e.g. the snapshot
+    /// already reflects the drop and the journal frame overlaps it).
+    pub fn replay_template_drop(&mut self, idx: TemplateIdx) {
+        let Some(pos) = self.template.iter().position(|(i, _)| *i == idx) else {
+            return;
+        };
+        let dropped = self.template.remove(pos);
+        self.matcher.remove_left(&idx);
+        self.dropped.push(dropped);
+        self.matcher.repair();
+    }
+
+    /// Raises CC's row-id counter to at least `n` (recovery bookkeeping:
+    /// replayed CC messages go through [`replay_message`](Self::replay_message),
+    /// which — unlike the original `apply_local` — does not advance it).
+    pub fn resume_seq_at_least(&mut self, n: u64) {
+        self.replica.resume_seq_at_least(n);
+    }
+
+    /// Recomputes the derived state — probable set, matching, final-row
+    /// count — after a journal replay, emitting no messages (the same
+    /// deferred-repair contract as [`restore`](Self::restore)).
+    pub fn rederive(&mut self) {
+        self.sync_probable_set();
+        self.matcher.repair();
+        if !self.invariant_holds() {
+            crowdfill_obs::obs_warn!(
+                "constraints",
+                "PRI not covered after replay; deferring repair to next message";
+                matched => self.matcher.matching_size() as u64,
+                template => self.template.len() as u64,
+            );
+        }
     }
 
     /// The live template (original indexes preserved).

@@ -1,0 +1,495 @@
+//! An injectable I/O layer under the [`crate::wal::Wal`] and the snapshot
+//! writer (DESIGN.md §14).
+//!
+//! Durability code is exactly the code that is hardest to test: its
+//! interesting behavior only shows up when a write tears, an fsync fails,
+//! or the process dies between two syscalls. [`Disk`] narrows every
+//! filesystem touch the persistence layer makes to one trait so a test can
+//! swap the real filesystem for [`FaultyDisk`], which injects seeded short
+//! writes, `EIO`, `ENOSPC`, and — the backbone of the crash-point matrix —
+//! a hard `process::abort()` at an *exact* syscall boundary, chosen by
+//! index, with a seeded fraction of the aborted write left on disk.
+//!
+//! Faults are deterministic: the same [`FaultPlan`] against the same
+//! operation sequence injects at the same boundaries with the same torn
+//! prefixes, so a failing boundary index is a reproducible test case.
+
+use std::fmt::Debug;
+use std::fs::{File, OpenOptions};
+use std::io::{self, BufReader, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// One open file handle under a [`Disk`]. Writes are unbuffered at this
+/// level — callers that batch (the WAL's `BufWriter`) sit above, so every
+/// `write` that reaches a `DiskFile` is one injectable syscall boundary.
+pub trait DiskFile: Write + Send + Debug {
+    /// `fdatasync`: flush data (not necessarily metadata) to stable storage.
+    fn sync_data(&mut self) -> io::Result<()>;
+    /// `fsync`: flush data and metadata to stable storage.
+    fn sync_all(&mut self) -> io::Result<()>;
+    /// Truncates (or extends) the file to `len` bytes.
+    fn set_len(&mut self, len: u64) -> io::Result<()>;
+    /// Seeks to the end, returning the offset (the file's length).
+    fn seek_end(&mut self) -> io::Result<u64>;
+}
+
+/// The filesystem surface the persistence layer is allowed to touch.
+pub trait Disk: Send + Sync + Debug {
+    /// Opens `path` for appending, creating it if absent. The write cursor
+    /// position is unspecified; callers `set_len`/`seek_end` first.
+    fn open_append(&self, path: &Path) -> io::Result<Box<dyn DiskFile>>;
+    /// Creates (truncating) `path` for writing.
+    fn create(&self, path: &Path) -> io::Result<Box<dyn DiskFile>>;
+    /// Opens `path` for sequential reading.
+    fn open_read(&self, path: &Path) -> io::Result<Box<dyn Read>>;
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+    fn remove_file(&self, path: &Path) -> io::Result<()>;
+    fn exists(&self, path: &Path) -> bool;
+    fn create_dir_all(&self, path: &Path) -> io::Result<()>;
+    /// Entries of `path`, unsorted (callers sort).
+    fn list_dir(&self, path: &Path) -> io::Result<Vec<PathBuf>>;
+    /// `fsync` on the directory itself, making renames within it durable.
+    fn sync_dir(&self, path: &Path) -> io::Result<()>;
+}
+
+// ---------------------------------------------------------------------------
+// Real filesystem
+// ---------------------------------------------------------------------------
+
+/// The production [`Disk`]: a thin pass-through to `std::fs`.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RealDisk;
+
+#[derive(Debug)]
+struct RealFile(File);
+
+impl Write for RealFile {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.0.write(buf)
+    }
+    fn flush(&mut self) -> io::Result<()> {
+        self.0.flush()
+    }
+}
+
+impl DiskFile for RealFile {
+    fn sync_data(&mut self) -> io::Result<()> {
+        self.0.sync_data()
+    }
+    fn sync_all(&mut self) -> io::Result<()> {
+        self.0.sync_all()
+    }
+    fn set_len(&mut self, len: u64) -> io::Result<()> {
+        self.0.set_len(len)
+    }
+    fn seek_end(&mut self) -> io::Result<u64> {
+        use std::io::Seek;
+        self.0.seek(io::SeekFrom::End(0))
+    }
+}
+
+impl Disk for RealDisk {
+    fn open_append(&self, path: &Path) -> io::Result<Box<dyn DiskFile>> {
+        let file = OpenOptions::new()
+            .create(true)
+            .truncate(false)
+            .read(true)
+            .write(true)
+            .open(path)?;
+        Ok(Box::new(RealFile(file)))
+    }
+    fn create(&self, path: &Path) -> io::Result<Box<dyn DiskFile>> {
+        Ok(Box::new(RealFile(File::create(path)?)))
+    }
+    fn open_read(&self, path: &Path) -> io::Result<Box<dyn Read>> {
+        Ok(Box::new(BufReader::new(File::open(path)?)))
+    }
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        std::fs::rename(from, to)
+    }
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        std::fs::remove_file(path)
+    }
+    fn exists(&self, path: &Path) -> bool {
+        path.exists()
+    }
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        std::fs::create_dir_all(path)
+    }
+    fn list_dir(&self, path: &Path) -> io::Result<Vec<PathBuf>> {
+        std::fs::read_dir(path)?
+            .map(|e| e.map(|e| e.path()))
+            .collect()
+    }
+    fn sync_dir(&self, path: &Path) -> io::Result<()> {
+        // Directory fsync makes the rename itself durable; on filesystems
+        // (or platforms) that refuse to open directories, degrade quietly —
+        // the rename is still atomic, just not yet journaled.
+        match File::open(path) {
+            Ok(d) => d.sync_all(),
+            Err(_) => Ok(()),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection
+// ---------------------------------------------------------------------------
+
+/// What a [`FaultyDisk`] injects, and where. Boundaries are counted from 1
+/// across *all* files opened through the disk, in execution order: every
+/// `write` that reaches a file, every `sync_data`/`sync_all`/`set_len`,
+/// and every `rename`/`remove_file`/`sync_dir` on the disk is one boundary.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FaultPlan {
+    /// Seed for the torn-prefix fraction of a crashed write.
+    pub seed: u64,
+    /// Abort the process at this boundary: the op does not complete — a
+    /// crashing *write* leaves a seeded prefix of its buffer on disk (a
+    /// torn write), any other op leaves no effect — and `process::abort()`
+    /// fires (no unwinding, no `Drop`, no `BufWriter` flush).
+    pub crash_at: Option<u64>,
+    /// Fail this boundary with `EIO` if it is a write.
+    pub fail_write_at: Option<u64>,
+    /// Fail this boundary with `EIO` if it is a sync (`sync_data`,
+    /// `sync_all`, or `sync_dir`).
+    pub fail_sync_at: Option<u64>,
+    /// After this many payload bytes have been written through the disk,
+    /// every further write fails with `ENOSPC` (the straw that breaks it
+    /// lands partially, like a real full disk).
+    pub enospc_after_bytes: Option<u64>,
+}
+
+/// Shared mutable state behind a [`FaultyDisk`] and all its files.
+#[derive(Debug)]
+pub struct FaultState {
+    plan: FaultPlan,
+    ops: AtomicU64,
+    bytes_written: AtomicU64,
+    injected: AtomicU64,
+}
+
+impl FaultState {
+    /// Boundaries crossed so far (reading this does not advance it).
+    pub fn ops(&self) -> u64 {
+        self.ops.load(Ordering::SeqCst)
+    }
+    /// Faults injected so far (EIO/ENOSPC; a crash never returns).
+    pub fn injected(&self) -> u64 {
+        self.injected.load(Ordering::SeqCst)
+    }
+
+    fn next_boundary(&self) -> u64 {
+        self.ops.fetch_add(1, Ordering::SeqCst) + 1
+    }
+
+    /// splitmix64: deterministic torn-prefix length for the crashing write.
+    fn torn_prefix(&self, boundary: u64, len: usize) -> usize {
+        let mut z = self
+            .plan
+            .seed
+            .wrapping_add(boundary)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        // Strictly shorter than the buffer — a torn write by definition.
+        (z as usize) % len.max(1)
+    }
+}
+
+fn eio(what: &str) -> io::Error {
+    io::Error::other(format!("injected EIO on {what}"))
+}
+
+fn enospc() -> io::Error {
+    io::Error::new(io::ErrorKind::StorageFull, "injected ENOSPC")
+}
+
+/// A [`Disk`] that wraps [`RealDisk`] and injects the plan's faults at
+/// exact operation boundaries. Cloning shares the fault state, so one
+/// plan spans every file the test opens.
+#[derive(Debug, Clone)]
+pub struct FaultyDisk {
+    inner: RealDisk,
+    state: Arc<FaultState>,
+}
+
+impl FaultyDisk {
+    pub fn new(plan: FaultPlan) -> FaultyDisk {
+        FaultyDisk {
+            inner: RealDisk,
+            state: Arc::new(FaultState {
+                plan,
+                ops: AtomicU64::new(0),
+                bytes_written: AtomicU64::new(0),
+                injected: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// The shared fault state (boundary counter, injected-fault count).
+    pub fn state(&self) -> Arc<FaultState> {
+        Arc::clone(&self.state)
+    }
+
+    /// One non-write boundary: crash if scheduled (before the op takes
+    /// effect), fail with EIO if scheduled and `syncish` matches.
+    fn boundary(&self, syncish: bool, what: &str) -> io::Result<()> {
+        let n = self.state.next_boundary();
+        if self.state.plan.crash_at == Some(n) {
+            std::process::abort();
+        }
+        if syncish && self.state.plan.fail_sync_at == Some(n) {
+            self.state.injected.fetch_add(1, Ordering::SeqCst);
+            return Err(eio(what));
+        }
+        Ok(())
+    }
+}
+
+#[derive(Debug)]
+struct FaultyFile {
+    inner: Box<dyn DiskFile>,
+    state: Arc<FaultState>,
+}
+
+impl Write for FaultyFile {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let n = self.state.next_boundary();
+        let plan = &self.state.plan;
+        if plan.crash_at == Some(n) {
+            // Torn write: a seeded prefix reaches the OS, then the process
+            // dies. The prefix goes straight through (the inner file is
+            // unbuffered), so the surviving bytes are exactly the prefix.
+            let keep = self.state.torn_prefix(n, buf.len());
+            if keep > 0 {
+                let _ = self.inner.write_all(&buf[..keep]);
+            }
+            std::process::abort();
+        }
+        if plan.fail_write_at == Some(n) {
+            self.state.injected.fetch_add(1, Ordering::SeqCst);
+            return Err(eio("write"));
+        }
+        if let Some(budget) = plan.enospc_after_bytes {
+            let before = self.state.bytes_written.load(Ordering::SeqCst);
+            if before >= budget {
+                self.state.injected.fetch_add(1, Ordering::SeqCst);
+                return Err(enospc());
+            }
+            let room = (budget - before) as usize;
+            if buf.len() > room {
+                // The last write a full disk accepts is partial.
+                let written = self.inner.write(&buf[..room])?;
+                self.state
+                    .bytes_written
+                    .fetch_add(written as u64, Ordering::SeqCst);
+                self.state.injected.fetch_add(1, Ordering::SeqCst);
+                return Err(enospc());
+            }
+        }
+        let written = self.inner.write(buf)?;
+        self.state
+            .bytes_written
+            .fetch_add(written as u64, Ordering::SeqCst);
+        Ok(written)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        // Not a syscall on a raw fd; no boundary.
+        self.inner.flush()
+    }
+}
+
+impl FaultyFile {
+    fn sync_boundary(&mut self, what: &str) -> io::Result<()> {
+        let n = self.state.next_boundary();
+        if self.state.plan.crash_at == Some(n) {
+            std::process::abort();
+        }
+        if self.state.plan.fail_sync_at == Some(n) {
+            self.state.injected.fetch_add(1, Ordering::SeqCst);
+            return Err(eio(what));
+        }
+        Ok(())
+    }
+}
+
+impl DiskFile for FaultyFile {
+    fn sync_data(&mut self) -> io::Result<()> {
+        self.sync_boundary("sync_data")?;
+        self.inner.sync_data()
+    }
+    fn sync_all(&mut self) -> io::Result<()> {
+        self.sync_boundary("sync_all")?;
+        self.inner.sync_all()
+    }
+    fn set_len(&mut self, len: u64) -> io::Result<()> {
+        let n = self.state.next_boundary();
+        if self.state.plan.crash_at == Some(n) {
+            std::process::abort();
+        }
+        self.inner.set_len(len)
+    }
+    fn seek_end(&mut self) -> io::Result<u64> {
+        // Position bookkeeping, not durability; no boundary.
+        self.inner.seek_end()
+    }
+}
+
+impl Disk for FaultyDisk {
+    fn open_append(&self, path: &Path) -> io::Result<Box<dyn DiskFile>> {
+        let inner = self.inner.open_append(path)?;
+        Ok(Box::new(FaultyFile {
+            inner,
+            state: Arc::clone(&self.state),
+        }))
+    }
+    fn create(&self, path: &Path) -> io::Result<Box<dyn DiskFile>> {
+        let inner = self.inner.create(path)?;
+        Ok(Box::new(FaultyFile {
+            inner,
+            state: Arc::clone(&self.state),
+        }))
+    }
+    fn open_read(&self, path: &Path) -> io::Result<Box<dyn Read>> {
+        // Reads are not fault-injected: recovery-path robustness is tested
+        // by corrupting bytes on disk, not by flaking the read syscalls.
+        self.inner.open_read(path)
+    }
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        self.boundary(false, "rename")?;
+        self.inner.rename(from, to)
+    }
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        self.boundary(false, "remove_file")?;
+        self.inner.remove_file(path)
+    }
+    fn exists(&self, path: &Path) -> bool {
+        self.inner.exists(path)
+    }
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        self.inner.create_dir_all(path)
+    }
+    fn list_dir(&self, path: &Path) -> io::Result<Vec<PathBuf>> {
+        self.inner.list_dir(path)
+    }
+    fn sync_dir(&self, path: &Path) -> io::Result<()> {
+        self.boundary(true, "sync_dir")?;
+        self.inner.sync_dir(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("crowdfill-disk-test-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    #[test]
+    fn real_disk_roundtrip() {
+        let path = tmp("real");
+        let disk = RealDisk;
+        {
+            let mut f = disk.create(&path).unwrap();
+            f.write_all(b"hello").unwrap();
+            f.flush().unwrap();
+            f.sync_all().unwrap();
+        }
+        let mut out = Vec::new();
+        disk.open_read(&path)
+            .unwrap()
+            .read_to_end(&mut out)
+            .unwrap();
+        assert_eq!(out, b"hello");
+        disk.remove_file(&path).unwrap();
+        assert!(!disk.exists(&path));
+    }
+
+    #[test]
+    fn eio_on_scheduled_write() {
+        let path = tmp("eio");
+        let disk = FaultyDisk::new(FaultPlan {
+            fail_write_at: Some(2),
+            ..FaultPlan::default()
+        });
+        let mut f = disk.create(&path).unwrap();
+        f.write_all(b"ok").unwrap(); // boundary 1
+        let err = f.write_all(b"doomed").unwrap_err(); // boundary 2
+        assert!(err.to_string().contains("injected EIO"), "{err}");
+        f.write_all(b"recovered").unwrap(); // boundary 3: one-shot fault
+        assert_eq!(disk.state().injected(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn eio_on_scheduled_sync() {
+        let path = tmp("eio-sync");
+        let disk = FaultyDisk::new(FaultPlan {
+            fail_sync_at: Some(2),
+            ..FaultPlan::default()
+        });
+        let mut f = disk.create(&path).unwrap();
+        f.write_all(b"data").unwrap(); // boundary 1
+        assert!(f.sync_data().is_err()); // boundary 2
+        f.sync_data().unwrap(); // boundary 3
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn enospc_partial_final_write() {
+        let path = tmp("enospc");
+        let disk = FaultyDisk::new(FaultPlan {
+            enospc_after_bytes: Some(6),
+            ..FaultPlan::default()
+        });
+        let mut f = disk.create(&path).unwrap();
+        f.write_all(b"1234").unwrap();
+        let err = f.write_all(b"5678").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::StorageFull);
+        drop(f);
+        // The straw landed partially: 4 + 2 = 6 bytes on disk.
+        assert_eq!(std::fs::read(&path).unwrap(), b"123456");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_prefix_is_deterministic_and_short() {
+        let disk = FaultyDisk::new(FaultPlan {
+            seed: 42,
+            ..FaultPlan::default()
+        });
+        let s = disk.state();
+        for len in [1usize, 2, 100, 4096] {
+            let a = s.torn_prefix(7, len);
+            let b = s.torn_prefix(7, len);
+            assert_eq!(a, b, "deterministic");
+            assert!(a < len, "strictly torn");
+        }
+        assert_ne!(s.torn_prefix(1, 4096), s.torn_prefix(2, 4096));
+    }
+
+    #[test]
+    fn boundaries_count_across_files() {
+        let a = tmp("multi-a");
+        let b = tmp("multi-b");
+        let disk = FaultyDisk::new(FaultPlan::default());
+        let mut fa = disk.create(&a).unwrap();
+        let mut fb = disk.create(&b).unwrap();
+        fa.write_all(b"x").unwrap();
+        fb.write_all(b"y").unwrap();
+        fa.sync_all().unwrap();
+        disk.rename(&b, &a).unwrap();
+        assert_eq!(disk.state().ops(), 4);
+        std::fs::remove_file(&a).ok();
+        std::fs::remove_file(&b).ok();
+    }
+}

@@ -8,16 +8,24 @@
 //!   serializer (also the wire format of `crowdfill-net` frames);
 //! * [`collection`] — id-keyed document collections with declarative
 //!   filters and unique/non-unique secondary indexes;
+//! * [`disk`] — the injectable I/O layer under the persistence code, with
+//!   a seeded fault-injecting implementation (DESIGN.md §14);
 //! * [`wal`] — a checksummed append-only log with torn-tail recovery and
 //!   compaction;
+//! * [`snapshot`] — versioned, CRC-framed checkpoint files written
+//!   crash-atomically, with corrupt-latest fallback;
 //! * [`store`] — the multi-collection store tying them together.
 
 pub mod collection;
+pub mod disk;
 pub mod json;
+pub mod snapshot;
 pub mod store;
 pub mod wal;
 
 pub use collection::{Collection, Filter, StoreError};
+pub use disk::{Disk, DiskFile, FaultPlan, FaultState, FaultyDisk, RealDisk};
 pub use json::{Json, JsonError, JsonRef};
+pub use snapshot::{Snapshot, SnapshotStore};
 pub use store::DocStore;
 pub use wal::{crc32, FsyncPolicy, Wal};

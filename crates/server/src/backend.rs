@@ -13,16 +13,19 @@
 //! limits total votes.
 
 use crate::config::TaskConfig;
+use crate::persist::{self, BackendState, JournalFrame, SessionState};
 use crate::wire;
 use crowdfill_constraints::PriMaintainer;
-use crowdfill_docstore::{Json, Wal};
-use crowdfill_model::{derive_final_table, ClientId, FinalTable, Message, OpError, RowValue};
+use crowdfill_docstore::{Json, SnapshotStore, Wal};
+use crowdfill_model::{
+    derive_final_table, ClientId, FinalTable, Message, OpError, RowId, RowValue, TemplateRow,
+};
 use crowdfill_obs::metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
 use crowdfill_obs::trace::{self as obstrace, ActiveSpan, SpanId, Stage, TraceId};
 use crowdfill_pay::{
     allocate, analyze, Contributions, Estimator, Millis, Payout, Trace, TraceEntry, WorkerId,
 };
-use crowdfill_sync::Replica;
+use crowdfill_sync::{Replica, VoteHistory};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::{Arc, OnceLock};
 
@@ -62,6 +65,26 @@ fn batch_wal_frames() -> &'static Counter {
 fn batch_wal_errors() -> &'static Counter {
     static C: OnceLock<Arc<Counter>> = OnceLock::new();
     C.get_or_init(|| crowdfill_obs::metrics::counter("crowdfill_server_batch_wal_errors"))
+}
+
+/// Gauge of bytes in the attached history journal (WAL), updated on every
+/// append and reset by compaction — the growth the checkpoint sweep bounds.
+fn wal_bytes_gauge() -> &'static Gauge {
+    static G: OnceLock<Arc<Gauge>> = OnceLock::new();
+    G.get_or_init(|| crowdfill_obs::metrics::gauge("crowdfill_wal_bytes"))
+}
+
+/// Counter of checkpoints written ([`Backend::checkpoint`]).
+fn checkpoints_counter() -> &'static Counter {
+    static C: OnceLock<Arc<Counter>> = OnceLock::new();
+    C.get_or_init(|| crowdfill_obs::metrics::counter("crowdfill_checkpoints"))
+}
+
+/// Counter of checkpoint-plus-WAL-truncation passes
+/// ([`Backend::compact_storage`]).
+fn compactions_counter() -> &'static Counter {
+    static C: OnceLock<Arc<Counter>> = OnceLock::new();
+    C.get_or_init(|| crowdfill_obs::metrics::counter("crowdfill_compactions"))
 }
 
 /// Gauge of messages sitting in per-session outboxes awaiting handoff to
@@ -217,8 +240,20 @@ pub struct Backend {
     master: Replica,
     cc: PriMaintainer,
     sessions: HashMap<WorkerId, Session>,
-    /// Every message ever broadcast, in server order (late joiners replay it).
+    /// The retained suffix of the broadcast history: absolute seq `base +
+    /// i` lives at `history[i]`. Before the first compaction
+    /// `history_base == 0` and this is the full history.
     history: Vec<Message>,
+    /// History seqs below this are only available as checkpointed *state*
+    /// (their messages were compacted away); resume/sync cursors below it
+    /// get a deterministic full resync built from
+    /// [`bootstrap_messages`](Self::bootstrap_messages).
+    history_base: u64,
+    /// Attribution aligned with `history`: `(worker, auto_upvote)` per
+    /// retained message, worker 0 meaning the Central Client. Journaled
+    /// with each frame so crash recovery can rebuild per-session vote
+    /// state and the action trace without re-running CC maintenance.
+    history_meta: Vec<(u32, bool)>,
     /// Row id → value, for every row that ever existed (fill-column lookup).
     row_values: HashMap<crowdfill_model::RowId, RowValue>,
     trace: Trace,
@@ -230,6 +265,17 @@ pub struct Backend {
     /// its whole history delta as **one** frame, so under
     /// `FsyncPolicy::EveryN(1)` a batch costs one fsync (group commit).
     wal: Option<Wal>,
+    /// Optional checkpoint store; with both a journal and this attached,
+    /// [`checkpoint`](Self::checkpoint) and
+    /// [`compact_storage`](Self::compact_storage) become available.
+    snapshots: Option<SnapshotStore>,
+    /// How many Central Client template drops have already been journaled.
+    /// `journal_from` compares this against the CC's dropped list to attach
+    /// fresh drop indexes (`tdrops`) to the frame that caused them.
+    noted_drops: usize,
+    /// Server clock at the last successful checkpoint (snapshot-age
+    /// telemetry; `None` until the first checkpoint this process).
+    last_checkpoint_at: Option<Millis>,
     /// Recent `[from, to)` history-seq ranges produced by traced ops, so
     /// the broadcast flusher can attribute each outgoing seq to the
     /// originating trace. Bounded; old ranges age out (their broadcasts
@@ -288,6 +334,7 @@ impl Backend {
         );
         let mut trace = Trace::new();
         let mut history = Vec::new();
+        let mut history_meta = Vec::new();
         let mut row_values = HashMap::new();
         for msg in cc.take_outbox() {
             match &msg {
@@ -302,12 +349,16 @@ impl Backend {
             master.process(&msg);
             trace.record_system(Millis(0), msg.clone());
             history.push(msg);
+            history_meta.push((0u32, false));
         }
+        let noted_drops = cc.dropped_template_rows().len();
         Backend {
             master,
             cc,
             sessions: HashMap::new(),
             history,
+            history_base: 0,
+            history_meta,
             row_values,
             trace,
             estimator,
@@ -315,6 +366,9 @@ impl Backend {
             clock: Millis(0),
             closed: false,
             wal: None,
+            snapshots: None,
+            noted_drops,
+            last_checkpoint_at: None,
             seq_traces: VecDeque::new(),
             config,
         }
@@ -391,8 +445,12 @@ impl Backend {
     }
 
     /// Registers a worker; returns its id, its client id (for row-id
-    /// generation), and the message history to replay into its local
-    /// replica (the "initial copy of the master table").
+    /// generation), and the messages to replay into its local replica (the
+    /// "initial copy of the master table"). Before the first compaction
+    /// that is the full history; afterwards it is a synthetic bootstrap
+    /// sequence ([`bootstrap_messages`](Self::bootstrap_messages)) that
+    /// reproduces the *current* master state directly — either way the
+    /// replica is caught up through [`history_len`](Self::history_len).
     pub fn connect(&mut self, at: Millis) -> (WorkerId, ClientId, Vec<Message>) {
         self.set_time(at);
         let worker = WorkerId(self.next_worker);
@@ -409,13 +467,28 @@ impl Backend {
                 connected: true,
                 epoch: 0,
                 ops: 0,
-                // The connect reply carries the full history, so the new
-                // replica is caught up to here.
-                confirmed_seq: self.history.len() as u64,
+                // The connect reply catches the new replica up to here.
+                confirmed_seq: self.history_len(),
                 ack_latency: Arc::new(Histogram::new()),
             },
         );
-        (worker, client, self.history.clone())
+        // Journal the session birth: recovery must know which worker ids
+        // exist (and their client ids) to re-attribute replayed messages,
+        // even for sessions born after the last checkpoint.
+        self.journal_record(Json::obj([(
+            "session",
+            Json::obj([
+                ("worker", Json::num(worker.0 as f64)),
+                ("client", Json::num(client.0 as f64)),
+                ("at", Json::num(self.clock.0 as f64)),
+            ]),
+        )]));
+        let replayable = if self.history_base == 0 {
+            self.history.clone()
+        } else {
+            self.bootstrap_messages()
+        };
+        (worker, client, replayable)
     }
 
     /// Marks a worker disconnected (its session state is retained so the
@@ -451,7 +524,7 @@ impl Backend {
     /// in between are silently lost.
     pub fn resume(&mut self, worker: WorkerId, at: Millis) -> Result<ResumeInfo, ResumeError> {
         self.set_time(at);
-        let history_len = self.history.len() as u64;
+        let history_len = self.history_len();
         let s = self
             .sessions
             .get_mut(&worker)
@@ -475,20 +548,32 @@ impl Backend {
         self.sessions.get(&worker).map(|s| s.epoch)
     }
 
-    /// Number of messages in the global broadcast history. The next message
-    /// accepted by the backend gets this as its sequence number.
+    /// Number of messages ever accepted into the global broadcast history
+    /// (compacted ones included). The next message accepted by the backend
+    /// gets this as its sequence number.
     pub fn history_len(&self) -> u64 {
-        self.history.len() as u64
+        self.history_base + self.history.len() as u64
+    }
+
+    /// The lowest history seq still retained as replayable messages.
+    /// Cursors below it cannot be served a suffix — the transport layer
+    /// answers them with a full resync instead (reset protocol).
+    pub fn history_base(&self) -> u64 {
+        self.history_base
     }
 
     /// The seq-tagged history suffix starting at `from_seq` (for resume
     /// replay; the caller filters out seqs the client reports as applied).
+    /// `from_seq` below [`history_base`](Self::history_base) clamps to the
+    /// base — callers that need the compacted prefix must detect that case
+    /// themselves and fall back to a full resync.
     pub fn history_suffix(&self, from_seq: u64) -> Vec<(u64, Message)> {
-        let from = (from_seq as usize).min(self.history.len());
-        self.history[from..]
+        let from = from_seq.max(self.history_base);
+        let start = ((from - self.history_base) as usize).min(self.history.len());
+        self.history[start..]
             .iter()
             .enumerate()
-            .map(|(i, m)| (from_seq + i as u64, m.clone()))
+            .map(|(i, m)| (self.history_base + (start + i) as u64, m.clone()))
             .collect()
     }
 
@@ -560,7 +645,7 @@ impl Backend {
         auto_upvote: bool,
         trace: TraceId,
     ) -> Result<SubmitReport, SubmitError> {
-        let from = self.history.len() as u64;
+        let from = self.history_len();
         let span = if trace.is_none() {
             None
         } else {
@@ -575,7 +660,7 @@ impl Backend {
         let report = self.submit_unjournaled(worker, msg, at, auto_upvote);
         drop(span);
         let report = report?;
-        let to = self.history.len() as u64;
+        let to = self.history_len();
         self.note_seq_trace(from, to, trace);
         self.journal_traced(from, &[trace]);
         Ok(report)
@@ -659,8 +744,9 @@ impl Backend {
 
         // Broadcast to all other connected workers. The submitter gets the
         // message's seq in its ack instead of an echo.
-        let own_seq = self.history.len() as u64;
+        let own_seq = self.history_len();
         self.history.push(msg.clone());
+        self.history_meta.push((worker.0, auto_upvote));
         let mut fanned_out = 0i64;
         for (w, s) in self.sessions.iter_mut() {
             if *w != worker && s.connected {
@@ -676,8 +762,9 @@ impl Backend {
             self.note_row(&cc_msg);
             self.master.process(&cc_msg);
             self.trace.record_system(self.clock, cc_msg.clone());
-            let seq = self.history.len() as u64;
+            let seq = self.history_len();
             self.history.push(cc_msg.clone());
+            self.history_meta.push((0u32, false));
             for s in self.sessions.values_mut() {
                 if s.connected {
                     s.outbox.push_back((seq, cc_msg.clone()));
@@ -723,7 +810,7 @@ impl Backend {
         at: Millis,
         trace: TraceId,
     ) -> Result<SubmitReport, SubmitError> {
-        let from = self.history.len() as u64;
+        let from = self.history_len();
         let span = if trace.is_none() {
             None
         } else {
@@ -738,7 +825,7 @@ impl Backend {
         let report = self.submit_modify_unjournaled(worker, bundle, at);
         drop(span);
         let report = report?;
-        let to = self.history.len() as u64;
+        let to = self.history_len();
         self.note_seq_trace(from, to, trace);
         self.journal_traced(from, &[trace]);
         Ok(report)
@@ -828,13 +915,13 @@ impl Backend {
     /// for the whole seq range.
     pub fn submit_batch(&mut self, jobs: Vec<BatchJob>, at: Millis) -> BatchOutcome {
         let timer = std::time::Instant::now();
-        let first_seq = self.history.len() as u64;
+        let first_seq = self.history_len();
         let n = jobs.len() as u64;
         let mut traced: Vec<TraceId> = Vec::new();
         let results = jobs
             .into_iter()
             .map(|job| {
-                let from = self.history.len() as u64;
+                let from = self.history_len();
                 let span = if job.trace.is_none() {
                     None
                 } else {
@@ -857,14 +944,14 @@ impl Backend {
                 drop(span);
                 if !job.trace.is_none() {
                     if result.is_ok() {
-                        self.note_seq_trace(from, self.history.len() as u64, job.trace);
+                        self.note_seq_trace(from, self.history_len(), job.trace);
                     }
                     traced.push(job.trace);
                 }
                 result
             })
             .collect();
-        let end_seq = self.history.len() as u64;
+        let end_seq = self.history_len();
         self.journal_traced(first_seq, &traced);
         batch_submits().inc();
         batch_ops().add(n);
@@ -883,11 +970,11 @@ impl Backend {
     /// is billed the same duration).
     fn journal_traced(&mut self, from: u64, traces: &[TraceId]) {
         let any_traced = traces.iter().any(|t| !t.is_none());
-        if !any_traced || self.wal.is_none() || from >= self.history.len() as u64 {
+        if !any_traced || self.wal.is_none() || from >= self.history_len() {
             self.journal_from(from);
             return;
         }
-        let msgs = self.history.len() as u64 - from;
+        let msgs = self.history_len() - from;
         let timer = std::time::Instant::now();
         self.journal_from(from);
         let dur_ns = timer.elapsed().as_nanos() as u64;
@@ -903,23 +990,61 @@ impl Backend {
         }
     }
 
-    /// Appends `history[from..]` to the journal as one frame:
-    /// `{"from": N, "msgs": [...]}`. No-op without a journal or delta.
+    /// Appends the history delta `[from, len)` to the journal as one frame:
+    /// `{"from": N, "at": ms, "msgs": [...], "workers": [...], "auto":
+    /// [...], "tdrops": [...]?}` — the messages plus the attribution
+    /// recovery needs to rebuild per-session vote state and the action
+    /// trace, and any template drops the delta caused (drops depend on the
+    /// live matcher, which is not checkpointed, so replay takes them from
+    /// here). No-op without a journal or delta.
     fn journal_from(&mut self, from: u64) {
-        let Some(wal) = self.wal.as_mut() else {
-            return;
-        };
-        let len = self.history.len() as u64;
-        if from >= len {
+        if self.wal.is_none() || from >= self.history_len() {
             return;
         }
-        let msgs: Vec<Json> = self.history[from as usize..]
+        let start = (from.saturating_sub(self.history_base)) as usize;
+        let msgs: Vec<Json> = self.history[start..]
             .iter()
             .map(wire::message_to_json)
             .collect();
-        let frame = Json::obj([("from", Json::num(from as f64)), ("msgs", Json::Arr(msgs))]);
-        match wal.append(frame.encode().as_bytes()) {
-            Ok(()) => batch_wal_frames().inc(),
+        let workers: Vec<Json> = self.history_meta[start..]
+            .iter()
+            .map(|(w, _)| Json::num(*w as f64))
+            .collect();
+        let auto: Vec<Json> = self.history_meta[start..]
+            .iter()
+            .map(|(_, a)| Json::num(u8::from(*a) as f64))
+            .collect();
+        let mut fields = vec![
+            ("from", Json::num(from as f64)),
+            ("at", Json::num(self.clock.0 as f64)),
+            ("msgs", Json::Arr(msgs)),
+            ("workers", Json::Arr(workers)),
+            ("auto", Json::Arr(auto)),
+        ];
+        let drops = self.cc.dropped_template_rows();
+        if drops.len() > self.noted_drops {
+            let fresh: Vec<Json> = drops[self.noted_drops..]
+                .iter()
+                .map(|(idx, _)| Json::num(*idx as f64))
+                .collect();
+            self.noted_drops = drops.len();
+            fields.push(("tdrops", Json::Arr(fresh)));
+        }
+        self.journal_record(Json::obj(fields));
+    }
+
+    /// Appends one record to the journal (best-effort, like every journal
+    /// write): frames, session births, and the closed marker all go
+    /// through here.
+    fn journal_record(&mut self, record: Json) {
+        let Some(wal) = self.wal.as_mut() else {
+            return;
+        };
+        match wal.append(record.encode().as_bytes()) {
+            Ok(()) => {
+                batch_wal_frames().inc();
+                wal_bytes_gauge().set(wal.bytes() as i64);
+            }
             Err(e) => {
                 batch_wal_errors().inc();
                 crowdfill_obs::obs_warn!(
@@ -984,6 +1109,10 @@ impl Backend {
     /// over the trace plus budget allocation under the configured scheme.
     pub fn settle(&mut self) -> (FinalTable, Contributions, Payout) {
         self.closed = true;
+        self.journal_record(Json::obj([
+            ("closed", Json::Bool(true)),
+            ("at", Json::num(self.clock.0 as f64)),
+        ]));
         let final_table = self.final_table();
         let contributions = analyze(&self.trace, &final_table);
         let payout = allocate(
@@ -1038,6 +1167,382 @@ impl Backend {
     /// they added over the replaced row's value).
     pub(crate) fn row_value(&self, id: crowdfill_model::RowId) -> Option<&RowValue> {
         self.row_values.get(&id)
+    }
+
+    // ---- durability & recovery (DESIGN.md §14) -----------------------------
+
+    /// Attaches a checkpoint store next to the journal, enabling
+    /// [`checkpoint`](Self::checkpoint) and
+    /// [`compact_storage`](Self::compact_storage).
+    pub fn attach_snapshots(&mut self, store: SnapshotStore) {
+        self.snapshots = Some(store);
+    }
+
+    /// Whether a checkpoint store is attached.
+    pub fn has_snapshots(&self) -> bool {
+        self.snapshots.is_some()
+    }
+
+    /// Bytes currently in the attached journal (0 without one) — the
+    /// quantity the checkpoint sweep bounds.
+    pub fn wal_bytes(&self) -> u64 {
+        self.wal.as_ref().map(Wal::bytes).unwrap_or(0)
+    }
+
+    /// Server clock at the last checkpoint written by this process (`None`
+    /// before the first).
+    pub fn last_checkpoint_at(&self) -> Option<Millis> {
+        self.last_checkpoint_at
+    }
+
+    /// Milliseconds of history accepted since the last checkpoint, by the
+    /// server clock (`None` before the first checkpoint this process).
+    pub fn snapshot_age_ms(&self) -> Option<u64> {
+        self.last_checkpoint_at
+            .map(|t| self.clock.0.saturating_sub(t.0))
+    }
+
+    /// Writes a crash-atomic checkpoint of the current live state at the
+    /// current history watermark and returns that watermark. The journal is
+    /// left untouched, so this bounds recovery *replay* without giving up
+    /// any retained history. Requires an attached snapshot store.
+    pub fn checkpoint(&mut self) -> std::io::Result<u64> {
+        let store = self.snapshots.as_ref().ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::Unsupported,
+                "no snapshot store attached",
+            )
+        })?;
+        let base = self.history_len();
+        let payload = persist::encode_backend_state(&self.capture_state());
+        store.write(base, payload.as_bytes())?;
+        checkpoints_counter().inc();
+        self.last_checkpoint_at = Some(self.clock);
+        Ok(base)
+    }
+
+    /// Checkpoint + truncate: writes a snapshot at the current watermark,
+    /// truncates the journal, and discards the in-memory history prefix, so
+    /// both recovery *and* storage become O(live state). After this,
+    /// resume/sync cursors below the new [`history_base`](Self::history_base)
+    /// get a deterministic full resync; everything at or above it is served
+    /// exactly. The ordering is crash-safe: the snapshot is fully durable
+    /// (tmp → fsync → rename → dir fsync) before the WAL is touched, and
+    /// recovery skips journal entries below the snapshot watermark, so a
+    /// crash between the two steps replays the overlap idempotently.
+    pub fn compact_storage(&mut self) -> std::io::Result<u64> {
+        let base = self.checkpoint()?;
+        if let Some(wal) = self.wal.as_mut() {
+            wal.compact(std::iter::empty::<&[u8]>())?;
+            wal_bytes_gauge().set(wal.bytes() as i64);
+        }
+        self.history_base = base;
+        self.history.clear();
+        self.history_meta.clear();
+        compactions_counter().inc();
+        Ok(base)
+    }
+
+    /// A synthetic message sequence that reconstructs the *current* master
+    /// state on a fresh replica — the full-resync payload once compaction
+    /// has discarded the real history prefix. Every recorded upvote and
+    /// downvote goes first (so the vote histories are in place before any
+    /// row exists), then one self-`Replace` per live row; the CRDT's
+    /// count-initialization rule (Lemma 3) then assigns each row exactly
+    /// the counts the master holds. Deterministic: vote vectors are sorted
+    /// by their wire encoding, rows by id. Length is O(live state), not
+    /// O(history).
+    pub fn bootstrap_messages(&self) -> Vec<Message> {
+        let enc = |v: &RowValue| wire::row_value_to_json(v).encode();
+        let mut msgs = Vec::new();
+        let mut uh: Vec<(&RowValue, u32)> = self.master.upvote_history().iter().collect();
+        uh.sort_by_cached_key(|(v, _)| enc(v));
+        for (v, n) in uh {
+            for _ in 0..n {
+                msgs.push(Message::Upvote { value: v.clone() });
+            }
+        }
+        let mut dh: Vec<(&RowValue, u32)> = self.master.downvote_history().iter().collect();
+        dh.sort_by_cached_key(|(v, _)| enc(v));
+        for (v, n) in dh {
+            for _ in 0..n {
+                msgs.push(Message::Downvote { value: v.clone() });
+            }
+        }
+        for (id, e) in self.master.table().iter() {
+            msgs.push(Message::Replace {
+                old: id,
+                new: id,
+                value: e.value.clone(),
+            });
+        }
+        msgs
+    }
+
+    /// A point-in-time image of the backend's live state: everything
+    /// recovery cannot re-derive from the task config plus the journal
+    /// suffix. Live rows only — dead lineages, the trace, and estimator
+    /// state are deliberately excluded (see DESIGN.md §14 for what resets).
+    pub fn capture_state(&self) -> BackendState {
+        let enc = |v: &RowValue| wire::row_value_to_json(v).encode();
+        let mut uh: Vec<(RowValue, u32)> = self
+            .master
+            .upvote_history()
+            .iter()
+            .map(|(v, n)| (v.clone(), n))
+            .collect();
+        uh.sort_by_cached_key(|(v, _)| enc(v));
+        let mut dh: Vec<(RowValue, u32)> = self
+            .master
+            .downvote_history()
+            .iter()
+            .map(|(v, n)| (v.clone(), n))
+            .collect();
+        dh.sort_by_cached_key(|(v, _)| enc(v));
+        let rows: Vec<(RowId, RowValue)> = self
+            .master
+            .table()
+            .iter()
+            .map(|(id, e)| (id, e.value.clone()))
+            .collect();
+        let mut sessions: Vec<SessionState> = self
+            .sessions
+            .iter()
+            .map(|(w, s)| {
+                let mut voted: Vec<(RowValue, bool)> = s
+                    .voted_values
+                    .iter()
+                    .map(|(v, k)| (v.clone(), *k == VoteKind::Up))
+                    .collect();
+                voted.sort_by_cached_key(|(v, _)| enc(v));
+                let mut keys: Vec<RowValue> = s.upvoted_keys.iter().cloned().collect();
+                keys.sort_by_cached_key(|v| enc(v));
+                SessionState {
+                    worker: w.0,
+                    client: s.client.0,
+                    epoch: s.epoch,
+                    ops: s.ops,
+                    confirmed: s.confirmed_seq,
+                    voted,
+                    upvoted_keys: keys,
+                }
+            })
+            .collect();
+        sessions.sort_by_key(|s| s.worker);
+        BackendState {
+            base_seq: self.history_len(),
+            at_ms: self.clock.0,
+            next_worker: self.next_worker,
+            closed: self.closed,
+            cc_next_seq: self.cc.replica().next_seq(),
+            uh,
+            dh,
+            rows,
+            live_template: self.cc.live_template().iter().map(|(i, _)| *i).collect(),
+            dropped_template: self
+                .cc
+                .dropped_template_rows()
+                .iter()
+                .map(|(i, _)| *i)
+                .collect(),
+            sessions,
+        }
+    }
+
+    /// Rebuilds a backend from a checkpoint image. History below
+    /// `state.base_seq` exists only as this state; the caller then replays
+    /// the journal suffix via [`replay_frame`](Self::replay_frame) /
+    /// [`replay_session_record`](Self::replay_session_record) /
+    /// [`replay_closed`](Self::replay_closed) and finishes with
+    /// [`finish_recovery`](Self::finish_recovery).
+    pub fn from_state(config: TaskConfig, state: &BackendState) -> Backend {
+        let mut uh = VoteHistory::new();
+        for (v, n) in &state.uh {
+            uh.set(v.clone(), *n);
+        }
+        let mut dh = VoteHistory::new();
+        for (v, n) in &state.dh {
+            dh.set(v.clone(), *n);
+        }
+        let master = Replica::restore(
+            ClientId(u32::MAX),
+            Arc::clone(&config.schema),
+            0,
+            uh.clone(),
+            dh.clone(),
+            state.rows.iter().cloned(),
+        );
+        let cc_replica = Replica::restore(
+            ClientId::CENTRAL,
+            Arc::clone(&config.schema),
+            state.cc_next_seq,
+            uh,
+            dh,
+            state.rows.iter().cloned(),
+        );
+        let trows = config.template.rows();
+        let pick = |idxs: &[usize]| -> Vec<(usize, TemplateRow)> {
+            idxs.iter()
+                .filter_map(|&i| trows.get(i).map(|r| (i, r.clone())))
+                .collect()
+        };
+        let cc = PriMaintainer::restore(
+            Arc::clone(&config.scoring),
+            cc_replica,
+            pick(&state.live_template),
+            pick(&state.dropped_template),
+        );
+        let estimator = Estimator::new(
+            config.scheme,
+            config.budget,
+            Arc::clone(&config.schema),
+            Arc::clone(&config.scoring),
+            &config.template,
+        );
+        let mut sessions = HashMap::new();
+        for s in &state.sessions {
+            sessions.insert(
+                WorkerId(s.worker),
+                Session {
+                    client: ClientId(s.client),
+                    voted_values: s
+                        .voted
+                        .iter()
+                        .map(|(v, up)| (v.clone(), if *up { VoteKind::Up } else { VoteKind::Down }))
+                        .collect(),
+                    upvoted_keys: s.upvoted_keys.iter().cloned().collect(),
+                    outbox: VecDeque::new(),
+                    connected: false,
+                    epoch: s.epoch,
+                    ops: s.ops,
+                    confirmed_seq: s.confirmed,
+                    ack_latency: Arc::new(Histogram::new()),
+                },
+            );
+        }
+        let noted_drops = cc.dropped_template_rows().len();
+        Backend {
+            master,
+            cc,
+            sessions,
+            history: Vec::new(),
+            history_base: state.base_seq,
+            history_meta: Vec::new(),
+            row_values: state.rows.iter().cloned().collect(),
+            trace: Trace::new(),
+            estimator,
+            next_worker: state.next_worker,
+            clock: Millis(state.at_ms),
+            closed: state.closed,
+            wal: None,
+            snapshots: None,
+            noted_drops,
+            last_checkpoint_at: None,
+            seq_traces: VecDeque::new(),
+            config,
+        }
+    }
+
+    /// Replays one recovered journal frame. Entries below the checkpoint
+    /// watermark are skipped (their effects are inside the snapshot); the
+    /// rest must continue the history exactly — a gap means the journal
+    /// lost an acked frame, which recovery refuses to paper over.
+    pub fn replay_frame(&mut self, frame: &JournalFrame) -> std::io::Result<()> {
+        self.set_time(Millis(frame.at));
+        for entry in &frame.entries {
+            if entry.seq < self.history_base {
+                continue;
+            }
+            if entry.seq != self.history_len() {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!(
+                        "journal gap: frame entry at seq {} but history is at {}",
+                        entry.seq,
+                        self.history_len()
+                    ),
+                ));
+            }
+            let msg = &entry.msg;
+            self.note_row(msg);
+            self.master.process(msg);
+            // The CC replica absorbs every message (its repairs are later
+            // journal entries — maintenance must NOT run again here).
+            self.cc.replay_message(msg);
+            if entry.worker == 0 {
+                // A Central Client message: system trace attribution, and
+                // keep CC's row-id counter ahead of its replayed rows.
+                self.trace.record_system(self.clock, msg.clone());
+                if let Some(row) = msg.creates_row() {
+                    if row.client == ClientId::CENTRAL {
+                        self.cc.resume_seq_at_least(row.seq + 1);
+                    }
+                }
+            } else {
+                let worker = WorkerId(entry.worker);
+                // Sessions normally pre-exist via their journaled birth
+                // record; create defensively if that record was lost to a
+                // torn tail the frame survived.
+                self.ensure_replay_session(entry.worker, entry.worker);
+                self.update_vote_policy_state(worker, msg);
+                if !entry.auto {
+                    if let Some(s) = self.sessions.get_mut(&worker) {
+                        s.ops += 1;
+                    }
+                }
+                self.trace.record(TraceEntry {
+                    at: self.clock,
+                    worker: Some(worker),
+                    msg: msg.clone(),
+                    auto_upvote: entry.auto,
+                });
+            }
+            self.history.push(msg.clone());
+            self.history_meta.push((entry.worker, entry.auto));
+        }
+        for idx in &frame.tdrops {
+            self.cc.replay_template_drop(*idx);
+        }
+        self.noted_drops = self.cc.dropped_template_rows().len();
+        Ok(())
+    }
+
+    /// Replays a journaled session birth: recreates the session
+    /// (disconnected) unless the checkpoint already carries it.
+    pub fn replay_session_record(&mut self, worker: u32, client: u32) {
+        self.ensure_replay_session(worker, client);
+    }
+
+    /// Replays the journaled collection-closed marker.
+    pub fn replay_closed(&mut self) {
+        self.closed = true;
+    }
+
+    /// Recomputes the Central Client's derived state once after the whole
+    /// journal replay and checks master/CC convergence.
+    pub fn finish_recovery(&mut self) {
+        self.cc.rederive();
+        debug_assert!(
+            self.master.same_state(self.cc.replica()),
+            "master/CC divergence after recovery"
+        );
+    }
+
+    fn ensure_replay_session(&mut self, worker: u32, client: u32) {
+        self.next_worker = self.next_worker.max(worker + 1);
+        self.sessions
+            .entry(WorkerId(worker))
+            .or_insert_with(|| Session {
+                client: ClientId(client),
+                voted_values: HashMap::new(),
+                upvoted_keys: HashSet::new(),
+                outbox: VecDeque::new(),
+                connected: false,
+                epoch: 0,
+                ops: 0,
+                confirmed_seq: 0,
+                ack_latency: Arc::new(Histogram::new()),
+            });
     }
 
     // ---- internals ---------------------------------------------------------

@@ -103,6 +103,23 @@ pub struct WorkerHealth {
     pub outbox_depth: usize,
 }
 
+/// Durability posture (DESIGN.md §14): how much journal a crash would
+/// replay and how stale the newest checkpoint is. Absent when the
+/// backend runs without attached storage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DurabilityHealth {
+    /// Bytes in the journal (replayed on recovery, on top of a snapshot).
+    pub wal_bytes: u64,
+    /// Compaction horizon: history below this seq exists only as the
+    /// snapshot image.
+    pub history_base: u64,
+    /// Messages retained above the horizon (served exactly on resume).
+    pub retained_msgs: u64,
+    /// Milliseconds of accepted history since the last checkpoint this
+    /// process wrote; `None` before the first.
+    pub snapshot_age_ms: Option<u64>,
+}
+
 /// One SLO's evaluation, as carried in the report.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SloHealth {
@@ -136,6 +153,8 @@ pub struct HealthReport {
     pub window_ms: u64,
     pub collection: CollectionHealth,
     pub workers: Vec<WorkerHealth>,
+    /// Durability posture; `None` for an in-memory backend.
+    pub durability: Option<DurabilityHealth>,
     /// Empty unless the caller layers SLO statuses in (the TCP service
     /// evaluates its specs over the sampler ring and attaches them).
     pub slos: Vec<SloHealth>,
@@ -373,6 +392,13 @@ pub fn collect_windowed(backend: &Backend, window_ms: u64) -> HealthReport {
         })
         .collect();
 
+    let durability = backend.has_snapshots().then(|| DurabilityHealth {
+        wal_bytes: backend.wal_bytes(),
+        history_base: backend.history_base(),
+        retained_msgs: history_len - backend.history_base(),
+        snapshot_age_ms: backend.snapshot_age_ms(),
+    });
+
     HealthReport {
         at_ms: now_ms,
         history_len,
@@ -391,6 +417,7 @@ pub fn collect_windowed(backend: &Backend, window_ms: u64) -> HealthReport {
             columns,
         },
         workers,
+        durability,
         slos: Vec::new(),
     }
 }
@@ -488,6 +515,21 @@ impl HealthReport {
                 ]),
             ),
             ("workers", Json::Arr(workers)),
+            (
+                "durability",
+                match &self.durability {
+                    Some(d) => Json::obj([
+                        ("wal_bytes", Json::num(d.wal_bytes as f64)),
+                        ("history_base", Json::num(d.history_base as f64)),
+                        ("retained_msgs", Json::num(d.retained_msgs as f64)),
+                        (
+                            "snapshot_age_ms",
+                            opt_num(d.snapshot_age_ms.map(|v| v as f64)),
+                        ),
+                    ]),
+                    None => Json::Null,
+                },
+            ),
             ("slos", Json::Arr(slos)),
         ])
     }
@@ -540,6 +582,18 @@ impl HealthReport {
                 })
             })
             .collect::<Option<Vec<_>>>()?;
+        let durability = match json.get("durability") {
+            Some(d) if !matches!(d, Json::Null) => Some(DurabilityHealth {
+                wal_bytes: d.get("wal_bytes")?.as_f64()? as u64,
+                history_base: d.get("history_base")?.as_f64()? as u64,
+                retained_msgs: d.get("retained_msgs")?.as_f64()? as u64,
+                snapshot_age_ms: d
+                    .get("snapshot_age_ms")
+                    .and_then(Json::as_f64)
+                    .map(|v| v as u64),
+            }),
+            _ => None,
+        };
         Some(HealthReport {
             at_ms: json.get("at_ms")?.as_f64()? as u64,
             history_len: json.get("history_len")?.as_f64()? as u64,
@@ -558,6 +612,7 @@ impl HealthReport {
                 columns,
             },
             workers,
+            durability,
             slos,
         })
     }
@@ -596,6 +651,17 @@ impl HealthReport {
             self.history_len,
             self.window_ms / 1000,
         );
+        if let Some(d) = &self.durability {
+            let age = match d.snapshot_age_ms {
+                Some(ms) => format!("{:.1}s", ms as f64 / 1000.0),
+                None => "-".to_string(),
+            };
+            let _ = writeln!(
+                out,
+                "  durability: journal {} B, base seq {} ({} retained), snapshot age {}",
+                d.wal_bytes, d.history_base, d.retained_msgs, age,
+            );
+        }
         let _ = writeln!(
             out,
             "  {:<14} {:>7} {:>10} {:>13}",

@@ -23,6 +23,7 @@ pub mod frontend;
 pub mod health;
 pub mod marketplace;
 pub mod overload;
+pub mod persist;
 pub mod reactor;
 pub mod recommend;
 pub mod tcp_service;
@@ -34,15 +35,19 @@ pub use batch::{BatchOptions, BatchPipeline};
 pub use config::TaskConfig;
 pub use frontend::{Frontend, FrontendError, TaskStatus};
 pub use health::{
-    collect, collect_windowed, CollectionHealth, ColumnHealth, HealthReport, SloHealth,
-    WorkerHealth,
+    collect, collect_windowed, CollectionHealth, ColumnHealth, DurabilityHealth, HealthReport,
+    SloHealth, WorkerHealth,
 };
 pub use marketplace::{Assignment, AssignmentId, Hit, HitId, MarketError, Marketplace};
 pub use overload::{OverloadOptions, Priority};
+pub use persist::{
+    open_or_recover, open_or_recover_on, BackendState, DurabilityOptions, JournalEntry,
+    JournalFrame, JournalRecord, SessionState,
+};
 pub use reactor::ReactorOptions;
 pub use recommend::{Recommendation, RecommendationKind};
 pub use tcp_service::{
-    Collection, ConnLayer, Dialer, ReconnectPolicy, RemoteAck, RemoteError, RemoteWorker,
-    ServiceOptions, TcpService, TelemetryOptions, DEFAULT_COLLECTION,
+    Collection, ConnLayer, Dialer, DurabilitySweepOptions, ReconnectPolicy, RemoteAck, RemoteError,
+    RemoteWorker, ServiceOptions, TcpService, TelemetryOptions, DEFAULT_COLLECTION,
 };
 pub use worker_client::{Outgoing, WorkerClient};

@@ -1,0 +1,564 @@
+//! Backend durability: checkpoint images, journal records, and the
+//! crash-recovery driver (DESIGN.md §14).
+//!
+//! A long-lived collection persists through two artifacts under one
+//! directory:
+//!
+//! * `journal.wal` — the CRC-framed history journal the backend appends
+//!   every accepted submission to (plus session births and the closed
+//!   marker), and
+//! * `snapshots/` — versioned, CRC-framed checkpoint images of the live
+//!   state at a history watermark (`base_seq`), written crash-atomically.
+//!
+//! Recovery composes them: load the newest sound snapshot (corrupt files
+//! degrade to older ones, then to a full journal replay), rebuild the
+//! backend from the image, replay the journal suffix at or above the
+//! watermark, and re-derive the Central Client's matching once at the end.
+//! Replay cost is O(live state + journal suffix), independent of lifetime
+//! history once compaction runs.
+//!
+//! What deliberately does **not** survive a restart (scoped to the current
+//! process run): the action trace below the checkpoint (contribution
+//! analysis and payout therefore cover the post-recovery run), estimator
+//! state (compensation estimates re-warm), and the values of dead row
+//! lineages (only live rows are imaged — the O(live-state) requirement).
+
+use crate::backend::Backend;
+use crate::config::TaskConfig;
+use crate::wire;
+use crowdfill_docstore::{Disk, FsyncPolicy, Json, RealDisk, SnapshotStore, Wal};
+use crowdfill_model::{Message, RowId, RowValue};
+use std::path::Path;
+use std::sync::Arc;
+
+/// Snapshot payload format version.
+const STATE_VERSION: f64 = 1.0;
+
+/// Per-worker session state inside a checkpoint image: identity plus the
+/// §3.4 vote-policy bookkeeping (what the worker has voted on), which is
+/// exactly what the backend needs to keep enforcing the policy across a
+/// restart. Connection state is *not* imaged — every recovered session
+/// starts disconnected.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionState {
+    pub worker: u32,
+    pub client: u32,
+    pub epoch: u64,
+    pub ops: u64,
+    pub confirmed: u64,
+    /// Row values voted on, `true` = upvote (sorted by wire encoding).
+    pub voted: Vec<(RowValue, bool)>,
+    /// Primary-key projections upvoted (sorted by wire encoding).
+    pub upvoted_keys: Vec<RowValue>,
+}
+
+/// A point-in-time image of a [`Backend`]'s live state — the snapshot
+/// payload. Everything here is either impossible or unsound to re-derive
+/// from the task config alone: the CRDT vote histories and live rows, the
+/// live/dropped template partition (drops depend on the pre-crash
+/// matching), session vote state, and the id counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BackendState {
+    /// History watermark: every seq below this is inside the image.
+    pub base_seq: u64,
+    /// Server clock at capture.
+    pub at_ms: u64,
+    pub next_worker: u32,
+    pub closed: bool,
+    /// The Central Client's row-id counter.
+    pub cc_next_seq: u64,
+    /// Upvote history, sorted by wire encoding (deterministic images).
+    pub uh: Vec<(RowValue, u32)>,
+    /// Downvote history, sorted by wire encoding.
+    pub dh: Vec<(RowValue, u32)>,
+    /// Live rows only, ascending by id.
+    pub rows: Vec<(RowId, RowValue)>,
+    /// Original template indexes still live.
+    pub live_template: Vec<usize>,
+    /// Original template indexes the CC dropped (§4.2 degenerate case).
+    pub dropped_template: Vec<usize>,
+    pub sessions: Vec<SessionState>,
+}
+
+/// One journaled history message with its recovery attribution.
+#[derive(Debug, Clone)]
+pub struct JournalEntry {
+    pub seq: u64,
+    pub msg: Message,
+    /// Originating worker id; 0 means the Central Client.
+    pub worker: u32,
+    /// Whether this was an automatic completion upvote (§3.4).
+    pub auto: bool,
+}
+
+/// One decoded journal frame: the history delta of a single
+/// submit/modify/batch, plus any template drops it caused.
+#[derive(Debug, Clone)]
+pub struct JournalFrame {
+    pub from: u64,
+    /// Server clock when the frame was written.
+    pub at: u64,
+    pub entries: Vec<JournalEntry>,
+    /// Original template indexes dropped while applying this delta.
+    pub tdrops: Vec<usize>,
+}
+
+/// Any record the backend writes to its journal.
+#[derive(Debug, Clone)]
+pub enum JournalRecord {
+    Frame(JournalFrame),
+    /// A session birth ([`Backend::connect`]).
+    Session {
+        worker: u32,
+        client: u32,
+        at: u64,
+    },
+    /// The collection-closed marker ([`Backend::settle`]).
+    Closed {
+        at: u64,
+    },
+}
+
+/// Durability tuning for a served collection. The directory itself is
+/// supplied per-collection by the caller (the TCP service uses one
+/// subdirectory per collection name).
+#[derive(Debug, Clone)]
+pub struct DurabilityOptions {
+    /// Journal fsync policy (default: every append — an acked op is a
+    /// durable op).
+    pub fsync: FsyncPolicy,
+    /// The checkpoint sweep compacts a collection once its journal exceeds
+    /// this many bytes. `0` disables sweep-driven compaction.
+    pub compact_wal_bytes: u64,
+    /// How often the service's checkpoint sweep wakes up, in milliseconds.
+    pub sweep_interval_ms: u64,
+    /// Snapshots retained on disk (≥ 1; 2 keeps one fallback).
+    pub keep_snapshots: usize,
+}
+
+impl Default for DurabilityOptions {
+    fn default() -> DurabilityOptions {
+        DurabilityOptions {
+            fsync: FsyncPolicy::Always,
+            compact_wal_bytes: 4 << 20,
+            sweep_interval_ms: 1_000,
+            keep_snapshots: 2,
+        }
+    }
+}
+
+// ---- snapshot payload codec -------------------------------------------------
+
+/// Encodes a checkpoint image as its JSON snapshot payload.
+pub fn encode_backend_state(state: &BackendState) -> String {
+    let votes = |h: &[(RowValue, u32)]| {
+        Json::Arr(
+            h.iter()
+                .map(|(v, n)| Json::Arr(vec![wire::row_value_to_json(v), Json::num(*n as f64)]))
+                .collect(),
+        )
+    };
+    let indexes = |xs: &[usize]| Json::Arr(xs.iter().map(|i| Json::num(*i as f64)).collect());
+    let sessions = Json::Arr(
+        state
+            .sessions
+            .iter()
+            .map(|s| {
+                Json::obj([
+                    ("worker", Json::num(s.worker as f64)),
+                    ("client", Json::num(s.client as f64)),
+                    ("epoch", Json::num(s.epoch as f64)),
+                    ("ops", Json::num(s.ops as f64)),
+                    ("confirmed", Json::num(s.confirmed as f64)),
+                    (
+                        "voted",
+                        Json::Arr(
+                            s.voted
+                                .iter()
+                                .map(|(v, up)| {
+                                    Json::Arr(vec![
+                                        wire::row_value_to_json(v),
+                                        Json::num(u8::from(*up) as f64),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                    (
+                        "keys",
+                        Json::Arr(s.upvoted_keys.iter().map(wire::row_value_to_json).collect()),
+                    ),
+                ])
+            })
+            .collect(),
+    );
+    Json::obj([
+        ("v", Json::num(STATE_VERSION)),
+        ("base", Json::num(state.base_seq as f64)),
+        ("at", Json::num(state.at_ms as f64)),
+        ("next_worker", Json::num(state.next_worker as f64)),
+        ("closed", Json::Bool(state.closed)),
+        ("cc_next_seq", Json::num(state.cc_next_seq as f64)),
+        ("uh", votes(&state.uh)),
+        ("dh", votes(&state.dh)),
+        (
+            "rows",
+            Json::Arr(
+                state
+                    .rows
+                    .iter()
+                    .map(|(id, v)| {
+                        Json::Arr(vec![wire::row_id_to_json(*id), wire::row_value_to_json(v)])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("live", indexes(&state.live_template)),
+        ("dropped", indexes(&state.dropped_template)),
+        ("sessions", sessions),
+    ])
+    .encode()
+}
+
+/// Decodes a snapshot payload. `None` on any structural mismatch — the
+/// recovery driver then degrades to the next-older snapshot's semantics
+/// (fresh backend + full journal replay).
+pub fn decode_backend_state(payload: &[u8]) -> Option<BackendState> {
+    let text = std::str::from_utf8(payload).ok()?;
+    let json = Json::parse(text).ok()?;
+    if json.get("v")?.as_f64()? != STATE_VERSION {
+        return None;
+    }
+    let votes = |key: &str| -> Option<Vec<(RowValue, u32)>> {
+        json.get(key)?
+            .as_arr()?
+            .iter()
+            .map(|pair| {
+                let pair = pair.as_arr()?;
+                let v = wire::row_value_from_json(pair.first()?).ok()?;
+                let n = pair.get(1)?.as_i64()? as u32;
+                Some((v, n))
+            })
+            .collect()
+    };
+    let indexes = |key: &str| -> Option<Vec<usize>> {
+        json.get(key)?
+            .as_arr()?
+            .iter()
+            .map(|i| Some(i.as_i64()? as usize))
+            .collect()
+    };
+    let rows: Vec<(RowId, RowValue)> = json
+        .get("rows")?
+        .as_arr()?
+        .iter()
+        .map(|pair| {
+            let pair = pair.as_arr()?;
+            let id = wire::row_id_from_json(pair.first()?).ok()?;
+            let v = wire::row_value_from_json(pair.get(1)?).ok()?;
+            Some((id, v))
+        })
+        .collect::<Option<_>>()?;
+    let sessions: Vec<SessionState> = json
+        .get("sessions")?
+        .as_arr()?
+        .iter()
+        .map(|s| {
+            let voted: Vec<(RowValue, bool)> = s
+                .get("voted")?
+                .as_arr()?
+                .iter()
+                .map(|pair| {
+                    let pair = pair.as_arr()?;
+                    let v = wire::row_value_from_json(pair.first()?).ok()?;
+                    Some((v, pair.get(1)?.as_i64()? != 0))
+                })
+                .collect::<Option<_>>()?;
+            let upvoted_keys: Vec<RowValue> = s
+                .get("keys")?
+                .as_arr()?
+                .iter()
+                .map(|v| wire::row_value_from_json(v).ok())
+                .collect::<Option<_>>()?;
+            Some(SessionState {
+                worker: s.get("worker")?.as_i64()? as u32,
+                client: s.get("client")?.as_i64()? as u32,
+                epoch: s.get("epoch")?.as_i64()? as u64,
+                ops: s.get("ops")?.as_i64()? as u64,
+                confirmed: s.get("confirmed")?.as_i64()? as u64,
+                voted,
+                upvoted_keys,
+            })
+        })
+        .collect::<Option<_>>()?;
+    Some(BackendState {
+        base_seq: json.get("base")?.as_i64()? as u64,
+        at_ms: json.get("at")?.as_i64()? as u64,
+        next_worker: json.get("next_worker")?.as_i64()? as u32,
+        closed: json.get("closed")?.as_bool()?,
+        cc_next_seq: json.get("cc_next_seq")?.as_i64()? as u64,
+        uh: votes("uh")?,
+        dh: votes("dh")?,
+        rows,
+        live_template: indexes("live")?,
+        dropped_template: indexes("dropped")?,
+        sessions,
+    })
+}
+
+// ---- journal record codec ---------------------------------------------------
+
+/// Decodes one journal record (any of the shapes the backend writes).
+/// Frames written before the attribution extension (no `workers`/`auto`/
+/// `at` fields) decode with Central-Client attribution and clock 0 — their
+/// messages still replay correctly.
+pub fn decode_journal_record(payload: &[u8]) -> Option<JournalRecord> {
+    let text = std::str::from_utf8(payload).ok()?;
+    let json = Json::parse(text).ok()?;
+    if let Some(s) = json.get("session") {
+        return Some(JournalRecord::Session {
+            worker: s.get("worker")?.as_i64()? as u32,
+            client: s.get("client")?.as_i64()? as u32,
+            at: s.get("at").and_then(Json::as_i64).unwrap_or(0) as u64,
+        });
+    }
+    if json.get("closed").and_then(Json::as_bool) == Some(true) {
+        return Some(JournalRecord::Closed {
+            at: json.get("at").and_then(Json::as_i64).unwrap_or(0) as u64,
+        });
+    }
+    let from = json.get("from")?.as_i64()? as u64;
+    let msgs = json.get("msgs")?.as_arr()?;
+    let at = json.get("at").and_then(Json::as_i64).unwrap_or(0) as u64;
+    let workers = json.get("workers").and_then(Json::as_arr);
+    let auto = json.get("auto").and_then(Json::as_arr);
+    let mut entries = Vec::with_capacity(msgs.len());
+    for (i, m) in msgs.iter().enumerate() {
+        let msg = wire::message_from_json(m).ok()?;
+        let worker = workers
+            .and_then(|w| w.get(i))
+            .and_then(Json::as_i64)
+            .unwrap_or(0) as u32;
+        let auto_flag = auto
+            .and_then(|a| a.get(i))
+            .and_then(Json::as_i64)
+            .unwrap_or(0)
+            != 0;
+        entries.push(JournalEntry {
+            seq: from + i as u64,
+            msg,
+            worker,
+            auto: auto_flag,
+        });
+    }
+    let tdrops = json
+        .get("tdrops")
+        .and_then(Json::as_arr)
+        .map(|a| {
+            a.iter()
+                .filter_map(Json::as_i64)
+                .map(|n| n as usize)
+                .collect()
+        })
+        .unwrap_or_default();
+    Some(JournalRecord::Frame(JournalFrame {
+        from,
+        at,
+        entries,
+        tdrops,
+    }))
+}
+
+// ---- recovery driver --------------------------------------------------------
+
+/// Opens (or recovers) a durable backend rooted at `dir` on the real
+/// filesystem. See [`open_or_recover_on`].
+pub fn open_or_recover(
+    config: TaskConfig,
+    dir: impl AsRef<Path>,
+    opts: &DurabilityOptions,
+) -> std::io::Result<Backend> {
+    open_or_recover_on(Arc::new(RealDisk), config, dir, opts)
+}
+
+/// Opens (or recovers) a durable backend rooted at `dir` on an explicit
+/// [`Disk`] (fault injection goes here):
+///
+/// 1. load the newest sound snapshot from `dir/snapshots/` (corrupt files
+///    degrade to older ones, then to none);
+/// 2. rebuild the backend from the image — or run the deterministic fresh
+///    initialization when no image is usable;
+/// 3. replay the journal suffix from `dir/journal.wal` (entries below the
+///    snapshot watermark skip; a torn tail was already truncated by the
+///    WAL's CRC scan);
+/// 4. re-derive the Central Client's matching once, and attach the journal
+///    and snapshot store for continued operation.
+///
+/// Errors mean recovery is genuinely impossible without losing acked
+/// operations (disk fault, or a journal gap after the last sound
+/// snapshot) — the caller should surface them, not serve a partial state.
+pub fn open_or_recover_on(
+    disk: Arc<dyn Disk>,
+    config: TaskConfig,
+    dir: impl AsRef<Path>,
+    opts: &DurabilityOptions,
+) -> std::io::Result<Backend> {
+    let dir = dir.as_ref();
+    disk.create_dir_all(dir)?;
+    let snapshots = SnapshotStore::open_on(
+        Arc::clone(&disk),
+        dir.join("snapshots"),
+        opts.keep_snapshots,
+    )?;
+    let snap = snapshots.load_latest()?;
+    let mut backend = match &snap {
+        Some(s) => match decode_backend_state(&s.payload) {
+            Some(state) => Backend::from_state(config, &state),
+            None => {
+                crowdfill_obs::metrics::counter("crowdfill_snapshot_corrupt").inc();
+                crowdfill_obs::obs_warn!(
+                    "server",
+                    "snapshot payload undecodable; falling back to full journal replay";
+                    base_seq => s.base_seq,
+                );
+                Backend::new(config)
+            }
+        },
+        None => Backend::new(config),
+    };
+    let mut records = Vec::new();
+    let mut undecodable = 0u64;
+    let wal = Wal::open_on(
+        Arc::clone(&disk),
+        dir.join("journal.wal"),
+        opts.fsync,
+        |payload| match decode_journal_record(payload) {
+            Some(r) => records.push(r),
+            None => undecodable += 1,
+        },
+    )?;
+    if undecodable > 0 {
+        // The frame passed its CRC but does not decode: format drift, not
+        // disk corruption. Skipping it would silently drop acked ops.
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("{undecodable} journal record(s) failed to decode"),
+        ));
+    }
+    let mut frames = 0u64;
+    let mut replayed = 0u64;
+    for record in &records {
+        match record {
+            JournalRecord::Frame(f) => {
+                frames += 1;
+                replayed += f.entries.len() as u64;
+                backend.replay_frame(f)?;
+            }
+            JournalRecord::Session { worker, client, .. } => {
+                backend.replay_session_record(*worker, *client);
+            }
+            JournalRecord::Closed { .. } => backend.replay_closed(),
+        }
+    }
+    backend.finish_recovery();
+    backend.attach_wal(wal);
+    backend.attach_snapshots(snapshots);
+    crowdfill_obs::obs_info!(
+        "server",
+        "backend recovered";
+        snapshot_base => snap.as_ref().map(|s| s.base_seq).unwrap_or(0),
+        journal_frames => frames,
+        replayed_msgs => replayed,
+        history_len => backend.history_len(),
+    );
+    Ok(backend)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowdfill_model::{ClientId, ColumnId, Value};
+
+    fn rv(pairs: &[(u16, i64)]) -> RowValue {
+        RowValue::from_pairs(pairs.iter().map(|(c, v)| (ColumnId(*c), Value::int(*v))))
+    }
+
+    fn sample_state() -> BackendState {
+        BackendState {
+            base_seq: 42,
+            at_ms: 12_345,
+            next_worker: 4,
+            closed: false,
+            cc_next_seq: 9,
+            uh: vec![(rv(&[(0, 1)]), 2), (rv(&[(0, 2), (1, 3)]), 1)],
+            dh: vec![(rv(&[(1, 7)]), 3)],
+            rows: vec![
+                (RowId::new(ClientId::CENTRAL, 0), rv(&[(0, 1)])),
+                (RowId::new(ClientId(2), 5), rv(&[(0, 2), (1, 3)])),
+            ],
+            live_template: vec![0, 2],
+            dropped_template: vec![1],
+            sessions: vec![SessionState {
+                worker: 1,
+                client: 1,
+                epoch: 3,
+                ops: 17,
+                confirmed: 40,
+                voted: vec![(rv(&[(0, 1)]), true), (rv(&[(1, 7)]), false)],
+                upvoted_keys: vec![rv(&[(0, 1)])],
+            }],
+        }
+    }
+
+    #[test]
+    fn backend_state_roundtrips() {
+        let state = sample_state();
+        let encoded = encode_backend_state(&state);
+        let decoded = decode_backend_state(encoded.as_bytes()).expect("decodes");
+        assert_eq!(decoded, state);
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected() {
+        let state = sample_state();
+        let encoded = encode_backend_state(&state).replace("\"v\":1", "\"v\":999");
+        assert!(decode_backend_state(encoded.as_bytes()).is_none());
+    }
+
+    #[test]
+    fn garbage_payload_is_rejected() {
+        assert!(decode_backend_state(b"not json at all").is_none());
+        assert!(decode_backend_state(b"{\"v\":1}").is_none());
+        assert!(decode_backend_state(&[0xFF, 0xFE]).is_none());
+    }
+
+    #[test]
+    fn journal_records_decode_all_shapes() {
+        let session = br#"{"session":{"worker":3,"client":3,"at":100}}"#;
+        match decode_journal_record(session) {
+            Some(JournalRecord::Session { worker, client, at }) => {
+                assert_eq!((worker, client, at), (3, 3, 100));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+        let closed = br#"{"closed":true,"at":200}"#;
+        assert!(matches!(
+            decode_journal_record(closed),
+            Some(JournalRecord::Closed { at: 200 })
+        ));
+        // A legacy frame (no attribution fields) decodes as CC-attributed.
+        let legacy = br#"{"from":5,"msgs":[{"kind":"upvote","value":[]}]}"#;
+        match decode_journal_record(legacy) {
+            Some(JournalRecord::Frame(f)) => {
+                assert_eq!(f.from, 5);
+                assert_eq!(f.at, 0);
+                assert_eq!(f.entries.len(), 1);
+                assert_eq!(f.entries[0].seq, 5);
+                assert_eq!(f.entries[0].worker, 0);
+                assert!(!f.entries[0].auto);
+                assert!(f.tdrops.is_empty());
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+}

@@ -119,6 +119,13 @@ pub(crate) fn batch_broadcast_frames() -> &'static Counter {
     C.get_or_init(|| crowdfill_obs::metrics::counter("crowdfill_server_batch_broadcast_frames"))
 }
 
+/// Milliseconds since the newest durable checkpoint of any collection,
+/// refreshed by the durability sweep (worst case across collections).
+pub(crate) fn m_snapshot_age_ms() -> &'static crowdfill_obs::metrics::Gauge {
+    static G: OnceLock<Arc<crowdfill_obs::metrics::Gauge>> = OnceLock::new();
+    G.get_or_init(|| crowdfill_obs::metrics::gauge("crowdfill_snapshot_age_ms"))
+}
+
 /// Connections forcibly closed after staying lagging past `evict_after`.
 pub(crate) fn m_evictions() -> &'static Counter {
     static C: OnceLock<Arc<Counter>> = OnceLock::new();
@@ -153,6 +160,7 @@ pub(crate) struct ServiceMetrics {
     pub(crate) health_requests: Arc<Counter>,
     pub(crate) trace_dump_requests: Arc<Counter>,
     pub(crate) resume_requests: Arc<Counter>,
+    pub(crate) reset_resyncs: Arc<Counter>,
     pub(crate) sync_requests: Arc<Counter>,
     pub(crate) malformed_frames: Arc<Counter>,
     pub(crate) accept_errors: Arc<Counter>,
@@ -174,6 +182,7 @@ impl ServiceMetrics {
             health_requests: counter("crowdfill_server_health_requests"),
             trace_dump_requests: counter("crowdfill_server_trace_dump_requests"),
             resume_requests: counter("crowdfill_server_resume_requests"),
+            reset_resyncs: counter("crowdfill_server_reset_resyncs"),
             sync_requests: counter("crowdfill_server_sync_requests"),
             malformed_frames: counter("crowdfill_server_malformed_frames"),
             accept_errors: counter("crowdfill_server_accept_errors"),
@@ -280,6 +289,33 @@ pub struct ServiceOptions {
     /// The connection layer: the sharded reactor (default) or the legacy
     /// thread-per-connection design.
     pub conn_layer: ConnLayer,
+    /// Background durability sweep (DESIGN.md §14). `Some` runs a thread
+    /// that compacts any collection whose journal grew past the threshold
+    /// and keeps the snapshot-age gauge fresh; it only acts on backends
+    /// that were opened with storage attached ([`crate::persist`]), so
+    /// it is safe to enable for in-memory collections too. `None` (the
+    /// default) spawns no thread — checkpoints are then the embedder's
+    /// job via [`Backend::checkpoint`]/[`Backend::compact_storage`].
+    pub durability: Option<DurabilitySweepOptions>,
+}
+
+/// Knobs for the background checkpoint/compaction sweep.
+#[derive(Debug, Clone)]
+pub struct DurabilitySweepOptions {
+    /// How often the sweep inspects each collection.
+    pub interval: Duration,
+    /// Compact (checkpoint + truncate the journal) once a collection's
+    /// journal reaches this many bytes.
+    pub compact_wal_bytes: u64,
+}
+
+impl Default for DurabilitySweepOptions {
+    fn default() -> DurabilitySweepOptions {
+        DurabilitySweepOptions {
+            interval: Duration::from_secs(1),
+            compact_wal_bytes: 4 << 20,
+        }
+    }
 }
 
 impl Default for ServiceOptions {
@@ -292,6 +328,7 @@ impl Default for ServiceOptions {
             overload: OverloadOptions::default(),
             telemetry: Some(TelemetryOptions::default()),
             conn_layer: ConnLayer::default(),
+            durability: None,
         }
     }
 }
@@ -689,6 +726,50 @@ impl TcpService {
                 }
             });
 
+        // Durability sweep: compaction is driven by journal growth, not
+        // by traffic — a collection that went quiet right after a burst
+        // still gets its journal truncated. The sweep holds a collection's
+        // backend lock for the duration of one checkpoint write; sizing
+        // `compact_wal_bytes` bounds how much state that write covers.
+        if let Some(durability) = options.durability.clone() {
+            let sweep_collections = Arc::clone(&collections);
+            let sweep_shutdown = Arc::clone(&shutdown);
+            let _ = std::thread::Builder::new()
+                .name("crowdfill-durability-sweep".into())
+                .spawn(move || {
+                    while !sweep_shutdown.load(Ordering::SeqCst) {
+                        std::thread::sleep(durability.interval);
+                        let mut oldest_age: Option<u64> = None;
+                        for collection in sweep_collections.values() {
+                            let mut b = collection.backend.lock();
+                            if !b.has_snapshots() {
+                                continue;
+                            }
+                            if b.wal_bytes() >= durability.compact_wal_bytes {
+                                match b.compact_storage() {
+                                    Ok(base) => crowdfill_obs::obs_info!(
+                                        "server",
+                                        "compacted collection journal";
+                                        collection => collection.name(),
+                                        base_seq => base,
+                                    ),
+                                    Err(e) => crowdfill_obs::obs_warn!(
+                                        "server",
+                                        "compaction failed: {e}";
+                                        collection => collection.name(),
+                                    ),
+                                }
+                            }
+                            let age = b.snapshot_age_ms().unwrap_or(0);
+                            oldest_age = Some(oldest_age.map_or(age, |a| a.max(age)));
+                        }
+                        if let Some(age) = oldest_age {
+                            m_snapshot_age_ms().set(age as i64);
+                        }
+                    }
+                });
+        }
+
         let accept_shutdown = Arc::clone(&shutdown);
         let (accept_thread, shard_threads) = match &options.conn_layer {
             ConnLayer::Reactor(reactor_options) => {
@@ -992,18 +1073,22 @@ pub(crate) fn open_session(req: &Json, shared: &ServiceShared) -> SessionOpen {
             let Some(collection) = shared.resolve_collection(requested) else {
                 return SessionOpen::Rejected(reject_frame("unknown collection"));
             };
-            let (worker, client, history, schema_json) = {
+            let (worker, client, history, history_len, schema_json) = {
                 let mut b = collection.backend.lock();
                 let (w, c, h) = b.connect(now_millis(shared.started));
                 let schema_json = wire::schema_to_json(&b.config().schema);
-                (w, c, h, schema_json)
+                // After compaction `h` is the synthetic bootstrap, shorter
+                // than the history it stands in for — the client's resume
+                // cursor must cover the real watermark, so it travels
+                // separately from the message array's length.
+                (w, c, h, b.history_len(), schema_json)
             };
             let reply = Json::obj([
                 ("type", Json::str("welcome")),
                 ("collection", Json::str(collection.name())),
                 ("worker", Json::num(worker.0 as f64)),
                 ("client", Json::num(client.0 as f64)),
-                ("history_len", Json::num(history.len() as f64)),
+                ("history_len", Json::num(history_len as f64)),
                 ("schema", schema_json),
                 (
                     "history",
@@ -1036,38 +1121,65 @@ pub(crate) fn open_session(req: &Json, shared: &ServiceShared) -> SessionOpen {
             let (from, have) = parse_cursor(req);
             // Resume and suffix must come from ONE lock acquisition: the
             // suffix plus subsequent poll_seq broadcasts then covers the
-            // history with no gap.
+            // history with no gap. A cursor below the compaction horizon
+            // cannot be served a suffix — the journal below `history_base`
+            // is gone — so the reply degrades to a deterministic full
+            // reset: `reset: true` plus the synthetic bootstrap image.
+            enum ResumeBody {
+                Suffix(Vec<(u64, Message)>),
+                Reset(Vec<Message>),
+            }
             let resumed = {
                 let mut b = collection.backend.lock();
                 match b.resume(worker, now_millis(shared.started)) {
                     Err(e) => Err(e.to_string()),
                     Ok(info) => {
-                        let msgs: Vec<(u64, Message)> = b
-                            .history_suffix(from)
-                            .into_iter()
-                            .filter(|(s, _)| !have.contains(s))
-                            .collect();
-                        Ok((info, msgs))
+                        let body = if from < b.history_base() {
+                            shared.metrics.reset_resyncs.inc();
+                            ResumeBody::Reset(b.bootstrap_messages())
+                        } else {
+                            ResumeBody::Suffix(
+                                b.history_suffix(from)
+                                    .into_iter()
+                                    .filter(|(s, _)| !have.contains(s))
+                                    .collect(),
+                            )
+                        };
+                        Ok((info, body))
                     }
                 }
             };
-            let (info, msgs) = match resumed {
+            let (info, body) = match resumed {
                 Err(reason) => return SessionOpen::Rejected(reject_frame(&reason)),
                 Ok(ok) => ok,
             };
-            let reply = Json::obj([
+            let mut fields = vec![
                 ("type", Json::str("resumed")),
                 ("collection", Json::str(collection.name())),
                 ("client", Json::num(info.client.0 as f64)),
                 ("history_len", Json::num(info.history_len as f64)),
-                ("msgs", seq_msgs_to_json(&msgs)),
-            ]);
+            ];
+            let replayed = match &body {
+                ResumeBody::Suffix(msgs) => msgs.len(),
+                ResumeBody::Reset(boot) => boot.len(),
+            };
+            match body {
+                ResumeBody::Suffix(msgs) => fields.push(("msgs", seq_msgs_to_json(&msgs))),
+                ResumeBody::Reset(boot) => {
+                    fields.push(("reset", Json::Bool(true)));
+                    fields.push((
+                        "history",
+                        Json::Arr(boot.iter().map(wire::message_to_json).collect()),
+                    ));
+                }
+            }
+            let reply = Json::obj(fields);
             crowdfill_obs::obs_debug!(
                 "server",
                 "session resumed";
                 worker => worker.0,
                 epoch => info.epoch,
-                replayed => msgs.len(),
+                replayed => replayed,
             );
             SessionOpen::Started {
                 collection,
@@ -1268,19 +1380,35 @@ pub(crate) fn sync_reply(
     from: u64,
     have: &HashSet<u64>,
 ) -> Json {
-    let (history_len, msgs) = {
-        let mut b = backend.lock();
-        let msgs: Vec<(u64, Message)> = b
-            .history_suffix(from)
-            .into_iter()
-            .filter(|(s, _)| !have.contains(s))
-            .collect();
-        let history_len = b.history_len();
-        // The reply covers the history through `history_len`, so the
-        // replica-lag gauge for this worker resets.
+    let mut b = backend.lock();
+    let history_len = b.history_len();
+    if from < b.history_base() {
+        // The cursor predates the compaction horizon — the suffix it asks
+        // for no longer exists. Serve the synthetic bootstrap image with
+        // `reset: true`; the client rebuilds its replica from it and
+        // restarts its cursor at `history_len`. This is also how a full
+        // resync (`from: 0`) lands after any compaction.
+        let boot = b.bootstrap_messages();
         b.note_confirmed(worker, history_len);
-        (history_len, msgs)
-    };
+        return Json::obj([
+            ("type", Json::str("synced")),
+            ("reset", Json::Bool(true)),
+            ("history_len", Json::num(history_len as f64)),
+            (
+                "history",
+                Json::Arr(boot.iter().map(wire::message_to_json).collect()),
+            ),
+        ]);
+    }
+    let msgs: Vec<(u64, Message)> = b
+        .history_suffix(from)
+        .into_iter()
+        .filter(|(s, _)| !have.contains(s))
+        .collect();
+    // The reply covers the history through `history_len`, so the
+    // replica-lag gauge for this worker resets.
+    b.note_confirmed(worker, history_len);
+    drop(b);
     Json::obj([
         ("type", Json::str("synced")),
         ("history_len", Json::num(history_len as f64)),
@@ -1894,8 +2022,17 @@ impl RemoteWorker {
             .map_err(|e| RemoteError::Protocol(e.to_string()))?;
         let client =
             crate::worker_client::WorkerClient::new(worker, client_id, Arc::new(schema), &history);
+        // The welcome's `history_len` is the server's real watermark; the
+        // message array may be the shorter post-compaction bootstrap that
+        // stands in for that prefix, so the cursor comes from the field
+        // (falling back to the array length for old servers).
+        let history_len = welcome
+            .get("history_len")
+            .and_then(Json::as_i64)
+            .filter(|v| *v >= 0)
+            .map_or(history.len() as u64, |v| v as u64);
         let mut applied = AppliedSeqs::new();
-        applied.note_prefix(history.len() as u64);
+        applied.note_prefix(history_len);
         Ok((client, applied))
     }
 
@@ -2340,59 +2477,111 @@ impl RemoteWorker {
                 }
                 _ => continue,
             }
-            let msgs = seq_msgs_from_json(
-                reply
-                    .get("msgs")
-                    .ok_or_else(|| RemoteError::Protocol("resumed missing msgs".into()))?,
-            )?;
-            self.conn = conn;
-            self.metrics.resumes.inc();
-            crowdfill_obs::obs_debug!(
-                "client",
-                "session resumed";
-                worker => self.client.worker().0,
-                attempt => attempt,
-                replayed => msgs.len(),
-            );
-
-            // Replay, matching our in-flight messages by equality: each is
-            // already applied locally, so a matched instance is noted but
-            // not re-absorbed. (A vote identical to another worker's is
-            // indistinguishable on the wire; skipping exactly one instance
-            // keeps the replica convergent either way, because identical
-            // vote messages are interchangeable in effect.)
-            let mut matched = vec![false; pending_msgs.len()];
-            for (seq, m) in &msgs {
-                self.server_history_len = self.server_history_len.max(*seq + 1);
-                if !self.applied.note(*seq) {
-                    continue;
-                }
-                let mine = pending_msgs
+            if reply.get("reset").and_then(Json::as_bool).unwrap_or(false) {
+                // The server compacted past our cursor while we were gone:
+                // the suffix we asked for no longer exists. Rebuild the
+                // replica from the bootstrap image and restart the cursor
+                // at the server's watermark.
+                let history_len = reply
+                    .get("history_len")
+                    .and_then(Json::as_i64)
+                    .filter(|v| *v >= 0)
+                    .ok_or_else(|| {
+                        RemoteError::Protocol("reset resume missing history_len".into())
+                    })? as u64;
+                let history = reply
+                    .get("history")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| RemoteError::Protocol("reset resume missing history".into()))?
                     .iter()
-                    .enumerate()
-                    .find(|(i, pm)| !matched[*i] && **pm == m)
-                    .map(|(i, _)| i);
-                match mine {
-                    Some(i) => matched[i] = true,
-                    None => self.client.absorb(m),
+                    .map(wire::message_from_json)
+                    .collect::<Result<Vec<_>, _>>()
+                    .map_err(|e| RemoteError::Protocol(e.to_string()))?;
+                self.conn = conn;
+                self.metrics.resumes.inc();
+                self.metrics.resyncs.inc();
+                self.client.rebuild(&history);
+                self.applied.reset_to_prefix(history_len);
+                self.server_history_len = self.server_history_len.max(history_len);
+                // Broadcasts that raced the image are not distinguishable
+                // inside it; owe a catch-up sync.
+                self.needs_sync = true;
+                crowdfill_obs::obs_debug!(
+                    "client",
+                    "resume reset to bootstrap image";
+                    worker => self.client.worker().0,
+                    attempt => attempt,
+                    history_len => history_len,
+                );
+                if pending_msgs.is_empty() {
+                    return Ok(RemoteAck {
+                        estimate: 0.0,
+                        fulfilled: false,
+                        recovered: true,
+                    });
                 }
-            }
+                // The synthetic image carries no per-op identity, so whether
+                // the in-flight submission landed is not decidable here:
+                // fall through and resubmit it. If it HAD landed, a re-sent
+                // fill is absorbed idempotently (the Replace re-inserts the
+                // row it already produced with the same Lemma-3 counts), and
+                // a re-sent vote is refused by the vote policy, which routes
+                // through the rejection → resync path like any divergence.
+            } else {
+                let msgs = seq_msgs_from_json(
+                    reply
+                        .get("msgs")
+                        .ok_or_else(|| RemoteError::Protocol("resumed missing msgs".into()))?,
+                )?;
+                self.conn = conn;
+                self.metrics.resumes.inc();
+                crowdfill_obs::obs_debug!(
+                    "client",
+                    "session resumed";
+                    worker => self.client.worker().0,
+                    attempt => attempt,
+                    replayed => msgs.len(),
+                );
 
-            if pending_msgs.is_empty() {
-                return Ok(RemoteAck {
-                    estimate: 0.0,
-                    fulfilled: false,
-                    recovered: true,
-                });
-            }
-            if matched.iter().all(|&m| m) {
-                // The server applied the submission; only its ack was lost.
-                self.metrics.recovered_acks.inc();
-                return Ok(RemoteAck {
-                    estimate: 0.0,
-                    fulfilled: false,
-                    recovered: true,
-                });
+                // Replay, matching our in-flight messages by equality: each is
+                // already applied locally, so a matched instance is noted but
+                // not re-absorbed. (A vote identical to another worker's is
+                // indistinguishable on the wire; skipping exactly one instance
+                // keeps the replica convergent either way, because identical
+                // vote messages are interchangeable in effect.)
+                let mut matched = vec![false; pending_msgs.len()];
+                for (seq, m) in &msgs {
+                    self.server_history_len = self.server_history_len.max(*seq + 1);
+                    if !self.applied.note(*seq) {
+                        continue;
+                    }
+                    let mine = pending_msgs
+                        .iter()
+                        .enumerate()
+                        .find(|(i, pm)| !matched[*i] && **pm == m)
+                        .map(|(i, _)| i);
+                    match mine {
+                        Some(i) => matched[i] = true,
+                        None => self.client.absorb(m),
+                    }
+                }
+
+                if pending_msgs.is_empty() {
+                    return Ok(RemoteAck {
+                        estimate: 0.0,
+                        fulfilled: false,
+                        recovered: true,
+                    });
+                }
+                if matched.iter().all(|&m| m) {
+                    // The server applied the submission; only its ack was lost.
+                    self.metrics.recovered_acks.inc();
+                    return Ok(RemoteAck {
+                        estimate: 0.0,
+                        fulfilled: false,
+                        recovered: true,
+                    });
+                }
             }
 
             // The server never saw it: resubmit on the fresh connection.
@@ -2514,6 +2703,36 @@ impl RemoteWorker {
                         .ok_or_else(|| RemoteError::Protocol("synced missing history_len".into()))?
                         as u64;
                     self.server_history_len = self.server_history_len.max(history_len);
+                    if json.get("reset").and_then(Json::as_bool).unwrap_or(false) {
+                        // Our cursor fell below the server's compaction
+                        // horizon: the reply is the bootstrap image, not a
+                        // suffix. Rebuild, restart the cursor, and replay
+                        // any stashed racing broadcasts (seq-dedup drops
+                        // the ones the image already covers).
+                        let history = json
+                            .get("history")
+                            .and_then(Json::as_arr)
+                            .ok_or_else(|| {
+                                RemoteError::Protocol("reset sync missing history".into())
+                            })?
+                            .iter()
+                            .map(wire::message_from_json)
+                            .collect::<Result<Vec<_>, _>>()
+                            .map_err(|e| RemoteError::Protocol(e.to_string()))?;
+                        self.client.rebuild(&history);
+                        self.applied.reset_to_prefix(history_len);
+                        self.metrics.resyncs.inc();
+                        for f in stash {
+                            self.absorb_frame(&f);
+                        }
+                        crowdfill_obs::obs_debug!(
+                            "client",
+                            "sync reset to bootstrap image";
+                            worker => self.client.worker().0,
+                            history_len => history_len,
+                        );
+                        return Ok(());
+                    }
                     let msgs = seq_msgs_from_json(
                         json.get("msgs")
                             .ok_or_else(|| RemoteError::Protocol("synced missing msgs".into()))?,

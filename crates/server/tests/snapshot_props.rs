@@ -1,0 +1,152 @@
+//! Property tests for the snapshot payload codec (DESIGN.md §14):
+//! arbitrary table/vote/session states round-trip byte-exactly through
+//! `encode_backend_state` / `decode_backend_state`, and the CRC-framed
+//! snapshot file rejects every single-byte corruption rather than ever
+//! surfacing a wrong image.
+
+use crowdfill_docstore::SnapshotStore;
+use crowdfill_model::{ClientId, ColumnId, RowId, RowValue, Value};
+use crowdfill_server::persist::{decode_backend_state, encode_backend_state};
+use crowdfill_server::{BackendState, SessionState};
+use proptest::prelude::*;
+use std::path::PathBuf;
+
+/// JSON numbers travel as f64: exactness holds below 2^53. Real
+/// watermarks/clocks live far below this; the strategy stays inside it.
+const MAX_EXACT: u64 = 1 << 50;
+
+fn value_strategy() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        "[a-zA-Z0-9 _-]{0,12}".prop_map(Value::text),
+        // i64 cells ride the same f64 lane; stay within exact range.
+        (-(1i64 << 40)..(1i64 << 40)).prop_map(Value::int),
+        // Dyadic rationals encode/parse exactly.
+        (-(1i32 << 20)..(1i32 << 20)).prop_map(|v| Value::float(v as f64 / 8.0)),
+        any::<bool>().prop_map(Value::bool),
+        (1900i32..2100, 1u8..=12, 1u8..=28).prop_map(|(y, m, d)| Value::date(y, m, d)),
+    ]
+}
+
+fn row_value_strategy() -> impl Strategy<Value = RowValue> {
+    proptest::collection::btree_map(0u16..4, value_strategy(), 0..4)
+        .prop_map(|cells| RowValue::from_pairs(cells.into_iter().map(|(c, v)| (ColumnId(c), v))))
+}
+
+fn row_id_strategy() -> impl Strategy<Value = RowId> {
+    (0u32..1000, 0u64..100_000).prop_map(|(c, s)| RowId::new(ClientId(c), s))
+}
+
+fn votes_strategy() -> impl Strategy<Value = Vec<(RowValue, u32)>> {
+    proptest::collection::vec((row_value_strategy(), 1u32..200), 0..8)
+}
+
+fn session_strategy() -> impl Strategy<Value = SessionState> {
+    (
+        (1u32..500, 1u32..500, 0u64..50, 0u64..1000, 0u64..MAX_EXACT),
+        proptest::collection::vec((row_value_strategy(), any::<bool>()), 0..5),
+        proptest::collection::vec(row_value_strategy(), 0..5),
+    )
+        .prop_map(
+            |((worker, client, epoch, ops, confirmed), voted, upvoted_keys)| SessionState {
+                worker,
+                client,
+                epoch,
+                ops,
+                confirmed,
+                voted,
+                upvoted_keys,
+            },
+        )
+}
+
+fn state_strategy() -> impl Strategy<Value = BackendState> {
+    (
+        (
+            0u64..MAX_EXACT,
+            0u64..MAX_EXACT,
+            1u32..10_000,
+            any::<bool>(),
+            0u64..MAX_EXACT,
+        ),
+        votes_strategy(),
+        votes_strategy(),
+        proptest::collection::vec((row_id_strategy(), row_value_strategy()), 0..8),
+        (
+            proptest::collection::vec(0usize..64, 0..8),
+            proptest::collection::vec(0usize..64, 0..8),
+        ),
+        proptest::collection::vec(session_strategy(), 0..4),
+    )
+        .prop_map(
+            |(
+                (base_seq, at_ms, next_worker, closed, cc_next_seq),
+                uh,
+                dh,
+                rows,
+                (live_template, dropped_template),
+                sessions,
+            )| BackendState {
+                base_seq,
+                at_ms,
+                next_worker,
+                closed,
+                cc_next_seq,
+                uh,
+                dh,
+                rows,
+                live_template,
+                dropped_template,
+                sessions,
+            },
+        )
+}
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("crowdfill-snapprops-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&p);
+    p
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Any live state the backend can image decodes back to exactly
+    /// itself — vote counts, row ids, session vote sets, template
+    /// partition, counters, the closed flag, everything.
+    #[test]
+    fn backend_state_roundtrips(state in state_strategy()) {
+        let encoded = encode_backend_state(&state);
+        let decoded = decode_backend_state(encoded.as_bytes())
+            .expect("own encoding must decode");
+        prop_assert_eq!(decoded, state);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Through the CRC frame on a real file: a single flipped byte at any
+    /// offset is never served as a snapshot — the store either falls back
+    /// to an older intact file or reports nothing usable.
+    #[test]
+    fn single_byte_corruption_never_decodes(
+        state in state_strategy(),
+        flip in 0usize..1_000_000,
+    ) {
+        let dir = tmp_dir("corrupt");
+        let store = SnapshotStore::open(&dir).unwrap();
+        let payload = encode_backend_state(&state);
+        store.write(state.base_seq, payload.as_bytes()).unwrap();
+
+        let path = dir.join(format!("snap-{:020}.cfsnap", state.base_seq));
+        let mut bytes = std::fs::read(&path).unwrap();
+        let at = flip % bytes.len();
+        bytes[at] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+
+        // Sole file corrupted: nothing usable may be returned.
+        prop_assert_eq!(store.load_latest().unwrap(), None);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

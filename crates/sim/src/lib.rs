@@ -13,16 +13,20 @@
 //! * [`des`] — the event engine and [`RunReport`];
 //! * [`experiment`] — canned setups mirroring the paper's §6 runs;
 //! * [`openloop`] — seeded open-loop arrival schedules for the overload
-//!   stress harness (burst, ramp, stalled-reader, thundering-herd).
+//!   stress harness (burst, ramp, stalled-reader, thundering-herd);
+//! * [`faultplan`] — seeded disk-fault schedules (crash-point matrix,
+//!   EIO/ENOSPC sweeps) for the durability harness (DESIGN.md §14).
 
 pub mod dataset;
 pub mod des;
 pub mod experiment;
+pub mod faultplan;
 pub mod openloop;
 pub mod worker;
 
 pub use dataset::{cities_universe, movies_universe, soccer_schema, soccer_universe, GroundTruth};
 pub use des::{run, RunReport, SimConfig};
 pub use experiment::{paper_setup, paper_worker_profiles, uniform_setup};
+pub use faultplan::{crash_seeds, FaultPlanner};
 pub use openloop::{conn_scale, Arrival, ConnScaleSchedule, Schedule, SessionPlan};
 pub use worker::{PlannedAction, SimWorker, WorkerProfile};

@@ -58,6 +58,17 @@ impl VoteHistory {
             .sum()
     }
 
+    /// Sets `H[v] = n` directly (snapshot restore). A zero count is the
+    /// absent entry, matching `decrement`'s removal-at-zero behavior —
+    /// restored histories stay structurally equal to organically-built ones.
+    pub fn set(&mut self, v: RowValue, n: u32) {
+        if n == 0 {
+            self.votes.remove(&v);
+        } else {
+            self.votes.insert(v, n);
+        }
+    }
+
     /// Number of distinct vectors ever voted on.
     pub fn distinct_vectors(&self) -> usize {
         self.votes.len()

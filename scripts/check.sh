@@ -16,6 +16,14 @@ cargo clippy --workspace --all-targets -- -D warnings
 # when they only show under other fault schedules.
 CROWDFILL_FAULT_SEEDS=11,23,47,101 cargo test -q -p crowdfill-server --test faults
 
+# Durability gate (DESIGN.md §14): the crash-point matrix kills a child
+# process at every syscall boundary of the append/checkpoint/compact
+# sequence and asserts every acked op survives recovery byte-identically.
+# The built-in seed runs in `cargo test` above; this pass pins extra seeds
+# (each seed picks different torn-write prefixes at each boundary).
+CROWDFILL_CRASH_SEEDS=23,101 \
+  cargo test -q --release -p crowdfill-bench --test crashpoint
+
 # Overload gate: the stress harness (seeded open-loop storms against a
 # real service) and the shed/admission property tests, at extra pinned
 # seeds beyond the built-ins. Release profile: the harness replays

@@ -4,6 +4,7 @@
 //! crowdfill spec                      # print an example task spec (JSON)
 //! crowdfill simulate [opts]           # run a simulated collection
 //! crowdfill serve --spec FILE [opts]  # serve a task over TCP until fulfilled
+//!                                     #   (--data-dir DIR makes it crash-safe)
 //! crowdfill top --addr HOST:PORT      # live health view of a running server
 //! ```
 //!
@@ -32,7 +33,7 @@ fn main() {
                 "usage: crowdfill <spec | simulate | serve | top> [options]\n\n\
                  spec                          print an example task spec (JSON) to stdout\n\
                  simulate [--rows N] [--seed N] [--scheme uniform|column-weighted|dual-weighted]\n\
-                 serve --spec FILE [--addr HOST:PORT]\n\
+                 serve --spec FILE [--addr HOST:PORT] [--data-dir DIR]\n\
                  top --addr HOST:PORT [--interval-ms N] [--count N] [--json]"
             );
             2
@@ -144,8 +145,32 @@ fn cmd_serve(args: &[String]) -> i32 {
         }
     };
     let schema = Arc::clone(&config.schema);
-    let backend = Backend::new(config);
-    let service = match TcpService::start(backend, &addr) {
+    let mut opts = crowdfill::server::ServiceOptions::default();
+    let backend = match flag(args, "--data-dir") {
+        Some(dir) => {
+            // Durable collection: recover whatever an earlier process left
+            // behind and let the sweep checkpoint/compact in the background.
+            opts.durability = Some(crowdfill::server::DurabilitySweepOptions::default());
+            let dopts = crowdfill::server::DurabilityOptions::default();
+            match crowdfill::server::open_or_recover(config, &dir, &dopts) {
+                Ok(b) => {
+                    crowdfill::obs::obs_info!(
+                        "cli",
+                        "recovered {} ops from {dir} (snapshot base {})",
+                        b.history_len(),
+                        b.history_base()
+                    );
+                    b
+                }
+                Err(e) => {
+                    eprintln!("error: cannot open data dir {dir}: {e}");
+                    return 1;
+                }
+            }
+        }
+        None => Backend::new(config),
+    };
+    let service = match TcpService::start_with(backend, &addr, opts) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("error: cannot bind {addr}: {e}");
