@@ -3,6 +3,7 @@
 
 pub mod connscale;
 pub mod overload;
+pub mod progress;
 pub mod recovery;
 pub mod tracereport;
 pub mod workload;

@@ -4,7 +4,12 @@
 //! report whose per-collection completeness matches ground truth, whose
 //! per-worker rows carry ops/latency/lag, whose SLO section is populated
 //! from the service's sampler ring, and whose replica lag drains to zero
-//! once a lagging replica syncs.
+//! once a lagging replica syncs. PR 10 extends the gate with the §15
+//! progress section: it must be populated over the real wire path, and
+//! the species estimate must converge to completeness ≈ 1.0 (truth inside
+//! the CI) once every cell is filled and a second worker has duplicated
+//! coverage — duplicate observations are the estimator's evidence of
+//! saturation.
 //!
 //! One `#[test]` on purpose: the metrics registry and the sampler are
 //! process-global, and parallel tests would contaminate the deltas.
@@ -113,15 +118,37 @@ fn health_report_matches_ground_truth() {
         "observer absorbed nothing yet"
     );
 
-    // The service's SLO specs are evaluated over its sampler ring.
+    // The service's SLO specs are evaluated over its sampler ring. The
+    // ok-assertion is limited to the static service SLOs: the progress
+    // sweep also publishes burn gauges (surfaced here dynamically), and
+    // a half-filled table legitimately burns against its completeness
+    // target mid-run.
     let names: Vec<&str> = report.slos.iter().map(|s| s.name.as_str()).collect();
     assert!(
         names.contains(&"ack-p99") && names.contains(&"shed-rate"),
         "default SLOs missing from health report: {names:?}"
     );
     for slo in &report.slos {
-        assert!(slo.ok, "an idle-ish run must not burn budget: {slo:?}");
+        if slo.name == "ack-p99" || slo.name == "shed-rate" {
+            assert!(slo.ok, "an idle-ish run must not burn budget: {slo:?}");
+        }
     }
+
+    // The §15 progress section rides every health reply. With one worker
+    // having anchored every row exactly once, the stream is all
+    // singletons: no duplication evidence, so the estimate must leave
+    // plenty of room above the observed count.
+    let progress = report
+        .progress
+        .as_ref()
+        .expect("progress section populated over the wire");
+    assert_eq!(progress.overall.observed, ROWS as u64, "{progress:?}");
+    assert!(
+        progress.overall.est_total >= ROWS as f64,
+        "estimate below observed: {progress:?}"
+    );
+    assert!(progress.overall.completeness < 1.0, "{progress:?}");
+    assert_eq!(progress.columns.len(), WIDTH);
 
     // Both replicas sync; lag must drain to zero — on the server's report
     // and in the client-side mirror.
@@ -136,15 +163,109 @@ fn health_report_matches_ground_truth() {
         assert_eq!(w.outbox_depth, 0, "drained outbox after sync: {w:?}");
     }
 
-    // The rendered form (what `crowdfill top` draws) names the collection
-    // and the arrival rate; the JSON form round-trips losslessly.
+    // The rendered form (what `crowdfill top` draws) names the collection,
+    // the arrival rate, and the §15 burn-down line; the JSON form
+    // round-trips losslessly, progress section included.
     let rendered = report.render();
     assert!(rendered.contains('B'), "{rendered}");
     assert!(rendered.contains("fills/min"), "{rendered}");
+    assert!(rendered.contains("progress:"), "{rendered}");
     assert_eq!(
         crowdfill_server::HealthReport::from_json(&report.to_json()),
         Some(report)
     );
+
+    // Fill the table out completely: the filler (synced) takes columns b
+    // and c on every row. Species identity is lineage root × column, so
+    // each fill is a fresh singleton so far.
+    for r in 0..ROWS {
+        let row = filler
+            .view()
+            .presented_rows()
+            .iter()
+            .copied()
+            .find(|row| {
+                filler
+                    .view()
+                    .replica()
+                    .table()
+                    .get(*row)
+                    .is_some_and(|e| !e.value.has(ColumnId(1)))
+            })
+            .expect("a row without column b remains");
+        filler
+            .fill(row, ColumnId(1), Value::text(format!("b-{r}")))
+            .expect("column b fill acked");
+        filler.absorb_pending();
+        let row = filler
+            .view()
+            .presented_rows()
+            .iter()
+            .copied()
+            .find(|row| {
+                filler
+                    .view()
+                    .replica()
+                    .table()
+                    .get(*row)
+                    .is_some_and(|e| e.value.has(ColumnId(1)) && !e.value.has(ColumnId(2)))
+            })
+            .expect("a row without column c remains");
+        filler
+            .fill(row, ColumnId(2), Value::text(format!("c-{r}")))
+            .expect("column c fill acked");
+        filler.absorb_pending();
+    }
+
+    // The observer syncs and upvotes every completed row: §3.4's "I
+    // found the same thing" signal. Each vote re-observes the cells the
+    // value covers — the duplicate evidence the estimator needs to call
+    // the collection saturated. (Stale competing fills are rejected by
+    // the server's vote policy, so votes are the only wire-reachable
+    // duplication path.)
+    observer.sync().expect("observer re-sync");
+    for row in observer.view().presented_rows().to_vec() {
+        if observer
+            .view()
+            .replica()
+            .table()
+            .get(row)
+            .is_some_and(|e| e.value.len() == WIDTH)
+        {
+            observer.upvote(row).expect("confirming upvote acked");
+        }
+    }
+
+    // Converged: every cell filled, column b double-covered. Completeness
+    // must reach ~1.0 with the ground-truth total inside the CI — the
+    // §15 acceptance property over the real wire path.
+    let report = filler.health().expect("third health request");
+    let truth = (ROWS * WIDTH) as f64;
+    let progress = report
+        .progress
+        .as_ref()
+        .expect("progress section still populated");
+    assert_eq!(
+        progress.overall.observed as usize,
+        ROWS * WIDTH,
+        "{progress:?}"
+    );
+    assert!(
+        progress.overall.ci_lo <= truth && truth <= progress.overall.ci_hi,
+        "ground truth outside CI: {progress:?}"
+    );
+    assert!(
+        progress.overall.completeness >= 0.95,
+        "completeness failed to converge on a saturated table: {progress:?}"
+    );
+    // The conservative measure the stopping rule uses agrees.
+    assert!(
+        progress.completeness_lo() >= 0.9,
+        "conservative completeness lags a fully-filled table: {progress:?}"
+    );
+    for col in &progress.columns {
+        assert_eq!(col.estimate.observed, ROWS as u64, "{col:?}");
+    }
 
     filler.bye();
     observer.bye();

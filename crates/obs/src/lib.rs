@@ -17,6 +17,10 @@
 //!   [`histogram`]; scoped registries can be created for isolation.
 //! * [`span`] — [`SpanTimer`](span::SpanTimer), an RAII guard that
 //!   records elapsed nanoseconds into a histogram on drop.
+//! * [`progress`] — a streaming Chao92-style species estimator
+//!   ([`SpeciesEstimator`](progress::SpeciesEstimator)) turning an
+//!   observation stream into completeness estimates with confidence
+//!   bands, for the progress/auto-stop layer (DESIGN.md §15).
 //! * [`timeseries`] — a background [`Sampler`](timeseries::Sampler)
 //!   diffing the registry into a bounded ring of timestamped deltas,
 //!   with windowed rates, quantile trends, and declarative
@@ -36,6 +40,7 @@
 
 pub mod log;
 pub mod metrics;
+pub mod progress;
 pub mod span;
 pub mod timeseries;
 pub mod trace;
@@ -46,6 +51,7 @@ pub use crate::log::{
 pub use crate::metrics::{
     counter, gauge, histogram, Counter, Gauge, Histogram, InstrumentValue, MetricsRegistry,
 };
+pub use crate::progress::{ProgressEstimate, SpeciesEstimator};
 pub use crate::span::SpanTimer;
 pub use crate::timeseries::{
     DeltaTracker, RegistryRef, Sample, SampleDelta, SampleRing, Sampler, SamplerOptions, SloKind,

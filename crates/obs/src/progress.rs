@@ -1,0 +1,430 @@
+//! Streaming species estimation for collection progress (DESIGN.md §15).
+//!
+//! "Getting It All from the Crowd" (Trushkowsky et al.) frames result-set
+//! completeness as a species-estimation problem: every arriving answer is
+//! an observation of a *species* (here: a table cell, identified by its
+//! row lineage and column), and the number of species the crowd will
+//! eventually produce can be estimated online from the arrival statistics
+//! — how often arrivals duplicate earlier ones. [`SpeciesEstimator`] is
+//! the workspace's streaming implementation: Chao92's sample-coverage
+//! estimator with the coefficient-of-variation correction, plus the
+//! paper's arrival-rate ("streaker") correction for non-uniform workers.
+//!
+//! The estimator is **order-insensitive where it must be**: every output
+//! except [`ProgressEstimate::marginal_new_rate`] is a pure function of
+//! the *multiset* of `(worker, species)` observations, so feeding the
+//! same stream in any order yields bit-identical estimates (a property
+//! test in `tests/progress_props.rs` holds this). `marginal_new_rate` is
+//! deliberately order-sensitive — it is the recent novelty rate of the
+//! stream as it actually arrived.
+//!
+//! ## Estimator math
+//!
+//! The estimate is the abundance-based coverage form of Chao & Lee's
+//! sample-coverage estimator: coverage and skew are computed over the
+//! **rare** species only — those seen at most [`RARE_CUTOFF`] times —
+//! while abundant species are added back as exactly counted. (Without
+//! the rare/abundant split, a handful of very popular answers dominates
+//! the frequency CV and the skew term explodes on Zipf-like crowds; the
+//! abundant species carry no information about the unseen mass anyway.)
+//! With `n_r` observations of `D_r` distinct rare species (`f1`
+//! singletons) and `D_a` abundant species:
+//!
+//! * sample coverage `Ĉ = 1 − f1′/n_r` (the Good–Turing estimate of the
+//!   rare probability mass already seen), floored at `1/(n_r+1)` so a
+//!   stream of all-singletons stays finite;
+//! * skew `γ² = max(0, (D_r/Ĉ)·Σc(c−1)/(n_r(n_r−1)) − 1)` — the squared
+//!   coefficient of variation of rare-species frequencies;
+//! * `est_total = D_a + D_r/Ĉ + f1′·γ²/Ĉ`, clamped to at least `D`.
+//!
+//! `f1′` is the **streaker-corrected** singleton count: a worker who
+//! floods the stream with unique answers (a "streaker") makes the plain
+//! estimator wildly overestimate, because its f1 term assumes
+//! observations are exchangeable across the crowd. Per the paper's
+//! correction we cap each worker's singleton contribution at twice the
+//! mean singleton count of the *other* workers: `f1′ = Σᵢ min(sᵢ,
+//! ⌈2·mean_{j≠i} sⱼ⌉)` when at least two workers have been seen (no
+//! correction for a lone worker — there is no crowd to compare against).
+//! The mean runs over every worker the stream has ever seen, zeros
+//! included: a regular worker whose singletons have all been duplicated
+//! away still drags the cap down, so several simultaneous streakers
+//! cannot prop each other's caps up.
+//!
+//! ## Variance and confidence interval
+//!
+//! The reported variance uses only the coverage part of the unseen mass,
+//! `f0 = D·f1′/(n − f1′)`, as `var = f0 + f0²·f1′/n`. This form is
+//! chosen to be **monotone non-increasing under saturation**: appending
+//! an observation of an already-seen species can only keep `D` fixed,
+//! not increase `f1′`, and grow `n` — so every factor shrinks or holds.
+//! (The γ²-corrected point estimate does not have this property; the
+//! uncertainty band must, or a saturating collection would report
+//! *growing* doubt. A property test holds this too.) The interval is
+//! `est ± z·√var` with `z = 1.96`, floored at `D` on the low side.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+
+/// Normal z-score for the reported ~95% confidence interval.
+const Z: f64 = 1.96;
+
+/// Default look-back (in observations) for the marginal novelty rate.
+pub const DEFAULT_MARGINAL_WINDOW: usize = 64;
+
+/// Species seen more than this many times are "abundant": exactly
+/// counted, excluded from the coverage/skew statistics (module docs).
+pub const RARE_CUTOFF: u64 = 10;
+
+/// A point-in-time progress estimate for one observation stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProgressEstimate {
+    /// Distinct species observed so far (`D`).
+    pub observed: u64,
+    /// Estimated total species the stream will eventually produce.
+    pub est_total: f64,
+    /// `observed / est_total`, clamped to `[0, 1]`; 0 before any data.
+    pub completeness: f64,
+    /// Low edge of the ~95% CI on `est_total` (never below `observed`).
+    pub ci_lo: f64,
+    /// High edge of the ~95% CI on `est_total`.
+    pub ci_hi: f64,
+    /// Fraction of the last [`window`](SpeciesEstimator::with_window)
+    /// observations that covered a new species (order-sensitive).
+    pub marginal_new_rate: f64,
+}
+
+impl ProgressEstimate {
+    /// The all-zero estimate of an empty stream.
+    pub fn empty() -> ProgressEstimate {
+        ProgressEstimate {
+            observed: 0,
+            est_total: 0.0,
+            completeness: 0.0,
+            ci_lo: 0.0,
+            ci_hi: 0.0,
+            marginal_new_rate: 0.0,
+        }
+    }
+}
+
+/// Streaming Chao92-style species estimator with the streaker correction
+/// (module docs). `observe` is O(1) amortized; `estimate` is O(workers).
+#[derive(Debug, Clone)]
+pub struct SpeciesEstimator {
+    /// Observations per species.
+    counts: HashMap<u64, u64>,
+    /// Current singleton species → the worker who contributed it.
+    singleton_owner: HashMap<u64, u64>,
+    /// Current singleton count per worker (only workers with > 0 kept).
+    worker_singletons: HashMap<u64, u64>,
+    /// Workers seen at least once.
+    workers: std::collections::HashSet<u64>,
+    /// Total observations `n`.
+    n: u64,
+    /// Singletons `f1` (uncorrected).
+    f1: u64,
+    /// Doubletons `f2`.
+    f2: u64,
+    /// Distinct rare species `D_r` (count ≤ [`RARE_CUTOFF`]).
+    d_rare: u64,
+    /// Observations of rare species `n_r`.
+    n_rare: u64,
+    /// `Σ c·(c−1)` over rare species counts (for γ²).
+    sum_c2: u64,
+    /// Ring of novelty flags for the marginal rate.
+    recent: VecDeque<bool>,
+    window: usize,
+}
+
+impl Default for SpeciesEstimator {
+    fn default() -> SpeciesEstimator {
+        SpeciesEstimator::new()
+    }
+}
+
+impl SpeciesEstimator {
+    pub fn new() -> SpeciesEstimator {
+        SpeciesEstimator::with_window(DEFAULT_MARGINAL_WINDOW)
+    }
+
+    /// An estimator whose marginal-new-rate looks back `window`
+    /// observations (minimum 1).
+    pub fn with_window(window: usize) -> SpeciesEstimator {
+        SpeciesEstimator {
+            counts: HashMap::new(),
+            singleton_owner: HashMap::new(),
+            worker_singletons: HashMap::new(),
+            workers: std::collections::HashSet::new(),
+            n: 0,
+            f1: 0,
+            f2: 0,
+            d_rare: 0,
+            n_rare: 0,
+            sum_c2: 0,
+            recent: VecDeque::new(),
+            window: window.max(1),
+        }
+    }
+
+    /// Records one observation of `species` by `worker`; returns whether
+    /// the species was novel.
+    pub fn observe(&mut self, species: u64, worker: u64) -> bool {
+        self.n += 1;
+        self.workers.insert(worker);
+        let count = self.counts.entry(species).or_insert(0);
+        *count += 1;
+        let novel = *count == 1;
+        match *count {
+            1 => {
+                self.f1 += 1;
+                self.d_rare += 1;
+                self.n_rare += 1;
+                self.singleton_owner.insert(species, worker);
+                *self.worker_singletons.entry(worker).or_insert(0) += 1;
+            }
+            2 => {
+                self.f1 -= 1;
+                self.f2 += 1;
+                self.n_rare += 1;
+                self.sum_c2 += 2;
+                if let Some(owner) = self.singleton_owner.remove(&species) {
+                    if let Some(s) = self.worker_singletons.get_mut(&owner) {
+                        *s -= 1;
+                        if *s == 0 {
+                            self.worker_singletons.remove(&owner);
+                        }
+                    }
+                }
+            }
+            c => {
+                if c == 3 {
+                    self.f2 -= 1;
+                }
+                if c <= RARE_CUTOFF {
+                    self.n_rare += 1;
+                    // c·(c−1) − (c−1)·(c−2) = 2·(c−1).
+                    self.sum_c2 += 2 * (c - 1);
+                } else if c == RARE_CUTOFF + 1 {
+                    // The species graduates to abundant: pull its whole
+                    // contribution out of the rare-side statistics.
+                    self.d_rare -= 1;
+                    self.n_rare -= RARE_CUTOFF;
+                    self.sum_c2 -= RARE_CUTOFF * (RARE_CUTOFF - 1);
+                }
+            }
+        }
+        if self.recent.len() == self.window {
+            self.recent.pop_front();
+        }
+        self.recent.push_back(novel);
+        novel
+    }
+
+    /// Total observations fed so far.
+    pub fn observations(&self) -> u64 {
+        self.n
+    }
+
+    /// Distinct species observed so far.
+    pub fn observed(&self) -> u64 {
+        self.counts.len() as u64
+    }
+
+    /// The streaker-corrected singleton count `f1′` (module docs): each
+    /// worker's singletons capped at twice the mean of the others'. The
+    /// mean runs over every worker ever seen — including those holding
+    /// zero singletons right now — so a clique of streakers cannot prop
+    /// each other's caps up once the regular crowd saturates.
+    fn corrected_f1(&self) -> u64 {
+        let known = self.workers.len() as u64;
+        if known < 2 {
+            return self.f1;
+        }
+        self.worker_singletons
+            .values()
+            .map(|&s| {
+                let mean_rest = (self.f1 - s) as f64 / (known - 1) as f64;
+                let cap = (2.0 * mean_rest).ceil() as u64;
+                s.min(cap)
+            })
+            .sum()
+    }
+
+    /// Variance of `est_total` (module docs: the monotone-safe,
+    /// coverage-only form — appending observations of already-seen
+    /// species never increases it).
+    pub fn variance(&self) -> f64 {
+        if self.n == 0 {
+            return 0.0;
+        }
+        let d = self.counts.len() as f64;
+        let f1 = self.corrected_f1();
+        let unseen_denom = (self.n - f1).max(1) as f64;
+        let f0 = d * f1 as f64 / unseen_denom;
+        f0 + f0 * f0 * f1 as f64 / self.n as f64
+    }
+
+    /// The current point estimate.
+    pub fn estimate(&self) -> ProgressEstimate {
+        if self.n == 0 {
+            return ProgressEstimate::empty();
+        }
+        let d = self.counts.len() as f64;
+        let f1 = self.corrected_f1() as f64;
+        let d_rare = self.d_rare as f64;
+        let d_abund = d - d_rare;
+        let n_rare = self.n_rare as f64;
+
+        // Coverage of the rare mass, floored so an all-singleton stream
+        // stays finite. With no rare species left the crowd has counted
+        // everything it knows: the estimate collapses to D exactly.
+        let est_total = if self.n_rare == 0 {
+            d
+        } else {
+            let coverage = (1.0 - f1 / n_rare).max(1.0 / (n_rare + 1.0));
+            // Squared coefficient of variation of rare frequencies.
+            let gamma2 = if self.n_rare >= 2 {
+                ((d_rare / coverage) * self.sum_c2 as f64 / (n_rare * (n_rare - 1.0)) - 1.0)
+                    .max(0.0)
+            } else {
+                0.0
+            };
+            (d_abund + d_rare / coverage + f1 * gamma2 / coverage).max(d)
+        };
+        let sd = self.variance().sqrt();
+        let ci_lo = (est_total - Z * sd).max(d);
+        let ci_hi = est_total + Z * sd;
+        let completeness = if est_total > 0.0 {
+            (d / est_total).clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+        let novel: usize = self.recent.iter().filter(|&&b| b).count();
+        let marginal_new_rate = if self.recent.is_empty() {
+            0.0
+        } else {
+            novel as f64 / self.recent.len() as f64
+        };
+        ProgressEstimate {
+            observed: self.counts.len() as u64,
+            est_total,
+            completeness,
+            ci_lo,
+            ci_hi,
+            marginal_new_rate,
+        }
+    }
+}
+
+/// Hashes a structured species identity (e.g. row lineage × column) into
+/// the estimator's `u64` key space; splitmix-style avalanche so nearby
+/// ids don't collide structurally.
+pub fn species_key(a: u64, b: u64, c: u64) -> u64 {
+    let mut z = a
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(b.rotate_left(17))
+        .wrapping_add(c.rotate_left(41));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stream_is_all_zero() {
+        let e = SpeciesEstimator::new();
+        assert_eq!(e.estimate(), ProgressEstimate::empty());
+        assert_eq!(e.variance(), 0.0);
+    }
+
+    #[test]
+    fn exhausted_uniform_pool_converges_to_pool_size() {
+        // 20 species, each observed 5 times: no singletons, perfect
+        // coverage — the estimate collapses onto the observed count.
+        let mut e = SpeciesEstimator::new();
+        for round in 0..5u64 {
+            for s in 0..20u64 {
+                e.observe(s, round % 3);
+            }
+        }
+        let est = e.estimate();
+        assert_eq!(est.observed, 20);
+        assert!(
+            (est.est_total - 20.0).abs() < 1.0,
+            "saturated stream must estimate ~20: {est:?}"
+        );
+        assert!(est.completeness > 0.95, "{est:?}");
+        assert!(
+            est.ci_hi - est.ci_lo < 2.0,
+            "tight CI at saturation: {est:?}"
+        );
+    }
+
+    #[test]
+    fn early_stream_estimates_beyond_observed() {
+        // 30 of 100 species seen once each: coverage is poor, the
+        // estimate must exceed what's observed and completeness be low.
+        let mut e = SpeciesEstimator::new();
+        for s in 0..30u64 {
+            e.observe(s, s % 4);
+        }
+        let est = e.estimate();
+        assert_eq!(est.observed, 30);
+        assert!(est.est_total > 40.0, "{est:?}");
+        assert!(est.completeness < 0.8, "{est:?}");
+        assert!(est.ci_hi > est.est_total && est.ci_lo >= 30.0, "{est:?}");
+    }
+
+    #[test]
+    fn streaker_correction_dampens_a_unique_flood() {
+        // Three crowd workers overlap on a small pool; a fourth floods
+        // uniques. With the correction the estimate stays near the
+        // plain-crowd view instead of exploding with the streaker's f1.
+        let mut crowd = SpeciesEstimator::new();
+        let mut with_streaker = SpeciesEstimator::new();
+        for i in 0..60u64 {
+            let s = i % 25;
+            crowd.observe(s, i % 3);
+            with_streaker.observe(s, i % 3);
+        }
+        for i in 0..30u64 {
+            with_streaker.observe(1000 + i, 99);
+        }
+        let base = crowd.estimate().est_total;
+        let damped = with_streaker.estimate().est_total;
+        // Uncorrected Chao92 with 30 extra singletons out of 90 would
+        // more than double the estimate; the cap keeps it bounded.
+        assert!(
+            damped < base + 60.0,
+            "streaker must not explode the estimate: base {base}, with streaker {damped}"
+        );
+        assert!(
+            damped > base,
+            "new species still move the estimate up: {base} -> {damped}"
+        );
+    }
+
+    #[test]
+    fn marginal_rate_tracks_recent_novelty() {
+        let mut e = SpeciesEstimator::with_window(10);
+        for s in 0..10u64 {
+            e.observe(s, 0);
+        }
+        assert_eq!(e.estimate().marginal_new_rate, 1.0);
+        for _ in 0..10 {
+            e.observe(3, 0);
+        }
+        assert_eq!(e.estimate().marginal_new_rate, 0.0);
+    }
+
+    #[test]
+    fn species_key_separates_structured_ids() {
+        let a = species_key(1, 2, 3);
+        assert_ne!(a, species_key(2, 1, 3));
+        assert_ne!(a, species_key(1, 3, 2));
+        assert_eq!(a, species_key(1, 2, 3));
+    }
+}

@@ -1,0 +1,120 @@
+//! Property tests for the streaming species estimator (DESIGN.md §15):
+//! the variance (hence CI width) never grows when the stream saturates
+//! with already-seen species, every order-insensitive output is a pure
+//! function of the observation multiset, and the ~95% interval actually
+//! covers the ground truth on seeded synthetic pools.
+
+use crowdfill_obs::progress::SpeciesEstimator;
+use proptest::prelude::*;
+
+/// splitmix64 — deterministic shuffles and pool draws without pulling a
+/// rand crate into the obs dev-deps.
+struct Prng(u64);
+
+impl Prng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n.max(1)
+    }
+}
+
+fn shuffle<T>(items: &mut [T], rng: &mut Prng) {
+    for i in (1..items.len()).rev() {
+        let j = rng.below(i as u64 + 1) as usize;
+        items.swap(i, j);
+    }
+}
+
+/// Feeds every observation into a fresh estimator.
+fn feed(obs: &[(u64, u64)]) -> SpeciesEstimator {
+    let mut e = SpeciesEstimator::new();
+    for &(species, worker) in obs {
+        e.observe(species, worker);
+    }
+    e
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Appending observations of *already-seen* species never increases
+    /// the variance: a saturating collection must not report growing
+    /// doubt (module docs call this the monotone-safe variance form).
+    #[test]
+    fn variance_nonincreasing_under_saturation(
+        prefix in proptest::collection::vec((0u64..40, 0u64..5), 1..120),
+        repeats in proptest::collection::vec((any::<u16>(), 0u64..5), 1..120),
+    ) {
+        let mut e = feed(&prefix);
+        let seen: Vec<u64> = prefix.iter().map(|&(s, _)| s).collect();
+        let mut var = e.variance();
+        for (pick, worker) in repeats {
+            let species = seen[pick as usize % seen.len()];
+            e.observe(species, worker);
+            let next = e.variance();
+            prop_assert!(
+                next <= var + 1e-9,
+                "variance grew on a duplicate: {var} -> {next}"
+            );
+            var = next;
+        }
+    }
+
+    /// Every output except the (deliberately order-sensitive)
+    /// marginal_new_rate is a pure function of the observation multiset:
+    /// shuffling the stream yields bit-identical estimates.
+    #[test]
+    fn final_estimate_is_permutation_invariant(
+        obs in proptest::collection::vec((0u64..60, 0u64..8), 1..200),
+        seed in any::<u64>(),
+    ) {
+        let base = feed(&obs).estimate();
+        let mut shuffled = obs.clone();
+        shuffle(&mut shuffled, &mut Prng(seed));
+        let other = feed(&shuffled).estimate();
+        prop_assert_eq!(base.observed, other.observed);
+        prop_assert_eq!(base.est_total.to_bits(), other.est_total.to_bits());
+        prop_assert_eq!(base.completeness.to_bits(), other.completeness.to_bits());
+        prop_assert_eq!(base.ci_lo.to_bits(), other.ci_lo.to_bits());
+        prop_assert_eq!(base.ci_hi.to_bits(), other.ci_hi.to_bits());
+    }
+
+    /// On uniform draws from a known pool the truth lands inside (or
+    /// below) the reported interval once a reasonable sample is in: the
+    /// CI must cover the pool size, or the stream must already have
+    /// revealed that the estimate sits above it.
+    #[test]
+    fn ci_covers_uniform_pool_truth(
+        pool in 10u64..80,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = Prng(seed);
+        let mut e = SpeciesEstimator::new();
+        // 6× the pool size in draws: deep enough that coverage is high
+        // and the interval has contracted around the truth.
+        for _ in 0..pool * 6 {
+            let species = rng.below(pool);
+            let worker = rng.below(4);
+            e.observe(species, worker);
+        }
+        let est = e.estimate();
+        prop_assert!(est.observed <= pool);
+        prop_assert!(
+            est.ci_lo <= pool as f64 + 1e-9,
+            "CI floor above the truth: pool {pool}, est {est:?}"
+        );
+        prop_assert!(
+            est.ci_hi + 0.15 * pool as f64 >= pool as f64,
+            "CI ceiling far below the truth: pool {pool}, est {est:?}"
+        );
+        // Deep sampling of a uniform pool is near-complete.
+        prop_assert!(est.completeness > 0.6, "pool {pool}, est {est:?}");
+    }
+}

@@ -1105,14 +1105,34 @@ impl Backend {
         )
     }
 
-    /// Closes collection and settles compensation: contribution analysis
-    /// over the trace plus budget allocation under the configured scheme.
-    pub fn settle(&mut self) -> (FinalTable, Contributions, Payout) {
+    /// Whether the collection has been closed (by [`settle`](Self::settle),
+    /// [`close`](Self::close), or a recovered closed marker). Closed
+    /// collections reject further submissions.
+    pub fn is_closed(&self) -> bool {
+        self.closed
+    }
+
+    /// Closes the collection without settling: journals the closed
+    /// marker (the same record [`settle`](Self::settle) writes, so
+    /// recovery treats both identically) and makes every further
+    /// submission fail with [`SubmitError::CollectionClosed`]. Used by
+    /// the progress layer's auto-stop policy (DESIGN.md §15);
+    /// idempotent.
+    pub fn close(&mut self) {
+        if self.closed {
+            return;
+        }
         self.closed = true;
         self.journal_record(Json::obj([
             ("closed", Json::Bool(true)),
             ("at", Json::num(self.clock.0 as f64)),
         ]));
+    }
+
+    /// Closes collection and settles compensation: contribution analysis
+    /// over the trace plus budget allocation under the configured scheme.
+    pub fn settle(&mut self) -> (FinalTable, Contributions, Payout) {
+        self.close();
         let final_table = self.final_table();
         let contributions = analyze(&self.trace, &final_table);
         let payout = allocate(

@@ -45,6 +45,7 @@ use crowdfill_obs::timeseries::SloStatus;
 use crowdfill_pay::WorkerId;
 
 use crate::backend::Backend;
+use crate::progress::{self, ProgressReport};
 
 /// Default look-back window for rates, saturation, and agreement.
 pub const DEFAULT_WINDOW_MS: u64 = 60_000;
@@ -155,6 +156,10 @@ pub struct HealthReport {
     pub workers: Vec<WorkerHealth>,
     /// Durability posture; `None` for an in-memory backend.
     pub durability: Option<DurabilityHealth>,
+    /// Predictive progress (DESIGN.md §15): completeness estimate,
+    /// cost-to-target, ETA. Populated by [`collect`]; `None` only in
+    /// reports parsed from pre-§15 senders.
+    pub progress: Option<ProgressReport>,
     /// Empty unless the caller layers SLO statuses in (the TCP service
     /// evaluates its specs over the sampler ring and attaches them).
     pub slos: Vec<SloHealth>,
@@ -418,6 +423,7 @@ pub fn collect_windowed(backend: &Backend, window_ms: u64) -> HealthReport {
         },
         workers,
         durability,
+        progress: Some(progress::collect(backend, progress::DEFAULT_TARGET)),
         slos: Vec::new(),
     }
 }
@@ -530,6 +536,13 @@ impl HealthReport {
                     None => Json::Null,
                 },
             ),
+            (
+                "progress",
+                match &self.progress {
+                    Some(p) => p.to_json(),
+                    None => Json::Null,
+                },
+            ),
             ("slos", Json::Arr(slos)),
         ])
     }
@@ -594,6 +607,10 @@ impl HealthReport {
             }),
             _ => None,
         };
+        let progress = match json.get("progress") {
+            Some(p) if !matches!(p, Json::Null) => Some(ProgressReport::from_json(p)?),
+            _ => None,
+        };
         Some(HealthReport {
             at_ms: json.get("at_ms")?.as_f64()? as u64,
             history_len: json.get("history_len")?.as_f64()? as u64,
@@ -613,6 +630,7 @@ impl HealthReport {
             },
             workers,
             durability,
+            progress,
             slos,
         })
     }
@@ -661,6 +679,9 @@ impl HealthReport {
                 "  durability: journal {} B, base seq {} ({} retained), snapshot age {}",
                 d.wal_bytes, d.history_base, d.retained_msgs, age,
             );
+        }
+        if let Some(p) = &self.progress {
+            out.push_str(&p.render());
         }
         let _ = writeln!(
             out,

@@ -24,6 +24,7 @@ pub mod health;
 pub mod marketplace;
 pub mod overload;
 pub mod persist;
+pub mod progress;
 pub mod reactor;
 pub mod recommend;
 pub mod tcp_service;
@@ -38,16 +39,23 @@ pub use health::{
     collect, collect_windowed, CollectionHealth, ColumnHealth, DurabilityHealth, HealthReport,
     SloHealth, WorkerHealth,
 };
-pub use marketplace::{Assignment, AssignmentId, Hit, HitId, MarketError, Marketplace};
+pub use marketplace::{
+    Assignment, AssignmentId, Hit, HitId, MarketError, Marketplace, RepriceRecommendation,
+};
 pub use overload::{OverloadOptions, Priority};
 pub use persist::{
     open_or_recover, open_or_recover_on, BackendState, DurabilityOptions, JournalEntry,
     JournalFrame, JournalRecord, SessionState,
 };
+pub use progress::{
+    ColumnProgress, ProgressReport, ProgressTracker, StopAction, StopDecision, StoppingPolicy,
+    DEFAULT_TARGET,
+};
 pub use reactor::ReactorOptions;
 pub use recommend::{Recommendation, RecommendationKind};
 pub use tcp_service::{
-    Collection, ConnLayer, Dialer, DurabilitySweepOptions, ReconnectPolicy, RemoteAck, RemoteError,
-    RemoteWorker, ServiceOptions, TcpService, TelemetryOptions, DEFAULT_COLLECTION,
+    Collection, ConnLayer, Dialer, DurabilitySweepOptions, ProgressOptions, ReconnectPolicy,
+    RemoteAck, RemoteError, RemoteWorker, ServiceOptions, TcpService, TelemetryOptions,
+    DEFAULT_COLLECTION,
 };
 pub use worker_client::{Outgoing, WorkerClient};

@@ -72,6 +72,17 @@ pub struct Assignment {
     pub bonus_paid: f64,
 }
 
+/// A proposed reward change for one HIT, produced by the progress
+/// layer's stopping policy (never auto-applied).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RepriceRecommendation {
+    pub hit: HitId,
+    pub current_reward: f64,
+    pub recommended_reward: f64,
+    /// The stopping-policy trigger that motivated the change.
+    pub reason: String,
+}
+
 /// The simulated marketplace.
 #[derive(Debug, Default)]
 pub struct Marketplace {
@@ -185,6 +196,44 @@ impl Marketplace {
         self.assignments.get(&id)
     }
 
+    /// Recommends a new reward for every open HIT by scaling the
+    /// current one by `factor` (clamped positive). This is the
+    /// stopping-policy's `Reprice` outlet (DESIGN.md §15): the progress
+    /// sweep computes the factor from the marginal cost of novelty and
+    /// records recommendations without touching live prices —
+    /// [`apply_reprice`](Self::apply_reprice) commits one explicitly.
+    pub fn recommend_reprice(&self, factor: f64, reason: &str) -> Vec<RepriceRecommendation> {
+        let factor = factor.max(f64::MIN_POSITIVE);
+        let mut out: Vec<RepriceRecommendation> = self
+            .hits
+            .values()
+            .filter(|h| h.open)
+            .map(|h| RepriceRecommendation {
+                hit: h.id,
+                current_reward: h.base_reward,
+                recommended_reward: h.base_reward * factor,
+                reason: reason.to_string(),
+            })
+            .collect();
+        out.sort_unstable_by_key(|r| r.hit);
+        out
+    }
+
+    /// Commits a new base reward on an open HIT (new assignments accept
+    /// at the new price; already-accepted ones keep theirs, matching
+    /// how Mechanical Turk HIT edits behave).
+    pub fn apply_reprice(&mut self, hit: HitId, new_reward: f64) -> Result<(), MarketError> {
+        let h = self
+            .hits
+            .get_mut(&hit)
+            .ok_or(MarketError::UnknownHit(hit))?;
+        if !h.open {
+            return Err(MarketError::HitClosed(hit));
+        }
+        h.base_reward = new_reward;
+        Ok(())
+    }
+
     /// Total paid out (base rewards of submitted assignments + bonuses).
     pub fn total_paid(&self) -> f64 {
         self.assignments
@@ -232,6 +281,28 @@ mod tests {
         let hit = m.create_hit("t", "task-1", 0.0, 10);
         m.close_hit(hit).unwrap();
         assert_eq!(m.accept(hit, "W"), Err(MarketError::HitClosed(hit)));
+    }
+
+    #[test]
+    fn reprice_recommends_open_hits_and_applies_explicitly() {
+        let mut m = Marketplace::new();
+        let open = m.create_hit("open", "task-1", 0.08, 10);
+        let closed = m.create_hit("closed", "task-2", 0.10, 10);
+        m.close_hit(closed).unwrap();
+        let recs = m.recommend_reprice(0.5, "marginal-cost");
+        // Only the open HIT is recommended, at half its reward.
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].hit, open);
+        assert!((recs[0].recommended_reward - 0.04).abs() < 1e-9);
+        assert_eq!(recs[0].reason, "marginal-cost");
+        // Recommendations don't change prices until applied.
+        assert_eq!(m.hit(open).unwrap().base_reward, 0.08);
+        m.apply_reprice(open, recs[0].recommended_reward).unwrap();
+        assert!((m.hit(open).unwrap().base_reward - 0.04).abs() < 1e-9);
+        assert_eq!(
+            m.apply_reprice(closed, 0.05),
+            Err(MarketError::HitClosed(closed))
+        );
     }
 
     #[test]

@@ -91,6 +91,7 @@
 use crate::backend::{Backend, BatchOp, SubmitError, SubmitReport};
 use crate::batch::{BatchOptions, BatchPipeline};
 use crate::overload::{OverloadOptions, Priority};
+use crate::progress::{ProgressTracker, StopAction, StoppingPolicy};
 use crate::reactor::{self, ReactorOptions};
 use crate::wire;
 use crossbeam::channel::{self, TrySendError};
@@ -124,6 +125,63 @@ pub(crate) fn batch_broadcast_frames() -> &'static Counter {
 pub(crate) fn m_snapshot_age_ms() -> &'static crowdfill_obs::metrics::Gauge {
     static G: OnceLock<Arc<crowdfill_obs::metrics::Gauge>> = OnceLock::new();
     G.get_or_init(|| crowdfill_obs::metrics::gauge("crowdfill_snapshot_age_ms"))
+}
+
+/// 1 once the progress sweep's stopping policy closed a collection.
+pub(crate) fn m_progress_stopped() -> &'static crowdfill_obs::metrics::Gauge {
+    static G: OnceLock<Arc<crowdfill_obs::metrics::Gauge>> = OnceLock::new();
+    G.get_or_init(|| crowdfill_obs::metrics::gauge("crowdfill_progress_stopped"))
+}
+
+/// Latest reward multiplier (milli) the stopping policy recommended.
+pub(crate) fn m_progress_reprice_milli() -> &'static crowdfill_obs::metrics::Gauge {
+    static G: OnceLock<Arc<crowdfill_obs::metrics::Gauge>> = OnceLock::new();
+    G.get_or_init(|| crowdfill_obs::metrics::gauge("crowdfill_progress_reprice_factor_milli"))
+}
+
+/// The progress SLOs the sweep evaluates (DESIGN.md §15): completeness
+/// at or above the target, and budget-burn no faster than progress
+/// toward it. Evaluated only by the sweep — their burn gauges reach the
+/// `health` reply through the dynamic ring scan, so a collection far
+/// from its target burns these without tripping static-SLO assertions.
+pub(crate) fn progress_slo_specs(target: f64) -> Vec<SloSpec> {
+    let window = Duration::from_secs(60);
+    vec![
+        SloSpec::gauge_above(
+            "completeness-target",
+            "crowdfill_progress_completeness_milli",
+            (target * 1000.0).round(),
+            window,
+        ),
+        SloSpec::burn_to_target(
+            "burn-to-target",
+            "crowdfill_progress_spent_frac_milli",
+            "crowdfill_progress_target_frac_milli",
+            1.0,
+            window,
+        ),
+    ]
+}
+
+/// Exports one progress report as gauges. Like the per-column health
+/// gauges these are process-global: with multiple collections the last
+/// sweep write wins.
+fn publish_progress_gauges(report: &crate::progress::ProgressReport) {
+    use crowdfill_obs::metrics::gauge;
+    let o = &report.overall;
+    gauge("crowdfill_progress_completeness_milli").set((o.completeness * 1000.0).round() as i64);
+    gauge("crowdfill_progress_observed").set(o.observed as i64);
+    gauge("crowdfill_progress_est_total").set(o.est_total.round() as i64);
+    gauge("crowdfill_progress_marginal_new_milli")
+        .set((o.marginal_new_rate * 1000.0).round() as i64);
+    if report.budget > 0.0 {
+        gauge("crowdfill_progress_spent_frac_milli")
+            .set(((report.spent / report.budget) * 1000.0).round() as i64);
+    }
+    if report.target > 0.0 {
+        gauge("crowdfill_progress_target_frac_milli")
+            .set(((o.completeness / report.target).clamp(0.0, 1.0) * 1000.0).round() as i64);
+    }
 }
 
 /// Connections forcibly closed after staying lagging past `evict_after`.
@@ -206,6 +264,38 @@ pub struct TelemetryOptions {
     /// `health` request; each publishes a
     /// `crowdfill_slo_<name>_burn_milli` gauge.
     pub slos: Vec<SloSpec>,
+    /// Predictive progress (DESIGN.md §15): `Some` (the default) runs a
+    /// background sweep feeding the fill stream into the species
+    /// estimator, exporting `crowdfill_progress_*` gauges, evaluating
+    /// the progress SLOs, and applying the stopping policy. `None`
+    /// spawns no sweep (the `health` reply still carries a progress
+    /// section — it is computed from the trace on request).
+    pub progress: Option<ProgressOptions>,
+}
+
+/// Knobs for the background progress sweep.
+#[derive(Debug, Clone)]
+pub struct ProgressOptions {
+    /// How often the sweep advances each collection's estimator.
+    pub interval: Duration,
+    /// Completeness target for the gauges and progress SLOs.
+    pub target: f64,
+    /// Adaptive stopping, evaluated once per collection per tick. The
+    /// first trigger acts (`Close` journals the closed marker via
+    /// [`Backend::close`]; `Reprice` exports the recommended factor as
+    /// a gauge and logs it; `Alert` logs) and then latches — the sweep
+    /// never acts twice on one collection. `None` only observes.
+    pub policy: Option<StoppingPolicy>,
+}
+
+impl Default for ProgressOptions {
+    fn default() -> ProgressOptions {
+        ProgressOptions {
+            interval: Duration::from_millis(500),
+            target: crate::progress::DEFAULT_TARGET,
+            policy: None,
+        }
+    }
 }
 
 impl Default for TelemetryOptions {
@@ -230,6 +320,7 @@ impl Default for TelemetryOptions {
                     window,
                 ),
             ],
+            progress: Some(ProgressOptions::default()),
         }
     }
 }
@@ -765,6 +856,82 @@ impl TcpService {
                         }
                         if let Some(age) = oldest_age {
                             m_snapshot_age_ms().set(age as i64);
+                        }
+                    }
+                });
+        }
+
+        // Progress sweep (DESIGN.md §15): advances each collection's
+        // species estimator over the ops appended since the last tick
+        // (O(new ops), not O(trace)), exports the forecast as gauges,
+        // evaluates the progress SLOs over the sampler ring, and applies
+        // the stopping policy at most once per collection. Requires
+        // telemetry: the SLO burn gauges flow through the sampler ring.
+        if let (Some(progress), Some(t)) = (
+            options.telemetry.as_ref().and_then(|t| t.progress.clone()),
+            shared.telemetry.as_ref(),
+        ) {
+            let sweep_collections = Arc::clone(&collections);
+            let sweep_shutdown = Arc::clone(&shutdown);
+            let ring = Arc::clone(&t.ring);
+            let _ = std::thread::Builder::new()
+                .name("crowdfill-progress-sweep".into())
+                .spawn(move || {
+                    let mut trackers: HashMap<String, (ProgressTracker, bool)> = HashMap::new();
+                    let specs = progress_slo_specs(progress.target);
+                    while !sweep_shutdown.load(Ordering::SeqCst) {
+                        std::thread::sleep(progress.interval);
+                        for collection in sweep_collections.values() {
+                            let (tracker, acted) =
+                                trackers.entry(collection.name.clone()).or_default();
+                            let report = {
+                                let b = collection.backend.lock();
+                                tracker.advance(&b);
+                                tracker.report(&b, progress.target)
+                            };
+                            publish_progress_gauges(&report);
+                            let _ = evaluate_slos(&specs, &ring, crowdfill_obs::metrics::global());
+                            let Some(policy) = &progress.policy else {
+                                continue;
+                            };
+                            if *acted {
+                                continue;
+                            }
+                            let Some(decision) = policy.evaluate(&report) else {
+                                continue;
+                            };
+                            *acted = true;
+                            match decision.action {
+                                StopAction::Close => {
+                                    collection.backend.lock().close();
+                                    m_progress_stopped().set(1);
+                                    crowdfill_obs::obs_info!(
+                                        "server",
+                                        "auto-stop closed collection: {}",
+                                        decision.reason;
+                                        collection => collection.name(),
+                                    );
+                                }
+                                StopAction::Reprice => {
+                                    let factor = policy.reprice_factor(&decision);
+                                    m_progress_reprice_milli()
+                                        .set((factor * 1000.0).round() as i64);
+                                    crowdfill_obs::obs_warn!(
+                                        "server",
+                                        "auto-stop recommends repricing x{factor:.2}: {}",
+                                        decision.reason;
+                                        collection => collection.name(),
+                                    );
+                                }
+                                StopAction::Alert => {
+                                    crowdfill_obs::obs_warn!(
+                                        "server",
+                                        "auto-stop alert: {}",
+                                        decision.reason;
+                                        collection => collection.name(),
+                                    );
+                                }
+                            }
                         }
                     }
                 });
@@ -1437,8 +1604,57 @@ pub(crate) fn health_reply(backend: &Mutex<Backend>, telemetry: Option<&ServiceT
             .into_iter()
             .map(crate::health::SloHealth::from)
             .collect();
+        // Burn gauges published by SLOs the static spec list doesn't
+        // know about — the progress sweep's, or any added after startup.
+        // Re-scanning the ring's newest sample on every request (rather
+        // than a name list captured at startup) is what keeps
+        // `crowdfill top --json` from silently omitting them.
+        report.slos.extend(dynamic_slo_burns(t));
     }
     Json::obj([("type", Json::str("health")), ("report", report.to_json())])
+}
+
+/// Scans the sampler ring's newest sample for `crowdfill_slo_*_burn_milli`
+/// gauges whose slug no static spec produced, and reports each as an
+/// [`SloHealth`](crate::health::SloHealth) against the 1.0 burn line.
+fn dynamic_slo_burns(t: &ServiceTelemetry) -> Vec<crate::health::SloHealth> {
+    let known: HashSet<String> = t
+        .slos
+        .iter()
+        .map(|spec| {
+            spec.name
+                .chars()
+                .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+                .collect()
+        })
+        .collect();
+    let Some(sample) = t.ring.latest() else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for (name, delta) in &sample.deltas {
+        let Some(slug) = name
+            .strip_prefix("crowdfill_slo_")
+            .and_then(|n| n.strip_suffix("_burn_milli"))
+        else {
+            continue;
+        };
+        if known.contains(slug) {
+            continue;
+        }
+        let crowdfill_obs::timeseries::SampleDelta::Gauge { value } = delta else {
+            continue;
+        };
+        let burn = *value as f64 / 1000.0;
+        out.push(crate::health::SloHealth {
+            name: slug.to_string(),
+            ok: burn <= 1.0,
+            value: burn,
+            threshold: 1.0,
+            burn_rate: burn,
+        });
+    }
+    out
 }
 
 /// Sibling of `stats`: the flight recorder's current ring contents as
@@ -2910,4 +3126,116 @@ fn modify_frame(bundle: &[crate::worker_client::Outgoing], trace: TraceId) -> Js
         fields.push(("trace", Json::str(trace.to_hex())));
     }
     Json::obj(fields)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TaskConfig;
+    use crowdfill_model::{Column, DataType, QuorumMajority, Schema, Template};
+    use crowdfill_obs::timeseries::{Sample, SampleDelta};
+    use std::collections::BTreeMap;
+
+    fn backend() -> Mutex<Backend> {
+        let schema = Schema::new("svc-test", vec![Column::new("a", DataType::Text)], &["a"])
+            .expect("schema");
+        Mutex::new(Backend::new(TaskConfig::new(
+            Arc::new(schema),
+            Arc::new(QuorumMajority::of_three()),
+            Template::cardinality(2),
+            2.0,
+        )))
+    }
+
+    /// Regression: SLO burn gauges published after startup (the progress
+    /// sweep's, or any added at runtime) must appear in the `health`
+    /// reply. The fix re-scans the ring's newest sample per request
+    /// instead of a spec-name list captured at startup.
+    #[test]
+    fn health_reply_includes_slo_gauges_added_after_startup() {
+        let ring = Arc::new(SampleRing::new(4));
+        let telemetry = ServiceTelemetry {
+            ring: Arc::clone(&ring),
+            slos: vec![SloSpec::gauge_above(
+                "completeness-target",
+                "crowdfill_progress_completeness_milli",
+                900.0,
+                Duration::from_secs(60),
+            )],
+        };
+        // A sample arrives carrying a burn gauge no static spec owns
+        // (slug `late_added`) plus the static spec's own gauge, which
+        // must NOT be double-reported.
+        let mut deltas = BTreeMap::new();
+        deltas.insert(
+            "crowdfill_slo_late_added_burn_milli".to_string(),
+            SampleDelta::Gauge { value: 1500 },
+        );
+        deltas.insert(
+            "crowdfill_slo_completeness_target_burn_milli".to_string(),
+            SampleDelta::Gauge { value: 200 },
+        );
+        ring.push(Sample {
+            at_ns: 1,
+            since_ns: 0,
+            deltas,
+        });
+        let backend = backend();
+        let reply = health_reply(&backend, Some(&telemetry));
+        let report = crate::health::HealthReport::from_json(reply.get("report").expect("report"))
+            .expect("parse");
+        let late = report
+            .slos
+            .iter()
+            .find(|s| s.name == "late_added")
+            .expect("late-added SLO visible in the reply");
+        assert!(!late.ok, "burn 1.5 must read as violating: {late:?}");
+        assert!((late.burn_rate - 1.5).abs() < 1e-9);
+        // The static spec appears exactly once (from evaluation, not
+        // duplicated by the dynamic scan).
+        let count = report
+            .slos
+            .iter()
+            .filter(|s| s.name.contains("completeness"))
+            .count();
+        assert_eq!(count, 1, "{:?}", report.slos);
+        // The progress section rides along even on an empty collection.
+        assert!(report.progress.is_some());
+    }
+
+    /// The progress SLO pair: spec names and gauge wiring stay aligned
+    /// with what `publish_progress_gauges` exports.
+    #[test]
+    fn progress_slo_specs_match_published_gauges() {
+        let specs = progress_slo_specs(0.9);
+        assert_eq!(specs.len(), 2);
+        assert_eq!(specs[0].name, "completeness-target");
+        assert_eq!(specs[1].name, "burn-to-target");
+        let report = crate::progress::ProgressReport {
+            target: 0.9,
+            overall: crowdfill_obs::progress::ProgressEstimate {
+                observed: 9,
+                est_total: 10.0,
+                completeness: 0.9,
+                ci_lo: 9.0,
+                ci_hi: 11.0,
+                marginal_new_rate: 0.25,
+            },
+            columns: Vec::new(),
+            spent: 5.0,
+            budget: 10.0,
+            cost_per_fill: Some(0.5),
+            cost_to_target: None,
+            eta_secs_to_target: None,
+            fills_per_sec: 0.0,
+        };
+        publish_progress_gauges(&report);
+        let g = |name: &str| crowdfill_obs::metrics::global().gauge(name).get();
+        assert_eq!(g("crowdfill_progress_completeness_milli"), 900);
+        assert_eq!(g("crowdfill_progress_observed"), 9);
+        assert_eq!(g("crowdfill_progress_est_total"), 10);
+        assert_eq!(g("crowdfill_progress_marginal_new_milli"), 250);
+        assert_eq!(g("crowdfill_progress_spent_frac_milli"), 500);
+        assert_eq!(g("crowdfill_progress_target_frac_milli"), 1000);
+    }
 }

@@ -120,6 +120,10 @@ pub struct RunReport {
     /// per-worker stats; DESIGN.md §11), rendered as text. Taken just
     /// before settlement, so it reflects the final collection state.
     pub health_summary: String,
+    /// The end-of-run predictive-progress report (completeness estimate,
+    /// cost-to-target; DESIGN.md §15), rendered as text alongside
+    /// `health_summary`.
+    pub progress_summary: String,
 }
 
 impl RunReport {
@@ -313,6 +317,9 @@ pub fn run(cfg: SimConfig) -> RunReport {
 
     // Health must be read before settlement tears the sessions down.
     let health_summary = crowdfill_server::health::collect(&backend).render();
+    let progress_summary =
+        crowdfill_server::progress::collect(&backend, crowdfill_server::progress::DEFAULT_TARGET)
+            .render();
 
     let (final_table, contributions, payout) = backend.settle();
     let accuracy = if final_table.is_empty() {
@@ -379,5 +386,6 @@ pub fn run(cfg: SimConfig) -> RunReport {
         metrics_snapshot,
         trace_summary,
         health_summary,
+        progress_summary,
     }
 }

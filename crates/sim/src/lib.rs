@@ -28,5 +28,8 @@ pub use dataset::{cities_universe, movies_universe, soccer_schema, soccer_univer
 pub use des::{run, RunReport, SimConfig};
 pub use experiment::{paper_setup, paper_worker_profiles, uniform_setup};
 pub use faultplan::{crash_seeds, FaultPlanner};
-pub use openloop::{conn_scale, Arrival, ConnScaleSchedule, Schedule, SessionPlan};
+pub use openloop::{
+    conn_scale, species_streakers, species_zipf, Arrival, ConnScaleSchedule, Schedule, SessionPlan,
+    SpeciesArrival, SpeciesSchedule,
+};
 pub use worker::{PlannedAction, SimWorker, WorkerProfile};

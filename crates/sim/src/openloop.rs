@@ -271,6 +271,141 @@ impl ConnScaleSchedule {
     }
 }
 
+/// One scheduled species observation: at `at_ms`, `worker` contributes
+/// an answer covering `species`. The estimator-accuracy experiments
+/// (DESIGN.md §15) replay these through the progress estimator and
+/// score it against the schedule's known ground truth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpeciesArrival {
+    pub at_ms: u64,
+    pub worker: usize,
+    pub species: u64,
+}
+
+/// A seeded species-arrival scenario with known ground truth: the
+/// estimator sees the arrivals in order; the harness knows the full
+/// realized richness ([`true_richness`](Self::true_richness)) and can
+/// score completeness estimates at any prefix.
+#[derive(Debug, Clone)]
+pub struct SpeciesSchedule {
+    pub name: &'static str,
+    pub seed: u64,
+    pub workers: usize,
+    /// Size of the underlying uniform/Zipf pool the crowd draws from
+    /// (streaker uniques land *outside* this pool, so realized richness
+    /// can exceed it).
+    pub pool: u64,
+    /// Observations, sorted by `at_ms` (ties keep generation order).
+    pub arrivals: Vec<SpeciesArrival>,
+}
+
+impl SpeciesSchedule {
+    /// Ground truth: distinct species the full schedule realizes.
+    pub fn true_richness(&self) -> u64 {
+        let mut seen: std::collections::HashSet<u64> = std::collections::HashSet::new();
+        for a in &self.arrivals {
+            seen.insert(a.species);
+        }
+        seen.len() as u64
+    }
+
+    /// The last arrival offset (0 for an empty schedule).
+    pub fn horizon_ms(&self) -> u64 {
+        self.arrivals.last().map_or(0, |a| a.at_ms)
+    }
+}
+
+fn finish_species(
+    name: &'static str,
+    seed: u64,
+    workers: usize,
+    pool: u64,
+    mut arrivals: Vec<SpeciesArrival>,
+) -> SpeciesSchedule {
+    arrivals.sort_by_key(|a| a.at_ms);
+    SpeciesSchedule {
+        name,
+        seed,
+        workers,
+        pool,
+        arrivals,
+    }
+}
+
+/// Crowd draws from a `pool` with Zipf-skewed popularity (`skew` 0 =
+/// uniform; 1 ≈ classic Zipf): common answers arrive constantly, rare
+/// ones straggle in — the frequency skew Chao92's γ² correction exists
+/// for. Arrival times are uniform over `duration_ms`; workers are drawn
+/// uniformly, so the crowd is homogeneous.
+pub fn species_zipf(
+    seed: u64,
+    workers: usize,
+    pool: u64,
+    total_obs: usize,
+    duration_ms: u64,
+    skew: f64,
+) -> SpeciesSchedule {
+    let pool = pool.max(1);
+    let mut rng = Prng::new(seed ^ 0x5bec_1e5a);
+    // Cumulative popularity weights w_i = 1/(i+1)^skew.
+    let mut cum = Vec::with_capacity(pool as usize);
+    let mut total = 0.0f64;
+    for i in 0..pool {
+        total += 1.0 / ((i + 1) as f64).powf(skew);
+        cum.push(total);
+    }
+    let mut arrivals = Vec::with_capacity(total_obs);
+    for _ in 0..total_obs {
+        let u = rng.next_f64() * total;
+        let species = cum.partition_point(|&c| c < u) as u64;
+        arrivals.push(SpeciesArrival {
+            at_ms: rng.below(duration_ms.max(1)),
+            worker: rng.below(workers.max(1) as u64) as usize,
+            species: species.min(pool - 1),
+        });
+    }
+    finish_species("species-zipf", seed, workers, pool, arrivals)
+}
+
+/// A homogeneous crowd drawing uniformly from `pool`, plus `streakers`
+/// extra workers who only ever contribute brand-new species (ids outside
+/// the pool) at `streaker_share` of the total stream: the non-uniform
+/// arrival process from "Getting It All from the Crowd" that breaks
+/// plain Chao92 and motivates the streaker-corrected `f1′`.
+pub fn species_streakers(
+    seed: u64,
+    workers: usize,
+    pool: u64,
+    total_obs: usize,
+    duration_ms: u64,
+    streakers: usize,
+    streaker_share: f64,
+) -> SpeciesSchedule {
+    let pool = pool.max(1);
+    let mut rng = Prng::new(seed ^ 0x57ea_ce55);
+    let mut arrivals = Vec::with_capacity(total_obs);
+    let mut next_unique = pool;
+    for _ in 0..total_obs {
+        let at_ms = rng.below(duration_ms.max(1));
+        if streakers > 0 && rng.next_f64() < streaker_share {
+            // A streaker's answer: always novel, never seen again.
+            arrivals.push(SpeciesArrival {
+                at_ms,
+                worker: workers + rng.below(streakers as u64) as usize,
+                species: next_unique,
+            });
+            next_unique += 1;
+        } else {
+            arrivals.push(SpeciesArrival {
+                at_ms,
+                worker: rng.below(workers.max(1) as u64) as usize,
+                species: rng.below(pool),
+            });
+        }
+    }
+    finish_species("species-streakers", seed, workers, pool, arrivals)
+}
+
 impl Schedule {
     /// Total scheduled submissions.
     pub fn total_ops(&self) -> usize {
@@ -351,6 +486,50 @@ mod tests {
             .all(|w| w[0].connect_at_ms <= w[1].connect_at_ms));
         let c = conn_scale(10, 16, 1000, 3, 200, 2000);
         assert_ne!(a.sessions, c.sessions, "different seed, different plan");
+    }
+
+    #[test]
+    fn species_schedules_are_deterministic_with_known_truth() {
+        let a = species_zipf(5, 6, 50, 400, 1000, 1.0);
+        let b = species_zipf(5, 6, 50, 400, 1000, 1.0);
+        assert_eq!(a.arrivals, b.arrivals);
+        assert_ne!(a.arrivals, species_zipf(6, 6, 50, 400, 1000, 1.0).arrivals);
+        assert!(a.arrivals.windows(2).all(|w| w[0].at_ms <= w[1].at_ms));
+        // 400 Zipf draws from 50: most of the pool realized, none beyond.
+        assert!(a.true_richness() <= 50);
+        assert!(a.true_richness() > 25, "{}", a.true_richness());
+        // Skew concentrates: the most common species beats uniform share.
+        let mut counts = std::collections::HashMap::new();
+        for x in &a.arrivals {
+            *counts.entry(x.species).or_insert(0u64) += 1;
+        }
+        let max = counts.values().copied().max().unwrap();
+        assert!(max > 400 / 50 * 3, "zipf head too flat: {max}");
+    }
+
+    #[test]
+    fn streaker_schedule_adds_uniques_beyond_the_pool() {
+        let s = species_streakers(8, 5, 40, 500, 1000, 2, 0.2);
+        let uniques = s.arrivals.iter().filter(|a| a.species >= 40).count();
+        // ~20% of 500 arrivals are streaker uniques.
+        assert!((60..=140).contains(&uniques), "{uniques}");
+        // Streaker workers index beyond the crowd.
+        assert!(s
+            .arrivals
+            .iter()
+            .filter(|a| a.species >= 40)
+            .all(|a| a.worker >= 5));
+        // Every streaker species appears exactly once.
+        let mut counts = std::collections::HashMap::new();
+        for a in s.arrivals.iter().filter(|a| a.species >= 40) {
+            *counts.entry(a.species).or_insert(0u64) += 1;
+        }
+        assert!(counts.values().all(|&c| c == 1));
+        assert_eq!(s.true_richness(), 40 + uniques as u64);
+        assert_eq!(
+            s.arrivals,
+            species_streakers(8, 5, 40, 500, 1000, 2, 0.2).arrivals
+        );
     }
 
     #[test]

@@ -49,6 +49,16 @@ OBS_TRACE=all \
 # Health gate: a fill workload against a real TcpService with the
 # telemetry sampler on — asserts the `health` wire request reports
 # completeness matching ground truth, per-worker latency/agreement/lag,
-# populated SLOs, and that replica lag drains to zero after a sync
-# (DESIGN.md §11).
+# populated SLOs, that the §15 progress section rides the wire and its
+# estimate converges to ~1.0 completeness once coverage is duplicated,
+# and that replica lag drains to zero after a sync (DESIGN.md §11, §15).
 cargo test -q --release -p crowdfill-bench --test health_smoke
+
+# Progress gate (DESIGN.md §15): the estimator-accuracy suite replays
+# pinned-seed species-arrival schedules and asserts MAPE <= 20% once true
+# completeness >= 50%, plus the adaptive-stop cost/coverage bounds — the
+# asserts live inside the suite, so this run is the gate. Quick mode
+# emits bit-identical accuracy values to the full run (the schedules are
+# pure functions of the pinned seeds); only the timing rows shrink.
+cargo run --release -q -p crowdfill-bench --bin bench-report -- \
+  --quick --suite progress --out-dir "$(mktemp -d)"
